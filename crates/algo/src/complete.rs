@@ -1,0 +1,80 @@
+//! Theorem 3.5: the complete network is an (α+1, α/2+1)-network.
+//!
+//! Holds for the Euclidean game and, via Corollary 5.1, for the GNCG
+//! with arbitrary edge weights once dominated edges (longer than a
+//! shortest path) are dropped — proving (α+1)-approximate equilibria
+//! always exist, improving the 3(α+1) claim of Bilò et al.
+
+use gncg_game::OwnedNetwork;
+
+/// The complete profile on `n` agents: every edge bought exactly once by
+/// its lower-indexed endpoint.
+pub fn complete_network(n: usize) -> OwnedNetwork {
+    OwnedNetwork::complete(n)
+}
+
+/// Theorem 3.5's stability guarantee `β = α + 1`.
+pub fn theorem_3_5_beta(alpha: f64) -> f64 {
+    alpha + 1.0
+}
+
+/// Theorem 3.5's efficiency guarantee `γ = α/2 + 1`.
+pub fn theorem_3_5_gamma(alpha: f64) -> f64 {
+    alpha / 2.0 + 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_game::certify::{certify, CertifyOptions};
+    use gncg_geometry::generators;
+
+    #[test]
+    fn certified_bounds_respect_theorem_3_5() {
+        for seed in 0..3u64 {
+            let ps = generators::uniform_unit_square(14, seed + 7);
+            for alpha in [0.25, 1.0, 3.0, 10.0] {
+                let net = complete_network(14);
+                let r = certify(&ps, &net, alpha, CertifyOptions::bounds_only());
+                assert!(r.beta_upper <= theorem_3_5_beta(alpha) + 1e-9);
+                assert!(r.gamma_upper <= theorem_3_5_gamma(alpha) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_beta_gamma_small() {
+        let ps = generators::uniform_unit_square(6, 42);
+        let alpha = 2.0;
+        let net = complete_network(6);
+        let r = certify(&ps, &net, alpha, CertifyOptions::exact());
+        assert!(r.beta_exact.unwrap() <= theorem_3_5_beta(alpha) + 1e-9);
+        assert!(r.gamma_exact.unwrap() <= theorem_3_5_gamma(alpha) + 1e-9);
+    }
+
+    #[test]
+    fn beta_tightness_trend() {
+        // as alpha grows, the complete network's instability grows
+        // roughly linearly — the shape behind Theorem 3.5's (α+1)
+        let ps = generators::uniform_unit_square(7, 12);
+        let net = complete_network(7);
+        let beta_only = CertifyOptions {
+            exact_beta: true,
+            exact_gamma: false,
+            witness: false,
+        };
+        let b_small = certify(&ps, &net, 0.5, beta_only).beta_exact.unwrap();
+        let b_large = certify(&ps, &net, 8.0, beta_only).beta_exact.unwrap();
+        assert!(b_large > b_small);
+    }
+
+    #[test]
+    fn on_colocated_triangle_instance() {
+        let ps = generators::triangle_clusters(2, 0.0);
+        let net = complete_network(6);
+        let alpha = 1.0;
+        let r = certify(&ps, &net, alpha, CertifyOptions::default());
+        // all distances realized directly: gamma bound still within α/2+1
+        assert!(r.gamma_upper <= theorem_3_5_gamma(alpha) + 1e-9);
+    }
+}

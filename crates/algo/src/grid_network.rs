@@ -1,0 +1,97 @@
+//! Theorem 3.13: (2d, 2d)-networks on integer grid point sets.
+//!
+//! The nearest-neighbour grid graph is a √d-spanner; 2-colouring the
+//! (bipartite) grid and letting one side buy all its incident edges
+//! gives every buyer ≤ 2d edges, which the theorem turns into a
+//! (2d, 2d)-network.
+
+use gncg_game::OwnedNetwork;
+use gncg_geometry::PointSet;
+use gncg_graph::orientation;
+use gncg_spanner::grid;
+
+/// Build the Theorem 3.13 network over an integer grid point set.
+/// Panics on non-integer coordinates or a non-bipartite (i.e. corrupt)
+/// grid graph.
+pub fn grid_network(ps: &PointSet) -> OwnedNetwork {
+    let g = grid::grid_spanner(ps);
+    let owned = orientation::bipartite_orientation(&g)
+        .expect("grid graphs are bipartite by parity of the coordinate sum");
+    OwnedNetwork::from_distributed(ps.len(), &owned)
+}
+
+/// The Theorem 3.13 guarantee `β = γ = 2d`.
+pub fn theorem_3_13_bound(dim: usize) -> f64 {
+    2.0 * dim as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_game::certify::{certify, CertifyOptions};
+    use gncg_game::exact;
+    use gncg_geometry::generators;
+
+    #[test]
+    fn buyers_own_at_most_2d_edges() {
+        let ps = generators::integer_grid(&[4, 4]);
+        let net = grid_network(&ps);
+        for u in 0..ps.len() {
+            assert!(net.strategy(u).len() <= 4);
+        }
+        // one side owns nothing
+        let silent = (0..ps.len()).filter(|&u| net.strategy(u).is_empty()).count();
+        assert!(silent >= ps.len() / 2);
+    }
+
+    #[test]
+    fn network_connected_on_grids() {
+        for sides in [&[5usize][..], &[3, 3], &[2, 2, 2]] {
+            let ps = generators::integer_grid(sides);
+            let net = grid_network(&ps);
+            let g = net.graph(&ps);
+            assert!(gncg_graph::components::is_connected(&g), "{sides:?}");
+        }
+    }
+
+    #[test]
+    fn certified_bounds_within_2d() {
+        // 2-D grid: bound 4
+        let ps = generators::integer_grid(&[3, 3]);
+        let net = grid_network(&ps);
+        for alpha in [0.5, 2.0, 20.0] {
+            let r = certify(&ps, &net, alpha, CertifyOptions::bounds_only());
+            assert!(
+                r.beta_upper <= theorem_3_13_bound(2) + 1e-9,
+                "alpha {alpha}: beta {}",
+                r.beta_upper
+            );
+            assert!(
+                r.gamma_upper <= theorem_3_13_bound(2) + 1e-9,
+                "alpha {alpha}: gamma {}",
+                r.gamma_upper
+            );
+        }
+    }
+
+    #[test]
+    fn exact_beta_on_small_grid_within_bound() {
+        let ps = generators::integer_grid(&[3, 1]); // 8 points
+        let net = grid_network(&ps);
+        for alpha in [0.5, 1.0, 4.0] {
+            let beta = exact::exact_beta(&ps, &net, alpha);
+            assert!(
+                beta <= theorem_3_13_bound(2) + 1e-9,
+                "alpha {alpha}: exact beta {beta}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_dimensional_grid_is_2_network() {
+        let ps = generators::integer_grid(&[5]);
+        let net = grid_network(&ps);
+        let beta = exact::exact_beta(&ps, &net, 1.0);
+        assert!(beta <= theorem_3_13_bound(1) + 1e-9);
+    }
+}

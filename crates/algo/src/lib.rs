@@ -1,0 +1,32 @@
+//! The paper's constructive results.
+//!
+//! * [`algorithm1`] — **Algorithm 1**, the O(n²) (β, β)-network
+//!   construction (Theorems 3.6/3.7),
+//! * [`params`] — the Corollary 3.8 parameter selection and the
+//!   closed-form β bound,
+//! * [`mst_network`] — Theorem 3.9: any Euclidean MST is an
+//!   (n−1, n−1)-network,
+//! * [`complete`] — Theorem 3.5: the complete network is an
+//!   (α+1, α/2+1)-network,
+//! * [`star`] — Lemma 3.2 / Corollary 3.3: center-sponsored stars and
+//!   their stability thresholds,
+//! * [`grid_network`] — Theorem 3.13: (2d, 2d)-networks on integer grids,
+//! * [`random_points`] — Theorem 3.12: (1+ε, 1+ε)-networks on uniform
+//!   random points,
+//! * [`combined`] — Corollary 3.10: best-of Algorithm 1 and MST, an
+//!   (O(α^{2/3}), O(α^{2/3}))-network for every α,
+//! * [`pareto`] — sampling the (β, γ) Pareto frontier (the paper's
+//!   stated future-work direction).
+
+pub mod algorithm1;
+pub mod combined;
+pub mod complete;
+pub mod grid_network;
+pub mod mst_network;
+pub mod params;
+pub mod pareto;
+pub mod random_points;
+pub mod star;
+
+pub use algorithm1::{run_algorithm1, AlgorithmOneParams, AlgorithmOneResult, Branch};
+pub use combined::build_beta_beta_network;

@@ -1,0 +1,106 @@
+//! Theorem 3.9: any minimum spanning tree is an (n−1, n−1)-network.
+
+use gncg_game::OwnedNetwork;
+use gncg_geometry::PointSet;
+use gncg_graph::mst;
+
+/// Build the Euclidean MST of `ps` as an owned profile. Ownership is a
+/// rooted orientation: the tree is rooted at agent 0 and every other
+/// agent buys the edge towards its parent, so each agent owns at most
+/// one edge (Theorem 3.9 holds for arbitrary ownership; this choice is
+/// the most decentralized one).
+pub fn mst_network(ps: &PointSet) -> OwnedNetwork {
+    let tree = mst::euclidean_mst(ps);
+    let n = ps.len();
+    let mut net = OwnedNetwork::empty(n);
+    // BFS from 0; child buys edge to parent
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    visited[0] = true;
+    queue.push_back(0usize);
+    while let Some(u) = queue.pop_front() {
+        for &(v, _) in tree.neighbors(u) {
+            if !visited[v] {
+                visited[v] = true;
+                net.buy(v, u);
+                queue.push_back(v);
+            }
+        }
+    }
+    assert!(visited.iter().all(|&x| x), "MST must span all points");
+    net
+}
+
+/// The Theorem 3.9 guarantee: `β = γ = n − 1`.
+pub fn theorem_3_9_bound(n: usize) -> f64 {
+    (n as f64 - 1.0).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_game::certify::{certify, CertifyOptions};
+    use gncg_geometry::generators;
+
+    #[test]
+    fn every_agent_owns_at_most_one_edge() {
+        let ps = generators::uniform_unit_square(40, 5);
+        let net = mst_network(&ps);
+        for u in 0..40 {
+            assert!(net.strategy(u).len() <= 1);
+        }
+        assert_eq!(net.bought_edges(), 39);
+        assert!(net.strategy(0).is_empty()); // root owns nothing
+    }
+
+    #[test]
+    fn network_is_connected() {
+        let ps = generators::uniform_unit_square(25, 9);
+        let net = mst_network(&ps);
+        let g = net.graph(&ps);
+        assert!(gncg_graph::components::is_connected(&g));
+        assert_eq!(g.num_edges(), 24);
+    }
+
+    #[test]
+    fn certified_beta_gamma_within_n_minus_1() {
+        for seed in 0..3u64 {
+            let ps = generators::uniform_unit_square(15, seed);
+            let net = mst_network(&ps);
+            for alpha in [0.5, 2.0, 10.0] {
+                let r = certify(&ps, &net, alpha, CertifyOptions::bounds_only());
+                let bound = theorem_3_9_bound(15);
+                assert!(
+                    r.beta_upper <= bound + 1e-6,
+                    "seed {seed} alpha {alpha}: beta {} > {bound}",
+                    r.beta_upper
+                );
+                assert!(
+                    r.gamma_upper <= bound + 1e-6,
+                    "seed {seed} alpha {alpha}: gamma {} > {bound}",
+                    r.gamma_upper
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_beta_small_instance_within_bound() {
+        let ps = generators::uniform_unit_square(7, 3);
+        let net = mst_network(&ps);
+        let r = certify(&ps, &net, 1.0, CertifyOptions::exact());
+        assert!(r.beta_exact.unwrap() <= theorem_3_9_bound(7) + 1e-9);
+        assert!(r.gamma_exact.unwrap() <= theorem_3_9_bound(7) + 1e-9);
+    }
+
+    #[test]
+    fn mst_on_chain_instance_is_the_path() {
+        let ps = generators::geometric_chain(5, 2.0);
+        let net = mst_network(&ps);
+        let g = net.graph(&ps);
+        for i in 0..5 {
+            assert!(g.has_edge(i, i + 1));
+        }
+        assert_eq!(g.num_edges(), 5);
+    }
+}

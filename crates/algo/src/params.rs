@@ -1,0 +1,159 @@
+//! Parameter selection (Corollary 3.8) and the closed-form β bound
+//! (Theorems 3.6/3.7).
+
+use crate::algorithm1::AlgorithmOneParams;
+use gncg_spanner::SpannerKind;
+
+/// The four-term β bound of Theorem 3.6/3.7:
+///
+/// ```text
+/// β = max{ kb·α/c + t,  4k·α/b + 2t + 1,  2α/(n−c) + 2,  4c(b+2t)/(n−c) + 6t }
+/// ```
+///
+/// Requires `0 < c < n`.
+pub fn beta_bound(k: f64, t: f64, b: f64, c: f64, alpha: f64, n: f64) -> f64 {
+    assert!(c > 0.0 && c < n, "beta_bound needs 0 < c < n");
+    let t1 = k * b * alpha / c + t;
+    let t2 = 4.0 * k * alpha / b + 2.0 * t + 1.0;
+    let t3 = 2.0 * alpha / (n - c) + 2.0;
+    let t4 = 4.0 * c * (b + 2.0 * t) / (n - c) + 6.0 * t;
+    t1.max(t2).max(t3).max(t4)
+}
+
+/// The exponent `y` of Corollary 3.8 / Figure 4: writing `α = nˣ`, the
+/// constructed network has `β ∈ O(α^y + 1)` with
+///
+/// * `y = (3x−1)/(4x)` for 0 < x < 1,
+/// * `y = 1 − 1/(2x) = (2x−1)/(2x)` for x ≥ 1,
+/// * and the MST (Theorem 3.9) caps the exponent at `2/3` for `x ≥ 3/2`
+///   (Corollary 3.10).
+pub fn corollary_3_8_exponent(x: f64) -> f64 {
+    assert!(x > 0.0);
+    if x >= 1.0 {
+        1.0 - 1.0 / (2.0 * x)
+    } else {
+        (3.0 * x - 1.0) / (4.0 * x)
+    }
+}
+
+/// Combined exponent with the MST fallback (Corollary 3.10 / Figure 4).
+pub fn combined_exponent(x: f64) -> f64 {
+    corollary_3_8_exponent(x).min(2.0 / 3.0)
+}
+
+/// Choose Algorithm 1 parameters per Corollary 3.8 for a given `α` and
+/// `n`: `b = α^{1/(2x)}` (x ≥ 1) or `b = α^{(x+1)/(4x)}` (x < 1), with
+/// `c = b²/2`, clamped to the corollary's constraints
+/// `b ≤ √(2(n−1))`, `c ≤ n−1`.
+///
+/// `t` is the spanner stretch target (the corollary allows any constant
+/// t > 1; we default to 1.5 in [`corollary_3_8_params`]).
+pub fn corollary_3_8_params_with_t(alpha: f64, n: usize, t: f64) -> AlgorithmOneParams {
+    assert!(n >= 2);
+    assert!(t > 1.0);
+    let nf = n as f64;
+    let b = if alpha <= 1.0 {
+        1.0
+    } else {
+        let x = alpha.ln() / nf.ln();
+        let exp = if x >= 1.0 {
+            1.0 / (2.0 * x)
+        } else {
+            (x + 1.0) / (4.0 * x)
+        };
+        alpha.powf(exp)
+    };
+    let b = b.clamp(1.0, (2.0 * (nf - 1.0)).sqrt());
+    let c = ((b * b / 2.0).floor() as usize).min(n - 1);
+    AlgorithmOneParams {
+        b,
+        c,
+        spanner: SpannerKind::Greedy { t },
+    }
+}
+
+/// [`corollary_3_8_params_with_t`] with the default stretch target 1.5.
+pub fn corollary_3_8_params(alpha: f64, n: usize) -> AlgorithmOneParams {
+    corollary_3_8_params_with_t(alpha, n, 1.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_bound_is_max_of_terms() {
+        // pick values where each term dominates in turn
+        // term1 dominates: huge k*b/c
+        let b1 = beta_bound(100.0, 1.5, 10.0, 1.0, 10.0, 100.0);
+        assert!((b1 - (100.0 * 10.0 * 10.0 / 1.0 + 1.5)).abs() < 1e-9);
+        // term3 dominates: c close to n
+        let b3 = beta_bound(1.0, 1.1, 1.0, 98.0, 1000.0, 100.0);
+        assert!(b3 >= 2.0 * 1000.0 / 2.0 + 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn exponent_continuous_at_x_equals_one() {
+        let left = corollary_3_8_exponent(1.0 - 1e-9);
+        let right = corollary_3_8_exponent(1.0 + 1e-9);
+        assert!((left - right).abs() < 1e-6);
+        assert!((corollary_3_8_exponent(1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponent_shape_matches_figure_4() {
+        // x = 1/3 → y = 0: constant beta for alpha <= n^{1/3}
+        assert!(corollary_3_8_exponent(1.0 / 3.0).abs() < 1e-12);
+        // increasing in x
+        assert!(corollary_3_8_exponent(0.5) < corollary_3_8_exponent(1.0));
+        assert!(corollary_3_8_exponent(1.0) < corollary_3_8_exponent(2.0));
+        // x = 3/2 → y = 2/3, the crossover with the MST bound
+        assert!((corollary_3_8_exponent(1.5) - 2.0 / 3.0).abs() < 1e-12);
+        // combined exponent caps at 2/3 beyond
+        assert!((combined_exponent(3.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!(combined_exponent(0.5) < 2.0 / 3.0);
+    }
+
+    #[test]
+    fn params_respect_constraints() {
+        for &(alpha, n) in &[(0.5, 10usize), (2.0, 50), (10.0, 100), (1000.0, 30), (5.0, 2)] {
+            let p = corollary_3_8_params(alpha, n);
+            assert!(p.b >= 1.0, "alpha {alpha} n {n}");
+            assert!(p.b <= (2.0 * (n as f64 - 1.0)).sqrt() + 1e-9);
+            assert!(p.c <= n - 1);
+        }
+    }
+
+    #[test]
+    fn params_alpha_below_one_use_sparse_defaults() {
+        let p = corollary_3_8_params(0.5, 20);
+        assert_eq!(p.b, 1.0);
+        assert_eq!(p.c, 0);
+    }
+
+    #[test]
+    fn params_b_formula_regime_x_ge_1() {
+        // alpha = n^2 → x = 2, b = alpha^{1/4}
+        let n = 10usize;
+        let alpha = 100.0;
+        let p = corollary_3_8_params(alpha, n);
+        let expect = 100f64.powf(0.25).min((2.0 * 9.0f64).sqrt());
+        assert!((p.b - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn params_b_formula_regime_x_lt_1() {
+        // alpha = sqrt(n) → x = 1/2, b = alpha^{(x+1)/(4x)} = alpha^{3/4}
+        let n = 100usize;
+        let alpha = 10.0;
+        let p = corollary_3_8_params(alpha, n);
+        let expect = 10f64.powf(0.75);
+        assert!((p.b - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < c < n")]
+    fn beta_bound_rejects_c_zero() {
+        beta_bound(1.0, 1.5, 1.0, 0.0, 1.0, 10.0);
+    }
+}

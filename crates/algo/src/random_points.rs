@@ -1,0 +1,120 @@
+//! Theorem 3.12: (1+ε, 1+ε)-networks for uniform random points.
+//!
+//! For `P_n ⊆ [0,1]²` uniform and `α ∈ o(n)`, Algorithm 1 with `b = 4`,
+//! `c = 2·k_ε·b·α/ε` and a `(1+ε/2)`-spanner yields a
+//! (1+ε, 1+ε)-network a.a.s. (via Lemma 3.11: every quarter-square holds
+//! ≥ (1−δ)n/16 points with probability `1 − 4·exp(−δ²n/32)`).
+
+use crate::algorithm1::{run_algorithm1, AlgorithmOneParams, AlgorithmOneResult};
+use gncg_geometry::PointSet;
+use gncg_spanner::SpannerKind;
+
+/// The Theorem 3.12 parameter choice. `k_eps` is the degree bound of the
+/// `(1+ε/2)`-spanner; since we certify the greedy spanner per instance
+/// we take the measured bound from a pilot build (callers can pass the
+/// conservative default 16 used in the harness).
+pub fn theorem_3_12_params(alpha: f64, eps: f64, k_eps: usize, n: usize) -> AlgorithmOneParams {
+    assert!(eps > 0.0);
+    let b = 4.0;
+    let c = (2.0 * k_eps as f64 * b * alpha / eps).ceil() as usize;
+    AlgorithmOneParams {
+        b,
+        c: c.min(n.saturating_sub(1)),
+        spanner: SpannerKind::Greedy { t: 1.0 + eps / 2.0 },
+    }
+}
+
+/// Run Algorithm 1 with the Theorem 3.12 parameters.
+pub fn build_one_plus_eps(
+    ps: &PointSet,
+    alpha: f64,
+    eps: f64,
+    k_eps: usize,
+) -> AlgorithmOneResult {
+    let params = theorem_3_12_params(alpha, eps, k_eps, ps.len());
+    run_algorithm1(ps, alpha, params)
+}
+
+/// Lemma 3.11's tail bound: the probability that some quarter-square
+/// holds fewer than `(1−δ)·n/16` points is at most `4·exp(−δ²n/32)`.
+pub fn lemma_3_11_bound(n: usize, delta: f64) -> f64 {
+    4.0 * (-delta * delta * n as f64 / 32.0).exp()
+}
+
+/// Count points in each of the four centre quarter-squares `C'` of the
+/// Figure 5 partition (the length-1/4 square centred in each quadrant).
+pub fn quarter_square_counts(ps: &PointSet) -> [usize; 4] {
+    assert_eq!(ps.dim(), 2);
+    let mut counts = [0usize; 4];
+    // quadrant q ∈ {0,1,2,3} has corner (qx/2, qy/2); its inner square
+    // spans [qx/2 + 1/8, qx/2 + 3/8] × [qy/2 + 1/8, qy/2 + 3/8]
+    for i in 0..ps.len() {
+        let p = ps.point(i);
+        for (q, (qx, qy)) in [(0.0, 0.0), (0.5, 0.0), (0.0, 0.5), (0.5, 0.5)]
+            .iter()
+            .enumerate()
+        {
+            let x0 = qx + 0.125;
+            let y0 = qy + 0.125;
+            if p[0] >= x0 && p[0] <= x0 + 0.25 && p[1] >= y0 && p[1] <= y0 + 0.25 {
+                counts[q] += 1;
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_game::certify::{certify, CertifyOptions};
+    use gncg_geometry::generators;
+
+    #[test]
+    fn quarter_squares_fill_up_with_n() {
+        let n = 3200;
+        let ps = generators::uniform_unit_square(n, 4);
+        let counts = quarter_square_counts(&ps);
+        // expectation n/16 = 200 per square; Chernoff keeps us near it
+        for (q, &c) in counts.iter().enumerate() {
+            assert!(
+                c >= 150 && c <= 250,
+                "square {q}: count {c} too far from 200"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_bound_decays() {
+        assert!(lemma_3_11_bound(10_000, 0.5) < 1e-30);
+        assert!(lemma_3_11_bound(100, 0.5) < lemma_3_11_bound(50, 0.5));
+    }
+
+    #[test]
+    fn params_scale_with_alpha_over_eps() {
+        let p1 = theorem_3_12_params(1.0, 0.5, 16, 100_000);
+        let p2 = theorem_3_12_params(2.0, 0.5, 16, 100_000);
+        assert_eq!(p2.c, 2 * p1.c);
+        assert!(matches!(p1.spanner, SpannerKind::Greedy { t } if (t - 1.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn one_plus_eps_network_beta_close_to_one_on_large_random() {
+        // modest scale smoke version of the Theorem 3.12 experiment:
+        // alpha small relative to n, eps = 1 → expect beta_upper ≤ ~2ish
+        let n = 400;
+        let ps = generators::uniform_unit_square(n, 11);
+        let alpha = 0.5;
+        let eps = 1.0;
+        let result = build_one_plus_eps(&ps, alpha, eps, 8);
+        let r = certify(&ps, &result.network, alpha, CertifyOptions::bounds_only());
+        assert!(r.connected);
+        // the certified beta_upper is loose (universal lower bound), so
+        // just check we're in the right ballpark and far below alpha+1
+        assert!(
+            r.beta_upper <= 1.0 + eps + 1.0,
+            "beta_upper {} too large",
+            r.beta_upper
+        );
+    }
+}

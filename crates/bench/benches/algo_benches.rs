@@ -1,0 +1,66 @@
+//! Algorithm 1 end-to-end benchmarks: confirms the O(n²) scaling claim
+//! and measures the combined construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gncg_algo::{combined, params::corollary_3_8_params, run_algorithm1};
+use gncg_geometry::generators;
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_end_to_end");
+    group.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let alpha = 2.0;
+        let ps = generators::uniform_unit_square(n, 41);
+        let params = corollary_3_8_params(alpha, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ps, |b, ps| {
+            b.iter(|| run_algorithm1(ps, alpha, params))
+        });
+    }
+    group.finish();
+}
+
+fn bench_combined(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combined_cor_3_10");
+    group.sample_size(10);
+    for n in [50usize, 150] {
+        let ps = generators::uniform_unit_square(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ps, |b, ps| {
+            b.iter(|| combined::combined_network(ps, 4.0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cluster_branch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_cluster_branch");
+    group.sample_size(10);
+    for n in [60usize, 150] {
+        let ps = generators::cluster_with_outliers(n - 5, 5, 2, 0.02, 8.0, 10.0, 43);
+        let params = gncg_algo::AlgorithmOneParams {
+            b: 6.0,
+            c: 6,
+            spanner: gncg_spanner::SpannerKind::Greedy { t: 1.5 },
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ps, |b, ps| {
+            b.iter(|| run_algorithm1(ps, 2.0, params))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = quick_config();
+    targets = bench_algorithm1, bench_combined, bench_cluster_branch
+}
+
+/// Short measurement windows: the CI box has two cores and many bench
+/// targets; Criterion's defaults would take an hour.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(10)
+}
+
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Host-network benchmarks: metric closure, H_M filter, reduction build.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gncg_host::{hitting_set, hm_filter, HostNetwork};
+
+fn bench_metric_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metric_closure");
+    group.sample_size(10);
+    for n in [30usize, 80] {
+        let h = HostNetwork::random_nonmetric(n, 0.2, 5.0, 61);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| h.metric_closure())
+        });
+    }
+    group.finish();
+}
+
+fn bench_hm_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hm_filter");
+    group.sample_size(10);
+    for n in [30usize, 60] {
+        let h = HostNetwork::random_nonmetric(n, 0.2, 5.0, 62);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| hm_filter::hm_filter(h))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduction_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hitting_set_reduction");
+    group.sample_size(10);
+    let inst = hitting_set::HittingSetInstance::new(
+        5,
+        vec![vec![0, 1], vec![1, 2], vec![3, 4], vec![0, 4]],
+    );
+    for alpha in [1.0f64, 9.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
+            b.iter(|| hitting_set::build_reduction(&inst, alpha).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = quick_config();
+    targets = bench_metric_closure, bench_hm_filter, bench_reduction_build
+}
+
+/// Short measurement windows: the CI box has two cores and many bench
+/// targets; Criterion's defaults would take an hour.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(10)
+}
+
+criterion_main!(benches);

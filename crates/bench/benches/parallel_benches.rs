@@ -1,0 +1,67 @@
+//! Parallel-substrate benchmarks: speedup ablation of the self-
+//! scheduling kernels (set `GNCG_THREADS=1` and re-run to compare).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gncg_geometry::generators;
+use gncg_graph::apsp;
+
+fn bench_parallel_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_map_sqrt_sum");
+    for n in [10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                gncg_parallel::parallel_map(n, |i| (i as f64).sqrt())
+                    .iter()
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_reduce_sum");
+    for n in [10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                gncg_parallel::parallel_reduce(
+                    n,
+                    || 0.0f64,
+                    |acc, i| acc + (i as f64).sqrt(),
+                    |a, b| a + b,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_apsp_scaling(c: &mut Criterion) {
+    // the flagship parallel kernel: APSP over sources
+    let mut group = c.benchmark_group("apsp_threads");
+    group.sample_size(10);
+    let ps = generators::uniform_unit_square(250, 51);
+    let g = gncg_spanner::build(&ps, gncg_spanner::SpannerKind::Greedy { t: 1.5 });
+    group.bench_function(
+        format!("n=250 threads={}", gncg_parallel::num_threads()),
+        |b| b.iter(|| apsp::all_pairs(&g)),
+    );
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = quick_config();
+    targets = bench_parallel_map, bench_parallel_reduce, bench_apsp_scaling
+}
+
+/// Short measurement windows: the CI box has two cores and many bench
+/// targets; Criterion's defaults would take an hour.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(10)
+}
+
+criterion_main!(benches);

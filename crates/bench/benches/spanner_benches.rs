@@ -1,0 +1,54 @@
+//! Spanner-construction benchmarks: greedy vs Θ vs Yao, and the stretch
+//! certification pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gncg_geometry::generators;
+use gncg_spanner::{build, cert, SpannerKind};
+
+fn bench_constructions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spanner_build");
+    group.sample_size(10);
+    for n in [100usize, 200] {
+        let ps = generators::uniform_unit_square(n, 21);
+        group.bench_with_input(BenchmarkId::new("greedy_t1.5", n), &ps, |b, ps| {
+            b.iter(|| build(ps, SpannerKind::Greedy { t: 1.5 }))
+        });
+        group.bench_with_input(BenchmarkId::new("theta_10", n), &ps, |b, ps| {
+            b.iter(|| build(ps, SpannerKind::Theta { cones: 10 }))
+        });
+        group.bench_with_input(BenchmarkId::new("yao_10", n), &ps, |b, ps| {
+            b.iter(|| build(ps, SpannerKind::Yao { cones: 10 }))
+        });
+    }
+    group.finish();
+}
+
+fn bench_certification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spanner_certify");
+    group.sample_size(10);
+    for n in [100usize, 300] {
+        let ps = generators::uniform_unit_square(n, 22);
+        let g = build(&ps, SpannerKind::Greedy { t: 1.5 });
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(g, ps), |b, (g, ps)| {
+            b.iter(|| cert::certify(g, ps))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = quick_config();
+    targets = bench_constructions, bench_certification
+}
+
+/// Short measurement windows: the CI box has two cores and many bench
+/// targets; Criterion's defaults would take an hour.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(10)
+}
+
+criterion_main!(benches);

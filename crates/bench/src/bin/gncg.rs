@@ -1,0 +1,210 @@
+//! `gncg` — command-line front end for the library.
+//!
+//! ```text
+//! gncg generate --kind uniform --n 100 --seed 7 --out points.json
+//! gncg build    --points points.json --alpha 2 --method combined --out net.json
+//! gncg certify  --points points.json --network net.json --alpha 2 [--exact]
+//! gncg dynamics --points points.json --alpha 1 --steps 500
+//! ```
+//!
+//! Arguments are deliberately hand-parsed (`--key value` pairs) to keep
+//! the dependency set to the whitelisted crates.
+
+use gncg_algo as algo;
+use gncg_game::certify::{certify, CertifyOptions};
+use gncg_game::{dynamics, OwnedNetwork};
+use gncg_geometry::{generators, PointSet};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cmd = match args.next() {
+        Some(c) => c,
+        None => usage_and_exit(),
+    };
+    let opts = parse_opts(args.collect());
+    match cmd.as_str() {
+        "generate" => generate(&opts),
+        "build" => build(&opts),
+        "certify" => run_certify(&opts),
+        "dynamics" => run_dynamics(&opts),
+        _ => usage_and_exit(),
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage:\n  gncg generate --kind uniform|grid|cluster|chain --n N [--seed S] [--alpha A] --out FILE\n  gncg build --points FILE --alpha A --method combined|alg1|mst|complete|star --out FILE\n  gncg certify --points FILE --network FILE --alpha A [--exact]\n  gncg dynamics --points FILE --alpha A [--steps N] [--rule best|single]"
+    );
+    exit(2);
+}
+
+fn parse_opts(rest: Vec<String>) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut it = rest.into_iter().peekable();
+    while let Some(key) = it.next() {
+        let Some(stripped) = key.strip_prefix("--") else {
+            eprintln!("unexpected argument {key}");
+            usage_and_exit();
+        };
+        let value = match it.peek() {
+            Some(v) if !v.starts_with("--") => it.next().unwrap(),
+            _ => "true".to_string(), // boolean flag
+        };
+        map.insert(stripped.to_string(), value);
+    }
+    map
+}
+
+fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> &'a str {
+    opts.get(key).map(|s| s.as_str()).unwrap_or_else(|| {
+        eprintln!("missing required option --{key}");
+        usage_and_exit()
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("could not parse {what}: {s}");
+        exit(2);
+    })
+}
+
+fn load_points(path: &str) -> PointSet {
+    let data = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    serde_json::from_str(&data).unwrap_or_else(|e| {
+        eprintln!("cannot parse point set {path}: {e}");
+        exit(1);
+    })
+}
+
+fn load_network(path: &str) -> OwnedNetwork {
+    let data = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    serde_json::from_str(&data).unwrap_or_else(|e| {
+        eprintln!("cannot parse network {path}: {e}");
+        exit(1);
+    })
+}
+
+fn save_json<T: serde::Serialize>(value: &T, path: &str) {
+    let json = serde_json::to_string_pretty(value).expect("serialize");
+    std::fs::write(path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        exit(1);
+    });
+    println!("wrote {path}");
+}
+
+fn generate(opts: &HashMap<String, String>) {
+    let kind = req(opts, "kind");
+    let n: usize = parse_num(req(opts, "n"), "--n");
+    let seed: u64 = opts.get("seed").map(|s| parse_num(s, "--seed")).unwrap_or(0);
+    let out = req(opts, "out");
+    let ps = match kind {
+        "uniform" => generators::uniform_unit_square(n, seed),
+        "grid" => {
+            let side = (n as f64).sqrt().ceil() as usize;
+            generators::integer_grid(&[side.saturating_sub(1), side.saturating_sub(1)])
+        }
+        "cluster" => generators::cluster_with_outliers(
+            n.saturating_sub(n / 10).max(1),
+            n / 10,
+            2,
+            0.05,
+            5.0,
+            8.0,
+            seed,
+        ),
+        "chain" => {
+            let alpha: f64 = opts
+                .get("alpha")
+                .map(|s| parse_num(s, "--alpha"))
+                .unwrap_or(2.0);
+            generators::geometric_chain(n.max(2) - 1, alpha)
+        }
+        other => {
+            eprintln!("unknown kind {other}");
+            usage_and_exit()
+        }
+    };
+    println!("generated {} points in R^{}", ps.len(), ps.dim());
+    save_json(&ps, out);
+}
+
+fn build(opts: &HashMap<String, String>) {
+    let ps = load_points(req(opts, "points"));
+    let alpha: f64 = parse_num(req(opts, "alpha"), "--alpha");
+    let method = req(opts, "method");
+    let out = req(opts, "out");
+    let net = match method {
+        "combined" => algo::build_beta_beta_network(&ps, alpha),
+        "alg1" => {
+            let params = algo::params::corollary_3_8_params(alpha, ps.len().max(2));
+            let res = algo::run_algorithm1(&ps, alpha, params);
+            println!("algorithm 1 branch: {:?}", res.branch);
+            res.network
+        }
+        "mst" => algo::mst_network::mst_network(&ps),
+        "complete" => algo::complete::complete_network(ps.len()),
+        "star" => {
+            let c = algo::star::best_star_center(&ps);
+            println!("best star centre: {c}");
+            algo::star::center_star(ps.len(), c)
+        }
+        other => {
+            eprintln!("unknown method {other}");
+            usage_and_exit()
+        }
+    };
+    println!("built network with {} bought edges", net.bought_edges());
+    save_json(&net, out);
+}
+
+fn run_certify(opts: &HashMap<String, String>) {
+    let ps = load_points(req(opts, "points"));
+    let net = load_network(req(opts, "network"));
+    let alpha: f64 = parse_num(req(opts, "alpha"), "--alpha");
+    let options = if opts.contains_key("exact") {
+        CertifyOptions::exact()
+    } else {
+        CertifyOptions::default()
+    };
+    let r = certify(&ps, &net, alpha, options);
+    println!("{}", serde_json::to_string_pretty(&r).unwrap());
+}
+
+fn run_dynamics(opts: &HashMap<String, String>) {
+    let ps = load_points(req(opts, "points"));
+    let alpha: f64 = parse_num(req(opts, "alpha"), "--alpha");
+    let steps: usize = opts
+        .get("steps")
+        .map(|s| parse_num(s, "--steps"))
+        .unwrap_or(500);
+    let rule = match opts.get("rule").map(|s| s.as_str()).unwrap_or("single") {
+        "best" => dynamics::ResponseRule::BestResponse,
+        _ => dynamics::ResponseRule::BestSingleMove,
+    };
+    let start = OwnedNetwork::center_star(ps.len(), 0);
+    match dynamics::run(&ps, &start, alpha, rule, steps) {
+        dynamics::Outcome::Converged { state, steps } => {
+            println!("converged after {steps} strategy changes");
+            println!("{} edges bought", state.bought_edges());
+        }
+        dynamics::Outcome::Cycle { history, cycle_start } => {
+            println!(
+                "response CYCLE detected: length {} (no finite improvement property)",
+                history.len() - 1 - cycle_start
+            );
+        }
+        dynamics::Outcome::Exhausted { steps, .. } => {
+            println!("stopped after {steps} strategy changes without convergence");
+        }
+    }
+}

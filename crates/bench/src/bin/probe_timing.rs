@@ -1,0 +1,40 @@
+//! Ad-hoc timing probe used while tuning the exact solvers (kept as a
+//! diagnostic utility; not part of the reproduction pipeline).
+
+use gncg_game::cost;
+use gncg_geometry::generators;
+use gncg_graph::Graph;
+use std::time::Instant;
+
+fn main() {
+    let ps = generators::uniform_unit_square(6, 15);
+    let n = 6usize;
+    let mut pairs = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            pairs.push((u, v));
+        }
+    }
+
+    // Phase 1: sequential eval loop, no parallel_reduce
+    let t0 = Instant::now();
+    let mut best = f64::INFINITY;
+    for mask in 0u64..(1 << pairs.len()) {
+        let mut g = Graph::new(n);
+        for (bit, &(u, v)) in pairs.iter().enumerate() {
+            if mask & (1u64 << bit) != 0 {
+                g.add_edge(u, v, ps.dist(u, v));
+            }
+        }
+        let c = cost::social_cost_of_graph(&g, 1.0);
+        if c < best {
+            best = c;
+        }
+    }
+    println!("sequential: {:?}  best={best}", t0.elapsed());
+
+    // Phase 2: through exact_social_optimum (parallel_reduce path)
+    let t1 = Instant::now();
+    let opt = gncg_game::exact::exact_social_optimum(&ps, 1.0);
+    println!("exact_social_optimum: {:?}  best={}", t1.elapsed(), opt.social_cost);
+}

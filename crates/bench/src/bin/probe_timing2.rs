@@ -1,0 +1,61 @@
+//! Finer-grained timing probe (diagnostic).
+
+use gncg_geometry::generators;
+use gncg_graph::{dijkstra, Graph};
+use std::time::Instant;
+
+fn main() {
+    let ps = generators::uniform_unit_square(6, 15);
+    let n = 6usize;
+    let mut pairs = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            pairs.push((u, v));
+        }
+    }
+    let iters = 32768u64;
+
+    let t = Instant::now();
+    let mut acc = 0usize;
+    for mask in 0..iters {
+        let mut g = Graph::new(n);
+        for (bit, &(u, v)) in pairs.iter().enumerate() {
+            if mask & (1u64 << bit) != 0 {
+                g.add_edge(u, v, ps.dist(u, v));
+            }
+        }
+        acc += g.num_edges();
+    }
+    println!("graph build only: {:?} (acc {acc})", t.elapsed());
+
+    let g_full = Graph::complete(n, |i, j| ps.dist(i, j));
+    let t = Instant::now();
+    let mut s = 0.0;
+    for _ in 0..iters {
+        for u in 0..n {
+            s += dijkstra::distance_sum(&g_full, u);
+        }
+    }
+    println!("6 dijkstras x {iters}: {:?} (s {s})", t.elapsed());
+
+    let t = Instant::now();
+    let mut s2 = 0.0;
+    for _ in 0..iters {
+        s2 += gncg_graph::apsp::total_distance(&g_full);
+    }
+    println!("total_distance x {iters}: {:?} (s {s2})", t.elapsed());
+
+    let t = Instant::now();
+    let mut s3 = 0.0;
+    for _ in 0..iters {
+        s3 += g_full.total_weight();
+    }
+    println!("total_weight x {iters}: {:?} (s {s3})", t.elapsed());
+
+    let t = Instant::now();
+    let mut s4 = 0usize;
+    for _ in 0..iters {
+        s4 += gncg_parallel::num_threads();
+    }
+    println!("num_threads x {iters}: {:?} (s {s4})", t.elapsed());
+}

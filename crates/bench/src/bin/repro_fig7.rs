@@ -1,0 +1,110 @@
+//! Regenerate **Figure 7 / Theorem 4.3 / Lemma 4.2**: the geometric
+//! chain in ℝ¹ whose star equilibrium forces a PoA of at least
+//! `(3/5)·α^{2/3} − o(α^{2/3})`.
+
+use gncg_bench::{log_log_slope, Report};
+use gncg_game::{cost, exact, instances, moves};
+
+fn main() {
+    let mut rep = Report::new(
+        "fig7",
+        "Figure 7/Theorem 4.3/Lemma 4.2: 1-D geometric chain gives PoA >= (3/5)alpha^{2/3} - o(.)",
+    );
+
+    // Lemma 4.2: the closed-form identity (also unit-tested)
+    for &(n, alpha) in &[(10usize, 3.0), (25, 7.0), (40, 100.0)] {
+        let l = instances::lemma_4_2_lhs(n, alpha);
+        let r = instances::lemma_4_2_rhs(n, alpha);
+        rep.push(
+            format!("lemma n={n} alpha={alpha}"),
+            r,
+            l,
+            (l - r).abs() <= 1e-9 * l.abs().max(1.0),
+            "Lemma 4.2 identity",
+        );
+    }
+
+    // exact NE verification of the star at p0 for small chains
+    for &(n, alpha) in &[(8usize, 4.0), (12, 8.0)] {
+        let (ps, ne, _) = instances::chain(n, alpha);
+        let is_ne = exact::is_nash(&ps, &ne, alpha);
+        rep.push(
+            format!("n={n} alpha={alpha} exact NE"),
+            1.0,
+            if is_ne { 1.0 } else { 0.0 },
+            is_ne,
+            "star at p0 verified as exact NE",
+        );
+    }
+
+    // engine vs closed-form social costs
+    for &(n, alpha) in &[(10usize, 4.0), (20, 16.0)] {
+        let (ps, ne, opt) = instances::chain(n, alpha);
+        let e_ne = cost::social_cost(&ps, &ne, alpha);
+        let f_ne = instances::chain_ne_social_cost(n, alpha);
+        let e_opt = cost::social_cost(&ps, &opt, alpha);
+        let f_opt = instances::chain_opt_social_cost(n, alpha);
+        rep.push(
+            format!("n={n} alpha={alpha} SC(NE)"),
+            f_ne,
+            e_ne,
+            (e_ne - f_ne).abs() < 1e-6 * f_ne,
+            "engine matches closed form",
+        );
+        rep.push(
+            format!("n={n} alpha={alpha} SC(OPT)"),
+            f_opt,
+            e_opt,
+            (e_opt - f_opt).abs() < 1e-6 * f_opt,
+            "engine matches closed form",
+        );
+    }
+
+    // witness stability at the paper's n = alpha^{2/3} scaling, larger
+    // alphas (exact NE check is exponential, use local-search witness)
+    for &alpha in &[64.0f64, 216.0] {
+        let n = alpha.powf(2.0 / 3.0).round() as usize;
+        let (ps, ne, _) = instances::chain(n, alpha);
+        let witness = (0..ps.len())
+            .map(|u| moves::witness_improvement_factor(&ps, &ne, alpha, u))
+            .fold(1.0f64, f64::max);
+        rep.push(
+            format!("alpha={alpha} n={n} witness"),
+            1.0,
+            witness,
+            witness <= 1.0 + 1e-6,
+            "no single-move improvement against the star NE",
+        );
+    }
+
+    // PoA growth: ratio at n = alpha^{2/3} vs (3/5)alpha^{2/3}
+    let mut pts = Vec::new();
+    for &alpha in &[64.0f64, 216.0, 512.0, 1000.0, 4096.0, 32768.0] {
+        let n = alpha.powf(2.0 / 3.0).round() as usize;
+        let ratio = instances::chain_ne_social_cost(n, alpha)
+            / instances::chain_opt_social_cost(n, alpha);
+        let bound = instances::theorem_4_3_bound(alpha);
+        pts.push((alpha, ratio));
+        rep.push(
+            format!("alpha={alpha} n={n} PoA sample"),
+            bound,
+            ratio,
+            ratio >= 0.9 * bound,
+            "SC(NE)/SC(OPT) vs (3/5)alpha^{2/3} (asymptotic)",
+        );
+    }
+    let slope = log_log_slope(&pts);
+    rep.push(
+        "growth exponent (log-log fit)".into(),
+        2.0 / 3.0,
+        slope,
+        (slope - 2.0 / 3.0).abs() < 0.06,
+        "PoA grows as alpha^{2/3}",
+    );
+
+    rep.print();
+    let _ = rep.save();
+    if !rep.all_ok() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,170 @@
+//! Shared infrastructure for the paper-reproduction binaries and the
+//! Criterion benches.
+//!
+//! Each `repro_*` binary regenerates one table/figure of the paper and
+//! prints a self-describing report: the paper's claim, the measured
+//! quantity, and a PASS/FAIL verdict on the claim's *shape* (who wins,
+//! growth exponent, crossover). Reports are also dumped as JSON under
+//! `results/` so EXPERIMENTS.md tables can be regenerated.
+
+pub mod svg;
+
+use serde::Serialize;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// One row of an experiment report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Independent variables, e.g. `alpha=4 n=100`.
+    pub params: String,
+    /// The paper's predicted value or bound for this row.
+    pub paper: f64,
+    /// What we measured.
+    pub measured: f64,
+    /// Whether the row satisfies the claim being tested.
+    pub ok: bool,
+    /// Extra context.
+    pub note: String,
+}
+
+/// An experiment report: one section of Table 1 or one figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Experiment id, e.g. `thm_4_3` or `fig4`.
+    pub id: String,
+    /// Human description of the claim under test.
+    pub claim: String,
+    /// Data rows.
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    /// Start an empty report.
+    pub fn new(id: &str, claim: &str) -> Self {
+        Self {
+            id: id.to_string(),
+            claim: claim.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, params: String, paper: f64, measured: f64, ok: bool, note: &str) {
+        self.rows.push(Row {
+            params,
+            paper,
+            measured,
+            ok,
+            note: note.to_string(),
+        });
+    }
+
+    /// Did every row pass?
+    pub fn all_ok(&self) -> bool {
+        self.rows.iter().all(|r| r.ok)
+    }
+
+    /// Print the report as an aligned text table.
+    pub fn print(&self) {
+        println!("== {} ==", self.id);
+        println!("   {}", self.claim);
+        println!(
+            "   {:<38} {:>14} {:>14}  {:<4} {}",
+            "params", "paper", "measured", "ok", "note"
+        );
+        for r in &self.rows {
+            println!(
+                "   {:<38} {:>14.6} {:>14.6}  {:<4} {}",
+                r.params,
+                r.paper,
+                r.measured,
+                if r.ok { "PASS" } else { "FAIL" },
+                r.note
+            );
+        }
+        println!(
+            "   => {}",
+            if self.all_ok() { "ALL PASS" } else { "FAILURES PRESENT" }
+        );
+        println!();
+    }
+
+    /// Write the report as JSON under `results/<id>.json` (repo root
+    /// when run via `cargo run`, else the current directory).
+    pub fn save(&self) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(serde_json::to_string_pretty(self).unwrap().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// Resolve the `results/` output directory: `GNCG_RESULTS_DIR` override,
+/// else `<workspace>/results` when detectable, else `./results`.
+pub fn results_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("GNCG_RESULTS_DIR") {
+        return PathBuf::from(d);
+    }
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        // crates/bench -> workspace root two levels up
+        let p = PathBuf::from(manifest);
+        if let Some(root) = p.parent().and_then(|p| p.parent()) {
+            return root.join("results");
+        }
+    }
+    PathBuf::from("results")
+}
+
+/// Fit the slope of `log(y) ~ slope·log(x) + intercept` — the measured
+/// growth exponent for Figure 4 / Theorem 4.3 style claims.
+pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2);
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "log-log fit needs positive data");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_power_law() {
+        let pts: Vec<(f64, f64)> = (1..20)
+            .map(|i| {
+                let x = i as f64;
+                (x, 3.0 * x.powf(1.5))
+            })
+            .collect();
+        assert!((log_log_slope(&pts) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_of_constant_is_zero() {
+        let pts: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 7.0)).collect();
+        assert!(log_log_slope(&pts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let mut r = Report::new("test_report", "testing");
+        r.push("a=1".into(), 1.0, 1.1, true, "");
+        r.push("a=2".into(), 2.0, 1.9, true, "x");
+        assert!(r.all_ok());
+        r.push("a=3".into(), 3.0, 9.9, false, "bad");
+        assert!(!r.all_ok());
+    }
+}

@@ -1,0 +1,343 @@
+//! Exact best responses by subset enumeration.
+//!
+//! Computing a best response is NP-hard (Bilò et al.), so exact
+//! computation is exponential: we enumerate all `2^{n−1}` candidate
+//! strategies of an agent. Two ingredients make this practical up to
+//! n ≈ 20 (the scale where the paper's witness instances live):
+//!
+//! 1. **Decomposition.** A shortest path from `u` never revisits `u`, so
+//!    with `D` the APSP matrix of `G − u` (everyone else's edges only),
+//!    `d(u, v) = min_{x ∈ N} (‖u,x‖ + D[x][v])` where `N` is `u`'s
+//!    incident neighbour set (bought ∪ bought-towards-u). `D` is computed
+//!    once per agent, each candidate subset costs O(|N|·n).
+//! 2. **Parallel enumeration** over the mask space with
+//!    `gncg_parallel::parallel_reduce`.
+
+use crate::{cost, EdgeWeights, OwnedNetwork};
+use gncg_graph::{apsp, Graph};
+use std::collections::BTreeSet;
+
+/// Result of a best-response computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BestResponse {
+    /// The minimum achievable cost for the agent.
+    pub cost: f64,
+    /// A strategy achieving it (lowest mask among ties — deterministic).
+    pub strategy: BTreeSet<usize>,
+}
+
+/// Practical cap on exact enumeration: `2^{MAX_EXACT_AGENTS−1}` subsets.
+pub const MAX_EXACT_AGENTS: usize = 22;
+
+/// Precomputed state for evaluating *any* candidate strategy of a fixed
+/// agent `u` in O(|neighbours|·n), without rebuilding the network.
+///
+/// Key fact: a shortest path from `u` never revisits `u`, so with `D`
+/// the APSP matrix of `G − u` (all other agents' edges only),
+/// `d(u, v) = min_{x ∈ N} (‖u,x‖ + D[x][v])` where `N` is `u`'s set of
+/// incident neighbours (bought by `u` or bought towards `u`). Shared by
+/// the exact enumeration and the local-search move generator.
+pub struct ResponseEvaluator {
+    /// The agent being optimized.
+    pub agent: usize,
+    /// All other agents, ascending.
+    pub others: Vec<usize>,
+    /// Agents that bought an edge towards `agent` (fixed incident set).
+    pub fixed_incident: Vec<usize>,
+    /// APSP among the other agents (rows/cols indexed by agent id).
+    dist_rest: Vec<Vec<f64>>,
+    /// `‖u, v‖` for all v.
+    edge_w: Vec<f64>,
+}
+
+impl ResponseEvaluator {
+    /// Build the evaluator for agent `u` (runs n−1 Dijkstras once).
+    pub fn new<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, u: usize) -> Self {
+        let n = net.len();
+        assert!(u < n);
+        let mut rest = Graph::new(n);
+        let mut fixed_incident: Vec<usize> = Vec::new();
+        for a in 0..n {
+            if a == u {
+                continue;
+            }
+            for &b in net.strategy(a) {
+                if b == u {
+                    fixed_incident.push(a);
+                } else {
+                    rest.add_edge(a, b, w.weight(a, b));
+                }
+            }
+        }
+        fixed_incident.sort_unstable();
+        fixed_incident.dedup();
+        let dist_rest = apsp::all_pairs(&rest);
+        let others: Vec<usize> = (0..n).filter(|&v| v != u).collect();
+        let edge_w: Vec<f64> = (0..n)
+            .map(|v| if v == u { 0.0 } else { w.weight(u, v) })
+            .collect();
+        Self {
+            agent: u,
+            others,
+            fixed_incident,
+            dist_rest,
+            edge_w,
+        }
+    }
+
+    /// Cost of `agent` under the candidate strategy `bought` (an
+    /// iterator of agent ids to buy edges to).
+    pub fn cost<I: IntoIterator<Item = usize>>(&self, alpha: f64, bought: I) -> f64 {
+        let mut buy_cost = 0.0;
+        let mut neighbours: Vec<usize> = self.fixed_incident.clone();
+        for v in bought {
+            debug_assert!(v != self.agent);
+            buy_cost += self.edge_w[v];
+            neighbours.push(v);
+        }
+        if neighbours.is_empty() {
+            return f64::INFINITY;
+        }
+        let mut dist_sum = 0.0;
+        for &v in &self.others {
+            let mut best = f64::INFINITY;
+            for &x in &neighbours {
+                let via = self.edge_w[x] + self.dist_rest[x][v];
+                if via < best {
+                    best = via;
+                }
+            }
+            dist_sum += best;
+            if dist_sum.is_infinite() {
+                return f64::INFINITY;
+            }
+        }
+        alpha * buy_cost + dist_sum
+    }
+}
+
+/// Exact best response of agent `u` against the fixed strategies of all
+/// other agents in `net`.
+///
+/// Panics if `n > MAX_EXACT_AGENTS` — use
+/// [`crate::moves::local_search_response`] beyond that.
+pub fn exact_best_response<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+) -> BestResponse {
+    let n = net.len();
+    assert!(u < n);
+    assert!(
+        n <= MAX_EXACT_AGENTS,
+        "exact best response limited to {MAX_EXACT_AGENTS} agents (got {n})"
+    );
+    if n == 1 {
+        return BestResponse {
+            cost: 0.0,
+            strategy: BTreeSet::new(),
+        };
+    }
+
+    let eval = ResponseEvaluator::new(w, net, u);
+    let others = eval.others.clone();
+    let m = others.len();
+
+    let eval_mask = |mask: u64| -> f64 {
+        eval.cost(
+            alpha,
+            others
+                .iter()
+                .enumerate()
+                .filter(|(bit, _)| mask & (1u64 << bit) != 0)
+                .map(|(_, &v)| v),
+        )
+    };
+
+    let total_masks = 1u64 << m;
+    let (best_mask, best_cost) = gncg_parallel::parallel_reduce(
+        total_masks as usize,
+        || (u64::MAX, f64::INFINITY),
+        |acc, i| {
+            let c = eval_mask(i as u64);
+            if c < acc.1 || (c == acc.1 && (i as u64) < acc.0) {
+                (i as u64, c)
+            } else {
+                acc
+            }
+        },
+        |a, b| {
+            if b.1 < a.1 || (b.1 == a.1 && b.0 < a.0) {
+                b
+            } else {
+                a
+            }
+        },
+    );
+
+    let strategy: BTreeSet<usize> = others
+        .iter()
+        .enumerate()
+        .filter(|(bit, _)| best_mask & (1u64 << bit) != 0)
+        .map(|(_, &v)| v)
+        .collect();
+    BestResponse {
+        cost: best_cost,
+        strategy,
+    }
+}
+
+/// Exact improvement factor of agent `u`:
+/// `cost(u, G) / cost(u, best response)`.
+///
+/// Returns 1.0 when the best-response cost is 0 and the current cost is
+/// also 0 (degenerate co-located instances).
+pub fn exact_improvement_factor<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+) -> f64 {
+    let now = cost::agent_cost(w, net, alpha, u);
+    let br = exact_best_response(w, net, alpha, u);
+    ratio(now, br.cost)
+}
+
+/// `now / best`, mapping 0/0 to 1 and x/0 (x>0) to ∞.
+pub fn ratio(now: f64, best: f64) -> f64 {
+    if best > 0.0 {
+        now / best
+    } else if now <= 0.0 {
+        1.0
+    } else {
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_geometry::generators;
+
+    #[test]
+    fn best_response_on_line_center_star() {
+        // points 0,1,2 at x=0,1,2; alpha small: agent 1 in the middle of
+        // a star centred at 0 has nothing cheaper than staying put
+        let ps = generators::line(3, 2.0);
+        let net = OwnedNetwork::center_star(3, 0);
+        let br = exact_best_response(&ps, &net, 0.5, 1);
+        // agent 1 current cost: d=1 (to 0) + 3 (to 2 via 0) = 4
+        // buying edge to 2 (w=1) costs 0.5, distance becomes 1+1=2 => 2.5
+        assert!((br.cost - 2.5).abs() < 1e-9);
+        assert!(br.strategy.contains(&2));
+    }
+
+    #[test]
+    fn best_response_keeps_graph_connected_via_others() {
+        // if others already connect u, the empty strategy is feasible
+        let ps = generators::line(3, 2.0);
+        let mut net = OwnedNetwork::empty(3);
+        net.buy(0, 1);
+        net.buy(2, 1);
+        // agent 1 owns nothing and is connected: BR may be empty
+        let br = exact_best_response(&ps, &net, 10.0, 1);
+        assert!(br.strategy.is_empty());
+        assert!((br.cost - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isolated_agent_must_buy() {
+        let ps = generators::line(3, 2.0);
+        let mut net = OwnedNetwork::empty(3);
+        net.buy(0, 1); // 2 is isolated
+        let br = exact_best_response(&ps, &net, 1.0, 2);
+        assert!(!br.strategy.is_empty());
+        assert!(br.cost.is_finite());
+        // optimal: buy edge to 1 (w=1): cost 1*1 + (1 + 2) = 4
+        // vs buy edge to 0 (w=2): 2 + (2+3)=7; vs both: 3 + (1+2)=6
+        assert!((br.cost - 4.0).abs() < 1e-9);
+        assert_eq!(br.strategy.iter().copied().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn improvement_factor_of_stable_agent_is_one() {
+        let ps = generators::line(2, 1.0);
+        let mut net = OwnedNetwork::empty(2);
+        net.buy(0, 1);
+        // agent 1 pays only distance 1 and can do nothing better
+        let f = exact_improvement_factor(&ps, &net, 1.0, 1);
+        assert!((f - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brute_force_cross_check_small() {
+        // compare the decomposition-based enumeration against a naive
+        // "rebuild the whole graph per subset" evaluation
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for trial in 0..5 {
+            let n = 6;
+            let ps = generators::uniform_unit_square(n, 100 + trial);
+            let mut net = OwnedNetwork::empty(n);
+            for a in 0..n {
+                for b in 0..n {
+                    if a != b && rng.gen::<f64>() < 0.3 {
+                        net.buy(a, b);
+                    }
+                }
+            }
+            let alpha = 0.5 + rng.gen::<f64>() * 3.0;
+            for u in 0..n {
+                let fast = exact_best_response(&ps, &net, alpha, u);
+                let slow = naive_best_response(&ps, &net, alpha, u);
+                assert!(
+                    (fast.cost - slow).abs() < 1e-9,
+                    "trial {trial} agent {u}: fast {} vs slow {slow}",
+                    fast.cost
+                );
+            }
+        }
+    }
+
+    fn naive_best_response(
+        ps: &gncg_geometry::PointSet,
+        net: &OwnedNetwork,
+        alpha: f64,
+        u: usize,
+    ) -> f64 {
+        let n = net.len();
+        let others: Vec<usize> = (0..n).filter(|&v| v != u).collect();
+        let mut best = f64::INFINITY;
+        for mask in 0u64..(1 << others.len()) {
+            let mut trial = net.clone();
+            let strat: BTreeSet<usize> = others
+                .iter()
+                .enumerate()
+                .filter(|(bit, _)| mask & (1 << bit) != 0)
+                .map(|(_, &v)| v)
+                .collect();
+            trial.set_strategy(u, strat);
+            let c = cost::agent_cost(ps, &trial, alpha, u);
+            if c < best {
+                best = c;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn ratio_edge_cases() {
+        assert_eq!(ratio(0.0, 0.0), 1.0);
+        assert_eq!(ratio(5.0, 0.0), f64::INFINITY);
+        assert_eq!(ratio(4.0, 2.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to")]
+    fn too_many_agents_rejected() {
+        let ps = generators::uniform_unit_square(30, 1);
+        let net = OwnedNetwork::complete(30);
+        exact_best_response(&ps, &net, 1.0, 0);
+    }
+}

@@ -1,0 +1,331 @@
+//! (β, γ) certification.
+//!
+//! Exact β and γ are NP-hard, so the report combines three regimes:
+//!
+//! * **Sound upper bounds** (always computed): any strategy of agent `u`
+//!   costs at least `Σ_v lb(u,v)` (the distance cost can never beat the
+//!   metric lower bound), so
+//!   `β ≤ max_u cost(u,G)/Σ_v lb(u,v)`; similarly any connected network
+//!   has social cost at least `α·w(MST) + Σ_u Σ_v lb(u,v)`, so
+//!   `γ ≤ SC(G)/LB(OPT)`. Both are certificates: the true β/γ can only
+//!   be *smaller*.
+//! * **Witness lower bounds** (cheap, optional): local-search improving
+//!   moves certify `β ≥ witness` — how unstable the network provably is.
+//! * **Exact values** (exponential, optional): exact best responses
+//!   (n ≤ 22) and the exact social optimum (n ≤ 8).
+
+use crate::{best_response, cost, exact, moves, EdgeWeights, OwnedNetwork};
+use serde::Serialize;
+
+/// What the certifier should compute.
+#[derive(Debug, Clone, Copy)]
+pub struct CertifyOptions {
+    /// Compute exact β via exact best responses (exponential; silently
+    /// skipped — `beta_exact = None` — when n exceeds the enumeration
+    /// cap).
+    pub exact_beta: bool,
+    /// Compute exact γ via the exact social optimum (skipped when n
+    /// exceeds the enumeration cap).
+    pub exact_gamma: bool,
+    /// Compute the local-search instability witness.
+    pub witness: bool,
+}
+
+impl Default for CertifyOptions {
+    fn default() -> Self {
+        Self {
+            exact_beta: false,
+            exact_gamma: false,
+            witness: true,
+        }
+    }
+}
+
+impl CertifyOptions {
+    /// Everything exact (only sensible on small instances).
+    pub fn exact() -> Self {
+        Self {
+            exact_beta: true,
+            exact_gamma: true,
+            witness: true,
+        }
+    }
+
+    /// Bounds only (large instances).
+    pub fn bounds_only() -> Self {
+        Self {
+            exact_beta: false,
+            exact_gamma: false,
+            witness: false,
+        }
+    }
+}
+
+/// The certification report for a profile `s` on an instance.
+#[derive(Debug, Clone, Serialize)]
+pub struct CertifyReport {
+    /// Number of agents.
+    pub n: usize,
+    /// Edge price factor α.
+    pub alpha: f64,
+    /// Social cost of the profile.
+    pub social_cost: f64,
+    /// Whether the created network is connected.
+    pub connected: bool,
+    /// Sound upper bound on β (the profile is a β-NE for this β).
+    pub beta_upper: f64,
+    /// Exact β, when requested.
+    pub beta_exact: Option<f64>,
+    /// Certified lower bound on β from local-search witnesses (≥ 1);
+    /// 1.0 when not requested.
+    pub beta_witness: f64,
+    /// Certified lower bound on the social optimum's cost.
+    pub opt_lower_bound: f64,
+    /// Exact optimum social cost, when requested.
+    pub opt_exact: Option<f64>,
+    /// Sound upper bound on γ = SC(G)/SC(OPT).
+    pub gamma_upper: f64,
+    /// Exact γ, when requested.
+    pub gamma_exact: Option<f64>,
+}
+
+/// Certified lower bound on the social optimum:
+/// `α·w(MST) + Σ_u Σ_{v≠u} lb(u, v)`.
+///
+/// Every connected network's edge set weighs at least the MST of the
+/// buildable edges, and no network brings a pair closer than the metric
+/// lower bound.
+pub fn optimum_lower_bound<W: EdgeWeights + ?Sized>(w: &W, alpha: f64) -> f64 {
+    let n = w.len();
+    let mst: f64 = gncg_graph::mst::prim_dense(n, |i, j| w.weight(i, j))
+        .iter()
+        .map(|&(_, _, x)| x)
+        .sum();
+    let mut direct = 0.0;
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                direct += w.metric_lower_bound(u, v);
+            }
+        }
+    }
+    alpha * mst + direct
+}
+
+/// Sound upper bound on an agent's improvement factor.
+///
+/// Any strategy of `u` has distance cost at least `Σ_v lb(u, v)`.
+/// For the edge cost, consider `G⁻`: the created network with all of
+/// `u`'s *bought* edges removed (other agents' edges stay). Let `C_0`
+/// be `u`'s component of `G⁻` and `C_1, …, C_k` the others. Every edge
+/// of `G` between different components was bought by `u` (it is
+/// incident to `u`), so after any deviation, reaching `C_i` requires a
+/// *newly bought* edge from `u` directly into `C_i`. Hence
+///
+/// ```text
+/// BR_u ≥ α·Σ_{i≥1} min_{v ∈ C_i} w(u, v) + Σ_v lb(u, v)
+/// ```
+///
+/// and `β_u ≤ cost(u, G)/BR_u`. On an MST profile the cut property
+/// turns this into exactly the Theorem 3.9 accounting (the replacement
+/// edge is never cheaper than the tree edge); on grids it certifies the
+/// Theorem 3.13 bound at every α.
+pub fn agent_beta_upper<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+) -> f64 {
+    let n = w.len();
+    let now = cost::agent_cost(w, net, alpha, u);
+    let mut lb: f64 = (0..n)
+        .filter(|&v| v != u)
+        .map(|v| w.metric_lower_bound(u, v))
+        .sum();
+    // components of the created network minus u's bought edges
+    let mut reduced = net.clone();
+    let sold: Vec<usize> = reduced.strategy(u).iter().copied().collect();
+    for v in sold {
+        reduced.sell(u, v);
+    }
+    let g_minus = reduced.graph(w);
+    let (labels, k) = gncg_graph::components::components(&g_minus);
+    if k > 1 {
+        let mut min_into = vec![f64::INFINITY; k];
+        for v in 0..n {
+            if v != u {
+                let c = labels[v];
+                let wv = w.weight(u, v);
+                if wv < min_into[c] {
+                    min_into[c] = wv;
+                }
+            }
+        }
+        for (c, &m) in min_into.iter().enumerate() {
+            if c != labels[u] && m.is_finite() {
+                lb += alpha * m;
+            }
+        }
+    }
+    best_response::ratio(now, lb)
+}
+
+/// Produce the full certification report.
+pub fn certify<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    opts: CertifyOptions,
+) -> CertifyReport {
+    let n = net.len();
+    assert_eq!(n, w.len());
+    let g = net.graph(w);
+    let connected = gncg_graph::components::is_connected(&g);
+    let social = cost::social_cost(w, net, alpha);
+
+    let beta_uppers = gncg_parallel::parallel_map(n, |u| agent_beta_upper(w, net, alpha, u));
+    let beta_upper = beta_uppers.into_iter().fold(1.0f64, f64::max);
+
+    let beta_exact = if opts.exact_beta && n <= best_response::MAX_EXACT_AGENTS {
+        Some(exact::exact_beta(w, net, alpha))
+    } else {
+        None
+    };
+
+    let beta_witness = if opts.witness {
+        let ws = gncg_parallel::parallel_map(n, |u| {
+            moves::witness_improvement_factor(w, net, alpha, u)
+        });
+        ws.into_iter().fold(1.0f64, f64::max)
+    } else {
+        1.0
+    };
+
+    let opt_lb = optimum_lower_bound(w, alpha);
+    let opt_exact = if opts.exact_gamma && n <= exact::MAX_EXACT_OPT_AGENTS {
+        Some(exact::exact_social_optimum(w, alpha).social_cost)
+    } else {
+        None
+    };
+    let gamma_upper = best_response::ratio(social, opt_lb);
+    let gamma_exact = opt_exact.map(|o| best_response::ratio(social, o));
+
+    CertifyReport {
+        n,
+        alpha,
+        social_cost: social,
+        connected,
+        beta_upper,
+        beta_exact,
+        beta_witness,
+        opt_lower_bound: opt_lb,
+        opt_exact,
+        gamma_upper,
+        gamma_exact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_geometry::generators;
+
+    #[test]
+    fn exact_beta_never_exceeds_upper_bound() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+        for trial in 0..3 {
+            let n = 6;
+            let ps = generators::uniform_unit_square(n, 900 + trial);
+            let mut net = OwnedNetwork::empty(n);
+            for a in 1..n {
+                net.buy(a, rng.gen_range(0..a));
+            }
+            let alpha = 0.5 + rng.gen::<f64>() * 2.0;
+            let r = certify(&ps, &net, alpha, CertifyOptions::exact());
+            let be = r.beta_exact.unwrap();
+            assert!(
+                be <= r.beta_upper + 1e-9,
+                "trial {trial}: exact beta {be} > upper {}",
+                r.beta_upper
+            );
+            assert!(
+                r.beta_witness <= be + 1e-9,
+                "trial {trial}: witness {} > exact {be}",
+                r.beta_witness
+            );
+        }
+    }
+
+    #[test]
+    fn exact_gamma_never_exceeds_upper_bound() {
+        let ps = generators::uniform_unit_square(6, 33);
+        let net = OwnedNetwork::complete(6);
+        let r = certify(&ps, &net, 1.0, CertifyOptions::exact());
+        let ge = r.gamma_exact.unwrap();
+        assert!(ge <= r.gamma_upper + 1e-9);
+        assert!(ge >= 1.0 - 1e-9);
+        assert!(r.opt_exact.unwrap() >= r.opt_lower_bound - 1e-9);
+    }
+
+    #[test]
+    fn report_flags_disconnection() {
+        let ps = generators::line(3, 2.0);
+        let mut net = OwnedNetwork::empty(3);
+        net.buy(0, 1);
+        let r = certify(&ps, &net, 1.0, CertifyOptions::bounds_only());
+        assert!(!r.connected);
+        assert!(r.social_cost.is_infinite());
+        assert!(r.beta_upper.is_infinite());
+    }
+
+    #[test]
+    fn two_point_edge_certifies_cleanly() {
+        let ps = generators::line(2, 1.0);
+        let mut net = OwnedNetwork::empty(2);
+        net.buy(0, 1);
+        let r = certify(&ps, &net, 1.0, CertifyOptions::exact());
+        assert!(r.connected);
+        // SC = alpha + 2 = 3, OPT the same
+        assert!((r.social_cost - 3.0).abs() < 1e-12);
+        assert!((r.gamma_exact.unwrap() - 1.0).abs() < 1e-9);
+        assert!((r.beta_exact.unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimum_lower_bound_is_sound_random() {
+        for seed in 0..3 {
+            let ps = generators::uniform_unit_square(6, seed);
+            for alpha in [0.3, 1.0, 5.0] {
+                let lb = optimum_lower_bound(&ps, alpha);
+                let opt = exact::exact_social_optimum(&ps, alpha).social_cost;
+                assert!(lb <= opt + 1e-9, "seed {seed} alpha {alpha}: {lb} > {opt}");
+            }
+        }
+    }
+
+    #[test]
+    fn complete_network_gamma_bound_matches_theorem_3_5_shape() {
+        // Theorem 3.5: K is a (α+1, α/2+1)-network. The certified upper
+        // bounds must respect those theoretical caps on metric inputs.
+        for seed in 0..3 {
+            let ps = generators::uniform_unit_square(12, seed + 50);
+            for alpha in [0.5, 1.0, 4.0] {
+                let net = OwnedNetwork::complete(12);
+                let r = certify(&ps, &net, alpha, CertifyOptions::default());
+                assert!(
+                    r.beta_upper <= alpha + 1.0 + 1e-9,
+                    "beta_upper {} vs alpha+1 {}",
+                    r.beta_upper,
+                    alpha + 1.0
+                );
+                assert!(
+                    r.gamma_upper <= alpha / 2.0 + 1.0 + 1e-9,
+                    "gamma_upper {} vs alpha/2+1 {}",
+                    r.gamma_upper,
+                    alpha / 2.0 + 1.0
+                );
+            }
+        }
+    }
+}

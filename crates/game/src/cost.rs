@@ -1,0 +1,143 @@
+//! Cost evaluation: per-agent cost, distance cost, social cost.
+
+use crate::{EdgeWeights, OwnedNetwork};
+use gncg_graph::{apsp, dijkstra, Graph};
+
+/// Edge cost `α·‖u, S_u‖` of agent `u`.
+pub fn edge_cost<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+) -> f64 {
+    alpha
+        * net
+            .strategy(u)
+            .iter()
+            .map(|&v| w.weight(u, v))
+            .sum::<f64>()
+}
+
+/// Distance cost `d_G(u, P)` of agent `u` (`INFINITY` when the created
+/// network does not connect `u` to everyone).
+pub fn distance_cost<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, u: usize) -> f64 {
+    let g = net.graph(w);
+    dijkstra::distance_sum(&g, u)
+}
+
+/// Full cost of agent `u`: `α·‖u,S_u‖ + d_G(u, P)`.
+pub fn agent_cost<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+) -> f64 {
+    edge_cost(w, net, alpha, u) + distance_cost(w, net, u)
+}
+
+/// Agent cost against a pre-built graph (avoids rebuilding `G(s)` in
+/// inner loops; `g` must equal `net.graph(w)`).
+pub fn agent_cost_in_graph<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    g: &Graph,
+    alpha: f64,
+    u: usize,
+) -> f64 {
+    edge_cost(w, net, alpha, u) + dijkstra::distance_sum(g, u)
+}
+
+/// Cost vector of all agents, distance sums computed in parallel.
+pub fn all_costs<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64) -> Vec<f64> {
+    let g = net.graph(w);
+    let dists = apsp::distance_sums(&g);
+    (0..net.len())
+        .map(|u| edge_cost(w, net, alpha, u) + dists[u])
+        .collect()
+}
+
+/// Social cost `SC(G(s)) = Σ_u cost(u)`.
+pub fn social_cost<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64) -> f64 {
+    all_costs(w, net, alpha).iter().sum()
+}
+
+/// Social cost of a bare network (ownership-independent form):
+/// `α·Σ_{e∈E} w(e) + Σ_u d_G(u, P)`. Equal to [`social_cost`] whenever
+/// each edge is bought exactly once.
+pub fn social_cost_of_graph(g: &Graph, alpha: f64) -> f64 {
+    alpha * g.total_weight() + apsp::total_distance(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_geometry::generators;
+
+    #[test]
+    fn star_costs_on_line() {
+        // points at 0, 1, 2; agent 0 buys edges to 1 and 2
+        let ps = generators::line(3, 2.0);
+        let net = OwnedNetwork::center_star(3, 0);
+        let alpha = 2.0;
+        // edge cost of 0: 2*(1+2) = 6; distance cost: 1+2 = 3
+        assert!((agent_cost(&ps, &net, alpha, 0) - 9.0).abs() < 1e-12);
+        // agent 1: no edges; distances 1 (to 0) + 3 (to 2 via 0)
+        assert!((agent_cost(&ps, &net, alpha, 1) - 4.0).abs() < 1e-12);
+        // agent 2: distances 2 + 3
+        assert!((agent_cost(&ps, &net, alpha, 2) - 5.0).abs() < 1e-12);
+        assert!((social_cost(&ps, &net, alpha) - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_costs_matches_individual() {
+        let ps = generators::uniform_unit_square(15, 3);
+        let net = OwnedNetwork::complete(15);
+        let alpha = 1.5;
+        let batch = all_costs(&ps, &net, alpha);
+        for u in 0..15 {
+            assert!((batch[u] - agent_cost(&ps, &net, alpha, u)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn disconnected_network_is_infinitely_costly() {
+        let ps = generators::line(3, 2.0);
+        let mut net = OwnedNetwork::empty(3);
+        net.buy(0, 1);
+        assert!(distance_cost(&ps, &net, 0).is_infinite());
+        assert!(social_cost(&ps, &net, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn social_cost_of_graph_matches_profile_form() {
+        let ps = generators::uniform_unit_square(10, 9);
+        let net = OwnedNetwork::complete(10);
+        let g = net.graph(&ps);
+        let a = social_cost(&ps, &net, 2.5);
+        let b = social_cost_of_graph(&g, 2.5);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn double_bought_edge_charged_twice_in_social_cost() {
+        let ps = generators::line(2, 1.0);
+        let mut net = OwnedNetwork::empty(2);
+        net.buy(0, 1);
+        net.buy(1, 0);
+        let alpha = 3.0;
+        // each agent pays 3; distances 1 each
+        assert!((social_cost(&ps, &net, alpha) - (6.0 + 2.0)).abs() < 1e-12);
+        // graph form counts the edge once — deliberately different
+        let g = net.graph(&ps);
+        assert!((social_cost_of_graph(&g, alpha) - (3.0 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_cost_scales_with_alpha() {
+        let ps = generators::line(3, 2.0);
+        let net = OwnedNetwork::forward_path(3);
+        assert!((edge_cost(&ps, &net, 4.0, 0) - 4.0).abs() < 1e-12);
+        assert!((edge_cost(&ps, &net, 8.0, 0) - 8.0).abs() < 1e-12);
+        assert_eq!(edge_cost(&ps, &net, 8.0, 2), 0.0);
+    }
+}

@@ -1,0 +1,370 @@
+//! Response dynamics and the finite-improvement-property (FIP) study.
+//!
+//! Theorem 3.1: the ℝᵈ-GNCG with d ≥ 2 has no FIP — iterated best
+//! responses can cycle. The paper proves this with a hand-built best
+//! response cycle (Figure 2 right) whose coordinates are not printed;
+//! we reproduce the claim by *searching* for cycles: run the dynamics
+//! with canonical state hashing and report the first revisited state.
+
+use crate::{best_response, cost, moves, EdgeWeights, OwnedNetwork};
+use std::collections::HashMap;
+
+/// Which response oracle the dynamics use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ResponseRule {
+    /// Exact best responses (exponential per step; n ≤ 22).
+    BestResponse,
+    /// Best single add/drop/swap move (polynomial) — *improving response
+    /// dynamics*.
+    BestSingleMove,
+}
+
+/// In which order agents are probed for improving moves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AgentOrder {
+    /// `0, 1, …, n−1` repeatedly (the default of [`run`]).
+    RoundRobin,
+    /// A fresh uniformly random permutation every round (seeded).
+    RandomPermutation(u64),
+    /// Each step activates the agent with the largest available cost
+    /// improvement (the "max-gain" schedule from the dynamics
+    /// literature). Expensive: evaluates every agent's move per step.
+    MaxGain,
+}
+
+/// Outcome of a dynamics run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// No agent had an improving move: `state` is a Nash equilibrium
+    /// w.r.t. the chosen rule, reached after `steps` strategy changes.
+    Converged { state: OwnedNetwork, steps: usize },
+    /// A previously seen state recurred: the segment
+    /// `history[cycle_start..]` is a response cycle.
+    Cycle {
+        history: Vec<OwnedNetwork>,
+        cycle_start: usize,
+    },
+    /// Step budget exhausted without convergence or a detected cycle.
+    Exhausted { state: OwnedNetwork, steps: usize },
+}
+
+/// Run response dynamics from `start` with round-robin activation.
+///
+/// Agents are probed round-robin; a *round* with no strategy change
+/// means convergence. After every accepted change the canonical profile
+/// is hashed: a repeat is returned as a [`Outcome::Cycle`].
+pub fn run<W: EdgeWeights + ?Sized>(
+    w: &W,
+    start: &OwnedNetwork,
+    alpha: f64,
+    rule: ResponseRule,
+    max_steps: usize,
+) -> Outcome {
+    run_ordered(w, start, alpha, rule, AgentOrder::RoundRobin, max_steps)
+}
+
+/// Run response dynamics with an explicit activation order.
+pub fn run_ordered<W: EdgeWeights + ?Sized>(
+    w: &W,
+    start: &OwnedNetwork,
+    alpha: f64,
+    rule: ResponseRule,
+    order: AgentOrder,
+    max_steps: usize,
+) -> Outcome {
+    match order {
+        AgentOrder::RoundRobin => run_with_rounds(w, start, alpha, rule, max_steps, None),
+        AgentOrder::RandomPermutation(seed) => {
+            run_with_rounds(w, start, alpha, rule, max_steps, Some(seed))
+        }
+        AgentOrder::MaxGain => run_max_gain(w, start, alpha, rule, max_steps),
+    }
+}
+
+fn response_for<W: EdgeWeights + ?Sized>(
+    w: &W,
+    state: &OwnedNetwork,
+    alpha: f64,
+    rule: ResponseRule,
+    u: usize,
+) -> Option<(std::collections::BTreeSet<usize>, f64)> {
+    let now = cost::agent_cost(w, state, alpha, u);
+    match rule {
+        ResponseRule::BestResponse => {
+            let br = best_response::exact_best_response(w, state, alpha, u);
+            gncg_geometry::definitely_less(br.cost, now).then(|| (br.strategy, now - br.cost))
+        }
+        ResponseRule::BestSingleMove => moves::best_single_move(w, state, alpha, u)
+            .map(|m| (m.strategy, now - m.cost)),
+    }
+}
+
+fn run_max_gain<W: EdgeWeights + ?Sized>(
+    w: &W,
+    start: &OwnedNetwork,
+    alpha: f64,
+    rule: ResponseRule,
+    max_steps: usize,
+) -> Outcome {
+    let n = start.len();
+    let mut state = start.clone();
+    let mut seen: HashMap<Vec<Vec<usize>>, usize> = HashMap::new();
+    let mut history = vec![state.clone()];
+    seen.insert(state.canonical_key(), 0);
+    for steps in 0..max_steps {
+        // pick the agent with the largest improvement
+        let candidates = gncg_parallel::parallel_map(n, |u| response_for(w, &state, alpha, rule, u));
+        let best = candidates
+            .into_iter()
+            .enumerate()
+            .filter_map(|(u, c)| c.map(|(s, gain)| (u, s, gain)))
+            .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
+        match best {
+            None => return Outcome::Converged { state, steps },
+            Some((u, strategy, _)) => {
+                state.set_strategy(u, strategy);
+                let key = state.canonical_key();
+                if let Some(&first) = seen.get(&key) {
+                    history.push(state.clone());
+                    return Outcome::Cycle {
+                        history,
+                        cycle_start: first,
+                    };
+                }
+                seen.insert(key, history.len());
+                history.push(state.clone());
+            }
+        }
+    }
+    Outcome::Exhausted {
+        state,
+        steps: max_steps,
+    }
+}
+
+fn run_with_rounds<W: EdgeWeights + ?Sized>(
+    w: &W,
+    start: &OwnedNetwork,
+    alpha: f64,
+    rule: ResponseRule,
+    max_steps: usize,
+    shuffle_seed: Option<u64>,
+) -> Outcome {
+    let n = start.len();
+    let mut state = start.clone();
+    let mut seen: HashMap<Vec<Vec<usize>>, usize> = HashMap::new();
+    let mut history: Vec<OwnedNetwork> = vec![state.clone()];
+    seen.insert(state.canonical_key(), 0);
+    let mut steps = 0usize;
+    // tiny xorshift for the shuffled schedule (rand is a dev-dependency
+    // only; the dynamics must stay deterministic given the seed anyway)
+    let mut rng_state = shuffle_seed.unwrap_or(0) | 1;
+    let mut next_u64 = move || {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state
+    };
+
+    let mut order: Vec<usize> = (0..n).collect();
+    loop {
+        if shuffle_seed.is_some() {
+            // Fisher–Yates with the xorshift stream
+            for i in (1..n).rev() {
+                let j = (next_u64() % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+        }
+        let mut changed = false;
+        for &u in &order {
+            if steps >= max_steps {
+                return Outcome::Exhausted { state, steps };
+            }
+            if let Some((strategy, _)) = response_for(w, &state, alpha, rule, u) {
+                state.set_strategy(u, strategy);
+                steps += 1;
+                changed = true;
+                let key = state.canonical_key();
+                if let Some(&first) = seen.get(&key) {
+                    history.push(state.clone());
+                    return Outcome::Cycle {
+                        history,
+                        cycle_start: first,
+                    };
+                }
+                seen.insert(key, history.len());
+                history.push(state.clone());
+            }
+        }
+        if !changed {
+            return Outcome::Converged { state, steps };
+        }
+    }
+}
+
+/// Search uniformly random instances in the unit square for a response
+/// cycle (the empirical Theorem 3.1 witness). Returns the first instance
+/// seed and cycle found.
+pub fn search_for_cycle(
+    n: usize,
+    alpha: f64,
+    rule: ResponseRule,
+    seeds: std::ops::Range<u64>,
+    max_steps: usize,
+) -> Option<(u64, Vec<OwnedNetwork>, usize)> {
+    for seed in seeds {
+        let ps = gncg_geometry::generators::uniform_unit_square(n, seed);
+        let start = OwnedNetwork::center_star(n, 0);
+        if let Outcome::Cycle {
+            history,
+            cycle_start,
+        } = run(&ps, &start, alpha, rule, max_steps)
+        {
+            return Some((seed, history, cycle_start));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_geometry::generators;
+
+    #[test]
+    fn dynamics_converge_on_two_points() {
+        let ps = generators::line(2, 1.0);
+        let start = OwnedNetwork::empty(2);
+        match run(&ps, &start, 1.0, ResponseRule::BestResponse, 100) {
+            Outcome::Converged { state, .. } => {
+                assert!(state.has_edge(0, 1));
+                assert!(crate::exact::is_nash(&ps, &state, 1.0));
+            }
+            other => panic!("expected convergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn converged_state_is_nash_small_random() {
+        for seed in 0..3u64 {
+            let ps = generators::uniform_unit_square(5, seed);
+            let start = OwnedNetwork::empty(5);
+            match run(&ps, &start, 1.0, ResponseRule::BestResponse, 500) {
+                Outcome::Converged { state, .. } => {
+                    assert!(
+                        crate::exact::is_nash(&ps, &state, 1.0),
+                        "seed {seed}: converged state not Nash"
+                    );
+                }
+                Outcome::Cycle { .. } => { /* also a legitimate outcome */ }
+                Outcome::Exhausted { .. } => panic!("seed {seed}: budget too small"),
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let ps = generators::uniform_unit_square(6, 3);
+        let start = OwnedNetwork::empty(6);
+        match run(&ps, &start, 1.0, ResponseRule::BestResponse, 1) {
+            Outcome::Exhausted { steps, .. } => assert_eq!(steps, 1),
+            Outcome::Converged { steps, .. } => assert!(steps <= 1),
+            Outcome::Cycle { .. } => panic!("cannot cycle after one step"),
+        }
+    }
+
+    #[test]
+    fn single_move_dynamics_run() {
+        let ps = generators::uniform_unit_square(8, 11);
+        let start = OwnedNetwork::center_star(8, 0);
+        let out = run(&ps, &start, 1.0, ResponseRule::BestSingleMove, 2000);
+        match out {
+            Outcome::Converged { state, .. } => {
+                let g = state.graph(&ps);
+                assert!(gncg_graph::components::is_connected(&g));
+            }
+            Outcome::Cycle { history, cycle_start } => {
+                assert!(cycle_start < history.len());
+                assert_eq!(
+                    history[cycle_start].canonical_key(),
+                    history.last().unwrap().canonical_key()
+                );
+            }
+            Outcome::Exhausted { .. } => {}
+        }
+    }
+
+    #[test]
+    fn random_permutation_order_converges_to_nash() {
+        let ps = generators::uniform_unit_square(5, 7);
+        let start = OwnedNetwork::empty(5);
+        if let Outcome::Converged { state, .. } = run_ordered(
+            &ps,
+            &start,
+            1.0,
+            ResponseRule::BestResponse,
+            AgentOrder::RandomPermutation(99),
+            500,
+        ) {
+            assert!(crate::exact::is_nash(&ps, &state, 1.0));
+        }
+    }
+
+    #[test]
+    fn max_gain_order_converges_to_nash() {
+        let ps = generators::uniform_unit_square(5, 13);
+        let start = OwnedNetwork::empty(5);
+        match run_ordered(
+            &ps,
+            &start,
+            1.0,
+            ResponseRule::BestResponse,
+            AgentOrder::MaxGain,
+            500,
+        ) {
+            Outcome::Converged { state, .. } => {
+                assert!(crate::exact::is_nash(&ps, &state, 1.0));
+            }
+            Outcome::Cycle { .. } => {}
+            Outcome::Exhausted { .. } => panic!("budget too small"),
+        }
+    }
+
+    #[test]
+    fn shuffled_dynamics_deterministic_given_seed() {
+        let ps = generators::uniform_unit_square(5, 21);
+        let start = OwnedNetwork::center_star(5, 0);
+        let a = run_ordered(
+            &ps,
+            &start,
+            1.0,
+            ResponseRule::BestSingleMove,
+            AgentOrder::RandomPermutation(5),
+            200,
+        );
+        let b = run_ordered(
+            &ps,
+            &start,
+            1.0,
+            ResponseRule::BestSingleMove,
+            AgentOrder::RandomPermutation(5),
+            200,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn history_cycle_endpoints_match_when_cycling() {
+        // deterministic miniature: two co-located pairs can oscillate in
+        // ownership only if a move strictly improves, so we merely check
+        // the invariant on whatever outcome occurs over a seed range
+        if let Some((_, history, start)) =
+            search_for_cycle(4, 1.0, ResponseRule::BestResponse, 0..20, 300)
+        {
+            assert_eq!(
+                history[start].canonical_key(),
+                history.last().unwrap().canonical_key()
+            );
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Exact solvers: social optimum by edge-subset enumeration, exact Nash
+//! verification, exact β.
+//!
+//! The social cost of a network does not depend on edge ownership (each
+//! edge is paid once), so the social optimum is a minimum over the
+//! `2^{n(n−1)/2}` subsets of potential edges — feasible to n = 7
+//! (2,097,152 candidate graphs), parallelized over the mask space. This
+//! is the ground truth the certified bounds are validated against in
+//! tests, and the exact γ used on the paper's small witness instances.
+
+use crate::{best_response, cost, EdgeWeights, OwnedNetwork};
+use gncg_graph::Graph;
+
+/// Practical cap for exact social-optimum enumeration: n = 7 means
+/// 2^21 ≈ 2M candidate graphs; n = 8 would already be 2^28 ≈ 268M.
+pub const MAX_EXACT_OPT_AGENTS: usize = 7;
+
+/// Result of the exact social-optimum search.
+#[derive(Debug, Clone)]
+pub struct ExactOptimum {
+    /// The optimal network (ownership-free).
+    pub graph: Graph,
+    /// Its social cost `α·w(E) + Σ_u d(u, P)`.
+    pub social_cost: f64,
+}
+
+/// Exhaustively compute the social optimum network `OPT_P`.
+///
+/// Panics when `n > MAX_EXACT_OPT_AGENTS`.
+pub fn exact_social_optimum<W: EdgeWeights + ?Sized>(w: &W, alpha: f64) -> ExactOptimum {
+    let n = w.len();
+    assert!(
+        n <= MAX_EXACT_OPT_AGENTS,
+        "exact optimum limited to {MAX_EXACT_OPT_AGENTS} agents (got {n})"
+    );
+    let mut pairs = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            pairs.push((u, v));
+        }
+    }
+    let m = pairs.len();
+    let masks = 1u64 << m;
+
+    let eval = |mask: u64| -> f64 {
+        let mut g = Graph::new(n);
+        for (bit, &(u, v)) in pairs.iter().enumerate() {
+            if mask & (1u64 << bit) != 0 {
+                g.add_edge(u, v, w.weight(u, v));
+            }
+        }
+        cost::social_cost_of_graph(&g, alpha)
+    };
+
+    let (best_mask, best_cost) = gncg_parallel::parallel_reduce(
+        masks as usize,
+        || (u64::MAX, f64::INFINITY),
+        |acc, i| {
+            let c = eval(i as u64);
+            if c < acc.1 || (c == acc.1 && (i as u64) < acc.0) {
+                (i as u64, c)
+            } else {
+                acc
+            }
+        },
+        |a, b| {
+            if b.1 < a.1 || (b.1 == a.1 && b.0 < a.0) {
+                b
+            } else {
+                a
+            }
+        },
+    );
+
+    let mut graph = Graph::new(n);
+    for (bit, &(u, v)) in pairs.iter().enumerate() {
+        if best_mask & (1u64 << bit) != 0 {
+            graph.add_edge(u, v, w.weight(u, v));
+        }
+    }
+    ExactOptimum {
+        graph,
+        social_cost: best_cost,
+    }
+}
+
+/// Exact β of a profile: the maximum over agents of
+/// `cost(u, G)/cost(u, best response)`. Exponential per agent.
+pub fn exact_beta<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64) -> f64 {
+    let factors = gncg_parallel::parallel_map(net.len(), |u| {
+        best_response::exact_improvement_factor(w, net, alpha, u)
+    });
+    factors.into_iter().fold(1.0, f64::max)
+}
+
+/// Is the profile an exact (pure) Nash equilibrium? True iff no agent can
+/// improve beyond floating-point noise.
+pub fn is_nash<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64) -> bool {
+    (0..net.len()).all(|u| {
+        let now = cost::agent_cost(w, net, alpha, u);
+        let br = best_response::exact_best_response(w, net, alpha, u);
+        !gncg_geometry::definitely_less(br.cost, now)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_geometry::generators;
+
+    #[test]
+    fn optimum_on_two_points_is_single_edge() {
+        let ps = generators::line(2, 3.0);
+        let opt = exact_social_optimum(&ps, 1.0);
+        assert_eq!(opt.graph.num_edges(), 1);
+        // SC = alpha*3 + 2*3 = 9
+        assert!((opt.social_cost - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimum_never_uses_dominated_edges() {
+        // three collinear points: the long edge 0-2 is never optimal for
+        // large alpha
+        let ps = generators::line(3, 2.0);
+        let opt = exact_social_optimum(&ps, 10.0);
+        assert!(opt.graph.has_edge(0, 1));
+        assert!(opt.graph.has_edge(1, 2));
+        assert!(!opt.graph.has_edge(0, 2));
+    }
+
+    #[test]
+    fn optimum_is_complete_for_tiny_alpha() {
+        let ps = generators::uniform_unit_square(5, 8);
+        let opt = exact_social_optimum(&ps, 1e-6);
+        assert_eq!(opt.graph.num_edges(), 10);
+    }
+
+    #[test]
+    fn optimum_beats_mst_and_complete() {
+        let ps = generators::uniform_unit_square(6, 15);
+        for alpha in [0.5, 2.0, 8.0] {
+            let opt = exact_social_optimum(&ps, alpha);
+            let mst = gncg_graph::mst::euclidean_mst(&ps);
+            let complete = Graph::complete(6, |i, j| ps.dist(i, j));
+            assert!(
+                opt.social_cost <= cost::social_cost_of_graph(&mst, alpha) + 1e-9,
+                "alpha {alpha}"
+            );
+            assert!(
+                opt.social_cost <= cost::social_cost_of_graph(&complete, alpha) + 1e-9,
+                "alpha {alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_point_star_is_nash() {
+        let ps = generators::line(2, 1.0);
+        let mut net = OwnedNetwork::empty(2);
+        net.buy(0, 1);
+        assert!(is_nash(&ps, &net, 1.0));
+        assert!((exact_beta(&ps, &net, 1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unstable_profile_detected() {
+        // middle agent of the line star can improve at small alpha
+        let ps = generators::line(3, 2.0);
+        let net = OwnedNetwork::center_star(3, 0);
+        assert!(!is_nash(&ps, &net, 0.1));
+        assert!(exact_beta(&ps, &net, 0.1) > 1.0);
+    }
+
+    #[test]
+    fn empty_profile_is_not_nash() {
+        let ps = generators::line(3, 2.0);
+        let net = OwnedNetwork::empty(3);
+        // everyone has infinite cost; buying an edge is an improvement
+        assert!(!is_nash(&ps, &net, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to")]
+    fn too_many_agents_for_exact_opt() {
+        let ps = generators::uniform_unit_square(12, 1);
+        exact_social_optimum(&ps, 1.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! The (Euclidean) Generalized Network Creation Game.
+//!
+//! Agents `0..n` correspond to points in ℝᵈ (or to nodes of a weighted
+//! host network — see the [`EdgeWeights`] abstraction). Each agent `u`
+//! picks a strategy `S_u ⊆ P∖{u}` of edges to buy; an edge costs
+//! `α·‖u,v‖` and the created network is the union of all bought edges.
+//! Agent `u`'s cost is
+//!
+//! ```text
+//! cost(u) = α·‖u, S_u‖ + Σ_v d_G(u, v)
+//! ```
+//!
+//! Modules:
+//! * [`network`] — strategy profiles with edge ownership,
+//! * [`cost`] — agent/social cost evaluation (parallel),
+//! * [`moves`] — improving-move local search (add/drop/swap),
+//! * [`best_response`] — exact best responses by subset enumeration,
+//! * [`exact`] — exact social optimum and exact Nash verification,
+//! * [`certify`] — (β, γ) certification with exact values on small
+//!   instances and sound bounds on large ones,
+//! * [`dynamics`] — (best-)response dynamics with cycle detection
+//!   (the Theorem 3.1 FIP study),
+//! * [`instances`] — the paper's witness instances with their strategy
+//!   profiles (Theorems 2.1, 4.1, 4.3, 4.4).
+
+pub mod best_response;
+pub mod certify;
+pub mod cost;
+pub mod dynamics;
+pub mod exact;
+pub mod greedy_eq;
+pub mod instances;
+pub mod moves;
+pub mod network;
+
+pub use network::OwnedNetwork;
+
+use gncg_geometry::PointSet;
+
+/// Edge-length oracle shared by the Euclidean game and the host-network
+/// GNCG: `weight(u, v)` is the length `‖u,v‖` (resp. `w(u,v)`) an edge
+/// between `u` and `v` would have.
+pub trait EdgeWeights: Sync {
+    /// Number of agents.
+    fn len(&self) -> usize;
+
+    /// Length of a potential edge `{u, v}` (`u != v`).
+    fn weight(&self, u: usize, v: usize) -> f64;
+
+    /// A lower bound on the distance between `u` and `v` in *any*
+    /// network buildable in this game. For metric instances the direct
+    /// length is such a bound (triangle inequality); non-metric hosts
+    /// override this with the host's metric closure.
+    fn metric_lower_bound(&self, u: usize, v: usize) -> f64 {
+        self.weight(u, v)
+    }
+}
+
+impl EdgeWeights for PointSet {
+    fn len(&self) -> usize {
+        PointSet::len(self)
+    }
+
+    fn weight(&self, u: usize, v: usize) -> f64 {
+        self.dist(u, v)
+    }
+}
+
+/// Dense explicit weights (used by host networks and tests). Carries an
+/// optional separate lower-bound matrix (the metric closure) for
+/// non-metric instances.
+#[derive(Debug, Clone)]
+pub struct DenseWeights {
+    weights: Vec<Vec<f64>>,
+    lower_bounds: Option<Vec<Vec<f64>>>,
+}
+
+impl DenseWeights {
+    /// Build from a symmetric weight matrix.
+    pub fn new(weights: Vec<Vec<f64>>) -> Self {
+        let n = weights.len();
+        assert!(n >= 1);
+        for (i, row) in weights.iter().enumerate() {
+            assert_eq!(row.len(), n, "weight matrix must be square");
+            for (j, &w) in row.iter().enumerate() {
+                assert!(w.is_finite() && w >= 0.0, "invalid weight at ({i},{j})");
+                assert!(
+                    (w - weights[j][i]).abs() < 1e-12,
+                    "weight matrix must be symmetric"
+                );
+            }
+        }
+        Self {
+            weights,
+            lower_bounds: None,
+        }
+    }
+
+    /// Attach a distance lower-bound matrix (e.g. the host's metric
+    /// closure) used by β/γ certification on non-metric instances.
+    pub fn with_lower_bounds(mut self, lb: Vec<Vec<f64>>) -> Self {
+        assert_eq!(lb.len(), self.weights.len());
+        self.lower_bounds = Some(lb);
+        self
+    }
+}
+
+impl EdgeWeights for DenseWeights {
+    fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn weight(&self, u: usize, v: usize) -> f64 {
+        self.weights[u][v]
+    }
+
+    fn metric_lower_bound(&self, u: usize, v: usize) -> f64 {
+        match &self.lower_bounds {
+            Some(lb) => lb[u][v],
+            None => self.weights[u][v],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_geometry::generators;
+
+    #[test]
+    fn pointset_implements_edge_weights() {
+        let ps = generators::line(3, 2.0);
+        assert_eq!(EdgeWeights::len(&ps), 3);
+        assert!((ps.weight(0, 2) - 2.0).abs() < 1e-12);
+        assert_eq!(ps.metric_lower_bound(0, 2), ps.weight(0, 2));
+    }
+
+    #[test]
+    fn dense_weights_roundtrip() {
+        let w = DenseWeights::new(vec![
+            vec![0.0, 1.0, 4.0],
+            vec![1.0, 0.0, 2.0],
+            vec![4.0, 2.0, 0.0],
+        ]);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.weight(0, 2), 4.0);
+        // non-metric: direct 0-2 edge (4.0) longer than path via 1 (3.0)
+        let closure = vec![
+            vec![0.0, 1.0, 3.0],
+            vec![1.0, 0.0, 2.0],
+            vec![3.0, 2.0, 0.0],
+        ];
+        let w = w.with_lower_bounds(closure);
+        assert_eq!(w.metric_lower_bound(0, 2), 3.0);
+        assert_eq!(w.weight(0, 2), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_matrix_rejected() {
+        DenseWeights::new(vec![vec![0.0, 1.0], vec![2.0, 0.0]]);
+    }
+}

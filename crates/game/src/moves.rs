@@ -1,0 +1,238 @@
+//! Improving-move local search: polynomial-time response heuristics.
+//!
+//! Exact best responses are exponential; the local-search responses here
+//! explore the *add / drop / swap* neighbourhood (the move set used by
+//! the improving-response dynamics literature) and serve two roles:
+//!
+//! * as a *witness*: any improving strategy found is a certified lower
+//!   bound on an agent's true improvement factor — proof a network is
+//!   NOT β-stable for smaller β,
+//! * as the response oracle of [`crate::dynamics`] on instances too
+//!   large for exact best responses.
+
+use crate::{cost, EdgeWeights, OwnedNetwork};
+use std::collections::BTreeSet;
+
+/// A candidate strategy change for one agent with its resulting cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Move {
+    /// The new strategy.
+    pub strategy: BTreeSet<usize>,
+    /// The agent's cost after the change.
+    pub cost: f64,
+}
+
+/// Evaluate agent `u`'s cost if she switched to `strategy`.
+pub fn cost_with_strategy<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+    strategy: &BTreeSet<usize>,
+) -> f64 {
+    let mut trial = net.clone();
+    trial.set_strategy(u, strategy.clone());
+    cost::agent_cost(w, &trial, alpha, u)
+}
+
+/// Best single add / drop / swap move for agent `u`, or `None` if none of
+/// them strictly improves (beyond floating-point noise).
+///
+/// Candidate costs are evaluated through
+/// [`crate::best_response::ResponseEvaluator`] — one APSP of `G − u` up
+/// front, then O(deg·n) per candidate instead of a full graph rebuild.
+pub fn best_single_move<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+) -> Option<Move> {
+    let eval = crate::best_response::ResponseEvaluator::new(w, net, u);
+    let current = net.strategy(u).clone();
+    let current_cost = eval.cost(alpha, current.iter().copied());
+    best_single_move_with(&eval, net.len(), &current, current_cost, alpha)
+}
+
+/// Move-generation core shared with [`local_search_response`]: best
+/// improving add/drop/swap around `current`, judged by `eval`.
+fn best_single_move_with(
+    eval: &crate::best_response::ResponseEvaluator,
+    n: usize,
+    current: &BTreeSet<usize>,
+    current_cost: f64,
+    alpha: f64,
+) -> Option<Move> {
+    let u = eval.agent;
+    let mut best: Option<Move> = None;
+    let mut consider = |strategy: BTreeSet<usize>| {
+        let c = eval.cost(alpha, strategy.iter().copied());
+        let beats_current = gncg_geometry::definitely_less(c, current_cost);
+        let beats_best = match &best {
+            Some(m) => c < m.cost,
+            None => true,
+        };
+        if beats_current && beats_best {
+            best = Some(Move { strategy, cost: c });
+        }
+    };
+
+    // drops
+    for &v in current {
+        let mut s = current.clone();
+        s.remove(&v);
+        consider(s);
+    }
+    // adds
+    for v in 0..n {
+        if v != u && !current.contains(&v) {
+            let mut s = current.clone();
+            s.insert(v);
+            consider(s);
+        }
+    }
+    // swaps
+    for &out in current {
+        for inn in 0..n {
+            if inn != u && inn != out && !current.contains(&inn) {
+                let mut s = current.clone();
+                s.remove(&out);
+                s.insert(inn);
+                consider(s);
+            }
+        }
+    }
+    best
+}
+
+/// Iterated local search: apply [`best_single_move`] until no single move
+/// improves, up to `max_rounds` rounds. Returns the final strategy and
+/// its cost — an upper bound on the agent's best-response cost.
+///
+/// Other agents' strategies never change during the search, so the
+/// `ResponseEvaluator` (APSP of `G − u`) is computed exactly once.
+pub fn local_search_response<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+    max_rounds: usize,
+) -> Move {
+    let eval = crate::best_response::ResponseEvaluator::new(w, net, u);
+    let mut current = net.strategy(u).clone();
+    let mut current_cost = eval.cost(alpha, current.iter().copied());
+    for _ in 0..max_rounds {
+        match best_single_move_with(&eval, net.len(), &current, current_cost, alpha) {
+            Some(m) => {
+                current = m.strategy;
+                current_cost = m.cost;
+            }
+            None => break,
+        }
+    }
+    Move {
+        strategy: current,
+        cost: current_cost,
+    }
+}
+
+/// Witness improvement factor of agent `u` from local search:
+/// `cost(u, G) / cost(u, found)` — a certified *lower bound* on the true
+/// improvement factor (so a lower bound on the β for which G is a β-NE).
+pub fn witness_improvement_factor<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+) -> f64 {
+    let now = cost::agent_cost(w, net, alpha, u);
+    let found = local_search_response(w, net, alpha, u, 2 * net.len());
+    crate::best_response::ratio(now, found.cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::best_response::exact_best_response;
+    use gncg_geometry::generators;
+
+    #[test]
+    fn finds_the_obvious_add() {
+        // middle agent of a line star profits from buying the short edge
+        let ps = generators::line(3, 2.0);
+        let net = OwnedNetwork::center_star(3, 0);
+        let m = best_single_move(&ps, &net, 0.5, 1).expect("improving move exists");
+        assert!(m.strategy.contains(&2));
+        assert!((m.cost - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_move_for_satisfied_agent() {
+        let ps = generators::line(2, 1.0);
+        let mut net = OwnedNetwork::empty(2);
+        net.buy(0, 1);
+        assert!(best_single_move(&ps, &net, 1.0, 1).is_none());
+    }
+
+    #[test]
+    fn drop_detected_when_edge_useless() {
+        // alpha large: agent 0 owning a redundant second edge should drop
+        let ps = generators::line(3, 2.0);
+        let mut net = OwnedNetwork::empty(3);
+        net.buy(0, 1);
+        net.buy(1, 2);
+        net.buy(0, 2); // redundant at high alpha
+        let m = best_single_move(&ps, &net, 100.0, 0).expect("drop should improve");
+        assert!(!m.strategy.contains(&2));
+        assert!(m.strategy.contains(&1));
+    }
+
+    #[test]
+    fn local_search_never_worse_than_exact() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for trial in 0..5 {
+            let n = 7;
+            let ps = generators::uniform_unit_square(n, 500 + trial);
+            let mut net = OwnedNetwork::empty(n);
+            // random connected-ish profile
+            for a in 1..n {
+                net.buy(a, rng.gen_range(0..a));
+            }
+            let alpha = 0.5 + rng.gen::<f64>() * 2.0;
+            for u in 0..n {
+                let ls = local_search_response(&ps, &net, alpha, u, 20);
+                let ex = exact_best_response(&ps, &net, alpha, u);
+                assert!(
+                    ls.cost >= ex.cost - 1e-9,
+                    "local search beat exact?! {} < {}",
+                    ls.cost,
+                    ex.cost
+                );
+                let now = cost::agent_cost(&ps, &net, alpha, u);
+                assert!(ls.cost <= now + 1e-9, "local search made things worse");
+            }
+        }
+    }
+
+    #[test]
+    fn witness_factor_at_least_one() {
+        let ps = generators::uniform_unit_square(10, 77);
+        let net = OwnedNetwork::complete(10);
+        for u in 0..10 {
+            let f = witness_improvement_factor(&ps, &net, 1.0, u);
+            assert!(f >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn witness_detects_instability_of_expensive_star() {
+        // center of a star with huge alpha wants to drop edges — but
+        // dropping disconnects her (she owns everything), so she is
+        // stuck; the *leaf* agents are stable; check the centre's witness
+        // is exactly 1 (no improving move) in this extreme case.
+        let ps = generators::line(4, 3.0);
+        let net = OwnedNetwork::center_star(4, 0);
+        let f = witness_improvement_factor(&ps, &net, 1000.0, 0);
+        assert!(f >= 1.0 - 1e-9);
+    }
+}

@@ -1,0 +1,124 @@
+//! Points in ℝᵈ.
+
+use crate::Norm;
+use serde::{Deserialize, Serialize};
+
+/// A point in d-dimensional space; in the game each point is an agent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Point {
+    coords: Vec<f64>,
+}
+
+impl Point {
+    /// Create a point from its coordinates.
+    pub fn new(coords: Vec<f64>) -> Self {
+        assert!(!coords.is_empty(), "points must have dimension >= 1");
+        assert!(
+            coords.iter().all(|c| c.is_finite()),
+            "coordinates must be finite"
+        );
+        Self { coords }
+    }
+
+    /// Convenience constructor for ℝ¹.
+    pub fn d1(x: f64) -> Self {
+        Self::new(vec![x])
+    }
+
+    /// Convenience constructor for ℝ².
+    pub fn d2(x: f64, y: f64) -> Self {
+        Self::new(vec![x, y])
+    }
+
+    /// Convenience constructor for ℝ³.
+    pub fn d3(x: f64, y: f64, z: f64) -> Self {
+        Self::new(vec![x, y, z])
+    }
+
+    /// The origin of ℝᵈ.
+    pub fn origin(dim: usize) -> Self {
+        Self::new(vec![0.0; dim])
+    }
+
+    /// Dimension d.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinate slice.
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Distance to another point under `norm`.
+    #[inline]
+    pub fn distance(&self, other: &Point, norm: Norm) -> f64 {
+        norm.distance(&self.coords, &other.coords)
+    }
+
+    /// Euclidean (2-norm) distance — the paper's `‖u, v‖`.
+    #[inline]
+    pub fn euclidean(&self, other: &Point) -> f64 {
+        Norm::L2.distance(&self.coords, &other.coords)
+    }
+}
+
+impl From<Vec<f64>> for Point {
+    fn from(coords: Vec<f64>) -> Self {
+        Point::new(coords)
+    }
+}
+
+impl std::ops::Index<usize> for Point {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.coords[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_dim() {
+        assert_eq!(Point::d1(1.0).dim(), 1);
+        assert_eq!(Point::d2(1.0, 2.0).dim(), 2);
+        assert_eq!(Point::d3(1.0, 2.0, 3.0).dim(), 3);
+        assert_eq!(Point::origin(7).dim(), 7);
+    }
+
+    #[test]
+    fn euclidean_distance() {
+        let a = Point::d2(0.0, 0.0);
+        let b = Point::d2(1.0, 1.0);
+        assert!((a.euclidean(&b) - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indexing() {
+        let p = Point::d3(1.0, 2.0, 3.0);
+        assert_eq!(p[0], 1.0);
+        assert_eq!(p[2], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension >= 1")]
+    fn empty_point_rejected() {
+        Point::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        Point::new(vec![f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn inf_rejected() {
+        Point::new(vec![1.0, f64::INFINITY]);
+    }
+}

@@ -1,0 +1,106 @@
+//! All-pairs shortest paths, parallel over sources.
+//!
+//! The game engine evaluates social cost and per-agent distance cost via
+//! APSP; on n-point instances this is n independent Dijkstra runs, which
+//! we self-schedule across threads with `gncg_parallel::parallel_map`.
+
+use crate::{dijkstra, Graph};
+
+/// Full distance matrix `d[u][v]`; `INFINITY` marks disconnected pairs.
+pub fn all_pairs(g: &Graph) -> Vec<Vec<f64>> {
+    gncg_parallel::parallel_map(g.len(), |u| dijkstra::distances(g, u))
+}
+
+/// Distance-cost vector `d_G(u, P)` for every agent `u` (row sums of the
+/// APSP matrix) without materializing the matrix.
+pub fn distance_sums(g: &Graph) -> Vec<f64> {
+    gncg_parallel::parallel_map(g.len(), |u| dijkstra::distance_sum(g, u))
+}
+
+/// Sum of all pairwise shortest-path distances Σ_u Σ_v d_G(u,v)
+/// (each unordered pair counted twice, matching the paper's
+/// Σ_{u∈P} d_G(u, P) convention).
+pub fn total_distance(g: &Graph) -> f64 {
+    gncg_parallel::parallel_reduce(
+        g.len(),
+        || 0.0,
+        |acc, u| acc + dijkstra::distance_sum(g, u),
+        |a, b| a + b,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<(usize, usize, f64)> =
+            (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn all_pairs_path() {
+        let g = path_graph(5);
+        let d = all_pairs(&g);
+        for u in 0..5 {
+            for v in 0..5 {
+                assert_eq!(d[u][v], (u as f64 - v as f64).abs());
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_symmetric() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let n = 40;
+        let mut g = path_graph(n);
+        for _ in 0..80 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                g.add_edge(u, v, rng.gen::<f64>() * 3.0);
+            }
+        }
+        let d = all_pairs(&g);
+        for u in 0..n {
+            assert_eq!(d[u][u], 0.0);
+            for v in 0..n {
+                assert!((d[u][v] - d[v][u]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn distance_sums_match_matrix_rows() {
+        let g = path_graph(20);
+        let m = all_pairs(&g);
+        let s = distance_sums(&g);
+        for u in 0..20 {
+            let row: f64 = m[u].iter().sum();
+            assert!((s[u] - row).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn total_distance_counts_ordered_pairs() {
+        // path 0-1 with weight 2: total over ordered pairs = 4
+        let g = Graph::from_edges(2, &[(0, 1, 2.0)]);
+        assert!((total_distance(&g) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_distance_disconnected_is_infinite() {
+        let g = Graph::new(3);
+        assert!(total_distance(&g).is_infinite());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = path_graph(200);
+        let par = all_pairs(&g);
+        let seq: Vec<Vec<f64>> = (0..200).map(|u| dijkstra::distances(&g, u)).collect();
+        assert_eq!(par, seq);
+    }
+}

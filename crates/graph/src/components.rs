@@ -1,0 +1,69 @@
+//! Connectivity queries.
+
+use crate::Graph;
+
+/// Component label per vertex (labels are `0..k` in order of first
+/// appearance) and the number of components.
+pub fn components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.len();
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0;
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if label[s] != usize::MAX {
+            continue;
+        }
+        label[s] = next;
+        stack.push(s);
+        while let Some(u) = stack.pop() {
+            for &(v, _) in g.neighbors(u) {
+                if label[v] == usize::MAX {
+                    label[v] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next)
+}
+
+/// True iff the graph is connected.
+pub fn is_connected(g: &Graph) -> bool {
+    components(g).1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_is_connected() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        assert!(is_connected(&g));
+        assert_eq!(components(&g).1, 1);
+    }
+
+    #[test]
+    fn two_components() {
+        let g = Graph::from_edges(5, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let (label, k) = components(&g);
+        assert_eq!(k, 3); // {0,1}, {2,3}, {4}
+        assert_eq!(label[0], label[1]);
+        assert_eq!(label[2], label[3]);
+        assert_ne!(label[0], label[2]);
+        assert_ne!(label[0], label[4]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn singleton_graph_connected() {
+        assert!(is_connected(&Graph::new(1)));
+    }
+
+    #[test]
+    fn empty_edges_many_components() {
+        let (_, k) = components(&Graph::new(7));
+        assert_eq!(k, 7);
+    }
+}

@@ -1,0 +1,225 @@
+//! Compressed sparse row (CSR) graph view.
+//!
+//! The adjacency-list [`crate::Graph`] is convenient for the game
+//! engine's incremental edits; the APSP-heavy kernels (γ certification
+//! on large instances, the benchmark sweeps) prefer a frozen,
+//! cache-friendly layout. [`Csr`] is an immutable snapshot with all
+//! neighbour lists in two flat arrays, plus a Dijkstra that reuses
+//! caller-provided scratch buffers to avoid per-source allocation.
+
+use crate::Graph;
+
+/// Immutable CSR snapshot of an undirected weighted graph.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+/// Reusable scratch space for [`Csr::dijkstra_into`].
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    heap: std::collections::BinaryHeap<HeapEntry>,
+    done: Vec<bool>,
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Csr {
+    /// Snapshot an adjacency-list graph.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.len();
+        assert!(n <= u32::MAX as usize, "graph too large for CSR u32 ids");
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * g.num_edges());
+        let mut weights = Vec::with_capacity(2 * g.num_edges());
+        offsets.push(0u32);
+        for u in 0..n {
+            for &(v, w) in g.neighbors(u) {
+                targets.push(v as u32);
+                weights.push(w);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        Self {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True iff the graph has zero vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Neighbour slice of `u` as `(targets, weights)`.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> (&[u32], &[f64]) {
+        let lo = self.offsets[u] as usize;
+        let hi = self.offsets[u + 1] as usize;
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// Dijkstra from `source` writing distances into `dist`
+    /// (`f64::INFINITY` for unreachable), reusing `scratch`.
+    pub fn dijkstra_into(&self, source: usize, dist: &mut Vec<f64>, scratch: &mut DijkstraScratch) {
+        let n = self.len();
+        dist.clear();
+        dist.resize(n, f64::INFINITY);
+        scratch.heap.clear();
+        scratch.done.clear();
+        scratch.done.resize(n, false);
+        dist[source] = 0.0;
+        scratch.heap.push(HeapEntry {
+            dist: 0.0,
+            node: source as u32,
+        });
+        while let Some(HeapEntry { dist: d, node }) = scratch.heap.pop() {
+            let u = node as usize;
+            if scratch.done[u] {
+                continue;
+            }
+            scratch.done[u] = true;
+            let (ts, ws) = self.neighbors(u);
+            for (&v, &w) in ts.iter().zip(ws) {
+                let nd = d + w;
+                let v = v as usize;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    scratch.heap.push(HeapEntry {
+                        dist: nd,
+                        node: v as u32,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Sum of distances from `source` (∞ if anything unreachable).
+    pub fn distance_sum(&self, source: usize, scratch: &mut DijkstraScratch) -> f64 {
+        let mut dist = Vec::new();
+        self.dijkstra_into(source, &mut dist, scratch);
+        dist.iter().sum()
+    }
+
+    /// Parallel APSP matching `apsp::all_pairs` bit for bit.
+    pub fn all_pairs(&self) -> Vec<Vec<f64>> {
+        gncg_parallel::parallel_map(self.len(), |u| {
+            let mut scratch = DijkstraScratch::default();
+            let mut dist = Vec::new();
+            self.dijkstra_into(u, &mut dist, &mut scratch);
+            dist
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{apsp, dijkstra};
+
+    fn random_graph(n: usize, seed: u64) -> Graph {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut g = Graph::new(n);
+        for u in 0..n - 1 {
+            g.add_edge(u, u + 1, 0.1 + rng.gen::<f64>());
+        }
+        for _ in 0..2 * n {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                g.add_edge(u, v, 0.1 + rng.gen::<f64>() * 3.0);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn csr_matches_adjacency_dijkstra() {
+        for seed in 0..5 {
+            let g = random_graph(40, seed);
+            let csr = Csr::from_graph(&g);
+            let mut scratch = DijkstraScratch::default();
+            let mut dist = Vec::new();
+            for s in 0..g.len() {
+                csr.dijkstra_into(s, &mut dist, &mut scratch);
+                let reference = dijkstra::distances(&g, s);
+                assert_eq!(dist, reference, "seed {seed} source {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn csr_apsp_matches() {
+        let g = random_graph(30, 9);
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.all_pairs(), apsp::all_pairs(&g));
+    }
+
+    #[test]
+    fn disconnected_vertices_are_infinite() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0)]);
+        let csr = Csr::from_graph(&g);
+        let mut scratch = DijkstraScratch::default();
+        let mut dist = Vec::new();
+        csr.dijkstra_into(0, &mut dist, &mut scratch);
+        assert_eq!(dist[1], 1.0);
+        assert!(dist[2].is_infinite() && dist[3].is_infinite());
+        assert!(csr.distance_sum(0, &mut scratch).is_infinite());
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean() {
+        let g1 = random_graph(20, 1);
+        let g2 = random_graph(25, 2);
+        let c1 = Csr::from_graph(&g1);
+        let c2 = Csr::from_graph(&g2);
+        let mut scratch = DijkstraScratch::default();
+        let mut dist = Vec::new();
+        c1.dijkstra_into(0, &mut dist, &mut scratch);
+        c2.dijkstra_into(3, &mut dist, &mut scratch);
+        assert_eq!(dist, dijkstra::distances(&g2, 3));
+    }
+
+    #[test]
+    fn neighbor_slices() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (0, 2, 2.0)]);
+        let csr = Csr::from_graph(&g);
+        let (ts, ws) = csr.neighbors(0);
+        assert_eq!(ts, &[1, 2]);
+        assert_eq!(ws, &[1.0, 2.0]);
+        assert_eq!(csr.neighbors(1).0, &[0]);
+    }
+}

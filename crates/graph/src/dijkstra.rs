@@ -1,0 +1,272 @@
+//! Single-source shortest paths (Dijkstra, binary heap).
+
+use crate::Graph;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Heap entry ordered by smallest distance first.
+#[derive(PartialEq)]
+struct Entry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed for min-heap behaviour on BinaryHeap (a max-heap);
+        // distances are never NaN (graph weights are validated).
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Shortest-path distances from `source` to every vertex.
+/// Unreachable vertices get `f64::INFINITY` (the paper's `d_G(u,v) = +∞`).
+pub fn distances(g: &Graph, source: usize) -> Vec<f64> {
+    distances_with_limit(g, source, f64::INFINITY)
+}
+
+/// Like [`distances`] but abandons exploration beyond `limit` — used by
+/// the greedy spanner, which only asks "is `d_G(u,v) ≤ t·‖u,v‖`?".
+/// Vertices whose distance exceeds `limit` may be reported as `INFINITY`.
+pub fn distances_with_limit(g: &Graph, source: usize, limit: f64) -> Vec<f64> {
+    let n = g.len();
+    assert!(source < n);
+    let mut dist = vec![f64::INFINITY; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::with_capacity(n);
+    dist[source] = 0.0;
+    heap.push(Entry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(Entry { dist: d, node: u }) = heap.pop() {
+        if done[u] {
+            continue;
+        }
+        done[u] = true;
+        if d > limit {
+            break; // every remaining entry is at least as far
+        }
+        for &(v, w) in g.neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(Entry { dist: nd, node: v });
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest-path distance between a single pair (early exit once `target`
+/// is settled). `INFINITY` when disconnected.
+pub fn pair_distance(g: &Graph, source: usize, target: usize) -> f64 {
+    let n = g.len();
+    assert!(source < n && target < n);
+    if source == target {
+        return 0.0;
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source] = 0.0;
+    heap.push(Entry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(Entry { dist: d, node: u }) = heap.pop() {
+        if done[u] {
+            continue;
+        }
+        done[u] = true;
+        if u == target {
+            return d;
+        }
+        for &(v, w) in g.neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(Entry { dist: nd, node: v });
+            }
+        }
+    }
+    f64::INFINITY
+}
+
+/// Shortest-path tree: distances plus a predecessor per vertex
+/// (`usize::MAX` for the source and unreachable vertices).
+pub fn tree(g: &Graph, source: usize) -> (Vec<f64>, Vec<usize>) {
+    let n = g.len();
+    assert!(source < n);
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred = vec![usize::MAX; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::with_capacity(n);
+    dist[source] = 0.0;
+    heap.push(Entry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(Entry { dist: d, node: u }) = heap.pop() {
+        if done[u] {
+            continue;
+        }
+        done[u] = true;
+        for &(v, w) in g.neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                pred[v] = u;
+                heap.push(Entry { dist: nd, node: v });
+            }
+        }
+    }
+    (dist, pred)
+}
+
+/// Reconstruct the vertex path `source → … → target` from a predecessor
+/// array produced by [`tree`]. `None` when `target` is unreachable.
+pub fn path_from_tree(pred: &[usize], source: usize, target: usize) -> Option<Vec<usize>> {
+    if source == target {
+        return Some(vec![source]);
+    }
+    if pred[target] == usize::MAX {
+        return None;
+    }
+    let mut path = vec![target];
+    let mut cur = target;
+    while cur != source {
+        cur = pred[cur];
+        path.push(cur);
+        if path.len() > pred.len() {
+            return None; // defensive: corrupted predecessor array
+        }
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Sum of distances from `source` to all vertices — the distance cost
+/// `d_G(u, P)` of agent `u` in the game. `INFINITY` if any vertex is
+/// unreachable.
+pub fn distance_sum(g: &Graph, source: usize) -> f64 {
+    distances(g, source).iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph 0-1-2-3 with unit weights plus a heavy shortcut 0-3.
+    fn diamond() -> Graph {
+        Graph::from_edges(
+            4,
+            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 10.0)],
+        )
+    }
+
+    #[test]
+    fn distances_prefers_short_path() {
+        let d = distances(&diamond(), 0);
+        assert_eq!(d, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn pair_distance_matches() {
+        let g = diamond();
+        assert_eq!(pair_distance(&g, 0, 3), 3.0);
+        assert_eq!(pair_distance(&g, 3, 0), 3.0);
+        assert_eq!(pair_distance(&g, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0)]);
+        let d = distances(&g, 0);
+        assert_eq!(d[1], 1.0);
+        assert!(d[2].is_infinite());
+        assert!(pair_distance(&g, 0, 3).is_infinite());
+        assert!(distance_sum(&g, 0).is_infinite());
+    }
+
+    #[test]
+    fn limit_cuts_off_far_vertices() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        let d = distances_with_limit(&g, 0, 1.5);
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[1], 1.0);
+        // vertex 2 at distance 2 may or may not be settled; 3 must not be
+        assert!(d[3].is_infinite() || d[3] == 3.0);
+    }
+
+    #[test]
+    fn tree_and_path_reconstruction() {
+        let g = diamond();
+        let (dist, pred) = tree(&g, 0);
+        assert_eq!(dist[3], 3.0);
+        let p = path_from_tree(&pred, 0, 3).unwrap();
+        assert_eq!(p, vec![0, 1, 2, 3]);
+        assert_eq!(path_from_tree(&pred, 0, 0).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn path_none_when_unreachable() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0)]);
+        let (_, pred) = tree(&g, 0);
+        assert!(path_from_tree(&pred, 0, 2).is_none());
+    }
+
+    #[test]
+    fn zero_weight_edges() {
+        let g = Graph::from_edges(3, &[(0, 1, 0.0), (1, 2, 5.0)]);
+        let d = distances(&g, 0);
+        assert_eq!(d, vec![0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn distance_sum_star() {
+        // star centred at 0 with unit spokes
+        let g = Graph::from_edges(5, &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0)]);
+        assert_eq!(distance_sum(&g, 0), 4.0);
+        assert_eq!(distance_sum(&g, 1), 1.0 + 2.0 * 3.0);
+    }
+
+    #[test]
+    fn big_random_graph_triangle_inequality_of_metric_closure() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let n = 60;
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen::<f64>() < 0.1 {
+                    g.add_edge(u, v, rng.gen::<f64>() * 10.0);
+                }
+            }
+        }
+        // ensure connectivity with a cheap path
+        for u in 0..n - 1 {
+            if !g.has_edge(u, u + 1) {
+                g.add_edge(u, u + 1, 5.0);
+            }
+        }
+        let d0 = distances(&g, 0);
+        let d1 = distances(&g, 1);
+        let w01 = pair_distance(&g, 0, 1);
+        for v in 0..n {
+            assert!(d0[v] <= w01 + d1[v] + 1e-9, "triangle violated at {v}");
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Adjacency-list weighted undirected graph.
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected graph on vertices `0..n` with non-negative edge weights.
+///
+/// Parallel edges are collapsed (an insert of an existing edge overwrites
+/// its weight); self-loops are rejected. The representation is an
+/// adjacency list sorted by neighbour, giving O(log deg) membership tests
+/// and cache-friendly Dijkstra scans.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<Vec<(usize, f64)>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Empty graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "graph needs at least one vertex");
+        Self {
+            n,
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Graph from an edge list `(u, v, w)`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Self {
+        let mut g = Self::new(n);
+        for &(u, v, w) in edges {
+            g.add_edge(u, v, w);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True iff the graph has no vertices (never true by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Insert or update edge `{u, v}` with weight `w`. Returns `true` if
+    /// the edge is new.
+    pub fn add_edge(&mut self, u: usize, v: usize, w: f64) -> bool {
+        assert!(u != v, "self-loops are not allowed ({u})");
+        assert!(u < self.n && v < self.n, "vertex out of range");
+        assert!(w >= 0.0 && w.is_finite(), "weights must be finite and >= 0");
+        let fresh = Self::insert_half(&mut self.adj[u], v, w);
+        Self::insert_half(&mut self.adj[v], u, w);
+        if fresh {
+            self.num_edges += 1;
+        }
+        fresh
+    }
+
+    fn insert_half(list: &mut Vec<(usize, f64)>, v: usize, w: f64) -> bool {
+        match list.binary_search_by_key(&v, |&(x, _)| x) {
+            Ok(pos) => {
+                list[pos].1 = w;
+                false
+            }
+            Err(pos) => {
+                list.insert(pos, (v, w));
+                true
+            }
+        }
+    }
+
+    /// Remove edge `{u, v}`. Returns `true` if it existed.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.n && v < self.n, "vertex out of range");
+        let removed = match self.adj[u].binary_search_by_key(&v, |&(x, _)| x) {
+            Ok(pos) => {
+                self.adj[u].remove(pos);
+                true
+            }
+            Err(_) => false,
+        };
+        if removed {
+            if let Ok(pos) = self.adj[v].binary_search_by_key(&u, |&(x, _)| x) {
+                self.adj[v].remove(pos);
+            }
+            self.num_edges -= 1;
+        }
+        removed
+    }
+
+    /// Weight of edge `{u, v}`, if present.
+    #[inline]
+    pub fn edge_weight(&self, u: usize, v: usize) -> Option<f64> {
+        self.adj[u]
+            .binary_search_by_key(&v, |&(x, _)| x)
+            .ok()
+            .map(|pos| self.adj[u][pos].1)
+    }
+
+    /// True iff edge `{u, v}` is present.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.edge_weight(u, v).is_some()
+    }
+
+    /// Neighbours of `u` with weights, sorted by neighbour index.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[(usize, f64)] {
+        &self.adj[u]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Maximum degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// All edges as `(u, v, w)` with `u < v`.
+    pub fn edges(&self) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::with_capacity(self.num_edges);
+        for u in 0..self.n {
+            for &(v, w) in &self.adj[u] {
+                if u < v {
+                    out.push((u, v, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// Total edge weight Σ w(e).
+    pub fn total_weight(&self) -> f64 {
+        self.edges().iter().map(|&(_, _, w)| w).sum()
+    }
+
+    /// The complete graph on `n` vertices with weights from `weight(i, j)`.
+    pub fn complete(n: usize, weight: impl Fn(usize, usize) -> f64) -> Self {
+        let mut g = Self::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v, weight(u, v));
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query() {
+        let mut g = Graph::new(4);
+        assert!(g.add_edge(0, 1, 2.0));
+        assert!(g.add_edge(1, 2, 3.0));
+        assert!(!g.add_edge(0, 1, 5.0)); // update, not new
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_weight(0, 1), Some(5.0));
+        assert_eq!(g.edge_weight(1, 0), Some(5.0));
+        assert_eq!(g.edge_weight(0, 3), None);
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn remove_edge_both_directions() {
+        let mut g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        assert!(g.remove_edge(1, 0));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(5, &[(2, 4, 1.0), (2, 0, 1.0), (2, 3, 1.0), (2, 1, 1.0)]);
+        let ns: Vec<usize> = g.neighbors(2).iter().map(|&(v, _)| v).collect();
+        assert_eq!(ns, vec![0, 1, 3, 4]);
+        assert_eq!(g.degree(2), 4);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn edges_listing_unique() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]);
+        let es = g.edges();
+        assert_eq!(es.len(), 3);
+        assert!(es.iter().all(|&(u, v, _)| u < v));
+        assert!((g.total_weight() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = Graph::complete(5, |i, j| (i + j) as f64);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(g.edge_weight(2, 3), Some(5.0));
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        Graph::new(2).add_edge(1, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        Graph::new(2).add_edge(0, 2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_weight_rejected() {
+        Graph::new(2).add_edge(0, 1, f64::NAN);
+    }
+
+    #[test]
+    fn zero_weight_allowed() {
+        // co-located cluster points have distance-0 edges
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 0.0);
+        assert_eq!(g.edge_weight(0, 1), Some(0.0));
+    }
+}

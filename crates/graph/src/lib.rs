@@ -1,0 +1,22 @@
+//! Weighted undirected graphs and the shortest-path / spanning-tree
+//! machinery the GNCG needs.
+//!
+//! * [`Graph`] — adjacency-list weighted graph over vertices `0..n`,
+//! * [`dijkstra`] — single-source shortest paths (binary heap),
+//! * [`apsp`] — all-pairs shortest paths, parallel over sources,
+//! * [`mst`] — Prim's algorithm, O(n²), on arbitrary dense metrics,
+//! * [`orientation`] — degeneracy ordering and bounded out-degree edge
+//!   orientation: the paper's *k-distributable* ownership assignment,
+//! * [`components`] — connectivity,
+//! * [`stretch`] — spanner stretch certification.
+
+pub mod apsp;
+pub mod components;
+pub mod csr;
+pub mod dijkstra;
+pub mod graph;
+pub mod mst;
+pub mod orientation;
+pub mod stretch;
+
+pub use graph::Graph;

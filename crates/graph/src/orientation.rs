@@ -1,0 +1,260 @@
+//! Edge-ownership assignment: orientations with bounded out-degree.
+//!
+//! Algorithm 1 requires assigning every spanner edge to one endpoint such
+//! that each agent owns at most `k` edges — the paper calls a spanner with
+//! such an assignment *k-distributable* (Footnote 3). We provide:
+//!
+//! * [`degeneracy_ordering`] — smallest-last vertex ordering; orienting
+//!   every edge from the endpoint that is removed *first* bounds the
+//!   out-degree by the graph's degeneracy, which is the optimum up to
+//!   rounding for any orientation,
+//! * [`bounded_outdegree_orientation`] — said orientation,
+//! * [`bipartite_orientation`] — the Theorem 3.13 grid assignment: one
+//!   side of a 2-colouring buys everything.
+
+use crate::Graph;
+
+/// Smallest-last (degeneracy) ordering. Returns `(order, degeneracy)`:
+/// `order[i]` is the i-th vertex removed; the degeneracy is the maximum,
+/// over removal steps, of the removed vertex's residual degree.
+pub fn degeneracy_ordering(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.len();
+    let mut deg: Vec<usize> = (0..n).map(|u| g.degree(u)).collect();
+    let max_deg = deg.iter().copied().max().unwrap_or(0);
+    // bucket queue over residual degree
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_deg + 1];
+    for u in 0..n {
+        buckets[deg[u]].push(u);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut degeneracy = 0;
+    let mut cursor = 0usize;
+    for _ in 0..n {
+        // find the non-empty bucket with smallest degree; the cursor can
+        // go down by at most 1 per removal, so reset conservatively
+        cursor = cursor.saturating_sub(1);
+        let u = loop {
+            while cursor <= max_deg && buckets[cursor].is_empty() {
+                cursor += 1;
+            }
+            assert!(cursor <= max_deg, "bucket queue exhausted early");
+            let cand = buckets[cursor].pop().unwrap();
+            if !removed[cand] && deg[cand] == cursor {
+                break cand;
+            }
+            // stale entry; skip (lazy deletion)
+        };
+        removed[u] = true;
+        degeneracy = degeneracy.max(deg[u]);
+        order.push(u);
+        for &(v, _) in g.neighbors(u) {
+            if !removed[v] {
+                deg[v] -= 1;
+                buckets[deg[v]].push(v);
+                if deg[v] < cursor {
+                    cursor = deg[v];
+                }
+            }
+        }
+    }
+    (order, degeneracy)
+}
+
+/// Orient every edge of `g`, returning `owner[(u,v)]` as a list of
+/// `(owner, other, w)` triples, such that the maximum number of edges
+/// owned by a single vertex is at most the degeneracy of `g`.
+pub fn bounded_outdegree_orientation(g: &Graph) -> Vec<(usize, usize, f64)> {
+    let n = g.len();
+    let (order, _) = degeneracy_ordering(g);
+    let mut rank = vec![0usize; n];
+    for (i, &u) in order.iter().enumerate() {
+        rank[u] = i;
+    }
+    // the vertex removed earlier owns the edge: it has ≤ degeneracy
+    // neighbours still present at its removal time
+    g.edges()
+        .into_iter()
+        .map(|(u, v, w)| {
+            if rank[u] < rank[v] {
+                (u, v, w)
+            } else {
+                (v, u, w)
+            }
+        })
+        .collect()
+}
+
+/// Maximum out-degree (edges owned per vertex) of an orientation.
+pub fn max_ownership(n: usize, oriented: &[(usize, usize, f64)]) -> usize {
+    let mut count = vec![0usize; n];
+    for &(owner, _, _) in oriented {
+        count[owner] += 1;
+    }
+    count.into_iter().max().unwrap_or(0)
+}
+
+/// 2-colour a bipartite graph (BFS layering); returns `None` if an odd
+/// cycle exists. Colours are `false`/`true`.
+pub fn two_colour(g: &Graph) -> Option<Vec<bool>> {
+    let n = g.len();
+    let mut colour: Vec<Option<bool>> = vec![None; n];
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        if colour[s].is_some() {
+            continue;
+        }
+        colour[s] = Some(false);
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            let cu = colour[u].unwrap();
+            for &(v, _) in g.neighbors(u) {
+                match colour[v] {
+                    None => {
+                        colour[v] = Some(!cu);
+                        queue.push_back(v);
+                    }
+                    Some(cv) if cv == cu => return None,
+                    _ => {}
+                }
+            }
+        }
+    }
+    Some(colour.into_iter().map(|c| c.unwrap()).collect())
+}
+
+/// The Theorem 3.13 ownership: in a bipartite graph, the `false`-coloured
+/// side buys all its incident edges. Returns `None` on non-bipartite
+/// input.
+pub fn bipartite_orientation(g: &Graph) -> Option<Vec<(usize, usize, f64)>> {
+    let colour = two_colour(g)?;
+    Some(
+        g.edges()
+            .into_iter()
+            .map(|(u, v, w)| if !colour[u] { (u, v, w) } else { (v, u, w) })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_has_degeneracy_one() {
+        let g = Graph::from_edges(5, &[(0, 1, 1.0), (1, 2, 1.0), (1, 3, 1.0), (3, 4, 1.0)]);
+        let (_, k) = degeneracy_ordering(&g);
+        assert_eq!(k, 1);
+        let o = bounded_outdegree_orientation(&g);
+        assert_eq!(o.len(), 4);
+        assert!(max_ownership(5, &o) <= 1);
+    }
+
+    #[test]
+    fn complete_graph_degeneracy() {
+        let g = Graph::complete(6, |_, _| 1.0);
+        let (_, k) = degeneracy_ordering(&g);
+        assert_eq!(k, 5);
+        let o = bounded_outdegree_orientation(&g);
+        assert!(max_ownership(6, &o) <= 5);
+        assert_eq!(o.len(), 15);
+    }
+
+    #[test]
+    fn cycle_degeneracy_two() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+        let (_, k) = degeneracy_ordering(&g);
+        assert_eq!(k, 2);
+        let o = bounded_outdegree_orientation(&g);
+        assert!(max_ownership(4, &o) <= 2);
+    }
+
+    #[test]
+    fn orientation_covers_every_edge_exactly_once() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 30;
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen::<f64>() < 0.2 {
+                    g.add_edge(u, v, 1.0);
+                }
+            }
+        }
+        let o = bounded_outdegree_orientation(&g);
+        assert_eq!(o.len(), g.num_edges());
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b, _) in &o {
+            assert!(g.has_edge(a, b));
+            assert!(seen.insert((a.min(b), a.max(b))));
+        }
+    }
+
+    #[test]
+    fn grid_two_colouring() {
+        // 3x3 grid graph is bipartite
+        let mut g = Graph::new(9);
+        for r in 0..3 {
+            for c in 0..3 {
+                let u = r * 3 + c;
+                if c + 1 < 3 {
+                    g.add_edge(u, u + 1, 1.0);
+                }
+                if r + 1 < 3 {
+                    g.add_edge(u, u + 3, 1.0);
+                }
+            }
+        }
+        let colour = two_colour(&g).unwrap();
+        for (u, v, _) in g.edges() {
+            assert_ne!(colour[u], colour[v]);
+        }
+        let o = bipartite_orientation(&g).unwrap();
+        assert_eq!(o.len(), g.num_edges());
+        // every owner has the same colour
+        let owner_colours: std::collections::HashSet<bool> =
+            o.iter().map(|&(a, _, _)| colour[a]).collect();
+        assert_eq!(owner_colours.len(), 1);
+    }
+
+    #[test]
+    fn odd_cycle_not_two_colourable() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
+        assert!(two_colour(&g).is_none());
+        assert!(bipartite_orientation(&g).is_none());
+    }
+
+    #[test]
+    fn empty_graph_trivial() {
+        let g = Graph::new(4);
+        let (order, k) = degeneracy_ordering(&g);
+        assert_eq!(order.len(), 4);
+        assert_eq!(k, 0);
+        assert!(bounded_outdegree_orientation(&g).is_empty());
+    }
+
+    #[test]
+    fn ownership_bound_matches_degeneracy_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for trial in 0..10 {
+            let n = 20 + trial;
+            let mut g = Graph::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen::<f64>() < 0.3 {
+                        g.add_edge(u, v, 1.0);
+                    }
+                }
+            }
+            let (_, k) = degeneracy_ordering(&g);
+            let o = bounded_outdegree_orientation(&g);
+            assert!(
+                max_ownership(n, &o) <= k,
+                "trial {trial}: ownership {} > degeneracy {k}",
+                max_ownership(n, &o)
+            );
+        }
+    }
+}

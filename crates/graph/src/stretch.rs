@@ -1,0 +1,98 @@
+//! Spanner stretch certification.
+//!
+//! A network `S` is a *t-spanner* of the metric `w` when
+//! `d_S(u,v) ≤ t · w(u,v)` for every pair. The paper's guarantees are
+//! parameterized by the spanner's `(k, t)`; we *measure* both on concrete
+//! instances instead of citing construction-time constants, so every
+//! claim in EXPERIMENTS.md is certified against the actual network.
+
+use crate::{apsp, Graph};
+
+/// Measured stretch of `g` w.r.t. the dense base metric `base(u, v)`:
+/// `max_{u≠v} d_g(u,v) / base(u,v)` over pairs with `base(u,v) > 0`.
+///
+/// Returns `INFINITY` when `g` is disconnected, and 1.0 on single-vertex
+/// or fully co-located inputs (no pair constrains the stretch).
+pub fn stretch_vs_metric(g: &Graph, base: impl Fn(usize, usize) -> f64) -> f64 {
+    let n = g.len();
+    let d = apsp::all_pairs(g);
+    let mut worst: f64 = 1.0;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let b = base(u, v);
+            if b > 0.0 {
+                worst = worst.max(d[u][v] / b);
+            } else if d[u][v].is_infinite() {
+                return f64::INFINITY;
+            }
+        }
+    }
+    worst
+}
+
+/// Measured stretch of a geometric network over its point set.
+pub fn stretch(g: &Graph, ps: &gncg_geometry::PointSet) -> f64 {
+    assert_eq!(g.len(), ps.len());
+    stretch_vs_metric(g, |u, v| ps.dist(u, v))
+}
+
+/// Verify that `g` is a t-spanner of the point set within tolerance.
+pub fn is_t_spanner(g: &Graph, ps: &gncg_geometry::PointSet, t: f64) -> bool {
+    stretch(g, ps) <= t * (1.0 + gncg_geometry::EPS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_geometry::{generators, Point, PointSet};
+
+    #[test]
+    fn complete_graph_has_stretch_one() {
+        let ps = generators::uniform_unit_square(15, 1);
+        let g = Graph::complete(15, |i, j| ps.dist(i, j));
+        assert!((stretch(&g, &ps) - 1.0).abs() < 1e-9);
+        assert!(is_t_spanner(&g, &ps, 1.0));
+    }
+
+    #[test]
+    fn path_on_square_has_stretch() {
+        let ps = PointSet::new(vec![
+            Point::d2(0.0, 0.0),
+            Point::d2(1.0, 0.0),
+            Point::d2(1.0, 1.0),
+            Point::d2(0.0, 1.0),
+        ]);
+        // path around three sides: stretch for pair (0,3) is 3/1 = 3
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        assert!((stretch(&g, &ps) - 3.0).abs() < 1e-9);
+        assert!(is_t_spanner(&g, &ps, 3.0));
+        assert!(!is_t_spanner(&g, &ps, 2.9));
+    }
+
+    #[test]
+    fn disconnected_stretch_is_infinite() {
+        let ps = generators::line(4, 3.0);
+        let g = Graph::from_edges(4, &[(0, 1, 1.0)]);
+        assert!(stretch(&g, &ps).is_infinite());
+    }
+
+    #[test]
+    fn mst_is_nminus1_spanner() {
+        // Theorem 3.9's first claim: any Euclidean MST is an
+        // (n-1)-spanner.
+        for seed in 0..5 {
+            let ps = generators::uniform_unit_square(20, seed);
+            let mst = crate::mst::euclidean_mst(&ps);
+            let s = stretch(&mst, &ps);
+            assert!(s <= 19.0 + 1e-9, "seed {seed}: stretch {s}");
+        }
+    }
+
+    #[test]
+    fn colocated_points_do_not_blow_up() {
+        let ps = generators::triangle_clusters(2, 0.0);
+        let mst = crate::mst::euclidean_mst(&ps);
+        let s = stretch(&mst, &ps);
+        assert!(s.is_finite());
+    }
+}

@@ -1,0 +1,320 @@
+//! Minimal data-parallel substrate for the GNCG workspace.
+//!
+//! The heavy kernels in this repository — all-pairs shortest paths, exact
+//! best-response enumeration, exact social-optimum search, and the
+//! benchmark parameter sweeps — are all embarrassingly parallel over an
+//! index range. Rather than pulling in a full work-stealing runtime, this
+//! crate provides a small, predictable substrate built on
+//! `crossbeam::scope` and atomics:
+//!
+//! * [`parallel_map`] / [`parallel_for`]: self-scheduling loops over
+//!   `0..n` using an atomic chunk counter (dynamic load balancing without
+//!   work stealing).
+//! * [`parallel_reduce`]: fold-then-combine reduction — each worker folds
+//!   locally, partial results are combined at the end.
+//! * [`min_by_cost`]: parallel argmin used by the exact solvers.
+//!
+//! All entry points take the number of threads from [`num_threads`], which
+//! honours the `GNCG_THREADS` environment variable so benchmarks can run
+//! single-threaded ablations.
+
+pub mod pool;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default chunk size for self-scheduling loops. Small enough for load
+/// balance on irregular work items (Dijkstra runs vary with graph shape),
+/// large enough to amortize the atomic fetch.
+pub const DEFAULT_CHUNK: usize = 16;
+
+/// Number of worker threads to use.
+///
+/// Reads `GNCG_THREADS` if set (a value of `1` disables parallelism, useful
+/// for ablation benches), otherwise `std::thread::available_parallelism()`.
+/// The value is computed once and cached: `available_parallelism()` can
+/// cost near a millisecond inside containers (it walks the cgroup fs),
+/// and this function sits on the hot path of every parallel kernel.
+/// Consequently, changing `GNCG_THREADS` after the first call has no
+/// effect within the same process.
+pub fn num_threads() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        if let Ok(v) = std::env::var("GNCG_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Execute `f(i)` for every `i` in `0..n`, writing results into a `Vec`.
+///
+/// Work is distributed dynamically in chunks of [`DEFAULT_CHUNK`]; each
+/// worker grabs the next chunk with a single atomic `fetch_add`, so uneven
+/// per-item cost (e.g. Dijkstra from high-degree sources) balances out.
+///
+/// Falls back to a sequential loop when `n` is small or only one thread is
+/// available — keeping results bit-identical between the two paths.
+pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = num_threads();
+    if threads <= 1 || n <= DEFAULT_CHUNK {
+        return (0..n).map(&f).collect();
+    }
+    let mut out = vec![T::default(); n];
+    {
+        let counter = AtomicUsize::new(0);
+        let out_slices = SliceCells::new(&mut out);
+        crossbeam::scope(|s| {
+            for _ in 0..threads.min(n.div_ceil(DEFAULT_CHUNK)) {
+                s.spawn(|_| loop {
+                    let start = counter.fetch_add(DEFAULT_CHUNK, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + DEFAULT_CHUNK).min(n);
+                    for i in start..end {
+                        // SAFETY: each index is claimed by exactly one
+                        // worker via the atomic counter.
+                        unsafe { out_slices.write(i, f(i)) };
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+    }
+    out
+}
+
+/// Execute `f(i)` for side effects, for every `i` in `0..n`.
+pub fn parallel_for<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = num_threads();
+    if threads <= 1 || n <= DEFAULT_CHUNK {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let counter = AtomicUsize::new(0);
+    crossbeam::scope(|s| {
+        for _ in 0..threads.min(n.div_ceil(DEFAULT_CHUNK)) {
+            s.spawn(|_| loop {
+                let start = counter.fetch_add(DEFAULT_CHUNK, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + DEFAULT_CHUNK).min(n);
+                for i in start..end {
+                    f(i);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Parallel fold-then-combine reduction over `0..n`.
+///
+/// Each worker folds its chunks into a local accumulator created by
+/// `identity`; the per-worker accumulators are combined sequentially with
+/// `combine` at the end. `combine` must be associative and commutative for
+/// the result to be deterministic up to floating-point reassociation.
+pub fn parallel_reduce<T, Id, F, C>(n: usize, identity: Id, fold: F, combine: C) -> T
+where
+    T: Send,
+    Id: Fn() -> T + Sync,
+    F: Fn(T, usize) -> T + Sync,
+    C: Fn(T, T) -> T,
+{
+    let threads = num_threads();
+    if threads <= 1 || n <= DEFAULT_CHUNK {
+        return (0..n).fold(identity(), |acc, i| fold(acc, i));
+    }
+    let counter = AtomicUsize::new(0);
+    let workers = threads.min(n.div_ceil(DEFAULT_CHUNK));
+    let partials: Vec<T> = crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|_| {
+                    let mut acc = identity();
+                    loop {
+                        let start = counter.fetch_add(DEFAULT_CHUNK, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + DEFAULT_CHUNK).min(n);
+                        for i in start..end {
+                            acc = fold(acc, i);
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("scope failed");
+    let mut it = partials.into_iter();
+    let first = it.next().expect("at least one worker");
+    it.fold(first, combine)
+}
+
+/// Parallel argmin: returns `(index, cost)` minimizing `cost(i)` over
+/// `0..n`, breaking ties towards the smaller index (deterministic).
+///
+/// Returns `None` when `n == 0` or every cost is NaN.
+pub fn min_by_cost<F>(n: usize, cost: F) -> Option<(usize, f64)>
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    let best = parallel_reduce(
+        n,
+        || (usize::MAX, f64::INFINITY),
+        |acc, i| {
+            let c = cost(i);
+            if c < acc.1 || (c == acc.1 && i < acc.0) {
+                (i, c)
+            } else {
+                acc
+            }
+        },
+        |a, b| {
+            if b.1 < a.1 || (b.1 == a.1 && b.0 < a.0) {
+                b
+            } else {
+                a
+            }
+        },
+    );
+    if best.0 == usize::MAX {
+        None
+    } else {
+        Some(best)
+    }
+}
+
+/// Cell wrapper allowing disjoint-index writes into a slice from multiple
+/// threads. Soundness is the caller's obligation: every index must be
+/// written by at most one thread.
+struct SliceCells<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Sync for SliceCells<'_, T> {}
+unsafe impl<T: Send> Send for SliceCells<'_, T> {}
+
+impl<'a, T> SliceCells<'a, T> {
+    fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// # Safety
+    /// `i < len` and no other thread writes index `i`.
+    unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        unsafe { self.ptr.add(i).write(value) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_sequential() {
+        let n = 1000;
+        let par = parallel_map(n, |i| i * i);
+        let seq: Vec<usize> = (0..n).map(|i| i * i).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn map_empty() {
+        let v: Vec<u64> = parallel_map(0, |_| unreachable!());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn map_single() {
+        assert_eq!(parallel_map(1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn for_counts_every_index() {
+        let n = 997; // prime, not a multiple of chunk size
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn reduce_sum() {
+        let n = 12345usize;
+        let total = parallel_reduce(n, || 0u64, |acc, i| acc + i as u64, |a, b| a + b);
+        assert_eq!(total, (n as u64 * (n as u64 - 1)) / 2);
+    }
+
+    #[test]
+    fn reduce_empty_returns_identity() {
+        let total = parallel_reduce(0, || 7u64, |acc, i| acc + i as u64, |a, b| a + b);
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn min_by_cost_finds_argmin() {
+        let costs: Vec<f64> = (0..500).map(|i| ((i as f64) - 250.5).abs()).collect();
+        let (idx, c) = min_by_cost(costs.len(), |i| costs[i]).unwrap();
+        assert_eq!(idx, 250);
+        assert!((c - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_by_cost_tie_breaks_to_smaller_index() {
+        let (idx, _) = min_by_cost(100, |_| 1.0).unwrap();
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn min_by_cost_empty() {
+        assert!(min_by_cost(0, |_| 0.0).is_none());
+    }
+
+    #[test]
+    fn map_with_uneven_work() {
+        // Items near the end are much more expensive; dynamic scheduling
+        // must still produce the exact sequential result.
+        let n = 300;
+        let work = |i: usize| {
+            let mut acc = 0u64;
+            for k in 0..(i * 50) {
+                acc = acc.wrapping_add(k as u64).rotate_left(1);
+            }
+            acc
+        };
+        let par = parallel_map(n, work);
+        let seq: Vec<u64> = (0..n).map(work).collect();
+        assert_eq!(par, seq);
+    }
+}

@@ -1,0 +1,197 @@
+//! A small persistent thread pool for long-lived experiment drivers.
+//!
+//! The free functions in the crate root spawn scoped threads per call,
+//! which is fine for coarse kernels (APSP over thousands of sources) but
+//! wasteful when a driver issues many tiny parallel sections (e.g. the
+//! best-response dynamics loop certifies every intermediate network).
+//! [`ThreadPool`] keeps workers parked between submissions.
+//!
+//! The pool intentionally exposes only a *blocking* `run` API: submit a
+//! job set, wait for completion. The callers in this workspace never need
+//! futures or detached tasks, and a blocking API keeps lifetimes simple
+//! (jobs borrow from the caller's stack via `crossbeam::scope` inside
+//! `run`).
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A persistent pool of worker threads executing closures of type
+/// `Box<dyn FnOnce() + Send>`.
+pub struct ThreadPool {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct Inner {
+    queue: Mutex<Queue>,
+    cond: Condvar,
+    pending: AtomicUsize,
+    done_mutex: Mutex<()>,
+    done_cond: Condvar,
+}
+
+struct Queue {
+    jobs: std::collections::VecDeque<Job>,
+    shutdown: bool,
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+impl ThreadPool {
+    /// Create a pool with `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(Queue {
+                jobs: std::collections::VecDeque::new(),
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+            pending: AtomicUsize::new(0),
+            done_mutex: Mutex::new(()),
+            done_cond: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(inner))
+            })
+            .collect();
+        Self { inner, workers }
+    }
+
+    /// Create a pool sized by [`crate::num_threads`].
+    pub fn with_default_threads() -> Self {
+        Self::new(crate::num_threads())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a job. The job runs on some worker at an unspecified time.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, f: F) {
+        self.inner.pending.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut q = self.inner.queue.lock();
+            q.jobs.push_back(Box::new(f));
+        }
+        self.inner.cond.notify_one();
+    }
+
+    /// Block until every submitted job has finished.
+    pub fn wait(&self) {
+        let mut guard = self.inner.done_mutex.lock();
+        while self.inner.pending.load(Ordering::SeqCst) != 0 {
+            self.inner.done_cond.wait(&mut guard);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.inner.queue.lock();
+            q.shutdown = true;
+        }
+        self.inner.cond.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>) {
+    loop {
+        let job = {
+            let mut q = inner.queue.lock();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                inner.cond.wait(&mut q);
+            }
+        };
+        job();
+        if inner.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = inner.done_mutex.lock();
+            inner.done_cond.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..1000 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn wait_with_no_jobs_returns() {
+        let pool = ThreadPool::new(2);
+        pool.wait();
+    }
+
+    #[test]
+    fn reusable_across_batches() {
+        let pool = ThreadPool::new(3);
+        let counter = Arc::new(AtomicU64::new(0));
+        for batch in 0..5 {
+            for _ in 0..100 {
+                let c = Arc::clone(&counter);
+                pool.submit(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait();
+            assert_eq!(counter.load(Ordering::Relaxed), (batch + 1) * 100);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = ThreadPool::new(1);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..50 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                c.fetch_add(2, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        drop(pool);
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+}

@@ -1,0 +1,92 @@
+//! Per-instance spanner certification.
+//!
+//! The paper's Theorem 3.6/3.7 bound is a function of the spanner's
+//! degree bound `k` and stretch `t`. Rather than citing construction-time
+//! constants, the harness *measures* `(k, t)` on the concrete spanner and
+//! plugs the measured values into the bound — making each experiment
+//! self-certifying.
+
+use gncg_geometry::PointSet;
+use gncg_graph::{orientation, stretch, Graph};
+
+/// Certificate for a spanner over a point set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannerCert {
+    /// Measured stretch `max d_S(u,v)/‖u,v‖` (∞ if disconnected).
+    pub stretch: f64,
+    /// Maximum (undirected) degree.
+    pub max_degree: usize,
+    /// Maximum edges owned by any agent under the bounded-out-degree
+    /// orientation — the `k` of a *k-distributable* spanner.
+    pub max_ownership: usize,
+    /// Number of edges.
+    pub num_edges: usize,
+    /// Total edge weight.
+    pub total_weight: f64,
+}
+
+/// Measure the certificate of `g` over `ps`.
+pub fn certify(g: &Graph, ps: &PointSet) -> SpannerCert {
+    assert_eq!(g.len(), ps.len());
+    let oriented = orientation::bounded_outdegree_orientation(g);
+    SpannerCert {
+        stretch: stretch::stretch(g, ps),
+        max_degree: g.max_degree(),
+        max_ownership: orientation::max_ownership(g.len(), &oriented),
+        num_edges: g.num_edges(),
+        total_weight: g.total_weight(),
+    }
+}
+
+/// Assign ownership with bounded out-degree (the *k-distributable*
+/// assignment). Returns `(owner, other, weight)` triples covering every
+/// edge once.
+pub fn distribute(g: &Graph) -> Vec<(usize, usize, f64)> {
+    orientation::bounded_outdegree_orientation(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build, SpannerKind};
+    use gncg_geometry::generators;
+
+    #[test]
+    fn cert_of_greedy_spanner() {
+        let ps = generators::uniform_unit_square(50, 2);
+        let g = build(&ps, SpannerKind::Greedy { t: 1.5 });
+        let cert = certify(&g, &ps);
+        assert!(cert.stretch <= 1.5 + 1e-9);
+        assert!(cert.max_ownership <= cert.max_degree);
+        assert_eq!(cert.num_edges, g.num_edges());
+        assert!(cert.total_weight > 0.0);
+    }
+
+    #[test]
+    fn cert_of_complete_graph() {
+        let ps = generators::uniform_unit_square(12, 2);
+        let g = build(&ps, SpannerKind::Complete);
+        let cert = certify(&g, &ps);
+        assert!((cert.stretch - 1.0).abs() < 1e-9);
+        assert_eq!(cert.max_degree, 11);
+        // the complete graph distributes with ownership ~ (n-1)/2
+        assert!(cert.max_ownership <= 11);
+    }
+
+    #[test]
+    fn distribute_covers_all_edges() {
+        let ps = generators::uniform_unit_square(30, 6);
+        let g = build(&ps, SpannerKind::Greedy { t: 2.0 });
+        let owned = distribute(&g);
+        assert_eq!(owned.len(), g.num_edges());
+    }
+
+    #[test]
+    fn ownership_bounded_on_theta_graph() {
+        let ps = generators::uniform_unit_square(100, 13);
+        let g = build(&ps, SpannerKind::Theta { cones: 10 });
+        let cert = certify(&g, &ps);
+        // degeneracy orientation is at least as good as the cone count
+        assert!(cert.max_ownership <= 10, "ownership {}", cert.max_ownership);
+    }
+}

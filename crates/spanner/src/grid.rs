@@ -1,0 +1,115 @@
+//! The grid spanner of Theorem 3.13.
+//!
+//! On an integer grid point set `P = ℤᵈ ∩ B`, the set `N` of
+//! nearest-neighbour edges (axis-aligned, length 1) is a √d-spanner
+//! (Cauchy–Schwarz, as in the paper's proof), bipartite, and every vertex
+//! has ≤ 2d such edges.
+
+use gncg_geometry::PointSet;
+use gncg_graph::Graph;
+use std::collections::HashMap;
+
+/// Build the nearest-neighbour grid graph over an integer grid point
+/// set. Panics if any coordinate is not (within 1e-9 of) an integer.
+pub fn grid_spanner(ps: &PointSet) -> Graph {
+    let n = ps.len();
+    let dim = ps.dim();
+    let mut index: HashMap<Vec<i64>, usize> = HashMap::with_capacity(n);
+    for i in 0..n {
+        let coords: Vec<i64> = ps
+            .point(i)
+            .coords()
+            .iter()
+            .map(|&c| {
+                let r = c.round();
+                assert!(
+                    (c - r).abs() < 1e-9,
+                    "grid spanner needs integer coordinates, got {c}"
+                );
+                r as i64
+            })
+            .collect();
+        let prev = index.insert(coords, i);
+        assert!(prev.is_none(), "duplicate grid point");
+    }
+    let mut g = Graph::new(n);
+    for (coords, &i) in index.iter().map(|(c, i)| (c.clone(), i)) {
+        for axis in 0..dim {
+            let mut nb = coords.clone();
+            nb[axis] += 1;
+            if let Some(&j) = index.get(&nb) {
+                g.add_edge(i, j, 1.0);
+            }
+        }
+    }
+    g
+}
+
+/// The √d stretch bound the grid spanner satisfies on full integer grids.
+pub fn grid_stretch_bound(dim: usize) -> f64 {
+    (dim as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_geometry::generators;
+    use gncg_graph::stretch;
+
+    #[test]
+    fn grid_2d_stretch_at_most_sqrt2() {
+        let ps = generators::integer_grid(&[4, 5]);
+        let g = grid_spanner(&ps);
+        let s = stretch::stretch(&g, &ps);
+        assert!(s <= 2f64.sqrt() + 1e-9, "stretch {s}");
+    }
+
+    #[test]
+    fn grid_3d_stretch_at_most_sqrt3() {
+        let ps = generators::integer_grid(&[2, 2, 2]);
+        let g = grid_spanner(&ps);
+        let s = stretch::stretch(&g, &ps);
+        assert!(s <= 3f64.sqrt() + 1e-9, "stretch {s}");
+    }
+
+    #[test]
+    fn degree_at_most_2d() {
+        let ps = generators::integer_grid(&[5, 5]);
+        let g = grid_spanner(&ps);
+        assert!(g.max_degree() <= 4);
+        let ps3 = generators::integer_grid(&[2, 2, 2]);
+        let g3 = grid_spanner(&ps3);
+        assert!(g3.max_degree() <= 6);
+    }
+
+    #[test]
+    fn edge_count_of_full_grid() {
+        // (b1+1)(b2+1) grid: edges = b1(b2+1) + b2(b1+1)
+        let ps = generators::integer_grid(&[3, 4]);
+        let g = grid_spanner(&ps);
+        assert_eq!(g.num_edges(), 3 * 5 + 4 * 4);
+    }
+
+    #[test]
+    fn grid_graph_is_bipartite() {
+        let ps = generators::integer_grid(&[3, 3]);
+        let g = grid_spanner(&ps);
+        assert!(gncg_graph::orientation::two_colour(&g).is_some());
+    }
+
+    #[test]
+    fn one_dimensional_grid_is_path() {
+        let ps = generators::integer_grid(&[6]);
+        let g = grid_spanner(&ps);
+        assert_eq!(g.num_edges(), 6);
+        assert!(gncg_graph::components::is_connected(&g));
+        assert!(stretch::stretch(&g, &ps) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "integer coordinates")]
+    fn rejects_non_integer_points() {
+        let ps = generators::uniform_unit_square(5, 1);
+        grid_spanner(&ps);
+    }
+}

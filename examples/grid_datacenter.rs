@@ -1,0 +1,55 @@
+//! Data-center fabric on a rack grid (Theorem 3.13).
+//!
+//! Racks sit on an integer grid; the nearest-neighbour fabric with
+//! checkerboard ownership is a (2d, 2d)-network — and on small fabrics
+//! we verify the equilibrium quality *exactly*.
+//!
+//! ```sh
+//! cargo run --example grid_datacenter
+//! ```
+
+use euclidean_network_design::algo::grid_network::{grid_network, theorem_3_13_bound};
+use euclidean_network_design::game::exact;
+use euclidean_network_design::prelude::*;
+
+fn main() {
+    let alpha = 2.0;
+
+    // production-size fabric: certified bounds
+    let big = generators::integer_grid(&[7, 7]);
+    let net = grid_network(&big);
+    let r = certify(&big, &net, alpha, CertifyOptions::bounds_only());
+    println!("8x8 rack grid ({} racks), alpha = {alpha}", big.len());
+    println!(
+        "  edges {}, social cost {:.1}, beta <= {:.3}, gamma <= {:.3} (paper bound {})",
+        net.bought_edges(),
+        r.social_cost,
+        r.beta_upper,
+        r.gamma_upper,
+        theorem_3_13_bound(2)
+    );
+
+    // small fabric: exact equilibrium analysis
+    let small = generators::integer_grid(&[3, 1]);
+    let net_small = grid_network(&small);
+    println!("\n4x2 rack grid ({} racks): exact analysis", small.len());
+    for a in [0.5, 1.0, 4.0, 16.0] {
+        let beta = exact::exact_beta(&small, &net_small, a);
+        println!(
+            "  alpha {a:>5}: exact beta = {beta:.4} (2d bound = {})",
+            theorem_3_13_bound(2)
+        );
+    }
+
+    // 3-D fabric (stacked pods)
+    let cube = generators::integer_grid(&[2, 2, 2]);
+    let net3 = grid_network(&cube);
+    let r3 = certify(&cube, &net3, alpha, CertifyOptions::bounds_only());
+    println!(
+        "\n3x3x3 pod fabric ({} racks): beta <= {:.3}, gamma <= {:.3} (paper bound {})",
+        cube.len(),
+        r3.beta_upper,
+        r3.gamma_upper,
+        theorem_3_13_bound(3)
+    );
+}

@@ -1,0 +1,38 @@
+//! Quickstart: build an almost-stable, almost-optimal network for a
+//! random point set and certify it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use euclidean_network_design::prelude::*;
+
+fn main() {
+    // 1. An instance: 60 agents at uniform random positions in the unit
+    //    square, edge-price factor alpha = 2.
+    let n = 60;
+    let alpha = 2.0;
+    let points = generators::uniform_unit_square(n, 7);
+
+    // 2. The paper's combined construction (Algorithm 1 vs MST, best of
+    //    both — Corollary 3.10): a (beta, beta)-network.
+    let network = build_beta_beta_network(&points, alpha);
+
+    // 3. Certify it: how stable and how efficient is the result?
+    let report = certify(&points, &network, alpha, CertifyOptions::default());
+
+    println!("agents:              {n}");
+    println!("alpha:               {alpha}");
+    println!("edges bought:        {}", network.bought_edges());
+    println!("connected:           {}", report.connected);
+    println!("social cost:         {:.4}", report.social_cost);
+    println!("gamma (certified):   <= {:.4}", report.gamma_upper);
+    println!("beta  (certified):   <= {:.4}", report.beta_upper);
+    println!("beta  (witness):     >= {:.4}", report.beta_witness);
+    println!();
+    println!(
+        "No agent can provably improve by more than a factor {:.3}; \
+         the network costs at most {:.3}x the social optimum.",
+        report.beta_upper, report.gamma_upper
+    );
+}

@@ -1,0 +1,79 @@
+//! Footnote 1 of the paper: "our results can be adapted to any p-norm."
+//! These tests run the machinery end-to-end under the 1-, p- and ∞-norms.
+
+use euclidean_network_design::algo::{complete::complete_network, mst_network::mst_network};
+use euclidean_network_design::game::certify::{certify, CertifyOptions};
+use euclidean_network_design::game::exact;
+use euclidean_network_design::geometry::{Norm, Point, PointSet};
+use euclidean_network_design::graph::stretch;
+use euclidean_network_design::spanner;
+
+fn random_points(n: usize, seed: u64, norm: Norm) -> PointSet {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    PointSet::with_norm(
+        (0..n)
+            .map(|_| Point::d2(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect(),
+        norm,
+    )
+}
+
+#[test]
+fn theorem_3_5_holds_under_l1_and_linf() {
+    for norm in [Norm::L1, Norm::LInf, Norm::Lp(3.0)] {
+        let ps = random_points(12, 5, norm);
+        let alpha = 2.0;
+        let net = complete_network(12);
+        let r = certify(&ps, &net, alpha, CertifyOptions::bounds_only());
+        assert!(
+            r.beta_upper <= alpha + 1.0 + 1e-9,
+            "{norm:?}: beta {}",
+            r.beta_upper
+        );
+        assert!(
+            r.gamma_upper <= alpha / 2.0 + 1.0 + 1e-9,
+            "{norm:?}: gamma {}",
+            r.gamma_upper
+        );
+    }
+}
+
+#[test]
+fn mst_network_within_n_minus_1_under_l1() {
+    let ps = random_points(15, 9, Norm::L1);
+    let net = mst_network(&ps);
+    for alpha in [0.5, 10.0, 1e4] {
+        let r = certify(&ps, &net, alpha, CertifyOptions::bounds_only());
+        assert!(r.beta_upper <= 14.0 + 1e-6, "alpha {alpha}: {}", r.beta_upper);
+        assert!(r.gamma_upper <= 14.0 + 1e-6, "alpha {alpha}: {}", r.gamma_upper);
+    }
+}
+
+#[test]
+fn greedy_spanner_respects_stretch_under_any_norm() {
+    for norm in [Norm::L1, Norm::LInf, Norm::Lp(4.0)] {
+        let ps = random_points(40, 3, norm);
+        let g = spanner::build(&ps, spanner::SpannerKind::Greedy { t: 1.6 });
+        assert!(
+            stretch::is_t_spanner(&g, &ps, 1.6),
+            "{norm:?}: stretch {}",
+            stretch::stretch(&g, &ps)
+        );
+    }
+}
+
+#[test]
+fn exact_beta_certificate_sound_under_l1() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let ps = random_points(6, 21, Norm::L1);
+    let mut net = euclidean_network_design::game::OwnedNetwork::empty(6);
+    for a in 1..6 {
+        net.buy(a, rng.gen_range(0..a));
+    }
+    let alpha = 1.5;
+    let r = certify(&ps, &net, alpha, CertifyOptions::bounds_only());
+    let be = exact::exact_beta(&ps, &net, alpha);
+    assert!(be <= r.beta_upper + 1e-9);
+}

@@ -1,0 +1,169 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use euclidean_network_design::game::{
+    best_response, certify::{certify, optimum_lower_bound, CertifyOptions},
+    cost, exact, moves, OwnedNetwork,
+};
+use euclidean_network_design::geometry::{Point, PointSet};
+use euclidean_network_design::graph::{apsp, mst, stretch};
+use euclidean_network_design::spanner::{self, SpannerKind};
+use proptest::prelude::*;
+
+/// Strategy: a small random planar point set (distinct-ish points).
+fn point_set(max_n: usize) -> impl Strategy<Value = PointSet> {
+    prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 2..max_n)
+        .prop_map(|coords| {
+            PointSet::new(
+                coords
+                    .into_iter()
+                    .map(|(x, y)| Point::d2(x, y))
+                    .collect(),
+            )
+        })
+}
+
+/// Strategy: a random profile on n agents where each agent buys each
+/// possible edge with probability ~1/4 plus a connecting chain.
+fn profile(n: usize, flips: Vec<bool>) -> OwnedNetwork {
+    let mut net = OwnedNetwork::empty(n);
+    let mut it = flips.into_iter();
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && it.next().unwrap_or(false) {
+                net.buy(u, v);
+            }
+        }
+    }
+    // chain for connectivity
+    for u in 0..n - 1 {
+        net.buy(u, u + 1);
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The greedy spanner respects its stretch target on arbitrary
+    /// planar inputs.
+    #[test]
+    fn greedy_spanner_stretch_invariant(ps in point_set(20), t in 1.05f64..3.0) {
+        let g = spanner::build(&ps, SpannerKind::Greedy { t });
+        prop_assert!(stretch::stretch(&g, &ps) <= t * (1.0 + 1e-9));
+    }
+
+    /// MST weight is minimal among a few random spanning trees.
+    #[test]
+    fn mst_not_beaten_by_random_tree(ps in point_set(14), seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let n = ps.len();
+        let w_mst = mst::euclidean_mst_weight(&ps);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // random spanning tree: random parent for each node
+        let mut w_rand = 0.0;
+        for v in 1..n {
+            let p = rng.gen_range(0..v);
+            w_rand += ps.dist(v, p);
+        }
+        prop_assert!(w_mst <= w_rand + 1e-9);
+    }
+
+    /// Social cost decomposes: SC = alpha * bought length + total distance.
+    #[test]
+    fn social_cost_decomposition(
+        ps in point_set(10),
+        flips in prop::collection::vec(any::<bool>(), 100),
+        alpha in 0.1f64..5.0,
+    ) {
+        let n = ps.len();
+        let net = profile(n, flips);
+        let sc = cost::social_cost(&ps, &net, alpha);
+        let mut bought = 0.0;
+        for u in 0..n {
+            for &v in net.strategy(u) {
+                bought += ps.dist(u, v);
+            }
+        }
+        let g = net.graph(&ps);
+        let dist = apsp::total_distance(&g);
+        prop_assert!((sc - (alpha * bought + dist)).abs() < 1e-6 * sc.max(1.0));
+    }
+
+    /// The exact best response never exceeds the local-search response,
+    /// and both never exceed the current cost.
+    #[test]
+    fn best_response_ordering(
+        ps in point_set(8),
+        flips in prop::collection::vec(any::<bool>(), 64),
+        alpha in 0.1f64..4.0,
+    ) {
+        let n = ps.len();
+        let net = profile(n, flips);
+        for u in 0..n {
+            let now = cost::agent_cost(&ps, &net, alpha, u);
+            let ls = moves::local_search_response(&ps, &net, alpha, u, 10);
+            let ex = best_response::exact_best_response(&ps, &net, alpha, u);
+            prop_assert!(ex.cost <= ls.cost + 1e-9);
+            prop_assert!(ls.cost <= now + 1e-9);
+        }
+    }
+
+    /// Certified beta upper bound dominates the exact beta.
+    #[test]
+    fn beta_bound_sound(
+        ps in point_set(7),
+        flips in prop::collection::vec(any::<bool>(), 49),
+        alpha in 0.2f64..4.0,
+    ) {
+        let n = ps.len();
+        let net = profile(n, flips);
+        let r = certify(&ps, &net, alpha, CertifyOptions::bounds_only());
+        let be = exact::exact_beta(&ps, &net, alpha);
+        prop_assert!(be <= r.beta_upper + 1e-9,
+            "exact beta {be} > upper bound {}", r.beta_upper);
+    }
+
+    /// The social-optimum lower bound is sound against the true optimum.
+    #[test]
+    fn opt_lower_bound_sound(ps in point_set(6), alpha in 0.2f64..4.0) {
+        let lb = optimum_lower_bound(&ps, alpha);
+        let opt = exact::exact_social_optimum(&ps, alpha).social_cost;
+        prop_assert!(lb <= opt + 1e-9, "lb {lb} > opt {opt}");
+    }
+
+    /// Dijkstra distances satisfy the triangle inequality as a metric.
+    #[test]
+    fn shortest_paths_form_a_metric(
+        ps in point_set(12),
+        flips in prop::collection::vec(any::<bool>(), 144),
+    ) {
+        let n = ps.len();
+        let net = profile(n, flips);
+        let g = net.graph(&ps);
+        let d = apsp::all_pairs(&g);
+        for a in 0..n {
+            prop_assert_eq!(d[a][a], 0.0);
+            for b in 0..n {
+                prop_assert!((d[a][b] - d[b][a]).abs() < 1e-9);
+                for c in 0..n {
+                    prop_assert!(d[a][c] <= d[a][b] + d[b][c] + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// A Nash equilibrium found by exact dynamics has exact beta 1.
+    #[test]
+    fn converged_dynamics_beta_is_one(seed in 0u64..40) {
+        use euclidean_network_design::game::dynamics;
+        use euclidean_network_design::geometry::generators;
+        let ps = generators::uniform_unit_square(4, seed);
+        let start = OwnedNetwork::empty(4);
+        if let dynamics::Outcome::Converged { state, .. } =
+            dynamics::run(&ps, &start, 1.0, dynamics::ResponseRule::BestResponse, 200)
+        {
+            let beta = exact::exact_beta(&ps, &state, 1.0);
+            prop_assert!(beta <= 1.0 + 1e-6, "beta {beta}");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Render results/*.json (written by the repro_* binaries) into
+EXPERIMENTS.md. Run the repro binaries first:
+
+    for b in repro_table1 repro_fig2 repro_fig3 repro_fig4 repro_fig5 \
+             repro_fig6 repro_fig7 repro_ablation repro_pareto repro_dynamics; do
+        cargo run --release -p gncg-bench --bin $b
+    done
+    python3 tools/render_experiments.py
+"""
+import json
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "results"
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+This file records, for every table and figure of *Efficiency and
+Stability in Euclidean Network Design* (SPAA 2021), the paper's claim
+and what this reproduction measures. It is generated from the JSON
+reports under `results/` by `tools/render_experiments.py`; regenerate
+any section by re-running the listed binary.
+
+The paper is theoretical: its "tables and figures" are result summaries
+and constructions, not measurement plots. Reproduction therefore means
+*machine-checking every claim* on concrete instances: exact equilibrium
+verification where enumeration is feasible, sound certified bounds
+everywhere else (see DESIGN.md §3 for the substitution rationale).
+`paper` columns hold the paper's bound/closed form for that row,
+`measured` what the engine computed; `ok` verdicts check the claim's
+shape (inequality direction, growth exponent, crossover).
+
+All experiments are deterministic (seeds are part of the row
+parameters) and were produced in a 2-vCPU container.
+"""
+
+SECTIONS = [
+    ("table1", "Table 1 — result overview", "repro_table1", [
+        "thm_2_1", "thm_2_2", "thm_3_4", "thm_3_5", "thm_3_7",
+        "thm_3_9", "thm_3_13", "thm_4_4", "sec_5", "thm_5_4",
+    ]),
+    ("fig2", "Figure 2 — unstable optimum & best-response cycles (Thm 2.1 / Thm 3.1)",
+     "repro_fig2", ["fig2_left", "fig2_right"]),
+    ("fig3", "Figure 3 — Algorithm 1 output shapes", "repro_fig3", ["fig3"]),
+    ("fig4", "Figure 4 — β exponent vs x (Cor 3.8 / Cor 3.10)", "repro_fig4", ["fig4"]),
+    ("fig5", "Figure 5 — quadrant partition & (1+ε, 1+ε)-networks (Lem 3.11 / Thm 3.12)",
+     "repro_fig5", ["fig5"]),
+    ("fig6", "Figure 6 — cross-polytope PoA (Thm 4.1)", "repro_fig6", ["fig6"]),
+    ("fig7", "Figure 7 — geometric chain PoA (Thm 4.3 / Lem 4.2)", "repro_fig7", ["fig7"]),
+    ("ablation", "Ablations — Algorithm 1 design choices", "repro_ablation", ["ablation"]),
+    ("pareto", "Pareto frontier — (β, γ) tradeoff (paper future work)",
+     "repro_pareto", ["pareto"]),
+    ("dynamics", "Dynamics — convergence statistics (Thm 3.1 companion)",
+     "repro_dynamics", ["dynamics"]),
+]
+
+
+def fmt(x):
+    if x is None:
+        return "—"
+    if isinstance(x, float):
+        if x != x:
+            return "NaN"
+        if abs(x) >= 1e6:
+            return f"{x:.3e}"
+        return f"{x:.4f}".rstrip("0").rstrip(".")
+    return str(x)
+
+
+def render_report(path):
+    data = json.loads(path.read_text())
+    lines = [f"**Claim.** {data['claim']}", ""]
+    lines.append("| params | paper | measured | ok | note |")
+    lines.append("|---|---:|---:|:-:|---|")
+    for row in data["rows"]:
+        ok = "PASS" if row["ok"] else "**FAIL**"
+        lines.append(
+            f"| {row['params']} | {fmt(row['paper'])} | "
+            f"{fmt(row['measured'])} | {ok} | {row['note']} |"
+        )
+    n_ok = sum(1 for r in data["rows"] if r["ok"])
+    lines.append("")
+    lines.append(f"*{n_ok}/{len(data['rows'])} rows pass.*")
+    return "\n".join(lines)
+
+
+def main():
+    out = [HEADER]
+    for _sid, title, binary, report_ids in SECTIONS:
+        out.append(f"\n---\n\n## {title}\n")
+        out.append(f"Regenerate: `cargo run --release -p gncg-bench --bin {binary}`\n")
+        for rid in report_ids:
+            p = RESULTS / f"{rid}.json"
+            if p.exists():
+                if len(report_ids) > 1:
+                    out.append(f"\n### {rid}\n")
+                out.append(render_report(p))
+                out.append("")
+            else:
+                out.append(f"\n*(no results for `{rid}` — run the binary)*\n")
+    (ROOT / "EXPERIMENTS.md").write_text("\n".join(out))
+    print("wrote EXPERIMENTS.md")
+
+
+if __name__ == "__main__":
+    main()
