@@ -81,11 +81,7 @@ pub struct AlgorithmOneResult {
 /// Run Algorithm 1 on `ps` with edge-price factor `alpha` (used only to
 /// evaluate the reported bound — the construction itself is
 /// α-independent given the parameters).
-pub fn run_algorithm1(
-    ps: &PointSet,
-    alpha: f64,
-    params: AlgorithmOneParams,
-) -> AlgorithmOneResult {
+pub fn run_algorithm1(ps: &PointSet, alpha: f64, params: AlgorithmOneParams) -> AlgorithmOneResult {
     let n = ps.len();
     assert!(params.b >= 1.0, "b must be >= 1");
     assert!(params.c < n.max(1), "c must be <= n-1");
@@ -108,11 +104,7 @@ pub fn run_algorithm1(
     }
 }
 
-fn sparse_branch(
-    ps: &PointSet,
-    alpha: f64,
-    params: AlgorithmOneParams,
-) -> AlgorithmOneResult {
+fn sparse_branch(ps: &PointSet, alpha: f64, params: AlgorithmOneParams) -> AlgorithmOneResult {
     let n = ps.len();
     let spanner = gncg_spanner::build(ps, params.spanner);
     let scert = cert::certify(&spanner, ps);

@@ -40,7 +40,9 @@ mod tests {
             assert!(net.strategy(u).len() <= 4);
         }
         // one side owns nothing
-        let silent = (0..ps.len()).filter(|&u| net.strategy(u).is_empty()).count();
+        let silent = (0..ps.len())
+            .filter(|&u| net.strategy(u).is_empty())
+            .count();
         assert!(silent >= ps.len() / 2);
     }
 

@@ -116,11 +116,17 @@ mod tests {
 
     #[test]
     fn params_respect_constraints() {
-        for &(alpha, n) in &[(0.5, 10usize), (2.0, 50), (10.0, 100), (1000.0, 30), (5.0, 2)] {
+        for &(alpha, n) in &[
+            (0.5, 10usize),
+            (2.0, 50),
+            (10.0, 100),
+            (1000.0, 30),
+            (5.0, 2),
+        ] {
             let p = corollary_3_8_params(alpha, n);
             assert!(p.b >= 1.0, "alpha {alpha} n {n}");
             assert!(p.b <= (2.0 * (n as f64 - 1.0)).sqrt() + 1e-9);
-            assert!(p.c <= n - 1);
+            assert!(p.c < n);
         }
     }
 

@@ -25,12 +25,7 @@ pub fn theorem_3_12_params(alpha: f64, eps: f64, k_eps: usize, n: usize) -> Algo
 }
 
 /// Run Algorithm 1 with the Theorem 3.12 parameters.
-pub fn build_one_plus_eps(
-    ps: &PointSet,
-    alpha: f64,
-    eps: f64,
-    k_eps: usize,
-) -> AlgorithmOneResult {
+pub fn build_one_plus_eps(ps: &PointSet, alpha: f64, eps: f64, k_eps: usize) -> AlgorithmOneResult {
     let params = theorem_3_12_params(alpha, eps, k_eps, ps.len());
     run_algorithm1(ps, alpha, params)
 }
@@ -78,7 +73,7 @@ mod tests {
         // expectation n/16 = 200 per square; Chernoff keeps us near it
         for (q, &c) in counts.iter().enumerate() {
             assert!(
-                c >= 150 && c <= 250,
+                (150..=250).contains(&c),
                 "square {q}: count {c} too far from 200"
             );
         }

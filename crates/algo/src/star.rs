@@ -103,10 +103,7 @@ mod tests {
             let cor = corollary_3_3_threshold(&ps).unwrap();
             for c in 0..10 {
                 let lem = star_stability_threshold(&ps, c);
-                assert!(
-                    lem <= cor + 1e-9,
-                    "seed {seed} centre {c}: {lem} > {cor}"
-                );
+                assert!(lem <= cor + 1e-9, "seed {seed} centre {c}: {lem} > {cor}");
             }
         }
     }

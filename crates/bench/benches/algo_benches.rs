@@ -48,7 +48,7 @@ fn bench_cluster_branch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick_config();
     targets = bench_algorithm1, bench_combined, bench_cluster_branch

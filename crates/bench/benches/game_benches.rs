@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gncg_game::{
-    best_response, certify::{certify, CertifyOptions},
+    best_response,
+    certify::{certify, CertifyOptions},
     cost, exact, OwnedNetwork,
 };
 use gncg_geometry::generators;
@@ -14,9 +15,11 @@ fn bench_social_cost(c: &mut Criterion) {
     for n in [50usize, 200] {
         let ps = generators::uniform_unit_square(n, 31);
         let net = OwnedNetwork::complete(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(ps, net), |b, (ps, net)| {
-            b.iter(|| cost::social_cost(ps, net, 1.0))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(ps, net),
+            |b, (ps, net)| b.iter(|| cost::social_cost(ps, net, 1.0)),
+        );
     }
     group.finish();
 }
@@ -27,9 +30,11 @@ fn bench_exact_best_response(c: &mut Criterion) {
     for n in [10usize, 14, 16] {
         let ps = generators::uniform_unit_square(n, 32);
         let net = OwnedNetwork::center_star(n, 0);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(ps, net), |b, (ps, net)| {
-            b.iter(|| best_response::exact_best_response(ps, net, 1.0, 1))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(ps, net),
+            |b, (ps, net)| b.iter(|| best_response::exact_best_response(ps, net, 1.0, 1)),
+        );
     }
     group.finish();
 }
@@ -52,9 +57,11 @@ fn bench_certification(c: &mut Criterion) {
     for n in [50usize, 150] {
         let ps = generators::uniform_unit_square(n, 34);
         let net = OwnedNetwork::complete(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(ps, net), |b, (ps, net)| {
-            b.iter(|| certify(ps, net, 1.0, CertifyOptions::bounds_only()))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(ps, net),
+            |b, (ps, net)| b.iter(|| certify(ps, net, 1.0, CertifyOptions::bounds_only())),
+        );
     }
     group.finish();
 }

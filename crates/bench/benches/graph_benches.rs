@@ -43,7 +43,7 @@ fn bench_mst(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick_config();
     targets = bench_dijkstra, bench_apsp, bench_mst

@@ -42,7 +42,7 @@ fn bench_reduction_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick_config();
     targets = bench_metric_closure, bench_hm_filter, bench_reduction_build

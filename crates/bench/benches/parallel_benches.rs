@@ -49,7 +49,7 @@ fn bench_apsp_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick_config();
     targets = bench_parallel_map, bench_parallel_reduce, bench_apsp_scaling

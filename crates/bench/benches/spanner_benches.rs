@@ -36,7 +36,7 @@ fn bench_certification(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick_config();
     targets = bench_constructions, bench_certification

@@ -76,7 +76,7 @@ fn load_points(path: &str) -> PointSet {
         eprintln!("cannot read {path}: {e}");
         exit(1);
     });
-    serde_json::from_str(&data).unwrap_or_else(|e| {
+    gncg_json::from_str(&data).unwrap_or_else(|e| {
         eprintln!("cannot parse point set {path}: {e}");
         exit(1);
     })
@@ -87,14 +87,14 @@ fn load_network(path: &str) -> OwnedNetwork {
         eprintln!("cannot read {path}: {e}");
         exit(1);
     });
-    serde_json::from_str(&data).unwrap_or_else(|e| {
+    gncg_json::from_str(&data).unwrap_or_else(|e| {
         eprintln!("cannot parse network {path}: {e}");
         exit(1);
     })
 }
 
-fn save_json<T: serde::Serialize>(value: &T, path: &str) {
-    let json = serde_json::to_string_pretty(value).expect("serialize");
+fn save_json<T: gncg_json::ToJson>(value: &T, path: &str) {
+    let json = gncg_json::to_string_pretty(value);
     std::fs::write(path, json).unwrap_or_else(|e| {
         eprintln!("cannot write {path}: {e}");
         exit(1);
@@ -105,7 +105,10 @@ fn save_json<T: serde::Serialize>(value: &T, path: &str) {
 fn generate(opts: &HashMap<String, String>) {
     let kind = req(opts, "kind");
     let n: usize = parse_num(req(opts, "n"), "--n");
-    let seed: u64 = opts.get("seed").map(|s| parse_num(s, "--seed")).unwrap_or(0);
+    let seed: u64 = opts
+        .get("seed")
+        .map(|s| parse_num(s, "--seed"))
+        .unwrap_or(0);
     let out = req(opts, "out");
     let ps = match kind {
         "uniform" => generators::uniform_unit_square(n, seed),
@@ -177,7 +180,7 @@ fn run_certify(opts: &HashMap<String, String>) {
         CertifyOptions::default()
     };
     let r = certify(&ps, &net, alpha, options);
-    println!("{}", serde_json::to_string_pretty(&r).unwrap());
+    println!("{}", gncg_json::to_string_pretty(&r));
 }
 
 fn run_dynamics(opts: &HashMap<String, String>) {
@@ -197,7 +200,10 @@ fn run_dynamics(opts: &HashMap<String, String>) {
             println!("converged after {steps} strategy changes");
             println!("{} edges bought", state.bought_edges());
         }
-        dynamics::Outcome::Cycle { history, cycle_start } => {
+        dynamics::Outcome::Cycle {
+            history,
+            cycle_start,
+        } => {
             println!(
                 "response CYCLE detected: length {} (no finite improvement property)",
                 history.len() - 1 - cycle_start

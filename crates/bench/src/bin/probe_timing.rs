@@ -36,5 +36,9 @@ fn main() {
     // Phase 2: through exact_social_optimum (parallel_reduce path)
     let t1 = Instant::now();
     let opt = gncg_game::exact::exact_social_optimum(&ps, 1.0);
-    println!("exact_social_optimum: {:?}  best={}", t1.elapsed(), opt.social_cost);
+    println!(
+        "exact_social_optimum: {:?}  best={}",
+        t1.elapsed(),
+        opt.social_cost
+    );
 }

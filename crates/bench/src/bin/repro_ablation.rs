@@ -37,7 +37,10 @@ fn main() {
         let res = run_algorithm1(&ps, alpha, params);
         let r = certify(&ps, &res.network, alpha, CertifyOptions::bounds_only());
         rep.push(
-            format!("spanner={name} k={} t={:.2}", res.k_measured, res.t_measured),
+            format!(
+                "spanner={name} k={} t={:.2}",
+                res.k_measured, res.t_measured
+            ),
             r.gamma_upper,
             r.beta_upper,
             r.connected,

@@ -26,9 +26,7 @@ fn main() {
     let res = run_algorithm1(&ps_cluster, 2.0, params);
     let clustered = matches!(res.branch, Branch::Cluster { .. });
     let leaf_agents = (0..ps_cluster.len())
-        .filter(|&u| {
-            res.network.strategy(u).len() == 1 && res.network.neighbors(u).len() == 1
-        })
+        .filter(|&u| res.network.strategy(u).len() == 1 && res.network.neighbors(u).len() == 1)
         .count();
     rep.push(
         "cluster instance".into(),
@@ -40,25 +38,43 @@ fn main() {
             res.branch, res.k_measured, res.t_measured, leaf_agents
         ),
     );
-    match svg::save(&ps_cluster, &res.network, "fig3_cluster", "Figure 3 (left): cluster branch") {
+    match svg::save(
+        &ps_cluster,
+        &res.network,
+        "fig3_cluster",
+        "Figure 3 (left): cluster branch",
+    ) {
         Ok(p) => println!("wrote {}", p.display()),
         Err(e) => eprintln!("svg write failed: {e}"),
     }
 
     // right: sparse uniform points
     let ps_sparse = generators::uniform_unit_square(40, 12);
-    let res2 = run_algorithm1(&ps_sparse, 2.0, AlgorithmOneParams::sparse(SpannerKind::Greedy { t: 1.5 }));
+    let res2 = run_algorithm1(
+        &ps_sparse,
+        2.0,
+        AlgorithmOneParams::sparse(SpannerKind::Greedy { t: 1.5 }),
+    );
     rep.push(
         "sparse instance".into(),
         0.0,
-        if res2.branch == Branch::Sparse { 0.0 } else { 1.0 },
+        if res2.branch == Branch::Sparse {
+            0.0
+        } else {
+            1.0
+        },
         res2.branch == Branch::Sparse,
         &format!(
             "branch={:?}, spanner k={}, t={:.2}, max degree bounded",
             res2.branch, res2.k_measured, res2.t_measured
         ),
     );
-    match svg::save(&ps_sparse, &res2.network, "fig3_sparse", "Figure 3 (right): sparse branch") {
+    match svg::save(
+        &ps_sparse,
+        &res2.network,
+        "fig3_sparse",
+        "Figure 3 (right): sparse branch",
+    ) {
         Ok(p) => println!("wrote {}", p.display()),
         Err(e) => eprintln!("svg write failed: {e}"),
     }

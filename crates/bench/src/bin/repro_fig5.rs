@@ -3,9 +3,7 @@
 //! Algorithm 1 build a (1+ε, 1+ε)-network for random instances with
 //! α ∈ o(n).
 
-use gncg_algo::random_points::{
-    build_one_plus_eps, lemma_3_11_bound, quarter_square_counts,
-};
+use gncg_algo::random_points::{build_one_plus_eps, lemma_3_11_bound, quarter_square_counts};
 use gncg_bench::Report;
 use gncg_game::certify::{certify, CertifyOptions};
 use gncg_geometry::generators;

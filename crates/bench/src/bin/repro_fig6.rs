@@ -44,8 +44,8 @@ fn main() {
         let mut last = 0.0;
         let mut increasing = true;
         for d in [5usize, 20, 100, 400] {
-            let ratio =
-                instances::cross_ne_social_cost(d, alpha) / instances::cross_opt_social_cost(d, alpha);
+            let ratio = instances::cross_ne_social_cost(d, alpha)
+                / instances::cross_opt_social_cost(d, alpha);
             if ratio < last - 1e-12 {
                 increasing = false;
             }
@@ -68,8 +68,7 @@ fn main() {
         // engine cross-check at moderate d
         let d = 20;
         let (ps, ne, opt) = instances::cross_polytope(d, alpha);
-        let engine_ratio =
-            cost::social_cost(&ps, &ne, alpha) / cost::social_cost(&ps, &opt, alpha);
+        let engine_ratio = cost::social_cost(&ps, &ne, alpha) / cost::social_cost(&ps, &opt, alpha);
         let formula_ratio =
             instances::cross_ne_social_cost(d, alpha) / instances::cross_opt_social_cost(d, alpha);
         rep.push(

@@ -81,8 +81,8 @@ fn main() {
     let mut pts = Vec::new();
     for &alpha in &[64.0f64, 216.0, 512.0, 1000.0, 4096.0, 32768.0] {
         let n = alpha.powf(2.0 / 3.0).round() as usize;
-        let ratio = instances::chain_ne_social_cost(n, alpha)
-            / instances::chain_opt_social_cost(n, alpha);
+        let ratio =
+            instances::chain_ne_social_cost(n, alpha) / instances::chain_opt_social_cost(n, alpha);
         let bound = instances::theorem_4_3_bound(alpha);
         pts.push((alpha, ratio));
         rep.push(

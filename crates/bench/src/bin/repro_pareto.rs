@@ -15,7 +15,10 @@ fn main() {
     for (label, alpha) in [("cheap edges", 0.5), ("moderate", 3.0), ("expensive", 50.0)] {
         let ps = generators::uniform_unit_square(60, 2718);
         let samples = sample_designs(&ps, alpha, 10);
-        println!("alpha = {alpha} ({label}): {} designs sampled", samples.len());
+        println!(
+            "alpha = {alpha} ({label}): {} designs sampled",
+            samples.len()
+        );
         for p in &samples {
             println!(
                 "    {:<20} beta<= {:>9.3}  gamma<= {:>9.3}",

@@ -23,13 +23,12 @@ use gncg_algo::{
 };
 use gncg_bench::Report;
 use gncg_game::{
-    best_response, certify::{certify, CertifyOptions},
-    cost, exact, instances, moves, OwnedNetwork,
+    best_response,
+    certify::{certify, CertifyOptions},
+    cost, exact, instances, moves,
 };
 use gncg_geometry::generators;
-use gncg_host::{
-    corollaries as host_cor, hitting_set, poa as host_poa, HostNetwork,
-};
+use gncg_host::{corollaries as host_cor, hitting_set, poa as host_poa, HostNetwork};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -74,7 +73,11 @@ fn main() {
 
     println!(
         "TABLE 1 REPRODUCTION: {}",
-        if all_ok { "ALL SECTIONS PASS" } else { "SOME SECTIONS FAILED" }
+        if all_ok {
+            "ALL SECTIONS PASS"
+        } else {
+            "SOME SECTIONS FAILED"
+        }
     );
     if !all_ok {
         std::process::exit(1);
@@ -492,7 +495,11 @@ fn sec_5() -> Report {
         let res = host_cor::algorithm1_on_host(
             &h,
             alpha,
-            host_cor::HostAlgorithmParams { b: 1.0, c: 0, t: 1.5 },
+            host_cor::HostAlgorithmParams {
+                b: 1.0,
+                c: 0,
+                t: 1.5,
+            },
         );
         let r3 = certify(&w, &res.network, alpha, CertifyOptions::bounds_only());
         rep.push(

@@ -9,12 +9,12 @@
 
 pub mod svg;
 
-use serde::Serialize;
+use gncg_json::{object, ToJson, Value};
 use std::io::Write as _;
 use std::path::PathBuf;
 
 /// One row of an experiment report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Independent variables, e.g. `alpha=4 n=100`.
     pub params: String,
@@ -29,7 +29,7 @@ pub struct Row {
 }
 
 /// An experiment report: one section of Table 1 or one figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Report {
     /// Experiment id, e.g. `thm_4_3` or `fig4`.
     pub id: String,
@@ -37,6 +37,28 @@ pub struct Report {
     pub claim: String,
     /// Data rows.
     pub rows: Vec<Row>,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Value {
+        object(vec![
+            ("params", self.params.to_json()),
+            ("paper", self.paper.to_json()),
+            ("measured", self.measured.to_json()),
+            ("ok", self.ok.to_json()),
+            ("note", self.note.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Report {
+    fn to_json(&self) -> Value {
+        object(vec![
+            ("id", self.id.to_json()),
+            ("claim", self.claim.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
 }
 
 impl Report {
@@ -70,8 +92,8 @@ impl Report {
         println!("== {} ==", self.id);
         println!("   {}", self.claim);
         println!(
-            "   {:<38} {:>14} {:>14}  {:<4} {}",
-            "params", "paper", "measured", "ok", "note"
+            "   {:<38} {:>14} {:>14}  {:<4} note",
+            "params", "paper", "measured", "ok"
         );
         for r in &self.rows {
             println!(
@@ -85,7 +107,11 @@ impl Report {
         }
         println!(
             "   => {}",
-            if self.all_ok() { "ALL PASS" } else { "FAILURES PRESENT" }
+            if self.all_ok() {
+                "ALL PASS"
+            } else {
+                "FAILURES PRESENT"
+            }
         );
         println!();
     }
@@ -97,7 +123,7 @@ impl Report {
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.id));
         let mut f = std::fs::File::create(&path)?;
-        f.write_all(serde_json::to_string_pretty(self).unwrap().as_bytes())?;
+        f.write_all(gncg_json::to_string_pretty(self).as_bytes())?;
         Ok(path)
     }
 }

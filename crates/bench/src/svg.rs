@@ -69,7 +69,12 @@ pub fn render(ps: &PointSet, net: &OwnedNetwork, title: &str) -> String {
 }
 
 /// Write an SVG into `results/<name>.svg`; returns the path.
-pub fn save(ps: &PointSet, net: &OwnedNetwork, name: &str, title: &str) -> std::io::Result<std::path::PathBuf> {
+pub fn save(
+    ps: &PointSet,
+    net: &OwnedNetwork,
+    name: &str,
+    title: &str,
+) -> std::io::Result<std::path::PathBuf> {
     let dir = crate::results_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.svg"));

@@ -11,10 +11,11 @@
 //!    incident neighbour set (bought ∪ bought-towards-u). `D` is computed
 //!    once per agent, each candidate subset costs O(|N|·n).
 //! 2. **Parallel enumeration** over the mask space with
-//!    `gncg_parallel::parallel_reduce`.
+//!    `gncg_parallel::parallel_reduce_with`, one [`ResponseScratch`] per
+//!    worker so candidate evaluation performs zero heap allocations.
 
 use crate::{cost, EdgeWeights, OwnedNetwork};
-use gncg_graph::{apsp, Graph};
+use gncg_graph::{csr::Csr, DistMatrix, Graph};
 use std::collections::BTreeSet;
 
 /// Result of a best-response computation.
@@ -29,6 +30,36 @@ pub struct BestResponse {
 /// Practical cap on exact enumeration: `2^{MAX_EXACT_AGENTS−1}` subsets.
 pub const MAX_EXACT_AGENTS: usize = 22;
 
+/// Reusable buffers for [`ResponseEvaluator::cost_with`]: the merged
+/// neighbour list and the per-target running minima. One scratch per
+/// worker makes candidate evaluation allocation-free — the enumeration
+/// touches up to `2^{n−1}` candidates per agent, so a per-candidate
+/// `clone()` here dominated the old profile.
+#[derive(Debug, Default, Clone)]
+pub struct ResponseScratch {
+    neighbours: Vec<usize>,
+    best: Vec<f64>,
+}
+
+/// Rest-graph distances of a [`ResponseEvaluator`]: either an APSP of
+/// `G − u` computed for this agent, or a borrowed view of a shared
+/// full-graph matrix (valid only for leaf agents — see
+/// [`ResponseEvaluator::with_shared_rest`]).
+enum RestDist<'d> {
+    Owned(DistMatrix),
+    Shared(&'d DistMatrix),
+}
+
+impl RestDist<'_> {
+    #[inline]
+    fn row(&self, x: usize) -> &[f64] {
+        match self {
+            RestDist::Owned(m) => m.row(x),
+            RestDist::Shared(m) => m.row(x),
+        }
+    }
+}
+
 /// Precomputed state for evaluating *any* candidate strategy of a fixed
 /// agent `u` in O(|neighbours|·n), without rebuilding the network.
 ///
@@ -37,7 +68,7 @@ pub const MAX_EXACT_AGENTS: usize = 22;
 /// `d(u, v) = min_{x ∈ N} (‖u,x‖ + D[x][v])` where `N` is `u`'s set of
 /// incident neighbours (bought by `u` or bought towards `u`). Shared by
 /// the exact enumeration and the local-search move generator.
-pub struct ResponseEvaluator {
+pub struct ResponseEvaluator<'d> {
     /// The agent being optimized.
     pub agent: usize,
     /// All other agents, ascending.
@@ -45,33 +76,92 @@ pub struct ResponseEvaluator {
     /// Agents that bought an edge towards `agent` (fixed incident set).
     pub fixed_incident: Vec<usize>,
     /// APSP among the other agents (rows/cols indexed by agent id).
-    dist_rest: Vec<Vec<f64>>,
+    dist_rest: RestDist<'d>,
     /// `‖u, v‖` for all v.
     edge_w: Vec<f64>,
 }
 
-impl ResponseEvaluator {
+impl ResponseEvaluator<'static> {
     /// Build the evaluator for agent `u` (runs n−1 Dijkstras once).
     pub fn new<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, u: usize) -> Self {
         let n = net.len();
         assert!(u < n);
         let mut rest = Graph::new(n);
-        let mut fixed_incident: Vec<usize> = Vec::new();
         for a in 0..n {
             if a == u {
                 continue;
             }
             for &b in net.strategy(a) {
-                if b == u {
-                    fixed_incident.push(a);
-                } else {
+                if b != u {
                     rest.add_edge(a, b, w.weight(a, b));
                 }
             }
         }
-        fixed_incident.sort_unstable();
-        fixed_incident.dedup();
-        let dist_rest = apsp::all_pairs(&rest);
+        let dist_rest = Csr::from_graph(&rest).all_pairs();
+        Self::with_dist_rest(w, net, u, RestDist::Owned(dist_rest))
+    }
+
+    /// Build the evaluator for agent `u` against an already-materialized
+    /// created network `g` (which must equal `net.graph(w)`), snapshotting
+    /// `G − u` straight out of `g` instead of re-assembling it edge by
+    /// edge. Produces the same distances as [`ResponseEvaluator::new`].
+    pub fn from_built_graph<W: EdgeWeights + ?Sized>(
+        w: &W,
+        net: &OwnedNetwork,
+        g: &Graph,
+        u: usize,
+    ) -> Self {
+        let n = net.len();
+        assert!(u < n && g.len() == n);
+        let dist_rest = Csr::from_graph_without_vertex(g, u).all_pairs();
+        Self::with_dist_rest(w, net, u, RestDist::Owned(dist_rest))
+    }
+}
+
+impl<'d> ResponseEvaluator<'d> {
+    /// Build the evaluator for a **leaf** agent `u` (degree ≤ 1 in `g`,
+    /// which must equal `net.graph(w)`), borrowing the full-graph
+    /// distance matrix `dist` (`dist[x][v] = d_G(x, v)`) instead of
+    /// running an APSP of `G − u`.
+    ///
+    /// Why this is exact: a vertex of degree ≤ 1 is never interior to a
+    /// walk between two *other* vertices — any excursion through `u`
+    /// enters and leaves via its single neighbour, and with non-negative
+    /// weights and monotone rounding the left-folded path sum only grows.
+    /// Dijkstra computes exactly the minimum rounded path sum, so
+    /// `d_{G−u}(x, v)` and `d_G(x, v)` agree **bit for bit** on every
+    /// entry the evaluator reads (rows `x ≠ u`, targets `v ≠ u`). The
+    /// per-agent APSP — the dominant cost of a dynamics probe — thus
+    /// disappears entirely for leaf agents.
+    pub fn with_shared_rest<W: EdgeWeights + ?Sized>(
+        w: &W,
+        net: &OwnedNetwork,
+        g: &Graph,
+        dist: &'d DistMatrix,
+        u: usize,
+    ) -> Self {
+        let n = net.len();
+        assert!(u < n && g.len() == n && dist.len() == n);
+        assert!(
+            g.degree(u) <= 1,
+            "shared rest distances require a leaf agent"
+        );
+        Self::with_dist_rest(w, net, u, RestDist::Shared(dist))
+    }
+
+    fn with_dist_rest<W: EdgeWeights + ?Sized>(
+        w: &W,
+        net: &OwnedNetwork,
+        u: usize,
+        dist_rest: RestDist<'d>,
+    ) -> Self {
+        let n = net.len();
+        let mut fixed_incident: Vec<usize> = Vec::new();
+        for a in 0..n {
+            if a != u && net.strategy(a).contains(&u) {
+                fixed_incident.push(a);
+            }
+        }
         let others: Vec<usize> = (0..n).filter(|&v| v != u).collect();
         let edge_w: Vec<f64> = (0..n)
             .map(|v| if v == u { 0.0 } else { w.weight(u, v) })
@@ -86,28 +176,56 @@ impl ResponseEvaluator {
     }
 
     /// Cost of `agent` under the candidate strategy `bought` (an
-    /// iterator of agent ids to buy edges to).
+    /// iterator of agent ids to buy edges to). Allocating convenience
+    /// wrapper around [`ResponseEvaluator::cost_with`].
     pub fn cost<I: IntoIterator<Item = usize>>(&self, alpha: f64, bought: I) -> f64 {
+        let mut scratch = ResponseScratch::default();
+        self.cost_with(alpha, bought, &mut scratch)
+    }
+
+    /// Like [`ResponseEvaluator::cost`], but reusing `scratch`: after the
+    /// buffers warm up, evaluating a candidate performs zero heap
+    /// allocations. Hot loops (mask enumeration, move generation) hold
+    /// one scratch per worker.
+    pub fn cost_with<I: IntoIterator<Item = usize>>(
+        &self,
+        alpha: f64,
+        bought: I,
+        scratch: &mut ResponseScratch,
+    ) -> f64 {
         let mut buy_cost = 0.0;
-        let mut neighbours: Vec<usize> = self.fixed_incident.clone();
+        scratch.neighbours.clear();
+        scratch.neighbours.extend_from_slice(&self.fixed_incident);
         for v in bought {
             debug_assert!(v != self.agent);
             buy_cost += self.edge_w[v];
-            neighbours.push(v);
+            scratch.neighbours.push(v);
         }
-        if neighbours.is_empty() {
+        if scratch.neighbours.is_empty() {
             return f64::INFINITY;
+        }
+        // Per-target minimum over the neighbour rows, scanned row-major:
+        // f64 min is exact, so the result matches the column-major
+        // formulation bit for bit while walking `dist_rest` in cache
+        // order.
+        let n = self.edge_w.len();
+        scratch.best.clear();
+        scratch.best.resize(n, f64::INFINITY);
+        // with shared rest distances the row also carries d(x, u); the
+        // entry lands in best[agent], which the sum below never reads
+        for &x in &scratch.neighbours {
+            let ew = self.edge_w[x];
+            let row = self.dist_rest.row(x);
+            for (b, &d) in scratch.best.iter_mut().zip(row) {
+                let via = ew + d;
+                if via < *b {
+                    *b = via;
+                }
+            }
         }
         let mut dist_sum = 0.0;
         for &v in &self.others {
-            let mut best = f64::INFINITY;
-            for &x in &neighbours {
-                let via = self.edge_w[x] + self.dist_rest[x][v];
-                if via < best {
-                    best = via;
-                }
-            }
-            dist_sum += best;
+            dist_sum += scratch.best[v];
             if dist_sum.is_infinite() {
                 return f64::INFINITY;
             }
@@ -127,6 +245,28 @@ pub fn exact_best_response<W: EdgeWeights + ?Sized>(
     alpha: f64,
     u: usize,
 ) -> BestResponse {
+    enumerate_best_response(w, net, alpha, u, None)
+}
+
+/// [`exact_best_response`] against a pre-built created network `g`
+/// (which must equal `net.graph(w)`), skipping the rest-graph assembly.
+pub fn exact_best_response_in_graph<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    g: &Graph,
+    alpha: f64,
+    u: usize,
+) -> BestResponse {
+    enumerate_best_response(w, net, alpha, u, Some(g))
+}
+
+fn enumerate_best_response<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+    g: Option<&Graph>,
+) -> BestResponse {
     let n = net.len();
     assert!(u < n);
     assert!(
@@ -140,29 +280,43 @@ pub fn exact_best_response<W: EdgeWeights + ?Sized>(
         };
     }
 
-    let eval = ResponseEvaluator::new(w, net, u);
-    let others = eval.others.clone();
-    let m = others.len();
-
-    let eval_mask = |mask: u64| -> f64 {
-        eval.cost(
-            alpha,
-            others
-                .iter()
-                .enumerate()
-                .filter(|(bit, _)| mask & (1u64 << bit) != 0)
-                .map(|(_, &v)| v),
-        )
+    let eval = match g {
+        Some(g) => ResponseEvaluator::from_built_graph(w, net, g, u),
+        None => ResponseEvaluator::new(w, net, u),
     };
+    exact_best_response_with_eval(&eval, alpha)
+}
+
+/// Exact best response driven by a caller-built evaluator — e.g. one
+/// borrowing shared rest distances from an [`crate::EvalContext`] via
+/// [`ResponseEvaluator::with_shared_rest`].
+pub fn exact_best_response_with_eval(eval: &ResponseEvaluator<'_>, alpha: f64) -> BestResponse {
+    let others = &eval.others;
+    let m = others.len();
+    assert!(
+        m < MAX_EXACT_AGENTS,
+        "exact best response limited to {MAX_EXACT_AGENTS} agents (got {})",
+        m + 1
+    );
 
     let total_masks = 1u64 << m;
-    let (best_mask, best_cost) = gncg_parallel::parallel_reduce(
+    let (best_mask, best_cost) = gncg_parallel::parallel_reduce_with(
         total_masks as usize,
+        ResponseScratch::default,
         || (u64::MAX, f64::INFINITY),
-        |acc, i| {
-            let c = eval_mask(i as u64);
-            if c < acc.1 || (c == acc.1 && (i as u64) < acc.0) {
-                (i as u64, c)
+        |scratch, acc, i| {
+            let mask = i as u64;
+            let c = eval.cost_with(
+                alpha,
+                others
+                    .iter()
+                    .enumerate()
+                    .filter(|(bit, _)| mask & (1u64 << bit) != 0)
+                    .map(|(_, &v)| v),
+                scratch,
+            );
+            if c < acc.1 || (c == acc.1 && mask < acc.0) {
+                (mask, c)
             } else {
                 acc
             }
@@ -324,6 +478,100 @@ mod tests {
             }
         }
         best
+    }
+
+    #[test]
+    fn from_built_graph_matches_fresh_evaluator() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(47);
+        for trial in 0..4 {
+            let n = 8;
+            let ps = generators::uniform_unit_square(n, 300 + trial);
+            let mut net = OwnedNetwork::empty(n);
+            for a in 1..n {
+                net.buy(a, rng.gen_range(0..a));
+            }
+            net.buy(0, n - 1);
+            let g = net.graph(&ps);
+            let alpha = 0.5 + rng.gen::<f64>() * 2.0;
+            for u in 0..n {
+                let fresh = ResponseEvaluator::new(&ps, &net, u);
+                let built = ResponseEvaluator::from_built_graph(&ps, &net, &g, u);
+                assert_eq!(fresh.fixed_incident, built.fixed_incident);
+                let current = net.strategy(u);
+                let a = fresh.cost(alpha, current.iter().copied());
+                let b = built.cost(alpha, current.iter().copied());
+                assert_eq!(a.to_bits(), b.to_bits(), "trial {trial} agent {u}");
+                assert_eq!(
+                    exact_best_response(&ps, &net, alpha, u),
+                    exact_best_response_in_graph(&ps, &net, &g, alpha, u),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_rest_matches_owned_for_leaf_agents() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(91);
+        for trial in 0..6 {
+            let n = 10;
+            let ps = generators::uniform_unit_square(n, 900 + trial);
+            // a star plus a few extra edges keeps plenty of leaves around
+            let mut net = OwnedNetwork::center_star(n, 0);
+            for _ in 0..2 {
+                let a = rng.gen_range(1..n);
+                let b = rng.gen_range(0..n);
+                if a != b {
+                    net.buy(a, b);
+                }
+            }
+            let g = net.graph(&ps);
+            let full = gncg_graph::csr::Csr::from_graph(&g).all_pairs();
+            let alpha = 0.5 + rng.gen::<f64>() * 2.0;
+            for u in (0..n).filter(|&u| g.degree(u) <= 1) {
+                let owned = ResponseEvaluator::from_built_graph(&ps, &net, &g, u);
+                let shared = ResponseEvaluator::with_shared_rest(&ps, &net, &g, &full, u);
+                for v in (0..n).filter(|&v| v != u) {
+                    let a = owned.cost(alpha, [v]);
+                    let b = shared.cost(alpha, [v]);
+                    assert_eq!(a.to_bits(), b.to_bits(), "trial {trial} agent {u} buy {v}");
+                }
+                assert_eq!(
+                    exact_best_response_with_eval(&owned, alpha),
+                    exact_best_response_with_eval(&shared, alpha),
+                    "trial {trial} agent {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf agent")]
+    fn shared_rest_rejects_interior_agents() {
+        let ps = generators::uniform_unit_square(5, 3);
+        let net = OwnedNetwork::center_star(5, 0);
+        let g = net.graph(&ps);
+        let full = gncg_graph::csr::Csr::from_graph(&g).all_pairs();
+        ResponseEvaluator::with_shared_rest(&ps, &net, &g, &full, 0);
+    }
+
+    #[test]
+    fn cost_with_reused_scratch_matches_cost() {
+        let ps = generators::uniform_unit_square(7, 5);
+        let net = OwnedNetwork::center_star(7, 2);
+        let eval = ResponseEvaluator::new(&ps, &net, 0);
+        let mut scratch = ResponseScratch::default();
+        for v in 1..7 {
+            let a = eval.cost(1.3, [v]);
+            let b = eval.cost_with(1.3, [v], &mut scratch);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // empty candidate with no incident edges is infeasible
+        let mut lonely = OwnedNetwork::empty(7);
+        lonely.buy(1, 2);
+        let e = ResponseEvaluator::new(&ps, &lonely, 0);
+        assert!(e.cost_with(1.0, [].into_iter(), &mut scratch).is_infinite());
     }
 
     #[test]

@@ -14,8 +14,9 @@
 //! * **Exact values** (exponential, optional): exact best responses
 //!   (n ≤ 22) and the exact social optimum (n ≤ 8).
 
-use crate::{best_response, cost, exact, moves, EdgeWeights, OwnedNetwork};
-use serde::Serialize;
+use crate::{best_response, cost, exact, moves, EdgeWeights, EvalContext, OwnedNetwork};
+use gncg_graph::Graph;
+use gncg_json::{object, ToJson, Value};
 
 /// What the certifier should compute.
 #[derive(Debug, Clone, Copy)]
@@ -62,7 +63,7 @@ impl CertifyOptions {
 }
 
 /// The certification report for a profile `s` on an instance.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CertifyReport {
     /// Number of agents.
     pub n: usize,
@@ -87,6 +88,24 @@ pub struct CertifyReport {
     pub gamma_upper: f64,
     /// Exact γ, when requested.
     pub gamma_exact: Option<f64>,
+}
+
+impl ToJson for CertifyReport {
+    fn to_json(&self) -> Value {
+        object(vec![
+            ("n", self.n.to_json()),
+            ("alpha", self.alpha.to_json()),
+            ("social_cost", self.social_cost.to_json()),
+            ("connected", self.connected.to_json()),
+            ("beta_upper", self.beta_upper.to_json()),
+            ("beta_exact", self.beta_exact.to_json()),
+            ("beta_witness", self.beta_witness.to_json()),
+            ("opt_lower_bound", self.opt_lower_bound.to_json()),
+            ("opt_exact", self.opt_exact.to_json()),
+            ("gamma_upper", self.gamma_upper.to_json()),
+            ("gamma_exact", self.gamma_exact.to_json()),
+        ])
+    }
 }
 
 /// Certified lower bound on the social optimum:
@@ -136,25 +155,39 @@ pub fn agent_beta_upper<W: EdgeWeights + ?Sized>(
     alpha: f64,
     u: usize,
 ) -> f64 {
-    let n = w.len();
     let now = cost::agent_cost(w, net, alpha, u);
+    agent_beta_upper_with_now(w, net, &net.graph(w), alpha, u, now)
+}
+
+/// [`agent_beta_upper`] with the agent's current cost and the created
+/// network already in hand (the certifier computes both once for all
+/// agents instead of rebuilding per probe).
+pub fn agent_beta_upper_with_now<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    g: &Graph,
+    alpha: f64,
+    u: usize,
+    now: f64,
+) -> f64 {
+    let n = w.len();
     let mut lb: f64 = (0..n)
         .filter(|&v| v != u)
         .map(|v| w.metric_lower_bound(u, v))
         .sum();
-    // components of the created network minus u's bought edges
-    let mut reduced = net.clone();
-    let sold: Vec<usize> = reduced.strategy(u).iter().copied().collect();
-    for v in sold {
-        reduced.sell(u, v);
+    // components of the created network minus u's bought edges (an edge
+    // survives when the other endpoint buys it too)
+    let mut g_minus = g.clone();
+    for &v in net.strategy(u) {
+        if !net.owns(v, u) {
+            g_minus.remove_edge(u, v);
+        }
     }
-    let g_minus = reduced.graph(w);
     let (labels, k) = gncg_graph::components::components(&g_minus);
     if k > 1 {
         let mut min_into = vec![f64::INFINITY; k];
-        for v in 0..n {
+        for (v, &c) in labels.iter().enumerate() {
             if v != u {
-                let c = labels[v];
                 let wv = w.weight(u, v);
                 if wv < min_into[c] {
                     min_into[c] = wv;
@@ -179,11 +212,19 @@ pub fn certify<W: EdgeWeights + ?Sized>(
 ) -> CertifyReport {
     let n = net.len();
     assert_eq!(n, w.len());
-    let g = net.graph(w);
-    let connected = gncg_graph::components::is_connected(&g);
-    let social = cost::social_cost(w, net, alpha);
+    // one shared evaluation context: the graph is built once and every
+    // agent's distance row is computed once (in parallel), instead of a
+    // full rebuild + Dijkstra per bound and per witness probe
+    let mut ctx = EvalContext::new(w, net, alpha);
+    ctx.ensure_all_rows();
+    let connected = gncg_graph::components::is_connected(ctx.graph());
+    let costs: Vec<f64> = (0..n).map(|u| ctx.agent_cost_cached(u)).collect();
+    let social: f64 = costs.iter().sum();
+    let (g, costs) = (ctx.graph(), &costs);
 
-    let beta_uppers = gncg_parallel::parallel_map(n, |u| agent_beta_upper(w, net, alpha, u));
+    let beta_uppers = gncg_parallel::parallel_map(n, |u| {
+        agent_beta_upper_with_now(w, net, g, alpha, u, costs[u])
+    });
     let beta_upper = beta_uppers.into_iter().fold(1.0f64, f64::max);
 
     let beta_exact = if opts.exact_beta && n <= best_response::MAX_EXACT_AGENTS {
@@ -194,7 +235,7 @@ pub fn certify<W: EdgeWeights + ?Sized>(
 
     let beta_witness = if opts.witness {
         let ws = gncg_parallel::parallel_map(n, |u| {
-            moves::witness_improvement_factor(w, net, alpha, u)
+            moves::witness_improvement_factor_with_now(w, net, g, alpha, u, costs[u])
         });
         ws.into_iter().fold(1.0f64, f64::max)
     } else {

@@ -4,18 +4,8 @@ use crate::{EdgeWeights, OwnedNetwork};
 use gncg_graph::{apsp, dijkstra, Graph};
 
 /// Edge cost `α·‖u, S_u‖` of agent `u`.
-pub fn edge_cost<W: EdgeWeights + ?Sized>(
-    w: &W,
-    net: &OwnedNetwork,
-    alpha: f64,
-    u: usize,
-) -> f64 {
-    alpha
-        * net
-            .strategy(u)
-            .iter()
-            .map(|&v| w.weight(u, v))
-            .sum::<f64>()
+pub fn edge_cost<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64, u: usize) -> f64 {
+    alpha * net.strategy(u).iter().map(|&v| w.weight(u, v)).sum::<f64>()
 }
 
 /// Distance cost `d_G(u, P)` of agent `u` (`INFINITY` when the created
@@ -26,12 +16,7 @@ pub fn distance_cost<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, u: usiz
 }
 
 /// Full cost of agent `u`: `α·‖u,S_u‖ + d_G(u, P)`.
-pub fn agent_cost<W: EdgeWeights + ?Sized>(
-    w: &W,
-    net: &OwnedNetwork,
-    alpha: f64,
-    u: usize,
-) -> f64 {
+pub fn agent_cost<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64, u: usize) -> f64 {
     edge_cost(w, net, alpha, u) + distance_cost(w, net, u)
 }
 
@@ -94,8 +79,8 @@ mod tests {
         let net = OwnedNetwork::complete(15);
         let alpha = 1.5;
         let batch = all_costs(&ps, &net, alpha);
-        for u in 0..15 {
-            assert!((batch[u] - agent_cost(&ps, &net, alpha, u)).abs() < 1e-9);
+        for (u, &c) in batch.iter().enumerate() {
+            assert!((c - agent_cost(&ps, &net, alpha, u)).abs() < 1e-9);
         }
     }
 

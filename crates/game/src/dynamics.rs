@@ -5,9 +5,15 @@
 //! response cycle (Figure 2 right) whose coordinates are not printed;
 //! we reproduce the claim by *searching* for cycles: run the dynamics
 //! with canonical state hashing and report the first revisited state.
+//!
+//! All drivers run on an [`EvalContext`]: the created network is
+//! delta-rebuilt per accepted move and agent costs come from cached
+//! distance rows instead of a full rebuild-plus-Dijkstra per probe. The
+//! old from-scratch path survives as [`run_ordered_reference`], the
+//! property-test oracle (and the "old" side of the dynamics benchmark).
 
-use crate::{best_response, cost, moves, EdgeWeights, OwnedNetwork};
-use std::collections::HashMap;
+use crate::{best_response, cost, moves, EdgeWeights, EvalContext, OwnedNetwork};
+use std::collections::{BTreeSet, HashMap};
 
 /// Which response oracle the dynamics use.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,21 +87,33 @@ pub fn run_ordered<W: EdgeWeights + ?Sized>(
     }
 }
 
-fn response_for<W: EdgeWeights + ?Sized>(
-    w: &W,
-    state: &OwnedNetwork,
-    alpha: f64,
+/// Improving response of `u` in the context's current state, with `now`
+/// its (already cached) current cost: the new strategy and the gain.
+fn response_in_ctx<W: EdgeWeights + ?Sized>(
+    ctx: &EvalContext<W>,
     rule: ResponseRule,
     u: usize,
-) -> Option<(std::collections::BTreeSet<usize>, f64)> {
-    let now = cost::agent_cost(w, state, alpha, u);
+    now: f64,
+) -> Option<(BTreeSet<usize>, f64)> {
+    let (w, net, g, alpha) = (ctx.weights(), ctx.network(), ctx.graph(), ctx.alpha());
+    // Leaf agents (degree ≤ 1) borrow the context's full-graph distance
+    // matrix as their rest distances — bit-identical and APSP-free (see
+    // `ResponseEvaluator::with_shared_rest`); everyone else runs the
+    // usual APSP of `G − u`.
+    let eval = match ctx.cached_full_matrix() {
+        Some(dist) if g.degree(u) <= 1 => {
+            best_response::ResponseEvaluator::with_shared_rest(w, net, g, dist, u)
+        }
+        _ => best_response::ResponseEvaluator::from_built_graph(w, net, g, u),
+    };
     match rule {
         ResponseRule::BestResponse => {
-            let br = best_response::exact_best_response(w, state, alpha, u);
-            gncg_geometry::definitely_less(br.cost, now).then(|| (br.strategy, now - br.cost))
+            let br = best_response::exact_best_response_with_eval(&eval, alpha);
+            gncg_geometry::definitely_less(br.cost, now).then_some((br.strategy, now - br.cost))
         }
-        ResponseRule::BestSingleMove => moves::best_single_move(w, state, alpha, u)
-            .map(|m| (m.strategy, now - m.cost)),
+        ResponseRule::BestSingleMove => {
+            moves::best_single_move_from_eval(&eval, net, alpha).map(|m| (m.strategy, now - m.cost))
+        }
     }
 }
 
@@ -107,37 +125,47 @@ fn run_max_gain<W: EdgeWeights + ?Sized>(
     max_steps: usize,
 ) -> Outcome {
     let n = start.len();
-    let mut state = start.clone();
+    let mut ctx = EvalContext::new(w, start, alpha);
     let mut seen: HashMap<Vec<Vec<usize>>, usize> = HashMap::new();
-    let mut history = vec![state.clone()];
-    seen.insert(state.canonical_key(), 0);
+    let mut history = vec![start.clone()];
+    seen.insert(start.canonical_key(), 0);
     for steps in 0..max_steps {
-        // pick the agent with the largest improvement
-        let candidates = gncg_parallel::parallel_map(n, |u| response_for(w, &state, alpha, rule, u));
+        // refresh all distance rows once, then probe agents in parallel
+        // against the shared graph + cached costs
+        ctx.ensure_all_rows();
+        let shared = &ctx;
+        let candidates = gncg_parallel::parallel_map(n, |u| {
+            response_in_ctx(shared, rule, u, shared.agent_cost_cached(u))
+        });
         let best = candidates
             .into_iter()
             .enumerate()
             .filter_map(|(u, c)| c.map(|(s, gain)| (u, s, gain)))
             .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
         match best {
-            None => return Outcome::Converged { state, steps },
+            None => {
+                return Outcome::Converged {
+                    state: ctx.network().clone(),
+                    steps,
+                }
+            }
             Some((u, strategy, _)) => {
-                state.set_strategy(u, strategy);
-                let key = state.canonical_key();
+                ctx.apply_move(u, strategy);
+                let key = ctx.network().canonical_key();
                 if let Some(&first) = seen.get(&key) {
-                    history.push(state.clone());
+                    history.push(ctx.network().clone());
                     return Outcome::Cycle {
                         history,
                         cycle_start: first,
                     };
                 }
                 seen.insert(key, history.len());
-                history.push(state.clone());
+                history.push(ctx.network().clone());
             }
         }
     }
     Outcome::Exhausted {
-        state,
+        state: ctx.network().clone(),
         steps: max_steps,
     }
 }
@@ -151,10 +179,10 @@ fn run_with_rounds<W: EdgeWeights + ?Sized>(
     shuffle_seed: Option<u64>,
 ) -> Outcome {
     let n = start.len();
-    let mut state = start.clone();
+    let mut ctx = EvalContext::new(w, start, alpha);
     let mut seen: HashMap<Vec<Vec<usize>>, usize> = HashMap::new();
-    let mut history: Vec<OwnedNetwork> = vec![state.clone()];
-    seen.insert(state.canonical_key(), 0);
+    let mut history: Vec<OwnedNetwork> = vec![start.clone()];
+    seen.insert(start.canonical_key(), 0);
     let mut steps = 0usize;
     // tiny xorshift for the shuffled schedule (rand is a dev-dependency
     // only; the dynamics must stay deterministic given the seed anyway)
@@ -178,26 +206,154 @@ fn run_with_rounds<W: EdgeWeights + ?Sized>(
         let mut changed = false;
         for &u in &order {
             if steps >= max_steps {
-                return Outcome::Exhausted { state, steps };
+                return Outcome::Exhausted {
+                    state: ctx.network().clone(),
+                    steps,
+                };
             }
-            if let Some((strategy, _)) = response_for(w, &state, alpha, rule, u) {
-                state.set_strategy(u, strategy);
+            // a no-op unless the previous accepted move changed the edge
+            // set; keeps the full matrix warm so leaf agents can share it
+            ctx.ensure_all_rows();
+            let now = ctx.agent_cost_cached(u);
+            if let Some((strategy, _)) = response_in_ctx(&ctx, rule, u, now) {
+                ctx.apply_move(u, strategy);
                 steps += 1;
                 changed = true;
-                let key = state.canonical_key();
+                let key = ctx.network().canonical_key();
                 if let Some(&first) = seen.get(&key) {
-                    history.push(state.clone());
+                    history.push(ctx.network().clone());
                     return Outcome::Cycle {
                         history,
                         cycle_start: first,
                     };
                 }
                 seen.insert(key, history.len());
-                history.push(state.clone());
+                history.push(ctx.network().clone());
             }
         }
         if !changed {
-            return Outcome::Converged { state, steps };
+            return Outcome::Converged {
+                state: ctx.network().clone(),
+                steps,
+            };
+        }
+    }
+}
+
+/// The pre-incremental dynamics driver: every probe rebuilds `G(s)` and
+/// recomputes the agent's cost from scratch. Behaviourally identical to
+/// [`run_ordered`]; retained as the property-test oracle and as the
+/// baseline side of the dynamics benchmark. Do not use in new code.
+pub fn run_ordered_reference<W: EdgeWeights + ?Sized>(
+    w: &W,
+    start: &OwnedNetwork,
+    alpha: f64,
+    rule: ResponseRule,
+    order: AgentOrder,
+    max_steps: usize,
+) -> Outcome {
+    let response_for = |state: &OwnedNetwork, u: usize| -> Option<(BTreeSet<usize>, f64)> {
+        let now = cost::agent_cost(w, state, alpha, u);
+        match rule {
+            ResponseRule::BestResponse => {
+                let br = best_response::exact_best_response(w, state, alpha, u);
+                gncg_geometry::definitely_less(br.cost, now).then_some((br.strategy, now - br.cost))
+            }
+            ResponseRule::BestSingleMove => {
+                moves::best_single_move(w, state, alpha, u).map(|m| (m.strategy, now - m.cost))
+            }
+        }
+    };
+
+    let n = start.len();
+    let mut state = start.clone();
+    let mut seen: HashMap<Vec<Vec<usize>>, usize> = HashMap::new();
+    let mut history = vec![state.clone()];
+    seen.insert(state.canonical_key(), 0);
+
+    let accept = |state: &OwnedNetwork,
+                  history: &mut Vec<OwnedNetwork>,
+                  seen: &mut HashMap<Vec<Vec<usize>>, usize>|
+     -> Option<usize> {
+        let key = state.canonical_key();
+        if let Some(&first) = seen.get(&key) {
+            history.push(state.clone());
+            return Some(first);
+        }
+        seen.insert(key, history.len());
+        history.push(state.clone());
+        None
+    };
+
+    match order {
+        AgentOrder::MaxGain => {
+            for steps in 0..max_steps {
+                let candidates = gncg_parallel::parallel_map(n, |u| response_for(&state, u));
+                let best = candidates
+                    .into_iter()
+                    .enumerate()
+                    .filter_map(|(u, c)| c.map(|(s, gain)| (u, s, gain)))
+                    .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
+                match best {
+                    None => return Outcome::Converged { state, steps },
+                    Some((u, strategy, _)) => {
+                        state.set_strategy(u, strategy);
+                        if let Some(first) = accept(&state, &mut history, &mut seen) {
+                            return Outcome::Cycle {
+                                history,
+                                cycle_start: first,
+                            };
+                        }
+                    }
+                }
+            }
+            Outcome::Exhausted {
+                state,
+                steps: max_steps,
+            }
+        }
+        AgentOrder::RoundRobin | AgentOrder::RandomPermutation(_) => {
+            let shuffle_seed = match order {
+                AgentOrder::RandomPermutation(s) => Some(s),
+                _ => None,
+            };
+            let mut steps = 0usize;
+            let mut rng_state = shuffle_seed.unwrap_or(0) | 1;
+            let mut next_u64 = move || {
+                rng_state ^= rng_state << 13;
+                rng_state ^= rng_state >> 7;
+                rng_state ^= rng_state << 17;
+                rng_state
+            };
+            let mut agent_order: Vec<usize> = (0..n).collect();
+            loop {
+                if shuffle_seed.is_some() {
+                    for i in (1..n).rev() {
+                        let j = (next_u64() % (i as u64 + 1)) as usize;
+                        agent_order.swap(i, j);
+                    }
+                }
+                let mut changed = false;
+                for &u in &agent_order {
+                    if steps >= max_steps {
+                        return Outcome::Exhausted { state, steps };
+                    }
+                    if let Some((strategy, _)) = response_for(&state, u) {
+                        state.set_strategy(u, strategy);
+                        steps += 1;
+                        changed = true;
+                        if let Some(first) = accept(&state, &mut history, &mut seen) {
+                            return Outcome::Cycle {
+                                history,
+                                cycle_start: first,
+                            };
+                        }
+                    }
+                }
+                if !changed {
+                    return Outcome::Converged { state, steps };
+                }
+            }
         }
     }
 }
@@ -283,7 +439,10 @@ mod tests {
                 let g = state.graph(&ps);
                 assert!(gncg_graph::components::is_connected(&g));
             }
-            Outcome::Cycle { history, cycle_start } => {
+            Outcome::Cycle {
+                history,
+                cycle_start,
+            } => {
                 assert!(cycle_start < history.len());
                 assert_eq!(
                     history[cycle_start].canonical_key(),
@@ -351,6 +510,25 @@ mod tests {
             200,
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn incremental_matches_reference_runner() {
+        for seed in 0..4u64 {
+            let ps = generators::uniform_unit_square(7, 100 + seed);
+            let start = OwnedNetwork::center_star(7, 0);
+            for order in [
+                AgentOrder::RoundRobin,
+                AgentOrder::RandomPermutation(seed),
+                AgentOrder::MaxGain,
+            ] {
+                for rule in [ResponseRule::BestSingleMove, ResponseRule::BestResponse] {
+                    let fast = run_ordered(&ps, &start, 1.0, rule, order, 300);
+                    let slow = run_ordered_reference(&ps, &start, 1.0, rule, order, 300);
+                    assert_eq!(fast, slow, "seed {seed} order {order:?} rule {rule:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -19,20 +19,12 @@ use crate::{cost, moves, EdgeWeights, OwnedNetwork};
 use std::collections::BTreeSet;
 
 /// Is the profile stable against single add/drop/swap moves?
-pub fn is_greedy_stable<W: EdgeWeights + ?Sized>(
-    w: &W,
-    net: &OwnedNetwork,
-    alpha: f64,
-) -> bool {
+pub fn is_greedy_stable<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64) -> bool {
     (0..net.len()).all(|u| moves::best_single_move(w, net, alpha, u).is_none())
 }
 
 /// Is the profile stable against single swap moves only?
-pub fn is_swap_stable<W: EdgeWeights + ?Sized>(
-    w: &W,
-    net: &OwnedNetwork,
-    alpha: f64,
-) -> bool {
+pub fn is_swap_stable<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64) -> bool {
     (0..net.len()).all(|u| best_swap(w, net, alpha, u).is_none())
 }
 
@@ -60,7 +52,10 @@ pub fn best_swap<W: EdgeWeights + ?Sized>(
             let improves = gncg_geometry::definitely_less(c, now);
             let beats = best.as_ref().map(|m| c < m.cost).unwrap_or(true);
             if improves && beats {
-                best = Some(moves::Move { strategy: s, cost: c });
+                best = Some(moves::Move {
+                    strategy: s,
+                    cost: c,
+                });
             }
         }
     }
@@ -70,11 +65,7 @@ pub fn best_swap<W: EdgeWeights + ?Sized>(
 /// The greedy-instability factor: the largest cost improvement any agent
 /// reaches with a *single* move (1.0 when greedy stable). A certified
 /// lower bound on the profile's true β.
-pub fn greedy_instability<W: EdgeWeights + ?Sized>(
-    w: &W,
-    net: &OwnedNetwork,
-    alpha: f64,
-) -> f64 {
+pub fn greedy_instability<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64) -> f64 {
     let factors = gncg_parallel::parallel_map(net.len(), |u| {
         let now = cost::agent_cost(w, net, alpha, u);
         match moves::best_single_move(w, net, alpha, u) {

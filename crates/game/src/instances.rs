@@ -94,11 +94,7 @@ pub fn chain_ne_social_cost(n: usize, alpha: f64) -> f64 {
 /// `α((n−α)(1+2/α)^n + α + n + (1+2/α)^{n−1})`.
 pub fn chain_opt_social_cost(n: usize, alpha: f64) -> f64 {
     let q = 1.0 + 2.0 / alpha;
-    alpha
-        * ((n as f64 - alpha) * q.powi(n as i32)
-            + alpha
-            + n as f64
-            + q.powi(n as i32 - 1))
+    alpha * ((n as f64 - alpha) * q.powi(n as i32) + alpha + n as f64 + q.powi(n as i32 - 1))
 }
 
 /// Left side of Lemma 4.2:
@@ -246,7 +242,10 @@ mod tests {
         let ratio_small = cross_ne_social_cost(3, alpha) / cross_opt_social_cost(3, alpha);
         let ratio_large = cross_ne_social_cost(200, alpha) / cross_opt_social_cost(200, alpha);
         assert!(ratio_large > ratio_small);
-        assert!((ratio_large - bound).abs() < 0.05 * bound, "ratio {ratio_large} bound {bound}");
+        assert!(
+            (ratio_large - bound).abs() < 0.05 * bound,
+            "ratio {ratio_large} bound {bound}"
+        );
     }
 
     #[test]
@@ -255,13 +254,21 @@ mod tests {
         let g = opt.graph(&ps);
         // intra-cluster zero edges: 2 per cluster; cross edges: 3
         assert_eq!(g.num_edges(), 9);
-        let unit_edges = g.edges().iter().filter(|&&(_, _, w)| (w - 1.0).abs() < 1e-9).count();
+        let unit_edges = g
+            .edges()
+            .iter()
+            .filter(|&&(_, _, w)| (w - 1.0).abs() < 1e-9)
+            .count();
         assert_eq!(unit_edges, 3);
         assert!(gncg_graph::components::is_connected(&g));
 
         let (ps2, two) = triangle_two_edges(3, 0.0);
         let g2 = two.graph(&ps2);
-        let unit2 = g2.edges().iter().filter(|&&(_, _, w)| (w - 1.0).abs() < 1e-9).count();
+        let unit2 = g2
+            .edges()
+            .iter()
+            .filter(|&&(_, _, w)| (w - 1.0).abs() < 1e-9)
+            .count();
         assert_eq!(unit2, 2);
         assert!(gncg_graph::components::is_connected(&g2));
     }

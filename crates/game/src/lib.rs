@@ -20,6 +20,8 @@
 //!   instances and sound bounds on large ones,
 //! * [`dynamics`] — (best-)response dynamics with cycle detection
 //!   (the Theorem 3.1 FIP study),
+//! * [`eval`] — the incremental [`EvalContext`] the dynamics and
+//!   certifier run on (delta-rebuilt graph, cached distance rows),
 //! * [`instances`] — the paper's witness instances with their strategy
 //!   profiles (Theorems 2.1, 4.1, 4.3, 4.4).
 
@@ -27,15 +29,18 @@ pub mod best_response;
 pub mod certify;
 pub mod cost;
 pub mod dynamics;
+pub mod eval;
 pub mod exact;
 pub mod greedy_eq;
 pub mod instances;
 pub mod moves;
 pub mod network;
 
+pub use eval::EvalContext;
 pub use network::OwnedNetwork;
 
 use gncg_geometry::PointSet;
+use gncg_graph::DistMatrix;
 
 /// Edge-length oracle shared by the Euclidean game and the host-network
 /// GNCG: `weight(u, v)` is the length `‖u,v‖` (resp. `w(u,v)`) an edge
@@ -43,6 +48,11 @@ use gncg_geometry::PointSet;
 pub trait EdgeWeights: Sync {
     /// Number of agents.
     fn len(&self) -> usize;
+
+    /// True iff the game has no agents (never, for validated instances).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 
     /// Length of a potential edge `{u, v}` (`u != v`).
     fn weight(&self, u: usize, v: usize) -> f64;
@@ -66,26 +76,35 @@ impl EdgeWeights for PointSet {
     }
 }
 
-/// Dense explicit weights (used by host networks and tests). Carries an
-/// optional separate lower-bound matrix (the metric closure) for
-/// non-metric instances.
+/// Dense explicit weights (used by host networks and tests), stored as a
+/// flat row-major [`DistMatrix`]. Carries an optional separate
+/// lower-bound matrix (the metric closure) for non-metric instances.
 #[derive(Debug, Clone)]
 pub struct DenseWeights {
-    weights: Vec<Vec<f64>>,
-    lower_bounds: Option<Vec<Vec<f64>>>,
+    weights: DistMatrix,
+    lower_bounds: Option<DistMatrix>,
 }
 
 impl DenseWeights {
-    /// Build from a symmetric weight matrix.
+    /// Build from a symmetric weight matrix given as nested rows.
     pub fn new(weights: Vec<Vec<f64>>) -> Self {
         let n = weights.len();
-        assert!(n >= 1);
         for (i, row) in weights.iter().enumerate() {
-            assert_eq!(row.len(), n, "weight matrix must be square");
-            for (j, &w) in row.iter().enumerate() {
+            assert_eq!(row.len(), n, "weight matrix must be square (row {i})");
+        }
+        Self::from_matrix(DistMatrix::from_rows(weights))
+    }
+
+    /// Build from a symmetric weight matrix.
+    pub fn from_matrix(weights: DistMatrix) -> Self {
+        let n = weights.len();
+        assert!(n >= 1);
+        for i in 0..n {
+            for j in 0..n {
+                let w = weights.get(i, j);
                 assert!(w.is_finite() && w >= 0.0, "invalid weight at ({i},{j})");
                 assert!(
-                    (w - weights[j][i]).abs() < 1e-12,
+                    (w - weights.get(j, i)).abs() < 1e-12,
                     "weight matrix must be symmetric"
                 );
             }
@@ -98,7 +117,7 @@ impl DenseWeights {
 
     /// Attach a distance lower-bound matrix (e.g. the host's metric
     /// closure) used by β/γ certification on non-metric instances.
-    pub fn with_lower_bounds(mut self, lb: Vec<Vec<f64>>) -> Self {
+    pub fn with_lower_bounds(mut self, lb: DistMatrix) -> Self {
         assert_eq!(lb.len(), self.weights.len());
         self.lower_bounds = Some(lb);
         self
@@ -111,13 +130,13 @@ impl EdgeWeights for DenseWeights {
     }
 
     fn weight(&self, u: usize, v: usize) -> f64 {
-        self.weights[u][v]
+        self.weights.get(u, v)
     }
 
     fn metric_lower_bound(&self, u: usize, v: usize) -> f64 {
         match &self.lower_bounds {
-            Some(lb) => lb[u][v],
-            None => self.weights[u][v],
+            Some(lb) => lb.get(u, v),
+            None => self.weights.get(u, v),
         }
     }
 }
@@ -145,11 +164,11 @@ mod tests {
         assert_eq!(w.len(), 3);
         assert_eq!(w.weight(0, 2), 4.0);
         // non-metric: direct 0-2 edge (4.0) longer than path via 1 (3.0)
-        let closure = vec![
+        let closure = DistMatrix::from_rows(vec![
             vec![0.0, 1.0, 3.0],
             vec![1.0, 0.0, 2.0],
             vec![3.0, 2.0, 0.0],
-        ];
+        ]);
         let w = w.with_lower_bounds(closure);
         assert_eq!(w.metric_lower_bound(0, 2), 3.0);
         assert_eq!(w.weight(0, 2), 4.0);

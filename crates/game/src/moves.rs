@@ -9,8 +9,14 @@
 //!   NOT β-stable for smaller β,
 //! * as the response oracle of [`crate::dynamics`] on instances too
 //!   large for exact best responses.
+//!
+//! Candidate strategies are materialized into one reusable sorted buffer
+//! (no per-candidate set clones); only the winning move is turned into a
+//! `BTreeSet` at the end.
 
+use crate::best_response::{ResponseEvaluator, ResponseScratch};
 use crate::{cost, EdgeWeights, OwnedNetwork};
+use gncg_graph::Graph;
 use std::collections::BTreeSet;
 
 /// A candidate strategy change for one agent with its resulting cost.
@@ -35,6 +41,15 @@ pub fn cost_with_strategy<W: EdgeWeights + ?Sized>(
     cost::agent_cost(w, &trial, alpha, u)
 }
 
+/// A single add/drop/swap relative to the current strategy, tracked
+/// symbolically so candidate enumeration never materializes a set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Step {
+    Drop(usize),
+    Add(usize),
+    Swap(usize, usize),
+}
+
 /// Best single add / drop / swap move for agent `u`, or `None` if none of
 /// them strictly improves (beyond floating-point noise).
 ///
@@ -47,61 +62,127 @@ pub fn best_single_move<W: EdgeWeights + ?Sized>(
     alpha: f64,
     u: usize,
 ) -> Option<Move> {
-    let eval = crate::best_response::ResponseEvaluator::new(w, net, u);
-    let current = net.strategy(u).clone();
-    let current_cost = eval.cost(alpha, current.iter().copied());
-    best_single_move_with(&eval, net.len(), &current, current_cost, alpha)
+    let eval = ResponseEvaluator::new(w, net, u);
+    best_single_move_from_eval(&eval, net, alpha)
 }
 
-/// Move-generation core shared with [`local_search_response`]: best
-/// improving add/drop/swap around `current`, judged by `eval`.
-fn best_single_move_with(
-    eval: &crate::best_response::ResponseEvaluator,
-    n: usize,
-    current: &BTreeSet<usize>,
-    current_cost: f64,
+/// [`best_single_move`] against a pre-built created network `g` (which
+/// must equal `net.graph(w)`), skipping the rest-graph re-assembly.
+pub fn best_single_move_in_graph<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    g: &Graph,
+    alpha: f64,
+    u: usize,
+) -> Option<Move> {
+    let eval = ResponseEvaluator::from_built_graph(w, net, g, u);
+    best_single_move_from_eval(&eval, net, alpha)
+}
+
+/// [`best_single_move`] driven by a caller-built evaluator — e.g. one
+/// borrowing shared rest distances from an [`crate::EvalContext`] via
+/// [`ResponseEvaluator::with_shared_rest`] for leaf agents.
+pub fn best_single_move_from_eval(
+    eval: &ResponseEvaluator<'_>,
+    net: &OwnedNetwork,
     alpha: f64,
 ) -> Option<Move> {
     let u = eval.agent;
-    let mut best: Option<Move> = None;
-    let mut consider = |strategy: BTreeSet<usize>| {
-        let c = eval.cost(alpha, strategy.iter().copied());
+    let mut scratch = ResponseScratch::default();
+    let current: Vec<usize> = net.strategy(u).iter().copied().collect();
+    let current_cost = eval.cost_with(alpha, current.iter().copied(), &mut scratch);
+    let mut cand = Vec::with_capacity(current.len() + 1);
+    best_single_step(
+        eval,
+        net.len(),
+        &current,
+        current_cost,
+        alpha,
+        &mut scratch,
+        &mut cand,
+    )
+    .map(|(step, c)| Move {
+        strategy: materialize(&current, step),
+        cost: c,
+    })
+}
+
+/// Move-generation core shared with [`local_search_response`]: best
+/// improving add/drop/swap around the sorted strategy `current`, judged
+/// by `eval`. Candidates are written into the reusable sorted buffer
+/// `cand`; no heap allocation happens per candidate once the buffers are
+/// warm.
+fn best_single_step(
+    eval: &ResponseEvaluator<'_>,
+    n: usize,
+    current: &[usize],
+    current_cost: f64,
+    alpha: f64,
+    scratch: &mut ResponseScratch,
+    cand: &mut Vec<usize>,
+) -> Option<(Step, f64)> {
+    let u = eval.agent;
+    let mut best: Option<(Step, f64)> = None;
+    let mut consider = |step: Step, cand: &[usize], scratch: &mut ResponseScratch| {
+        let c = eval.cost_with(alpha, cand.iter().copied(), scratch);
         let beats_current = gncg_geometry::definitely_less(c, current_cost);
         let beats_best = match &best {
-            Some(m) => c < m.cost,
+            Some((_, bc)) => c < *bc,
             None => true,
         };
         if beats_current && beats_best {
-            best = Some(Move { strategy, cost: c });
+            best = Some((step, c));
         }
     };
 
     // drops
     for &v in current {
-        let mut s = current.clone();
-        s.remove(&v);
-        consider(s);
+        write_candidate(current, Step::Drop(v), cand);
+        consider(Step::Drop(v), cand, scratch);
     }
     // adds
     for v in 0..n {
-        if v != u && !current.contains(&v) {
-            let mut s = current.clone();
-            s.insert(v);
-            consider(s);
+        if v != u && current.binary_search(&v).is_err() {
+            write_candidate(current, Step::Add(v), cand);
+            consider(Step::Add(v), cand, scratch);
         }
     }
     // swaps
     for &out in current {
         for inn in 0..n {
-            if inn != u && inn != out && !current.contains(&inn) {
-                let mut s = current.clone();
-                s.remove(&out);
-                s.insert(inn);
-                consider(s);
+            if inn != u && inn != out && current.binary_search(&inn).is_err() {
+                write_candidate(current, Step::Swap(out, inn), cand);
+                consider(Step::Swap(out, inn), cand, scratch);
             }
         }
     }
     best
+}
+
+/// Write `current` with `step` applied into `out`, keeping it sorted (the
+/// same order a `BTreeSet` would iterate, so edge costs accumulate in the
+/// same sequence as the from-scratch evaluation).
+fn write_candidate(current: &[usize], step: Step, out: &mut Vec<usize>) {
+    out.clear();
+    match step {
+        Step::Drop(v) => out.extend(current.iter().copied().filter(|&x| x != v)),
+        Step::Add(v) => {
+            out.extend(current.iter().copied().filter(|&x| x < v));
+            out.push(v);
+            out.extend(current.iter().copied().filter(|&x| x > v));
+        }
+        Step::Swap(rm, v) => {
+            out.extend(current.iter().copied().filter(|&x| x < v && x != rm));
+            out.push(v);
+            out.extend(current.iter().copied().filter(|&x| x > v && x != rm));
+        }
+    }
+}
+
+fn materialize(current: &[usize], step: Step) -> BTreeSet<usize> {
+    let mut buf = Vec::with_capacity(current.len() + 1);
+    write_candidate(current, step, &mut buf);
+    buf.into_iter().collect()
 }
 
 /// Iterated local search: apply [`best_single_move`] until no single move
@@ -117,20 +198,55 @@ pub fn local_search_response<W: EdgeWeights + ?Sized>(
     u: usize,
     max_rounds: usize,
 ) -> Move {
-    let eval = crate::best_response::ResponseEvaluator::new(w, net, u);
-    let mut current = net.strategy(u).clone();
-    let mut current_cost = eval.cost(alpha, current.iter().copied());
+    let eval = ResponseEvaluator::new(w, net, u);
+    local_search_from_eval(&eval, net, alpha, u, max_rounds)
+}
+
+/// [`local_search_response`] against a pre-built created network.
+pub fn local_search_response_in_graph<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    g: &Graph,
+    alpha: f64,
+    u: usize,
+    max_rounds: usize,
+) -> Move {
+    let eval = ResponseEvaluator::from_built_graph(w, net, g, u);
+    local_search_from_eval(&eval, net, alpha, u, max_rounds)
+}
+
+fn local_search_from_eval(
+    eval: &ResponseEvaluator<'_>,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+    max_rounds: usize,
+) -> Move {
+    let mut scratch = ResponseScratch::default();
+    let mut current: Vec<usize> = net.strategy(u).iter().copied().collect();
+    let mut current_cost = eval.cost_with(alpha, current.iter().copied(), &mut scratch);
+    let mut cand = Vec::with_capacity(current.len() + 1);
+    let mut next = Vec::with_capacity(current.len() + 1);
     for _ in 0..max_rounds {
-        match best_single_move_with(&eval, net.len(), &current, current_cost, alpha) {
-            Some(m) => {
-                current = m.strategy;
-                current_cost = m.cost;
+        match best_single_step(
+            eval,
+            net.len(),
+            &current,
+            current_cost,
+            alpha,
+            &mut scratch,
+            &mut cand,
+        ) {
+            Some((step, c)) => {
+                write_candidate(&current, step, &mut next);
+                std::mem::swap(&mut current, &mut next);
+                current_cost = c;
             }
             None => break,
         }
     }
     Move {
-        strategy: current,
+        strategy: current.into_iter().collect(),
         cost: current_cost,
     }
 }
@@ -146,6 +262,21 @@ pub fn witness_improvement_factor<W: EdgeWeights + ?Sized>(
 ) -> f64 {
     let now = cost::agent_cost(w, net, alpha, u);
     let found = local_search_response(w, net, alpha, u, 2 * net.len());
+    crate::best_response::ratio(now, found.cost)
+}
+
+/// [`witness_improvement_factor`] with the agent's current cost and the
+/// created network already in hand (the certifier computes both once for
+/// all agents).
+pub fn witness_improvement_factor_with_now<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    g: &Graph,
+    alpha: f64,
+    u: usize,
+    now: f64,
+) -> f64 {
+    let found = local_search_response_in_graph(w, net, g, alpha, u, 2 * net.len());
     crate::best_response::ratio(now, found.cost)
 }
 
@@ -184,6 +315,55 @@ mod tests {
         let m = best_single_move(&ps, &net, 100.0, 0).expect("drop should improve");
         assert!(!m.strategy.contains(&2));
         assert!(m.strategy.contains(&1));
+    }
+
+    #[test]
+    fn candidate_buffer_matches_set_semantics() {
+        let current = [1usize, 4, 7];
+        let mut buf = Vec::new();
+        write_candidate(&current, Step::Drop(4), &mut buf);
+        assert_eq!(buf, vec![1, 7]);
+        write_candidate(&current, Step::Add(5), &mut buf);
+        assert_eq!(buf, vec![1, 4, 5, 7]);
+        write_candidate(&current, Step::Add(0), &mut buf);
+        assert_eq!(buf, vec![0, 1, 4, 7]);
+        write_candidate(&current, Step::Swap(7, 2), &mut buf);
+        assert_eq!(buf, vec![1, 2, 4]);
+        write_candidate(&current, Step::Swap(1, 9), &mut buf);
+        assert_eq!(buf, vec![4, 7, 9]);
+        assert_eq!(
+            materialize(&current, Step::Swap(4, 0))
+                .into_iter()
+                .collect::<Vec<_>>(),
+            vec![0, 1, 7]
+        );
+    }
+
+    #[test]
+    fn in_graph_variant_matches_plain() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for trial in 0..4 {
+            let n = 8;
+            let ps = generators::uniform_unit_square(n, 700 + trial);
+            let mut net = OwnedNetwork::empty(n);
+            for a in 1..n {
+                net.buy(a, rng.gen_range(0..a));
+            }
+            let g = net.graph(&ps);
+            let alpha = 0.5 + rng.gen::<f64>() * 2.0;
+            for u in 0..n {
+                assert_eq!(
+                    best_single_move(&ps, &net, alpha, u),
+                    best_single_move_in_graph(&ps, &net, &g, alpha, u),
+                    "trial {trial} agent {u}"
+                );
+                assert_eq!(
+                    local_search_response(&ps, &net, alpha, u, 12),
+                    local_search_response_in_graph(&ps, &net, &g, alpha, u, 12),
+                );
+            }
+        }
     }
 
     #[test]

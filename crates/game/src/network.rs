@@ -2,16 +2,38 @@
 
 use crate::EdgeWeights;
 use gncg_graph::Graph;
-use serde::{Deserialize, Serialize};
+use gncg_json::{field, object, FromJson, JsonError, ToJson, Value};
 use std::collections::BTreeSet;
 
 /// A strategy profile `s = (S_1, …, S_n)`: for each agent, the set of
 /// agents she buys an edge to. The induced network is the union of all
 /// bought edges; both directions may be bought simultaneously (each owner
 /// then pays separately, as in the model).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct OwnedNetwork {
     strategies: Vec<BTreeSet<usize>>,
+}
+
+impl ToJson for OwnedNetwork {
+    fn to_json(&self) -> Value {
+        object(vec![("strategies", self.strategies.to_json())])
+    }
+}
+
+impl FromJson for OwnedNetwork {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let strategies = Vec::<BTreeSet<usize>>::from_json(field(value, "strategies")?)?;
+        let n = strategies.len();
+        if n == 0 {
+            return Err(JsonError::new("profile must have at least one agent"));
+        }
+        for (u, s) in strategies.iter().enumerate() {
+            if s.contains(&u) || s.iter().any(|&v| v >= n) {
+                return Err(JsonError::new("strategy targets out of range"));
+            }
+        }
+        Ok(Self { strategies })
+    }
 }
 
 impl OwnedNetwork {

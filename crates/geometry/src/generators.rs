@@ -5,8 +5,8 @@
 //! every experiment in EXPERIMENTS.md is reproducible from a printed seed.
 
 use crate::{Point, PointSet};
-use rand::{Rng, SeedableRng};
 use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// `n` points drawn uniformly at random from the unit square `[0,1]²` —
 /// the workload of Theorems 3.4 and 3.12 and Lemma 3.11.
@@ -63,12 +63,8 @@ pub fn integer_grid(sides: &[usize]) -> PointSet {
 /// `[s, 2s)` corner B, `[2s, 3s)` corner C.
 pub fn triangle_clusters(cluster_size: usize, spread: f64) -> PointSet {
     assert!(cluster_size >= 1);
-    assert!(spread >= 0.0 && spread < 0.1);
-    let corners = [
-        (0.0, 0.0),
-        (1.0, 0.0),
-        (0.5, 3f64.sqrt() / 2.0),
-    ];
+    assert!((0.0..0.1).contains(&spread));
+    let corners = [(0.0, 0.0), (1.0, 0.0), (0.5, 3f64.sqrt() / 2.0)];
     let mut pts = Vec::with_capacity(3 * cluster_size);
     for &(cx, cy) in &corners {
         for k in 0..cluster_size {
@@ -76,7 +72,10 @@ pub fn triangle_clusters(cluster_size: usize, spread: f64) -> PointSet {
                 pts.push(Point::d2(cx, cy));
             } else {
                 let angle = 2.0 * std::f64::consts::PI * (k as f64) / (cluster_size as f64);
-                pts.push(Point::d2(cx + spread * angle.cos(), cy + spread * angle.sin()));
+                pts.push(Point::d2(
+                    cx + spread * angle.cos(),
+                    cy + spread * angle.sin(),
+                ));
             }
         }
     }
@@ -394,12 +393,24 @@ mod tests {
         let ps = cluster_with_outliers(20, 5, 3, 0.1, 10.0, 20.0, 9);
         assert_eq!(ps.len(), 25);
         for i in 0..20 {
-            let r: f64 = ps.point(i).coords().iter().map(|c| c * c).sum::<f64>().sqrt();
+            let r: f64 = ps
+                .point(i)
+                .coords()
+                .iter()
+                .map(|c| c * c)
+                .sum::<f64>()
+                .sqrt();
             assert!(r <= 0.1 + 1e-12);
         }
         for i in 20..25 {
-            let r: f64 = ps.point(i).coords().iter().map(|c| c * c).sum::<f64>().sqrt();
-            assert!(r >= 10.0 - 1e-9 && r <= 20.0 + 1e-9);
+            let r: f64 = ps
+                .point(i)
+                .coords()
+                .iter()
+                .map(|c| c * c)
+                .sum::<f64>()
+                .sqrt();
+            assert!((10.0 - 1e-9..=20.0 + 1e-9).contains(&r));
         }
     }
 

@@ -6,10 +6,10 @@
 //! 1-norm. We support the 1-, 2-, and ∞-norms plus general finite `p` so
 //! the harness can compare across norms.
 
-use serde::{Deserialize, Serialize};
+use gncg_json::{FromJson, JsonError, ToJson, Value};
 
 /// A vector norm on ℝᵈ inducing the edge-length metric of the game.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Norm {
     /// Manhattan norm ‖x‖₁ = Σ|xᵢ|.
     L1,
@@ -56,6 +56,40 @@ impl Norm {
     pub fn length(&self, a: &[f64]) -> f64 {
         let zero = vec![0.0; a.len()];
         self.distance(a, &zero)
+    }
+}
+
+// Serialized like serde's externally tagged enums: unit variants are bare
+// strings, the data-carrying `Lp` variant is a single-key object.
+impl ToJson for Norm {
+    fn to_json(&self) -> Value {
+        match self {
+            Norm::L1 => Value::String("L1".to_string()),
+            Norm::L2 => Value::String("L2".to_string()),
+            Norm::LInf => Value::String("LInf".to_string()),
+            Norm::Lp(p) => Value::Object(vec![("Lp".to_string(), Value::Number(*p))]),
+        }
+    }
+}
+
+impl FromJson for Norm {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        match value {
+            Value::String(s) => match s.as_str() {
+                "L1" => Ok(Norm::L1),
+                "L2" => Ok(Norm::L2),
+                "LInf" => Ok(Norm::LInf),
+                other => Err(JsonError::new(format!("unknown norm `{other}`"))),
+            },
+            Value::Object(_) => {
+                let p = value
+                    .get("Lp")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| JsonError::new("expected {\"Lp\": p}"))?;
+                Ok(Norm::Lp(p))
+            }
+            other => Err(JsonError::new(format!("expected norm, got {other:?}"))),
+        }
     }
 }
 

@@ -1,12 +1,28 @@
 //! Points in ℝᵈ.
 
 use crate::Norm;
-use serde::{Deserialize, Serialize};
+use gncg_json::{field, object, FromJson, JsonError, ToJson, Value};
 
 /// A point in d-dimensional space; in the game each point is an agent.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Point {
     coords: Vec<f64>,
+}
+
+impl ToJson for Point {
+    fn to_json(&self) -> Value {
+        object(vec![("coords", self.coords.to_json())])
+    }
+}
+
+impl FromJson for Point {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let coords = Vec::<f64>::from_json(field(value, "coords")?)?;
+        if coords.is_empty() || coords.iter().any(|c| !c.is_finite()) {
+            return Err(JsonError::new("point coords must be non-empty and finite"));
+        }
+        Ok(Point::new(coords))
+    }
 }
 
 impl Point {

@@ -3,14 +3,38 @@
 //! direct distance sums `‖u, P‖`.
 
 use crate::{closest_pair, Norm, Point};
-use serde::{Deserialize, Serialize};
+use gncg_json::{field, object, FromJson, JsonError, ToJson, Value};
 
 /// An ordered set of n points in ℝᵈ together with the norm that defines
 /// edge lengths. Agents are addressed by index `0..n`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PointSet {
     points: Vec<Point>,
     norm: Norm,
+}
+
+impl ToJson for PointSet {
+    fn to_json(&self) -> Value {
+        object(vec![
+            ("points", self.points.to_json()),
+            ("norm", self.norm.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PointSet {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let points = Vec::<Point>::from_json(field(value, "points")?)?;
+        let norm = Norm::from_json(field(value, "norm")?)?;
+        if points.is_empty() {
+            return Err(JsonError::new("point set must be non-empty"));
+        }
+        let dim = points[0].dim();
+        if points.iter().any(|p| p.dim() != dim) {
+            return Err(JsonError::new("all points must share the same dimension"));
+        }
+        Ok(PointSet::with_norm(points, norm))
+    }
 }
 
 impl PointSet {
@@ -77,15 +101,9 @@ impl PointSet {
     /// computed where the game engine actually needs all pairs.
     pub fn distance_matrix(&self) -> Vec<Vec<f64>> {
         let n = self.len();
-        let mut m = vec![vec![0.0; n]; n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let d = self.dist(i, j);
-                m[i][j] = d;
-                m[j][i] = d;
-            }
-        }
-        m
+        (0..n)
+            .map(|i| (0..n).map(|j| self.dist(i, j)).collect())
+            .collect()
     }
 
     /// Longest pairwise distance `w_max`.
@@ -216,10 +234,10 @@ mod tests {
     fn distance_matrix_symmetric_zero_diagonal() {
         let ps = unit_square();
         let m = ps.distance_matrix();
-        for i in 0..4 {
-            assert_eq!(m[i][i], 0.0);
-            for j in 0..4 {
-                assert_eq!(m[i][j], m[j][i]);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, &x) in row.iter().enumerate() {
+                assert_eq!(x, m[j][i]);
             }
         }
     }

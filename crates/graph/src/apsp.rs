@@ -2,29 +2,60 @@
 //!
 //! The game engine evaluates social cost and per-agent distance cost via
 //! APSP; on n-point instances this is n independent Dijkstra runs, which
-//! we self-schedule across threads with `gncg_parallel::parallel_map`.
+//! we self-schedule across threads with per-worker persistent scratch.
+//! The hot path snapshots the graph into [`Csr`] form first: the frozen
+//! layout scans neighbour lists sequentially instead of chasing
+//! `Vec<Vec<…>>` pointers, and results land directly in the rows of a
+//! flat [`DistMatrix`].
 
-use crate::{dijkstra, Graph};
+use crate::csr::{Csr, DijkstraScratch};
+use crate::{dijkstra, DistMatrix, Graph};
 
 /// Full distance matrix `d[u][v]`; `INFINITY` marks disconnected pairs.
-pub fn all_pairs(g: &Graph) -> Vec<Vec<f64>> {
+///
+/// Entry-for-entry identical to [`all_pairs_rows`] (same Dijkstra, same
+/// tie-breaks); only the storage layout and scratch reuse differ.
+pub fn all_pairs(g: &Graph) -> DistMatrix {
+    Csr::from_graph(g).all_pairs()
+}
+
+/// Legacy ragged-rows APSP via per-source adjacency-list Dijkstra.
+///
+/// Retained as the property-test oracle for [`all_pairs`]; prefer
+/// [`all_pairs`] everywhere else.
+pub fn all_pairs_rows(g: &Graph) -> Vec<Vec<f64>> {
     gncg_parallel::parallel_map(g.len(), |u| dijkstra::distances(g, u))
 }
 
 /// Distance-cost vector `d_G(u, P)` for every agent `u` (row sums of the
 /// APSP matrix) without materializing the matrix.
 pub fn distance_sums(g: &Graph) -> Vec<f64> {
-    gncg_parallel::parallel_map(g.len(), |u| dijkstra::distance_sum(g, u))
+    let csr = Csr::from_graph(g);
+    let n = csr.len();
+    gncg_parallel::parallel_map_with(
+        n,
+        || (DijkstraScratch::default(), vec![f64::INFINITY; n]),
+        |(scratch, row), u| {
+            csr.dijkstra_into_slice(u, row, scratch);
+            row.iter().sum()
+        },
+    )
 }
 
 /// Sum of all pairwise shortest-path distances Σ_u Σ_v d_G(u,v)
 /// (each unordered pair counted twice, matching the paper's
 /// Σ_{u∈P} d_G(u, P) convention).
 pub fn total_distance(g: &Graph) -> f64 {
-    gncg_parallel::parallel_reduce(
-        g.len(),
+    let csr = Csr::from_graph(g);
+    let n = csr.len();
+    gncg_parallel::parallel_reduce_with(
+        n,
+        || (DijkstraScratch::default(), vec![f64::INFINITY; n]),
         || 0.0,
-        |acc, u| acc + dijkstra::distance_sum(g, u),
+        |(scratch, row), acc, u| {
+            csr.dijkstra_into_slice(u, row, scratch);
+            acc + row.iter().sum::<f64>()
+        },
         |a, b| a + b,
     )
 }
@@ -34,8 +65,7 @@ mod tests {
     use super::*;
 
     fn path_graph(n: usize) -> Graph {
-        let edges: Vec<(usize, usize, f64)> =
-            (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        let edges: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
         Graph::from_edges(n, &edges)
     }
 
@@ -101,6 +131,24 @@ mod tests {
         let g = path_graph(200);
         let par = all_pairs(&g);
         let seq: Vec<Vec<f64>> = (0..200).map(|u| dijkstra::distances(&g, u)).collect();
-        assert_eq!(par, seq);
+        assert_eq!(par, DistMatrix::from_rows(seq));
+    }
+
+    #[test]
+    fn flat_matrix_matches_legacy_rows_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for _ in 0..5 {
+            let n = rng.gen_range(2..50);
+            let mut g = path_graph(n.max(2));
+            for _ in 0..3 * n {
+                let u = rng.gen_range(0..n.max(2));
+                let v = rng.gen_range(0..n.max(2));
+                if u != v {
+                    g.add_edge(u, v, 0.05 + rng.gen::<f64>() * 4.0);
+                }
+            }
+            assert_eq!(all_pairs(&g).to_rows(), all_pairs_rows(&g));
+        }
     }
 }

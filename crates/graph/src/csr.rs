@@ -7,7 +7,7 @@
 //! neighbour lists in two flat arrays, plus a Dijkstra that reuses
 //! caller-provided scratch buffers to avoid per-source allocation.
 
-use crate::Graph;
+use crate::{DistMatrix, Graph};
 
 /// Immutable CSR snapshot of an undirected weighted graph.
 #[derive(Debug, Clone)]
@@ -91,12 +91,57 @@ impl Csr {
         (&self.targets[lo..hi], &self.weights[lo..hi])
     }
 
+    /// Snapshot `g` with vertex `skip` isolated: every edge incident to
+    /// `skip` is dropped, all other vertices keep their ids. This is the
+    /// "rest graph" `G − u` of the best-response evaluator, built without
+    /// mutating or cloning the adjacency-list graph.
+    pub fn from_graph_without_vertex(g: &Graph, skip: usize) -> Self {
+        let n = g.len();
+        assert!(n <= u32::MAX as usize, "graph too large for CSR u32 ids");
+        assert!(skip < n);
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * g.num_edges());
+        let mut weights = Vec::with_capacity(2 * g.num_edges());
+        offsets.push(0u32);
+        for u in 0..n {
+            if u != skip {
+                for &(v, w) in g.neighbors(u) {
+                    if v != skip {
+                        targets.push(v as u32);
+                        weights.push(w);
+                    }
+                }
+            }
+            offsets.push(targets.len() as u32);
+        }
+        Self {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
     /// Dijkstra from `source` writing distances into `dist`
     /// (`f64::INFINITY` for unreachable), reusing `scratch`.
     pub fn dijkstra_into(&self, source: usize, dist: &mut Vec<f64>, scratch: &mut DijkstraScratch) {
         let n = self.len();
         dist.clear();
         dist.resize(n, f64::INFINITY);
+        self.dijkstra_into_slice(source, dist, scratch);
+    }
+
+    /// Dijkstra writing into a caller-owned row of exactly `n` entries —
+    /// the allocation-free kernel behind [`Csr::all_pairs`] and the
+    /// incremental evaluation context's row refresh.
+    pub fn dijkstra_into_slice(
+        &self,
+        source: usize,
+        dist: &mut [f64],
+        scratch: &mut DijkstraScratch,
+    ) {
+        let n = self.len();
+        assert_eq!(dist.len(), n, "distance row must have n entries");
+        dist.fill(f64::INFINITY);
         scratch.heap.clear();
         scratch.done.clear();
         scratch.done.resize(n, false);
@@ -133,14 +178,17 @@ impl Csr {
         dist.iter().sum()
     }
 
-    /// Parallel APSP matching `apsp::all_pairs` bit for bit.
-    pub fn all_pairs(&self) -> Vec<Vec<f64>> {
-        gncg_parallel::parallel_map(self.len(), |u| {
-            let mut scratch = DijkstraScratch::default();
-            let mut dist = Vec::new();
-            self.dijkstra_into(u, &mut dist, &mut scratch);
-            dist
-        })
+    /// Parallel APSP into a flat [`DistMatrix`], one persistent Dijkstra
+    /// scratch per worker thread. Entry-for-entry identical to running
+    /// [`crate::dijkstra::distances`] from every source.
+    pub fn all_pairs(&self) -> DistMatrix {
+        let n = self.len();
+        let mut m = DistMatrix::filled(n, f64::INFINITY);
+        let rows: Vec<usize> = (0..n).collect();
+        m.par_fill_rows_with(&rows, DijkstraScratch::default, |scratch, u, row| {
+            self.dijkstra_into_slice(u, row, scratch)
+        });
+        m
     }
 }
 
@@ -211,6 +259,46 @@ mod tests {
         c1.dijkstra_into(0, &mut dist, &mut scratch);
         c2.dijkstra_into(3, &mut dist, &mut scratch);
         assert_eq!(dist, dijkstra::distances(&g2, 3));
+    }
+
+    #[test]
+    fn without_vertex_isolates_it() {
+        for seed in 0..3 {
+            let g = random_graph(25, seed + 40);
+            for skip in [0, 7, 24] {
+                let csr = Csr::from_graph_without_vertex(&g, skip);
+                // reference: clone the graph and drop skip's edges
+                let mut reduced = g.clone();
+                let nbrs: Vec<usize> = reduced.neighbors(skip).iter().map(|&(v, _)| v).collect();
+                for v in nbrs {
+                    reduced.remove_edge(skip, v);
+                }
+                let reference = Csr::from_graph(&reduced);
+                let mut s1 = DijkstraScratch::default();
+                let mut s2 = DijkstraScratch::default();
+                let mut d1 = Vec::new();
+                let mut d2 = Vec::new();
+                for s in 0..g.len() {
+                    csr.dijkstra_into(s, &mut d1, &mut s1);
+                    reference.dijkstra_into(s, &mut d2, &mut s2);
+                    assert_eq!(d1, d2, "seed {seed} skip {skip} source {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slice_kernel_matches_vec_kernel() {
+        let g = random_graph(30, 77);
+        let csr = Csr::from_graph(&g);
+        let mut scratch = DijkstraScratch::default();
+        let mut vec_dist = Vec::new();
+        let mut row = vec![0.0; g.len()];
+        for s in 0..g.len() {
+            csr.dijkstra_into(s, &mut vec_dist, &mut scratch);
+            csr.dijkstra_into_slice(s, &mut row, &mut scratch);
+            assert_eq!(row, vec_dist);
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Heap entry ordered by smallest distance first.
-#[derive(PartialEq)]
+#[derive(Debug, PartialEq)]
 struct Entry {
     dist: f64,
     node: usize,
@@ -31,10 +31,68 @@ impl PartialOrd for Entry {
     }
 }
 
+/// Reusable scratch for repeated single-source runs: the heap, the
+/// distance buffer, and the settled set survive across calls, so a loop
+/// of SSSP computations performs zero allocations after the first call
+/// (beyond heap growth on the largest instance seen).
+#[derive(Debug, Default)]
+pub struct DijkstraWorkspace {
+    heap: BinaryHeap<Entry>,
+    dist: Vec<f64>,
+    done: Vec<bool>,
+}
+
+impl DijkstraWorkspace {
+    /// Fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The distance buffer of the most recent run.
+    #[inline]
+    pub fn dist(&self) -> &[f64] {
+        &self.dist
+    }
+}
+
 /// Shortest-path distances from `source` to every vertex.
 /// Unreachable vertices get `f64::INFINITY` (the paper's `d_G(u,v) = +∞`).
 pub fn distances(g: &Graph, source: usize) -> Vec<f64> {
-    distances_with_limit(g, source, f64::INFINITY)
+    let mut ws = DijkstraWorkspace::new();
+    distances_into(g, source, &mut ws);
+    ws.dist
+}
+
+/// Like [`distances`], but reusing `ws` for every buffer; the result is
+/// in `ws.dist()` (also returned). Bit-identical to [`distances`]: same
+/// heap order, same tie-breaks, same `d + w` accumulation.
+pub fn distances_into<'a>(g: &Graph, source: usize, ws: &'a mut DijkstraWorkspace) -> &'a [f64] {
+    let n = g.len();
+    assert!(source < n);
+    ws.dist.clear();
+    ws.dist.resize(n, f64::INFINITY);
+    ws.done.clear();
+    ws.done.resize(n, false);
+    ws.heap.clear();
+    ws.dist[source] = 0.0;
+    ws.heap.push(Entry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(Entry { dist: d, node: u }) = ws.heap.pop() {
+        if ws.done[u] {
+            continue;
+        }
+        ws.done[u] = true;
+        for &(v, w) in g.neighbors(u) {
+            let nd = d + w;
+            if nd < ws.dist[v] {
+                ws.dist[v] = nd;
+                ws.heap.push(Entry { dist: nd, node: v });
+            }
+        }
+    }
+    &ws.dist
 }
 
 /// Like [`distances`] but abandons exploration beyond `limit` — used by
@@ -171,10 +229,7 @@ mod tests {
 
     /// Path graph 0-1-2-3 with unit weights plus a heavy shortcut 0-3.
     fn diamond() -> Graph {
-        Graph::from_edges(
-            4,
-            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 10.0)],
-        )
+        Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 10.0)])
     }
 
     #[test]
@@ -241,6 +296,20 @@ mod tests {
         let g = Graph::from_edges(5, &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0)]);
         assert_eq!(distance_sum(&g, 0), 4.0);
         assert_eq!(distance_sum(&g, 1), 1.0 + 2.0 * 3.0);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs() {
+        let g1 = diamond();
+        let g2 = Graph::from_edges(6, &[(0, 5, 2.0), (5, 4, 1.0), (4, 3, 1.0)]);
+        let mut ws = DijkstraWorkspace::new();
+        for s in 0..g1.len() {
+            assert_eq!(distances_into(&g1, s, &mut ws), &distances(&g1, s)[..]);
+        }
+        // switching to a different-sized graph must not leak state
+        for s in 0..g2.len() {
+            assert_eq!(distances_into(&g2, s, &mut ws), &distances(&g2, s)[..]);
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Adjacency-list weighted undirected graph.
 
-use serde::{Deserialize, Serialize};
+use gncg_json::{field, object, FromJson, JsonError, ToJson, Value};
 
 /// An undirected graph on vertices `0..n` with non-negative edge weights.
 ///
@@ -8,11 +8,43 @@ use serde::{Deserialize, Serialize};
 /// its weight); self-loops are rejected. The representation is an
 /// adjacency list sorted by neighbour, giving O(log deg) membership tests
 /// and cache-friendly Dijkstra scans.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Graph {
     n: usize,
     adj: Vec<Vec<(usize, f64)>>,
     num_edges: usize,
+}
+
+impl ToJson for Graph {
+    fn to_json(&self) -> Value {
+        object(vec![
+            ("n", self.n.to_json()),
+            ("adj", self.adj.to_json()),
+            ("num_edges", self.num_edges.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Graph {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let n = usize::from_json(field(value, "n")?)?;
+        let adj = Vec::<Vec<(usize, f64)>>::from_json(field(value, "adj")?)?;
+        if n == 0 || adj.len() != n {
+            return Err(JsonError::new("graph adjacency size mismatch"));
+        }
+        // Rebuild through the mutation API so invariants (sorted
+        // adjacency, consistent edge count) hold regardless of input.
+        let mut g = Graph::new(n);
+        for (u, neighbors) in adj.iter().enumerate() {
+            for &(v, w) in neighbors {
+                if v >= n || u == v || !w.is_finite() || w < 0.0 {
+                    return Err(JsonError::new("invalid edge in graph adjacency"));
+                }
+                g.add_edge(u, v, w);
+            }
+        }
+        Ok(g)
+    }
 }
 
 impl Graph {

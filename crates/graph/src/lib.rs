@@ -2,8 +2,10 @@
 //! machinery the GNCG needs.
 //!
 //! * [`Graph`] — adjacency-list weighted graph over vertices `0..n`,
-//! * [`dijkstra`] — single-source shortest paths (binary heap),
-//! * [`apsp`] — all-pairs shortest paths, parallel over sources,
+//! * [`dijkstra`] — single-source shortest paths (binary heap) with a
+//!   reusable [`dijkstra::DijkstraWorkspace`],
+//! * [`apsp`] — all-pairs shortest paths into a flat [`DistMatrix`],
+//!   parallel over sources with per-worker scratch,
 //! * [`mst`] — Prim's algorithm, O(n²), on arbitrary dense metrics,
 //! * [`orientation`] — degeneracy ordering and bounded out-degree edge
 //!   orientation: the paper's *k-distributable* ownership assignment,
@@ -15,8 +17,10 @@ pub mod components;
 pub mod csr;
 pub mod dijkstra;
 pub mod graph;
+pub mod matrix;
 pub mod mst;
 pub mod orientation;
 pub mod stretch;
 
 pub use graph::Graph;
+pub use matrix::DistMatrix;

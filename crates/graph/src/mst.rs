@@ -210,11 +210,15 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let n = 15;
         let mut w = vec![vec![0.0; n]; n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let x = rng.gen::<f64>() * 10.0 + 0.1;
-                w[i][j] = x;
-                w[j][i] = x;
+        for (i, row) in w.iter_mut().enumerate() {
+            for x in row.iter_mut().skip(i + 1) {
+                *x = rng.gen::<f64>() * 10.0 + 0.1;
+            }
+        }
+        let upper = w.clone();
+        for (i, row) in w.iter_mut().enumerate() {
+            for (j, x) in row.iter_mut().enumerate().take(i) {
+                *x = upper[j][i];
             }
         }
         let dense = prim_dense(n, |i, j| w[i][j]);

@@ -86,10 +86,7 @@ pub fn algorithm1_on_host(
     let n = h.len();
     let hm = hm_filter::hm_filter(h);
     let metric = gncg_graph::apsp::all_pairs(&hm);
-    let w_max = metric
-        .iter()
-        .flat_map(|row| row.iter().copied())
-        .fold(0.0f64, f64::max);
+    let w_max = metric.as_flat().iter().copied().fold(0.0f64, f64::max);
 
     // cluster detection over the H_M metric
     let center = if params.c > 0 && w_max > 0.0 {
@@ -124,10 +121,11 @@ pub fn algorithm1_on_host(
             // within C_v as candidates
             let local_index: std::collections::HashMap<usize, usize> =
                 c_v.iter().enumerate().map(|(i, &g)| (g, i)).collect();
-            let sub_metric: Vec<Vec<f64>> = c_v
-                .iter()
-                .map(|&a| c_v.iter().map(|&b| metric[a][b]).collect())
-                .collect();
+            let sub_metric = gncg_graph::DistMatrix::from_rows(
+                c_v.iter()
+                    .map(|&a| c_v.iter().map(|&b| metric[a][b]).collect())
+                    .collect(),
+            );
             let mut sub_hm = Graph::new(c_v.len());
             for (a, b, w) in hm.edges() {
                 if let (Some(&la), Some(&lb)) = (local_index.get(&a), local_index.get(&b)) {
@@ -176,14 +174,11 @@ pub fn algorithm1_on_host(
 /// Greedy t-spanner over an explicit metric, restricted to the edges of
 /// the carrier graph `hm` (pairs not connected by an `H_M` edge are
 /// reachable through kept edges because `H_M` realizes the metric).
-fn greedy_metric_spanner(metric: &[Vec<f64>], hm: &Graph, t: f64) -> Graph {
+fn greedy_metric_spanner(metric: &gncg_graph::DistMatrix, hm: &Graph, t: f64) -> Graph {
     assert!(t >= 1.0);
     let n = metric.len();
-    let mut pairs: Vec<(f64, usize, usize)> = hm
-        .edges()
-        .into_iter()
-        .map(|(u, v, w)| (w, u, v))
-        .collect();
+    let mut pairs: Vec<(f64, usize, usize)> =
+        hm.edges().into_iter().map(|(u, v, w)| (w, u, v)).collect();
     pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
     let mut g = Graph::new(n);
     for (w, u, v) in pairs {
@@ -196,7 +191,7 @@ fn greedy_metric_spanner(metric: &[Vec<f64>], hm: &Graph, t: f64) -> Graph {
     g
 }
 
-fn measured_stretch(g: &Graph, metric: &[Vec<f64>]) -> f64 {
+fn measured_stretch(g: &Graph, metric: &gncg_graph::DistMatrix) -> f64 {
     let n = g.len();
     let d = gncg_graph::apsp::all_pairs(g);
     let mut worst: f64 = 1.0;
@@ -328,20 +323,13 @@ mod tests {
         // 10..13 far away
         let n = 13;
         let mut w = vec![vec![0.0; n]; n];
-        for u in 0..n {
-            for v in 0..n {
+        for (u, row) in w.iter_mut().enumerate() {
+            for (v, cell) in row.iter_mut().enumerate() {
                 if u == v {
                     continue;
                 }
-                let near_u = u < 10;
-                let near_v = v < 10;
-                w[u][v] = if near_u && near_v {
-                    0.1
-                } else if near_u != near_v {
-                    10.0
-                } else {
-                    10.0 // far nodes also far apart... keep metric-ish
-                };
+                // any pair involving a far node is far apart (metric-ish)
+                *cell = if u < 10 && v < 10 { 0.1 } else { 10.0 };
             }
         }
         let h = HostNetwork::from_matrix(w);

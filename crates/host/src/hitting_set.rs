@@ -49,9 +49,7 @@ impl HittingSetInstance {
 
     /// Is `hs` a hitting set?
     pub fn is_hitting(&self, hs: &[usize]) -> bool {
-        self.sets
-            .iter()
-            .all(|s| s.iter().any(|e| hs.contains(e)))
+        self.sets.iter().all(|s| s.iter().any(|e| hs.contains(e)))
     }
 
     /// Exact minimum hitting set by subset enumeration (n ≤ 20).
@@ -141,10 +139,10 @@ pub fn build_reduction(inst: &HittingSetInstance, alpha: f64) -> Reduction {
     // star leaves: q − 1 per V₁ node
     let v1_count = roles.len();
     let mut leaves_of: Vec<Vec<usize>> = vec![Vec::new(); v1_count];
-    for center in 0..v1_count {
+    for (center, leaves) in leaves_of.iter_mut().enumerate() {
         for _ in 0..(q - 1) {
             roles.push(Role::Leaf { center });
-            leaves_of[center].push(roles.len() - 1);
+            leaves.push(roles.len() - 1);
         }
     }
     let n = roles.len();
@@ -173,7 +171,7 @@ pub fn build_reduction(inst: &HittingSetInstance, alpha: f64) -> Reduction {
     // metric closure of (V, E₁) defines every other pair
     let g1 = Graph::from_edges(n, &base_edges);
     let closure = apsp::all_pairs(&g1);
-    let host = HostNetwork::from_matrix(closure);
+    let host = HostNetwork::from_dist_matrix(closure);
 
     Reduction {
         host,

@@ -43,7 +43,7 @@ pub fn is_shortest_path_network(g: &Graph) -> bool {
 
 /// The metric induced by `H_M` (distances in the filtered network),
 /// which equals the original host's metric closure.
-pub fn hm_metric(h: &HostNetwork) -> Vec<Vec<f64>> {
+pub fn hm_metric(h: &HostNetwork) -> gncg_graph::DistMatrix {
     gncg_graph::apsp::all_pairs(&hm_filter(h))
 }
 

@@ -1,29 +1,40 @@
 //! Complete weighted host networks.
 
 use gncg_game::DenseWeights;
-use gncg_graph::{apsp, Graph};
+use gncg_graph::{apsp, DistMatrix, Graph};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// A complete host network `H = (V, E(H))` with arbitrary positive edge
-/// weights `w: V×V → ℝ₊` (Section 5). Stored as a symmetric matrix.
+/// weights `w: V×V → ℝ₊` (Section 5). Stored as a flat symmetric
+/// [`DistMatrix`].
 #[derive(Debug, Clone)]
 pub struct HostNetwork {
-    w: Vec<Vec<f64>>,
+    w: DistMatrix,
 }
 
 impl HostNetwork {
-    /// Build from a symmetric weight matrix with zero diagonal.
+    /// Build from a symmetric weight matrix with zero diagonal, given as
+    /// nested rows.
     pub fn from_matrix(w: Vec<Vec<f64>>) -> Self {
         let n = w.len();
-        assert!(n >= 1);
         for (i, row) in w.iter().enumerate() {
-            assert_eq!(row.len(), n, "matrix must be square");
-            assert_eq!(row[i], 0.0, "diagonal must be zero");
-            for (j, &x) in row.iter().enumerate() {
+            assert_eq!(row.len(), n, "matrix must be square (row {i})");
+        }
+        Self::from_dist_matrix(DistMatrix::from_rows(w))
+    }
+
+    /// Build from a symmetric weight matrix with zero diagonal.
+    pub fn from_dist_matrix(w: DistMatrix) -> Self {
+        let n = w.len();
+        assert!(n >= 1);
+        for i in 0..n {
+            assert_eq!(w.get(i, i), 0.0, "diagonal must be zero");
+            for j in 0..n {
                 if i != j {
+                    let x = w.get(i, j);
                     assert!(x > 0.0 && x.is_finite(), "weights must be positive");
-                    assert!((x - w[j][i]).abs() < 1e-12, "matrix must be symmetric");
+                    assert!((x - w.get(j, i)).abs() < 1e-12, "matrix must be symmetric");
                 }
             }
         }
@@ -35,13 +46,13 @@ impl HostNetwork {
     /// points).
     pub fn from_points(ps: &gncg_geometry::PointSet) -> Self {
         let n = ps.len();
-        let mut w = vec![vec![0.0; n]; n];
+        let mut w = DistMatrix::filled(n, 0.0);
         for i in 0..n {
             for j in 0..n {
                 if i != j {
                     let d = ps.dist(i, j);
                     assert!(d > 0.0, "host networks need distinct points");
-                    w[i][j] = d;
+                    w.set(i, j, d);
                 }
             }
         }
@@ -65,8 +76,7 @@ impl HostNetwork {
                 }
             }
         }
-        let d = apsp::all_pairs(&g);
-        Self::from_matrix(d)
+        Self::from_dist_matrix(apsp::all_pairs(&g))
     }
 
     /// Random *non-metric* host: i.i.d. uniform weights in
@@ -74,15 +84,15 @@ impl HostNetwork {
     pub fn random_nonmetric(n: usize, lo: f64, hi: f64, seed: u64) -> Self {
         assert!(n >= 2 && 0.0 < lo && lo < hi);
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut w = vec![vec![0.0; n]; n];
+        let mut w = DistMatrix::filled(n, 0.0);
         for u in 0..n {
             for v in (u + 1)..n {
                 let x = lo + rng.gen::<f64>() * (hi - lo);
-                w[u][v] = x;
-                w[v][u] = x;
+                w.set(u, v, x);
+                w.set(v, u, x);
             }
         }
-        Self::from_matrix(w)
+        Self::from_dist_matrix(w)
     }
 
     /// Tree metric host: distances in a random weighted tree (the GNCG
@@ -95,8 +105,7 @@ impl HostNetwork {
             let parent = rng.gen_range(0..v);
             g.add_edge(parent, v, 0.1 + rng.gen::<f64>());
         }
-        let d = apsp::all_pairs(&g);
-        Self::from_matrix(d)
+        Self::from_dist_matrix(apsp::all_pairs(&g))
     }
 
     /// Number of nodes.
@@ -111,18 +120,18 @@ impl HostNetwork {
 
     /// Edge weight `w(u, v)`.
     pub fn weight(&self, u: usize, v: usize) -> f64 {
-        self.w[u][v]
+        self.w.get(u, v)
     }
 
     /// The full weight matrix.
-    pub fn matrix(&self) -> &Vec<Vec<f64>> {
+    pub fn matrix(&self) -> &DistMatrix {
         &self.w
     }
 
     /// Metric closure: `d_H(u, v)` over the complete host.
-    pub fn metric_closure(&self) -> Vec<Vec<f64>> {
+    pub fn metric_closure(&self) -> DistMatrix {
         let n = self.len();
-        let g = Graph::complete(n, |i, j| self.w[i][j]);
+        let g = Graph::complete(n, |i, j| self.w.get(i, j));
         apsp::all_pairs(&g)
     }
 
@@ -135,7 +144,10 @@ impl HostNetwork {
                     continue;
                 }
                 for x in 0..n {
-                    if x != u && x != v && self.w[u][v] > self.w[u][x] + self.w[x][v] + 1e-9 {
+                    if x != u
+                        && x != v
+                        && self.w.get(u, v) > self.w.get(u, x) + self.w.get(x, v) + 1e-9
+                    {
                         return false;
                     }
                 }
@@ -147,7 +159,7 @@ impl HostNetwork {
     /// View as the game's weight oracle, carrying the metric closure as
     /// the certified distance lower bound.
     pub fn as_weights(&self) -> DenseWeights {
-        DenseWeights::new(self.w.clone()).with_lower_bounds(self.metric_closure())
+        DenseWeights::from_matrix(self.w.clone()).with_lower_bounds(self.metric_closure())
     }
 }
 

@@ -54,10 +54,7 @@ pub fn probe_poa(h: &HostNetwork, alpha: f64, max_steps: usize) -> PoaProbe {
             let (opt, exact_flag) = if h.len() <= gncg_game::exact::MAX_EXACT_OPT_AGENTS {
                 (exact::exact_social_optimum(&w, alpha).social_cost, true)
             } else {
-                (
-                    gncg_game::certify::optimum_lower_bound(&w, alpha),
-                    false,
-                )
+                (gncg_game::certify::optimum_lower_bound(&w, alpha), false)
             };
             (sc, sc / opt, opt, exact_flag)
         }

@@ -5,18 +5,26 @@
 //! benchmark parameter sweeps — are all embarrassingly parallel over an
 //! index range. Rather than pulling in a full work-stealing runtime, this
 //! crate provides a small, predictable substrate built on
-//! `crossbeam::scope` and atomics:
+//! `std::thread::scope` and atomics:
 //!
 //! * [`parallel_map`] / [`parallel_for`]: self-scheduling loops over
 //!   `0..n` using an atomic chunk counter (dynamic load balancing without
 //!   work stealing).
+//! * [`parallel_map_with`] / [`parallel_for_with`] /
+//!   [`parallel_reduce_with`]: the same loops, but each worker thread
+//!   owns a persistent scratch state across every chunk it claims — the
+//!   backbone for reusable Dijkstra workspaces, where per-call
+//!   allocation would otherwise dominate.
 //! * [`parallel_reduce`]: fold-then-combine reduction — each worker folds
 //!   locally, partial results are combined at the end.
 //! * [`min_by_cost`]: parallel argmin used by the exact solvers.
 //!
 //! All entry points take the number of threads from [`num_threads`], which
 //! honours the `GNCG_THREADS` environment variable so benchmarks can run
-//! single-threaded ablations.
+//! single-threaded ablations. Note that scratch states are per *worker
+//! thread*, not per item: a run with `GNCG_THREADS=t` builds at most `t`
+//! scratch states (plus one on the sequential fallback path), regardless
+//! of `n`.
 
 pub mod pool;
 
@@ -63,31 +71,54 @@ where
     T: Send + Default + Clone,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_with(n, || (), move |(), i| f(i))
+}
+
+/// Like [`parallel_map`], but each worker thread gets a persistent scratch
+/// state built by `init`, reused across every chunk that worker claims.
+///
+/// `init` runs once per worker thread (and once on the sequential
+/// fallback path), so expensive scratch — a Dijkstra workspace, a strategy
+/// buffer — amortizes over the whole loop instead of being rebuilt per
+/// item. The scratch must not influence results (it is scratch, not
+/// state): the output must equal `(0..n).map(|i| f(&mut fresh, i))`.
+pub fn parallel_map_with<T, S, Init, F>(n: usize, init: Init, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    S: Send,
+    Init: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let threads = num_threads();
     if threads <= 1 || n <= DEFAULT_CHUNK {
-        return (0..n).map(&f).collect();
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
     }
     let mut out = vec![T::default(); n];
     {
         let counter = AtomicUsize::new(0);
         let out_slices = SliceCells::new(&mut out);
-        crossbeam::scope(|s| {
+        let out_slices = &out_slices;
+        let (counter, init, f) = (&counter, &init, &f);
+        std::thread::scope(|s| {
             for _ in 0..threads.min(n.div_ceil(DEFAULT_CHUNK)) {
-                s.spawn(|_| loop {
-                    let start = counter.fetch_add(DEFAULT_CHUNK, Ordering::Relaxed);
-                    if start >= n {
-                        break;
-                    }
-                    let end = (start + DEFAULT_CHUNK).min(n);
-                    for i in start..end {
-                        // SAFETY: each index is claimed by exactly one
-                        // worker via the atomic counter.
-                        unsafe { out_slices.write(i, f(i)) };
+                s.spawn(move || {
+                    let mut scratch = init();
+                    loop {
+                        let start = counter.fetch_add(DEFAULT_CHUNK, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + DEFAULT_CHUNK).min(n);
+                        for i in start..end {
+                            // SAFETY: each index is claimed by exactly one
+                            // worker via the atomic counter.
+                            unsafe { out_slices.write(i, f(&mut scratch, i)) };
+                        }
                     }
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
     }
     out
 }
@@ -97,29 +128,44 @@ pub fn parallel_for<F>(n: usize, f: F)
 where
     F: Fn(usize) + Sync,
 {
+    parallel_for_with(n, || (), move |(), i| f(i));
+}
+
+/// Like [`parallel_for`], but with a per-worker persistent scratch state
+/// (see [`parallel_map_with`]).
+pub fn parallel_for_with<S, Init, F>(n: usize, init: Init, f: F)
+where
+    S: Send,
+    Init: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) + Sync,
+{
     let threads = num_threads();
     if threads <= 1 || n <= DEFAULT_CHUNK {
+        let mut scratch = init();
         for i in 0..n {
-            f(i);
+            f(&mut scratch, i);
         }
         return;
     }
     let counter = AtomicUsize::new(0);
-    crossbeam::scope(|s| {
+    let (counter, init, f) = (&counter, &init, &f);
+    std::thread::scope(|s| {
         for _ in 0..threads.min(n.div_ceil(DEFAULT_CHUNK)) {
-            s.spawn(|_| loop {
-                let start = counter.fetch_add(DEFAULT_CHUNK, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + DEFAULT_CHUNK).min(n);
-                for i in start..end {
-                    f(i);
+            s.spawn(move || {
+                let mut scratch = init();
+                loop {
+                    let start = counter.fetch_add(DEFAULT_CHUNK, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + DEFAULT_CHUNK).min(n);
+                    for i in start..end {
+                        f(&mut scratch, i);
+                    }
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Parallel fold-then-combine reduction over `0..n`.
@@ -135,16 +181,41 @@ where
     F: Fn(T, usize) -> T + Sync,
     C: Fn(T, T) -> T,
 {
+    parallel_reduce_with(n, || (), identity, move |(), acc, i| fold(acc, i), combine)
+}
+
+/// Like [`parallel_reduce`], but each worker also owns a persistent
+/// scratch state (see [`parallel_map_with`]). The exact best-response
+/// enumerator uses this to fold over 2^k strategy subsets with a single
+/// reusable neighbour buffer per worker.
+pub fn parallel_reduce_with<T, S, SInit, Id, F, C>(
+    n: usize,
+    init: SInit,
+    identity: Id,
+    fold: F,
+    combine: C,
+) -> T
+where
+    T: Send,
+    S: Send,
+    SInit: Fn() -> S + Sync,
+    Id: Fn() -> T + Sync,
+    F: Fn(&mut S, T, usize) -> T + Sync,
+    C: Fn(T, T) -> T,
+{
     let threads = num_threads();
     if threads <= 1 || n <= DEFAULT_CHUNK {
-        return (0..n).fold(identity(), |acc, i| fold(acc, i));
+        let mut scratch = init();
+        return (0..n).fold(identity(), |acc, i| fold(&mut scratch, acc, i));
     }
     let counter = AtomicUsize::new(0);
     let workers = threads.min(n.div_ceil(DEFAULT_CHUNK));
-    let partials: Vec<T> = crossbeam::scope(|s| {
+    let (counter, init, identity, fold) = (&counter, &init, &identity, &fold);
+    let partials: Vec<T> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                s.spawn(|_| {
+                s.spawn(move || {
+                    let mut scratch = init();
                     let mut acc = identity();
                     loop {
                         let start = counter.fetch_add(DEFAULT_CHUNK, Ordering::Relaxed);
@@ -153,7 +224,7 @@ where
                         }
                         let end = (start + DEFAULT_CHUNK).min(n);
                         for i in start..end {
-                            acc = fold(acc, i);
+                            acc = fold(&mut scratch, acc, i);
                         }
                     }
                     acc
@@ -164,8 +235,7 @@ where
             .into_iter()
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
-    })
-    .expect("scope failed");
+    });
     let mut it = partials.into_iter();
     let first = it.next().expect("at least one worker");
     it.fold(first, combine)
@@ -316,5 +386,58 @@ mod tests {
         let par = parallel_map(n, work);
         let seq: Vec<u64> = (0..n).map(work).collect();
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn map_with_reuses_scratch_per_worker() {
+        // Count init() calls: at most one per worker (+1 is impossible
+        // here since the counter only increments inside init).
+        let inits = AtomicUsize::new(0);
+        let n = 1000;
+        let out = parallel_map_with(
+            n,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                vec![0u8; 64] // scratch buffer, contents irrelevant
+            },
+            |scratch, i| {
+                scratch[0] = scratch[0].wrapping_add(1);
+                i * 3
+            },
+        );
+        assert_eq!(out, (0..n).map(|i| i * 3).collect::<Vec<_>>());
+        assert!(inits.load(Ordering::Relaxed) <= num_threads().max(1));
+    }
+
+    #[test]
+    fn for_with_scratch_accumulates_independently() {
+        let n = 500;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for_with(
+            n,
+            || 0usize, // per-worker counter; unused in results
+            |local, i| {
+                *local += 1;
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn reduce_with_matches_reduce() {
+        let n = 4321usize;
+        let plain = parallel_reduce(n, || 0u64, |acc, i| acc + i as u64, |a, b| a + b);
+        let with = parallel_reduce_with(
+            n,
+            || vec![0u64; 8],
+            || 0u64,
+            |scratch, acc, i| {
+                scratch[i % 8] = i as u64;
+                acc + i as u64
+            },
+            |a, b| a + b,
+        );
+        assert_eq!(plain, with);
     }
 }

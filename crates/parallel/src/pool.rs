@@ -8,13 +8,10 @@
 //!
 //! The pool intentionally exposes only a *blocking* `run` API: submit a
 //! job set, wait for completion. The callers in this workspace never need
-//! futures or detached tasks, and a blocking API keeps lifetimes simple
-//! (jobs borrow from the caller's stack via `crossbeam::scope` inside
-//! `run`).
+//! futures or detached tasks, and a blocking API keeps lifetimes simple.
 
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// A persistent pool of worker threads executing closures of type
 /// `Box<dyn FnOnce() + Send>`.
@@ -75,7 +72,7 @@ impl ThreadPool {
     pub fn submit<F: FnOnce() + Send + 'static>(&self, f: F) {
         self.inner.pending.fetch_add(1, Ordering::SeqCst);
         {
-            let mut q = self.inner.queue.lock();
+            let mut q = self.inner.queue.lock().expect("pool queue poisoned");
             q.jobs.push_back(Box::new(f));
         }
         self.inner.cond.notify_one();
@@ -83,9 +80,13 @@ impl ThreadPool {
 
     /// Block until every submitted job has finished.
     pub fn wait(&self) {
-        let mut guard = self.inner.done_mutex.lock();
+        let mut guard = self.inner.done_mutex.lock().expect("pool mutex poisoned");
         while self.inner.pending.load(Ordering::SeqCst) != 0 {
-            self.inner.done_cond.wait(&mut guard);
+            guard = self
+                .inner
+                .done_cond
+                .wait(guard)
+                .expect("pool mutex poisoned");
         }
     }
 }
@@ -93,7 +94,7 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
-            let mut q = self.inner.queue.lock();
+            let mut q = self.inner.queue.lock().expect("pool queue poisoned");
             q.shutdown = true;
         }
         self.inner.cond.notify_all();
@@ -106,7 +107,7 @@ impl Drop for ThreadPool {
 fn worker_loop(inner: Arc<Inner>) {
     loop {
         let job = {
-            let mut q = inner.queue.lock();
+            let mut q = inner.queue.lock().expect("pool queue poisoned");
             loop {
                 if let Some(job) = q.jobs.pop_front() {
                     break job;
@@ -114,12 +115,12 @@ fn worker_loop(inner: Arc<Inner>) {
                 if q.shutdown {
                     return;
                 }
-                inner.cond.wait(&mut q);
+                q = inner.cond.wait(q).expect("pool queue poisoned");
             }
         };
         job();
         if inner.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
-            let _guard = inner.done_mutex.lock();
+            let _guard = inner.done_mutex.lock().expect("pool mutex poisoned");
             inner.done_cond.notify_all();
         }
     }

@@ -14,8 +14,7 @@
 //! ```
 
 use euclidean_network_design::algo::{
-    complete::complete_network, mst_network::mst_network, run_algorithm1,
-    AlgorithmOneParams,
+    complete::complete_network, mst_network::mst_network, run_algorithm1, AlgorithmOneParams,
 };
 use euclidean_network_design::prelude::*;
 use euclidean_network_design::spanner::SpannerKind;
@@ -32,7 +31,7 @@ fn main() {
         "design", "edges", "social cost", "beta_ub", "gamma_ub"
     );
 
-    let mut show = |name: &str, net: &OwnedNetwork| {
+    let show = |name: &str, net: &OwnedNetwork| {
         let r = certify(&points, net, alpha, CertifyOptions::bounds_only());
         println!(
             "{:<22} {:>10} {:>12.1} {:>12.3} {:>12.3}",
@@ -53,10 +52,7 @@ fn main() {
         spanner: SpannerKind::Greedy { t: 1.5 },
     };
     let res = run_algorithm1(&points, alpha, params);
-    show(
-        &format!("Algorithm 1 ({:?})", res.branch),
-        &res.network,
-    );
+    show(&format!("Algorithm 1 ({:?})", res.branch), &res.network);
 
     let combined = build_beta_beta_network(&points, alpha);
     show("combined (Cor 3.10)", &combined);

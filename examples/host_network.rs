@@ -33,7 +33,7 @@ fn main() {
         "\n{:<30} {:>8} {:>12} {:>10} {:>10}",
         "design", "edges", "social cost", "beta_ub", "gamma_ub"
     );
-    let mut show = |name: &str, net: &euclidean_network_design::game::OwnedNetwork| {
+    let show = |name: &str, net: &euclidean_network_design::game::OwnedNetwork| {
         let r = certify(&w, net, alpha, CertifyOptions::bounds_only());
         println!(
             "{:<30} {:>8} {:>12.2} {:>10.3} {:>10.3}",
@@ -66,7 +66,11 @@ fn main() {
         Some(_) => println!(
             "\nequilibrium found by dynamics: SC(NE)/SC(OPT{}) = {:.3} \
              — Theorem 5.4 bound 2(alpha+1) = {:.1}",
-            if probe.opt_is_exact { "" } else { " lower bound" },
+            if probe.opt_is_exact {
+                ""
+            } else {
+                " lower bound"
+            },
             probe.ratio,
             poa::theorem_5_4_bound(alpha)
         ),

@@ -9,9 +9,7 @@
 //! cargo run --example p2p_overlay
 //! ```
 
-use euclidean_network_design::algo::random_points::{
-    build_one_plus_eps, quarter_square_counts,
-};
+use euclidean_network_design::algo::random_points::{build_one_plus_eps, quarter_square_counts};
 use euclidean_network_design::game::moves;
 use euclidean_network_design::prelude::*;
 
@@ -35,7 +33,12 @@ fn main() {
         result.branch, result.k_measured, result.t_measured
     );
 
-    let report = certify(&points, &result.network, alpha, CertifyOptions::bounds_only());
+    let report = certify(
+        &points,
+        &result.network,
+        alpha,
+        CertifyOptions::bounds_only(),
+    );
     println!(
         "social cost {:.2}, certified gamma <= {:.3}",
         report.social_cost, report.gamma_upper

@@ -22,9 +22,7 @@ pub use gncg_spanner as spanner;
 
 /// One-stop import for examples and downstream users.
 pub mod prelude {
-    pub use gncg_algo::{
-        build_beta_beta_network, AlgorithmOneParams, AlgorithmOneResult,
-    };
+    pub use gncg_algo::{build_beta_beta_network, AlgorithmOneParams, AlgorithmOneResult};
     pub use gncg_game::certify::{certify, CertifyOptions, CertifyReport};
     pub use gncg_game::network::OwnedNetwork;
     pub use gncg_geometry::generators;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algo_benches-0d386676e8c40ed0.d: crates/bench/benches/algo_benches.rs
+
+/root/repo/target/debug/deps/algo_benches-0d386676e8c40ed0: crates/bench/benches/algo_benches.rs
+
+crates/bench/benches/algo_benches.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algo_benches-cc417472599f0293.d: crates/bench/benches/algo_benches.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgo_benches-cc417472599f0293.rmeta: crates/bench/benches/algo_benches.rs Cargo.toml
+
+crates/bench/benches/algo_benches.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

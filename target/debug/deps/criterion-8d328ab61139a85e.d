@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-8d328ab61139a85e.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-8d328ab61139a85e: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynamics_benches-b605195d54caa141.d: crates/bench/benches/dynamics_benches.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamics_benches-b605195d54caa141.rmeta: crates/bench/benches/dynamics_benches.rs Cargo.toml
+
+crates/bench/benches/dynamics_benches.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

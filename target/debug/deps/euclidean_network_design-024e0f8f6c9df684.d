@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/euclidean_network_design-024e0f8f6c9df684.d: src/lib.rs
+
+/root/repo/target/debug/deps/libeuclidean_network_design-024e0f8f6c9df684.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libeuclidean_network_design-024e0f8f6c9df684.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/euclidean_network_design-9e433ccfec0797cb.d: src/lib.rs
+
+/root/repo/target/debug/deps/euclidean_network_design-9e433ccfec0797cb: src/lib.rs
+
+src/lib.rs:

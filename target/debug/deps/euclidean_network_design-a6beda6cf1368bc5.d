@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/euclidean_network_design-a6beda6cf1368bc5.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeuclidean_network_design-a6beda6cf1368bc5.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

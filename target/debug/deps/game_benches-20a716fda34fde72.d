@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/game_benches-20a716fda34fde72.d: crates/bench/benches/game_benches.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgame_benches-20a716fda34fde72.rmeta: crates/bench/benches/game_benches.rs Cargo.toml
+
+crates/bench/benches/game_benches.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/game_benches-a7748c39c4254dc3.d: crates/bench/benches/game_benches.rs
+
+/root/repo/target/debug/deps/game_benches-a7748c39c4254dc3: crates/bench/benches/game_benches.rs
+
+crates/bench/benches/game_benches.rs:

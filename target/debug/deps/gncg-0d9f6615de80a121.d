@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gncg-0d9f6615de80a121.d: crates/bench/src/bin/gncg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgncg-0d9f6615de80a121.rmeta: crates/bench/src/bin/gncg.rs Cargo.toml
+
+crates/bench/src/bin/gncg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

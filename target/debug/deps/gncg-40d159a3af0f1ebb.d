@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gncg-40d159a3af0f1ebb.d: crates/bench/src/bin/gncg.rs
+
+/root/repo/target/debug/deps/gncg-40d159a3af0f1ebb: crates/bench/src/bin/gncg.rs
+
+crates/bench/src/bin/gncg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gncg-9a02e868e07ba987.d: crates/bench/src/bin/gncg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgncg-9a02e868e07ba987.rmeta: crates/bench/src/bin/gncg.rs Cargo.toml
+
+crates/bench/src/bin/gncg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

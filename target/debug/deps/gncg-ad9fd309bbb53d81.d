@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gncg-ad9fd309bbb53d81.d: crates/bench/src/bin/gncg.rs
+
+/root/repo/target/debug/deps/gncg-ad9fd309bbb53d81: crates/bench/src/bin/gncg.rs
+
+crates/bench/src/bin/gncg.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gncg_algo-320f4e20599ea39d.d: crates/algo/src/lib.rs crates/algo/src/algorithm1.rs crates/algo/src/combined.rs crates/algo/src/complete.rs crates/algo/src/grid_network.rs crates/algo/src/mst_network.rs crates/algo/src/params.rs crates/algo/src/pareto.rs crates/algo/src/random_points.rs crates/algo/src/star.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgncg_algo-320f4e20599ea39d.rmeta: crates/algo/src/lib.rs crates/algo/src/algorithm1.rs crates/algo/src/combined.rs crates/algo/src/complete.rs crates/algo/src/grid_network.rs crates/algo/src/mst_network.rs crates/algo/src/params.rs crates/algo/src/pareto.rs crates/algo/src/random_points.rs crates/algo/src/star.rs Cargo.toml
+
+crates/algo/src/lib.rs:
+crates/algo/src/algorithm1.rs:
+crates/algo/src/combined.rs:
+crates/algo/src/complete.rs:
+crates/algo/src/grid_network.rs:
+crates/algo/src/mst_network.rs:
+crates/algo/src/params.rs:
+crates/algo/src/pareto.rs:
+crates/algo/src/random_points.rs:
+crates/algo/src/star.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

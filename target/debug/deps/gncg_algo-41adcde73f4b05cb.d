@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gncg_algo-41adcde73f4b05cb.d: crates/algo/src/lib.rs crates/algo/src/algorithm1.rs crates/algo/src/combined.rs crates/algo/src/complete.rs crates/algo/src/grid_network.rs crates/algo/src/mst_network.rs crates/algo/src/params.rs crates/algo/src/pareto.rs crates/algo/src/random_points.rs crates/algo/src/star.rs
+
+/root/repo/target/debug/deps/libgncg_algo-41adcde73f4b05cb.rlib: crates/algo/src/lib.rs crates/algo/src/algorithm1.rs crates/algo/src/combined.rs crates/algo/src/complete.rs crates/algo/src/grid_network.rs crates/algo/src/mst_network.rs crates/algo/src/params.rs crates/algo/src/pareto.rs crates/algo/src/random_points.rs crates/algo/src/star.rs
+
+/root/repo/target/debug/deps/libgncg_algo-41adcde73f4b05cb.rmeta: crates/algo/src/lib.rs crates/algo/src/algorithm1.rs crates/algo/src/combined.rs crates/algo/src/complete.rs crates/algo/src/grid_network.rs crates/algo/src/mst_network.rs crates/algo/src/params.rs crates/algo/src/pareto.rs crates/algo/src/random_points.rs crates/algo/src/star.rs
+
+crates/algo/src/lib.rs:
+crates/algo/src/algorithm1.rs:
+crates/algo/src/combined.rs:
+crates/algo/src/complete.rs:
+crates/algo/src/grid_network.rs:
+crates/algo/src/mst_network.rs:
+crates/algo/src/params.rs:
+crates/algo/src/pareto.rs:
+crates/algo/src/random_points.rs:
+crates/algo/src/star.rs:

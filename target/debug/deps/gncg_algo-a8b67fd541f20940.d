@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gncg_algo-a8b67fd541f20940.d: crates/algo/src/lib.rs crates/algo/src/algorithm1.rs crates/algo/src/combined.rs crates/algo/src/complete.rs crates/algo/src/grid_network.rs crates/algo/src/mst_network.rs crates/algo/src/params.rs crates/algo/src/pareto.rs crates/algo/src/random_points.rs crates/algo/src/star.rs
+
+/root/repo/target/debug/deps/gncg_algo-a8b67fd541f20940: crates/algo/src/lib.rs crates/algo/src/algorithm1.rs crates/algo/src/combined.rs crates/algo/src/complete.rs crates/algo/src/grid_network.rs crates/algo/src/mst_network.rs crates/algo/src/params.rs crates/algo/src/pareto.rs crates/algo/src/random_points.rs crates/algo/src/star.rs
+
+crates/algo/src/lib.rs:
+crates/algo/src/algorithm1.rs:
+crates/algo/src/combined.rs:
+crates/algo/src/complete.rs:
+crates/algo/src/grid_network.rs:
+crates/algo/src/mst_network.rs:
+crates/algo/src/params.rs:
+crates/algo/src/pareto.rs:
+crates/algo/src/random_points.rs:
+crates/algo/src/star.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gncg_geometry-28931c385fb878f3.d: crates/geometry/src/lib.rs crates/geometry/src/closest_pair.rs crates/geometry/src/generators.rs crates/geometry/src/norm.rs crates/geometry/src/point.rs crates/geometry/src/pointset.rs
+
+/root/repo/target/debug/deps/libgncg_geometry-28931c385fb878f3.rlib: crates/geometry/src/lib.rs crates/geometry/src/closest_pair.rs crates/geometry/src/generators.rs crates/geometry/src/norm.rs crates/geometry/src/point.rs crates/geometry/src/pointset.rs
+
+/root/repo/target/debug/deps/libgncg_geometry-28931c385fb878f3.rmeta: crates/geometry/src/lib.rs crates/geometry/src/closest_pair.rs crates/geometry/src/generators.rs crates/geometry/src/norm.rs crates/geometry/src/point.rs crates/geometry/src/pointset.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/closest_pair.rs:
+crates/geometry/src/generators.rs:
+crates/geometry/src/norm.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/pointset.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gncg_geometry-55dd8f7e412ce160.d: crates/geometry/src/lib.rs crates/geometry/src/closest_pair.rs crates/geometry/src/generators.rs crates/geometry/src/norm.rs crates/geometry/src/point.rs crates/geometry/src/pointset.rs
+
+/root/repo/target/debug/deps/libgncg_geometry-55dd8f7e412ce160.rmeta: crates/geometry/src/lib.rs crates/geometry/src/closest_pair.rs crates/geometry/src/generators.rs crates/geometry/src/norm.rs crates/geometry/src/point.rs crates/geometry/src/pointset.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/closest_pair.rs:
+crates/geometry/src/generators.rs:
+crates/geometry/src/norm.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/pointset.rs:

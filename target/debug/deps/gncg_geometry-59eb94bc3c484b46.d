@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gncg_geometry-59eb94bc3c484b46.d: crates/geometry/src/lib.rs crates/geometry/src/closest_pair.rs crates/geometry/src/generators.rs crates/geometry/src/norm.rs crates/geometry/src/point.rs crates/geometry/src/pointset.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgncg_geometry-59eb94bc3c484b46.rmeta: crates/geometry/src/lib.rs crates/geometry/src/closest_pair.rs crates/geometry/src/generators.rs crates/geometry/src/norm.rs crates/geometry/src/point.rs crates/geometry/src/pointset.rs Cargo.toml
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/closest_pair.rs:
+crates/geometry/src/generators.rs:
+crates/geometry/src/norm.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/pointset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gncg_graph-34b2c79a22120209.d: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/components.rs crates/graph/src/csr.rs crates/graph/src/dijkstra.rs crates/graph/src/graph.rs crates/graph/src/matrix.rs crates/graph/src/mst.rs crates/graph/src/orientation.rs crates/graph/src/stretch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgncg_graph-34b2c79a22120209.rmeta: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/components.rs crates/graph/src/csr.rs crates/graph/src/dijkstra.rs crates/graph/src/graph.rs crates/graph/src/matrix.rs crates/graph/src/mst.rs crates/graph/src/orientation.rs crates/graph/src/stretch.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/apsp.rs:
+crates/graph/src/components.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/dijkstra.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/matrix.rs:
+crates/graph/src/mst.rs:
+crates/graph/src/orientation.rs:
+crates/graph/src/stretch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

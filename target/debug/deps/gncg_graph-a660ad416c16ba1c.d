@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gncg_graph-a660ad416c16ba1c.d: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/components.rs crates/graph/src/csr.rs crates/graph/src/dijkstra.rs crates/graph/src/graph.rs crates/graph/src/matrix.rs crates/graph/src/mst.rs crates/graph/src/orientation.rs crates/graph/src/stretch.rs
+
+/root/repo/target/debug/deps/libgncg_graph-a660ad416c16ba1c.rlib: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/components.rs crates/graph/src/csr.rs crates/graph/src/dijkstra.rs crates/graph/src/graph.rs crates/graph/src/matrix.rs crates/graph/src/mst.rs crates/graph/src/orientation.rs crates/graph/src/stretch.rs
+
+/root/repo/target/debug/deps/libgncg_graph-a660ad416c16ba1c.rmeta: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/components.rs crates/graph/src/csr.rs crates/graph/src/dijkstra.rs crates/graph/src/graph.rs crates/graph/src/matrix.rs crates/graph/src/mst.rs crates/graph/src/orientation.rs crates/graph/src/stretch.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/apsp.rs:
+crates/graph/src/components.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/dijkstra.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/matrix.rs:
+crates/graph/src/mst.rs:
+crates/graph/src/orientation.rs:
+crates/graph/src/stretch.rs:

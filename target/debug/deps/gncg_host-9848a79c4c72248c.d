@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gncg_host-9848a79c4c72248c.d: crates/host/src/lib.rs crates/host/src/corollaries.rs crates/host/src/hitting_set.rs crates/host/src/hm_filter.rs crates/host/src/host.rs crates/host/src/poa.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgncg_host-9848a79c4c72248c.rmeta: crates/host/src/lib.rs crates/host/src/corollaries.rs crates/host/src/hitting_set.rs crates/host/src/hm_filter.rs crates/host/src/host.rs crates/host/src/poa.rs Cargo.toml
+
+crates/host/src/lib.rs:
+crates/host/src/corollaries.rs:
+crates/host/src/hitting_set.rs:
+crates/host/src/hm_filter.rs:
+crates/host/src/host.rs:
+crates/host/src/poa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gncg_host-98a9d2e4ec7d0338.d: crates/host/src/lib.rs crates/host/src/corollaries.rs crates/host/src/hitting_set.rs crates/host/src/hm_filter.rs crates/host/src/host.rs crates/host/src/poa.rs
+
+/root/repo/target/debug/deps/gncg_host-98a9d2e4ec7d0338: crates/host/src/lib.rs crates/host/src/corollaries.rs crates/host/src/hitting_set.rs crates/host/src/hm_filter.rs crates/host/src/host.rs crates/host/src/poa.rs
+
+crates/host/src/lib.rs:
+crates/host/src/corollaries.rs:
+crates/host/src/hitting_set.rs:
+crates/host/src/hm_filter.rs:
+crates/host/src/host.rs:
+crates/host/src/poa.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gncg_host-ae42efed3390a84f.d: crates/host/src/lib.rs crates/host/src/corollaries.rs crates/host/src/hitting_set.rs crates/host/src/hm_filter.rs crates/host/src/host.rs crates/host/src/poa.rs
+
+/root/repo/target/debug/deps/libgncg_host-ae42efed3390a84f.rlib: crates/host/src/lib.rs crates/host/src/corollaries.rs crates/host/src/hitting_set.rs crates/host/src/hm_filter.rs crates/host/src/host.rs crates/host/src/poa.rs
+
+/root/repo/target/debug/deps/libgncg_host-ae42efed3390a84f.rmeta: crates/host/src/lib.rs crates/host/src/corollaries.rs crates/host/src/hitting_set.rs crates/host/src/hm_filter.rs crates/host/src/host.rs crates/host/src/poa.rs
+
+crates/host/src/lib.rs:
+crates/host/src/corollaries.rs:
+crates/host/src/hitting_set.rs:
+crates/host/src/hm_filter.rs:
+crates/host/src/host.rs:
+crates/host/src/poa.rs:

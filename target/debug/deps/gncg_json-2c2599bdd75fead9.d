@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gncg_json-2c2599bdd75fead9.d: crates/json/src/lib.rs
+
+/root/repo/target/debug/deps/gncg_json-2c2599bdd75fead9: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

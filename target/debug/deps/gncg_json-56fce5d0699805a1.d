@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gncg_json-56fce5d0699805a1.d: crates/json/src/lib.rs
+
+/root/repo/target/debug/deps/libgncg_json-56fce5d0699805a1.rmeta: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gncg_json-89ef5570268364f6.d: crates/json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgncg_json-89ef5570268364f6.rmeta: crates/json/src/lib.rs Cargo.toml
+
+crates/json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gncg_json-e2697ac3aaec3e7e.d: crates/json/src/lib.rs
+
+/root/repo/target/debug/deps/libgncg_json-e2697ac3aaec3e7e.rlib: crates/json/src/lib.rs
+
+/root/repo/target/debug/deps/libgncg_json-e2697ac3aaec3e7e.rmeta: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gncg_spanner-292d70db48c6b071.d: crates/spanner/src/lib.rs crates/spanner/src/cert.rs crates/spanner/src/greedy.rs crates/spanner/src/grid.rs crates/spanner/src/theta.rs crates/spanner/src/yao.rs
+
+/root/repo/target/debug/deps/libgncg_spanner-292d70db48c6b071.rlib: crates/spanner/src/lib.rs crates/spanner/src/cert.rs crates/spanner/src/greedy.rs crates/spanner/src/grid.rs crates/spanner/src/theta.rs crates/spanner/src/yao.rs
+
+/root/repo/target/debug/deps/libgncg_spanner-292d70db48c6b071.rmeta: crates/spanner/src/lib.rs crates/spanner/src/cert.rs crates/spanner/src/greedy.rs crates/spanner/src/grid.rs crates/spanner/src/theta.rs crates/spanner/src/yao.rs
+
+crates/spanner/src/lib.rs:
+crates/spanner/src/cert.rs:
+crates/spanner/src/greedy.rs:
+crates/spanner/src/grid.rs:
+crates/spanner/src/theta.rs:
+crates/spanner/src/yao.rs:

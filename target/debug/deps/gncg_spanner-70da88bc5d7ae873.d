@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gncg_spanner-70da88bc5d7ae873.d: crates/spanner/src/lib.rs crates/spanner/src/cert.rs crates/spanner/src/greedy.rs crates/spanner/src/grid.rs crates/spanner/src/theta.rs crates/spanner/src/yao.rs
+
+/root/repo/target/debug/deps/gncg_spanner-70da88bc5d7ae873: crates/spanner/src/lib.rs crates/spanner/src/cert.rs crates/spanner/src/greedy.rs crates/spanner/src/grid.rs crates/spanner/src/theta.rs crates/spanner/src/yao.rs
+
+crates/spanner/src/lib.rs:
+crates/spanner/src/cert.rs:
+crates/spanner/src/greedy.rs:
+crates/spanner/src/grid.rs:
+crates/spanner/src/theta.rs:
+crates/spanner/src/yao.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gncg_spanner-8e7ebb233d1e7c86.d: crates/spanner/src/lib.rs crates/spanner/src/cert.rs crates/spanner/src/greedy.rs crates/spanner/src/grid.rs crates/spanner/src/theta.rs crates/spanner/src/yao.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgncg_spanner-8e7ebb233d1e7c86.rmeta: crates/spanner/src/lib.rs crates/spanner/src/cert.rs crates/spanner/src/greedy.rs crates/spanner/src/grid.rs crates/spanner/src/theta.rs crates/spanner/src/yao.rs Cargo.toml
+
+crates/spanner/src/lib.rs:
+crates/spanner/src/cert.rs:
+crates/spanner/src/greedy.rs:
+crates/spanner/src/grid.rs:
+crates/spanner/src/theta.rs:
+crates/spanner/src/yao.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graph_benches-9350af99383f2cb4.d: crates/bench/benches/graph_benches.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraph_benches-9350af99383f2cb4.rmeta: crates/bench/benches/graph_benches.rs Cargo.toml
+
+crates/bench/benches/graph_benches.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graph_benches-a38594faa410e9cd.d: crates/bench/benches/graph_benches.rs
+
+/root/repo/target/debug/deps/graph_benches-a38594faa410e9cd: crates/bench/benches/graph_benches.rs
+
+crates/bench/benches/graph_benches.rs:

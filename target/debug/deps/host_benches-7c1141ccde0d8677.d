@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/host_benches-7c1141ccde0d8677.d: crates/bench/benches/host_benches.rs
+
+/root/repo/target/debug/deps/host_benches-7c1141ccde0d8677: crates/bench/benches/host_benches.rs
+
+crates/bench/benches/host_benches.rs:

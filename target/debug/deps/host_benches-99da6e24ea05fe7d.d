@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/host_benches-99da6e24ea05fe7d.d: crates/bench/benches/host_benches.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhost_benches-99da6e24ea05fe7d.rmeta: crates/bench/benches/host_benches.rs Cargo.toml
+
+crates/bench/benches/host_benches.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

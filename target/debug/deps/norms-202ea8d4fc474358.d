@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/norms-202ea8d4fc474358.d: tests/norms.rs
+
+/root/repo/target/debug/deps/norms-202ea8d4fc474358: tests/norms.rs
+
+tests/norms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/norms-c668553486cd86d7.d: tests/norms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnorms-c668553486cd86d7.rmeta: tests/norms.rs Cargo.toml
+
+tests/norms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-0b06716153e5a659.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-0b06716153e5a659: tests/paper_claims.rs
+
+tests/paper_claims.rs:

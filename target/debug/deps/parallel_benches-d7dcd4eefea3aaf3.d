@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_benches-d7dcd4eefea3aaf3.d: crates/bench/benches/parallel_benches.rs
+
+/root/repo/target/debug/deps/parallel_benches-d7dcd4eefea3aaf3: crates/bench/benches/parallel_benches.rs
+
+crates/bench/benches/parallel_benches.rs:

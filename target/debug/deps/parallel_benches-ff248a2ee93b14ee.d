@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_benches-ff248a2ee93b14ee.d: crates/bench/benches/parallel_benches.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_benches-ff248a2ee93b14ee.rmeta: crates/bench/benches/parallel_benches.rs Cargo.toml
+
+crates/bench/benches/parallel_benches.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

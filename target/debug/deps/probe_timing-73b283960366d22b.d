@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_timing-73b283960366d22b.d: crates/bench/src/bin/probe_timing.rs
+
+/root/repo/target/debug/deps/probe_timing-73b283960366d22b: crates/bench/src/bin/probe_timing.rs
+
+crates/bench/src/bin/probe_timing.rs:

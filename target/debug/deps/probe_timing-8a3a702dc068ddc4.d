@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/probe_timing-8a3a702dc068ddc4.d: crates/bench/src/bin/probe_timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobe_timing-8a3a702dc068ddc4.rmeta: crates/bench/src/bin/probe_timing.rs Cargo.toml
+
+crates/bench/src/bin/probe_timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_timing-c1d75bfca8d5f126.d: crates/bench/src/bin/probe_timing.rs
+
+/root/repo/target/debug/deps/probe_timing-c1d75bfca8d5f126: crates/bench/src/bin/probe_timing.rs
+
+crates/bench/src/bin/probe_timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_timing2-37e72431292111cc.d: crates/bench/src/bin/probe_timing2.rs
+
+/root/repo/target/debug/deps/probe_timing2-37e72431292111cc: crates/bench/src/bin/probe_timing2.rs
+
+crates/bench/src/bin/probe_timing2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/probe_timing2-533b2de2cdd74843.d: crates/bench/src/bin/probe_timing2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobe_timing2-533b2de2cdd74843.rmeta: crates/bench/src/bin/probe_timing2.rs Cargo.toml
+
+crates/bench/src/bin/probe_timing2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/probe_timing2-aadbea47f61a3632.d: crates/bench/src/bin/probe_timing2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobe_timing2-aadbea47f61a3632.rmeta: crates/bench/src/bin/probe_timing2.rs Cargo.toml
+
+crates/bench/src/bin/probe_timing2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_timing2-d9f616e3f4ceaf5f.d: crates/bench/src/bin/probe_timing2.rs
+
+/root/repo/target/debug/deps/probe_timing2-d9f616e3f4ceaf5f: crates/bench/src/bin/probe_timing2.rs
+
+crates/bench/src/bin/probe_timing2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-359b88d57d876069.d: tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-359b88d57d876069: tests/property_tests.rs
+
+tests/property_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-104265ad084c61bd.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-104265ad084c61bd: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

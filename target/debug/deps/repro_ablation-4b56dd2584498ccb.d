@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablation-4b56dd2584498ccb.d: crates/bench/src/bin/repro_ablation.rs
+
+/root/repo/target/debug/deps/repro_ablation-4b56dd2584498ccb: crates/bench/src/bin/repro_ablation.rs
+
+crates/bench/src/bin/repro_ablation.rs:

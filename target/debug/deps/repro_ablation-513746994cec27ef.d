@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablation-513746994cec27ef.d: crates/bench/src/bin/repro_ablation.rs
+
+/root/repo/target/debug/deps/repro_ablation-513746994cec27ef: crates/bench/src/bin/repro_ablation.rs
+
+crates/bench/src/bin/repro_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_ablation-77ae1aa9d63b52b3.d: crates/bench/src/bin/repro_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_ablation-77ae1aa9d63b52b3.rmeta: crates/bench/src/bin/repro_ablation.rs Cargo.toml
+
+crates/bench/src/bin/repro_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

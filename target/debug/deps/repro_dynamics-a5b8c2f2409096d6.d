@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_dynamics-a5b8c2f2409096d6.d: crates/bench/src/bin/repro_dynamics.rs
+
+/root/repo/target/debug/deps/repro_dynamics-a5b8c2f2409096d6: crates/bench/src/bin/repro_dynamics.rs
+
+crates/bench/src/bin/repro_dynamics.rs:

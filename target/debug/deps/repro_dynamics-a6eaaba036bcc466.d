@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_dynamics-a6eaaba036bcc466.d: crates/bench/src/bin/repro_dynamics.rs
+
+/root/repo/target/debug/deps/repro_dynamics-a6eaaba036bcc466: crates/bench/src/bin/repro_dynamics.rs
+
+crates/bench/src/bin/repro_dynamics.rs:

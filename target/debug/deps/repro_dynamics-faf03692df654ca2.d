@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_dynamics-faf03692df654ca2.d: crates/bench/src/bin/repro_dynamics.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_dynamics-faf03692df654ca2.rmeta: crates/bench/src/bin/repro_dynamics.rs Cargo.toml
+
+crates/bench/src/bin/repro_dynamics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig2-b9fd363a281f1bbf.d: crates/bench/src/bin/repro_fig2.rs
+
+/root/repo/target/debug/deps/repro_fig2-b9fd363a281f1bbf: crates/bench/src/bin/repro_fig2.rs
+
+crates/bench/src/bin/repro_fig2.rs:

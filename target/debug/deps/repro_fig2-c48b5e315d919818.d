@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig2-c48b5e315d919818.d: crates/bench/src/bin/repro_fig2.rs
+
+/root/repo/target/debug/deps/repro_fig2-c48b5e315d919818: crates/bench/src/bin/repro_fig2.rs
+
+crates/bench/src/bin/repro_fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig3-3b12b2416defdd24.d: crates/bench/src/bin/repro_fig3.rs
+
+/root/repo/target/debug/deps/repro_fig3-3b12b2416defdd24: crates/bench/src/bin/repro_fig3.rs
+
+crates/bench/src/bin/repro_fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig4-07010fd5629bd0b5.d: crates/bench/src/bin/repro_fig4.rs
+
+/root/repo/target/debug/deps/repro_fig4-07010fd5629bd0b5: crates/bench/src/bin/repro_fig4.rs
+
+crates/bench/src/bin/repro_fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig4-9eddbed78b15fbcc.d: crates/bench/src/bin/repro_fig4.rs
+
+/root/repo/target/debug/deps/repro_fig4-9eddbed78b15fbcc: crates/bench/src/bin/repro_fig4.rs
+
+crates/bench/src/bin/repro_fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig5-52fd85dcb94cd0c0.d: crates/bench/src/bin/repro_fig5.rs
+
+/root/repo/target/debug/deps/repro_fig5-52fd85dcb94cd0c0: crates/bench/src/bin/repro_fig5.rs
+
+crates/bench/src/bin/repro_fig5.rs:

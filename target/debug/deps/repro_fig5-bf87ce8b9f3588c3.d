@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_fig5-bf87ce8b9f3588c3.d: crates/bench/src/bin/repro_fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_fig5-bf87ce8b9f3588c3.rmeta: crates/bench/src/bin/repro_fig5.rs Cargo.toml
+
+crates/bench/src/bin/repro_fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig5-eef45390e2115be1.d: crates/bench/src/bin/repro_fig5.rs
+
+/root/repo/target/debug/deps/repro_fig5-eef45390e2115be1: crates/bench/src/bin/repro_fig5.rs
+
+crates/bench/src/bin/repro_fig5.rs:

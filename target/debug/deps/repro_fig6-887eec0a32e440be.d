@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig6-887eec0a32e440be.d: crates/bench/src/bin/repro_fig6.rs
+
+/root/repo/target/debug/deps/repro_fig6-887eec0a32e440be: crates/bench/src/bin/repro_fig6.rs
+
+crates/bench/src/bin/repro_fig6.rs:

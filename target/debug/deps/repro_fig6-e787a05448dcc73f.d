@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig6-e787a05448dcc73f.d: crates/bench/src/bin/repro_fig6.rs
+
+/root/repo/target/debug/deps/repro_fig6-e787a05448dcc73f: crates/bench/src/bin/repro_fig6.rs
+
+crates/bench/src/bin/repro_fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig7-6ee57dd2199e31d3.d: crates/bench/src/bin/repro_fig7.rs
+
+/root/repo/target/debug/deps/repro_fig7-6ee57dd2199e31d3: crates/bench/src/bin/repro_fig7.rs
+
+crates/bench/src/bin/repro_fig7.rs:

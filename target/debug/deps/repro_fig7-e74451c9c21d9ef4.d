@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig7-e74451c9c21d9ef4.d: crates/bench/src/bin/repro_fig7.rs
+
+/root/repo/target/debug/deps/repro_fig7-e74451c9c21d9ef4: crates/bench/src/bin/repro_fig7.rs
+
+crates/bench/src/bin/repro_fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_pareto-35cf46dc61fe9f4c.d: crates/bench/src/bin/repro_pareto.rs
+
+/root/repo/target/debug/deps/repro_pareto-35cf46dc61fe9f4c: crates/bench/src/bin/repro_pareto.rs
+
+crates/bench/src/bin/repro_pareto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_pareto-60ee1f336cff1f23.d: crates/bench/src/bin/repro_pareto.rs
+
+/root/repo/target/debug/deps/repro_pareto-60ee1f336cff1f23: crates/bench/src/bin/repro_pareto.rs
+
+crates/bench/src/bin/repro_pareto.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_pareto-fcde6c5af0233e2e.d: crates/bench/src/bin/repro_pareto.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_pareto-fcde6c5af0233e2e.rmeta: crates/bench/src/bin/repro_pareto.rs Cargo.toml
+
+crates/bench/src/bin/repro_pareto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

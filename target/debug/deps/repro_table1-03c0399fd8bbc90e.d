@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-03c0399fd8bbc90e.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-03c0399fd8bbc90e: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

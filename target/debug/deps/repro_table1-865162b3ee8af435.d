@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-865162b3ee8af435.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-865162b3ee8af435: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

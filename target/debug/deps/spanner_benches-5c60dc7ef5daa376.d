@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spanner_benches-5c60dc7ef5daa376.d: crates/bench/benches/spanner_benches.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspanner_benches-5c60dc7ef5daa376.rmeta: crates/bench/benches/spanner_benches.rs Cargo.toml
+
+crates/bench/benches/spanner_benches.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

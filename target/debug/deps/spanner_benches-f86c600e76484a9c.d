@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spanner_benches-f86c600e76484a9c.d: crates/bench/benches/spanner_benches.rs
+
+/root/repo/target/debug/deps/spanner_benches-f86c600e76484a9c: crates/bench/benches/spanner_benches.rs
+
+crates/bench/benches/spanner_benches.rs:

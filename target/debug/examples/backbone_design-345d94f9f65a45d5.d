@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/backbone_design-345d94f9f65a45d5.d: examples/backbone_design.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbackbone_design-345d94f9f65a45d5.rmeta: examples/backbone_design.rs Cargo.toml
+
+examples/backbone_design.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

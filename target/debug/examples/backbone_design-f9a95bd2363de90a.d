@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/backbone_design-f9a95bd2363de90a.d: examples/backbone_design.rs
+
+/root/repo/target/debug/examples/backbone_design-f9a95bd2363de90a: examples/backbone_design.rs
+
+examples/backbone_design.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamics_cycle-b35d8f5660d9de29.d: examples/dynamics_cycle.rs
+
+/root/repo/target/debug/examples/dynamics_cycle-b35d8f5660d9de29: examples/dynamics_cycle.rs
+
+examples/dynamics_cycle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dynamics_cycle-cc4ff069de5cc253.d: examples/dynamics_cycle.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdynamics_cycle-cc4ff069de5cc253.rmeta: examples/dynamics_cycle.rs Cargo.toml
+
+examples/dynamics_cycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

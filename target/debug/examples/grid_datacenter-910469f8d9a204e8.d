@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/grid_datacenter-910469f8d9a204e8.d: examples/grid_datacenter.rs
+
+/root/repo/target/debug/examples/grid_datacenter-910469f8d9a204e8: examples/grid_datacenter.rs
+
+examples/grid_datacenter.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/grid_datacenter-c3b0a765f3d00293.d: examples/grid_datacenter.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgrid_datacenter-c3b0a765f3d00293.rmeta: examples/grid_datacenter.rs Cargo.toml
+
+examples/grid_datacenter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/host_network-da8c880cf8624799.d: examples/host_network.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhost_network-da8c880cf8624799.rmeta: examples/host_network.rs Cargo.toml
+
+examples/host_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

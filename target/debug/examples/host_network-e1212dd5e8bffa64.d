@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/host_network-e1212dd5e8bffa64.d: examples/host_network.rs
+
+/root/repo/target/debug/examples/host_network-e1212dd5e8bffa64: examples/host_network.rs
+
+examples/host_network.rs:

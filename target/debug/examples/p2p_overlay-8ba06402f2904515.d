@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/p2p_overlay-8ba06402f2904515.d: examples/p2p_overlay.rs
+
+/root/repo/target/debug/examples/p2p_overlay-8ba06402f2904515: examples/p2p_overlay.rs
+
+examples/p2p_overlay.rs:

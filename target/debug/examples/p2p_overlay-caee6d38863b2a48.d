@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/p2p_overlay-caee6d38863b2a48.d: examples/p2p_overlay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libp2p_overlay-caee6d38863b2a48.rmeta: examples/p2p_overlay.rs Cargo.toml
+
+examples/p2p_overlay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

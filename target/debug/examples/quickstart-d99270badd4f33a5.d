@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d99270badd4f33a5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d99270badd4f33a5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libgncg_parallel.rlib: /root/repo/crates/parallel/src/lib.rs /root/repo/crates/parallel/src/pool.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dynamics_benches-cc1e8ba2dc4a3db1.d: crates/bench/benches/dynamics_benches.rs
+
+/root/repo/target/release/deps/dynamics_benches-cc1e8ba2dc4a3db1: crates/bench/benches/dynamics_benches.rs
+
+crates/bench/benches/dynamics_benches.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/euclidean_network_design-89a587a6d6cbfc7a.d: src/lib.rs
+
+/root/repo/target/release/deps/libeuclidean_network_design-89a587a6d6cbfc7a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libeuclidean_network_design-89a587a6d6cbfc7a.rmeta: src/lib.rs
+
+src/lib.rs:

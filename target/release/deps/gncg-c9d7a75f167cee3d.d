@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gncg-c9d7a75f167cee3d.d: crates/bench/src/bin/gncg.rs
+
+/root/repo/target/release/deps/gncg-c9d7a75f167cee3d: crates/bench/src/bin/gncg.rs
+
+crates/bench/src/bin/gncg.rs:

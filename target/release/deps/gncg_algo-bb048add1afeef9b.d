@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/gncg_algo-bb048add1afeef9b.d: crates/algo/src/lib.rs crates/algo/src/algorithm1.rs crates/algo/src/combined.rs crates/algo/src/complete.rs crates/algo/src/grid_network.rs crates/algo/src/mst_network.rs crates/algo/src/params.rs crates/algo/src/pareto.rs crates/algo/src/random_points.rs crates/algo/src/star.rs
+
+/root/repo/target/release/deps/libgncg_algo-bb048add1afeef9b.rlib: crates/algo/src/lib.rs crates/algo/src/algorithm1.rs crates/algo/src/combined.rs crates/algo/src/complete.rs crates/algo/src/grid_network.rs crates/algo/src/mst_network.rs crates/algo/src/params.rs crates/algo/src/pareto.rs crates/algo/src/random_points.rs crates/algo/src/star.rs
+
+/root/repo/target/release/deps/libgncg_algo-bb048add1afeef9b.rmeta: crates/algo/src/lib.rs crates/algo/src/algorithm1.rs crates/algo/src/combined.rs crates/algo/src/complete.rs crates/algo/src/grid_network.rs crates/algo/src/mst_network.rs crates/algo/src/params.rs crates/algo/src/pareto.rs crates/algo/src/random_points.rs crates/algo/src/star.rs
+
+crates/algo/src/lib.rs:
+crates/algo/src/algorithm1.rs:
+crates/algo/src/combined.rs:
+crates/algo/src/complete.rs:
+crates/algo/src/grid_network.rs:
+crates/algo/src/mst_network.rs:
+crates/algo/src/params.rs:
+crates/algo/src/pareto.rs:
+crates/algo/src/random_points.rs:
+crates/algo/src/star.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gncg_geometry-5933138a6008889c.d: crates/geometry/src/lib.rs crates/geometry/src/closest_pair.rs crates/geometry/src/generators.rs crates/geometry/src/norm.rs crates/geometry/src/point.rs crates/geometry/src/pointset.rs
+
+/root/repo/target/release/deps/libgncg_geometry-5933138a6008889c.rlib: crates/geometry/src/lib.rs crates/geometry/src/closest_pair.rs crates/geometry/src/generators.rs crates/geometry/src/norm.rs crates/geometry/src/point.rs crates/geometry/src/pointset.rs
+
+/root/repo/target/release/deps/libgncg_geometry-5933138a6008889c.rmeta: crates/geometry/src/lib.rs crates/geometry/src/closest_pair.rs crates/geometry/src/generators.rs crates/geometry/src/norm.rs crates/geometry/src/point.rs crates/geometry/src/pointset.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/closest_pair.rs:
+crates/geometry/src/generators.rs:
+crates/geometry/src/norm.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/pointset.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/gncg_graph-7fc8a5332757c6ed.d: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/components.rs crates/graph/src/csr.rs crates/graph/src/dijkstra.rs crates/graph/src/graph.rs crates/graph/src/matrix.rs crates/graph/src/mst.rs crates/graph/src/orientation.rs crates/graph/src/stretch.rs
+
+/root/repo/target/release/deps/libgncg_graph-7fc8a5332757c6ed.rlib: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/components.rs crates/graph/src/csr.rs crates/graph/src/dijkstra.rs crates/graph/src/graph.rs crates/graph/src/matrix.rs crates/graph/src/mst.rs crates/graph/src/orientation.rs crates/graph/src/stretch.rs
+
+/root/repo/target/release/deps/libgncg_graph-7fc8a5332757c6ed.rmeta: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/components.rs crates/graph/src/csr.rs crates/graph/src/dijkstra.rs crates/graph/src/graph.rs crates/graph/src/matrix.rs crates/graph/src/mst.rs crates/graph/src/orientation.rs crates/graph/src/stretch.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/apsp.rs:
+crates/graph/src/components.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/dijkstra.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/matrix.rs:
+crates/graph/src/mst.rs:
+crates/graph/src/orientation.rs:
+crates/graph/src/stretch.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gncg_host-63393d25829438dc.d: crates/host/src/lib.rs crates/host/src/corollaries.rs crates/host/src/hitting_set.rs crates/host/src/hm_filter.rs crates/host/src/host.rs crates/host/src/poa.rs
+
+/root/repo/target/release/deps/libgncg_host-63393d25829438dc.rlib: crates/host/src/lib.rs crates/host/src/corollaries.rs crates/host/src/hitting_set.rs crates/host/src/hm_filter.rs crates/host/src/host.rs crates/host/src/poa.rs
+
+/root/repo/target/release/deps/libgncg_host-63393d25829438dc.rmeta: crates/host/src/lib.rs crates/host/src/corollaries.rs crates/host/src/hitting_set.rs crates/host/src/hm_filter.rs crates/host/src/host.rs crates/host/src/poa.rs
+
+crates/host/src/lib.rs:
+crates/host/src/corollaries.rs:
+crates/host/src/hitting_set.rs:
+crates/host/src/hm_filter.rs:
+crates/host/src/host.rs:
+crates/host/src/poa.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gncg_json-104f87da1c1992ff.d: crates/json/src/lib.rs
+
+/root/repo/target/release/deps/libgncg_json-104f87da1c1992ff.rlib: crates/json/src/lib.rs
+
+/root/repo/target/release/deps/libgncg_json-104f87da1c1992ff.rmeta: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gncg_spanner-4e251392fd1886fd.d: crates/spanner/src/lib.rs crates/spanner/src/cert.rs crates/spanner/src/greedy.rs crates/spanner/src/grid.rs crates/spanner/src/theta.rs crates/spanner/src/yao.rs
+
+/root/repo/target/release/deps/libgncg_spanner-4e251392fd1886fd.rlib: crates/spanner/src/lib.rs crates/spanner/src/cert.rs crates/spanner/src/greedy.rs crates/spanner/src/grid.rs crates/spanner/src/theta.rs crates/spanner/src/yao.rs
+
+/root/repo/target/release/deps/libgncg_spanner-4e251392fd1886fd.rmeta: crates/spanner/src/lib.rs crates/spanner/src/cert.rs crates/spanner/src/greedy.rs crates/spanner/src/grid.rs crates/spanner/src/theta.rs crates/spanner/src/yao.rs
+
+crates/spanner/src/lib.rs:
+crates/spanner/src/cert.rs:
+crates/spanner/src/greedy.rs:
+crates/spanner/src/grid.rs:
+crates/spanner/src/theta.rs:
+crates/spanner/src/yao.rs:

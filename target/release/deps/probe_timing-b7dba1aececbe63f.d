@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe_timing-b7dba1aececbe63f.d: crates/bench/src/bin/probe_timing.rs
+
+/root/repo/target/release/deps/probe_timing-b7dba1aececbe63f: crates/bench/src/bin/probe_timing.rs
+
+crates/bench/src/bin/probe_timing.rs:

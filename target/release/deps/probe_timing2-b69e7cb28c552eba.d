@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe_timing2-b69e7cb28c552eba.d: crates/bench/src/bin/probe_timing2.rs
+
+/root/repo/target/release/deps/probe_timing2-b69e7cb28c552eba: crates/bench/src/bin/probe_timing2.rs
+
+crates/bench/src/bin/probe_timing2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_ablation-ad9feb531947e5cb.d: crates/bench/src/bin/repro_ablation.rs
+
+/root/repo/target/release/deps/repro_ablation-ad9feb531947e5cb: crates/bench/src/bin/repro_ablation.rs
+
+crates/bench/src/bin/repro_ablation.rs:

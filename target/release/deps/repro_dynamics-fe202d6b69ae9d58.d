@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_dynamics-fe202d6b69ae9d58.d: crates/bench/src/bin/repro_dynamics.rs
+
+/root/repo/target/release/deps/repro_dynamics-fe202d6b69ae9d58: crates/bench/src/bin/repro_dynamics.rs
+
+crates/bench/src/bin/repro_dynamics.rs:

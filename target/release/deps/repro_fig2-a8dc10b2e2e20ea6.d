@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig2-a8dc10b2e2e20ea6.d: crates/bench/src/bin/repro_fig2.rs
+
+/root/repo/target/release/deps/repro_fig2-a8dc10b2e2e20ea6: crates/bench/src/bin/repro_fig2.rs
+
+crates/bench/src/bin/repro_fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig3-8824c68fb736cb1f.d: crates/bench/src/bin/repro_fig3.rs
+
+/root/repo/target/release/deps/repro_fig3-8824c68fb736cb1f: crates/bench/src/bin/repro_fig3.rs
+
+crates/bench/src/bin/repro_fig3.rs:

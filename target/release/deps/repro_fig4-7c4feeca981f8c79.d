@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig4-7c4feeca981f8c79.d: crates/bench/src/bin/repro_fig4.rs
+
+/root/repo/target/release/deps/repro_fig4-7c4feeca981f8c79: crates/bench/src/bin/repro_fig4.rs
+
+crates/bench/src/bin/repro_fig4.rs:

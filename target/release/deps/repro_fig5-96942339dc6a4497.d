@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig5-96942339dc6a4497.d: crates/bench/src/bin/repro_fig5.rs
+
+/root/repo/target/release/deps/repro_fig5-96942339dc6a4497: crates/bench/src/bin/repro_fig5.rs
+
+crates/bench/src/bin/repro_fig5.rs:

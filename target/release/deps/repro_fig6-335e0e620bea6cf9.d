@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig6-335e0e620bea6cf9.d: crates/bench/src/bin/repro_fig6.rs
+
+/root/repo/target/release/deps/repro_fig6-335e0e620bea6cf9: crates/bench/src/bin/repro_fig6.rs
+
+crates/bench/src/bin/repro_fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig7-9678e0e37b35ddec.d: crates/bench/src/bin/repro_fig7.rs
+
+/root/repo/target/release/deps/repro_fig7-9678e0e37b35ddec: crates/bench/src/bin/repro_fig7.rs
+
+crates/bench/src/bin/repro_fig7.rs:

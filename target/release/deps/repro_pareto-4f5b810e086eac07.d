@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_pareto-4f5b810e086eac07.d: crates/bench/src/bin/repro_pareto.rs
+
+/root/repo/target/release/deps/repro_pareto-4f5b810e086eac07: crates/bench/src/bin/repro_pareto.rs
+
+crates/bench/src/bin/repro_pareto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table1-d71b9b433c337a23.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/release/deps/repro_table1-d71b9b433c337a23: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/backbone_design-2b1a5d6a1219fc39.d: examples/backbone_design.rs
+
+/root/repo/target/release/examples/backbone_design-2b1a5d6a1219fc39: examples/backbone_design.rs
+
+examples/backbone_design.rs:

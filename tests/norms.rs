@@ -45,8 +45,16 @@ fn mst_network_within_n_minus_1_under_l1() {
     let net = mst_network(&ps);
     for alpha in [0.5, 10.0, 1e4] {
         let r = certify(&ps, &net, alpha, CertifyOptions::bounds_only());
-        assert!(r.beta_upper <= 14.0 + 1e-6, "alpha {alpha}: {}", r.beta_upper);
-        assert!(r.gamma_upper <= 14.0 + 1e-6, "alpha {alpha}: {}", r.gamma_upper);
+        assert!(
+            r.beta_upper <= 14.0 + 1e-6,
+            "alpha {alpha}: {}",
+            r.beta_upper
+        );
+        assert!(
+            r.gamma_upper <= 14.0 + 1e-6,
+            "alpha {alpha}: {}",
+            r.gamma_upper
+        );
     }
 }
 

@@ -2,11 +2,12 @@
 //! paper's headline claims end-to-end through the public facade.
 
 use euclidean_network_design::algo::{
-    self, complete::complete_network, grid_network::grid_network,
-    mst_network::mst_network, params::corollary_3_8_params,
+    self, complete::complete_network, grid_network::grid_network, mst_network::mst_network,
+    params::corollary_3_8_params,
 };
 use euclidean_network_design::game::{
-    best_response, certify::{certify, CertifyOptions},
+    best_response,
+    certify::{certify, CertifyOptions},
     cost, exact, instances, moves,
 };
 use euclidean_network_design::geometry::generators;
@@ -98,8 +99,8 @@ fn theorem_4_1_cross_polytope() {
     let ratio = cost::social_cost(&ps, &ne, alpha) / cost::social_cost(&ps, &opt, alpha);
     let bound = instances::theorem_4_1_bound(alpha);
     assert!(ratio <= bound + 1e-9);
-    let big_ratio = instances::cross_ne_social_cost(300, alpha)
-        / instances::cross_opt_social_cost(300, alpha);
+    let big_ratio =
+        instances::cross_ne_social_cost(300, alpha) / instances::cross_opt_social_cost(300, alpha);
     assert!(big_ratio > ratio);
     assert!((big_ratio - bound).abs() < 0.05 * bound);
 }

@@ -1,82 +1,96 @@
-//! Property-based tests (proptest) on cross-crate invariants.
+//! Randomized property tests on cross-crate invariants.
+//!
+//! Each test draws a fixed number of cases from a seeded [`StdRng`], so
+//! failures are exactly reproducible (the failing case index is in the
+//! assertion message). This replaces the earlier proptest harness — that
+//! crate cannot be built in the offline environment — while keeping the
+//! same invariants under test.
 
 use euclidean_network_design::game::{
-    best_response, certify::{certify, optimum_lower_bound, CertifyOptions},
+    best_response,
+    certify::{certify, optimum_lower_bound, CertifyOptions},
     cost, exact, moves, OwnedNetwork,
 };
 use euclidean_network_design::geometry::{Point, PointSet};
 use euclidean_network_design::graph::{apsp, mst, stretch};
 use euclidean_network_design::spanner::{self, SpannerKind};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a small random planar point set (distinct-ish points).
-fn point_set(max_n: usize) -> impl Strategy<Value = PointSet> {
-    prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 2..max_n)
-        .prop_map(|coords| {
-            PointSet::new(
-                coords
-                    .into_iter()
-                    .map(|(x, y)| Point::d2(x, y))
-                    .collect(),
-            )
-        })
+/// Number of random cases per property.
+const CASES: usize = 24;
+
+/// A random planar point set with `2..=max_n` points in `[0, 100)²`.
+fn random_point_set(rng: &mut StdRng, max_n: usize) -> PointSet {
+    let n = rng.gen_range(2..max_n.max(3));
+    PointSet::new(
+        (0..n)
+            .map(|_| Point::d2(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect(),
+    )
 }
 
-/// Strategy: a random profile on n agents where each agent buys each
-/// possible edge with probability ~1/4 plus a connecting chain.
-fn profile(n: usize, flips: Vec<bool>) -> OwnedNetwork {
+/// A random connected profile: each oriented edge bought with probability
+/// 1/4, plus a connecting chain.
+fn random_profile(rng: &mut StdRng, n: usize) -> OwnedNetwork {
     let mut net = OwnedNetwork::empty(n);
-    let mut it = flips.into_iter();
     for u in 0..n {
         for v in 0..n {
-            if u != v && it.next().unwrap_or(false) {
+            if u != v && rng.gen_bool(0.25) {
                 net.buy(u, v);
             }
         }
     }
-    // chain for connectivity
     for u in 0..n - 1 {
         net.buy(u, u + 1);
     }
     net
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The greedy spanner respects its stretch target on arbitrary
-    /// planar inputs.
-    #[test]
-    fn greedy_spanner_stretch_invariant(ps in point_set(20), t in 1.05f64..3.0) {
+/// The greedy spanner respects its stretch target on arbitrary planar
+/// inputs.
+#[test]
+fn greedy_spanner_stretch_invariant() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for case in 0..CASES {
+        let ps = random_point_set(&mut rng, 20);
+        let t = rng.gen_range(1.05..3.0);
         let g = spanner::build(&ps, SpannerKind::Greedy { t });
-        prop_assert!(stretch::stretch(&g, &ps) <= t * (1.0 + 1e-9));
+        let s = stretch::stretch(&g, &ps);
+        assert!(s <= t * (1.0 + 1e-9), "case {case}: stretch {s} > t {t}");
     }
+}
 
-    /// MST weight is minimal among a few random spanning trees.
-    #[test]
-    fn mst_not_beaten_by_random_tree(ps in point_set(14), seed in 0u64..1000) {
-        use rand::{Rng, SeedableRng};
+/// MST weight is minimal among a few random spanning trees.
+#[test]
+fn mst_not_beaten_by_random_tree() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for case in 0..CASES {
+        let ps = random_point_set(&mut rng, 14);
         let n = ps.len();
         let w_mst = mst::euclidean_mst_weight(&ps);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         // random spanning tree: random parent for each node
         let mut w_rand = 0.0;
         for v in 1..n {
             let p = rng.gen_range(0..v);
             w_rand += ps.dist(v, p);
         }
-        prop_assert!(w_mst <= w_rand + 1e-9);
+        assert!(
+            w_mst <= w_rand + 1e-9,
+            "case {case}: MST {w_mst} > random tree {w_rand}"
+        );
     }
+}
 
-    /// Social cost decomposes: SC = alpha * bought length + total distance.
-    #[test]
-    fn social_cost_decomposition(
-        ps in point_set(10),
-        flips in prop::collection::vec(any::<bool>(), 100),
-        alpha in 0.1f64..5.0,
-    ) {
+/// Social cost decomposes: SC = alpha * bought length + total distance.
+#[test]
+fn social_cost_decomposition() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    for case in 0..CASES {
+        let ps = random_point_set(&mut rng, 10);
         let n = ps.len();
-        let net = profile(n, flips);
+        let net = random_profile(&mut rng, n);
+        let alpha = rng.gen_range(0.1..5.0);
         let sc = cost::social_cost(&ps, &net, alpha);
         let mut bought = 0.0;
         for u in 0..n {
@@ -86,84 +100,202 @@ proptest! {
         }
         let g = net.graph(&ps);
         let dist = apsp::total_distance(&g);
-        prop_assert!((sc - (alpha * bought + dist)).abs() < 1e-6 * sc.max(1.0));
+        assert!(
+            (sc - (alpha * bought + dist)).abs() < 1e-6 * sc.max(1.0),
+            "case {case}: SC {sc} != {alpha}*{bought} + {dist}"
+        );
     }
+}
 
-    /// The exact best response never exceeds the local-search response,
-    /// and both never exceed the current cost.
-    #[test]
-    fn best_response_ordering(
-        ps in point_set(8),
-        flips in prop::collection::vec(any::<bool>(), 64),
-        alpha in 0.1f64..4.0,
-    ) {
+/// The exact best response never exceeds the local-search response, and
+/// both never exceed the current cost.
+#[test]
+fn best_response_ordering() {
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    for case in 0..CASES {
+        let ps = random_point_set(&mut rng, 8);
         let n = ps.len();
-        let net = profile(n, flips);
+        let net = random_profile(&mut rng, n);
+        let alpha = rng.gen_range(0.1..4.0);
         for u in 0..n {
             let now = cost::agent_cost(&ps, &net, alpha, u);
             let ls = moves::local_search_response(&ps, &net, alpha, u, 10);
             let ex = best_response::exact_best_response(&ps, &net, alpha, u);
-            prop_assert!(ex.cost <= ls.cost + 1e-9);
-            prop_assert!(ls.cost <= now + 1e-9);
+            assert!(
+                ex.cost <= ls.cost + 1e-9,
+                "case {case} agent {u}: exact {} > local search {}",
+                ex.cost,
+                ls.cost
+            );
+            assert!(
+                ls.cost <= now + 1e-9,
+                "case {case} agent {u}: local search {} > current {now}",
+                ls.cost
+            );
         }
     }
+}
 
-    /// Certified beta upper bound dominates the exact beta.
-    #[test]
-    fn beta_bound_sound(
-        ps in point_set(7),
-        flips in prop::collection::vec(any::<bool>(), 49),
-        alpha in 0.2f64..4.0,
-    ) {
-        let n = ps.len();
-        let net = profile(n, flips);
+/// Certified beta upper bound dominates the exact beta.
+#[test]
+fn beta_bound_sound() {
+    let mut rng = StdRng::seed_from_u64(0xEA7);
+    for case in 0..CASES {
+        let ps = random_point_set(&mut rng, 7);
+        let net = random_profile(&mut rng, ps.len());
+        let alpha = rng.gen_range(0.2..4.0);
         let r = certify(&ps, &net, alpha, CertifyOptions::bounds_only());
         let be = exact::exact_beta(&ps, &net, alpha);
-        prop_assert!(be <= r.beta_upper + 1e-9,
-            "exact beta {be} > upper bound {}", r.beta_upper);
+        assert!(
+            be <= r.beta_upper + 1e-9,
+            "case {case}: exact beta {be} > upper bound {}",
+            r.beta_upper
+        );
     }
+}
 
-    /// The social-optimum lower bound is sound against the true optimum.
-    #[test]
-    fn opt_lower_bound_sound(ps in point_set(6), alpha in 0.2f64..4.0) {
+/// The social-optimum lower bound is sound against the true optimum.
+#[test]
+fn opt_lower_bound_sound() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    for case in 0..CASES {
+        let ps = random_point_set(&mut rng, 6);
+        let alpha = rng.gen_range(0.2..4.0);
         let lb = optimum_lower_bound(&ps, alpha);
         let opt = exact::exact_social_optimum(&ps, alpha).social_cost;
-        prop_assert!(lb <= opt + 1e-9, "lb {lb} > opt {opt}");
+        assert!(lb <= opt + 1e-9, "case {case}: lb {lb} > opt {opt}");
     }
+}
 
-    /// Dijkstra distances satisfy the triangle inequality as a metric.
-    #[test]
-    fn shortest_paths_form_a_metric(
-        ps in point_set(12),
-        flips in prop::collection::vec(any::<bool>(), 144),
-    ) {
+/// Dijkstra distances satisfy the triangle inequality as a metric.
+#[test]
+fn shortest_paths_form_a_metric() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for case in 0..CASES {
+        let ps = random_point_set(&mut rng, 12);
         let n = ps.len();
-        let net = profile(n, flips);
+        let net = random_profile(&mut rng, n);
         let g = net.graph(&ps);
         let d = apsp::all_pairs(&g);
         for a in 0..n {
-            prop_assert_eq!(d[a][a], 0.0);
+            assert_eq!(d[a][a], 0.0, "case {case}");
             for b in 0..n {
-                prop_assert!((d[a][b] - d[b][a]).abs() < 1e-9);
+                assert!((d[a][b] - d[b][a]).abs() < 1e-9, "case {case}");
                 for c in 0..n {
-                    prop_assert!(d[a][c] <= d[a][b] + d[b][c] + 1e-9);
+                    assert!(
+                        d[a][c] <= d[a][b] + d[b][c] + 1e-9,
+                        "case {case}: triangle violated at ({a},{b},{c})"
+                    );
                 }
             }
         }
     }
+}
 
-    /// A Nash equilibrium found by exact dynamics has exact beta 1.
-    #[test]
-    fn converged_dynamics_beta_is_one(seed in 0u64..40) {
-        use euclidean_network_design::game::dynamics;
-        use euclidean_network_design::geometry::generators;
+/// The incremental [`EvalContext`] stays bit-identical to a from-scratch
+/// rebuild under arbitrary `apply_move` sequences: the delta-rebuilt
+/// graph equals `net.graph(w)` exactly, and every agent cost matches the
+/// full-recompute oracle to the last bit.
+#[test]
+fn eval_context_matches_from_scratch_rebuild() {
+    use euclidean_network_design::game::EvalContext;
+    use std::collections::BTreeSet;
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for case in 0..CASES {
+        let ps = random_point_set(&mut rng, 12);
+        let n = ps.len();
+        let net = random_profile(&mut rng, n);
+        let alpha = rng.gen_range(0.1..4.0);
+        let mut ctx = EvalContext::new(&ps, &net, alpha);
+        for step in 0..15 {
+            let u = rng.gen_range(0..n);
+            let s: BTreeSet<usize> = (0..n).filter(|&v| v != u && rng.gen_bool(0.3)).collect();
+            ctx.apply_move(u, s);
+            assert_eq!(
+                ctx.graph(),
+                &ctx.network().graph(&ps),
+                "case {case} step {step}: delta-rebuilt graph diverged"
+            );
+            for a in 0..n {
+                let inc = ctx.agent_cost(a);
+                let oracle = cost::agent_cost(&ps, ctx.network(), alpha, a);
+                assert_eq!(
+                    inc.to_bits(),
+                    oracle.to_bits(),
+                    "case {case} step {step} agent {a}: {inc} vs {oracle}"
+                );
+            }
+        }
+        let social = ctx.social_cost();
+        let oracle = cost::social_cost(&ps, &ctx.network().clone(), alpha);
+        assert_eq!(social.to_bits(), oracle.to_bits(), "case {case}");
+    }
+}
+
+/// Flat-matrix APSP through the CSR kernel is bit-identical to the
+/// legacy nested-rows Dijkstra path.
+#[test]
+fn dist_matrix_apsp_matches_legacy_rows() {
+    let mut rng = StdRng::seed_from_u64(0xFACE);
+    for case in 0..CASES {
+        let ps = random_point_set(&mut rng, 16);
+        let net = random_profile(&mut rng, ps.len());
+        let g = net.graph(&ps);
+        let flat = apsp::all_pairs(&g);
+        let rows = apsp::all_pairs_rows(&g);
+        assert_eq!(flat.len(), rows.len(), "case {case}");
+        for (u, row) in rows.iter().enumerate() {
+            for (v, &d) in row.iter().enumerate() {
+                assert_eq!(
+                    flat[u][v].to_bits(),
+                    d.to_bits(),
+                    "case {case}: d({u},{v}) {} vs {d}",
+                    flat[u][v]
+                );
+            }
+        }
+    }
+}
+
+/// The incremental dynamics drivers reproduce the pre-incremental
+/// reference runner exactly — same outcome variant, same states, same
+/// step counts — across rules and activation orders.
+#[test]
+fn incremental_dynamics_match_reference() {
+    use euclidean_network_design::game::dynamics::{
+        run_ordered, run_ordered_reference, AgentOrder, ResponseRule,
+    };
+    use euclidean_network_design::geometry::generators;
+    for seed in 0..6u64 {
+        let ps = generators::uniform_unit_square(6, 0x5000 + seed);
+        let start = OwnedNetwork::center_star(6, 0);
+        for order in [
+            AgentOrder::RoundRobin,
+            AgentOrder::RandomPermutation(seed),
+            AgentOrder::MaxGain,
+        ] {
+            for rule in [ResponseRule::BestSingleMove, ResponseRule::BestResponse] {
+                let fast = run_ordered(&ps, &start, 1.0, rule, order, 400);
+                let slow = run_ordered_reference(&ps, &start, 1.0, rule, order, 400);
+                assert_eq!(fast, slow, "seed {seed} order {order:?} rule {rule:?}");
+            }
+        }
+    }
+}
+
+/// A Nash equilibrium found by exact dynamics has exact beta 1.
+#[test]
+fn converged_dynamics_beta_is_one() {
+    use euclidean_network_design::game::dynamics;
+    use euclidean_network_design::geometry::generators;
+    for seed in 0..40u64 {
         let ps = generators::uniform_unit_square(4, seed);
         let start = OwnedNetwork::empty(4);
         if let dynamics::Outcome::Converged { state, .. } =
             dynamics::run(&ps, &start, 1.0, dynamics::ResponseRule::BestResponse, 200)
         {
             let beta = exact::exact_beta(&ps, &state, 1.0);
-            prop_assert!(beta <= 1.0 + 1e-6, "beta {beta}");
+            assert!(beta <= 1.0 + 1e-6, "seed {seed}: beta {beta}");
         }
     }
 }

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Run the dynamics benchmark (incremental EvalContext drivers vs. a
+# line-faithful port of the seed's full-recompute loop) and fold the
+# CRITERION_JSON lines into results/BENCH_dynamics.json, including the
+# legacy/incremental speedup per scenario.
+#
+# Usage: tools/bench_dynamics.sh [extra cargo-bench args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+CRITERION_JSON="$raw" cargo bench --offline -p gncg-bench --bench dynamics_benches "$@"
+
+mkdir -p results
+python3 - "$raw" results/BENCH_dynamics.json <<'EOF'
+import json, sys
+
+raw, out = sys.argv[1], sys.argv[2]
+rows = [json.loads(line) for line in open(raw) if line.strip()]
+
+# ids look like "max_gain_step/incremental/64"
+scenarios = {}
+for r in rows:
+    group, side, n = r["id"].split("/")
+    scenarios.setdefault((group, int(n)), {})[side] = r
+
+report = []
+for (group, n), sides in sorted(scenarios.items()):
+    entry = {"scenario": group, "n": n}
+    for side, r in sorted(sides.items()):
+        entry[side] = {k: r[k] for k in ("mean_ns", "min_ns", "max_ns", "samples")}
+    if "legacy" in sides and "incremental" in sides:
+        entry["speedup"] = sides["legacy"]["mean_ns"] / sides["incremental"]["mean_ns"]
+    report.append(entry)
+
+with open(out, "w") as f:
+    json.dump({"benchmarks": report}, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out}")
+for e in report:
+    if "speedup" in e:
+        print(f'  {e["scenario"]}/n={e["n"]}: {e["speedup"]:.2f}x')
+EOF

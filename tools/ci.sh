@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, release build, full test suite.
+# Same sequence the CI workflow runs; keep the two in sync.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test --workspace -q

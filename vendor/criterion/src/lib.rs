@@ -1,0 +1,324 @@
+//! Offline drop-in subset of the `criterion` bench API.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! crate cannot be fetched. This vendored crate implements the surface
+//! the workspace benches use — `Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros — with
+//! a simple warm-up + fixed-sample measurement loop.
+//!
+//! Output: one line per benchmark with min / mean / max wall time per
+//! iteration, e.g.
+//!
+//! ```text
+//! dynamics_step/64        time: [1.2034 ms 1.2411 ms 1.3190 ms]  (10 samples)
+//! ```
+//!
+//! Machine-readable capture: when `CRITERION_JSON` names a file, a JSON
+//! line `{"id": ..., "mean_ns": ..., "min_ns": ..., "max_ns": ...}` is
+//! appended per benchmark — `tools/bench_dynamics.sh` builds
+//! `results/BENCH_dynamics.json` out of these.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level bench configuration (subset of criterion's builder).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Target measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up window per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.clone(),
+            _parent: self,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), &self.clone(), &mut f);
+        self
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form (the group name provides the function part).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Criterion,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Override the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Override the warm-up window for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, &self.config, &mut f);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, &self.config, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (kept for API compatibility; a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmarked closure; `iter` runs and times the payload.
+pub struct Bencher {
+    config: Criterion,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly: warm-up, then `sample_size` samples, each
+    /// averaging enough iterations to be clock-resolvable.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, and estimate a single-iteration time while at it.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        let mut warm_iters = 0u64;
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Pick an inner batch so one sample costs ≥ ~50 µs (clock noise)
+        // while the whole benchmark fits the measurement window.
+        let samples = self.config.sample_size;
+        let budget = self.config.measurement_time.as_secs_f64() / samples as f64;
+        let mut batch = (50e-6 / per_iter.max(1e-12)).ceil() as u64;
+        batch = batch.clamp(1, ((budget / per_iter.max(1e-12)).ceil() as u64).max(1));
+
+        self.samples_ns.clear();
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / batch as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, config: &Criterion, f: &mut F) {
+    let mut b = Bencher {
+        config: config.clone(),
+        samples_ns: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("{id:<40} (no samples — closure never called iter)");
+        return;
+    }
+    let n = b.samples_ns.len();
+    let min = b.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.samples_ns.iter().cloned().fold(0.0f64, f64::max);
+    let mean = b.samples_ns.iter().sum::<f64>() / n as f64;
+    println!(
+        "{id:<40} time: [{} {} {}]  ({n} samples)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                file,
+                "{{\"id\": \"{}\", \"mean_ns\": {mean:.1}, \"min_ns\": {min:.1}, \"max_ns\": {max:.1}, \"samples\": {n}}}",
+                id.replace('"', "'")
+            );
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Define a bench group runner: both the positional and the
+/// `name/config/targets` forms of the real macro are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running one or more bench groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` runs bench binaries with --test;
+            // skip the heavy loops there, as real criterion does.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls = calls.wrapping_add(1)));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_with_input() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let data = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::from_parameter(3), &data, |b, d| {
+            b.iter(|| d.iter().sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}
