@@ -2,10 +2,12 @@
 //! chain in ℝ¹ whose star equilibrium forces a PoA of at least
 //! `(3/5)·α^{2/3} − o(α^{2/3})`.
 
+use gncg_bench::checkpoint::SweepCheckpoint;
 use gncg_bench::{log_log_slope, Report};
 use gncg_game::{cost, exact, instances, moves};
 
 fn main() {
+    let mut ckpt = SweepCheckpoint::open("fig7");
     let mut rep = Report::new(
         "fig7",
         "Figure 7/Theorem 4.3/Lemma 4.2: 1-D geometric chain gives PoA >= (3/5)alpha^{2/3} - o(.)",
@@ -24,17 +26,20 @@ fn main() {
         );
     }
 
-    // exact NE verification of the star at p0 for small chains
+    // exact NE verification of the star at p0 for small chains — the
+    // exponential part of this figure, one checkpointed unit per chain
     for &(n, alpha) in &[(8usize, 4.0), (12, 8.0)] {
-        let (ps, ne, _) = instances::chain(n, alpha);
-        let is_ne = exact::is_nash(&ps, &ne, alpha);
-        rep.push(
-            format!("n={n} alpha={alpha} exact NE"),
-            1.0,
-            if is_ne { 1.0 } else { 0.0 },
-            is_ne,
-            "star at p0 verified as exact NE",
-        );
+        ckpt.rows(&mut rep, &format!("exact_ne n={n} alpha={alpha}"), |rep| {
+            let (ps, ne, _) = instances::chain(n, alpha);
+            let is_ne = exact::is_nash(&ps, &ne, alpha);
+            rep.push(
+                format!("n={n} alpha={alpha} exact NE"),
+                1.0,
+                if is_ne { 1.0 } else { 0.0 },
+                is_ne,
+                "star at p0 verified as exact NE",
+            );
+        });
     }
 
     // engine vs closed-form social costs
@@ -63,18 +68,20 @@ fn main() {
     // witness stability at the paper's n = alpha^{2/3} scaling, larger
     // alphas (exact NE check is exponential, use local-search witness)
     for &alpha in &[64.0f64, 216.0] {
-        let n = alpha.powf(2.0 / 3.0).round() as usize;
-        let (ps, ne, _) = instances::chain(n, alpha);
-        let witness = (0..ps.len())
-            .map(|u| moves::witness_improvement_factor(&ps, &ne, alpha, u))
-            .fold(1.0f64, f64::max);
-        rep.push(
-            format!("alpha={alpha} n={n} witness"),
-            1.0,
-            witness,
-            witness <= 1.0 + 1e-6,
-            "no single-move improvement against the star NE",
-        );
+        ckpt.rows(&mut rep, &format!("witness alpha={alpha}"), |rep| {
+            let n = alpha.powf(2.0 / 3.0).round() as usize;
+            let (ps, ne, _) = instances::chain(n, alpha);
+            let witness = (0..ps.len())
+                .map(|u| moves::witness_improvement_factor(&ps, &ne, alpha, u))
+                .fold(1.0f64, f64::max);
+            rep.push(
+                format!("alpha={alpha} n={n} witness"),
+                1.0,
+                witness,
+                witness <= 1.0 + 1e-6,
+                "no single-move improvement against the star NE",
+            );
+        });
     }
 
     // PoA growth: ratio at n = alpha^{2/3} vs (3/5)alpha^{2/3}
@@ -93,17 +100,24 @@ fn main() {
             "SC(NE)/SC(OPT) vs (3/5)alpha^{2/3} (asymptotic)",
         );
     }
-    let slope = log_log_slope(&pts);
-    rep.push(
-        "growth exponent (log-log fit)".into(),
-        2.0 / 3.0,
-        slope,
-        (slope - 2.0 / 3.0).abs() < 0.06,
-        "PoA grows as alpha^{2/3}",
-    );
+    match log_log_slope(&pts) {
+        Ok(slope) => rep.push(
+            "growth exponent (log-log fit)".into(),
+            2.0 / 3.0,
+            slope,
+            (slope - 2.0 / 3.0).abs() < 0.06,
+            "PoA grows as alpha^{2/3}",
+        ),
+        Err(e) => rep.push_degenerate(
+            "growth exponent (log-log fit)".into(),
+            false,
+            &format!("slope fit failed: {e}"),
+        ),
+    }
 
     rep.print();
     let _ = rep.save();
+    ckpt.finish();
     if !rep.all_ok() {
         std::process::exit(1);
     }

@@ -21,6 +21,7 @@ use gncg_algo::{
     run_algorithm1,
     star::{center_star, corollary_3_3_threshold, star_stability_threshold},
 };
+use gncg_bench::checkpoint::SweepCheckpoint;
 use gncg_bench::Report;
 use gncg_game::{
     best_response,
@@ -33,43 +34,48 @@ use gncg_host::{corollaries as host_cor, hitting_set, poa as host_poa, HostNetwo
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let run = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    // each theorem section is one checkpointed unit: a killed run only
+    // repeats the section that was in flight
+    let mut ckpt = SweepCheckpoint::open("table1");
     let mut all_ok = true;
-    let mut done = |r: Report| {
+    let mut done = |ckpt: &mut SweepCheckpoint, name: &str, section: fn() -> Report| {
+        let r = ckpt.report_with(name, section);
         r.print();
         all_ok &= r.all_ok();
         let _ = r.save();
     };
 
     if run("thm_2_1") {
-        done(thm_2_1());
+        done(&mut ckpt, "thm_2_1", thm_2_1);
     }
     if run("thm_2_2") {
-        done(thm_2_2());
+        done(&mut ckpt, "thm_2_2", thm_2_2);
     }
     if run("thm_3_4") {
-        done(thm_3_4());
+        done(&mut ckpt, "thm_3_4", thm_3_4);
     }
     if run("thm_3_5") {
-        done(thm_3_5());
+        done(&mut ckpt, "thm_3_5", thm_3_5);
     }
     if run("thm_3_7") {
-        done(thm_3_7());
+        done(&mut ckpt, "thm_3_7", thm_3_7);
     }
     if run("thm_3_9") {
-        done(thm_3_9());
+        done(&mut ckpt, "thm_3_9", thm_3_9);
     }
     if run("thm_3_13") {
-        done(thm_3_13());
+        done(&mut ckpt, "thm_3_13", thm_3_13);
     }
     if run("thm_4_4") {
-        done(thm_4_4());
+        done(&mut ckpt, "thm_4_4", thm_4_4);
     }
     if run("sec_5") {
-        done(sec_5());
+        done(&mut ckpt, "sec_5", sec_5);
     }
     if run("thm_5_4") {
-        done(thm_5_4());
+        done(&mut ckpt, "thm_5_4", thm_5_4);
     }
+    ckpt.finish();
 
     println!(
         "TABLE 1 REPRODUCTION: {}",
@@ -293,16 +299,17 @@ fn thm_3_7() -> Report {
         let params = corollary_3_8_params(alpha, n);
         let res = run_algorithm1(&ps, alpha, params);
         let r = certify(&ps, &res.network, alpha, CertifyOptions::bounds_only());
-        let bound = res.beta_bound.unwrap_or(f64::INFINITY);
         let branch = format!("{:?}", res.branch);
         let measured = r.beta_upper.max(r.gamma_upper);
-        rep.push(
+        // branches without a theoretical bound have no paper value
+        rep.try_push(
             format!("n={n} alpha={alpha} {branch}"),
-            bound,
-            measured,
-            measured <= bound + 1e-6 || res.beta_bound.is_none(),
+            res.beta_bound,
+            Some(measured),
+            res.beta_bound.is_none_or(|b| measured <= b + 1e-6),
             "max(beta_ub, gamma_ub) vs Thm 3.6 bound",
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
     }
     // cluster branch: one tight cluster plus outliers
     for (seed, alpha) in [(1u64, 2.0), (2, 5.0)] {
@@ -315,15 +322,15 @@ fn thm_3_7() -> Report {
         let res = run_algorithm1(&ps, alpha, params);
         let clustered = matches!(res.branch, gncg_algo::Branch::Cluster { .. });
         let r = certify(&ps, &res.network, alpha, CertifyOptions::bounds_only());
-        let bound = res.beta_bound.unwrap_or(f64::INFINITY);
         let measured = r.beta_upper.max(r.gamma_upper);
-        rep.push(
+        rep.try_push(
             format!("cluster seed={seed} alpha={alpha}"),
-            bound,
-            measured,
-            clustered && measured <= bound + 1e-6,
+            res.beta_bound,
+            Some(measured),
+            clustered && res.beta_bound.is_none_or(|b| measured <= b + 1e-6),
             "cluster branch; Figure 3 left shape",
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
     }
     // small instance: exact beta below bound
     {
@@ -551,10 +558,8 @@ fn thm_5_4() -> Report {
         }
     }
     if found == 0 {
-        rep.push(
+        rep.push_degenerate(
             "no equilibria found".into(),
-            f64::NAN,
-            f64::NAN,
             false,
             "dynamics never converged",
         );

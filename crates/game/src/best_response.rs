@@ -342,6 +342,48 @@ pub fn exact_best_response_with_eval(eval: &ResponseEvaluator<'_>, alpha: f64) -
     }
 }
 
+/// Certified lower bound on the cost of *any* strategy of agent `u`:
+/// `Σ_{v≠u} lb(u, v)` — no network brings a pair closer than the metric
+/// lower bound, and edge purchases only add to that.
+pub fn best_response_lower_bound<W: EdgeWeights + ?Sized>(w: &W, u: usize) -> f64 {
+    (0..w.len())
+        .filter(|&v| v != u)
+        .map(|v| w.metric_lower_bound(u, v))
+        .sum()
+}
+
+/// Budgeted [`exact_best_response`]: runs the `2^{n−1}` enumeration
+/// under `budget` and degrades to [`best_response_lower_bound`] (always
+/// ≤ the true best-response cost, so improvement factors built on it
+/// can only over-estimate instability — the sound direction) when the
+/// instance exceeds the cap, the budget runs out, or the solve panics.
+pub fn exact_best_response_budgeted<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+    budget: &gncg_parallel::Budget,
+) -> crate::outcome::Outcome<BestResponse> {
+    use crate::outcome::{attempt, DegradeReason, Outcome};
+    let n = net.len();
+    if n > MAX_EXACT_AGENTS {
+        return Outcome::Degraded {
+            certified_bound: best_response_lower_bound(w, u),
+            reason: DegradeReason::InstanceTooLarge {
+                n,
+                cap: MAX_EXACT_AGENTS,
+            },
+        };
+    }
+    match attempt(budget, || exact_best_response(w, net, alpha, u)) {
+        Ok(br) => Outcome::Exact(br),
+        Err(reason) => Outcome::Degraded {
+            certified_bound: best_response_lower_bound(w, u),
+            reason,
+        },
+    }
+}
+
 /// Exact improvement factor of agent `u`:
 /// `cost(u, G) / cost(u, best response)`.
 ///

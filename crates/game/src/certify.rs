@@ -14,9 +14,11 @@
 //! * **Exact values** (exponential, optional): exact best responses
 //!   (n ≤ 22) and the exact social optimum (n ≤ 8).
 
+use crate::outcome::{self, DegradeReason, Regime};
 use crate::{best_response, cost, exact, moves, EdgeWeights, EvalContext, OwnedNetwork};
 use gncg_graph::Graph;
 use gncg_json::{object, ToJson, Value};
+use gncg_parallel::Budget;
 
 /// What the certifier should compute.
 #[derive(Debug, Clone, Copy)]
@@ -88,6 +90,17 @@ pub struct CertifyReport {
     pub gamma_upper: f64,
     /// Exact γ, when requested.
     pub gamma_exact: Option<f64>,
+    /// Which regime produced the headline β figure: [`Regime::Exact`]
+    /// when `beta_exact` is populated, [`Regime::Certified`] when the
+    /// answer is `beta_upper` (not requested, over the cap, over budget,
+    /// or panicked).
+    pub beta_regime: Regime,
+    /// Which regime produced the headline γ figure (see `beta_regime`).
+    pub gamma_regime: Regime,
+    /// Human-readable reasons for every *requested* exact computation
+    /// that fell back to the certified regime; empty when nothing
+    /// degraded.
+    pub degrade_reasons: Vec<String>,
 }
 
 impl ToJson for CertifyReport {
@@ -104,6 +117,9 @@ impl ToJson for CertifyReport {
             ("opt_exact", self.opt_exact.to_json()),
             ("gamma_upper", self.gamma_upper.to_json()),
             ("gamma_exact", self.gamma_exact.to_json()),
+            ("beta_regime", self.beta_regime.as_str().to_json()),
+            ("gamma_regime", self.gamma_regime.as_str().to_json()),
+            ("degrade_reasons", self.degrade_reasons.to_json()),
         ])
     }
 }
@@ -203,12 +219,50 @@ pub fn agent_beta_upper_with_now<W: EdgeWeights + ?Sized>(
     best_response::ratio(now, lb)
 }
 
-/// Produce the full certification report.
+/// Sound upper bound on β for the whole profile (the max over agents of
+/// [`agent_beta_upper`], computed off one shared evaluation context).
+/// Polynomial; this is the certified-regime fallback of the budgeted β
+/// solvers.
+pub fn beta_upper<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64) -> f64 {
+    let n = net.len();
+    let mut ctx = EvalContext::new(w, net, alpha);
+    ctx.ensure_all_rows();
+    let costs: Vec<f64> = (0..n).map(|u| ctx.agent_cost_cached(u)).collect();
+    let (g, costs) = (ctx.graph(), &costs);
+    let ups = gncg_parallel::parallel_map(n, |u| {
+        agent_beta_upper_with_now(w, net, g, alpha, u, costs[u])
+    });
+    ups.into_iter().fold(1.0f64, f64::max)
+}
+
+/// Produce the full certification report under the process-wide budget
+/// (`GNCG_BUDGET_MS`, unlimited when unset) — see [`certify_budgeted`].
 pub fn certify<W: EdgeWeights + ?Sized>(
     w: &W,
     net: &OwnedNetwork,
     alpha: f64,
     opts: CertifyOptions,
+) -> CertifyReport {
+    certify_budgeted(w, net, alpha, opts, &Budget::from_env())
+}
+
+/// Produce the full certification report, running the *exponential*
+/// parts (exact β, exact optimum) under `budget`.
+///
+/// The polynomial certified bounds and the witness are always computed
+/// (they are the fallback, and cost a few parallel Dijkstra sweeps). A
+/// requested exact computation that exceeds its enumeration cap, runs
+/// out of budget, or panics is cancelled cleanly and its `*_exact`
+/// field stays `None`; the report's `beta_regime`/`gamma_regime` record
+/// which regime produced each headline number and `degrade_reasons`
+/// records why. The certified numbers remain sound either way: reported
+/// β/γ bounds are always ≥ the true values.
+pub fn certify_budgeted<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    opts: CertifyOptions,
+    budget: &Budget,
 ) -> CertifyReport {
     let n = net.len();
     assert_eq!(n, w.len());
@@ -227,10 +281,37 @@ pub fn certify<W: EdgeWeights + ?Sized>(
     });
     let beta_upper = beta_uppers.into_iter().fold(1.0f64, f64::max);
 
-    let beta_exact = if opts.exact_beta && n <= best_response::MAX_EXACT_AGENTS {
-        Some(exact::exact_beta(w, net, alpha))
+    let mut degrade_reasons = Vec::new();
+    let mut record = |what: &str, reason: DegradeReason| {
+        degrade_reasons.push(format!("{what}: {reason}"));
+    };
+
+    let beta_exact = if opts.exact_beta {
+        if n <= best_response::MAX_EXACT_AGENTS {
+            match outcome::attempt(budget, || exact::exact_beta(w, net, alpha)) {
+                Ok(b) => Some(b),
+                Err(reason) => {
+                    record("beta", reason);
+                    None
+                }
+            }
+        } else {
+            record(
+                "beta",
+                DegradeReason::InstanceTooLarge {
+                    n,
+                    cap: best_response::MAX_EXACT_AGENTS,
+                },
+            );
+            None
+        }
     } else {
         None
+    };
+    let beta_regime = if beta_exact.is_some() {
+        Regime::Exact
+    } else {
+        Regime::Certified
     };
 
     let beta_witness = if opts.witness {
@@ -243,13 +324,35 @@ pub fn certify<W: EdgeWeights + ?Sized>(
     };
 
     let opt_lb = optimum_lower_bound(w, alpha);
-    let opt_exact = if opts.exact_gamma && n <= exact::MAX_EXACT_OPT_AGENTS {
-        Some(exact::exact_social_optimum(w, alpha).social_cost)
+    let opt_exact = if opts.exact_gamma {
+        if n <= exact::MAX_EXACT_OPT_AGENTS {
+            match outcome::attempt(budget, || exact::exact_social_optimum(w, alpha).social_cost) {
+                Ok(o) => Some(o),
+                Err(reason) => {
+                    record("gamma", reason);
+                    None
+                }
+            }
+        } else {
+            record(
+                "gamma",
+                DegradeReason::InstanceTooLarge {
+                    n,
+                    cap: exact::MAX_EXACT_OPT_AGENTS,
+                },
+            );
+            None
+        }
     } else {
         None
     };
     let gamma_upper = best_response::ratio(social, opt_lb);
     let gamma_exact = opt_exact.map(|o| best_response::ratio(social, o));
+    let gamma_regime = if gamma_exact.is_some() {
+        Regime::Exact
+    } else {
+        Regime::Certified
+    };
 
     CertifyReport {
         n,
@@ -263,6 +366,9 @@ pub fn certify<W: EdgeWeights + ?Sized>(
         opt_exact,
         gamma_upper,
         gamma_exact,
+        beta_regime,
+        gamma_regime,
+        degrade_reasons,
     }
 }
 
@@ -342,6 +448,164 @@ mod tests {
                 let opt = exact::exact_social_optimum(&ps, alpha).social_cost;
                 assert!(lb <= opt + 1e-9, "seed {seed} alpha {alpha}: {lb} > {opt}");
             }
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_sound_bounds() {
+        // the soundness invariant of the degradation ladder: the
+        // certified numbers a degraded report falls back to must bound
+        // the true (exact) values from the safe side — β/γ from above,
+        // OPT from below — on instances small enough to cross-check
+        // against the exact solver
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for trial in 0..3 {
+            let n = 6;
+            let ps = generators::uniform_unit_square(n, 700 + trial);
+            let mut net = OwnedNetwork::empty(n);
+            for a in 1..n {
+                net.buy(a, rng.gen_range(0..a));
+            }
+            let alpha = 0.5 + rng.gen::<f64>() * 2.0;
+
+            let truth = certify_budgeted(
+                &ps,
+                &net,
+                alpha,
+                CertifyOptions::exact(),
+                &gncg_parallel::Budget::unlimited(),
+            );
+            assert_eq!(truth.beta_regime, crate::Regime::Exact);
+            assert_eq!(truth.gamma_regime, crate::Regime::Exact);
+            assert!(truth.degrade_reasons.is_empty());
+
+            let dead = gncg_parallel::Budget::unlimited();
+            dead.cancel();
+            let degraded = certify_budgeted(&ps, &net, alpha, CertifyOptions::exact(), &dead);
+            assert_eq!(degraded.beta_regime, crate::Regime::Certified);
+            assert_eq!(degraded.gamma_regime, crate::Regime::Certified);
+            assert!(degraded.beta_exact.is_none() && degraded.gamma_exact.is_none());
+            assert_eq!(degraded.degrade_reasons.len(), 2);
+            assert!(degraded.degrade_reasons[0].contains("budget exhausted"));
+
+            let beta_true = truth.beta_exact.unwrap();
+            let gamma_true = truth.gamma_exact.unwrap();
+            let opt_true = truth.opt_exact.unwrap();
+            assert!(
+                degraded.beta_upper >= beta_true - 1e-9,
+                "trial {trial}: certified beta {} under-claims exact {beta_true}",
+                degraded.beta_upper
+            );
+            assert!(
+                degraded.gamma_upper >= gamma_true - 1e-9,
+                "trial {trial}: certified gamma {} under-claims exact {gamma_true}",
+                degraded.gamma_upper
+            );
+            assert!(
+                degraded.opt_lower_bound <= opt_true + 1e-9,
+                "trial {trial}: opt lower bound {} over-claims exact {opt_true}",
+                degraded.opt_lower_bound
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_solvers_degrade_soundly() {
+        let ps = generators::uniform_unit_square(6, 44);
+        let mut net = OwnedNetwork::center_star(6, 0);
+        net.buy(3, 4);
+        let alpha = 1.3;
+        let ok = gncg_parallel::Budget::unlimited();
+        let dead = gncg_parallel::Budget::unlimited();
+        dead.cancel();
+
+        // social optimum: exact within budget, sound lower bound without
+        let exact_opt = exact::exact_social_optimum(&ps, alpha).social_cost;
+        match exact::exact_social_optimum_budgeted(&ps, alpha, &ok) {
+            crate::Outcome::Exact(o) => assert!((o.social_cost - exact_opt).abs() < 1e-12),
+            other => panic!("unlimited budget must stay exact, got {other:?}"),
+        }
+        match exact::exact_social_optimum_budgeted(&ps, alpha, &dead) {
+            crate::Outcome::Degraded {
+                certified_bound,
+                reason,
+            } => {
+                assert_eq!(reason, crate::DegradeReason::BudgetExhausted);
+                assert!(certified_bound <= exact_opt + 1e-9);
+                assert!(certified_bound.is_finite());
+            }
+            other => panic!("dead budget must degrade, got {other:?}"),
+        }
+
+        // best response: degraded bound never exceeds the true BR cost
+        let br_true = best_response::exact_best_response(&ps, &net, alpha, 2).cost;
+        match best_response::exact_best_response_budgeted(&ps, &net, alpha, 2, &dead) {
+            crate::Outcome::Degraded {
+                certified_bound, ..
+            } => assert!(certified_bound <= br_true + 1e-9),
+            other => panic!("dead budget must degrade, got {other:?}"),
+        }
+
+        // beta: degraded bound never undercuts the true beta
+        let beta_true = exact::exact_beta(&ps, &net, alpha);
+        match exact::exact_beta_budgeted(&ps, &net, alpha, &dead) {
+            crate::Outcome::Degraded {
+                certified_bound, ..
+            } => assert!(certified_bound >= beta_true - 1e-9),
+            other => panic!("dead budget must degrade, got {other:?}"),
+        }
+        match exact::exact_beta_budgeted(&ps, &net, alpha, &ok) {
+            crate::Outcome::Exact(b) => assert!((b - beta_true).abs() < 1e-12),
+            other => panic!("unlimited budget must stay exact, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_instance_degrades_without_running() {
+        // n = 30 is far over both enumeration caps: the budgeted
+        // variants must return immediately with TooLarge, not attempt
+        // 2^29 work
+        let ps = generators::uniform_unit_square(30, 9);
+        let net = OwnedNetwork::center_star(30, 0);
+        let b = gncg_parallel::Budget::unlimited();
+        match exact::exact_beta_budgeted(&ps, &net, 1.0, &b) {
+            crate::Outcome::Degraded { reason, .. } => {
+                assert!(matches!(
+                    reason,
+                    crate::DegradeReason::InstanceTooLarge { n: 30, .. }
+                ));
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        match exact::exact_social_optimum_budgeted(&ps, 1.0, &b) {
+            crate::Outcome::Degraded {
+                certified_bound, ..
+            } => assert!(certified_bound.is_finite() && certified_bound > 0.0),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tight_deadline_cancels_cleanly_and_promptly() {
+        // a real (non-pre-cancelled) deadline far smaller than the solve:
+        // n = 7 means a 2^21-mask optimum search; with ~1 ms of budget it
+        // must cancel cooperatively and return quickly
+        use std::time::{Duration, Instant};
+        let ps = generators::uniform_unit_square(7, 5);
+        let budget = gncg_parallel::Budget::with_limit(Duration::from_millis(1));
+        let t0 = Instant::now();
+        let out = exact::exact_social_optimum_budgeted(&ps, 10.0, &budget);
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "budgeted solve took {elapsed:?}"
+        );
+        // either it finished inside the millisecond (possible on a fast
+        // machine) or it degraded — both are valid; what is not valid is
+        // a hang or a panic
+        if let crate::Outcome::Degraded { reason, .. } = out {
+            assert_eq!(reason, crate::DegradeReason::BudgetExhausted);
         }
     }
 

@@ -8,8 +8,10 @@
 //! is the ground truth the certified bounds are validated against in
 //! tests, and the exact γ used on the paper's small witness instances.
 
-use crate::{best_response, cost, EdgeWeights, OwnedNetwork};
+use crate::outcome::{self, DegradeReason, Outcome};
+use crate::{best_response, certify, cost, EdgeWeights, OwnedNetwork};
 use gncg_graph::Graph;
+use gncg_parallel::Budget;
 
 /// Practical cap for exact social-optimum enumeration: n = 7 means
 /// 2^21 ≈ 2M candidate graphs; n = 8 would already be 2^28 ≈ 268M.
@@ -84,6 +86,36 @@ pub fn exact_social_optimum<W: EdgeWeights + ?Sized>(w: &W, alpha: f64) -> Exact
     }
 }
 
+/// Budgeted [`exact_social_optimum`]: runs the enumeration under
+/// `budget` and degrades to the certified lower bound
+/// ([`certify::optimum_lower_bound`], always ≤ the true optimum cost)
+/// when the instance exceeds the cap, the budget runs out, or the solve
+/// panics. Never panics and never blocks past the budget by more than a
+/// few scheduling chunks.
+pub fn exact_social_optimum_budgeted<W: EdgeWeights + ?Sized>(
+    w: &W,
+    alpha: f64,
+    budget: &Budget,
+) -> Outcome<ExactOptimum> {
+    let n = w.len();
+    if n > MAX_EXACT_OPT_AGENTS {
+        return Outcome::Degraded {
+            certified_bound: certify::optimum_lower_bound(w, alpha),
+            reason: DegradeReason::InstanceTooLarge {
+                n,
+                cap: MAX_EXACT_OPT_AGENTS,
+            },
+        };
+    }
+    match outcome::attempt(budget, || exact_social_optimum(w, alpha)) {
+        Ok(opt) => Outcome::Exact(opt),
+        Err(reason) => Outcome::Degraded {
+            certified_bound: certify::optimum_lower_bound(w, alpha),
+            reason,
+        },
+    }
+}
+
 /// Exact β of a profile: the maximum over agents of
 /// `cost(u, G)/cost(u, best response)`. Exponential per agent.
 pub fn exact_beta<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64) -> f64 {
@@ -91,6 +123,35 @@ pub fn exact_beta<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64
         best_response::exact_improvement_factor(w, net, alpha, u)
     });
     factors.into_iter().fold(1.0, f64::max)
+}
+
+/// Budgeted [`exact_beta`]: degrades to the certified upper bound
+/// ([`certify::beta_upper`], always ≥ the true β, so the profile *is* a
+/// β-NE for the reported value) when the instance exceeds the
+/// enumeration cap, the budget runs out, or the solve panics.
+pub fn exact_beta_budgeted<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    budget: &Budget,
+) -> Outcome<f64> {
+    let n = net.len();
+    if n > best_response::MAX_EXACT_AGENTS {
+        return Outcome::Degraded {
+            certified_bound: certify::beta_upper(w, net, alpha),
+            reason: DegradeReason::InstanceTooLarge {
+                n,
+                cap: best_response::MAX_EXACT_AGENTS,
+            },
+        };
+    }
+    match outcome::attempt(budget, || exact_beta(w, net, alpha)) {
+        Ok(beta) => Outcome::Exact(beta),
+        Err(reason) => Outcome::Degraded {
+            certified_bound: certify::beta_upper(w, net, alpha),
+            reason,
+        },
+    }
 }
 
 /// Is the profile an exact (pure) Nash equilibrium? True iff no agent can

@@ -18,6 +18,8 @@
 //! * [`exact`] — exact social optimum and exact Nash verification,
 //! * [`certify`] — (β, γ) certification with exact values on small
 //!   instances and sound bounds on large ones,
+//! * [`outcome`] — budgeted solve outcomes ([`Outcome`]) and the
+//!   exact→certified degradation ladder,
 //! * [`dynamics`] — (best-)response dynamics with cycle detection
 //!   (the Theorem 3.1 FIP study),
 //! * [`eval`] — the incremental [`EvalContext`] the dynamics and
@@ -35,9 +37,11 @@ pub mod greedy_eq;
 pub mod instances;
 pub mod moves;
 pub mod network;
+pub mod outcome;
 
 pub use eval::EvalContext;
 pub use network::OwnedNetwork;
+pub use outcome::{DegradeReason, Outcome, Regime};
 
 use gncg_geometry::PointSet;
 use gncg_graph::DistMatrix;

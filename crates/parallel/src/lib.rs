@@ -25,10 +25,40 @@
 //! thread*, not per item: a run with `GNCG_THREADS=t` builds at most `t`
 //! scratch states (plus one on the sequential fallback path), regardless
 //! of `n`.
+//!
+//! # Fault tolerance
+//!
+//! Long unattended sweeps must degrade, not hang. The substrate's
+//! failure contract:
+//!
+//! * **Panic isolation.** Every chunk body and every [`pool::ThreadPool`]
+//!   job runs under `catch_unwind`. The first panic payload is recorded,
+//!   the remaining workers stop claiming chunks, and the panic is
+//!   re-raised on the *calling* thread at scope exit (resp. at
+//!   [`pool::ThreadPool::wait`]). A panicking job can no longer strand
+//!   `wait()` or leave a scoped loop half-famished.
+//! * **Cancellation budgets.** [`with_budget`] installs a [`Budget`]
+//!   (shared [`CancelToken`] + optional deadline) that every loop
+//!   variant polls once per chunk — including nested loops spawned from
+//!   worker threads, which inherit the ambient budget. A cancelled loop
+//!   returns early with partial output; the caller checks
+//!   [`Budget::exhausted`] and discards it (see `gncg-game`'s budgeted
+//!   solvers for the degradation pattern).
+//! * **Fault injection.** `GNCG_FAULT_INJECT=<p>` arms [`fault`], which
+//!   probabilistically raises injected panics at chunk boundaries. The
+//!   chunk runners absorb those by retrying the untouched chunk, so an
+//!   injected run produces bit-identical results — it soaks the
+//!   catch/record/re-raise machinery itself.
 
+pub mod budget;
+pub mod fault;
 pub mod pool;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+pub use budget::{current_budget, with_budget, Budget, CancelToken};
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Default chunk size for self-scheduling loops. Small enough for load
 /// balance on irregular work items (Dijkstra runs vary with graph shape),
@@ -58,6 +88,99 @@ pub fn num_threads() -> usize {
     })
 }
 
+/// First-panic slot shared by the workers of one scoped loop: records
+/// the first real panic payload, flips a poison flag that makes the
+/// other workers stop claiming chunks, and re-raises the payload on the
+/// calling thread once every worker has joined.
+pub(crate) struct PanicSlot {
+    poisoned: AtomicBool,
+    payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl PanicSlot {
+    pub(crate) fn new() -> Self {
+        Self {
+            poisoned: AtomicBool::new(false),
+            payload: Mutex::new(None),
+        }
+    }
+
+    /// Record a panic payload; only the first is kept.
+    pub(crate) fn record(&self, p: Box<dyn std::any::Any + Send>) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        let mut slot = self.payload.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(p);
+        }
+    }
+
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Re-raise the recorded panic, if any. Call after all workers have
+    /// joined (i.e. outside the thread scope).
+    pub(crate) fn propagate(&self) {
+        let payload = self
+            .payload
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(p) = payload {
+            resume_unwind(p);
+        }
+    }
+}
+
+/// How many injected-fault retries a chunk tolerates before running its
+/// final attempt with injection suppressed (guaranteeing progress even
+/// at `GNCG_FAULT_INJECT=1`).
+const MAX_INJECT_RETRIES: u32 = 16;
+
+/// The claim-and-run loop of one worker thread: claims chunks off
+/// `counter`, wraps each chunk in `catch_unwind`, absorbs injected
+/// faults by retrying the untouched chunk, records the first real panic
+/// in `slot`, and stops early when the slot is poisoned or the ambient
+/// budget is exhausted.
+///
+/// The fault point fires *before* any item of the chunk runs, so a
+/// retry never re-executes side effects.
+fn run_worker_chunks<F: FnMut(usize, usize)>(
+    counter: &AtomicUsize,
+    n: usize,
+    slot: &PanicSlot,
+    budget: Option<&Budget>,
+    mut run_items: F,
+) {
+    loop {
+        if slot.is_poisoned() || budget.is_some_and(|b| b.exhausted()) {
+            return;
+        }
+        let start = counter.fetch_add(DEFAULT_CHUNK, Ordering::Relaxed);
+        if start >= n {
+            return;
+        }
+        let end = (start + DEFAULT_CHUNK).min(n);
+        let mut injected = 0u32;
+        loop {
+            let suppress = (injected >= MAX_INJECT_RETRIES).then(fault::suppress);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                fault::fault_point();
+                run_items(start, end);
+            }));
+            drop(suppress);
+            match result {
+                Ok(()) => break,
+                Err(p) if fault::is_injected(&*p) => injected += 1,
+                Err(p) => {
+                    slot.record(p);
+                    return;
+                }
+            }
+        }
+    }
+}
+
 /// Execute `f(i)` for every `i` in `0..n`, writing results into a `Vec`.
 ///
 /// Work is distributed dynamically in chunks of [`DEFAULT_CHUNK`]; each
@@ -66,6 +189,12 @@ pub fn num_threads() -> usize {
 ///
 /// Falls back to a sequential loop when `n` is small or only one thread is
 /// available — keeping results bit-identical between the two paths.
+///
+/// If `f` panics, the first panic is re-raised here after all workers
+/// stopped. Under a cancelled ambient [`Budget`] the loop returns early
+/// with unprocessed entries left at `T::default()` — callers running
+/// under a budget must check [`Budget::exhausted`] before trusting the
+/// output.
 pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send + Default + Clone,
@@ -90,35 +219,42 @@ where
     F: Fn(&mut S, usize) -> T + Sync,
 {
     let threads = num_threads();
+    let budget = current_budget();
     if threads <= 1 || n <= DEFAULT_CHUNK {
         let mut scratch = init();
-        return (0..n).map(|i| f(&mut scratch, i)).collect();
+        let mut out = vec![T::default(); n];
+        for (i, slot) in out.iter_mut().enumerate() {
+            if i % DEFAULT_CHUNK == 0 && budget.as_ref().is_some_and(|b| b.exhausted()) {
+                break;
+            }
+            *slot = f(&mut scratch, i);
+        }
+        return out;
     }
     let mut out = vec![T::default(); n];
     {
         let counter = AtomicUsize::new(0);
+        let slot = PanicSlot::new();
         let out_slices = SliceCells::new(&mut out);
         let out_slices = &out_slices;
-        let (counter, init, f) = (&counter, &init, &f);
+        let (counter, slot, budget, init, f) = (&counter, &slot, &budget, &init, &f);
         std::thread::scope(|s| {
             for _ in 0..threads.min(n.div_ceil(DEFAULT_CHUNK)) {
                 s.spawn(move || {
+                    let _ambient = budget.as_ref().map(|b| budget::enter_ambient(b.clone()));
                     let mut scratch = init();
-                    loop {
-                        let start = counter.fetch_add(DEFAULT_CHUNK, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        let end = (start + DEFAULT_CHUNK).min(n);
+                    run_worker_chunks(counter, n, slot, budget.as_ref(), |start, end| {
                         for i in start..end {
                             // SAFETY: each index is claimed by exactly one
-                            // worker via the atomic counter.
+                            // worker via the atomic counter; a retried
+                            // chunk re-writes only its own indices.
                             unsafe { out_slices.write(i, f(&mut scratch, i)) };
                         }
-                    }
+                    });
                 });
             }
         });
+        slot.propagate();
     }
     out
 }
@@ -132,7 +268,9 @@ where
 }
 
 /// Like [`parallel_for`], but with a per-worker persistent scratch state
-/// (see [`parallel_map_with`]).
+/// (see [`parallel_map_with`]). Panics in `f` propagate after all
+/// workers stopped; a cancelled ambient [`Budget`] makes the loop return
+/// early with some items never executed.
 pub fn parallel_for_with<S, Init, F>(n: usize, init: Init, f: F)
 where
     S: Send,
@@ -140,32 +278,34 @@ where
     F: Fn(&mut S, usize) + Sync,
 {
     let threads = num_threads();
+    let budget = current_budget();
     if threads <= 1 || n <= DEFAULT_CHUNK {
         let mut scratch = init();
         for i in 0..n {
+            if i % DEFAULT_CHUNK == 0 && budget.as_ref().is_some_and(|b| b.exhausted()) {
+                return;
+            }
             f(&mut scratch, i);
         }
         return;
     }
     let counter = AtomicUsize::new(0);
-    let (counter, init, f) = (&counter, &init, &f);
+    let slot = PanicSlot::new();
+    let (counter, slot, budget, init, f) = (&counter, &slot, &budget, &init, &f);
     std::thread::scope(|s| {
         for _ in 0..threads.min(n.div_ceil(DEFAULT_CHUNK)) {
             s.spawn(move || {
+                let _ambient = budget.as_ref().map(|b| budget::enter_ambient(b.clone()));
                 let mut scratch = init();
-                loop {
-                    let start = counter.fetch_add(DEFAULT_CHUNK, Ordering::Relaxed);
-                    if start >= n {
-                        break;
-                    }
-                    let end = (start + DEFAULT_CHUNK).min(n);
+                run_worker_chunks(counter, n, slot, budget.as_ref(), |start, end| {
                     for i in start..end {
                         f(&mut scratch, i);
                     }
-                }
+                });
             });
         }
     });
+    slot.propagate();
 }
 
 /// Parallel fold-then-combine reduction over `0..n`.
@@ -188,6 +328,11 @@ where
 /// scratch state (see [`parallel_map_with`]). The exact best-response
 /// enumerator uses this to fold over 2^k strategy subsets with a single
 /// reusable neighbour buffer per worker.
+///
+/// Panics in `fold` propagate after all workers stopped. Under a
+/// cancelled ambient [`Budget`] the reduction covers only the chunks
+/// claimed before cancellation — a *partial* fold the caller must
+/// discard after checking [`Budget::exhausted`].
 pub fn parallel_reduce_with<T, S, SInit, Id, F, C>(
     n: usize,
     init: SInit,
@@ -204,30 +349,42 @@ where
     C: Fn(T, T) -> T,
 {
     let threads = num_threads();
+    let budget = current_budget();
     if threads <= 1 || n <= DEFAULT_CHUNK {
         let mut scratch = init();
-        return (0..n).fold(identity(), |acc, i| fold(&mut scratch, acc, i));
+        let mut acc = identity();
+        for i in 0..n {
+            if i % DEFAULT_CHUNK == 0 && budget.as_ref().is_some_and(|b| b.exhausted()) {
+                return acc;
+            }
+            acc = fold(&mut scratch, acc, i);
+        }
+        return acc;
     }
     let counter = AtomicUsize::new(0);
+    let slot = PanicSlot::new();
     let workers = threads.min(n.div_ceil(DEFAULT_CHUNK));
-    let (counter, init, identity, fold) = (&counter, &init, &identity, &fold);
+    let (counter, slot, budget, init, identity, fold) =
+        (&counter, &slot, &budget, &init, &identity, &fold);
     let partials: Vec<T> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(move || {
+                    let _ambient = budget.as_ref().map(|b| budget::enter_ambient(b.clone()));
                     let mut scratch = init();
-                    let mut acc = identity();
-                    loop {
-                        let start = counter.fetch_add(DEFAULT_CHUNK, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        let end = (start + DEFAULT_CHUNK).min(n);
+                    // the accumulator lives in an Option so a panic that
+                    // unwinds mid-fold (consuming it) leaves a recoverable
+                    // state; the lost partial does not matter because the
+                    // recorded panic is re-raised before combining
+                    let mut acc = Some(identity());
+                    run_worker_chunks(counter, n, slot, budget.as_ref(), |start, end| {
+                        let mut a = acc.take().expect("accumulator present");
                         for i in start..end {
-                            acc = fold(&mut scratch, acc, i);
+                            a = fold(&mut scratch, a, i);
                         }
-                    }
-                    acc
+                        acc = Some(a);
+                    });
+                    acc.unwrap_or_else(identity)
                 })
             })
             .collect();
@@ -236,6 +393,7 @@ where
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
     });
+    slot.propagate();
     let mut it = partials.into_iter();
     let first = it.next().expect("at least one worker");
     it.fold(first, combine)
@@ -307,6 +465,7 @@ impl<'a, T> SliceCells<'a, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn map_matches_sequential() {
@@ -439,5 +598,166 @@ mod tests {
             |a, b| a + b,
         );
         assert_eq!(plain, with);
+    }
+
+    // --- panic isolation ---------------------------------------------------
+
+    #[test]
+    fn map_panic_propagates_without_hanging() {
+        let r = std::panic::catch_unwind(|| {
+            parallel_map(1000, |i| {
+                if i == 777 {
+                    panic!("map boom");
+                }
+                i
+            })
+        });
+        let payload = r.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "map boom");
+    }
+
+    #[test]
+    fn for_panic_propagates_without_hanging() {
+        let r = std::panic::catch_unwind(|| {
+            parallel_for(1000, |i| {
+                if i == 13 {
+                    panic!("for boom");
+                }
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn reduce_panic_propagates_without_hanging() {
+        let r = std::panic::catch_unwind(|| {
+            parallel_reduce(
+                1000,
+                || 0u64,
+                |acc, i| {
+                    if i == 999 {
+                        panic!("reduce boom");
+                    }
+                    acc + i as u64
+                },
+                |a, b| a + b,
+            )
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn poisoned_loop_stops_other_workers_early() {
+        // after the panic, remaining workers must stop claiming chunks:
+        // far fewer than n items execute (not a strict bound, but with
+        // n = 100_000 sleep-free items the gap is unambiguous)
+        let executed = AtomicUsize::new(0);
+        let n = 100_000;
+        let r = std::panic::catch_unwind(|| {
+            parallel_for(n, |i| {
+                if i == 0 {
+                    panic!("early boom");
+                }
+                executed.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_micros(5));
+            })
+        });
+        assert!(r.is_err());
+        assert!(
+            executed.load(Ordering::Relaxed) < n / 2,
+            "workers kept claiming chunks after poison: {} of {n}",
+            executed.load(Ordering::Relaxed)
+        );
+    }
+
+    // --- cancellation ------------------------------------------------------
+
+    #[test]
+    fn cancelled_budget_stops_map_promptly() {
+        let budget = Budget::with_limit(Duration::from_millis(40));
+        let t0 = Instant::now();
+        let out = with_budget(&budget, || {
+            parallel_map(1_000_000, |i| {
+                std::thread::sleep(Duration::from_micros(200));
+                i as u64
+            })
+        });
+        let elapsed = t0.elapsed();
+        assert!(budget.exhausted());
+        // promptness: budget + a small number of chunks of slack, far
+        // below the ~3.5 minutes the uncancelled loop would need
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "cancelled map took {elapsed:?}"
+        );
+        // unprocessed entries stay at the default
+        assert!(out.contains(&0));
+    }
+
+    #[test]
+    fn pre_cancelled_budget_skips_all_work() {
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let ran = AtomicUsize::new(0);
+        let out = with_budget(&budget, || {
+            parallel_map(1000, |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                i + 1
+            })
+        });
+        assert_eq!(out.len(), 1000);
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+        assert!(out.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn cancelled_reduce_returns_partial_fold() {
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let total = with_budget(&budget, || {
+            parallel_reduce(10_000, || 0u64, |acc, i| acc + i as u64, |a, b| a + b)
+        });
+        assert_eq!(total, 0, "pre-cancelled reduce must fold nothing");
+    }
+
+    #[test]
+    fn ambient_budget_reaches_workers_and_nested_loops() {
+        let budget = Budget::unlimited();
+        let seen = with_budget(&budget, || {
+            parallel_map(200, |_| {
+                // visible on worker threads...
+                let outer = current_budget().is_some() as usize;
+                // ...and inside loops nested in a worker
+                let inner: usize = parallel_reduce(40, || 0usize, |acc, _| acc + 1, |a, b| a + b);
+                outer + (inner == 40) as usize
+            })
+        });
+        assert!(seen.iter().all(|&s| s == 2));
+    }
+
+    // --- fault injection ---------------------------------------------------
+
+    #[test]
+    fn injected_faults_are_absorbed_bit_identically() {
+        let _guard = fault::test_lock();
+        let before = fault::injection_probability();
+        fault::set_injection_probability(0.5);
+        let par = parallel_map(5000, |i| i as u64 * 7);
+        let red = parallel_reduce(3000, || 0u64, |acc, i| acc + i as u64, |a, b| a + b);
+        fault::set_injection_probability(before);
+        assert_eq!(par, (0..5000).map(|i| i as u64 * 7).collect::<Vec<_>>());
+        assert_eq!(red, (0..3000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn full_injection_still_terminates() {
+        let _guard = fault::test_lock();
+        let before = fault::injection_probability();
+        fault::set_injection_probability(1.0);
+        // bounded retry + suppression guarantees progress even at p = 1
+        let out = parallel_map(500, |i| i + 1);
+        fault::set_injection_probability(before);
+        assert_eq!(out, (1..=500).collect::<Vec<_>>());
     }
 }

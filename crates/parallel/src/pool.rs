@@ -9,7 +9,17 @@
 //! The pool intentionally exposes only a *blocking* `run` API: submit a
 //! job set, wait for completion. The callers in this workspace never need
 //! futures or detached tasks, and a blocking API keeps lifetimes simple.
+//!
+//! # Panic policy
+//!
+//! Every job runs under `catch_unwind`. A panicking job decrements
+//! `pending` like any other (so [`ThreadPool::wait`] can never block
+//! forever on a dead job), its payload is recorded, and the *first*
+//! recorded panic is re-raised on the caller of `wait()` once the batch
+//! has drained. The pool itself stays usable afterwards.
 
+use crate::{fault, PanicSlot};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -26,6 +36,7 @@ struct Inner {
     pending: AtomicUsize,
     done_mutex: Mutex<()>,
     done_cond: Condvar,
+    panic_slot: PanicSlot,
 }
 
 struct Queue {
@@ -48,6 +59,7 @@ impl ThreadPool {
             pending: AtomicUsize::new(0),
             done_mutex: Mutex::new(()),
             done_cond: Condvar::new(),
+            panic_slot: PanicSlot::new(),
         });
         let workers = (0..threads)
             .map(|_| {
@@ -79,15 +91,22 @@ impl ThreadPool {
     }
 
     /// Block until every submitted job has finished.
+    ///
+    /// If any job of the batch panicked, the first recorded panic is
+    /// re-raised here after the batch has fully drained; the pool
+    /// remains usable for subsequent batches.
     pub fn wait(&self) {
-        let mut guard = self.inner.done_mutex.lock().expect("pool mutex poisoned");
-        while self.inner.pending.load(Ordering::SeqCst) != 0 {
-            guard = self
-                .inner
-                .done_cond
-                .wait(guard)
-                .expect("pool mutex poisoned");
+        {
+            let mut guard = self.inner.done_mutex.lock().expect("pool mutex poisoned");
+            while self.inner.pending.load(Ordering::SeqCst) != 0 {
+                guard = self
+                    .inner
+                    .done_cond
+                    .wait(guard)
+                    .expect("pool mutex poisoned");
+            }
         }
+        self.inner.panic_slot.propagate();
     }
 }
 
@@ -118,7 +137,17 @@ fn worker_loop(inner: Arc<Inner>) {
                 q = inner.cond.wait(q).expect("pool queue poisoned");
             }
         };
-        job();
+        // injection point *before* the job is invoked: an injected fault
+        // here is absorbed and the job still runs, exercising the
+        // catch/decrement path without losing work
+        let _ = catch_unwind(fault::fault_point);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+            if !fault::is_injected(&*payload) {
+                inner.panic_slot.record(payload);
+            }
+        }
+        // the decrement runs regardless of how the job ended — this is
+        // the invariant that keeps `wait()` from blocking forever
         if inner.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
             let _guard = inner.done_mutex.lock().expect("pool mutex poisoned");
             inner.done_cond.notify_all();
@@ -178,6 +207,69 @@ mod tests {
             });
         }
         pool.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn panicking_job_does_not_deadlock_wait_and_is_surfaced() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                if i == 50 {
+                    panic!("job boom");
+                }
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // regression: this used to block forever (the panicking job
+        // skipped the `pending` decrement); now it must return and
+        // re-raise the job's panic
+        let r = catch_unwind(AssertUnwindSafe(|| pool.wait()));
+        let payload = r.expect_err("panic must surface at wait()");
+        assert_eq!(payload.downcast_ref::<&str>().copied(), Some("job boom"));
+        assert_eq!(counter.load(Ordering::Relaxed), 99);
+
+        // the pool stays usable after a panicked batch
+        for _ in 0..20 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 119);
+    }
+
+    #[test]
+    fn only_first_panic_is_kept_per_batch() {
+        let pool = ThreadPool::new(2);
+        for _ in 0..10 {
+            pool.submit(|| panic!("many booms"));
+        }
+        let r = catch_unwind(AssertUnwindSafe(|| pool.wait()));
+        assert!(r.is_err());
+        // next batch starts clean
+        pool.submit(|| {});
+        pool.wait();
+    }
+
+    #[test]
+    fn injected_faults_never_lose_jobs() {
+        let _guard = crate::fault::test_lock();
+        let before = crate::fault::injection_probability();
+        crate::fault::set_injection_probability(1.0);
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        crate::fault::set_injection_probability(before);
         assert_eq!(counter.load(Ordering::Relaxed), 100);
     }
 

@@ -1,6 +1,7 @@
-/root/repo/target/debug/deps/gncg_bench-0d55000069e43d5b.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+/root/repo/target/debug/deps/gncg_bench-0d55000069e43d5b.d: crates/bench/src/lib.rs crates/bench/src/checkpoint.rs crates/bench/src/svg.rs
 
-/root/repo/target/debug/deps/gncg_bench-0d55000069e43d5b: crates/bench/src/lib.rs crates/bench/src/svg.rs
+/root/repo/target/debug/deps/gncg_bench-0d55000069e43d5b: crates/bench/src/lib.rs crates/bench/src/checkpoint.rs crates/bench/src/svg.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/checkpoint.rs:
 crates/bench/src/svg.rs:

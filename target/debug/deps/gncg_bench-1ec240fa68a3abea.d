@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/gncg_bench-1ec240fa68a3abea.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+/root/repo/target/debug/deps/gncg_bench-1ec240fa68a3abea.d: crates/bench/src/lib.rs crates/bench/src/checkpoint.rs crates/bench/src/svg.rs
 
-/root/repo/target/debug/deps/libgncg_bench-1ec240fa68a3abea.rlib: crates/bench/src/lib.rs crates/bench/src/svg.rs
+/root/repo/target/debug/deps/libgncg_bench-1ec240fa68a3abea.rlib: crates/bench/src/lib.rs crates/bench/src/checkpoint.rs crates/bench/src/svg.rs
 
-/root/repo/target/debug/deps/libgncg_bench-1ec240fa68a3abea.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs
+/root/repo/target/debug/deps/libgncg_bench-1ec240fa68a3abea.rmeta: crates/bench/src/lib.rs crates/bench/src/checkpoint.rs crates/bench/src/svg.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/checkpoint.rs:
 crates/bench/src/svg.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/gncg_bench-5a124d437ab77e4f.d: crates/bench/src/lib.rs crates/bench/src/svg.rs Cargo.toml
+/root/repo/target/debug/deps/gncg_bench-5a124d437ab77e4f.d: crates/bench/src/lib.rs crates/bench/src/checkpoint.rs crates/bench/src/svg.rs Cargo.toml
 
-/root/repo/target/debug/deps/libgncg_bench-5a124d437ab77e4f.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs Cargo.toml
+/root/repo/target/debug/deps/libgncg_bench-5a124d437ab77e4f.rmeta: crates/bench/src/lib.rs crates/bench/src/checkpoint.rs crates/bench/src/svg.rs Cargo.toml
 
 crates/bench/src/lib.rs:
+crates/bench/src/checkpoint.rs:
 crates/bench/src/svg.rs:
 Cargo.toml:
 

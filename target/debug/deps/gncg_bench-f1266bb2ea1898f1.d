@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/gncg_bench-f1266bb2ea1898f1.d: crates/bench/src/lib.rs crates/bench/src/svg.rs Cargo.toml
+/root/repo/target/debug/deps/gncg_bench-f1266bb2ea1898f1.d: crates/bench/src/lib.rs crates/bench/src/checkpoint.rs crates/bench/src/svg.rs Cargo.toml
 
-/root/repo/target/debug/deps/libgncg_bench-f1266bb2ea1898f1.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs Cargo.toml
+/root/repo/target/debug/deps/libgncg_bench-f1266bb2ea1898f1.rmeta: crates/bench/src/lib.rs crates/bench/src/checkpoint.rs crates/bench/src/svg.rs Cargo.toml
 
 crates/bench/src/lib.rs:
+crates/bench/src/checkpoint.rs:
 crates/bench/src/svg.rs:
 Cargo.toml:
 

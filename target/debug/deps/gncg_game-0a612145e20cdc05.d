@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/gncg_game-0a612145e20cdc05.d: crates/game/src/lib.rs crates/game/src/best_response.rs crates/game/src/certify.rs crates/game/src/cost.rs crates/game/src/dynamics.rs crates/game/src/eval.rs crates/game/src/exact.rs crates/game/src/greedy_eq.rs crates/game/src/instances.rs crates/game/src/moves.rs crates/game/src/network.rs
+/root/repo/target/debug/deps/gncg_game-0a612145e20cdc05.d: crates/game/src/lib.rs crates/game/src/best_response.rs crates/game/src/certify.rs crates/game/src/cost.rs crates/game/src/dynamics.rs crates/game/src/eval.rs crates/game/src/exact.rs crates/game/src/greedy_eq.rs crates/game/src/instances.rs crates/game/src/moves.rs crates/game/src/network.rs crates/game/src/outcome.rs
 
-/root/repo/target/debug/deps/gncg_game-0a612145e20cdc05: crates/game/src/lib.rs crates/game/src/best_response.rs crates/game/src/certify.rs crates/game/src/cost.rs crates/game/src/dynamics.rs crates/game/src/eval.rs crates/game/src/exact.rs crates/game/src/greedy_eq.rs crates/game/src/instances.rs crates/game/src/moves.rs crates/game/src/network.rs
+/root/repo/target/debug/deps/gncg_game-0a612145e20cdc05: crates/game/src/lib.rs crates/game/src/best_response.rs crates/game/src/certify.rs crates/game/src/cost.rs crates/game/src/dynamics.rs crates/game/src/eval.rs crates/game/src/exact.rs crates/game/src/greedy_eq.rs crates/game/src/instances.rs crates/game/src/moves.rs crates/game/src/network.rs crates/game/src/outcome.rs
 
 crates/game/src/lib.rs:
 crates/game/src/best_response.rs:
@@ -13,3 +13,4 @@ crates/game/src/greedy_eq.rs:
 crates/game/src/instances.rs:
 crates/game/src/moves.rs:
 crates/game/src/network.rs:
+crates/game/src/outcome.rs:

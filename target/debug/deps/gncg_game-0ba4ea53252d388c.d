@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/gncg_game-0ba4ea53252d388c.d: crates/game/src/lib.rs crates/game/src/best_response.rs crates/game/src/certify.rs crates/game/src/cost.rs crates/game/src/dynamics.rs crates/game/src/eval.rs crates/game/src/exact.rs crates/game/src/greedy_eq.rs crates/game/src/instances.rs crates/game/src/moves.rs crates/game/src/network.rs Cargo.toml
+/root/repo/target/debug/deps/gncg_game-0ba4ea53252d388c.d: crates/game/src/lib.rs crates/game/src/best_response.rs crates/game/src/certify.rs crates/game/src/cost.rs crates/game/src/dynamics.rs crates/game/src/eval.rs crates/game/src/exact.rs crates/game/src/greedy_eq.rs crates/game/src/instances.rs crates/game/src/moves.rs crates/game/src/network.rs crates/game/src/outcome.rs Cargo.toml
 
-/root/repo/target/debug/deps/libgncg_game-0ba4ea53252d388c.rmeta: crates/game/src/lib.rs crates/game/src/best_response.rs crates/game/src/certify.rs crates/game/src/cost.rs crates/game/src/dynamics.rs crates/game/src/eval.rs crates/game/src/exact.rs crates/game/src/greedy_eq.rs crates/game/src/instances.rs crates/game/src/moves.rs crates/game/src/network.rs Cargo.toml
+/root/repo/target/debug/deps/libgncg_game-0ba4ea53252d388c.rmeta: crates/game/src/lib.rs crates/game/src/best_response.rs crates/game/src/certify.rs crates/game/src/cost.rs crates/game/src/dynamics.rs crates/game/src/eval.rs crates/game/src/exact.rs crates/game/src/greedy_eq.rs crates/game/src/instances.rs crates/game/src/moves.rs crates/game/src/network.rs crates/game/src/outcome.rs Cargo.toml
 
 crates/game/src/lib.rs:
 crates/game/src/best_response.rs:
@@ -13,6 +13,7 @@ crates/game/src/greedy_eq.rs:
 crates/game/src/instances.rs:
 crates/game/src/moves.rs:
 crates/game/src/network.rs:
+crates/game/src/outcome.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

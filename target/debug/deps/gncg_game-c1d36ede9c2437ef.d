@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/gncg_game-c1d36ede9c2437ef.d: crates/game/src/lib.rs crates/game/src/best_response.rs crates/game/src/certify.rs crates/game/src/cost.rs crates/game/src/dynamics.rs crates/game/src/eval.rs crates/game/src/exact.rs crates/game/src/greedy_eq.rs crates/game/src/instances.rs crates/game/src/moves.rs crates/game/src/network.rs
+/root/repo/target/debug/deps/gncg_game-c1d36ede9c2437ef.d: crates/game/src/lib.rs crates/game/src/best_response.rs crates/game/src/certify.rs crates/game/src/cost.rs crates/game/src/dynamics.rs crates/game/src/eval.rs crates/game/src/exact.rs crates/game/src/greedy_eq.rs crates/game/src/instances.rs crates/game/src/moves.rs crates/game/src/network.rs crates/game/src/outcome.rs
 
-/root/repo/target/debug/deps/libgncg_game-c1d36ede9c2437ef.rlib: crates/game/src/lib.rs crates/game/src/best_response.rs crates/game/src/certify.rs crates/game/src/cost.rs crates/game/src/dynamics.rs crates/game/src/eval.rs crates/game/src/exact.rs crates/game/src/greedy_eq.rs crates/game/src/instances.rs crates/game/src/moves.rs crates/game/src/network.rs
+/root/repo/target/debug/deps/libgncg_game-c1d36ede9c2437ef.rlib: crates/game/src/lib.rs crates/game/src/best_response.rs crates/game/src/certify.rs crates/game/src/cost.rs crates/game/src/dynamics.rs crates/game/src/eval.rs crates/game/src/exact.rs crates/game/src/greedy_eq.rs crates/game/src/instances.rs crates/game/src/moves.rs crates/game/src/network.rs crates/game/src/outcome.rs
 
-/root/repo/target/debug/deps/libgncg_game-c1d36ede9c2437ef.rmeta: crates/game/src/lib.rs crates/game/src/best_response.rs crates/game/src/certify.rs crates/game/src/cost.rs crates/game/src/dynamics.rs crates/game/src/eval.rs crates/game/src/exact.rs crates/game/src/greedy_eq.rs crates/game/src/instances.rs crates/game/src/moves.rs crates/game/src/network.rs
+/root/repo/target/debug/deps/libgncg_game-c1d36ede9c2437ef.rmeta: crates/game/src/lib.rs crates/game/src/best_response.rs crates/game/src/certify.rs crates/game/src/cost.rs crates/game/src/dynamics.rs crates/game/src/eval.rs crates/game/src/exact.rs crates/game/src/greedy_eq.rs crates/game/src/instances.rs crates/game/src/moves.rs crates/game/src/network.rs crates/game/src/outcome.rs
 
 crates/game/src/lib.rs:
 crates/game/src/best_response.rs:
@@ -15,3 +15,4 @@ crates/game/src/greedy_eq.rs:
 crates/game/src/instances.rs:
 crates/game/src/moves.rs:
 crates/game/src/network.rs:
+crates/game/src/outcome.rs:

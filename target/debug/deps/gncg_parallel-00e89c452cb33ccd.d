@@ -1,8 +1,10 @@
-/root/repo/target/debug/deps/gncg_parallel-00e89c452cb33ccd.d: crates/parallel/src/lib.rs crates/parallel/src/pool.rs
+/root/repo/target/debug/deps/gncg_parallel-00e89c452cb33ccd.d: crates/parallel/src/lib.rs crates/parallel/src/budget.rs crates/parallel/src/fault.rs crates/parallel/src/pool.rs
 
-/root/repo/target/debug/deps/libgncg_parallel-00e89c452cb33ccd.rlib: crates/parallel/src/lib.rs crates/parallel/src/pool.rs
+/root/repo/target/debug/deps/libgncg_parallel-00e89c452cb33ccd.rlib: crates/parallel/src/lib.rs crates/parallel/src/budget.rs crates/parallel/src/fault.rs crates/parallel/src/pool.rs
 
-/root/repo/target/debug/deps/libgncg_parallel-00e89c452cb33ccd.rmeta: crates/parallel/src/lib.rs crates/parallel/src/pool.rs
+/root/repo/target/debug/deps/libgncg_parallel-00e89c452cb33ccd.rmeta: crates/parallel/src/lib.rs crates/parallel/src/budget.rs crates/parallel/src/fault.rs crates/parallel/src/pool.rs
 
 crates/parallel/src/lib.rs:
+crates/parallel/src/budget.rs:
+crates/parallel/src/fault.rs:
 crates/parallel/src/pool.rs:

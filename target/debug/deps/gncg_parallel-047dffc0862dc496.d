@@ -1,8 +1,10 @@
-/root/repo/target/debug/deps/gncg_parallel-047dffc0862dc496.d: crates/parallel/src/lib.rs crates/parallel/src/pool.rs Cargo.toml
+/root/repo/target/debug/deps/gncg_parallel-047dffc0862dc496.d: crates/parallel/src/lib.rs crates/parallel/src/budget.rs crates/parallel/src/fault.rs crates/parallel/src/pool.rs Cargo.toml
 
-/root/repo/target/debug/deps/libgncg_parallel-047dffc0862dc496.rmeta: crates/parallel/src/lib.rs crates/parallel/src/pool.rs Cargo.toml
+/root/repo/target/debug/deps/libgncg_parallel-047dffc0862dc496.rmeta: crates/parallel/src/lib.rs crates/parallel/src/budget.rs crates/parallel/src/fault.rs crates/parallel/src/pool.rs Cargo.toml
 
 crates/parallel/src/lib.rs:
+crates/parallel/src/budget.rs:
+crates/parallel/src/fault.rs:
 crates/parallel/src/pool.rs:
 Cargo.toml:
 

@@ -1,6 +1,8 @@
-/root/repo/target/debug/deps/gncg_parallel-9895c2a6f8a65021.d: crates/parallel/src/lib.rs crates/parallel/src/pool.rs
+/root/repo/target/debug/deps/gncg_parallel-9895c2a6f8a65021.d: crates/parallel/src/lib.rs crates/parallel/src/budget.rs crates/parallel/src/fault.rs crates/parallel/src/pool.rs
 
-/root/repo/target/debug/deps/gncg_parallel-9895c2a6f8a65021: crates/parallel/src/lib.rs crates/parallel/src/pool.rs
+/root/repo/target/debug/deps/gncg_parallel-9895c2a6f8a65021: crates/parallel/src/lib.rs crates/parallel/src/budget.rs crates/parallel/src/fault.rs crates/parallel/src/pool.rs
 
 crates/parallel/src/lib.rs:
+crates/parallel/src/budget.rs:
+crates/parallel/src/fault.rs:
 crates/parallel/src/pool.rs:

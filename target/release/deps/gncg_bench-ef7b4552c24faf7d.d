@@ -1,8 +1,9 @@
-/root/repo/target/release/deps/gncg_bench-ef7b4552c24faf7d.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+/root/repo/target/release/deps/gncg_bench-ef7b4552c24faf7d.d: crates/bench/src/lib.rs crates/bench/src/checkpoint.rs crates/bench/src/svg.rs
 
-/root/repo/target/release/deps/libgncg_bench-ef7b4552c24faf7d.rlib: crates/bench/src/lib.rs crates/bench/src/svg.rs
+/root/repo/target/release/deps/libgncg_bench-ef7b4552c24faf7d.rlib: crates/bench/src/lib.rs crates/bench/src/checkpoint.rs crates/bench/src/svg.rs
 
-/root/repo/target/release/deps/libgncg_bench-ef7b4552c24faf7d.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs
+/root/repo/target/release/deps/libgncg_bench-ef7b4552c24faf7d.rmeta: crates/bench/src/lib.rs crates/bench/src/checkpoint.rs crates/bench/src/svg.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/checkpoint.rs:
 crates/bench/src/svg.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/gncg_game-ddc2b7819f02be17.d: crates/game/src/lib.rs crates/game/src/best_response.rs crates/game/src/certify.rs crates/game/src/cost.rs crates/game/src/dynamics.rs crates/game/src/eval.rs crates/game/src/exact.rs crates/game/src/greedy_eq.rs crates/game/src/instances.rs crates/game/src/moves.rs crates/game/src/network.rs
+/root/repo/target/release/deps/gncg_game-ddc2b7819f02be17.d: crates/game/src/lib.rs crates/game/src/best_response.rs crates/game/src/certify.rs crates/game/src/cost.rs crates/game/src/dynamics.rs crates/game/src/eval.rs crates/game/src/exact.rs crates/game/src/greedy_eq.rs crates/game/src/instances.rs crates/game/src/moves.rs crates/game/src/network.rs crates/game/src/outcome.rs
 
-/root/repo/target/release/deps/libgncg_game-ddc2b7819f02be17.rlib: crates/game/src/lib.rs crates/game/src/best_response.rs crates/game/src/certify.rs crates/game/src/cost.rs crates/game/src/dynamics.rs crates/game/src/eval.rs crates/game/src/exact.rs crates/game/src/greedy_eq.rs crates/game/src/instances.rs crates/game/src/moves.rs crates/game/src/network.rs
+/root/repo/target/release/deps/libgncg_game-ddc2b7819f02be17.rlib: crates/game/src/lib.rs crates/game/src/best_response.rs crates/game/src/certify.rs crates/game/src/cost.rs crates/game/src/dynamics.rs crates/game/src/eval.rs crates/game/src/exact.rs crates/game/src/greedy_eq.rs crates/game/src/instances.rs crates/game/src/moves.rs crates/game/src/network.rs crates/game/src/outcome.rs
 
-/root/repo/target/release/deps/libgncg_game-ddc2b7819f02be17.rmeta: crates/game/src/lib.rs crates/game/src/best_response.rs crates/game/src/certify.rs crates/game/src/cost.rs crates/game/src/dynamics.rs crates/game/src/eval.rs crates/game/src/exact.rs crates/game/src/greedy_eq.rs crates/game/src/instances.rs crates/game/src/moves.rs crates/game/src/network.rs
+/root/repo/target/release/deps/libgncg_game-ddc2b7819f02be17.rmeta: crates/game/src/lib.rs crates/game/src/best_response.rs crates/game/src/certify.rs crates/game/src/cost.rs crates/game/src/dynamics.rs crates/game/src/eval.rs crates/game/src/exact.rs crates/game/src/greedy_eq.rs crates/game/src/instances.rs crates/game/src/moves.rs crates/game/src/network.rs crates/game/src/outcome.rs
 
 crates/game/src/lib.rs:
 crates/game/src/best_response.rs:
@@ -15,3 +15,4 @@ crates/game/src/greedy_eq.rs:
 crates/game/src/instances.rs:
 crates/game/src/moves.rs:
 crates/game/src/network.rs:
+crates/game/src/outcome.rs:

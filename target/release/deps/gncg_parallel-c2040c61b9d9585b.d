@@ -1,8 +1,10 @@
-/root/repo/target/release/deps/gncg_parallel-c2040c61b9d9585b.d: crates/parallel/src/lib.rs crates/parallel/src/pool.rs
+/root/repo/target/release/deps/gncg_parallel-c2040c61b9d9585b.d: crates/parallel/src/lib.rs crates/parallel/src/budget.rs crates/parallel/src/fault.rs crates/parallel/src/pool.rs
 
-/root/repo/target/release/deps/libgncg_parallel-c2040c61b9d9585b.rlib: crates/parallel/src/lib.rs crates/parallel/src/pool.rs
+/root/repo/target/release/deps/libgncg_parallel-c2040c61b9d9585b.rlib: crates/parallel/src/lib.rs crates/parallel/src/budget.rs crates/parallel/src/fault.rs crates/parallel/src/pool.rs
 
-/root/repo/target/release/deps/libgncg_parallel-c2040c61b9d9585b.rmeta: crates/parallel/src/lib.rs crates/parallel/src/pool.rs
+/root/repo/target/release/deps/libgncg_parallel-c2040c61b9d9585b.rmeta: crates/parallel/src/lib.rs crates/parallel/src/budget.rs crates/parallel/src/fault.rs crates/parallel/src/pool.rs
 
 crates/parallel/src/lib.rs:
+crates/parallel/src/budget.rs:
+crates/parallel/src/fault.rs:
 crates/parallel/src/pool.rs:

@@ -6,5 +6,14 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
-cargo build --release
+cargo build --release --workspace
 cargo test --workspace -q
+
+# fault-injection soak: run the suite with panics injected at 2% of
+# parallel chunk/job boundaries — proves panic isolation (no hangs, no
+# lost jobs, unchanged results)
+GNCG_FAULT_INJECT=0.02 cargo test --workspace -q
+
+# sequential run: all parallel substrates on their 1-thread fallback
+# paths must produce identical results
+GNCG_THREADS=1 cargo test --workspace -q
