@@ -180,7 +180,7 @@ fn run_certify(opts: &HashMap<String, String>) {
         CertifyOptions::default()
     };
     let r = certify(&ps, &net, alpha, options);
-    println!("{}", gncg_json::to_string_pretty(&r));
+    println!("{}", gncg_json::to_string_pretty(&r.to_json_with_trace()));
 }
 
 fn run_dynamics(opts: &HashMap<String, String>) {

@@ -1,0 +1,121 @@
+//! Pinned observability smoke sweep for `tools/perf_gate.sh`.
+//!
+//! Runs a fixed, fully deterministic workload through the instrumented
+//! stack with tracing force-enabled and saves `perf_smoke.json` whose
+//! `trace.counters` section the perf gate compares against the committed
+//! `results/PERF_BASELINE.json`:
+//!
+//! - the *deterministic* counters (Dijkstra relaxations/heap pops,
+//!   best-response evaluations, row invalidations) must match the
+//!   baseline **exactly** — they depend only on the workload, not on
+//!   thread count or scheduling;
+//! - per-stage wall times are reported as ratios against an in-process
+//!   pure-CPU calibration loop (the `measured` column), making them
+//!   roughly machine-independent; the gate allows a configurable
+//!   regression ratio (default 1.5×).
+
+use gncg_bench::Report;
+use gncg_game::certify::{certify, CertifyOptions};
+use gncg_game::{best_response, dynamics, OwnedNetwork};
+use gncg_geometry::generators;
+use std::time::Instant;
+
+/// Fixed-size pure-CPU loop; its wall time is the unit every stage's
+/// time is expressed in.
+fn calibration_secs() -> f64 {
+    let t0 = Instant::now();
+    let mut x = 0x9e37_79b9_7f4a_7c15_u64;
+    let mut acc = 0u64;
+    for _ in 0..150_000_000_u64 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        acc ^= x >> 33;
+    }
+    std::hint::black_box(acc);
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    // the smoke sweep is trace-centric: force the gate on so the saved
+    // report always carries the counter snapshot the perf gate reads
+    gncg_trace::set_enabled(true);
+    gncg_trace::reset();
+
+    let calib = calibration_secs();
+    let mut report = Report::new(
+        "perf_smoke",
+        "perf-gate smoke sweep: deterministic work counters and calibration-normalized stage times",
+    );
+
+    // stage 1: parallel APSP over the complete created network
+    let ps = generators::uniform_unit_square(160, 11);
+    let g = OwnedNetwork::complete(160).graph(&ps);
+    let t0 = Instant::now();
+    let m = gncg_graph::apsp::all_pairs(&g);
+    std::hint::black_box(m.row(0)[159]);
+    let apsp_s = t0.elapsed().as_secs_f64();
+    report.push_unreferenced(
+        "apsp complete n=160".into(),
+        apsp_s / calib,
+        true,
+        "wall time / calibration-loop time",
+    );
+
+    // stage 2: improving-response dynamics (single-move rule)
+    let ps = generators::uniform_unit_square(48, 5);
+    let start = OwnedNetwork::center_star(48, 0);
+    let t0 = Instant::now();
+    let out = dynamics::run(
+        &ps,
+        &start,
+        1.0,
+        dynamics::ResponseRule::BestSingleMove,
+        4000,
+    );
+    std::hint::black_box(matches!(out, dynamics::Outcome::Converged { .. }));
+    let dyn_s = t0.elapsed().as_secs_f64();
+    report.push_unreferenced(
+        "single-move dynamics n=48".into(),
+        dyn_s / calib,
+        true,
+        "wall time / calibration-loop time",
+    );
+
+    // stage 3: exact best-response enumeration (2^17 strategy evals)
+    let ps = generators::uniform_unit_square(18, 3);
+    let net = OwnedNetwork::center_star(18, 0);
+    let t0 = Instant::now();
+    let br = best_response::exact_best_response(&ps, &net, 1.0, 1);
+    std::hint::black_box(br.cost);
+    let br_s = t0.elapsed().as_secs_f64();
+    report.push_unreferenced(
+        "exact best response n=18".into(),
+        br_s / calib,
+        true,
+        "wall time / calibration-loop time",
+    );
+
+    // stage 4: certified bounds + witness probing
+    let ps = generators::uniform_unit_square(96, 2);
+    let net = OwnedNetwork::center_star(96, 0);
+    let t0 = Instant::now();
+    let r = certify(&ps, &net, 2.0, CertifyOptions::default());
+    std::hint::black_box(r.beta_upper);
+    let cert_s = t0.elapsed().as_secs_f64();
+    report.push_unreferenced(
+        "certify bounds n=96".into(),
+        cert_s / calib,
+        true,
+        "wall time / calibration-loop time",
+    );
+
+    report.print();
+    match report.save() {
+        Ok(path) => println!("saved {}", path.display()),
+        Err(e) => {
+            eprintln!("perf_smoke: save failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -53,19 +53,23 @@ fn main() {
             "Figure 2 (right)/Theorem 3.1: best-response dynamics cycle (no FIP) in R^2, alpha = 1",
         );
         let mut found_any = false;
+        // seed window 0..200 per n: the widened search (both start
+        // states × both activation orders per seed) has known witnesses
+        // here for n = 5 and n = 6; the old star/round-robin-only search
+        // over 1000n..1000n+200 found none at all
         for &n in &[4usize, 5, 6] {
             match dynamics::search_for_cycle(
                 n,
                 1.0,
                 dynamics::ResponseRule::BestResponse,
-                (1000 * n as u64)..(1000 * n as u64 + 200),
+                0..200,
                 600,
             ) {
-                Some((seed, history, start)) => {
+                Some(w) => {
                     found_any = true;
-                    let cycle_len = history.len() - 1 - start;
+                    let cycle_len = w.cycle_len();
                     right.push(
-                        format!("n={n} seed={seed}"),
+                        format!("n={n} seed={} start={} order={}", w.seed, w.start, w.order),
                         1.0,
                         cycle_len as f64,
                         cycle_len >= 2,

@@ -243,9 +243,19 @@ impl Report {
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.id));
         let tmp = dir.join(format!("{}.json.tmp", self.id));
+        // With GNCG_TRACE=1 the saved file carries a `trace` section (the
+        // process-wide counter/span snapshot at save time). The section is
+        // added here, not in `to_json`, so checkpoint lines and the
+        // default GNCG_TRACE=0 output stay byte-identical to before.
+        let mut value = self.to_json();
+        if gncg_trace::enabled() {
+            if let Value::Object(entries) = &mut value {
+                entries.push(("trace".to_string(), gncg_trace::snapshot().to_json()));
+            }
+        }
         {
             let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(gncg_json::to_string_pretty(self).as_bytes())?;
+            f.write_all(gncg_json::to_string_pretty(&value).as_bytes())?;
             f.sync_all()?;
         }
         std::fs::rename(&tmp, &path)?;

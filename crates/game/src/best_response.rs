@@ -193,6 +193,7 @@ impl<'d> ResponseEvaluator<'d> {
         bought: I,
         scratch: &mut ResponseScratch,
     ) -> f64 {
+        gncg_trace::incr(gncg_trace::Counter::BestResponseEvals);
         let mut buy_cost = 0.0;
         scratch.neighbours.clear();
         scratch.neighbours.extend_from_slice(&self.fixed_incident);
@@ -291,6 +292,7 @@ fn enumerate_best_response<W: EdgeWeights + ?Sized>(
 /// borrowing shared rest distances from an [`crate::EvalContext`] via
 /// [`ResponseEvaluator::with_shared_rest`].
 pub fn exact_best_response_with_eval(eval: &ResponseEvaluator<'_>, alpha: f64) -> BestResponse {
+    let _span = gncg_trace::span("game.best_response");
     let others = &eval.others;
     let m = others.len();
     assert!(

@@ -124,6 +124,21 @@ impl ToJson for CertifyReport {
     }
 }
 
+impl CertifyReport {
+    /// [`CertifyReport::to_json`] plus, when `GNCG_TRACE=1`, a `trace`
+    /// section with the process-wide counter/span snapshot. With tracing
+    /// off the output is byte-identical to `to_json`.
+    pub fn to_json_with_trace(&self) -> Value {
+        let mut value = self.to_json();
+        if gncg_trace::enabled() {
+            if let Value::Object(entries) = &mut value {
+                entries.push(("trace".to_string(), gncg_trace::snapshot().to_json()));
+            }
+        }
+        value
+    }
+}
+
 /// Certified lower bound on the social optimum:
 /// `α·w(MST) + Σ_u Σ_{v≠u} lb(u, v)`.
 ///
@@ -264,6 +279,7 @@ pub fn certify_budgeted<W: EdgeWeights + ?Sized>(
     opts: CertifyOptions,
     budget: &Budget,
 ) -> CertifyReport {
+    let _span = gncg_trace::span("game.certify");
     let n = net.len();
     assert_eq!(n, w.len());
     // one shared evaluation context: the graph is built once and every

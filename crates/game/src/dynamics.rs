@@ -124,6 +124,7 @@ fn run_max_gain<W: EdgeWeights + ?Sized>(
     rule: ResponseRule,
     max_steps: usize,
 ) -> Outcome {
+    let _span = gncg_trace::span("game.dynamics");
     let n = start.len();
     let mut ctx = EvalContext::new(w, start, alpha);
     let mut seen: HashMap<Vec<Vec<usize>>, usize> = HashMap::new();
@@ -178,6 +179,7 @@ fn run_with_rounds<W: EdgeWeights + ?Sized>(
     max_steps: usize,
     shuffle_seed: Option<u64>,
 ) -> Outcome {
+    let _span = gncg_trace::span("game.dynamics");
     let n = start.len();
     let mut ctx = EvalContext::new(w, start, alpha);
     let mut seen: HashMap<Vec<Vec<usize>>, usize> = HashMap::new();
@@ -358,25 +360,66 @@ pub fn run_ordered_reference<W: EdgeWeights + ?Sized>(
     }
 }
 
+/// A response cycle found by [`search_for_cycle`]: the instance seed,
+/// which start-state/activation-order variant produced it, and the
+/// history whose tail segment `history[cycle_start..]` is the cycle.
+#[derive(Debug, Clone)]
+pub struct CycleWitness {
+    pub seed: u64,
+    pub start: &'static str,
+    pub order: &'static str,
+    pub history: Vec<OwnedNetwork>,
+    pub cycle_start: usize,
+}
+
+impl CycleWitness {
+    /// Number of strategy changes in the cycle.
+    pub fn cycle_len(&self) -> usize {
+        self.history.len() - 1 - self.cycle_start
+    }
+}
+
 /// Search uniformly random instances in the unit square for a response
-/// cycle (the empirical Theorem 3.1 witness). Returns the first instance
-/// seed and cycle found.
+/// cycle (the empirical Theorem 3.1 witness). Returns the first cycle
+/// found.
+///
+/// Cycles are rare in random instances, so each seed is probed under
+/// four dynamics variants — start state ∈ {center star, empty} ×
+/// activation order ∈ {round-robin, seed-shuffled} — instead of the
+/// single star/round-robin run an earlier version used (which missed
+/// every cycle in `repro_fig2`'s original seed windows).
 pub fn search_for_cycle(
     n: usize,
     alpha: f64,
     rule: ResponseRule,
     seeds: std::ops::Range<u64>,
     max_steps: usize,
-) -> Option<(u64, Vec<OwnedNetwork>, usize)> {
+) -> Option<CycleWitness> {
     for seed in seeds {
         let ps = gncg_geometry::generators::uniform_unit_square(n, seed);
-        let start = OwnedNetwork::center_star(n, 0);
-        if let Outcome::Cycle {
-            history,
-            cycle_start,
-        } = run(&ps, &start, alpha, rule, max_steps)
-        {
-            return Some((seed, history, cycle_start));
+        let starts = [
+            ("center-star", OwnedNetwork::center_star(n, 0)),
+            ("empty", OwnedNetwork::empty(n)),
+        ];
+        for (start_name, start) in &starts {
+            for (order_name, order) in [
+                ("round-robin", AgentOrder::RoundRobin),
+                ("shuffled", AgentOrder::RandomPermutation(seed)),
+            ] {
+                if let Outcome::Cycle {
+                    history,
+                    cycle_start,
+                } = run_ordered(&ps, start, alpha, rule, order, max_steps)
+                {
+                    return Some(CycleWitness {
+                        seed,
+                        start: start_name,
+                        order: order_name,
+                        history,
+                        cycle_start,
+                    });
+                }
+            }
         }
     }
     None
@@ -536,13 +579,12 @@ mod tests {
         // deterministic miniature: two co-located pairs can oscillate in
         // ownership only if a move strictly improves, so we merely check
         // the invariant on whatever outcome occurs over a seed range
-        if let Some((_, history, start)) =
-            search_for_cycle(4, 1.0, ResponseRule::BestResponse, 0..20, 300)
-        {
+        if let Some(w) = search_for_cycle(4, 1.0, ResponseRule::BestResponse, 0..20, 300) {
             assert_eq!(
-                history[start].canonical_key(),
-                history.last().unwrap().canonical_key()
+                w.history[w.cycle_start].canonical_key(),
+                w.history.last().unwrap().canonical_key()
             );
+            assert!(w.cycle_len() >= 2);
         }
     }
 }

@@ -125,6 +125,10 @@ impl<'w, W: EdgeWeights + ?Sized> EvalContext<'w, W> {
         }
         if edges_changed {
             self.csr = None;
+            if gncg_trace::enabled() {
+                let live = self.row_valid.iter().filter(|&&v| v).count() as u64;
+                gncg_trace::add(gncg_trace::Counter::RowInvalidations, live);
+            }
             self.row_valid.fill(false);
         }
         // same expression (and summation order) as cost::edge_cost
@@ -163,6 +167,7 @@ impl<'w, W: EdgeWeights + ?Sized> EvalContext<'w, W> {
         if stale.is_empty() {
             return;
         }
+        let _span = gncg_trace::span("eval.refresh_rows");
         let csr = self.take_csr();
         self.dist
             .par_fill_rows_with(&stale, DijkstraScratch::default, |scratch, u, row| {

@@ -30,6 +30,7 @@ pub fn all_pairs_rows(g: &Graph) -> Vec<Vec<f64>> {
 /// Distance-cost vector `d_G(u, P)` for every agent `u` (row sums of the
 /// APSP matrix) without materializing the matrix.
 pub fn distance_sums(g: &Graph) -> Vec<f64> {
+    let _span = gncg_trace::span("graph.apsp");
     let csr = Csr::from_graph(g);
     let n = csr.len();
     gncg_parallel::parallel_map_with(
@@ -46,6 +47,7 @@ pub fn distance_sums(g: &Graph) -> Vec<f64> {
 /// (each unordered pair counted twice, matching the paper's
 /// Σ_{u∈P} d_G(u, P) convention).
 pub fn total_distance(g: &Graph) -> f64 {
+    let _span = gncg_trace::span("graph.apsp");
     let csr = Csr::from_graph(g);
     let n = csr.len();
     gncg_parallel::parallel_reduce_with(

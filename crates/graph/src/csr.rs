@@ -150,7 +150,11 @@ impl Csr {
             dist: 0.0,
             node: source as u32,
         });
+        // work tallies live in registers; one gated trace call per kernel
+        // invocation keeps the off-path free of per-edge instrumentation
+        let (mut pops, mut relaxed) = (0u64, 0u64);
         while let Some(HeapEntry { dist: d, node }) = scratch.heap.pop() {
+            pops += 1;
             let u = node as usize;
             if scratch.done[u] {
                 continue;
@@ -161,6 +165,7 @@ impl Csr {
                 let nd = d + w;
                 let v = v as usize;
                 if nd < dist[v] {
+                    relaxed += 1;
                     dist[v] = nd;
                     scratch.heap.push(HeapEntry {
                         dist: nd,
@@ -169,6 +174,7 @@ impl Csr {
                 }
             }
         }
+        gncg_trace::record_dijkstra(pops, relaxed);
     }
 
     /// Sum of distances from `source` (∞ if anything unreachable).
@@ -182,6 +188,7 @@ impl Csr {
     /// scratch per worker thread. Entry-for-entry identical to running
     /// [`crate::dijkstra::distances`] from every source.
     pub fn all_pairs(&self) -> DistMatrix {
+        let _span = gncg_trace::span("graph.apsp");
         let n = self.len();
         let mut m = DistMatrix::filled(n, f64::INFINITY);
         let rows: Vec<usize> = (0..n).collect();

@@ -79,7 +79,9 @@ pub fn distances_into<'a>(g: &Graph, source: usize, ws: &'a mut DijkstraWorkspac
         dist: 0.0,
         node: source,
     });
+    let (mut pops, mut relaxed) = (0u64, 0u64);
     while let Some(Entry { dist: d, node: u }) = ws.heap.pop() {
+        pops += 1;
         if ws.done[u] {
             continue;
         }
@@ -87,11 +89,13 @@ pub fn distances_into<'a>(g: &Graph, source: usize, ws: &'a mut DijkstraWorkspac
         for &(v, w) in g.neighbors(u) {
             let nd = d + w;
             if nd < ws.dist[v] {
+                relaxed += 1;
                 ws.dist[v] = nd;
                 ws.heap.push(Entry { dist: nd, node: v });
             }
         }
     }
+    gncg_trace::record_dijkstra(pops, relaxed);
     &ws.dist
 }
 
@@ -109,7 +113,9 @@ pub fn distances_with_limit(g: &Graph, source: usize, limit: f64) -> Vec<f64> {
         dist: 0.0,
         node: source,
     });
+    let (mut pops, mut relaxed) = (0u64, 0u64);
     while let Some(Entry { dist: d, node: u }) = heap.pop() {
+        pops += 1;
         if done[u] {
             continue;
         }
@@ -120,11 +126,13 @@ pub fn distances_with_limit(g: &Graph, source: usize, limit: f64) -> Vec<f64> {
         for &(v, w) in g.neighbors(u) {
             let nd = d + w;
             if nd < dist[v] {
+                relaxed += 1;
                 dist[v] = nd;
                 heap.push(Entry { dist: nd, node: v });
             }
         }
     }
+    gncg_trace::record_dijkstra(pops, relaxed);
     dist
 }
 
@@ -144,22 +152,27 @@ pub fn pair_distance(g: &Graph, source: usize, target: usize) -> f64 {
         dist: 0.0,
         node: source,
     });
+    let (mut pops, mut relaxed) = (0u64, 0u64);
     while let Some(Entry { dist: d, node: u }) = heap.pop() {
+        pops += 1;
         if done[u] {
             continue;
         }
         done[u] = true;
         if u == target {
+            gncg_trace::record_dijkstra(pops, relaxed);
             return d;
         }
         for &(v, w) in g.neighbors(u) {
             let nd = d + w;
             if nd < dist[v] {
+                relaxed += 1;
                 dist[v] = nd;
                 heap.push(Entry { dist: nd, node: v });
             }
         }
     }
+    gncg_trace::record_dijkstra(pops, relaxed);
     f64::INFINITY
 }
 
@@ -177,7 +190,9 @@ pub fn tree(g: &Graph, source: usize) -> (Vec<f64>, Vec<usize>) {
         dist: 0.0,
         node: source,
     });
+    let (mut pops, mut relaxed) = (0u64, 0u64);
     while let Some(Entry { dist: d, node: u }) = heap.pop() {
+        pops += 1;
         if done[u] {
             continue;
         }
@@ -185,12 +200,14 @@ pub fn tree(g: &Graph, source: usize) -> (Vec<f64>, Vec<usize>) {
         for &(v, w) in g.neighbors(u) {
             let nd = d + w;
             if nd < dist[v] {
+                relaxed += 1;
                 dist[v] = nd;
                 pred[v] = u;
                 heap.push(Entry { dist: nd, node: v });
             }
         }
     }
+    gncg_trace::record_dijkstra(pops, relaxed);
     (dist, pred)
 }
 

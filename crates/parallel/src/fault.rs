@@ -118,6 +118,7 @@ pub fn fault_point() {
     if (roll >> 11) as f64 / (1u64 << 53) as f64 >= p {
         return;
     }
+    gncg_trace::incr(gncg_trace::Counter::FaultsInjected);
     let delay = DELAY_MS.load(Ordering::Relaxed);
     if delay > 0 && roll & 1 == 0 {
         std::thread::sleep(std::time::Duration::from_millis(delay));

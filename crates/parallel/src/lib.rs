@@ -153,6 +153,9 @@ fn run_worker_chunks<F: FnMut(usize, usize)>(
     mut run_items: F,
 ) {
     loop {
+        if budget.is_some() {
+            gncg_trace::incr(gncg_trace::Counter::BudgetPolls);
+        }
         if slot.is_poisoned() || budget.is_some_and(|b| b.exhausted()) {
             return;
         }
@@ -160,6 +163,8 @@ fn run_worker_chunks<F: FnMut(usize, usize)>(
         if start >= n {
             return;
         }
+        gncg_trace::incr(gncg_trace::Counter::ChunkClaims);
+        let chunk_t0 = gncg_trace::enabled().then(std::time::Instant::now);
         let end = (start + DEFAULT_CHUNK).min(n);
         let mut injected = 0u32;
         loop {
@@ -171,12 +176,18 @@ fn run_worker_chunks<F: FnMut(usize, usize)>(
             drop(suppress);
             match result {
                 Ok(()) => break,
-                Err(p) if fault::is_injected(&*p) => injected += 1,
+                Err(p) if fault::is_injected(&*p) => {
+                    injected += 1;
+                    gncg_trace::incr(gncg_trace::Counter::FaultRetries);
+                }
                 Err(p) => {
                     slot.record(p);
                     return;
                 }
             }
+        }
+        if let Some(t0) = chunk_t0 {
+            gncg_trace::record_chunk_ns(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
         }
     }
 }
@@ -224,8 +235,13 @@ where
         let mut scratch = init();
         let mut out = vec![T::default(); n];
         for (i, slot) in out.iter_mut().enumerate() {
-            if i % DEFAULT_CHUNK == 0 && budget.as_ref().is_some_and(|b| b.exhausted()) {
-                break;
+            if i % DEFAULT_CHUNK == 0 {
+                if let Some(b) = budget.as_ref() {
+                    gncg_trace::incr(gncg_trace::Counter::BudgetPolls);
+                    if b.exhausted() {
+                        break;
+                    }
+                }
             }
             *slot = f(&mut scratch, i);
         }
@@ -242,6 +258,7 @@ where
             for _ in 0..threads.min(n.div_ceil(DEFAULT_CHUNK)) {
                 s.spawn(move || {
                     let _ambient = budget.as_ref().map(|b| budget::enter_ambient(b.clone()));
+                    let _trace = gncg_trace::worker_guard();
                     let mut scratch = init();
                     run_worker_chunks(counter, n, slot, budget.as_ref(), |start, end| {
                         for i in start..end {
@@ -282,8 +299,13 @@ where
     if threads <= 1 || n <= DEFAULT_CHUNK {
         let mut scratch = init();
         for i in 0..n {
-            if i % DEFAULT_CHUNK == 0 && budget.as_ref().is_some_and(|b| b.exhausted()) {
-                return;
+            if i % DEFAULT_CHUNK == 0 {
+                if let Some(b) = budget.as_ref() {
+                    gncg_trace::incr(gncg_trace::Counter::BudgetPolls);
+                    if b.exhausted() {
+                        return;
+                    }
+                }
             }
             f(&mut scratch, i);
         }
@@ -296,6 +318,7 @@ where
         for _ in 0..threads.min(n.div_ceil(DEFAULT_CHUNK)) {
             s.spawn(move || {
                 let _ambient = budget.as_ref().map(|b| budget::enter_ambient(b.clone()));
+                let _trace = gncg_trace::worker_guard();
                 let mut scratch = init();
                 run_worker_chunks(counter, n, slot, budget.as_ref(), |start, end| {
                     for i in start..end {
@@ -354,8 +377,13 @@ where
         let mut scratch = init();
         let mut acc = identity();
         for i in 0..n {
-            if i % DEFAULT_CHUNK == 0 && budget.as_ref().is_some_and(|b| b.exhausted()) {
-                return acc;
+            if i % DEFAULT_CHUNK == 0 {
+                if let Some(b) = budget.as_ref() {
+                    gncg_trace::incr(gncg_trace::Counter::BudgetPolls);
+                    if b.exhausted() {
+                        return acc;
+                    }
+                }
             }
             acc = fold(&mut scratch, acc, i);
         }
@@ -371,6 +399,7 @@ where
             .map(|_| {
                 s.spawn(move || {
                     let _ambient = budget.as_ref().map(|b| budget::enter_ambient(b.clone()));
+                    let _trace = gncg_trace::worker_guard();
                     let mut scratch = init();
                     // the accumulator lives in an Option so a panic that
                     // unwinds mid-fold (consuming it) leaves a recoverable

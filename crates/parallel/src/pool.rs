@@ -141,11 +141,16 @@ fn worker_loop(inner: Arc<Inner>) {
         // here is absorbed and the job still runs, exercising the
         // catch/decrement path without losing work
         let _ = catch_unwind(fault::fault_point);
+        gncg_trace::incr(gncg_trace::Counter::PoolJobs);
         if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
             if !fault::is_injected(&*payload) {
                 inner.panic_slot.record(payload);
             }
         }
+        // the pool's threads outlive any scope, so counters recorded by
+        // this job must merge before the submitter can observe wait();
+        // flushing ahead of the decrement guarantees that ordering
+        gncg_trace::flush_thread();
         // the decrement runs regardless of how the job ended — this is
         // the invariant that keeps `wait()` from blocking forever
         if inner.pending.fetch_sub(1, Ordering::SeqCst) == 1 {

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# CI perf-regression gate: run the pinned observability smoke sweep
+# (`perf_smoke`, tracing force-enabled) and compare it against the
+# committed baseline `results/PERF_BASELINE.json`.
+#
+# Contract:
+#   - the deterministic trace counters (Dijkstra relaxations/heap pops,
+#     best-response evaluations, row invalidations) must match the
+#     baseline EXACTLY — they depend only on the workload, never on
+#     thread count, scheduling, or fault injection;
+#   - each stage's calibration-normalized wall time (`measured` =
+#     stage time / in-process pure-CPU calibration loop time) must stay
+#     within GNCG_PERF_RATIO (default 1.5) of the baseline.
+#
+# The sweep runs under GNCG_THREADS=1 so the time ratios are comparable
+# across machines with different core counts.
+#
+# To refresh the baseline after an intentional perf/workload change:
+#   cargo build --release -p gncg-bench --bin perf_smoke
+#   GNCG_THREADS=1 GNCG_RESULTS_DIR=results ./target/release/perf_smoke
+#   mv results/perf_smoke.json results/PERF_BASELINE.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RATIO="${GNCG_PERF_RATIO:-1.5}"
+OUT_DIR="${GNCG_PERF_OUT:-target/perf-gate}"
+
+cargo build --release -p gncg-bench --bin perf_smoke
+mkdir -p "$OUT_DIR"
+GNCG_TRACE=1 GNCG_THREADS=1 GNCG_RESULTS_DIR="$OUT_DIR" ./target/release/perf_smoke
+
+python3 - "$OUT_DIR/perf_smoke.json" results/PERF_BASELINE.json "$RATIO" <<'PY'
+import json, sys
+
+cur_path, base_path, ratio = sys.argv[1], sys.argv[2], float(sys.argv[3])
+cur, base = json.load(open(cur_path)), json.load(open(base_path))
+
+DETERMINISTIC = [
+    "dijkstra_relaxations",
+    "dijkstra_heap_pops",
+    "best_response_evals",
+    "row_invalidations",
+]
+failures = []
+
+cc, bc = cur["trace"]["counters"], base["trace"]["counters"]
+for name in DETERMINISTIC:
+    if cc[name] != bc[name]:
+        failures.append(
+            f"counter drift: {name}: baseline {bc[name]} != current {cc[name]}"
+        )
+
+base_rows = {r["params"]: r["measured"] for r in base["rows"]}
+cur_names = {r["params"] for r in cur["rows"]}
+for row in cur["rows"]:
+    name, m = row["params"], row["measured"]
+    b = base_rows.get(name)
+    if b is None:
+        failures.append(f"stage missing from baseline: {name}")
+        continue
+    if m > b * ratio:
+        failures.append(
+            f"wall-time regression: {name}: {m:.3f} > {ratio} x baseline {b:.3f}"
+        )
+    elif m > b:
+        print(f"note: {name}: {m:.3f} vs baseline {b:.3f} (within {ratio}x)")
+for name in base_rows:
+    if name not in cur_names:
+        failures.append(f"stage missing from current run: {name}")
+
+if failures:
+    print("PERF GATE FAILED:")
+    for f in failures:
+        print("  " + f)
+    sys.exit(1)
+print(
+    f"perf gate OK: {len(DETERMINISTIC)} counters exact, "
+    f"{len(cur['rows'])} stage times within {ratio}x of baseline"
+)
+PY
