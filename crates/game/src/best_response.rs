@@ -14,6 +14,7 @@
 //!    `gncg_parallel::parallel_reduce_with`, one [`ResponseScratch`] per
 //!    worker so candidate evaluation performs zero heap allocations.
 
+use crate::prune::PruneMode;
 use crate::{cost, EdgeWeights, OwnedNetwork};
 use gncg_graph::{csr::Csr, DistMatrix, Graph};
 use std::collections::BTreeSet;
@@ -79,6 +80,9 @@ pub struct ResponseEvaluator<'d> {
     dist_rest: RestDist<'d>,
     /// `‖u, v‖` for all v.
     edge_w: Vec<f64>,
+    /// `Σ_{v≠u} lb(u, v)`: the metric floor under every strategy's
+    /// distance cost, consumed by the pruning layer ([`crate::prune`]).
+    lb_dist: f64,
 }
 
 impl ResponseEvaluator<'static> {
@@ -166,13 +170,38 @@ impl<'d> ResponseEvaluator<'d> {
         let edge_w: Vec<f64> = (0..n)
             .map(|v| if v == u { 0.0 } else { w.weight(u, v) })
             .collect();
+        let lb_dist: f64 = (0..n)
+            .filter(|&v| v != u)
+            .map(|v| w.metric_lower_bound(u, v))
+            .sum();
         Self {
             agent: u,
             others,
             fixed_incident,
             dist_rest,
             edge_w,
+            lb_dist,
         }
+    }
+
+    /// `Σ_{v≠u} lb(u, v)`: a lower bound on the distance cost of *any*
+    /// strategy of this agent.
+    #[inline]
+    pub fn lb_dist(&self) -> f64 {
+        self.lb_dist
+    }
+
+    /// `‖u, v‖` (0 for `v == agent`).
+    #[inline]
+    pub(crate) fn edge_weight(&self, v: usize) -> f64 {
+        self.edge_w[v]
+    }
+
+    /// Row `x` of the rest-graph APSP (`d_{G−u}(x, ·)`), for the batched
+    /// move engine in [`crate::moves`].
+    #[inline]
+    pub(crate) fn rest_row(&self, x: usize) -> &[f64] {
+        self.dist_rest.row(x)
     }
 
     /// Cost of `agent` under the candidate strategy `bought` (an
@@ -191,6 +220,26 @@ impl<'d> ResponseEvaluator<'d> {
         &self,
         alpha: f64,
         bought: I,
+        scratch: &mut ResponseScratch,
+    ) -> f64 {
+        self.cost_with_cutoff(alpha, bought, f64::INFINITY, scratch)
+    }
+
+    /// [`ResponseEvaluator::cost_with`] with a branch-and-bound cutoff:
+    /// returns the exact cost (bit-identical to `cost_with`) whenever it
+    /// is ≤ `cutoff`, and may return `+∞` early otherwise.
+    ///
+    /// Sound because the distance sum accumulates non-negative terms:
+    /// every partial value of `α·buy + Σ_prefix d(u,v)` is ≤ the final
+    /// cost bit-exactly (round-to-nearest is monotone), so a partial
+    /// strictly above `cutoff` proves the final cost is too. Candidates
+    /// at the cutoff never trip the strict comparison, so exact ties —
+    /// which the callers' tie-breaks must see — always evaluate fully.
+    pub fn cost_with_cutoff<I: IntoIterator<Item = usize>>(
+        &self,
+        alpha: f64,
+        bought: I,
+        cutoff: f64,
         scratch: &mut ResponseScratch,
     ) -> f64 {
         gncg_trace::incr(gncg_trace::Counter::BestResponseEvals);
@@ -224,14 +273,24 @@ impl<'d> ResponseEvaluator<'d> {
                 }
             }
         }
+        let base = alpha * buy_cost;
         let mut dist_sum = 0.0;
-        for &v in &self.others {
-            dist_sum += scratch.best[v];
-            if dist_sum.is_infinite() {
-                return f64::INFINITY;
+        if cutoff.is_finite() {
+            for &v in &self.others {
+                dist_sum += scratch.best[v];
+                if base + dist_sum > cutoff || dist_sum.is_infinite() {
+                    return f64::INFINITY;
+                }
+            }
+        } else {
+            for &v in &self.others {
+                dist_sum += scratch.best[v];
+                if dist_sum.is_infinite() {
+                    return f64::INFINITY;
+                }
             }
         }
-        alpha * buy_cost + dist_sum
+        base + dist_sum
     }
 }
 
@@ -290,8 +349,34 @@ fn enumerate_best_response<W: EdgeWeights + ?Sized>(
 
 /// Exact best response driven by a caller-built evaluator — e.g. one
 /// borrowing shared rest distances from an [`crate::EvalContext`] via
-/// [`ResponseEvaluator::with_shared_rest`].
+/// [`ResponseEvaluator::with_shared_rest`]. Pruning mode comes from
+/// `GNCG_PRUNE` (see [`PruneMode::from_env`]).
 pub fn exact_best_response_with_eval(eval: &ResponseEvaluator<'_>, alpha: f64) -> BestResponse {
+    exact_best_response_with_eval_mode(eval, alpha, PruneMode::from_env())
+}
+
+/// [`exact_best_response_with_eval`] with an explicit [`PruneMode`], so
+/// the oracle harness can compare both engines in-process.
+///
+/// With pruning on, a deterministic sequential pre-pass evaluates the
+/// empty strategy, every singleton, and the full strategy (`m + 2`
+/// evaluations with one scratch — the full mask keeps `ub₀` finite even
+/// when no single edge connects the agent, e.g. the centre of a star it
+/// owns) to obtain an upper bound `ub₀`; the mask enumeration then
+/// skips any mask whose buy cost alone already exceeds it
+/// (`fl(α·buy) > ub₀` — sound bit-exactly, see soundness rule 1 in
+/// [`crate::prune`]) and evaluates survivors with `ub₀` as a
+/// branch-and-bound cutoff (rule 2). The pre-pass argmin mask always
+/// survives the prune test (`fl(α·buy) ≤ its cost = ub₀`), so the final
+/// winner — including lowest-mask tie-breaks among costs ≤ `ub₀` — is
+/// bit-identical to the unpruned enumeration. Prune decisions depend
+/// only on `(mask, ub₀)`, so the `moves_pruned` / `moves_evaluated`
+/// counters are deterministic across thread counts.
+pub fn exact_best_response_with_eval_mode(
+    eval: &ResponseEvaluator<'_>,
+    alpha: f64,
+    mode: PruneMode,
+) -> BestResponse {
     let _span = gncg_trace::span("game.best_response");
     let others = &eval.others;
     let m = others.len();
@@ -301,6 +386,27 @@ pub fn exact_best_response_with_eval(eval: &ResponseEvaluator<'_>, alpha: f64) -
         m + 1
     );
 
+    let prune = mode.is_on();
+    let ub0 = if prune {
+        let mut scratch = ResponseScratch::default();
+        let mut ub = eval.cost_with(alpha, std::iter::empty(), &mut scratch);
+        for &v in others {
+            let c = eval.cost_with(alpha, std::iter::once(v), &mut scratch);
+            if c < ub {
+                ub = c;
+            }
+        }
+        if m >= 2 {
+            let c = eval.cost_with(alpha, others.iter().copied(), &mut scratch);
+            if c < ub {
+                ub = c;
+            }
+        }
+        ub
+    } else {
+        f64::INFINITY
+    };
+
     let total_masks = 1u64 << m;
     let (best_mask, best_cost) = gncg_parallel::parallel_reduce_with(
         total_masks as usize,
@@ -308,13 +414,29 @@ pub fn exact_best_response_with_eval(eval: &ResponseEvaluator<'_>, alpha: f64) -
         || (u64::MAX, f64::INFINITY),
         |scratch, acc, i| {
             let mask = i as u64;
-            let c = eval.cost_with(
+            if prune {
+                // Buy cost in ascending bit order — the exact fl value
+                // `cost_with` would accumulate for this mask.
+                let mut buy = 0.0;
+                for (bit, &v) in others.iter().enumerate() {
+                    if mask & (1u64 << bit) != 0 {
+                        buy += eval.edge_weight(v);
+                    }
+                }
+                if alpha * buy > ub0 {
+                    gncg_trace::incr(gncg_trace::Counter::MovesPruned);
+                    return acc;
+                }
+                gncg_trace::incr(gncg_trace::Counter::MovesEvaluated);
+            }
+            let c = eval.cost_with_cutoff(
                 alpha,
                 others
                     .iter()
                     .enumerate()
                     .filter(|(bit, _)| mask & (1u64 << bit) != 0)
                     .map(|(_, &v)| v),
+                ub0,
                 scratch,
             );
             if c < acc.1 || (c == acc.1 && mask < acc.0) {

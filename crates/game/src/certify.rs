@@ -13,6 +13,10 @@
 //!   moves certify `β ≥ witness` — how unstable the network provably is.
 //! * **Exact values** (exponential, optional): exact best responses
 //!   (n ≤ 22) and the exact social optimum (n ≤ 8).
+//!
+//! Witness search and exact β both bottom out in the `GNCG_PRUNE`-gated
+//! response engines ([`crate::prune`]); pruning is bit-identical, so
+//! every reported bound and exact value is unchanged by the toggle.
 
 use crate::outcome::{self, DegradeReason, Regime};
 use crate::{best_response, cost, exact, moves, EdgeWeights, EvalContext, OwnedNetwork};

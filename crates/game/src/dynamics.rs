@@ -12,7 +12,7 @@
 //! old from-scratch path survives as [`run_ordered_reference`], the
 //! property-test oracle (and the "old" side of the dynamics benchmark).
 
-use crate::{best_response, cost, moves, EdgeWeights, EvalContext, OwnedNetwork};
+use crate::{best_response, cost, moves, EdgeWeights, EvalContext, OwnedNetwork, PruneMode};
 use std::collections::{BTreeSet, HashMap};
 
 /// Which response oracle the dynamics use.
@@ -69,7 +69,9 @@ pub fn run<W: EdgeWeights + ?Sized>(
     run_ordered(w, start, alpha, rule, AgentOrder::RoundRobin, max_steps)
 }
 
-/// Run response dynamics with an explicit activation order.
+/// Run response dynamics with an explicit activation order. The
+/// response engines prune per `GNCG_PRUNE` (see [`PruneMode::from_env`],
+/// default on; resolved once per run).
 pub fn run_ordered<W: EdgeWeights + ?Sized>(
     w: &W,
     start: &OwnedNetwork,
@@ -78,12 +80,35 @@ pub fn run_ordered<W: EdgeWeights + ?Sized>(
     order: AgentOrder,
     max_steps: usize,
 ) -> Outcome {
+    run_ordered_mode(
+        w,
+        start,
+        alpha,
+        rule,
+        order,
+        max_steps,
+        PruneMode::from_env(),
+    )
+}
+
+/// [`run_ordered`] with an explicit [`PruneMode`], so the oracle harness
+/// can compare whole pruned/unpruned trajectories in-process.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ordered_mode<W: EdgeWeights + ?Sized>(
+    w: &W,
+    start: &OwnedNetwork,
+    alpha: f64,
+    rule: ResponseRule,
+    order: AgentOrder,
+    max_steps: usize,
+    mode: PruneMode,
+) -> Outcome {
     match order {
-        AgentOrder::RoundRobin => run_with_rounds(w, start, alpha, rule, max_steps, None),
+        AgentOrder::RoundRobin => run_with_rounds(w, start, alpha, rule, max_steps, None, mode),
         AgentOrder::RandomPermutation(seed) => {
-            run_with_rounds(w, start, alpha, rule, max_steps, Some(seed))
+            run_with_rounds(w, start, alpha, rule, max_steps, Some(seed), mode)
         }
-        AgentOrder::MaxGain => run_max_gain(w, start, alpha, rule, max_steps),
+        AgentOrder::MaxGain => run_max_gain(w, start, alpha, rule, max_steps, mode),
     }
 }
 
@@ -94,6 +119,7 @@ fn response_in_ctx<W: EdgeWeights + ?Sized>(
     rule: ResponseRule,
     u: usize,
     now: f64,
+    mode: PruneMode,
 ) -> Option<(BTreeSet<usize>, f64)> {
     let (w, net, g, alpha) = (ctx.weights(), ctx.network(), ctx.graph(), ctx.alpha());
     // Leaf agents (degree ≤ 1) borrow the context's full-graph distance
@@ -108,11 +134,12 @@ fn response_in_ctx<W: EdgeWeights + ?Sized>(
     };
     match rule {
         ResponseRule::BestResponse => {
-            let br = best_response::exact_best_response_with_eval(&eval, alpha);
+            let br = best_response::exact_best_response_with_eval_mode(&eval, alpha, mode);
             gncg_geometry::definitely_less(br.cost, now).then_some((br.strategy, now - br.cost))
         }
         ResponseRule::BestSingleMove => {
-            moves::best_single_move_from_eval(&eval, net, alpha).map(|m| (m.strategy, now - m.cost))
+            moves::best_single_move_from_eval_mode(&eval, net, alpha, mode)
+                .map(|m| (m.strategy, now - m.cost))
         }
     }
 }
@@ -123,6 +150,7 @@ fn run_max_gain<W: EdgeWeights + ?Sized>(
     alpha: f64,
     rule: ResponseRule,
     max_steps: usize,
+    mode: PruneMode,
 ) -> Outcome {
     let _span = gncg_trace::span("game.dynamics");
     let n = start.len();
@@ -136,7 +164,7 @@ fn run_max_gain<W: EdgeWeights + ?Sized>(
         ctx.ensure_all_rows();
         let shared = &ctx;
         let candidates = gncg_parallel::parallel_map(n, |u| {
-            response_in_ctx(shared, rule, u, shared.agent_cost_cached(u))
+            response_in_ctx(shared, rule, u, shared.agent_cost_cached(u), mode)
         });
         let best = candidates
             .into_iter()
@@ -178,6 +206,7 @@ fn run_with_rounds<W: EdgeWeights + ?Sized>(
     rule: ResponseRule,
     max_steps: usize,
     shuffle_seed: Option<u64>,
+    mode: PruneMode,
 ) -> Outcome {
     let _span = gncg_trace::span("game.dynamics");
     let n = start.len();
@@ -217,7 +246,7 @@ fn run_with_rounds<W: EdgeWeights + ?Sized>(
             // set; keeps the full matrix warm so leaf agents can share it
             ctx.ensure_all_rows();
             let now = ctx.agent_cost_cached(u);
-            if let Some((strategy, _)) = response_in_ctx(&ctx, rule, u, now) {
+            if let Some((strategy, _)) = response_in_ctx(&ctx, rule, u, now, mode) {
                 ctx.apply_move(u, strategy);
                 steps += 1;
                 changed = true;

@@ -7,6 +7,10 @@
 //! (2,097,152 candidate graphs), parallelized over the mask space. This
 //! is the ground truth the certified bounds are validated against in
 //! tests, and the exact γ used on the paper's small witness instances.
+//!
+//! Exact β and Nash verification run on the `GNCG_PRUNE`-gated
+//! best-response engine ([`crate::prune`]) — bit-identical under either
+//! setting of the toggle.
 
 use crate::outcome::{self, DegradeReason, Outcome};
 use crate::{best_response, certify, cost, EdgeWeights, OwnedNetwork};

@@ -24,6 +24,8 @@
 //!   (the Theorem 3.1 FIP study),
 //! * [`eval`] — the incremental [`EvalContext`] the dynamics and
 //!   certifier run on (delta-rebuilt graph, cached distance rows),
+//! * [`prune`] — geometric move pruning ([`PruneMode`], `GNCG_PRUNE`):
+//!   sound lower bounds that discard candidates bit-identically,
 //! * [`instances`] — the paper's witness instances with their strategy
 //!   profiles (Theorems 2.1, 4.1, 4.3, 4.4).
 
@@ -38,10 +40,12 @@ pub mod instances;
 pub mod moves;
 pub mod network;
 pub mod outcome;
+pub mod prune;
 
 pub use eval::EvalContext;
 pub use network::OwnedNetwork;
 pub use outcome::{DegradeReason, Outcome, Regime};
+pub use prune::PruneMode;
 
 use gncg_geometry::PointSet;
 use gncg_graph::DistMatrix;

@@ -15,6 +15,7 @@
 //! `BTreeSet` at the end.
 
 use crate::best_response::{ResponseEvaluator, ResponseScratch};
+use crate::prune::{MoveFilter, PruneMode};
 use crate::{cost, EdgeWeights, OwnedNetwork};
 use gncg_graph::Graph;
 use std::collections::BTreeSet;
@@ -81,11 +82,23 @@ pub fn best_single_move_in_graph<W: EdgeWeights + ?Sized>(
 
 /// [`best_single_move`] driven by a caller-built evaluator — e.g. one
 /// borrowing shared rest distances from an [`crate::EvalContext`] via
-/// [`ResponseEvaluator::with_shared_rest`] for leaf agents.
+/// [`ResponseEvaluator::with_shared_rest`] for leaf agents. Pruning mode
+/// comes from `GNCG_PRUNE` (see [`PruneMode::from_env`]).
 pub fn best_single_move_from_eval(
     eval: &ResponseEvaluator<'_>,
     net: &OwnedNetwork,
     alpha: f64,
+) -> Option<Move> {
+    best_single_move_from_eval_mode(eval, net, alpha, PruneMode::from_env())
+}
+
+/// [`best_single_move_from_eval`] with an explicit [`PruneMode`], so the
+/// oracle harness can compare both engines in-process.
+pub fn best_single_move_from_eval_mode(
+    eval: &ResponseEvaluator<'_>,
+    net: &OwnedNetwork,
+    alpha: f64,
+    mode: PruneMode,
 ) -> Option<Move> {
     let u = eval.agent;
     let mut scratch = ResponseScratch::default();
@@ -100,6 +113,7 @@ pub fn best_single_move_from_eval(
         alpha,
         &mut scratch,
         &mut cand,
+        mode,
     )
     .map(|(step, c)| Move {
         strategy: materialize(&current, step),
@@ -107,11 +121,31 @@ pub fn best_single_move_from_eval(
     })
 }
 
+/// Accept `c` as the new best iff it improves on the current cost beyond
+/// floating-point noise AND strictly beats the best candidate so far —
+/// the exact acceptance test of the unpruned generator, shared by both
+/// engines so their selections can only differ if their `c` bits do.
+fn consider(best: &mut Option<(Step, f64)>, step: Step, c: f64, current_cost: f64) {
+    let beats_current = gncg_geometry::definitely_less(c, current_cost);
+    let beats_best = match best {
+        Some((_, bc)) => c < *bc,
+        None => true,
+    };
+    if beats_current && beats_best {
+        *best = Some((step, c));
+    }
+}
+
 /// Move-generation core shared with [`local_search_response`]: best
 /// improving add/drop/swap around the sorted strategy `current`, judged
 /// by `eval`. Candidates are written into the reusable sorted buffer
 /// `cand`; no heap allocation happens per candidate once the buffers are
 /// warm.
+///
+/// With [`PruneMode::On`] the batched engine runs instead: same
+/// candidate set, same order, same acceptance test, bit-identical costs
+/// (see [`best_single_step_batched`]).
+#[allow(clippy::too_many_arguments)]
 fn best_single_step(
     eval: &ResponseEvaluator<'_>,
     n: usize,
@@ -120,31 +154,26 @@ fn best_single_step(
     alpha: f64,
     scratch: &mut ResponseScratch,
     cand: &mut Vec<usize>,
+    mode: PruneMode,
 ) -> Option<(Step, f64)> {
+    if mode.is_on() {
+        return best_single_step_batched(eval, n, current, current_cost, alpha, cand);
+    }
     let u = eval.agent;
     let mut best: Option<(Step, f64)> = None;
-    let mut consider = |step: Step, cand: &[usize], scratch: &mut ResponseScratch| {
-        let c = eval.cost_with(alpha, cand.iter().copied(), scratch);
-        let beats_current = gncg_geometry::definitely_less(c, current_cost);
-        let beats_best = match &best {
-            Some((_, bc)) => c < *bc,
-            None => true,
-        };
-        if beats_current && beats_best {
-            best = Some((step, c));
-        }
-    };
 
     // drops
     for &v in current {
         write_candidate(current, Step::Drop(v), cand);
-        consider(Step::Drop(v), cand, scratch);
+        let c = eval.cost_with(alpha, cand.iter().copied(), scratch);
+        consider(&mut best, Step::Drop(v), c, current_cost);
     }
     // adds
     for v in 0..n {
         if v != u && current.binary_search(&v).is_err() {
             write_candidate(current, Step::Add(v), cand);
-            consider(Step::Add(v), cand, scratch);
+            let c = eval.cost_with(alpha, cand.iter().copied(), scratch);
+            consider(&mut best, Step::Add(v), c, current_cost);
         }
     }
     // swaps
@@ -152,7 +181,157 @@ fn best_single_step(
         for inn in 0..n {
             if inn != u && inn != out && current.binary_search(&inn).is_err() {
                 write_candidate(current, Step::Swap(out, inn), cand);
-                consider(Step::Swap(out, inn), cand, scratch);
+                let c = eval.cost_with(alpha, cand.iter().copied(), scratch);
+                consider(&mut best, Step::Swap(out, inn), c, current_cost);
+            }
+        }
+    }
+    best
+}
+
+/// The pruned, batched move generator. Produces exactly the result of
+/// the unpruned [`best_single_step`], bit for bit, but replaces the
+/// O(deg·n) per-candidate evaluation with an O(n) one and skips
+/// provably-non-improving candidates entirely:
+///
+/// * **Batching.** All candidates share the neighbour slots
+///   `fixed_incident ++ current` — a drop removes one slot, an add
+///   appends one, a swap does both. One O(slots·n) pre-pass records, per
+///   target `v`, the two smallest `ew[x] + D[x][v]` over the slots and
+///   the arg-min slot; each candidate's per-target minimum is then an
+///   O(1) combination (exclude a slot → `min2` when the arg-min is
+///   excluded, include one → `min(min1, via)`). f64 `min` over a fixed
+///   multiset is order-independent and the excluded slot's duplicate (a
+///   neighbour both bought and fixed-incident contributes two slots with
+///   identical values) stays in `min2`, so every per-target value — and
+///   hence the ascending-order distance sum — carries the exact bits of
+///   [`ResponseEvaluator::cost_with`] on that candidate.
+/// * **Margin pruning** ([`MoveFilter`], soundness rule 3 in
+///   [`crate::prune`]): candidates whose metric lower bound already
+///   reaches the `definitely_less` margin are counted as `moves_pruned`
+///   and never evaluated.
+/// * **Branch-and-bound cutoff** (soundness rule 2): surviving
+///   candidates abort to `+∞` once their partial sum exceeds
+///   `min(current_cost, best-so-far)` — both rejections the acceptance
+///   test would have issued anyway. Prune *counters* depend only on the
+///   filter, never on the best-so-far, so they are deterministic.
+fn best_single_step_batched(
+    eval: &ResponseEvaluator<'_>,
+    n: usize,
+    current: &[usize],
+    current_cost: f64,
+    alpha: f64,
+    cand: &mut Vec<usize>,
+) -> Option<(Step, f64)> {
+    let u = eval.agent;
+    let filter = MoveFilter::new(eval.lb_dist(), current_cost);
+    let fixed = &eval.fixed_incident;
+
+    // Per-target two smallest `ew[x] + D[x][v]` over the neighbour slots
+    // (fixed_incident ++ current, the neighbour order of `cost_with`),
+    // plus the slot achieving the minimum.
+    let mut min1 = vec![f64::INFINITY; n];
+    let mut min2 = vec![f64::INFINITY; n];
+    let mut arg = vec![usize::MAX; n];
+    for (s, &x) in fixed.iter().chain(current.iter()).enumerate() {
+        let ew = eval.edge_weight(x);
+        let row = eval.rest_row(x);
+        for v in 0..n {
+            let via = ew + row[v];
+            if via < min1[v] {
+                min2[v] = min1[v];
+                min1[v] = via;
+                arg[v] = s;
+            } else if via < min2[v] {
+                min2[v] = via;
+            }
+        }
+    }
+
+    // `cost_with` accumulates the candidate's buy cost over the sorted
+    // candidate order — replicate that fl-for-fl.
+    let buy_of = |cand: &[usize]| -> f64 {
+        let mut buy = 0.0;
+        for &x in cand {
+            buy += eval.edge_weight(x);
+        }
+        buy
+    };
+    // Distance sum in ascending `others` order (the `cost_with` order),
+    // with the rule-2 early exit; `pick(v)` yields the candidate's
+    // per-target minimum.
+    let others = &eval.others;
+    let sum_cost = |base: f64, cutoff: f64, pick: &dyn Fn(usize) -> f64| -> f64 {
+        let mut dist_sum = 0.0;
+        for &v in others {
+            dist_sum += pick(v);
+            if base + dist_sum > cutoff || dist_sum.is_infinite() {
+                return f64::INFINITY;
+            }
+        }
+        base + dist_sum
+    };
+
+    let mut best: Option<(Step, f64)> = None;
+    macro_rules! evaluate {
+        ($step:expr, $pick:expr) => {{
+            let step = $step;
+            write_candidate(current, step, cand);
+            let buy = buy_of(cand);
+            if filter.prunes(alpha, buy) {
+                gncg_trace::incr(gncg_trace::Counter::MovesPruned);
+            } else {
+                gncg_trace::incr(gncg_trace::Counter::MovesEvaluated);
+                let cutoff = match &best {
+                    Some((_, bc)) if *bc < current_cost => *bc,
+                    _ => current_cost,
+                };
+                let c = sum_cost(alpha * buy, cutoff, &$pick);
+                consider(&mut best, step, c, current_cost);
+            }
+        }};
+    }
+
+    // drops
+    for (j, &v) in current.iter().enumerate() {
+        let excl = fixed.len() + j;
+        evaluate!(Step::Drop(v), |t: usize| if arg[t] == excl {
+            min2[t]
+        } else {
+            min1[t]
+        });
+    }
+    // adds
+    for inn in 0..n {
+        if inn != u && current.binary_search(&inn).is_err() {
+            let ew = eval.edge_weight(inn);
+            let row = eval.rest_row(inn);
+            evaluate!(Step::Add(inn), |t: usize| {
+                let via = ew + row[t];
+                if via < min1[t] {
+                    via
+                } else {
+                    min1[t]
+                }
+            });
+        }
+    }
+    // swaps
+    for (j, &out) in current.iter().enumerate() {
+        let excl = fixed.len() + j;
+        for inn in 0..n {
+            if inn != u && inn != out && current.binary_search(&inn).is_err() {
+                let ew = eval.edge_weight(inn);
+                let row = eval.rest_row(inn);
+                evaluate!(Step::Swap(out, inn), |t: usize| {
+                    let ex = if arg[t] == excl { min2[t] } else { min1[t] };
+                    let via = ew + row[t];
+                    if via < ex {
+                        via
+                    } else {
+                        ex
+                    }
+                });
             }
         }
     }
@@ -199,7 +378,7 @@ pub fn local_search_response<W: EdgeWeights + ?Sized>(
     max_rounds: usize,
 ) -> Move {
     let eval = ResponseEvaluator::new(w, net, u);
-    local_search_from_eval(&eval, net, alpha, u, max_rounds)
+    local_search_from_eval(&eval, net, alpha, u, max_rounds, PruneMode::from_env())
 }
 
 /// [`local_search_response`] against a pre-built created network.
@@ -212,7 +391,21 @@ pub fn local_search_response_in_graph<W: EdgeWeights + ?Sized>(
     max_rounds: usize,
 ) -> Move {
     let eval = ResponseEvaluator::from_built_graph(w, net, g, u);
-    local_search_from_eval(&eval, net, alpha, u, max_rounds)
+    local_search_from_eval(&eval, net, alpha, u, max_rounds, PruneMode::from_env())
+}
+
+/// [`local_search_response`] with an explicit [`PruneMode`], so the
+/// oracle harness can compare both engines in-process.
+pub fn local_search_response_mode<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+    max_rounds: usize,
+    mode: PruneMode,
+) -> Move {
+    let eval = ResponseEvaluator::new(w, net, u);
+    local_search_from_eval(&eval, net, alpha, u, max_rounds, mode)
 }
 
 fn local_search_from_eval(
@@ -221,6 +414,7 @@ fn local_search_from_eval(
     alpha: f64,
     u: usize,
     max_rounds: usize,
+    mode: PruneMode,
 ) -> Move {
     let mut scratch = ResponseScratch::default();
     let mut current: Vec<usize> = net.strategy(u).iter().copied().collect();
@@ -236,6 +430,7 @@ fn local_search_from_eval(
             alpha,
             &mut scratch,
             &mut cand,
+            mode,
         ) {
             Some((step, c)) => {
                 write_candidate(&current, step, &mut next);

@@ -134,16 +134,54 @@ fn injected_faults_leave_deterministic_counters_unchanged() {
 fn exact_best_response_counts_every_mask() {
     let _g = setup();
     let n = 12;
+    let m = (n - 1) as u64;
     let ps = generators::uniform_unit_square(n, 3);
-    let net = OwnedNetwork::center_star(n, 0);
-    let d = deltas_of(|| {
-        let br = best_response::exact_best_response(&ps, &net, 1.0, 0);
+    // a path owned by the *other* agents, so agent 0's rest graph is
+    // connected and the pruning pre-pass finds a finite upper bound
+    let mut net = OwnedNetwork::empty(n);
+    for a in 1..n {
+        net.buy(a, a - 1);
+    }
+    let eval = best_response::ResponseEvaluator::new(&ps, &net, 0);
+
+    // unpruned engine: exactly one cost evaluation per strategy mask,
+    // and the pruning counters stay untouched
+    let off = deltas_of(|| {
+        let br = best_response::exact_best_response_with_eval_mode(
+            &eval,
+            8.0,
+            gncg_game::PruneMode::Off,
+        );
         std::hint::black_box(br.cost);
     });
     assert_eq!(
-        d[Counter::BestResponseEvals as usize],
-        1 << (n - 1),
+        off[Counter::BestResponseEvals as usize],
+        1 << m,
         "one cost evaluation per strategy mask"
+    );
+    assert_eq!(off[Counter::MovesPruned as usize], 0);
+    assert_eq!(off[Counter::MovesEvaluated as usize], 0);
+
+    // pruned engine: every mask is either pruned or evaluated, and the
+    // evaluation count is the (m+2)-mask pre-pass plus the survivors
+    let on = deltas_of(|| {
+        let br =
+            best_response::exact_best_response_with_eval_mode(&eval, 8.0, gncg_game::PruneMode::On);
+        std::hint::black_box(br.cost);
+    });
+    assert_eq!(
+        on[Counter::MovesPruned as usize] + on[Counter::MovesEvaluated as usize],
+        1 << m,
+        "every mask accounted for exactly once"
+    );
+    assert_eq!(
+        on[Counter::BestResponseEvals as usize],
+        (m + 2) + on[Counter::MovesEvaluated as usize],
+        "pre-pass plus surviving masks"
+    );
+    assert!(
+        on[Counter::MovesPruned as usize] > 0,
+        "high alpha on a connected rest graph must prune some masks"
     );
 }
 

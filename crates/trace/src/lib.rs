@@ -75,10 +75,11 @@ pub fn set_enabled(on: bool) {
 // ---------------------------------------------------------------------------
 // counters
 
-/// The tracked work counters. The first four are *deterministic*: their
-/// totals depend only on the workload, not on thread count, scheduling,
-/// or fault injection (`tools/perf_gate.sh` compares them exactly). The
-/// rest describe substrate activity and may legitimately vary run-to-run.
+/// The tracked work counters. The ones listed in
+/// [`DETERMINISTIC_COUNTERS`] are *deterministic*: their totals depend
+/// only on the workload, not on thread count, scheduling, or fault
+/// injection (`tools/perf_gate.sh` compares them exactly). The rest
+/// describe substrate activity and may legitimately vary run-to-run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(usize)]
 pub enum Counter {
@@ -100,10 +101,19 @@ pub enum Counter {
     FaultRetries,
     /// Jobs executed by persistent `ThreadPool` workers.
     PoolJobs,
+    /// Candidate moves/strategies discarded by the geometric pruning
+    /// layer without a cost evaluation (`GNCG_PRUNE`, default on). The
+    /// prune decision is a pure function of the candidate and fixed
+    /// per-agent bounds, so the total is schedule-invariant.
+    MovesPruned,
+    /// Candidate moves/strategies that survived pruning and were cost
+    /// evaluated by the pruned engine. `MovesPruned + MovesEvaluated`
+    /// equals the candidate count the unpruned engine would evaluate.
+    MovesEvaluated,
 }
 
 /// Number of counters in [`Counter`].
-pub const NUM_COUNTERS: usize = 9;
+pub const NUM_COUNTERS: usize = 11;
 
 /// JSON field names, indexed by `Counter as usize`.
 pub const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
@@ -116,15 +126,19 @@ pub const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "faults_injected",
     "fault_retries",
     "pool_jobs",
+    "moves_pruned",
+    "moves_evaluated",
 ];
 
 /// The thread-count- and schedule-invariant subset of [`COUNTER_NAMES`];
 /// the perf gate compares exactly these for bit-identity.
-pub const DETERMINISTIC_COUNTERS: [Counter; 4] = [
+pub const DETERMINISTIC_COUNTERS: [Counter; 6] = [
     Counter::DijkstraRelaxations,
     Counter::DijkstraHeapPops,
     Counter::BestResponseEvals,
     Counter::RowInvalidations,
+    Counter::MovesPruned,
+    Counter::MovesEvaluated,
 ];
 
 thread_local! {

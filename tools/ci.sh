@@ -4,6 +4,22 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# every crate must carry at least one test target (an integration test
+# under tests/ or a #[test] in src) — a crate with zero tests slips
+# through `cargo test` silently green
+missing=()
+for crate in crates/*/; do
+    name=$(basename "$crate")
+    if ! ls "$crate"tests/*.rs >/dev/null 2>&1 \
+        && ! grep -rql '#\[test\]' "$crate"src; then
+        missing+=("$name")
+    fi
+done
+if ((${#missing[@]})); then
+    echo "crates without any test target: ${missing[*]}" >&2
+    exit 1
+fi
+
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace
@@ -17,3 +33,6 @@ GNCG_FAULT_INJECT=0.02 cargo test --workspace -q
 # sequential run: all parallel substrates on their 1-thread fallback
 # paths must produce identical results
 GNCG_THREADS=1 cargo test --workspace -q
+
+# pruning disabled: every solver on its original unpruned code path
+GNCG_PRUNE=0 cargo test --workspace -q

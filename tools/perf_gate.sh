@@ -5,7 +5,8 @@
 #
 # Contract:
 #   - the deterministic trace counters (Dijkstra relaxations/heap pops,
-#     best-response evaluations, row invalidations) must match the
+#     best-response evaluations, row invalidations, pruned/evaluated
+#     candidate moves) must match the
 #     baseline EXACTLY — they depend only on the workload, never on
 #     thread count, scheduling, or fault injection;
 #   - each stage's calibration-normalized wall time (`measured` =
@@ -40,6 +41,8 @@ DETERMINISTIC = [
     "dijkstra_heap_pops",
     "best_response_evals",
     "row_invalidations",
+    "moves_pruned",
+    "moves_evaluated",
 ]
 failures = []
 
