@@ -62,8 +62,11 @@ mod tests {
             exact_beta: true,
             exact_gamma: false,
             witness: false,
+            ..CertifyOptions::default()
         };
-        let b_small = certify(&ps, &net, 0.5, beta_only).beta_exact.unwrap();
+        let b_small = certify(&ps, &net, 0.5, beta_only.clone())
+            .beta_exact
+            .unwrap();
         let b_large = certify(&ps, &net, 8.0, beta_only).beta_exact.unwrap();
         assert!(b_large > b_small);
     }

@@ -29,7 +29,7 @@ pub fn theorem_3_13_bound(dim: usize) -> f64 {
 mod tests {
     use super::*;
     use gncg_game::certify::{certify, CertifyOptions};
-    use gncg_game::exact;
+    use gncg_game::{exact, SolveOptions};
     use gncg_geometry::generators;
 
     #[test]
@@ -81,7 +81,8 @@ mod tests {
         let ps = generators::integer_grid(&[3, 1]); // 8 points
         let net = grid_network(&ps);
         for alpha in [0.5, 1.0, 4.0] {
-            let beta = exact::exact_beta(&ps, &net, alpha);
+            let beta =
+                exact::exact_beta(&ps, &net, alpha, &SolveOptions::default()).expect_exact("beta");
             assert!(
                 beta <= theorem_3_13_bound(2) + 1e-9,
                 "alpha {alpha}: exact beta {beta}"
@@ -93,7 +94,7 @@ mod tests {
     fn one_dimensional_grid_is_2_network() {
         let ps = generators::integer_grid(&[5]);
         let net = grid_network(&ps);
-        let beta = exact::exact_beta(&ps, &net, 1.0);
+        let beta = exact::exact_beta(&ps, &net, 1.0, &SolveOptions::default()).expect_exact("beta");
         assert!(beta <= theorem_3_13_bound(1) + 1e-9);
     }
 }

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gncg_game::{
     best_response,
     certify::{certify, CertifyOptions},
-    cost, exact, OwnedNetwork,
+    cost, exact, OwnedNetwork, SolveOptions,
 };
 use gncg_geometry::generators;
 
@@ -33,7 +33,11 @@ fn bench_exact_best_response(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(n),
             &(ps, net),
-            |b, (ps, net)| b.iter(|| best_response::exact_best_response(ps, net, 1.0, 1)),
+            |b, (ps, net)| {
+                b.iter(|| {
+                    best_response::exact_best_response(ps, net, 1.0, 1, &SolveOptions::default())
+                })
+            },
         );
     }
     group.finish();
@@ -45,7 +49,11 @@ fn bench_exact_optimum(c: &mut Criterion) {
     for n in [5usize, 6] {
         let ps = generators::uniform_unit_square(n, 33);
         group.bench_with_input(BenchmarkId::from_parameter(n), &ps, |b, ps| {
-            b.iter(|| exact::exact_social_optimum(ps, 1.0).social_cost)
+            b.iter(|| {
+                exact::exact_social_optimum(ps, 1.0, &SolveOptions::default())
+                    .expect_exact("optimum")
+                    .social_cost
+            })
         });
     }
     group.finish();

@@ -11,11 +11,13 @@
 //! the dependency set to the whitelisted crates.
 
 use gncg_algo as algo;
-use gncg_game::certify::{certify, CertifyOptions};
+use gncg_game::certify::CertifyOptions;
 use gncg_game::{dynamics, OwnedNetwork};
 use gncg_geometry::{generators, PointSet};
+use gncg_service::{JobError, JobOptions, Session};
 use std::collections::HashMap;
 use std::process::exit;
+use std::sync::Arc;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -179,7 +181,19 @@ fn run_certify(opts: &HashMap<String, String>) {
     } else {
         CertifyOptions::default()
     };
-    let r = certify(&ps, &net, alpha, options);
+    // the CLI is a thin client of the job service: the session default
+    // budget is GNCG_BUDGET_MS, exactly what the direct call honoured
+    let session = Session::new();
+    let handle = session
+        .submit_certify(Arc::new(ps), net, alpha, options, JobOptions::default())
+        .unwrap_or_else(|e| {
+            eprintln!("certify rejected by the service: {e}");
+            exit(1);
+        });
+    let r = handle.wait().unwrap_or_else(|e| {
+        eprintln!("certify job failed: {e}");
+        exit(1);
+    });
     println!("{}", gncg_json::to_string_pretty(&r.to_json_with_trace()));
 }
 
@@ -195,7 +209,29 @@ fn run_dynamics(opts: &HashMap<String, String>) {
         _ => dynamics::ResponseRule::BestSingleMove,
     };
     let start = OwnedNetwork::center_star(ps.len(), 0);
-    match dynamics::run(&ps, &start, alpha, rule, steps) {
+    let session = Session::new();
+    let handle = session
+        .submit_dynamics(
+            Arc::new(ps),
+            start,
+            alpha,
+            rule,
+            steps,
+            JobOptions::default(),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("dynamics rejected by the service: {e}");
+            exit(1);
+        });
+    let outcome = handle.wait().unwrap_or_else(|e| {
+        let code = match e {
+            JobError::Cancelled => 75,
+            JobError::Panicked(_) => 1,
+        };
+        eprintln!("dynamics job failed: {e}");
+        exit(code);
+    });
+    match outcome {
         dynamics::Outcome::Converged { state, steps } => {
             println!("converged after {steps} strategy changes");
             println!("{} edges bought", state.bought_edges());

@@ -16,8 +16,9 @@
 
 use gncg_bench::Report;
 use gncg_game::certify::{certify, CertifyOptions};
-use gncg_game::{best_response, dynamics, OwnedNetwork};
+use gncg_game::{best_response, dynamics, OwnedNetwork, SolveOptions};
 use gncg_geometry::generators;
+use gncg_service::{JobOptions, Session};
 use std::time::Instant;
 
 /// Fixed-size pure-CPU loop; its wall time is the unit every stage's
@@ -86,7 +87,8 @@ fn main() {
     let ps = generators::uniform_unit_square(18, 3);
     let net = OwnedNetwork::center_star(18, 0);
     let t0 = Instant::now();
-    let br = best_response::exact_best_response(&ps, &net, 1.0, 1);
+    let br = best_response::exact_best_response(&ps, &net, 1.0, 1, &SolveOptions::default())
+        .expect_exact("best response");
     std::hint::black_box(br.cost);
     let br_s = t0.elapsed().as_secs_f64();
     report.push_unreferenced(
@@ -106,6 +108,42 @@ fn main() {
     report.push_unreferenced(
         "certify bounds n=96".into(),
         cert_s / calib,
+        true,
+        "wall time / calibration-loop time",
+    );
+
+    // stage 5: job-service dispatch overhead — 512 near-empty sweep jobs
+    // through a Session. The jobs do a fixed trivial spin and touch none
+    // of the deterministic counters, so the stage isolates admission +
+    // queueing + handle-resolution cost per job. The batch lane must
+    // hold all 512 jobs at once: this stage measures dispatch, not
+    // admission-control rejections.
+    let session = Session::builder().queue_capacity(4, 512).build();
+    let t0 = Instant::now();
+    let mut handles = Vec::with_capacity(512);
+    for i in 0..512u64 {
+        handles.push(
+            session
+                .submit_sweep(JobOptions::default(), move |_ctx| {
+                    let mut x = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    for _ in 0..64 {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                    }
+                    std::hint::black_box(x)
+                })
+                .expect("perf_smoke service job admitted"),
+        );
+    }
+    for h in handles {
+        h.wait().expect("perf_smoke service job completed");
+    }
+    session.wait_idle();
+    let svc_s = t0.elapsed().as_secs_f64();
+    report.push_unreferenced(
+        "service dispatch x512".into(),
+        svc_s / calib,
         true,
         "wall time / calibration-loop time",
     );

@@ -7,99 +7,102 @@
 //! *claim* by searching random ℝ² instances for response cycles with
 //! canonical state hashing, reporting the first cycles found.
 
-use gncg_bench::checkpoint::SweepCheckpoint;
+use gncg_bench::service::run_sections;
 use gncg_bench::Report;
 use gncg_game::{best_response, cost, dynamics, instances, moves};
 
 fn main() {
-    let mut ckpt = SweepCheckpoint::open("fig2");
-    let mut all_ok = true;
+    let all_ok = run_sections("fig2", |run| {
+        let mut all_ok = true;
 
-    // Figure 2 left: the unstable optimum of Theorem 2.1
-    let left = ckpt.report_with("left", || {
-        let mut left = Report::new(
+        // Figure 2 left: the unstable optimum of Theorem 2.1
+        if let Some(left) = run.section("left", || {
+            let mut left = Report::new(
             "fig2_left",
             "Figure 2 (left): the triangle-cluster social optimum admits a large improving move",
         );
-        for alpha in [16.0, 64.0] {
-            let s = instances::theorem_2_1_cluster_size(alpha);
-            let (ps, opt) = instances::triangle_optimum(s, 0.0);
-            let u = 0usize;
-            let now = cost::agent_cost(&ps, &opt, alpha, u);
-            let mut sold = opt.strategy(u).clone();
-            sold.remove(&s);
-            let after = moves::cost_with_strategy(&ps, &opt, alpha, u, &sold);
-            let factor = best_response::ratio(now, after);
-            let bound = instances::theorem_2_1_factor(alpha);
-            left.push(
-                format!("alpha={alpha} n={}", 3 * s),
-                bound,
-                factor,
-                factor >= bound - 1e-9,
-                "improving move: sell the dotted unit edge",
-            );
+            for alpha in [16.0, 64.0] {
+                let s = instances::theorem_2_1_cluster_size(alpha);
+                let (ps, opt) = instances::triangle_optimum(s, 0.0);
+                let u = 0usize;
+                let now = cost::agent_cost(&ps, &opt, alpha, u);
+                let mut sold = opt.strategy(u).clone();
+                sold.remove(&s);
+                let after = moves::cost_with_strategy(&ps, &opt, alpha, u, &sold);
+                let factor = best_response::ratio(now, after);
+                let bound = instances::theorem_2_1_factor(alpha);
+                left.push(
+                    format!("alpha={alpha} n={}", 3 * s),
+                    bound,
+                    factor,
+                    factor >= bound - 1e-9,
+                    "improving move: sell the dotted unit edge",
+                );
+            }
+            left
+        }) {
+            left.print();
+            all_ok &= left.all_ok();
+            let _ = left.save();
         }
-        left
-    });
-    left.print();
-    all_ok &= left.all_ok();
-    let _ = left.save();
 
-    // Figure 2 right / Theorem 3.1: search for best-response cycles —
-    // the expensive sweep, one checkpointed unit for the whole panel
-    let right = ckpt.report_with("right", || {
-        let mut right = Report::new(
+        // Figure 2 right / Theorem 3.1: search for best-response cycles —
+        // the expensive sweep, one checkpointed unit for the whole panel
+        if let Some(right) = run.section("right", || {
+            let mut right = Report::new(
             "fig2_right",
             "Figure 2 (right)/Theorem 3.1: best-response dynamics cycle (no FIP) in R^2, alpha = 1",
         );
-        let mut found_any = false;
-        // seed window 0..200 per n: the widened search (both start
-        // states × both activation orders per seed) has known witnesses
-        // here for n = 5 and n = 6; the old star/round-robin-only search
-        // over 1000n..1000n+200 found none at all
-        for &n in &[4usize, 5, 6] {
-            match dynamics::search_for_cycle(
-                n,
-                1.0,
-                dynamics::ResponseRule::BestResponse,
-                0..200,
-                600,
-            ) {
-                Some(w) => {
-                    found_any = true;
-                    let cycle_len = w.cycle_len();
-                    right.push(
-                        format!("n={n} seed={} start={} order={}", w.seed, w.start, w.order),
-                        1.0,
-                        cycle_len as f64,
-                        cycle_len >= 2,
-                        "cycle length in strategy changes (paper's cycle: 4 steps)",
-                    );
-                }
-                None => {
-                    right.push_degenerate(
-                        format!("n={n}"),
-                        true,
-                        "no cycle in this seed range (not a refutation)",
-                    );
+            let mut found_any = false;
+            // seed window 0..200 per n: the widened search (both start
+            // states × both activation orders per seed) has known witnesses
+            // here for n = 5 and n = 6; the old star/round-robin-only search
+            // over 1000n..1000n+200 found none at all
+            for &n in &[4usize, 5, 6] {
+                match dynamics::search_for_cycle(
+                    n,
+                    1.0,
+                    dynamics::ResponseRule::BestResponse,
+                    0..200,
+                    600,
+                ) {
+                    Some(w) => {
+                        found_any = true;
+                        let cycle_len = w.cycle_len();
+                        right.push(
+                            format!("n={n} seed={} start={} order={}", w.seed, w.start, w.order),
+                            1.0,
+                            cycle_len as f64,
+                            cycle_len >= 2,
+                            "cycle length in strategy changes (paper's cycle: 4 steps)",
+                        );
+                    }
+                    None => {
+                        right.push_degenerate(
+                            format!("n={n}"),
+                            true,
+                            "no cycle in this seed range (not a refutation)",
+                        );
+                    }
                 }
             }
+            // the claim needs at least one cycle witness overall
+            right.push(
+                "any cycle found".into(),
+                1.0,
+                if found_any { 1.0 } else { 0.0 },
+                found_any,
+                "Theorem 3.1 witness",
+            );
+            right
+        }) {
+            right.print();
+            all_ok &= right.all_ok();
+            let _ = right.save();
         }
-        // the claim needs at least one cycle witness overall
-        right.push(
-            "any cycle found".into(),
-            1.0,
-            if found_any { 1.0 } else { 0.0 },
-            found_any,
-            "Theorem 3.1 witness",
-        );
-        right
-    });
-    right.print();
-    all_ok &= right.all_ok();
-    let _ = right.save();
 
-    ckpt.finish();
+        all_ok
+    });
     if !all_ok {
         std::process::exit(1);
     }

@@ -12,16 +12,15 @@
 
 use gncg_algo::combined::combined_network;
 use gncg_algo::params::{combined_exponent, corollary_3_8_exponent};
-use gncg_bench::checkpoint::SweepCheckpoint;
-use gncg_bench::{log_log_slope, Report};
+use gncg_bench::log_log_slope;
+use gncg_bench::service::run_repro;
 use gncg_geometry::generators;
 
 fn main() {
-    let mut ckpt = SweepCheckpoint::open("fig4");
-    let mut rep = Report::new(
+    let rep = run_repro(
         "fig4",
         "Figure 4 / Cor 3.8+3.10: beta exponent y(x) for alpha = n^x; combined construction is O(alpha^{2/3})",
-    );
+        |run, rep| {
 
     // the theoretical curve (the actual content of Figure 4) — closed
     // form, recomputed every run
@@ -45,7 +44,9 @@ fn main() {
     let ps = generators::uniform_unit_square(n, 4242);
     let mut pts = Vec::new();
     for &alpha in &[2.0, 8.0, 32.0, 128.0, 512.0, 2048.0] {
-        let range = ckpt.rows(&mut rep, &format!("sweep alpha={alpha}"), |rep| {
+        // stop at the first skipped unit: the slope fit below must see
+        // either all sweep points or none (resume recomputes it whole)
+        let Some(range) = run.unit(rep, &format!("sweep alpha={alpha}"), |rep| {
             let res = combined_network(&ps, alpha);
             rep.push(
                 format!("n={n} alpha={alpha} sel={:?}", res.selected),
@@ -54,7 +55,9 @@ fn main() {
                 res.beta_upper.is_finite(),
                 "certified beta vs alpha^{2/3} scale reference",
             );
-        });
+        }) else {
+            return;
+        };
         let beta = rep.rows[range.start]
             .measured
             .expect("sweep rows carry a measured beta");
@@ -79,7 +82,7 @@ fn main() {
     // number exists for a single sample, so these rows are measured-only.
     let mut small = Vec::new();
     for &n in &[64usize, 125, 216, 343] {
-        let range = ckpt.rows(&mut rep, &format!("small n={n}"), |rep| {
+        let Some(range) = run.unit(rep, &format!("small n={n}"), |rep| {
             let alpha = (n as f64).powf(1.0 / 3.0) * 0.9;
             let ps = generators::uniform_unit_square(n, 7000 + n as u64);
             let res = combined_network(&ps, alpha);
@@ -89,7 +92,9 @@ fn main() {
                 res.beta_upper.is_finite(),
                 "O(1) regime sample",
             );
-        });
+        }) else {
+            return;
+        };
         small.push(
             rep.rows[range.start]
                 .measured
@@ -106,9 +111,8 @@ fn main() {
         "certified beta stays bounded as n grows with alpha = O(n^{1/3})",
     );
 
-    rep.print();
-    let _ = rep.save();
-    ckpt.finish();
+        },
+    );
     if !rep.all_ok() {
         std::process::exit(1);
     }

@@ -4,22 +4,20 @@
 //! α ∈ o(n).
 
 use gncg_algo::random_points::{build_one_plus_eps, lemma_3_11_bound, quarter_square_counts};
-use gncg_bench::checkpoint::SweepCheckpoint;
-use gncg_bench::Report;
+use gncg_bench::service::run_repro;
 use gncg_game::certify::{certify, CertifyOptions};
 use gncg_geometry::generators;
 
 fn main() {
-    let mut ckpt = SweepCheckpoint::open("fig5");
-    let mut rep = Report::new(
+    let rep = run_repro(
         "fig5",
         "Figure 5/Lemma 3.11/Thm 3.12: quarter-square concentration and (1+eps,1+eps)-networks on random points",
-    );
+        |run, rep| {
 
     // Lemma 3.11: empirical violation rate of the quarter-square bound
     let delta = 0.5;
     for n in [200usize, 800, 3200] {
-        ckpt.rows(&mut rep, &format!("lemma311 n={n}"), |rep| {
+        run.unit(rep, &format!("lemma311 n={n}"), |rep| {
             let trials = 50u64;
             let mut violations = 0;
             for seed in 0..trials {
@@ -47,7 +45,7 @@ fn main() {
     let eps = 0.5;
     let alpha = 0.25;
     for n in [150usize, 300, 450] {
-        ckpt.rows(&mut rep, &format!("thm312 n={n}"), |rep| {
+        run.unit(rep, &format!("thm312 n={n}"), |rep| {
             let ps = generators::uniform_unit_square(n, 77_000 + n as u64);
             let res = build_one_plus_eps(&ps, alpha, eps, 8);
             let r = certify(&ps, &res.network, alpha, CertifyOptions::bounds_only());
@@ -63,7 +61,7 @@ fn main() {
 
     // witness-level stability: local-search witness should be ~1+eps or
     // less on a moderate instance (no agent provably improves by more)
-    ckpt.rows(&mut rep, "witness n=200", |rep| {
+    run.unit(rep, "witness n=200", |rep| {
         let n = 200;
         let ps = generators::uniform_unit_square(n, 5150);
         let res = build_one_plus_eps(&ps, alpha, eps, 8);
@@ -77,9 +75,8 @@ fn main() {
         );
     });
 
-    rep.print();
-    let _ = rep.save();
-    ckpt.finish();
+        },
+    );
     if !rep.all_ok() {
         std::process::exit(1);
     }

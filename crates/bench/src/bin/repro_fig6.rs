@@ -3,20 +3,18 @@
 //! approaching `min{(α+1)/√2, (α²+2α+2)/(2α+2)}` times the optimum as
 //! `d → ∞`.
 
-use gncg_bench::checkpoint::SweepCheckpoint;
-use gncg_bench::Report;
+use gncg_bench::service::run_repro;
 use gncg_game::{cost, exact, instances, moves};
 
 fn main() {
-    let mut ckpt = SweepCheckpoint::open("fig6");
-    let mut rep = Report::new(
+    let rep = run_repro(
         "fig6",
         "Figure 6/Theorem 4.1: apex star is a NE; PoA ratio approaches min{(a+1)/sqrt(2), (a^2+2a+2)/(2a+2)} as d grows",
-    );
+        |run, rep| {
 
     for &alpha in &[1.0, 2.0, 5.0] {
         // one unit per alpha: exact NE checks dominate the cost
-        ckpt.rows(&mut rep, &format!("alpha={alpha}"), |rep| {
+        run.unit(rep, &format!("alpha={alpha}"), |rep| {
             // exact NE verification at small d (n = 2d <= 12 agents)
             for d in [3usize, 5] {
                 let (ps, ne, _) = instances::cross_polytope(d, alpha);
@@ -86,9 +84,8 @@ fn main() {
         });
     }
 
-    rep.print();
-    let _ = rep.save();
-    ckpt.finish();
+        },
+    );
     if !rep.all_ok() {
         std::process::exit(1);
     }

@@ -4,52 +4,49 @@
 //! outer frontier of a design portfolio.
 
 use gncg_algo::pareto::{pareto_front, sample_designs};
-use gncg_bench::checkpoint::SweepCheckpoint;
-use gncg_bench::Report;
+use gncg_bench::service::run_repro;
 use gncg_geometry::generators;
 
 fn main() {
-    let mut ckpt = SweepCheckpoint::open("pareto");
-    let mut rep = Report::new(
+    run_repro(
         "pareto",
         "Certified (beta, gamma) Pareto frontier across design portfolio (paper future work)",
+        |run, rep| {
+            for (label, alpha) in [("cheap edges", 0.5), ("moderate", 3.0), ("expensive", 50.0)] {
+                run.unit(rep, &format!("alpha={alpha}"), |rep| {
+                    let ps = generators::uniform_unit_square(60, 2718);
+                    let samples = sample_designs(&ps, alpha, 10);
+                    println!(
+                        "alpha = {alpha} ({label}): {} designs sampled",
+                        samples.len()
+                    );
+                    for p in &samples {
+                        println!(
+                            "    {:<20} beta<= {:>9.3}  gamma<= {:>9.3}",
+                            p.label, p.beta, p.gamma
+                        );
+                    }
+                    let front = pareto_front(samples);
+                    for p in &front {
+                        rep.push(
+                            format!("alpha={alpha} {}", p.label),
+                            p.beta,
+                            p.gamma,
+                            p.beta >= 1.0 && p.gamma >= 1.0,
+                            "frontier point (beta, gamma certified)",
+                        );
+                    }
+                    println!(
+                        "  frontier: {}",
+                        front
+                            .iter()
+                            .map(|p| format!("{}({:.2},{:.2})", p.label, p.beta, p.gamma))
+                            .collect::<Vec<_>>()
+                            .join(" -> ")
+                    );
+                    println!();
+                });
+            }
+        },
     );
-    for (label, alpha) in [("cheap edges", 0.5), ("moderate", 3.0), ("expensive", 50.0)] {
-        ckpt.rows(&mut rep, &format!("alpha={alpha}"), |rep| {
-            let ps = generators::uniform_unit_square(60, 2718);
-            let samples = sample_designs(&ps, alpha, 10);
-            println!(
-                "alpha = {alpha} ({label}): {} designs sampled",
-                samples.len()
-            );
-            for p in &samples {
-                println!(
-                    "    {:<20} beta<= {:>9.3}  gamma<= {:>9.3}",
-                    p.label, p.beta, p.gamma
-                );
-            }
-            let front = pareto_front(samples);
-            for p in &front {
-                rep.push(
-                    format!("alpha={alpha} {}", p.label),
-                    p.beta,
-                    p.gamma,
-                    p.beta >= 1.0 && p.gamma >= 1.0,
-                    "frontier point (beta, gamma certified)",
-                );
-            }
-            println!(
-                "  frontier: {}",
-                front
-                    .iter()
-                    .map(|p| format!("{}({:.2},{:.2})", p.label, p.beta, p.gamma))
-                    .collect::<Vec<_>>()
-                    .join(" -> ")
-            );
-            println!();
-        });
-    }
-    rep.print();
-    let _ = rep.save();
-    ckpt.finish();
 }

@@ -21,70 +21,72 @@ use gncg_algo::{
     run_algorithm1,
     star::{center_star, corollary_3_3_threshold, star_stability_threshold},
 };
-use gncg_bench::checkpoint::SweepCheckpoint;
+use gncg_bench::service::{run_sections, SweepRun};
 use gncg_bench::Report;
 use gncg_game::{
     best_response,
     certify::{certify, CertifyOptions},
-    cost, exact, instances, moves,
+    cost, exact, instances, moves, SolveOptions,
 };
 use gncg_geometry::generators;
 use gncg_host::{corollaries as host_cor, hitting_set, poa as host_poa, HostNetwork};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let run = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
-    // each theorem section is one checkpointed unit: a killed run only
-    // repeats the section that was in flight
-    let mut ckpt = SweepCheckpoint::open("table1");
-    let mut all_ok = true;
-    let mut done = |ckpt: &mut SweepCheckpoint, name: &str, section: fn() -> Report| {
-        let r = ckpt.report_with(name, section);
-        r.print();
-        all_ok &= r.all_ok();
-        let _ = r.save();
-    };
+    let all_ok = run_sections("table1", move |run| {
+        let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+        // each theorem section is one checkpointed unit: a killed run
+        // only repeats the section that was in flight
+        let mut all_ok = true;
+        let mut done = |run: &mut SweepRun, name: &str, section: fn() -> Report| {
+            if let Some(r) = run.section(name, section) {
+                r.print();
+                all_ok &= r.all_ok();
+                let _ = r.save();
+            }
+        };
 
-    if run("thm_2_1") {
-        done(&mut ckpt, "thm_2_1", thm_2_1);
-    }
-    if run("thm_2_2") {
-        done(&mut ckpt, "thm_2_2", thm_2_2);
-    }
-    if run("thm_3_4") {
-        done(&mut ckpt, "thm_3_4", thm_3_4);
-    }
-    if run("thm_3_5") {
-        done(&mut ckpt, "thm_3_5", thm_3_5);
-    }
-    if run("thm_3_7") {
-        done(&mut ckpt, "thm_3_7", thm_3_7);
-    }
-    if run("thm_3_9") {
-        done(&mut ckpt, "thm_3_9", thm_3_9);
-    }
-    if run("thm_3_13") {
-        done(&mut ckpt, "thm_3_13", thm_3_13);
-    }
-    if run("thm_4_4") {
-        done(&mut ckpt, "thm_4_4", thm_4_4);
-    }
-    if run("sec_5") {
-        done(&mut ckpt, "sec_5", sec_5);
-    }
-    if run("thm_5_4") {
-        done(&mut ckpt, "thm_5_4", thm_5_4);
-    }
-    ckpt.finish();
-
-    println!(
-        "TABLE 1 REPRODUCTION: {}",
-        if all_ok {
-            "ALL SECTIONS PASS"
-        } else {
-            "SOME SECTIONS FAILED"
+        if want("thm_2_1") {
+            done(run, "thm_2_1", thm_2_1);
         }
-    );
+        if want("thm_2_2") {
+            done(run, "thm_2_2", thm_2_2);
+        }
+        if want("thm_3_4") {
+            done(run, "thm_3_4", thm_3_4);
+        }
+        if want("thm_3_5") {
+            done(run, "thm_3_5", thm_3_5);
+        }
+        if want("thm_3_7") {
+            done(run, "thm_3_7", thm_3_7);
+        }
+        if want("thm_3_9") {
+            done(run, "thm_3_9", thm_3_9);
+        }
+        if want("thm_3_13") {
+            done(run, "thm_3_13", thm_3_13);
+        }
+        if want("thm_4_4") {
+            done(run, "thm_4_4", thm_4_4);
+        }
+        if want("sec_5") {
+            done(run, "sec_5", sec_5);
+        }
+        if want("thm_5_4") {
+            done(run, "thm_5_4", thm_5_4);
+        }
+
+        println!(
+            "TABLE 1 REPRODUCTION: {}",
+            if all_ok {
+                "ALL SECTIONS PASS"
+            } else {
+                "SOME SECTIONS FAILED"
+            }
+        );
+        all_ok
+    });
     if !all_ok {
         std::process::exit(1);
     }
@@ -338,7 +340,8 @@ fn thm_3_7() -> Report {
         let alpha = 1.5;
         let ps = generators::uniform_unit_square(n, 77);
         let res = run_algorithm1(&ps, alpha, corollary_3_8_params(alpha, n));
-        let beta = exact::exact_beta(&ps, &res.network, alpha);
+        let beta = exact::exact_beta(&ps, &res.network, alpha, &SolveOptions::default())
+            .expect_exact("beta");
         let r = certify(&ps, &res.network, alpha, CertifyOptions::bounds_only());
         rep.push(
             format!("n={n} alpha={alpha} exact"),
@@ -417,7 +420,7 @@ fn thm_3_13() -> Report {
     // exact beta on a tiny grid
     let ps = generators::integer_grid(&[3, 1]);
     let net = grid_network(&ps);
-    let beta = exact::exact_beta(&ps, &net, 1.0);
+    let beta = exact::exact_beta(&ps, &net, 1.0, &SolveOptions::default()).expect_exact("beta");
     rep.push(
         "d=2 4x2 alpha=1 exact".into(),
         theorem_3_13_bound(2),

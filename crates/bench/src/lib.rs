@@ -16,6 +16,7 @@
 //! `results/<id>.checkpoint.json` and skipped on restart.
 
 pub mod checkpoint;
+pub mod service;
 pub mod svg;
 
 use gncg_json::{object, FromJson, JsonError, ToJson, Value};
@@ -263,11 +264,12 @@ impl Report {
     }
 }
 
-/// Resolve the `results/` output directory: `GNCG_RESULTS_DIR` override,
-/// else `<workspace>/results` when detectable, else `./results`.
+/// Resolve the `results/` output directory: `GNCG_RESULTS_DIR` override
+/// (re-read on every call — tests redirect it at runtime), else
+/// `<workspace>/results` when detectable, else `./results`.
 pub fn results_dir() -> PathBuf {
-    if let Ok(d) = std::env::var("GNCG_RESULTS_DIR") {
-        return PathBuf::from(d);
+    if let Some(d) = gncg_config::env::results_dir() {
+        return d;
     }
     if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
         // crates/bench -> workspace root two levels up

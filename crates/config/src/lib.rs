@@ -1,0 +1,364 @@
+//! Unified `GNCG_*` configuration.
+//!
+//! Every knob of the workspace is an environment variable with a strict,
+//! frozen semantic (the oracle and trace tests depend on the exact parse
+//! rules). This crate is the **only** place those variables are read —
+//! `tools/ci.sh` greps for `env::var("GNCG_` outside `crates/config` and
+//! fails the build on a hit — so the parse rules live in one place
+//! instead of six:
+//!
+//! | variable                    | accessor                       | semantics |
+//! |-----------------------------|--------------------------------|-----------|
+//! | `GNCG_THREADS`              | [`env::threads`]               | parsed `usize`, unparsable ⇒ unset; cached at first read |
+//! | `GNCG_BUDGET_MS`            | [`env::budget_ms`]             | parsed `u64`, unparsable ⇒ unset; cached at first read |
+//! | `GNCG_FAULT_INJECT`         | [`env::fault_inject`]          | parsed `f64`, unparsable ⇒ unset; cached at first read |
+//! | `GNCG_FAULT_INJECT_DELAY_MS`| [`env::fault_inject_delay_ms`] | parsed `u64`, unparsable ⇒ unset; cached at first read |
+//! | `GNCG_TRACE`                | [`env::trace`]                 | on iff `"1"` or case-insensitive `"true"`; cached at first read |
+//! | `GNCG_PRUNE`                | [`env::prune`]                 | off iff `"0"`/`"false"`/`"off"` (case-insensitive); cached at first read |
+//! | `GNCG_RESULTS_DIR`          | [`env::results_dir`]           | path override; **re-read on every call** (tests retarget it at runtime) |
+//! | `GNCG_PERF_RATIO`           | [`env::perf_ratio`]            | parsed `f64` > 0, default `1.5`; cached at first read |
+//!
+//! Caching is *lazy per variable*: nothing is read until the first
+//! consumer asks, so a test that sets `GNCG_THREADS` before the first
+//! parallel call still takes effect — exactly the semantics the
+//! scattered `OnceLock`s had before this crate existed.
+//!
+//! [`GncgConfig`] is the snapshot form: one struct carrying every knob,
+//! filled from the environment by [`GncgConfig::from_env`] and
+//! overridable programmatically through [`GncgConfig::builder`]. The
+//! `gncg-service` `Session` consumes a `GncgConfig` instead of the
+//! process environment, which is how embedders configure the job engine
+//! without touching env vars.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// Pure parse rules for the `GNCG_*` variables, shared by the cached
+/// accessors and unit-testable without touching the process environment.
+pub mod parse {
+    /// `GNCG_TRACE` semantics: on iff `"1"` or case-insensitive `"true"`.
+    pub fn trace_on(value: Option<&str>) -> bool {
+        value.is_some_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+    }
+
+    /// `GNCG_PRUNE` semantics: pruning defaults **on**; only an explicit
+    /// `"0"`, `"false"`, or `"off"` (case-insensitive) disables it.
+    pub fn prune_on(value: Option<&str>) -> bool {
+        match value {
+            Some(v) => {
+                !(v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off"))
+            }
+            None => true,
+        }
+    }
+
+    /// Numeric semantics shared by `GNCG_THREADS`, `GNCG_BUDGET_MS`,
+    /// `GNCG_FAULT_INJECT`, `GNCG_FAULT_INJECT_DELAY_MS`: a set but
+    /// unparsable value behaves like an unset one.
+    pub fn number<T: std::str::FromStr>(value: Option<&str>) -> Option<T> {
+        value.and_then(|v| v.parse().ok())
+    }
+
+    /// `GNCG_PERF_RATIO` semantics: parsed `f64`, but non-positive or
+    /// unparsable values fall back to the default `1.5`.
+    pub fn perf_ratio(value: Option<&str>) -> f64 {
+        match number::<f64>(value) {
+            Some(r) if r > 0.0 => r,
+            _ => 1.5,
+        }
+    }
+}
+
+/// Cached-per-variable environment accessors. This module is the single
+/// point in the workspace where `GNCG_*` variables are read.
+pub mod env {
+    use super::*;
+
+    fn read(name: &str) -> Option<String> {
+        std::env::var(name).ok()
+    }
+
+    /// `GNCG_THREADS`: requested worker-thread count. `None` when unset
+    /// or unparsable (the consumer falls back to
+    /// `available_parallelism`). Cached at first read.
+    pub fn threads() -> Option<usize> {
+        static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+        *CACHE.get_or_init(|| parse::number(read("GNCG_THREADS").as_deref()))
+    }
+
+    /// `GNCG_BUDGET_MS`: process-wide default solve budget in
+    /// milliseconds. `None` ⇒ unlimited. Cached at first read.
+    pub fn budget_ms() -> Option<u64> {
+        static CACHE: OnceLock<Option<u64>> = OnceLock::new();
+        *CACHE.get_or_init(|| parse::number(read("GNCG_BUDGET_MS").as_deref()))
+    }
+
+    /// `GNCG_FAULT_INJECT`: injected-fault probability in `[0, 1]`
+    /// (clamping is the injector's job). Cached at first read.
+    pub fn fault_inject() -> Option<f64> {
+        static CACHE: OnceLock<Option<f64>> = OnceLock::new();
+        *CACHE.get_or_init(|| parse::number(read("GNCG_FAULT_INJECT").as_deref()))
+    }
+
+    /// `GNCG_FAULT_INJECT_DELAY_MS`: optional injected delay. Cached at
+    /// first read.
+    pub fn fault_inject_delay_ms() -> Option<u64> {
+        static CACHE: OnceLock<Option<u64>> = OnceLock::new();
+        *CACHE.get_or_init(|| parse::number(read("GNCG_FAULT_INJECT_DELAY_MS").as_deref()))
+    }
+
+    /// `GNCG_TRACE`: observability gate. Cached at first read.
+    pub fn trace() -> bool {
+        static CACHE: OnceLock<bool> = OnceLock::new();
+        *CACHE.get_or_init(|| parse::trace_on(read("GNCG_TRACE").as_deref()))
+    }
+
+    /// `GNCG_PRUNE`: geometric pruning toggle (default on). Cached at
+    /// first read.
+    pub fn prune() -> bool {
+        static CACHE: OnceLock<bool> = OnceLock::new();
+        *CACHE.get_or_init(|| parse::prune_on(read("GNCG_PRUNE").as_deref()))
+    }
+
+    /// `GNCG_RESULTS_DIR`: report output directory override.
+    ///
+    /// **Deliberately uncached**: the report tests retarget the results
+    /// directory at runtime between saves, so this is re-read on every
+    /// call — the one variable with dynamic semantics.
+    pub fn results_dir() -> Option<PathBuf> {
+        read("GNCG_RESULTS_DIR").map(PathBuf::from)
+    }
+
+    /// `GNCG_PERF_RATIO`: perf-gate wall-time regression allowance
+    /// (default 1.5). Cached at first read.
+    pub fn perf_ratio() -> f64 {
+        static CACHE: OnceLock<f64> = OnceLock::new();
+        *CACHE.get_or_init(|| parse::perf_ratio(read("GNCG_PERF_RATIO").as_deref()))
+    }
+}
+
+/// One snapshot of every `GNCG_*` knob: what [`GncgConfig::from_env`]
+/// read, possibly adjusted through [`GncgConfig::builder`].
+///
+/// The struct is plain data; consumers decide what to do with each
+/// field. The `gncg-service` `Session` consumes `threads` and
+/// `budget_ms` directly; `fault_inject`, `trace`, and `prune` are
+/// process-global toggles that their owning crates initialize lazily
+/// from the same [`env`] accessors (use `gncg_trace::set_enabled`,
+/// `gncg_parallel::fault::set_injection_probability`, or an explicit
+/// `PruneMode` to override those at runtime).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GncgConfig {
+    /// Worker-thread count (`GNCG_THREADS`); `None` ⇒ machine default.
+    pub threads: Option<usize>,
+    /// Default solve budget in milliseconds (`GNCG_BUDGET_MS`); `None` ⇒
+    /// unlimited.
+    pub budget_ms: Option<u64>,
+    /// Injected-fault probability (`GNCG_FAULT_INJECT`); `None` ⇒ off.
+    pub fault_inject: Option<f64>,
+    /// Injected delay in ms (`GNCG_FAULT_INJECT_DELAY_MS`).
+    pub fault_inject_delay_ms: Option<u64>,
+    /// Observability gate (`GNCG_TRACE`).
+    pub trace: bool,
+    /// Geometric pruning toggle (`GNCG_PRUNE`, default on).
+    pub prune: bool,
+    /// Report output directory override (`GNCG_RESULTS_DIR`).
+    pub results_dir: Option<PathBuf>,
+    /// Perf-gate regression allowance (`GNCG_PERF_RATIO`, default 1.5).
+    pub perf_ratio: f64,
+}
+
+impl GncgConfig {
+    /// Snapshot the environment through the cached [`env`] accessors.
+    pub fn from_env() -> Self {
+        Self {
+            threads: env::threads(),
+            budget_ms: env::budget_ms(),
+            fault_inject: env::fault_inject(),
+            fault_inject_delay_ms: env::fault_inject_delay_ms(),
+            trace: env::trace(),
+            prune: env::prune(),
+            results_dir: env::results_dir(),
+            perf_ratio: env::perf_ratio(),
+        }
+    }
+
+    /// A builder seeded from the environment; override fields
+    /// programmatically, then [`GncgConfigBuilder::build`].
+    pub fn builder() -> GncgConfigBuilder {
+        GncgConfigBuilder {
+            config: Self::from_env(),
+        }
+    }
+}
+
+impl Default for GncgConfig {
+    /// All knobs at their unset/default values, ignoring the
+    /// environment: no thread override, unlimited budget, no fault
+    /// injection, tracing off, pruning on.
+    fn default() -> Self {
+        Self {
+            threads: None,
+            budget_ms: None,
+            fault_inject: None,
+            fault_inject_delay_ms: None,
+            trace: false,
+            prune: true,
+            results_dir: None,
+            perf_ratio: 1.5,
+        }
+    }
+}
+
+/// Programmatic overrides on top of an env-seeded [`GncgConfig`].
+#[derive(Debug, Clone)]
+pub struct GncgConfigBuilder {
+    config: GncgConfig,
+}
+
+impl GncgConfigBuilder {
+    /// Override the worker-thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = Some(threads);
+        self
+    }
+
+    /// Override the default solve budget (milliseconds).
+    pub fn budget_ms(mut self, ms: u64) -> Self {
+        self.config.budget_ms = Some(ms);
+        self
+    }
+
+    /// Clear the solve budget (unlimited), even when `GNCG_BUDGET_MS`
+    /// is set.
+    pub fn unlimited_budget(mut self) -> Self {
+        self.config.budget_ms = None;
+        self
+    }
+
+    /// Override the injected-fault probability.
+    pub fn fault_inject(mut self, p: f64) -> Self {
+        self.config.fault_inject = Some(p);
+        self
+    }
+
+    /// Override the observability gate.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.config.trace = on;
+        self
+    }
+
+    /// Override the pruning toggle.
+    pub fn prune(mut self, on: bool) -> Self {
+        self.config.prune = on;
+        self
+    }
+
+    /// Override the report output directory.
+    pub fn results_dir(mut self, dir: PathBuf) -> Self {
+        self.config.results_dir = Some(dir);
+        self
+    }
+
+    /// Finish the build.
+    pub fn build(self) -> GncgConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_parse_rules_are_frozen() {
+        assert!(parse::trace_on(Some("1")));
+        assert!(parse::trace_on(Some("true")));
+        assert!(parse::trace_on(Some("TRUE")));
+        assert!(parse::trace_on(Some("True")));
+        assert!(!parse::trace_on(Some("0")));
+        assert!(!parse::trace_on(Some("yes")));
+        assert!(!parse::trace_on(Some("")));
+        assert!(!parse::trace_on(None));
+    }
+
+    #[test]
+    fn prune_parse_rules_are_frozen() {
+        assert!(parse::prune_on(None));
+        assert!(parse::prune_on(Some("1")));
+        assert!(parse::prune_on(Some("true")));
+        assert!(parse::prune_on(Some("")));
+        assert!(parse::prune_on(Some("anything")));
+        assert!(!parse::prune_on(Some("0")));
+        assert!(!parse::prune_on(Some("false")));
+        assert!(!parse::prune_on(Some("FALSE")));
+        assert!(!parse::prune_on(Some("off")));
+        assert!(!parse::prune_on(Some("OFF")));
+    }
+
+    #[test]
+    fn numeric_parse_treats_garbage_as_unset() {
+        assert_eq!(parse::number::<usize>(Some("4")), Some(4));
+        assert_eq!(parse::number::<usize>(Some("four")), None);
+        assert_eq!(parse::number::<usize>(Some("")), None);
+        assert_eq!(parse::number::<usize>(None), None);
+        assert_eq!(parse::number::<u64>(Some("250")), Some(250));
+        assert_eq!(parse::number::<f64>(Some("0.02")), Some(0.02));
+    }
+
+    #[test]
+    fn perf_ratio_defaults_and_rejects_nonpositive() {
+        assert_eq!(parse::perf_ratio(None), 1.5);
+        assert_eq!(parse::perf_ratio(Some("2.0")), 2.0);
+        assert_eq!(parse::perf_ratio(Some("0")), 1.5);
+        assert_eq!(parse::perf_ratio(Some("-3")), 1.5);
+        assert_eq!(parse::perf_ratio(Some("fast")), 1.5);
+    }
+
+    #[test]
+    fn builder_overrides_stick() {
+        let c = GncgConfig::builder()
+            .threads(3)
+            .budget_ms(250)
+            .trace(true)
+            .prune(false)
+            .fault_inject(0.5)
+            .results_dir(PathBuf::from("/tmp/x"))
+            .build();
+        assert_eq!(c.threads, Some(3));
+        assert_eq!(c.budget_ms, Some(250));
+        assert!(c.trace);
+        assert!(!c.prune);
+        assert_eq!(c.fault_inject, Some(0.5));
+        assert_eq!(c.results_dir, Some(PathBuf::from("/tmp/x")));
+        let unlimited = GncgConfig::builder().unlimited_budget().build();
+        assert_eq!(unlimited.budget_ms, None);
+    }
+
+    #[test]
+    fn default_config_ignores_environment() {
+        let c = GncgConfig::default();
+        assert_eq!(c.threads, None);
+        assert_eq!(c.budget_ms, None);
+        assert_eq!(c.fault_inject, None);
+        assert!(!c.trace);
+        assert!(c.prune);
+        assert_eq!(c.perf_ratio, 1.5);
+    }
+
+    #[test]
+    fn results_dir_is_dynamic() {
+        // the one accessor that must re-read the environment per call:
+        // retarget, observe, restore
+        let key = "GNCG_RESULTS_DIR";
+        let before = std::env::var(key).ok();
+        std::env::set_var(key, "/tmp/gncg_cfg_a");
+        assert_eq!(env::results_dir(), Some(PathBuf::from("/tmp/gncg_cfg_a")));
+        std::env::set_var(key, "/tmp/gncg_cfg_b");
+        assert_eq!(env::results_dir(), Some(PathBuf::from("/tmp/gncg_cfg_b")));
+        match before {
+            Some(v) => std::env::set_var(key, v),
+            None => std::env::remove_var(key),
+        }
+    }
+}

@@ -297,9 +297,44 @@ impl<'d> ResponseEvaluator<'d> {
 /// Exact best response of agent `u` against the fixed strategies of all
 /// other agents in `net`.
 ///
-/// Panics if `n > MAX_EXACT_AGENTS` — use
-/// [`crate::moves::local_search_response`] beyond that.
+/// Runs the `2^{n−1}` enumeration under the budget in `opts` (unlimited
+/// by default) and degrades to [`best_response_lower_bound`] (always
+/// ≤ the true best-response cost, so improvement factors built on it can
+/// only over-estimate instability — the sound direction) when the
+/// instance exceeds [`MAX_EXACT_AGENTS`], the budget runs out, or the
+/// solve panics. Use [`crate::moves::local_search_response`] for a
+/// heuristic response beyond the cap.
 pub fn exact_best_response<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+    opts: &crate::outcome::SolveOptions,
+) -> crate::outcome::Outcome<BestResponse> {
+    use crate::outcome::{attempt, DegradeReason, Outcome};
+    let n = net.len();
+    if n > MAX_EXACT_AGENTS {
+        return Outcome::Degraded {
+            certified_bound: best_response_lower_bound(w, u),
+            reason: DegradeReason::InstanceTooLarge {
+                n,
+                cap: MAX_EXACT_AGENTS,
+            },
+        };
+    }
+    match attempt(&opts.budget, || exact_best_response_raw(w, net, alpha, u)) {
+        Ok(br) => Outcome::Exact(br),
+        Err(reason) => Outcome::Degraded {
+            certified_bound: best_response_lower_bound(w, u),
+            reason,
+        },
+    }
+}
+
+/// Unbudgeted enumeration body of [`exact_best_response`]; panics if
+/// `n > MAX_EXACT_AGENTS`. Internal callers (Nash verification, the
+/// reference dynamics, the improvement-factor map) run it directly.
+pub(crate) fn exact_best_response_raw<W: EdgeWeights + ?Sized>(
     w: &W,
     net: &OwnedNetwork,
     alpha: f64,
@@ -476,11 +511,8 @@ pub fn best_response_lower_bound<W: EdgeWeights + ?Sized>(w: &W, u: usize) -> f6
         .sum()
 }
 
-/// Budgeted [`exact_best_response`]: runs the `2^{n−1}` enumeration
-/// under `budget` and degrades to [`best_response_lower_bound`] (always
-/// ≤ the true best-response cost, so improvement factors built on it
-/// can only over-estimate instability — the sound direction) when the
-/// instance exceeds the cap, the budget runs out, or the solve panics.
+/// Deprecated shim for the old `exact_best_response`/`_budgeted` pair.
+#[deprecated(note = "use `exact_best_response` with `SolveOptions::budgeted(budget)`")]
 pub fn exact_best_response_budgeted<W: EdgeWeights + ?Sized>(
     w: &W,
     net: &OwnedNetwork,
@@ -488,24 +520,13 @@ pub fn exact_best_response_budgeted<W: EdgeWeights + ?Sized>(
     u: usize,
     budget: &gncg_parallel::Budget,
 ) -> crate::outcome::Outcome<BestResponse> {
-    use crate::outcome::{attempt, DegradeReason, Outcome};
-    let n = net.len();
-    if n > MAX_EXACT_AGENTS {
-        return Outcome::Degraded {
-            certified_bound: best_response_lower_bound(w, u),
-            reason: DegradeReason::InstanceTooLarge {
-                n,
-                cap: MAX_EXACT_AGENTS,
-            },
-        };
-    }
-    match attempt(budget, || exact_best_response(w, net, alpha, u)) {
-        Ok(br) => Outcome::Exact(br),
-        Err(reason) => Outcome::Degraded {
-            certified_bound: best_response_lower_bound(w, u),
-            reason,
-        },
-    }
+    exact_best_response(
+        w,
+        net,
+        alpha,
+        u,
+        &crate::outcome::SolveOptions::budgeted(budget),
+    )
 }
 
 /// Exact improvement factor of agent `u`:
@@ -520,7 +541,7 @@ pub fn exact_improvement_factor<W: EdgeWeights + ?Sized>(
     u: usize,
 ) -> f64 {
     let now = cost::agent_cost(w, net, alpha, u);
-    let br = exact_best_response(w, net, alpha, u);
+    let br = exact_best_response_raw(w, net, alpha, u);
     ratio(now, br.cost)
 }
 
@@ -546,7 +567,7 @@ mod tests {
         // a star centred at 0 has nothing cheaper than staying put
         let ps = generators::line(3, 2.0);
         let net = OwnedNetwork::center_star(3, 0);
-        let br = exact_best_response(&ps, &net, 0.5, 1);
+        let br = exact_best_response_raw(&ps, &net, 0.5, 1);
         // agent 1 current cost: d=1 (to 0) + 3 (to 2 via 0) = 4
         // buying edge to 2 (w=1) costs 0.5, distance becomes 1+1=2 => 2.5
         assert!((br.cost - 2.5).abs() < 1e-9);
@@ -561,7 +582,7 @@ mod tests {
         net.buy(0, 1);
         net.buy(2, 1);
         // agent 1 owns nothing and is connected: BR may be empty
-        let br = exact_best_response(&ps, &net, 10.0, 1);
+        let br = exact_best_response_raw(&ps, &net, 10.0, 1);
         assert!(br.strategy.is_empty());
         assert!((br.cost - 2.0).abs() < 1e-9);
     }
@@ -571,7 +592,7 @@ mod tests {
         let ps = generators::line(3, 2.0);
         let mut net = OwnedNetwork::empty(3);
         net.buy(0, 1); // 2 is isolated
-        let br = exact_best_response(&ps, &net, 1.0, 2);
+        let br = exact_best_response_raw(&ps, &net, 1.0, 2);
         assert!(!br.strategy.is_empty());
         assert!(br.cost.is_finite());
         // optimal: buy edge to 1 (w=1): cost 1*1 + (1 + 2) = 4
@@ -609,7 +630,7 @@ mod tests {
             }
             let alpha = 0.5 + rng.gen::<f64>() * 3.0;
             for u in 0..n {
-                let fast = exact_best_response(&ps, &net, alpha, u);
+                let fast = exact_best_response_raw(&ps, &net, alpha, u);
                 let slow = naive_best_response(&ps, &net, alpha, u);
                 assert!(
                     (fast.cost - slow).abs() < 1e-9,
@@ -669,7 +690,7 @@ mod tests {
                 let b = built.cost(alpha, current.iter().copied());
                 assert_eq!(a.to_bits(), b.to_bits(), "trial {trial} agent {u}");
                 assert_eq!(
-                    exact_best_response(&ps, &net, alpha, u),
+                    exact_best_response_raw(&ps, &net, alpha, u),
                     exact_best_response_in_graph(&ps, &net, &g, alpha, u),
                 );
             }
@@ -749,9 +770,29 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "limited to")]
-    fn too_many_agents_rejected() {
+    fn too_many_agents_rejected_by_raw() {
         let ps = generators::uniform_unit_square(30, 1);
         let net = OwnedNetwork::complete(30);
-        exact_best_response(&ps, &net, 1.0, 0);
+        exact_best_response_raw(&ps, &net, 1.0, 0);
+    }
+
+    #[test]
+    fn merged_entry_matches_raw_and_degrades_on_oversized() {
+        use crate::outcome::{DegradeReason, Outcome, SolveOptions};
+        let ps = generators::uniform_unit_square(6, 9);
+        let net = OwnedNetwork::center_star(6, 0);
+        let merged =
+            exact_best_response(&ps, &net, 1.2, 3, &SolveOptions::default()).expect_exact("br");
+        assert_eq!(merged, exact_best_response_raw(&ps, &net, 1.2, 3));
+
+        let big = generators::uniform_unit_square(30, 1);
+        let big_net = OwnedNetwork::complete(30);
+        match exact_best_response(&big, &big_net, 1.0, 0, &SolveOptions::default()) {
+            Outcome::Degraded {
+                certified_bound,
+                reason: DegradeReason::InstanceTooLarge { n: 30, .. },
+            } => assert!(certified_bound.is_finite()),
+            other => panic!("expected TooLarge degradation, got {other:?}"),
+        }
     }
 }

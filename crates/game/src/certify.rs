@@ -24,8 +24,8 @@ use gncg_graph::Graph;
 use gncg_json::{object, ToJson, Value};
 use gncg_parallel::Budget;
 
-/// What the certifier should compute.
-#[derive(Debug, Clone, Copy)]
+/// What the certifier should compute, and under which budget.
+#[derive(Debug, Clone)]
 pub struct CertifyOptions {
     /// Compute exact β via exact best responses (exponential; silently
     /// skipped — `beta_exact = None` — when n exceeds the enumeration
@@ -36,6 +36,11 @@ pub struct CertifyOptions {
     pub exact_gamma: bool,
     /// Compute the local-search instability witness.
     pub witness: bool,
+    /// Budget for the *exponential* parts (exact β, exact optimum). All
+    /// constructors take it from `GNCG_BUDGET_MS` ([`Budget::from_env`],
+    /// unlimited when the variable is unset) — the historical `certify`
+    /// behaviour; override with [`CertifyOptions::with_budget`].
+    pub budget: Budget,
 }
 
 impl Default for CertifyOptions {
@@ -44,6 +49,7 @@ impl Default for CertifyOptions {
             exact_beta: false,
             exact_gamma: false,
             witness: true,
+            budget: Budget::from_env(),
         }
     }
 }
@@ -55,6 +61,7 @@ impl CertifyOptions {
             exact_beta: true,
             exact_gamma: true,
             witness: true,
+            ..Self::default()
         }
     }
 
@@ -64,7 +71,14 @@ impl CertifyOptions {
             exact_beta: false,
             exact_gamma: false,
             witness: false,
+            ..Self::default()
         }
+    }
+
+    /// Replace the budget (builder style).
+    pub fn with_budget(mut self, budget: &Budget) -> Self {
+        self.budget = budget.clone();
+        self
     }
 }
 
@@ -254,19 +268,9 @@ pub fn beta_upper<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64
     ups.into_iter().fold(1.0f64, f64::max)
 }
 
-/// Produce the full certification report under the process-wide budget
-/// (`GNCG_BUDGET_MS`, unlimited when unset) — see [`certify_budgeted`].
-pub fn certify<W: EdgeWeights + ?Sized>(
-    w: &W,
-    net: &OwnedNetwork,
-    alpha: f64,
-    opts: CertifyOptions,
-) -> CertifyReport {
-    certify_budgeted(w, net, alpha, opts, &Budget::from_env())
-}
-
 /// Produce the full certification report, running the *exponential*
-/// parts (exact β, exact optimum) under `budget`.
+/// parts (exact β, exact optimum) under `opts.budget` (`GNCG_BUDGET_MS`
+/// via the default constructors, unlimited when unset).
 ///
 /// The polynomial certified bounds and the witness are always computed
 /// (they are the fallback, and cost a few parallel Dijkstra sweeps). A
@@ -276,14 +280,14 @@ pub fn certify<W: EdgeWeights + ?Sized>(
 /// which regime produced each headline number and `degrade_reasons`
 /// records why. The certified numbers remain sound either way: reported
 /// β/γ bounds are always ≥ the true values.
-pub fn certify_budgeted<W: EdgeWeights + ?Sized>(
+pub fn certify<W: EdgeWeights + ?Sized>(
     w: &W,
     net: &OwnedNetwork,
     alpha: f64,
     opts: CertifyOptions,
-    budget: &Budget,
 ) -> CertifyReport {
     let _span = gncg_trace::span("game.certify");
+    let budget = &opts.budget;
     let n = net.len();
     assert_eq!(n, w.len());
     // one shared evaluation context: the graph is built once and every
@@ -308,7 +312,7 @@ pub fn certify_budgeted<W: EdgeWeights + ?Sized>(
 
     let beta_exact = if opts.exact_beta {
         if n <= best_response::MAX_EXACT_AGENTS {
-            match outcome::attempt(budget, || exact::exact_beta(w, net, alpha)) {
+            match outcome::attempt(budget, || exact::exact_beta_raw(w, net, alpha)) {
                 Ok(b) => Some(b),
                 Err(reason) => {
                     record("beta", reason);
@@ -346,7 +350,9 @@ pub fn certify_budgeted<W: EdgeWeights + ?Sized>(
     let opt_lb = optimum_lower_bound(w, alpha);
     let opt_exact = if opts.exact_gamma {
         if n <= exact::MAX_EXACT_OPT_AGENTS {
-            match outcome::attempt(budget, || exact::exact_social_optimum(w, alpha).social_cost) {
+            match outcome::attempt(budget, || {
+                exact::exact_social_optimum_raw(w, alpha).social_cost
+            }) {
                 Ok(o) => Some(o),
                 Err(reason) => {
                     record("gamma", reason);
@@ -392,9 +398,22 @@ pub fn certify_budgeted<W: EdgeWeights + ?Sized>(
     }
 }
 
+/// Deprecated shim for the old `certify`/`certify_budgeted` pair.
+#[deprecated(note = "use `certify` with `CertifyOptions::with_budget(budget)`")]
+pub fn certify_budgeted<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    opts: CertifyOptions,
+    budget: &Budget,
+) -> CertifyReport {
+    certify(w, net, alpha, opts.with_budget(budget))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::outcome::SolveOptions;
     use gncg_geometry::generators;
 
     #[test]
@@ -465,7 +484,9 @@ mod tests {
             let ps = generators::uniform_unit_square(6, seed);
             for alpha in [0.3, 1.0, 5.0] {
                 let lb = optimum_lower_bound(&ps, alpha);
-                let opt = exact::exact_social_optimum(&ps, alpha).social_cost;
+                let opt = exact::exact_social_optimum(&ps, alpha, &SolveOptions::default())
+                    .expect_exact("optimum")
+                    .social_cost;
                 assert!(lb <= opt + 1e-9, "seed {seed} alpha {alpha}: {lb} > {opt}");
             }
         }
@@ -489,12 +510,11 @@ mod tests {
             }
             let alpha = 0.5 + rng.gen::<f64>() * 2.0;
 
-            let truth = certify_budgeted(
+            let truth = certify(
                 &ps,
                 &net,
                 alpha,
-                CertifyOptions::exact(),
-                &gncg_parallel::Budget::unlimited(),
+                CertifyOptions::exact().with_budget(&gncg_parallel::Budget::unlimited()),
             );
             assert_eq!(truth.beta_regime, crate::Regime::Exact);
             assert_eq!(truth.gamma_regime, crate::Regime::Exact);
@@ -502,7 +522,7 @@ mod tests {
 
             let dead = gncg_parallel::Budget::unlimited();
             dead.cancel();
-            let degraded = certify_budgeted(&ps, &net, alpha, CertifyOptions::exact(), &dead);
+            let degraded = certify(&ps, &net, alpha, CertifyOptions::exact().with_budget(&dead));
             assert_eq!(degraded.beta_regime, crate::Regime::Certified);
             assert_eq!(degraded.gamma_regime, crate::Regime::Certified);
             assert!(degraded.beta_exact.is_none() && degraded.gamma_exact.is_none());
@@ -541,12 +561,14 @@ mod tests {
         dead.cancel();
 
         // social optimum: exact within budget, sound lower bound without
-        let exact_opt = exact::exact_social_optimum(&ps, alpha).social_cost;
-        match exact::exact_social_optimum_budgeted(&ps, alpha, &ok) {
+        let exact_opt = exact::exact_social_optimum(&ps, alpha, &SolveOptions::default())
+            .expect_exact("optimum")
+            .social_cost;
+        match exact::exact_social_optimum(&ps, alpha, &SolveOptions::budgeted(&ok)) {
             crate::Outcome::Exact(o) => assert!((o.social_cost - exact_opt).abs() < 1e-12),
             other => panic!("unlimited budget must stay exact, got {other:?}"),
         }
-        match exact::exact_social_optimum_budgeted(&ps, alpha, &dead) {
+        match exact::exact_social_optimum(&ps, alpha, &SolveOptions::budgeted(&dead)) {
             crate::Outcome::Degraded {
                 certified_bound,
                 reason,
@@ -559,8 +581,17 @@ mod tests {
         }
 
         // best response: degraded bound never exceeds the true BR cost
-        let br_true = best_response::exact_best_response(&ps, &net, alpha, 2).cost;
-        match best_response::exact_best_response_budgeted(&ps, &net, alpha, 2, &dead) {
+        let br_true =
+            best_response::exact_best_response(&ps, &net, alpha, 2, &SolveOptions::default())
+                .expect_exact("best response")
+                .cost;
+        match best_response::exact_best_response(
+            &ps,
+            &net,
+            alpha,
+            2,
+            &SolveOptions::budgeted(&dead),
+        ) {
             crate::Outcome::Degraded {
                 certified_bound, ..
             } => assert!(certified_bound <= br_true + 1e-9),
@@ -568,14 +599,14 @@ mod tests {
         }
 
         // beta: degraded bound never undercuts the true beta
-        let beta_true = exact::exact_beta(&ps, &net, alpha);
-        match exact::exact_beta_budgeted(&ps, &net, alpha, &dead) {
+        let beta_true = exact::exact_beta_raw(&ps, &net, alpha);
+        match exact::exact_beta(&ps, &net, alpha, &SolveOptions::budgeted(&dead)) {
             crate::Outcome::Degraded {
                 certified_bound, ..
             } => assert!(certified_bound >= beta_true - 1e-9),
             other => panic!("dead budget must degrade, got {other:?}"),
         }
-        match exact::exact_beta_budgeted(&ps, &net, alpha, &ok) {
+        match exact::exact_beta(&ps, &net, alpha, &SolveOptions::budgeted(&ok)) {
             crate::Outcome::Exact(b) => assert!((b - beta_true).abs() < 1e-12),
             other => panic!("unlimited budget must stay exact, got {other:?}"),
         }
@@ -589,7 +620,7 @@ mod tests {
         let ps = generators::uniform_unit_square(30, 9);
         let net = OwnedNetwork::center_star(30, 0);
         let b = gncg_parallel::Budget::unlimited();
-        match exact::exact_beta_budgeted(&ps, &net, 1.0, &b) {
+        match exact::exact_beta(&ps, &net, 1.0, &SolveOptions::budgeted(&b)) {
             crate::Outcome::Degraded { reason, .. } => {
                 assert!(matches!(
                     reason,
@@ -598,7 +629,7 @@ mod tests {
             }
             other => panic!("expected TooLarge, got {other:?}"),
         }
-        match exact::exact_social_optimum_budgeted(&ps, 1.0, &b) {
+        match exact::exact_social_optimum(&ps, 1.0, &SolveOptions::budgeted(&b)) {
             crate::Outcome::Degraded {
                 certified_bound, ..
             } => assert!(certified_bound.is_finite() && certified_bound > 0.0),
@@ -615,7 +646,7 @@ mod tests {
         let ps = generators::uniform_unit_square(7, 5);
         let budget = gncg_parallel::Budget::with_limit(Duration::from_millis(1));
         let t0 = Instant::now();
-        let out = exact::exact_social_optimum_budgeted(&ps, 10.0, &budget);
+        let out = exact::exact_social_optimum(&ps, 10.0, &SolveOptions::budgeted(&budget));
         let elapsed = t0.elapsed();
         assert!(
             elapsed < Duration::from_secs(10),

@@ -287,7 +287,7 @@ pub fn run_ordered_reference<W: EdgeWeights + ?Sized>(
         let now = cost::agent_cost(w, state, alpha, u);
         match rule {
             ResponseRule::BestResponse => {
-                let br = best_response::exact_best_response(w, state, alpha, u);
+                let br = best_response::exact_best_response_raw(w, state, alpha, u);
                 gncg_geometry::definitely_less(br.cost, now).then_some((br.strategy, now - br.cost))
             }
             ResponseRule::BestSingleMove => {

@@ -12,7 +12,7 @@
 //! best-response engine ([`crate::prune`]) — bit-identical under either
 //! setting of the toggle.
 
-use crate::outcome::{self, DegradeReason, Outcome};
+use crate::outcome::{self, DegradeReason, Outcome, SolveOptions};
 use crate::{best_response, certify, cost, EdgeWeights, OwnedNetwork};
 use gncg_graph::Graph;
 use gncg_parallel::Budget;
@@ -32,8 +32,40 @@ pub struct ExactOptimum {
 
 /// Exhaustively compute the social optimum network `OPT_P`.
 ///
-/// Panics when `n > MAX_EXACT_OPT_AGENTS`.
-pub fn exact_social_optimum<W: EdgeWeights + ?Sized>(w: &W, alpha: f64) -> ExactOptimum {
+/// Runs the `2^{n(n−1)/2}`-mask enumeration under the budget in `opts`
+/// (unlimited by default) and degrades to the certified lower bound
+/// ([`certify::optimum_lower_bound`], always ≤ the true optimum cost)
+/// when the instance exceeds [`MAX_EXACT_OPT_AGENTS`], the budget runs
+/// out, or the solve panics. Never panics and never blocks past the
+/// budget by more than a few scheduling chunks.
+pub fn exact_social_optimum<W: EdgeWeights + ?Sized>(
+    w: &W,
+    alpha: f64,
+    opts: &SolveOptions,
+) -> Outcome<ExactOptimum> {
+    let n = w.len();
+    if n > MAX_EXACT_OPT_AGENTS {
+        return Outcome::Degraded {
+            certified_bound: certify::optimum_lower_bound(w, alpha),
+            reason: DegradeReason::InstanceTooLarge {
+                n,
+                cap: MAX_EXACT_OPT_AGENTS,
+            },
+        };
+    }
+    match outcome::attempt(&opts.budget, || exact_social_optimum_raw(w, alpha)) {
+        Ok(opt) => Outcome::Exact(opt),
+        Err(reason) => Outcome::Degraded {
+            certified_bound: certify::optimum_lower_bound(w, alpha),
+            reason,
+        },
+    }
+}
+
+/// Unbudgeted enumeration body of [`exact_social_optimum`]; panics when
+/// `n > MAX_EXACT_OPT_AGENTS`. Internal callers run it under
+/// [`outcome::attempt`] themselves to avoid recomputing fallbacks.
+pub(crate) fn exact_social_optimum_raw<W: EdgeWeights + ?Sized>(w: &W, alpha: f64) -> ExactOptimum {
     let n = w.len();
     assert!(
         n <= MAX_EXACT_OPT_AGENTS,
@@ -90,54 +122,28 @@ pub fn exact_social_optimum<W: EdgeWeights + ?Sized>(w: &W, alpha: f64) -> Exact
     }
 }
 
-/// Budgeted [`exact_social_optimum`]: runs the enumeration under
-/// `budget` and degrades to the certified lower bound
-/// ([`certify::optimum_lower_bound`], always ≤ the true optimum cost)
-/// when the instance exceeds the cap, the budget runs out, or the solve
-/// panics. Never panics and never blocks past the budget by more than a
-/// few scheduling chunks.
+/// Deprecated shim for the old `exact_social_optimum`/`_budgeted` pair.
+#[deprecated(note = "use `exact_social_optimum` with `SolveOptions::budgeted(budget)`")]
 pub fn exact_social_optimum_budgeted<W: EdgeWeights + ?Sized>(
     w: &W,
     alpha: f64,
     budget: &Budget,
 ) -> Outcome<ExactOptimum> {
-    let n = w.len();
-    if n > MAX_EXACT_OPT_AGENTS {
-        return Outcome::Degraded {
-            certified_bound: certify::optimum_lower_bound(w, alpha),
-            reason: DegradeReason::InstanceTooLarge {
-                n,
-                cap: MAX_EXACT_OPT_AGENTS,
-            },
-        };
-    }
-    match outcome::attempt(budget, || exact_social_optimum(w, alpha)) {
-        Ok(opt) => Outcome::Exact(opt),
-        Err(reason) => Outcome::Degraded {
-            certified_bound: certify::optimum_lower_bound(w, alpha),
-            reason,
-        },
-    }
+    exact_social_optimum(w, alpha, &SolveOptions::budgeted(budget))
 }
 
 /// Exact β of a profile: the maximum over agents of
-/// `cost(u, G)/cost(u, best response)`. Exponential per agent.
-pub fn exact_beta<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64) -> f64 {
-    let factors = gncg_parallel::parallel_map(net.len(), |u| {
-        best_response::exact_improvement_factor(w, net, alpha, u)
-    });
-    factors.into_iter().fold(1.0, f64::max)
-}
-
-/// Budgeted [`exact_beta`]: degrades to the certified upper bound
-/// ([`certify::beta_upper`], always ≥ the true β, so the profile *is* a
-/// β-NE for the reported value) when the instance exceeds the
-/// enumeration cap, the budget runs out, or the solve panics.
-pub fn exact_beta_budgeted<W: EdgeWeights + ?Sized>(
+/// `cost(u, G)/cost(u, best response)`. Exponential per agent; the
+/// enumeration runs under the budget in `opts` (unlimited by default)
+/// and degrades to the certified upper bound ([`certify::beta_upper`],
+/// always ≥ the true β, so the profile *is* a β-NE for the reported
+/// value) when the instance exceeds the enumeration cap, the budget
+/// runs out, or the solve panics.
+pub fn exact_beta<W: EdgeWeights + ?Sized>(
     w: &W,
     net: &OwnedNetwork,
     alpha: f64,
-    budget: &Budget,
+    opts: &SolveOptions,
 ) -> Outcome<f64> {
     let n = net.len();
     if n > best_response::MAX_EXACT_AGENTS {
@@ -149,7 +155,7 @@ pub fn exact_beta_budgeted<W: EdgeWeights + ?Sized>(
             },
         };
     }
-    match outcome::attempt(budget, || exact_beta(w, net, alpha)) {
+    match outcome::attempt(&opts.budget, || exact_beta_raw(w, net, alpha)) {
         Ok(beta) => Outcome::Exact(beta),
         Err(reason) => Outcome::Degraded {
             certified_bound: certify::beta_upper(w, net, alpha),
@@ -158,12 +164,36 @@ pub fn exact_beta_budgeted<W: EdgeWeights + ?Sized>(
     }
 }
 
+/// Unbudgeted enumeration body of [`exact_beta`]; panics past the
+/// per-agent enumeration cap.
+pub(crate) fn exact_beta_raw<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+) -> f64 {
+    let factors = gncg_parallel::parallel_map(net.len(), |u| {
+        best_response::exact_improvement_factor(w, net, alpha, u)
+    });
+    factors.into_iter().fold(1.0, f64::max)
+}
+
+/// Deprecated shim for the old `exact_beta`/`_budgeted` pair.
+#[deprecated(note = "use `exact_beta` with `SolveOptions::budgeted(budget)`")]
+pub fn exact_beta_budgeted<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    budget: &Budget,
+) -> Outcome<f64> {
+    exact_beta(w, net, alpha, &SolveOptions::budgeted(budget))
+}
+
 /// Is the profile an exact (pure) Nash equilibrium? True iff no agent can
 /// improve beyond floating-point noise.
 pub fn is_nash<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64) -> bool {
     (0..net.len()).all(|u| {
         let now = cost::agent_cost(w, net, alpha, u);
-        let br = best_response::exact_best_response(w, net, alpha, u);
+        let br = best_response::exact_best_response_raw(w, net, alpha, u);
         !gncg_geometry::definitely_less(br.cost, now)
     })
 }
@@ -173,10 +203,14 @@ mod tests {
     use super::*;
     use gncg_geometry::generators;
 
+    fn optimum(ps: &impl EdgeWeights, alpha: f64) -> ExactOptimum {
+        exact_social_optimum(ps, alpha, &SolveOptions::default()).expect_exact("optimum")
+    }
+
     #[test]
     fn optimum_on_two_points_is_single_edge() {
         let ps = generators::line(2, 3.0);
-        let opt = exact_social_optimum(&ps, 1.0);
+        let opt = optimum(&ps, 1.0);
         assert_eq!(opt.graph.num_edges(), 1);
         // SC = alpha*3 + 2*3 = 9
         assert!((opt.social_cost - 9.0).abs() < 1e-9);
@@ -187,7 +221,7 @@ mod tests {
         // three collinear points: the long edge 0-2 is never optimal for
         // large alpha
         let ps = generators::line(3, 2.0);
-        let opt = exact_social_optimum(&ps, 10.0);
+        let opt = optimum(&ps, 10.0);
         assert!(opt.graph.has_edge(0, 1));
         assert!(opt.graph.has_edge(1, 2));
         assert!(!opt.graph.has_edge(0, 2));
@@ -196,7 +230,7 @@ mod tests {
     #[test]
     fn optimum_is_complete_for_tiny_alpha() {
         let ps = generators::uniform_unit_square(5, 8);
-        let opt = exact_social_optimum(&ps, 1e-6);
+        let opt = optimum(&ps, 1e-6);
         assert_eq!(opt.graph.num_edges(), 10);
     }
 
@@ -204,7 +238,7 @@ mod tests {
     fn optimum_beats_mst_and_complete() {
         let ps = generators::uniform_unit_square(6, 15);
         for alpha in [0.5, 2.0, 8.0] {
-            let opt = exact_social_optimum(&ps, alpha);
+            let opt = optimum(&ps, alpha);
             let mst = gncg_graph::mst::euclidean_mst(&ps);
             let complete = Graph::complete(6, |i, j| ps.dist(i, j));
             assert!(
@@ -224,7 +258,8 @@ mod tests {
         let mut net = OwnedNetwork::empty(2);
         net.buy(0, 1);
         assert!(is_nash(&ps, &net, 1.0));
-        assert!((exact_beta(&ps, &net, 1.0) - 1.0).abs() < 1e-9);
+        let beta = exact_beta(&ps, &net, 1.0, &SolveOptions::default()).expect_exact("beta");
+        assert!((beta - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -233,7 +268,7 @@ mod tests {
         let ps = generators::line(3, 2.0);
         let net = OwnedNetwork::center_star(3, 0);
         assert!(!is_nash(&ps, &net, 0.1));
-        assert!(exact_beta(&ps, &net, 0.1) > 1.0);
+        assert!(exact_beta_raw(&ps, &net, 0.1) > 1.0);
     }
 
     #[test]
@@ -246,8 +281,37 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "limited to")]
-    fn too_many_agents_for_exact_opt() {
+    fn too_many_agents_for_raw_exact_opt() {
         let ps = generators::uniform_unit_square(12, 1);
-        exact_social_optimum(&ps, 1.0);
+        exact_social_optimum_raw(&ps, 1.0);
+    }
+
+    #[test]
+    fn merged_entry_degrades_instead_of_panicking_on_oversized() {
+        let ps = generators::uniform_unit_square(12, 1);
+        match exact_social_optimum(&ps, 1.0, &SolveOptions::default()) {
+            Outcome::Degraded {
+                certified_bound,
+                reason: DegradeReason::InstanceTooLarge { n: 12, .. },
+            } => assert!(certified_bound.is_finite() && certified_bound > 0.0),
+            other => panic!("expected TooLarge degradation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_budgeted_shims_still_work() {
+        let ps = generators::uniform_unit_square(5, 3);
+        let net = OwnedNetwork::complete(5);
+        let b = Budget::unlimited();
+        let via_shim = exact_beta_budgeted(&ps, &net, 1.0, &b).expect_exact("beta");
+        let via_merged =
+            exact_beta(&ps, &net, 1.0, &SolveOptions::budgeted(&b)).expect_exact("beta");
+        assert_eq!(via_shim.to_bits(), via_merged.to_bits());
+        let opt_shim = exact_social_optimum_budgeted(&ps, 1.0, &b).expect_exact("opt");
+        assert_eq!(
+            opt_shim.social_cost.to_bits(),
+            optimum(&ps, 1.0).social_cost.to_bits()
+        );
     }
 }

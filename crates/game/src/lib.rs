@@ -44,7 +44,7 @@ pub mod prune;
 
 pub use eval::EvalContext;
 pub use network::OwnedNetwork;
-pub use outcome::{DegradeReason, Outcome, Regime};
+pub use outcome::{DegradeReason, Outcome, Regime, SolveOptions};
 pub use prune::PruneMode;
 
 use gncg_geometry::PointSet;

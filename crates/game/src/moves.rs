@@ -478,7 +478,7 @@ pub fn witness_improvement_factor_with_now<W: EdgeWeights + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::best_response::exact_best_response;
+    use crate::best_response::exact_best_response_raw;
     use gncg_geometry::generators;
 
     #[test]
@@ -576,7 +576,7 @@ mod tests {
             let alpha = 0.5 + rng.gen::<f64>() * 2.0;
             for u in 0..n {
                 let ls = local_search_response(&ps, &net, alpha, u, 20);
-                let ex = exact_best_response(&ps, &net, alpha, u);
+                let ex = exact_best_response_raw(&ps, &net, alpha, u);
                 assert!(
                     ls.cost >= ex.cost - 1e-9,
                     "local search beat exact?! {} < {}",

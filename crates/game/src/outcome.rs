@@ -2,10 +2,11 @@
 //!
 //! Exact best response and exact social optimum are NP-hard; on a long
 //! unattended sweep an over-budget exact solve must not abort the run.
-//! The budgeted solver variants ([`crate::exact::exact_social_optimum_budgeted`],
-//! [`crate::best_response::exact_best_response_budgeted`],
-//! [`crate::certify::certify_budgeted`]) run the exponential enumeration
-//! under a [`Budget`] and return an [`Outcome`]:
+//! The exact solvers ([`crate::exact::exact_social_optimum`],
+//! [`crate::exact::exact_beta`],
+//! [`crate::best_response::exact_best_response`]) run the exponential
+//! enumeration under the [`Budget`] in their [`SolveOptions`] (unlimited
+//! by default) and return an [`Outcome`]:
 //!
 //! * [`Outcome::Exact`] — the enumeration finished inside the budget;
 //!   the value is the true optimum/best response.
@@ -74,10 +75,58 @@ pub enum Outcome<T> {
     },
 }
 
+/// Options shared by the merged exact-solver entry points
+/// ([`crate::exact::exact_social_optimum`], [`crate::exact::exact_beta`],
+/// [`crate::best_response::exact_best_response`]): currently just the
+/// [`Budget`] the exponential enumeration runs under, defaulting to
+/// unlimited (the historical un-budgeted behaviour).
+#[derive(Debug, Clone, Default)]
+pub struct SolveOptions {
+    /// Budget for the exponential part of the solve. Unlimited by
+    /// default; an exhausted budget degrades the [`Outcome`] to the
+    /// certified fallback bound instead of returning partial garbage.
+    pub budget: Budget,
+}
+
+impl SolveOptions {
+    /// Explicitly-unlimited options (same as `Default`).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Options running the solve under (a clone of) `budget`.
+    pub fn budgeted(budget: &Budget) -> Self {
+        Self {
+            budget: budget.clone(),
+        }
+    }
+
+    /// Options under the process-wide `GNCG_BUDGET_MS` budget
+    /// (unlimited when the variable is unset).
+    pub fn from_env() -> Self {
+        Self {
+            budget: Budget::from_env(),
+        }
+    }
+}
+
 impl<T> Outcome<T> {
     /// Did the exact path complete?
     pub fn is_exact(&self) -> bool {
         matches!(self, Outcome::Exact(_))
+    }
+
+    /// The exact value, panicking with the degrade reason when the solve
+    /// degraded. For callers (tests, benches, small-instance tools) that
+    /// require the exact answer and treat degradation as a bug.
+    #[track_caller]
+    pub fn expect_exact(self, what: &str) -> T {
+        match self {
+            Outcome::Exact(v) => v,
+            Outcome::Degraded { reason, .. } => {
+                panic!("{what}: exact solve degraded: {reason}")
+            }
+        }
     }
 
     /// The exact value, if the exact path completed.

@@ -89,7 +89,11 @@ impl PruneMode {
             ON => PruneMode::On,
             OFF => PruneMode::Off,
             _ => {
-                let mode = parse_env(std::env::var("GNCG_PRUNE").ok().as_deref());
+                let mode = if gncg_config::env::prune() {
+                    PruneMode::On
+                } else {
+                    PruneMode::Off
+                };
                 STATE.store(if mode.is_on() { ON } else { OFF }, Ordering::Relaxed);
                 mode
             }
@@ -98,12 +102,14 @@ impl PruneMode {
 }
 
 /// `GNCG_PRUNE` parsing, separated from the cached getter for testing.
+/// Delegates to the shared rule in [`gncg_config::parse::prune_on`] so
+/// the env semantics have exactly one definition.
+#[cfg(test)]
 pub(crate) fn parse_env(value: Option<&str>) -> PruneMode {
-    match value {
-        Some(v) if v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off") => {
-            PruneMode::Off
-        }
-        _ => PruneMode::On,
+    if gncg_config::parse::prune_on(value) {
+        PruneMode::On
+    } else {
+        PruneMode::Off
     }
 }
 

@@ -51,11 +51,13 @@ pub fn probe_poa(h: &HostNetwork, alpha: f64, max_steps: usize) -> PoaProbe {
     let (ne_cost, ratio, opt_cost, opt_is_exact) = match &equilibrium {
         Some(ne) => {
             let sc = cost::social_cost(&w, ne, alpha);
-            let (opt, exact_flag) = if h.len() <= gncg_game::exact::MAX_EXACT_OPT_AGENTS {
-                (exact::exact_social_optimum(&w, alpha).social_cost, true)
-            } else {
-                (gncg_game::certify::optimum_lower_bound(&w, alpha), false)
-            };
+            let (opt, exact_flag) =
+                match exact::exact_social_optimum(&w, alpha, &gncg_game::SolveOptions::default()) {
+                    gncg_game::Outcome::Exact(o) => (o.social_cost, true),
+                    gncg_game::Outcome::Degraded {
+                        certified_bound, ..
+                    } => (certified_bound, false),
+                };
             (sc, sc / opt, opt, exact_flag)
         }
         None => (f64::NAN, f64::NAN, f64::NAN, false),

@@ -117,15 +117,9 @@ impl Budget {
     /// A budget from the `GNCG_BUDGET_MS` environment variable: a fresh
     /// deadline that many milliseconds from now, or unlimited when the
     /// variable is unset/unparsable. The variable is read once per
-    /// process (like `GNCG_THREADS`).
+    /// process (like `GNCG_THREADS`) through [`gncg_config::env`].
     pub fn from_env() -> Self {
-        static MS: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
-        let ms = *MS.get_or_init(|| {
-            std::env::var("GNCG_BUDGET_MS")
-                .ok()
-                .and_then(|v| v.parse::<u64>().ok())
-        });
-        match ms {
+        match gncg_config::env::budget_ms() {
             Some(ms) => Self::with_limit(Duration::from_millis(ms)),
             None => Self::unlimited(),
         }

@@ -45,15 +45,11 @@ static RNG: AtomicU64 = AtomicU64::new(0x9e3779b97f4a7c15);
 fn init_from_env() {
     static INIT: OnceLock<()> = OnceLock::new();
     INIT.get_or_init(|| {
-        if let Ok(v) = std::env::var("GNCG_FAULT_INJECT") {
-            if let Ok(p) = v.parse::<f64>() {
-                set_injection_probability(p);
-            }
+        if let Some(p) = gncg_config::env::fault_inject() {
+            set_injection_probability(p);
         }
-        if let Ok(v) = std::env::var("GNCG_FAULT_INJECT_DELAY_MS") {
-            if let Ok(ms) = v.parse::<u64>() {
-                DELAY_MS.store(ms, Ordering::Relaxed);
-            }
+        if let Some(ms) = gncg_config::env::fault_inject_delay_ms() {
+            DELAY_MS.store(ms, Ordering::Relaxed);
         }
     });
 }

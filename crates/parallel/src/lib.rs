@@ -76,16 +76,74 @@ pub const DEFAULT_CHUNK: usize = 16;
 /// effect within the same process.
 pub fn num_threads() -> usize {
     static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *CACHED.get_or_init(|| {
-        if let Ok(v) = std::env::var("GNCG_THREADS") {
-            if let Ok(n) = v.parse::<usize>() {
-                return n.max(1);
-            }
-        }
-        std::thread::available_parallelism()
+    *CACHED.get_or_init(|| match gncg_config::env::threads() {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1)
+            .unwrap_or(1),
     })
+}
+
+// ---------------------------------------------------------------------------
+// Ambient per-region thread cap.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Per-thread cap on how many workers a parallel region may spawn;
+    /// `None` means "use [`num_threads`]". Installed by
+    /// [`with_max_threads`] and re-installed inside worker threads so
+    /// nested loops inherit it.
+    static MAX_THREADS: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// RAII guard restoring the previous ambient thread cap on drop.
+pub struct MaxThreadsGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for MaxThreadsGuard {
+    fn drop(&mut self) {
+        MAX_THREADS.with(|c| c.set(self.prev));
+    }
+}
+
+/// Install `limit` (at least 1) as the calling thread's ambient thread
+/// cap until the guard drops. Nested caps only tighten: the effective
+/// cap is the minimum of the enclosing cap and `limit`.
+pub fn enter_max_threads(limit: usize) -> MaxThreadsGuard {
+    let limit = limit.max(1);
+    let prev = MAX_THREADS.with(|c| {
+        let prev = c.get();
+        c.set(Some(prev.map_or(limit, |p| p.min(limit))));
+        prev
+    });
+    MaxThreadsGuard { prev }
+}
+
+/// The ambient thread cap of the calling thread, if one is installed.
+pub fn current_max_threads() -> Option<usize> {
+    MAX_THREADS.with(|c| c.get())
+}
+
+/// Run `f` with every parallel loop it reaches (including nested loops
+/// inside worker threads) capped at `limit` worker threads. The results
+/// are bit-identical to an uncapped run — the loops' outputs never
+/// depend on the thread count — only the degree of parallelism changes.
+/// The job-service `Session` uses this to stop concurrent jobs from
+/// multiplying into `jobs × num_threads` threads.
+pub fn with_max_threads<R>(limit: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = enter_max_threads(limit);
+    f()
+}
+
+/// The worker count a parallel region opening now should use:
+/// [`num_threads`] clamped by the ambient cap.
+fn effective_threads() -> usize {
+    let t = num_threads();
+    match current_max_threads() {
+        Some(cap) => t.min(cap),
+        None => t,
+    }
 }
 
 /// First-panic slot shared by the workers of one scoped loop: records
@@ -229,7 +287,7 @@ where
     Init: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
-    let threads = num_threads();
+    let threads = effective_threads();
     let budget = current_budget();
     if threads <= 1 || n <= DEFAULT_CHUNK {
         let mut scratch = init();
@@ -251,12 +309,14 @@ where
     {
         let counter = AtomicUsize::new(0);
         let slot = PanicSlot::new();
+        let cap = current_max_threads();
         let out_slices = SliceCells::new(&mut out);
         let out_slices = &out_slices;
         let (counter, slot, budget, init, f) = (&counter, &slot, &budget, &init, &f);
         std::thread::scope(|s| {
             for _ in 0..threads.min(n.div_ceil(DEFAULT_CHUNK)) {
                 s.spawn(move || {
+                    let _cap = cap.map(enter_max_threads);
                     let _ambient = budget.as_ref().map(|b| budget::enter_ambient(b.clone()));
                     let _trace = gncg_trace::worker_guard();
                     let mut scratch = init();
@@ -294,7 +354,7 @@ where
     Init: Fn() -> S + Sync,
     F: Fn(&mut S, usize) + Sync,
 {
-    let threads = num_threads();
+    let threads = effective_threads();
     let budget = current_budget();
     if threads <= 1 || n <= DEFAULT_CHUNK {
         let mut scratch = init();
@@ -313,10 +373,12 @@ where
     }
     let counter = AtomicUsize::new(0);
     let slot = PanicSlot::new();
+    let cap = current_max_threads();
     let (counter, slot, budget, init, f) = (&counter, &slot, &budget, &init, &f);
     std::thread::scope(|s| {
         for _ in 0..threads.min(n.div_ceil(DEFAULT_CHUNK)) {
             s.spawn(move || {
+                let _cap = cap.map(enter_max_threads);
                 let _ambient = budget.as_ref().map(|b| budget::enter_ambient(b.clone()));
                 let _trace = gncg_trace::worker_guard();
                 let mut scratch = init();
@@ -371,7 +433,7 @@ where
     F: Fn(&mut S, T, usize) -> T + Sync,
     C: Fn(T, T) -> T,
 {
-    let threads = num_threads();
+    let threads = effective_threads();
     let budget = current_budget();
     if threads <= 1 || n <= DEFAULT_CHUNK {
         let mut scratch = init();
@@ -392,12 +454,14 @@ where
     let counter = AtomicUsize::new(0);
     let slot = PanicSlot::new();
     let workers = threads.min(n.div_ceil(DEFAULT_CHUNK));
+    let cap = current_max_threads();
     let (counter, slot, budget, init, identity, fold) =
         (&counter, &slot, &budget, &init, &identity, &fold);
     let partials: Vec<T> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(move || {
+                    let _cap = cap.map(enter_max_threads);
                     let _ambient = budget.as_ref().map(|b| budget::enter_ambient(b.clone()));
                     let _trace = gncg_trace::worker_guard();
                     let mut scratch = init();
@@ -788,5 +852,44 @@ mod tests {
         let out = parallel_map(500, |i| i + 1);
         fault::set_injection_probability(before);
         assert_eq!(out, (1..=500).collect::<Vec<_>>());
+    }
+
+    // --- ambient thread cap ------------------------------------------------
+
+    #[test]
+    fn max_threads_nests_by_tightening() {
+        assert_eq!(current_max_threads(), None);
+        with_max_threads(4, || {
+            assert_eq!(current_max_threads(), Some(4));
+            with_max_threads(2, || assert_eq!(current_max_threads(), Some(2)));
+            // a looser nested cap must not widen the enclosing one
+            with_max_threads(8, || assert_eq!(current_max_threads(), Some(4)));
+            assert_eq!(current_max_threads(), Some(4));
+        });
+        assert_eq!(current_max_threads(), None);
+        // zero is clamped to one, never "unlimited"
+        with_max_threads(0, || assert_eq!(current_max_threads(), Some(1)));
+    }
+
+    #[test]
+    fn max_threads_reaches_workers_and_results_are_identical() {
+        let uncapped = parallel_map(5000, |i| (i as u64).wrapping_mul(0x9e37));
+        let capped = with_max_threads(2, || {
+            parallel_map(5000, |i| {
+                // the cap must be visible on worker threads so nested
+                // loops inherit it
+                assert_eq!(current_max_threads(), Some(2));
+                (i as u64).wrapping_mul(0x9e37)
+            })
+        });
+        assert_eq!(uncapped, capped);
+    }
+
+    #[test]
+    fn max_threads_one_forces_sequential_fallback() {
+        let out = with_max_threads(1, || {
+            parallel_reduce(10_000, || 0u64, |acc, i| acc + i as u64, |a, b| a + b)
+        });
+        assert_eq!(out, (0..10_000u64).sum::<u64>());
     }
 }

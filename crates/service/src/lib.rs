@@ -1,0 +1,952 @@
+//! gncg-service: a long-lived concurrent job engine over the GNCG
+//! solvers.
+//!
+//! Repro binaries and the CLI used to call the solver crates directly,
+//! each invocation owning the whole process. A [`Session`] instead keeps
+//! one [`ThreadPool`] alive and accepts typed jobs — certification, best
+//! responses, exact optima, dynamics runs, whole sweeps — that run
+//! concurrently and resolve through [`JobHandle`]s to the *same* result
+//! types the direct calls return ([`CertifyReport`], [`Outcome`], …).
+//! Because every kernel underneath is deterministic-by-construction
+//! (fixed chunk reductions, canonical tie-breaks), results are
+//! bit-identical to the sequential path no matter how jobs interleave.
+//!
+//! # Admission control and backpressure
+//!
+//! Jobs enter one of two bounded lanes by [`Priority`]: `Interactive`
+//! (small certify/best-response probes) or `Batch` (exact optima,
+//! sweeps). A full lane rejects at submit time with
+//! [`SubmitError::QueueFull`] — callers see backpressure instead of the
+//! engine buffering unboundedly. Dispatch prefers the interactive lane
+//! but lets a batch job through after every few interactive ones, so a
+//! long sweep neither starves probes nor is starved by them.
+//!
+//! # Budgets, cancellation, shutdown
+//!
+//! Every job carries its own [`Budget`] (defaulting to the session's
+//! configured budget): [`JobHandle::cancel`] trips its token, a queued
+//! job whose budget is already exhausted resolves to
+//! [`JobError::Cancelled`] without running, and solver jobs thread the
+//! budget into their [`SolveOptions`]/[`CertifyOptions`] so mid-flight
+//! cancellation degrades along the existing exact→certified ladder
+//! rather than aborting. [`Session::shutdown`] either drains
+//! ([`Shutdown::Drain`]) or cancels every outstanding budget
+//! ([`Shutdown::Cancel`]) — sweep closures observe the cancellation via
+//! their [`JobCtx`] and can checkpoint before returning.
+//!
+//! # Fault isolation and observability
+//!
+//! Each job runs under `catch_unwind`: a panicking job resolves its own
+//! handle to [`JobError::Panicked`] and *nothing else* — the pool and
+//! every other job are untouched. Each job opens a `service.job.*` trace
+//! span, and the service keeps deterministic admission counters
+//! (`service_enqueued`, `service_dequeued`, `service_rejected`).
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use gncg_config::GncgConfig;
+use gncg_game::best_response::BestResponse;
+use gncg_game::certify::{CertifyOptions, CertifyReport};
+use gncg_game::exact::ExactOptimum;
+use gncg_game::{dynamics, EdgeWeights, Outcome, OwnedNetwork, SolveOptions};
+use gncg_parallel::pool::ThreadPool;
+use gncg_parallel::{with_budget, with_max_threads, Budget};
+
+/// Shared-ownership edge-weight oracle a job can be built over.
+pub type SharedWeights = Arc<dyn EdgeWeights + Send + Sync>;
+
+/// Which lane a job is dispatched from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Small, latency-sensitive work (certify probes, best responses).
+    Interactive,
+    /// Long-running work (exact optima, sweeps) that must not crowd out
+    /// the interactive lane.
+    Batch,
+}
+
+/// The kind of a job, for trace spans and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// A (β, γ) certification of one profile.
+    Certify,
+    /// An exact best response for one agent.
+    BestResponse,
+    /// An exact social optimum.
+    ExactOpt,
+    /// A response-dynamics run.
+    Dynamics,
+    /// A caller-supplied sweep closure (typically a checkpointing
+    /// experiment driver).
+    Sweep,
+}
+
+impl JobKind {
+    /// The trace-span name jobs of this kind run under.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            JobKind::Certify => "service.job.certify",
+            JobKind::BestResponse => "service.job.best_response",
+            JobKind::ExactOpt => "service.job.exact_opt",
+            JobKind::Dynamics => "service.job.dynamics",
+            JobKind::Sweep => "service.job.sweep",
+        }
+    }
+
+    /// The lane jobs of this kind default to.
+    pub fn default_priority(self) -> Priority {
+        match self {
+            JobKind::Certify | JobKind::BestResponse | JobKind::Dynamics => Priority::Interactive,
+            JobKind::ExactOpt | JobKind::Sweep => Priority::Batch,
+        }
+    }
+}
+
+/// Why a job did not produce a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job's body panicked; the payload's message. Only this job is
+    /// affected — the pool and all other jobs keep running.
+    Panicked(String),
+    /// The job's budget was exhausted/cancelled before it started (or,
+    /// for dynamics, before it finished).
+    Cancelled,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::Cancelled => write!(f, "job cancelled"),
+        }
+    }
+}
+
+/// Why a submission was rejected at admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The target lane is at capacity; retry later or shed load.
+    QueueFull {
+        /// The lane that was full.
+        priority: Priority,
+        /// Its configured capacity.
+        capacity: usize,
+    },
+    /// The session is shutting down and admits no new jobs.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { priority, capacity } => {
+                write!(f, "{priority:?} lane full (capacity {capacity})")
+            }
+            SubmitError::ShuttingDown => write!(f, "session is shutting down"),
+        }
+    }
+}
+
+/// Per-submission knobs. `Default` means: the kind's default lane and
+/// the session's default budget.
+#[derive(Debug, Clone, Default)]
+pub struct JobOptions {
+    /// Override the lane (default: [`JobKind::default_priority`]).
+    pub priority: Option<Priority>,
+    /// Override the job budget (default: the session's configured
+    /// budget, unlimited unless `GNCG_BUDGET_MS`/the builder set one).
+    pub budget: Option<Budget>,
+}
+
+impl JobOptions {
+    /// Options pinning the job to a lane.
+    pub fn with_priority(priority: Priority) -> Self {
+        Self {
+            priority: Some(priority),
+            ..Self::default()
+        }
+    }
+
+    /// Options running the job under (a clone of) `budget`.
+    pub fn with_budget(budget: &Budget) -> Self {
+        Self {
+            budget: Some(budget.clone()),
+            ..Self::default()
+        }
+    }
+}
+
+/// Context handed to sweep closures: the job's budget, to poll for
+/// cooperative cancellation (and checkpoint before returning).
+pub struct JobCtx {
+    budget: Budget,
+}
+
+impl JobCtx {
+    /// The job's budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Has the job been cancelled (handle, shutdown, or deadline)?
+    pub fn cancelled(&self) -> bool {
+        self.budget.exhausted()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job handles
+// ---------------------------------------------------------------------------
+
+struct HandleState<T> {
+    slot: Mutex<Option<Result<T, JobError>>>,
+    cond: Condvar,
+}
+
+impl<T> HandleState<T> {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            slot: Mutex::new(None),
+            cond: Condvar::new(),
+        })
+    }
+
+    fn fulfill(&self, result: Result<T, JobError>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        *slot = Some(result);
+        self.cond.notify_all();
+    }
+}
+
+/// A pending job's result slot. Obtained from the `Session::submit_*`
+/// methods; resolve with [`JobHandle::wait`], abort with
+/// [`JobHandle::cancel`].
+pub struct JobHandle<T> {
+    state: Arc<HandleState<T>>,
+    budget: Budget,
+    kind: JobKind,
+}
+
+impl<T> std::fmt::Debug for JobHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("kind", &self.kind)
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+impl<T> JobHandle<T> {
+    /// Block until the job resolves and take its result.
+    pub fn wait(self) -> Result<T, JobError> {
+        let mut slot = self.state.slot.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self
+                .state
+                .cond
+                .wait(slot)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Has the job resolved (successfully or not)?
+    pub fn is_done(&self) -> bool {
+        self.state
+            .slot
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .is_some()
+    }
+
+    /// Request cancellation: trips the job's budget token. A job still
+    /// queued resolves to [`JobError::Cancelled`] without running; a
+    /// running solver job degrades along the exact→certified ladder; a
+    /// running sweep observes it via [`JobCtx::cancelled`].
+    pub fn cancel(&self) {
+        self.budget.cancel();
+    }
+
+    /// The job's kind.
+    pub fn kind(&self) -> JobKind {
+        self.kind
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session internals
+// ---------------------------------------------------------------------------
+
+/// How [`Session::shutdown`] treats outstanding jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shutdown {
+    /// Stop admitting, run everything already queued to completion.
+    Drain,
+    /// Stop admitting and cancel every outstanding budget: queued jobs
+    /// resolve to [`JobError::Cancelled`] without running, running
+    /// solver jobs degrade, running sweeps checkpoint and return early.
+    Cancel,
+}
+
+struct Ticket {
+    run: Box<dyn FnOnce(&JobCtx) + Send>,
+    budget: Budget,
+    kind: JobKind,
+    id: u64,
+}
+
+struct Lanes {
+    interactive: VecDeque<Ticket>,
+    batch: VecDeque<Ticket>,
+    /// Consecutive interactive dispatches since the last batch one.
+    interactive_streak: u32,
+    /// Jobs admitted but not yet fulfilled (queued + running).
+    outstanding: usize,
+    /// Budgets of every outstanding job, for `Shutdown::Cancel`.
+    active_budgets: HashMap<u64, Budget>,
+    shutting_down: bool,
+    next_id: u64,
+}
+
+struct Shared {
+    lanes: Mutex<Lanes>,
+    idle_cond: Condvar,
+    interactive_cap: usize,
+    batch_cap: usize,
+    /// Per-job cap on nested parallelism (see
+    /// [`SessionBuilder::job_threads`]).
+    job_threads: Option<usize>,
+}
+
+/// After this many consecutive interactive dispatches with batch work
+/// waiting, one batch job is dispatched (anti-starvation).
+const MAX_INTERACTIVE_STREAK: u32 = 3;
+
+impl Shared {
+    fn pop(&self) -> Option<Ticket> {
+        let mut lanes = self.lanes.lock().unwrap_or_else(|p| p.into_inner());
+        let take_batch = !lanes.batch.is_empty()
+            && (lanes.interactive.is_empty() || lanes.interactive_streak >= MAX_INTERACTIVE_STREAK);
+        if take_batch {
+            lanes.interactive_streak = 0;
+            lanes.batch.pop_front()
+        } else if let Some(t) = lanes.interactive.pop_front() {
+            lanes.interactive_streak += 1;
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    fn finish(&self, id: u64) {
+        let mut lanes = self.lanes.lock().unwrap_or_else(|p| p.into_inner());
+        lanes.active_budgets.remove(&id);
+        lanes.outstanding -= 1;
+        if lanes.outstanding == 0 {
+            self.idle_cond.notify_all();
+        }
+    }
+}
+
+/// One ticket per admitted job is submitted to the pool; each pool
+/// worker invocation dispatches the highest-priority eligible job.
+fn run_next(shared: &Shared) {
+    let Some(ticket) = shared.pop() else {
+        return;
+    };
+    gncg_trace::incr(gncg_trace::Counter::ServiceDequeued);
+    let _span = gncg_trace::span(ticket.kind.span_name());
+    let ctx = JobCtx {
+        budget: ticket.budget.clone(),
+    };
+    match shared.job_threads {
+        Some(k) => with_max_threads(k, || (ticket.run)(&ctx)),
+        None => (ticket.run)(&ctx),
+    }
+    shared.finish(ticket.id);
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Run one job body with the service's panic/cancellation envelope and
+/// fulfill `state`. `ambient` installs the job budget as the ambient
+/// budget (dynamics, sweeps); solver jobs instead carry the budget
+/// inside their options so the poly-time fallback bounds stay sound.
+/// `cancel_on_exhaust` maps a post-run exhausted budget to
+/// [`JobError::Cancelled`] (dynamics — a cancelled trajectory is
+/// partial garbage; sweeps return checkpointed partials on purpose).
+fn execute<T>(
+    state: &HandleState<T>,
+    ctx: &JobCtx,
+    ambient: bool,
+    cancel_on_exhaust: bool,
+    work: impl FnOnce(&JobCtx) -> T,
+) {
+    let result = if ctx.budget.exhausted() {
+        Err(JobError::Cancelled)
+    } else {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            if ambient {
+                with_budget(&ctx.budget, || work(ctx))
+            } else {
+                work(ctx)
+            }
+        }));
+        match run {
+            Ok(_) if cancel_on_exhaust && ctx.budget.exhausted() => Err(JobError::Cancelled),
+            Ok(v) => Ok(v),
+            Err(payload) => Err(JobError::Panicked(panic_message(&*payload))),
+        }
+    };
+    state.fulfill(result);
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+/// Builder for a [`Session`] (see [`Session::builder`]).
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    threads: Option<usize>,
+    job_threads: Option<usize>,
+    default_budget_ms: Option<u64>,
+    interactive_cap: usize,
+    batch_cap: usize,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        Self {
+            threads: None,
+            job_threads: None,
+            default_budget_ms: None,
+            interactive_cap: 256,
+            batch_cap: 64,
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Seed the builder from a [`GncgConfig`] (worker count and default
+    /// job budget).
+    pub fn from_config(cfg: &GncgConfig) -> Self {
+        Self {
+            threads: cfg.threads,
+            default_budget_ms: cfg.budget_ms,
+            ..Self::default()
+        }
+    }
+
+    /// Number of pool workers (default: [`gncg_parallel::num_threads`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Cap the *nested* parallelism of each job: a job's internal
+    /// `parallel_*` loops use at most `k` workers, so `threads`
+    /// concurrent jobs occupy ≈ `threads · k` cores instead of
+    /// `threads · num_threads()`.
+    pub fn job_threads(mut self, k: usize) -> Self {
+        self.job_threads = Some(k);
+        self
+    }
+
+    /// Default per-job budget in milliseconds (each job gets a fresh
+    /// deadline that far in the future at submit time).
+    pub fn default_budget_ms(mut self, ms: u64) -> Self {
+        self.default_budget_ms = Some(ms);
+        self
+    }
+
+    /// Lane capacities (interactive, batch). Zero is clamped to 1.
+    pub fn queue_capacity(mut self, interactive: usize, batch: usize) -> Self {
+        self.interactive_cap = interactive.max(1);
+        self.batch_cap = batch.max(1);
+        self
+    }
+
+    /// Build the session (spawns the worker pool).
+    pub fn build(self) -> Session {
+        let threads = self.threads.unwrap_or_else(gncg_parallel::num_threads);
+        Session {
+            shared: Arc::new(Shared {
+                lanes: Mutex::new(Lanes {
+                    interactive: VecDeque::new(),
+                    batch: VecDeque::new(),
+                    interactive_streak: 0,
+                    outstanding: 0,
+                    active_budgets: HashMap::new(),
+                    shutting_down: false,
+                    next_id: 0,
+                }),
+                idle_cond: Condvar::new(),
+                interactive_cap: self.interactive_cap,
+                batch_cap: self.batch_cap,
+                job_threads: self.job_threads,
+            }),
+            pool: ThreadPool::new(threads),
+            default_budget_ms: self.default_budget_ms,
+        }
+    }
+}
+
+/// A long-lived concurrent job engine (see the crate docs).
+pub struct Session {
+    shared: Arc<Shared>,
+    pool: ThreadPool,
+    default_budget_ms: Option<u64>,
+}
+
+impl Session {
+    /// A session configured from the environment
+    /// ([`GncgConfig::from_env`]).
+    pub fn new() -> Self {
+        SessionBuilder::from_config(&GncgConfig::from_env()).build()
+    }
+
+    /// Start building a custom session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// Number of pool workers.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The budget a job submitted *now* with default [`JobOptions`]
+    /// would run under.
+    fn default_budget(&self) -> Budget {
+        match self.default_budget_ms {
+            Some(ms) => Budget::with_limit(Duration::from_millis(ms)),
+            None => Budget::unlimited(),
+        }
+    }
+
+    /// Admission: reserve a slot in the right lane and hand the pool a
+    /// dispatch ticket.
+    fn admit(
+        &self,
+        kind: JobKind,
+        priority: Priority,
+        budget: Budget,
+        run: Box<dyn FnOnce(&JobCtx) + Send>,
+    ) -> Result<(), SubmitError> {
+        {
+            let mut lanes = self.shared.lanes.lock().unwrap_or_else(|p| p.into_inner());
+            if lanes.shutting_down {
+                gncg_trace::incr(gncg_trace::Counter::ServiceRejected);
+                return Err(SubmitError::ShuttingDown);
+            }
+            let (lane_len, cap) = match priority {
+                Priority::Interactive => (lanes.interactive.len(), self.shared.interactive_cap),
+                Priority::Batch => (lanes.batch.len(), self.shared.batch_cap),
+            };
+            if lane_len >= cap {
+                gncg_trace::incr(gncg_trace::Counter::ServiceRejected);
+                return Err(SubmitError::QueueFull {
+                    priority,
+                    capacity: cap,
+                });
+            }
+            let id = lanes.next_id;
+            lanes.next_id += 1;
+            lanes.outstanding += 1;
+            lanes.active_budgets.insert(id, budget.clone());
+            let ticket = Ticket {
+                run,
+                budget,
+                kind,
+                id,
+            };
+            match priority {
+                Priority::Interactive => lanes.interactive.push_back(ticket),
+                Priority::Batch => lanes.batch.push_back(ticket),
+            }
+        }
+        gncg_trace::incr(gncg_trace::Counter::ServiceEnqueued);
+        let shared = Arc::clone(&self.shared);
+        self.pool.submit(move || run_next(&shared));
+        Ok(())
+    }
+
+    fn submit_raw<T: Send + 'static>(
+        &self,
+        kind: JobKind,
+        job: JobOptions,
+        ambient: bool,
+        cancel_on_exhaust: bool,
+        work: impl FnOnce(&JobCtx, &Budget) -> T + Send + 'static,
+    ) -> Result<JobHandle<T>, SubmitError> {
+        let priority = job.priority.unwrap_or_else(|| kind.default_priority());
+        let budget = job.budget.unwrap_or_else(|| self.default_budget());
+        let state = HandleState::new();
+        let run_state = Arc::clone(&state);
+        let run_budget = budget.clone();
+        self.admit(
+            kind,
+            priority,
+            budget.clone(),
+            Box::new(move |ctx| {
+                execute(&run_state, ctx, ambient, cancel_on_exhaust, |ctx| {
+                    work(ctx, &run_budget)
+                });
+            }),
+        )?;
+        Ok(JobHandle {
+            state,
+            budget,
+            kind,
+        })
+    }
+
+    /// Submit a (β, γ) certification job. The job budget replaces
+    /// `opts.budget`, so [`JobHandle::cancel`] degrades the report along
+    /// the exact→certified ladder exactly as a direct budgeted
+    /// [`gncg_game::certify::certify`] call would.
+    pub fn submit_certify(
+        &self,
+        w: SharedWeights,
+        net: OwnedNetwork,
+        alpha: f64,
+        opts: CertifyOptions,
+        job: JobOptions,
+    ) -> Result<JobHandle<CertifyReport>, SubmitError> {
+        self.submit_raw(JobKind::Certify, job, false, false, move |_, budget| {
+            gncg_game::certify::certify(&*w, &net, alpha, opts.with_budget(budget))
+        })
+    }
+
+    /// Submit an exact best-response job for agent `u`.
+    pub fn submit_best_response(
+        &self,
+        w: SharedWeights,
+        net: OwnedNetwork,
+        alpha: f64,
+        u: usize,
+        job: JobOptions,
+    ) -> Result<JobHandle<Outcome<BestResponse>>, SubmitError> {
+        self.submit_raw(
+            JobKind::BestResponse,
+            job,
+            false,
+            false,
+            move |_, budget| {
+                gncg_game::best_response::exact_best_response(
+                    &*w,
+                    &net,
+                    alpha,
+                    u,
+                    &SolveOptions::budgeted(budget),
+                )
+            },
+        )
+    }
+
+    /// Submit an exact social-optimum job (batch lane by default).
+    pub fn submit_exact_optimum(
+        &self,
+        w: SharedWeights,
+        alpha: f64,
+        job: JobOptions,
+    ) -> Result<JobHandle<Outcome<ExactOptimum>>, SubmitError> {
+        self.submit_raw(JobKind::ExactOpt, job, false, false, move |_, budget| {
+            gncg_game::exact::exact_social_optimum(&*w, alpha, &SolveOptions::budgeted(budget))
+        })
+    }
+
+    /// Submit a response-dynamics run. A budget cancelled mid-run
+    /// resolves the handle to [`JobError::Cancelled`] (a truncated
+    /// trajectory has no sound fallback).
+    pub fn submit_dynamics(
+        &self,
+        w: SharedWeights,
+        start: OwnedNetwork,
+        alpha: f64,
+        rule: dynamics::ResponseRule,
+        max_steps: usize,
+        job: JobOptions,
+    ) -> Result<JobHandle<dynamics::Outcome>, SubmitError> {
+        self.submit_raw(JobKind::Dynamics, job, true, true, move |_, _| {
+            dynamics::run(&*w, &start, alpha, rule, max_steps)
+        })
+    }
+
+    /// Submit a sweep closure (batch lane by default). The closure
+    /// receives the job's [`JobCtx`] and should poll
+    /// [`JobCtx::cancelled`] between units, checkpointing (e.g. via
+    /// `SweepCheckpoint`) and returning early when cancelled; its return
+    /// value resolves the handle either way.
+    pub fn submit_sweep<T, F>(&self, job: JobOptions, f: F) -> Result<JobHandle<T>, SubmitError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&JobCtx) -> T + Send + 'static,
+    {
+        self.submit_raw(JobKind::Sweep, job, true, false, move |ctx, _| f(ctx))
+    }
+
+    /// Block until every admitted job has resolved. Also waits for the
+    /// pool's dispatch tickets to fully retire, so worker-thread trace
+    /// counters (e.g. `service_dequeued`) are flushed into the
+    /// process-wide totals before this returns.
+    pub fn wait_idle(&self) {
+        {
+            let mut lanes = self.shared.lanes.lock().unwrap_or_else(|p| p.into_inner());
+            while lanes.outstanding > 0 {
+                lanes = self
+                    .shared
+                    .idle_cond
+                    .wait(lanes)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        }
+        self.pool.wait();
+    }
+
+    /// Shut the session down (idempotent): stop admitting, then either
+    /// drain or cancel outstanding work, and block until idle.
+    pub fn shutdown(&self, mode: Shutdown) {
+        {
+            let mut lanes = self.shared.lanes.lock().unwrap_or_else(|p| p.into_inner());
+            lanes.shutting_down = true;
+            if mode == Shutdown::Cancel {
+                for budget in lanes.active_budgets.values() {
+                    budget.cancel();
+                }
+            }
+        }
+        self.wait_idle();
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // a dropped session must not abandon admitted jobs: their
+        // handles would never resolve
+        self.shutdown(Shutdown::Drain);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_geometry::generators;
+
+    fn small_instance(n: usize, seed: u64) -> (SharedWeights, OwnedNetwork) {
+        let ps = generators::uniform_unit_square(n, seed);
+        let net = OwnedNetwork::center_star(n, 0);
+        (Arc::new(ps), net)
+    }
+
+    #[test]
+    fn certify_job_matches_direct_call() {
+        let (w, net) = small_instance(6, 3);
+        let direct = gncg_game::certify::certify(&*w, &net, 1.5, CertifyOptions::exact());
+        let session = Session::builder().threads(2).build();
+        let handle = session
+            .submit_certify(
+                Arc::clone(&w),
+                net.clone(),
+                1.5,
+                CertifyOptions::exact(),
+                JobOptions::default(),
+            )
+            .expect("admitted");
+        let report = handle.wait().expect("job succeeded");
+        assert_eq!(
+            report.beta_exact.unwrap().to_bits(),
+            direct.beta_exact.unwrap().to_bits()
+        );
+        assert_eq!(report.social_cost.to_bits(), direct.social_cost.to_bits());
+        assert_eq!(
+            report.gamma_exact.unwrap().to_bits(),
+            direct.gamma_exact.unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn panicking_sweep_fails_alone() {
+        let session = Session::builder().threads(2).build();
+        let bad = session
+            .submit_sweep(JobOptions::default(), |_| -> i32 {
+                panic!("sweep blew up")
+            })
+            .expect("admitted");
+        let good = session
+            .submit_sweep(JobOptions::default(), |_| 41 + 1)
+            .expect("admitted");
+        match bad.wait() {
+            Err(JobError::Panicked(msg)) => assert!(msg.contains("sweep blew up")),
+            other => panic!("expected panic, got {other:?}"),
+        }
+        assert_eq!(good.wait(), Ok(42));
+        // the pool stays healthy for later submissions
+        let again = session
+            .submit_sweep(JobOptions::default(), |_| 7)
+            .expect("admitted");
+        assert_eq!(again.wait(), Ok(7));
+    }
+
+    #[test]
+    fn cancelled_before_start_never_runs() {
+        let session = Session::builder().threads(1).build();
+        let dead = Budget::unlimited();
+        dead.cancel();
+        let handle = session
+            .submit_sweep(JobOptions::with_budget(&dead), |_| 1)
+            .expect("admitted");
+        assert_eq!(handle.wait(), Err(JobError::Cancelled));
+    }
+
+    #[test]
+    fn queue_full_rejects_with_backpressure() {
+        // a 1-worker session occupied by a blocker, with a 1-deep batch
+        // lane: the next-but-one batch submission must be rejected
+        let session = Session::builder().threads(1).queue_capacity(1, 1).build();
+        let (block_tx, block_rx) = std::sync::mpsc::channel::<()>();
+        let blocker = session
+            .submit_sweep(JobOptions::default(), move |_| {
+                block_rx.recv().ok();
+                0
+            })
+            .expect("admitted");
+        // wait until the blocker has been dequeued, so the lane is empty
+        while !{
+            let lanes = session.shared.lanes.lock().unwrap();
+            lanes.batch.is_empty()
+        } {
+            std::thread::yield_now();
+        }
+        let queued = session
+            .submit_sweep(JobOptions::default(), |_| 1)
+            .expect("one fits in the lane");
+        let rejected = session.submit_sweep(JobOptions::default(), |_| 2);
+        match rejected {
+            Err(SubmitError::QueueFull { priority, capacity }) => {
+                assert_eq!(priority, Priority::Batch);
+                assert_eq!(capacity, 1);
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        block_tx.send(()).unwrap();
+        assert_eq!(blocker.wait(), Ok(0));
+        assert_eq!(queued.wait(), Ok(1));
+    }
+
+    #[test]
+    fn batch_not_starved_by_interactive_stream() {
+        // 1 worker, a stream of interactive jobs queued ahead of one
+        // batch job: the batch job must be dispatched after at most
+        // MAX_INTERACTIVE_STREAK interactive ones, not last
+        let session = Session::builder().threads(1).build();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (block_tx, block_rx) = std::sync::mpsc::channel::<()>();
+        let blocker = session
+            .submit_sweep(
+                JobOptions::with_priority(Priority::Interactive),
+                move |_| {
+                    block_rx.recv().ok();
+                    0usize
+                },
+            )
+            .expect("admitted");
+        let mut handles = Vec::new();
+        for i in 0..8usize {
+            let order = Arc::clone(&order);
+            handles.push(
+                session
+                    .submit_sweep(
+                        JobOptions::with_priority(Priority::Interactive),
+                        move |_| {
+                            order.lock().unwrap().push(format!("i{i}"));
+                            i
+                        },
+                    )
+                    .expect("admitted"),
+            );
+        }
+        let border = Arc::clone(&order);
+        let batch = session
+            .submit_sweep(JobOptions::with_priority(Priority::Batch), move |_| {
+                border.lock().unwrap().push("batch".to_string());
+                99usize
+            })
+            .expect("admitted");
+        block_tx.send(()).unwrap();
+        blocker.wait().unwrap();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        batch.wait().unwrap();
+        let order = order.lock().unwrap();
+        let pos = order.iter().position(|s| s == "batch").unwrap();
+        assert!(
+            pos <= MAX_INTERACTIVE_STREAK as usize,
+            "batch dispatched at position {pos} of {order:?}"
+        );
+    }
+
+    #[test]
+    fn shutdown_cancel_resolves_queued_jobs_as_cancelled() {
+        let session = Session::builder().threads(1).build();
+        let (block_tx, block_rx) = std::sync::mpsc::channel::<()>();
+        let blocker = session
+            .submit_sweep(JobOptions::default(), move |_| {
+                block_rx.recv().ok();
+                0
+            })
+            .expect("admitted");
+        let queued = session
+            .submit_sweep(JobOptions::default(), |_| 1)
+            .expect("admitted");
+        // cancel *before* the blocker is released, so the queued job is
+        // deterministically still in the lane when its budget trips
+        std::thread::scope(|s| {
+            let t = s.spawn(|| session.shutdown(Shutdown::Cancel));
+            while !queued.budget.exhausted() {
+                std::thread::yield_now();
+            }
+            block_tx.send(()).unwrap();
+            t.join().unwrap();
+        });
+        assert_eq!(queued.wait(), Err(JobError::Cancelled));
+        assert_eq!(blocker.wait(), Ok(0));
+        // no new admissions after shutdown
+        match session.submit_sweep(JobOptions::default(), |_| 2) {
+            Err(SubmitError::ShuttingDown) => {}
+            other => panic!("expected ShuttingDown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn job_threads_cap_reaches_job_bodies() {
+        let session = Session::builder().threads(2).job_threads(1).build();
+        let handle = session
+            .submit_sweep(JobOptions::default(), |_| {
+                gncg_parallel::current_max_threads()
+            })
+            .expect("admitted");
+        assert_eq!(handle.wait(), Ok(Some(1)));
+    }
+}

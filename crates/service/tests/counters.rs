@@ -1,0 +1,43 @@
+//! Service admission counters are deterministic: they count admissions
+//! and dispatches, not interleavings. One test in its own process so no
+//! concurrent test can touch the process-wide totals.
+
+use std::sync::Arc;
+
+use gncg_game::certify::CertifyOptions;
+use gncg_game::OwnedNetwork;
+use gncg_geometry::generators;
+use gncg_service::{JobOptions, Session};
+
+#[test]
+fn service_counters_count_admissions() {
+    gncg_trace::set_enabled(true);
+    let before = gncg_trace::snapshot();
+    let session = Session::builder().threads(2).build();
+    let mut handles = Vec::new();
+    for seed in 0..4u64 {
+        let ps = generators::uniform_unit_square(5, seed);
+        let net = OwnedNetwork::center_star(5, 0);
+        handles.push(
+            session
+                .submit_certify(
+                    Arc::new(ps),
+                    net,
+                    1.0,
+                    CertifyOptions::bounds_only(),
+                    JobOptions::default(),
+                )
+                .expect("admitted"),
+        );
+    }
+    for h in handles {
+        h.wait().expect("job succeeded");
+    }
+    session.wait_idle();
+    let after = gncg_trace::snapshot();
+    let delta = after.counters_since(&before);
+    assert_eq!(delta[gncg_trace::Counter::ServiceEnqueued as usize], 4);
+    assert_eq!(delta[gncg_trace::Counter::ServiceDequeued as usize], 4);
+    assert_eq!(delta[gncg_trace::Counter::ServiceRejected as usize], 0);
+    gncg_trace::set_enabled(false);
+}

@@ -1,0 +1,68 @@
+//! Fault soak: with injected faults firing at the `GNCG_FAULT_INJECT`
+//! soak probability, every service job still completes with the
+//! bit-identical result (the chunk runners absorb and retry injected
+//! faults deterministically) and the pool stays healthy for jobs
+//! submitted afterwards.
+//!
+//! One test in its own binary: the injection probability is a process
+//! global, and no other test should run concurrently with it raised.
+
+use std::sync::Arc;
+
+use gncg_game::certify::{certify, CertifyOptions};
+use gncg_game::OwnedNetwork;
+use gncg_geometry::generators;
+use gncg_parallel::fault;
+use gncg_service::{JobOptions, Session};
+
+#[test]
+fn fault_soak_all_jobs_succeed_and_pool_stays_healthy() {
+    // reference results with injection off
+    let mut want = Vec::new();
+    for seed in 0..8u64 {
+        let ps = generators::uniform_unit_square(12, seed);
+        let net = OwnedNetwork::center_star(12, 0);
+        want.push(certify(&ps, &net, 2.0, CertifyOptions::bounds_only()));
+    }
+
+    let before = fault::injection_probability();
+    fault::set_injection_probability(0.02);
+    let session = Session::builder().threads(4).build();
+    let handles: Vec<_> = (0..8u64)
+        .map(|seed| {
+            let ps = Arc::new(generators::uniform_unit_square(12, seed));
+            let net = OwnedNetwork::center_star(12, 0);
+            session
+                .submit_certify(
+                    ps,
+                    net,
+                    2.0,
+                    CertifyOptions::bounds_only(),
+                    JobOptions::default(),
+                )
+                .expect("admitted")
+        })
+        .collect();
+    for (h, want) in handles.into_iter().zip(&want) {
+        let got = h.wait().expect("job survives injected faults");
+        assert_eq!(got.beta_upper.to_bits(), want.beta_upper.to_bits());
+        assert_eq!(got.gamma_upper.to_bits(), want.gamma_upper.to_bits());
+        assert_eq!(got.social_cost.to_bits(), want.social_cost.to_bits());
+    }
+    fault::set_injection_probability(before);
+
+    // pool is still healthy: a fresh job on the same session completes
+    let ps = Arc::new(generators::uniform_unit_square(12, 99));
+    let net = OwnedNetwork::center_star(12, 0);
+    let h = session
+        .submit_certify(
+            ps,
+            net,
+            2.0,
+            CertifyOptions::bounds_only(),
+            JobOptions::default(),
+        )
+        .expect("admitted after soak");
+    assert!(h.wait().is_ok());
+    session.wait_idle();
+}

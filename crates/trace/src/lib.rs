@@ -59,9 +59,7 @@ pub fn enabled() -> bool {
 
 #[cold]
 fn init_from_env() -> bool {
-    let on = std::env::var("GNCG_TRACE")
-        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
-        .unwrap_or(false);
+    let on = gncg_config::env::trace();
     STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
     on
 }
@@ -110,10 +108,16 @@ pub enum Counter {
     /// evaluated by the pruned engine. `MovesPruned + MovesEvaluated`
     /// equals the candidate count the unpruned engine would evaluate.
     MovesEvaluated,
+    /// Jobs admitted into a `gncg-service` session queue.
+    ServiceEnqueued,
+    /// Jobs dequeued by a `gncg-service` runner (started executing).
+    ServiceDequeued,
+    /// Jobs rejected at admission (queue full or session shutting down).
+    ServiceRejected,
 }
 
 /// Number of counters in [`Counter`].
-pub const NUM_COUNTERS: usize = 11;
+pub const NUM_COUNTERS: usize = 14;
 
 /// JSON field names, indexed by `Counter as usize`.
 pub const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
@@ -128,6 +132,9 @@ pub const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "pool_jobs",
     "moves_pruned",
     "moves_evaluated",
+    "service_enqueued",
+    "service_dequeued",
+    "service_rejected",
 ];
 
 /// The thread-count- and schedule-invariant subset of [`COUNTER_NAMES`];

@@ -34,7 +34,8 @@ fn main() {
     let net_small = grid_network(&small);
     println!("\n4x2 rack grid ({} racks): exact analysis", small.len());
     for a in [0.5, 1.0, 4.0, 16.0] {
-        let beta = exact::exact_beta(&small, &net_small, a);
+        let beta =
+            exact::exact_beta(&small, &net_small, a, &SolveOptions::default()).expect_exact("beta");
         println!(
             "  alpha {a:>5}: exact beta = {beta:.4} (2d bound = {})",
             theorem_3_13_bound(2)

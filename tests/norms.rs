@@ -3,7 +3,7 @@
 
 use euclidean_network_design::algo::{complete::complete_network, mst_network::mst_network};
 use euclidean_network_design::game::certify::{certify, CertifyOptions};
-use euclidean_network_design::game::exact;
+use euclidean_network_design::game::{exact, SolveOptions};
 use euclidean_network_design::geometry::{Norm, Point, PointSet};
 use euclidean_network_design::graph::stretch;
 use euclidean_network_design::spanner;
@@ -82,6 +82,6 @@ fn exact_beta_certificate_sound_under_l1() {
     }
     let alpha = 1.5;
     let r = certify(&ps, &net, alpha, CertifyOptions::bounds_only());
-    let be = exact::exact_beta(&ps, &net, alpha);
+    let be = exact::exact_beta(&ps, &net, alpha, &SolveOptions::default()).expect_exact("beta");
     assert!(be <= r.beta_upper + 1e-9);
 }

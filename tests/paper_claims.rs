@@ -84,7 +84,8 @@ fn theorem_3_13_grid_exact() {
     let ps = generators::integer_grid(&[2, 2]); // 9 agents
     let net = grid_network(&ps);
     for alpha in [0.5, 2.0] {
-        let beta = exact::exact_beta(&ps, &net, alpha);
+        let beta =
+            exact::exact_beta(&ps, &net, alpha, &SolveOptions::default()).expect_exact("beta");
         assert!(beta <= 4.0 + 1e-9, "alpha {alpha}: beta {beta}");
     }
 }

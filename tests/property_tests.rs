@@ -9,7 +9,7 @@
 use euclidean_network_design::game::{
     best_response,
     certify::{certify, optimum_lower_bound, CertifyOptions},
-    cost, exact, moves, OwnedNetwork,
+    cost, exact, moves, OwnedNetwork, SolveOptions,
 };
 use euclidean_network_design::geometry::{Point, PointSet};
 use euclidean_network_design::graph::{apsp, mst, stretch};
@@ -120,7 +120,9 @@ fn best_response_ordering() {
         for u in 0..n {
             let now = cost::agent_cost(&ps, &net, alpha, u);
             let ls = moves::local_search_response(&ps, &net, alpha, u, 10);
-            let ex = best_response::exact_best_response(&ps, &net, alpha, u);
+            let ex =
+                best_response::exact_best_response(&ps, &net, alpha, u, &SolveOptions::default())
+                    .expect_exact("best response");
             assert!(
                 ex.cost <= ls.cost + 1e-9,
                 "case {case} agent {u}: exact {} > local search {}",
@@ -145,7 +147,7 @@ fn beta_bound_sound() {
         let net = random_profile(&mut rng, ps.len());
         let alpha = rng.gen_range(0.2..4.0);
         let r = certify(&ps, &net, alpha, CertifyOptions::bounds_only());
-        let be = exact::exact_beta(&ps, &net, alpha);
+        let be = exact::exact_beta(&ps, &net, alpha, &SolveOptions::default()).expect_exact("beta");
         assert!(
             be <= r.beta_upper + 1e-9,
             "case {case}: exact beta {be} > upper bound {}",
@@ -162,7 +164,9 @@ fn opt_lower_bound_sound() {
         let ps = random_point_set(&mut rng, 6);
         let alpha = rng.gen_range(0.2..4.0);
         let lb = optimum_lower_bound(&ps, alpha);
-        let opt = exact::exact_social_optimum(&ps, alpha).social_cost;
+        let opt = exact::exact_social_optimum(&ps, alpha, &SolveOptions::default())
+            .expect_exact("optimum")
+            .social_cost;
         assert!(lb <= opt + 1e-9, "case {case}: lb {lb} > opt {opt}");
     }
 }
@@ -294,7 +298,8 @@ fn converged_dynamics_beta_is_one() {
         if let dynamics::Outcome::Converged { state, .. } =
             dynamics::run(&ps, &start, 1.0, dynamics::ResponseRule::BestResponse, 200)
         {
-            let beta = exact::exact_beta(&ps, &state, 1.0);
+            let beta =
+                exact::exact_beta(&ps, &state, 1.0, &SolveOptions::default()).expect_exact("beta");
             assert!(beta <= 1.0 + 1e-6, "seed {seed}: beta {beta}");
         }
     }

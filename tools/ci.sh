@@ -20,6 +20,14 @@ if ((${#missing[@]})); then
     exit 1
 fi
 
+# config discipline: every GNCG_* env read goes through gncg-config; a
+# direct read anywhere else bypasses the documented parsing rules
+if grep -rn --include='*.rs' -F 'env::var("GNCG_' src crates tests examples \
+    | grep -v '^crates/config/src/'; then
+    echo "direct GNCG_* env reads outside crates/config/src (use GncgConfig)" >&2
+    exit 1
+fi
+
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace

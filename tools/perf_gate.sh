@@ -11,7 +11,10 @@
 #     thread count, scheduling, or fault injection;
 #   - each stage's calibration-normalized wall time (`measured` =
 #     stage time / in-process pure-CPU calibration loop time) must stay
-#     within GNCG_PERF_RATIO (default 1.5) of the baseline.
+#     within GNCG_PERF_RATIO (default 1.5) of the baseline;
+#   - the sweep must include the job-service dispatch-overhead stage
+#     ("service dispatch x512"), so regressions in Session
+#     admission/queueing cost are gated like any solver stage.
 #
 # The sweep runs under GNCG_THREADS=1 so the time ratios are comparable
 # across machines with different core counts.
@@ -70,6 +73,12 @@ for row in cur["rows"]:
 for name in base_rows:
     if name not in cur_names:
         failures.append(f"stage missing from current run: {name}")
+
+# stages the sweep must always carry, whatever the baseline says
+REQUIRED = ["service dispatch x512"]
+for name in REQUIRED:
+    if name not in cur_names:
+        failures.append(f"required stage absent from sweep: {name}")
 
 if failures:
     print("PERF GATE FAILED:")
