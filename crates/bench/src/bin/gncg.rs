@@ -11,8 +11,9 @@
 //! the dependency set to the whitelisted crates.
 
 use gncg_algo as algo;
+use gncg_config::GncgConfig;
 use gncg_game::certify::CertifyOptions;
-use gncg_game::{dynamics, OwnedNetwork};
+use gncg_game::{dynamics, GameSpec, OwnedNetwork};
 use gncg_geometry::{generators, PointSet};
 use gncg_service::{JobError, JobOptions, Session};
 use std::collections::HashMap;
@@ -176,11 +177,14 @@ fn run_certify(opts: &HashMap<String, String>) {
     let ps = load_points(req(opts, "points"));
     let net = load_network(req(opts, "network"));
     let alpha: f64 = parse_num(req(opts, "alpha"), "--alpha");
+    // binaries honor the env model choice; library defaults stay sum
+    let model = GncgConfig::from_env().model;
     let options = if opts.contains_key("exact") {
         CertifyOptions::exact()
     } else {
         CertifyOptions::default()
-    };
+    }
+    .with_model(model);
     // the CLI is a thin client of the job service: the session default
     // budget is GNCG_BUDGET_MS, exactly what the direct call honoured
     let session = Session::new();
@@ -217,6 +221,7 @@ fn run_dynamics(opts: &HashMap<String, String>) {
             alpha,
             rule,
             steps,
+            GameSpec::with_model(GncgConfig::from_env().model),
             JobOptions::default(),
         )
         .unwrap_or_else(|e| {

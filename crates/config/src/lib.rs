@@ -17,6 +17,7 @@
 //! | `GNCG_PRUNE`                | [`env::prune`]                 | off iff `"0"`/`"false"`/`"off"` (case-insensitive); cached at first read |
 //! | `GNCG_RESULTS_DIR`          | [`env::results_dir`]           | path override; **re-read on every call** (tests retarget it at runtime) |
 //! | `GNCG_PERF_RATIO`           | [`env::perf_ratio`]            | parsed `f64` > 0, default `1.5`; cached at first read |
+//! | `GNCG_MODEL`                | [`env::model`]                 | `"maxdist"`/`"max"` ⇒ [`ModelKind::MaxDistance`], anything else ⇒ [`ModelKind::SumDistances`]; cached at first read |
 //!
 //! Caching is *lazy per variable*: nothing is read until the first
 //! consumer asks, so a test that sets `GNCG_THREADS` before the first
@@ -32,6 +33,37 @@
 
 use std::path::PathBuf;
 use std::sync::OnceLock;
+
+/// Which agent objective the solvers should optimize (`GNCG_MODEL`).
+///
+/// Defined here (rather than in `gncg-game`) because the config crate is
+/// upstream of every consumer; `gncg-game` re-exports it alongside the
+/// `CostModel` trait whose monomorphized implementations it selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ModelKind {
+    /// The paper's objective: `α·buy + Σ_v d_G(u, v)`.
+    #[default]
+    SumDistances,
+    /// The max-distance (egalitarian) objective of Bilò–Gualà–Leucci–
+    /// Proietti (arXiv 1407.0643): `α·buy + max_v d_G(u, v)`.
+    MaxDistance,
+}
+
+impl ModelKind {
+    /// Canonical lowercase name, matching the `GNCG_MODEL` spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ModelKind::SumDistances => "sum",
+            ModelKind::MaxDistance => "maxdist",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Pure parse rules for the `GNCG_*` variables, shared by the cached
 /// accessors and unit-testable without touching the process environment.
@@ -65,6 +97,20 @@ pub mod parse {
         match number::<f64>(value) {
             Some(r) if r > 0.0 => r,
             _ => 1.5,
+        }
+    }
+
+    /// `GNCG_MODEL` semantics: `"maxdist"` or `"max"` (case-insensitive)
+    /// selects the max-distance objective; anything else — including
+    /// unset, `""`, and `"sum"` — is the paper's sum-of-distances
+    /// default, so a typo can never silently change which numbers the
+    /// repro binaries report against the committed baselines.
+    pub fn model(value: Option<&str>) -> super::ModelKind {
+        match value {
+            Some(v) if v.eq_ignore_ascii_case("maxdist") || v.eq_ignore_ascii_case("max") => {
+                super::ModelKind::MaxDistance
+            }
+            _ => super::ModelKind::SumDistances,
         }
     }
 }
@@ -135,6 +181,25 @@ pub mod env {
         static CACHE: OnceLock<f64> = OnceLock::new();
         *CACHE.get_or_init(|| parse::perf_ratio(read("GNCG_PERF_RATIO").as_deref()))
     }
+
+    /// `GNCG_MODEL`: which agent objective the binaries and the
+    /// model-parameterized test harnesses target (default
+    /// [`ModelKind::SumDistances`]). Cached at first read.
+    pub fn model() -> ModelKind {
+        static CACHE: OnceLock<ModelKind> = OnceLock::new();
+        *CACHE.get_or_init(|| parse::model(read("GNCG_MODEL").as_deref()))
+    }
+
+    /// `GNCG_MODEL` as an explicit choice: `Some(kind)` when the
+    /// variable is set (to anything — unknown spellings still resolve
+    /// to the sum default via [`parse::model`]), `None` when unset.
+    /// Model-parameterized test harnesses use the `None` case to mean
+    /// "sweep every model" while a CI leg pins one. Cached at first
+    /// read.
+    pub fn model_choice() -> Option<ModelKind> {
+        static CACHE: OnceLock<Option<ModelKind>> = OnceLock::new();
+        *CACHE.get_or_init(|| read("GNCG_MODEL").as_deref().map(|v| parse::model(Some(v))))
+    }
 }
 
 /// One snapshot of every `GNCG_*` knob: what [`GncgConfig::from_env`]
@@ -166,6 +231,8 @@ pub struct GncgConfig {
     pub results_dir: Option<PathBuf>,
     /// Perf-gate regression allowance (`GNCG_PERF_RATIO`, default 1.5).
     pub perf_ratio: f64,
+    /// Agent objective (`GNCG_MODEL`, default sum-of-distances).
+    pub model: ModelKind,
 }
 
 impl GncgConfig {
@@ -180,6 +247,7 @@ impl GncgConfig {
             prune: env::prune(),
             results_dir: env::results_dir(),
             perf_ratio: env::perf_ratio(),
+            model: env::model(),
         }
     }
 
@@ -206,6 +274,7 @@ impl Default for GncgConfig {
             prune: true,
             results_dir: None,
             perf_ratio: 1.5,
+            model: ModelKind::SumDistances,
         }
     }
 }
@@ -257,6 +326,12 @@ impl GncgConfigBuilder {
     /// Override the report output directory.
     pub fn results_dir(mut self, dir: PathBuf) -> Self {
         self.config.results_dir = Some(dir);
+        self
+    }
+
+    /// Override the agent objective.
+    pub fn model(mut self, model: ModelKind) -> Self {
+        self.config.model = model;
         self
     }
 
@@ -316,6 +391,25 @@ mod tests {
     }
 
     #[test]
+    fn model_parse_rules_are_frozen() {
+        assert_eq!(parse::model(None), ModelKind::SumDistances);
+        assert_eq!(parse::model(Some("")), ModelKind::SumDistances);
+        assert_eq!(parse::model(Some("sum")), ModelKind::SumDistances);
+        assert_eq!(parse::model(Some("sumdist")), ModelKind::SumDistances);
+        assert_eq!(parse::model(Some("garbage")), ModelKind::SumDistances);
+        assert_eq!(parse::model(Some("maxdist")), ModelKind::MaxDistance);
+        assert_eq!(parse::model(Some("MAXDIST")), ModelKind::MaxDistance);
+        assert_eq!(parse::model(Some("max")), ModelKind::MaxDistance);
+        assert_eq!(parse::model(Some("Max")), ModelKind::MaxDistance);
+        assert_eq!(ModelKind::SumDistances.as_str(), "sum");
+        assert_eq!(ModelKind::MaxDistance.as_str(), "maxdist");
+        // round-trip: the canonical spelling parses back to itself
+        for kind in [ModelKind::SumDistances, ModelKind::MaxDistance] {
+            assert_eq!(parse::model(Some(kind.as_str())), kind);
+        }
+    }
+
+    #[test]
     fn builder_overrides_stick() {
         let c = GncgConfig::builder()
             .threads(3)
@@ -324,6 +418,7 @@ mod tests {
             .prune(false)
             .fault_inject(0.5)
             .results_dir(PathBuf::from("/tmp/x"))
+            .model(ModelKind::MaxDistance)
             .build();
         assert_eq!(c.threads, Some(3));
         assert_eq!(c.budget_ms, Some(250));
@@ -331,6 +426,7 @@ mod tests {
         assert!(!c.prune);
         assert_eq!(c.fault_inject, Some(0.5));
         assert_eq!(c.results_dir, Some(PathBuf::from("/tmp/x")));
+        assert_eq!(c.model, ModelKind::MaxDistance);
         let unlimited = GncgConfig::builder().unlimited_budget().build();
         assert_eq!(unlimited.budget_ms, None);
     }
@@ -344,6 +440,7 @@ mod tests {
         assert!(!c.trace);
         assert!(c.prune);
         assert_eq!(c.perf_ratio, 1.5);
+        assert_eq!(c.model, ModelKind::SumDistances);
     }
 
     #[test]

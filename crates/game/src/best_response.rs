@@ -15,7 +15,7 @@
 //!    worker so candidate evaluation performs zero heap allocations.
 
 use crate::prune::PruneMode;
-use crate::{cost, EdgeWeights, OwnedNetwork};
+use crate::{cost, CostModel, EdgeWeights, ModelKind, OwnedNetwork, SumDistances};
 use gncg_graph::{csr::Csr, DistMatrix, Graph};
 use std::collections::BTreeSet;
 
@@ -83,6 +83,10 @@ pub struct ResponseEvaluator<'d> {
     /// `Σ_{v≠u} lb(u, v)`: the metric floor under every strategy's
     /// distance cost, consumed by the pruning layer ([`crate::prune`]).
     lb_dist: f64,
+    /// `max_{v≠u} lb(u, v)`: the same floor under the max-distance
+    /// objective — no strategy brings the farthest agent closer than its
+    /// metric lower bound.
+    lb_dist_max: f64,
 }
 
 impl ResponseEvaluator<'static> {
@@ -174,6 +178,10 @@ impl<'d> ResponseEvaluator<'d> {
             .filter(|&v| v != u)
             .map(|v| w.metric_lower_bound(u, v))
             .sum();
+        let lb_dist_max: f64 = (0..n)
+            .filter(|&v| v != u)
+            .map(|v| w.metric_lower_bound(u, v))
+            .fold(0.0, |a, d| if d > a { d } else { a });
         Self {
             agent: u,
             others,
@@ -181,6 +189,7 @@ impl<'d> ResponseEvaluator<'d> {
             dist_rest,
             edge_w,
             lb_dist,
+            lb_dist_max,
         }
     }
 
@@ -189,6 +198,18 @@ impl<'d> ResponseEvaluator<'d> {
     #[inline]
     pub fn lb_dist(&self) -> f64 {
         self.lb_dist
+    }
+
+    /// The metric floor on this agent's distance cost under model `M` —
+    /// [`ResponseEvaluator::lb_dist`] for the sum objective,
+    /// `max_{v≠u} lb(u, v)` for the max-distance objective. Both floors
+    /// are precomputed, so selection is a compile-time `M::KIND` match.
+    #[inline]
+    pub fn lb_dist_model<M: CostModel>(&self) -> f64 {
+        match M::KIND {
+            ModelKind::SumDistances => self.lb_dist,
+            ModelKind::MaxDistance => self.lb_dist_max,
+        }
     }
 
     /// `‖u, v‖` (0 for `v == agent`).
@@ -208,8 +229,17 @@ impl<'d> ResponseEvaluator<'d> {
     /// iterator of agent ids to buy edges to). Allocating convenience
     /// wrapper around [`ResponseEvaluator::cost_with`].
     pub fn cost<I: IntoIterator<Item = usize>>(&self, alpha: f64, bought: I) -> f64 {
+        self.cost_model::<SumDistances, I>(alpha, bought)
+    }
+
+    /// [`ResponseEvaluator::cost`] under model `M`.
+    pub fn cost_model<M: CostModel, I: IntoIterator<Item = usize>>(
+        &self,
+        alpha: f64,
+        bought: I,
+    ) -> f64 {
         let mut scratch = ResponseScratch::default();
-        self.cost_with(alpha, bought, &mut scratch)
+        self.cost_with_model::<M, I>(alpha, bought, &mut scratch)
     }
 
     /// Like [`ResponseEvaluator::cost`], but reusing `scratch`: after the
@@ -225,6 +255,16 @@ impl<'d> ResponseEvaluator<'d> {
         self.cost_with_cutoff(alpha, bought, f64::INFINITY, scratch)
     }
 
+    /// [`ResponseEvaluator::cost_with`] under model `M`.
+    pub fn cost_with_model<M: CostModel, I: IntoIterator<Item = usize>>(
+        &self,
+        alpha: f64,
+        bought: I,
+        scratch: &mut ResponseScratch,
+    ) -> f64 {
+        self.cost_with_cutoff_model::<M, I>(alpha, bought, f64::INFINITY, scratch)
+    }
+
     /// [`ResponseEvaluator::cost_with`] with a branch-and-bound cutoff:
     /// returns the exact cost (bit-identical to `cost_with`) whenever it
     /// is ≤ `cutoff`, and may return `+∞` early otherwise.
@@ -236,6 +276,22 @@ impl<'d> ResponseEvaluator<'d> {
     /// at the cutoff never trip the strict comparison, so exact ties —
     /// which the callers' tie-breaks must see — always evaluate fully.
     pub fn cost_with_cutoff<I: IntoIterator<Item = usize>>(
+        &self,
+        alpha: f64,
+        bought: I,
+        cutoff: f64,
+        scratch: &mut ResponseScratch,
+    ) -> f64 {
+        self.cost_with_cutoff_model::<SumDistances, I>(alpha, bought, cutoff, scratch)
+    }
+
+    /// [`ResponseEvaluator::cost_with_cutoff`] under model `M`. The
+    /// early exit stays sound because every [`CostModel`] guarantees
+    /// prefix folds are ≤ the final fold (soundness rule 2 — true of
+    /// non-negative running sums and of running maxima alike); the
+    /// [`SumDistances`] instantiation monomorphizes `M::fold(acc, d)`
+    /// back to `acc + d` and is bit-identical to the legacy body.
+    pub fn cost_with_cutoff_model<M: CostModel, I: IntoIterator<Item = usize>>(
         &self,
         alpha: f64,
         bought: I,
@@ -274,23 +330,23 @@ impl<'d> ResponseEvaluator<'d> {
             }
         }
         let base = alpha * buy_cost;
-        let mut dist_sum = 0.0;
+        let mut dist_agg = M::EMPTY;
         if cutoff.is_finite() {
             for &v in &self.others {
-                dist_sum += scratch.best[v];
-                if base + dist_sum > cutoff || dist_sum.is_infinite() {
+                dist_agg = M::fold(dist_agg, scratch.best[v]);
+                if base + dist_agg > cutoff || dist_agg.is_infinite() {
                     return f64::INFINITY;
                 }
             }
         } else {
             for &v in &self.others {
-                dist_sum += scratch.best[v];
-                if dist_sum.is_infinite() {
+                dist_agg = M::fold(dist_agg, scratch.best[v]);
+                if dist_agg.is_infinite() {
                     return f64::INFINITY;
                 }
             }
         }
-        base + dist_sum
+        base + dist_agg
     }
 }
 
@@ -311,21 +367,36 @@ pub fn exact_best_response<W: EdgeWeights + ?Sized>(
     u: usize,
     opts: &crate::outcome::SolveOptions,
 ) -> crate::outcome::Outcome<BestResponse> {
+    crate::dispatch_model!(opts.model, M, {
+        exact_best_response_generic::<W, M>(w, net, alpha, u, opts)
+    })
+}
+
+/// Monomorphic body of [`exact_best_response`] for model `M`.
+fn exact_best_response_generic<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+    opts: &crate::outcome::SolveOptions,
+) -> crate::outcome::Outcome<BestResponse> {
     use crate::outcome::{attempt, DegradeReason, Outcome};
     let n = net.len();
     if n > MAX_EXACT_AGENTS {
         return Outcome::Degraded {
-            certified_bound: best_response_lower_bound(w, u),
+            certified_bound: best_response_lower_bound_model::<W, M>(w, u),
             reason: DegradeReason::InstanceTooLarge {
                 n,
                 cap: MAX_EXACT_AGENTS,
             },
         };
     }
-    match attempt(&opts.budget, || exact_best_response_raw(w, net, alpha, u)) {
+    match attempt(&opts.budget, || {
+        exact_best_response_raw_model::<W, M>(w, net, alpha, u)
+    }) {
         Ok(br) => Outcome::Exact(br),
         Err(reason) => Outcome::Degraded {
-            certified_bound: best_response_lower_bound(w, u),
+            certified_bound: best_response_lower_bound_model::<W, M>(w, u),
             reason,
         },
     }
@@ -340,7 +411,17 @@ pub(crate) fn exact_best_response_raw<W: EdgeWeights + ?Sized>(
     alpha: f64,
     u: usize,
 ) -> BestResponse {
-    enumerate_best_response(w, net, alpha, u, None)
+    exact_best_response_raw_model::<W, SumDistances>(w, net, alpha, u)
+}
+
+/// [`exact_best_response_raw`] under model `M`.
+pub(crate) fn exact_best_response_raw_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+) -> BestResponse {
+    enumerate_best_response::<W, M>(w, net, alpha, u, None)
 }
 
 /// [`exact_best_response`] against a pre-built created network `g`
@@ -352,10 +433,21 @@ pub fn exact_best_response_in_graph<W: EdgeWeights + ?Sized>(
     alpha: f64,
     u: usize,
 ) -> BestResponse {
-    enumerate_best_response(w, net, alpha, u, Some(g))
+    exact_best_response_in_graph_model::<W, SumDistances>(w, net, g, alpha, u)
 }
 
-fn enumerate_best_response<W: EdgeWeights + ?Sized>(
+/// [`exact_best_response_in_graph`] under model `M`.
+pub fn exact_best_response_in_graph_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    g: &Graph,
+    alpha: f64,
+    u: usize,
+) -> BestResponse {
+    enumerate_best_response::<W, M>(w, net, alpha, u, Some(g))
+}
+
+fn enumerate_best_response<W: EdgeWeights + ?Sized, M: CostModel>(
     w: &W,
     net: &OwnedNetwork,
     alpha: f64,
@@ -379,7 +471,7 @@ fn enumerate_best_response<W: EdgeWeights + ?Sized>(
         Some(g) => ResponseEvaluator::from_built_graph(w, net, g, u),
         None => ResponseEvaluator::new(w, net, u),
     };
-    exact_best_response_with_eval(&eval, alpha)
+    exact_best_response_with_eval_mode_model::<M>(&eval, alpha, PruneMode::from_env())
 }
 
 /// Exact best response driven by a caller-built evaluator — e.g. one
@@ -412,6 +504,18 @@ pub fn exact_best_response_with_eval_mode(
     alpha: f64,
     mode: PruneMode,
 ) -> BestResponse {
+    exact_best_response_with_eval_mode_model::<SumDistances>(eval, alpha, mode)
+}
+
+/// [`exact_best_response_with_eval_mode`] under model `M`. The mask
+/// prune stays sound for every model: the distance aggregate is
+/// non-negative (soundness rule 1), so `fl(α·buy) > ub₀` still proves
+/// the candidate loses to the pre-pass bound.
+pub fn exact_best_response_with_eval_mode_model<M: CostModel>(
+    eval: &ResponseEvaluator<'_>,
+    alpha: f64,
+    mode: PruneMode,
+) -> BestResponse {
     let _span = gncg_trace::span("game.best_response");
     let others = &eval.others;
     let m = others.len();
@@ -424,15 +528,15 @@ pub fn exact_best_response_with_eval_mode(
     let prune = mode.is_on();
     let ub0 = if prune {
         let mut scratch = ResponseScratch::default();
-        let mut ub = eval.cost_with(alpha, std::iter::empty(), &mut scratch);
+        let mut ub = eval.cost_with_model::<M, _>(alpha, std::iter::empty(), &mut scratch);
         for &v in others {
-            let c = eval.cost_with(alpha, std::iter::once(v), &mut scratch);
+            let c = eval.cost_with_model::<M, _>(alpha, std::iter::once(v), &mut scratch);
             if c < ub {
                 ub = c;
             }
         }
         if m >= 2 {
-            let c = eval.cost_with(alpha, others.iter().copied(), &mut scratch);
+            let c = eval.cost_with_model::<M, _>(alpha, others.iter().copied(), &mut scratch);
             if c < ub {
                 ub = c;
             }
@@ -464,7 +568,7 @@ pub fn exact_best_response_with_eval_mode(
                 }
                 gncg_trace::incr(gncg_trace::Counter::MovesEvaluated);
             }
-            let c = eval.cost_with_cutoff(
+            let c = eval.cost_with_cutoff_model::<M, _>(
                 alpha,
                 others
                     .iter()
@@ -505,28 +609,21 @@ pub fn exact_best_response_with_eval_mode(
 /// `Σ_{v≠u} lb(u, v)` — no network brings a pair closer than the metric
 /// lower bound, and edge purchases only add to that.
 pub fn best_response_lower_bound<W: EdgeWeights + ?Sized>(w: &W, u: usize) -> f64 {
+    best_response_lower_bound_model::<W, SumDistances>(w, u)
+}
+
+/// [`best_response_lower_bound`] under model `M`: the `M`-aggregate of
+/// the metric lower bounds (the farthest floor, for max-distance). The
+/// left fold with `M::fold` is exactly `iter().sum()` for
+/// [`SumDistances`], so the sum instantiation is bit-identical.
+pub fn best_response_lower_bound_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    u: usize,
+) -> f64 {
     (0..w.len())
         .filter(|&v| v != u)
         .map(|v| w.metric_lower_bound(u, v))
-        .sum()
-}
-
-/// Deprecated shim for the old `exact_best_response`/`_budgeted` pair.
-#[deprecated(note = "use `exact_best_response` with `SolveOptions::budgeted(budget)`")]
-pub fn exact_best_response_budgeted<W: EdgeWeights + ?Sized>(
-    w: &W,
-    net: &OwnedNetwork,
-    alpha: f64,
-    u: usize,
-    budget: &gncg_parallel::Budget,
-) -> crate::outcome::Outcome<BestResponse> {
-    exact_best_response(
-        w,
-        net,
-        alpha,
-        u,
-        &crate::outcome::SolveOptions::budgeted(budget),
-    )
+        .fold(M::EMPTY, M::fold)
 }
 
 /// Exact improvement factor of agent `u`:
@@ -540,8 +637,18 @@ pub fn exact_improvement_factor<W: EdgeWeights + ?Sized>(
     alpha: f64,
     u: usize,
 ) -> f64 {
-    let now = cost::agent_cost(w, net, alpha, u);
-    let br = exact_best_response_raw(w, net, alpha, u);
+    exact_improvement_factor_model::<W, SumDistances>(w, net, alpha, u)
+}
+
+/// [`exact_improvement_factor`] under model `M`.
+pub fn exact_improvement_factor_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+) -> f64 {
+    let now = cost::agent_cost_model::<W, M>(w, net, alpha, u);
+    let br = exact_best_response_raw_model::<W, M>(w, net, alpha, u);
     ratio(now, br.cost)
 }
 
@@ -759,6 +866,112 @@ mod tests {
         lonely.buy(1, 2);
         let e = ResponseEvaluator::new(&ps, &lonely, 0);
         assert!(e.cost_with(1.0, [].into_iter(), &mut scratch).is_infinite());
+    }
+
+    #[test]
+    fn max_distance_enumeration_matches_naive_oracle() {
+        use crate::MaxDistance;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for trial in 0..5 {
+            let n = 6;
+            let ps = generators::uniform_unit_square(n, 700 + trial);
+            let mut net = OwnedNetwork::empty(n);
+            for a in 0..n {
+                for b in 0..n {
+                    if a != b && rng.gen::<f64>() < 0.3 {
+                        net.buy(a, b);
+                    }
+                }
+            }
+            let alpha = 0.5 + rng.gen::<f64>() * 3.0;
+            for u in 0..n {
+                let fast = exact_best_response_raw_model::<_, MaxDistance>(&ps, &net, alpha, u);
+                let slow = naive_best_response_model::<MaxDistance>(&ps, &net, alpha, u);
+                assert_eq!(
+                    fast.cost.to_bits(),
+                    slow.to_bits(),
+                    "trial {trial} agent {u}: fast {} vs slow {slow}",
+                    fast.cost
+                );
+                // cross-check against a fully from-scratch profile
+                // rebuild; tolerance, not bits — the evaluator composes
+                // shortest paths through the rest graph, which
+                // parenthesizes the path sums differently than a
+                // Dijkstra over G(s)
+                let mut probe = net.clone();
+                probe.set_strategy(u, fast.strategy.clone());
+                let scratch_cost = cost::agent_cost_model::<_, MaxDistance>(&ps, &probe, alpha, u);
+                if fast.cost.is_finite() {
+                    assert!(
+                        (fast.cost - scratch_cost).abs() <= 1e-9 * scratch_cost.abs().max(1.0),
+                        "trial {trial} agent {u}: evaluator {} vs rebuild {scratch_cost}",
+                        fast.cost
+                    );
+                } else {
+                    assert!(scratch_cost.is_infinite());
+                }
+            }
+        }
+    }
+
+    /// Plain-loop mask enumeration over the same evaluator cost
+    /// primitive the engines use — no pruning, no precomputed upper
+    /// bound, no cutoffs. Bit-identity against the engines is exact
+    /// because both sides evaluate candidates with the identical
+    /// float-operation sequence.
+    fn naive_best_response_model<M: crate::CostModel>(
+        ps: &gncg_geometry::PointSet,
+        net: &OwnedNetwork,
+        alpha: f64,
+        u: usize,
+    ) -> f64 {
+        let eval = ResponseEvaluator::new(ps, net, u);
+        let mut scratch = ResponseScratch::default();
+        let n = net.len();
+        let others: Vec<usize> = (0..n).filter(|&v| v != u).collect();
+        let mut best = f64::INFINITY;
+        for mask in 0u64..(1 << others.len()) {
+            let strat: Vec<usize> = others
+                .iter()
+                .enumerate()
+                .filter(|(bit, _)| mask & (1 << bit) != 0)
+                .map(|(_, &v)| v)
+                .collect();
+            let c = eval.cost_with_model::<M, _>(alpha, strat.iter().copied(), &mut scratch);
+            if c < best {
+                best = c;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn lb_dist_model_selects_per_model_floor() {
+        use crate::MaxDistance;
+        let ps = generators::line(4, 3.0); // points at 0,1,2,3
+        let net = OwnedNetwork::forward_path(4);
+        let eval = ResponseEvaluator::new(&ps, &net, 0);
+        assert_eq!(
+            eval.lb_dist_model::<SumDistances>().to_bits(),
+            eval.lb_dist().to_bits()
+        );
+        assert!((eval.lb_dist() - 6.0).abs() < 1e-12);
+        assert!((eval.lb_dist_model::<MaxDistance>() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_model_merged_entry_dispatches() {
+        use crate::outcome::SolveOptions;
+        use crate::MaxDistance;
+        let ps = generators::uniform_unit_square(6, 13);
+        let net = OwnedNetwork::center_star(6, 0);
+        let opts = SolveOptions::default().with_model(ModelKind::MaxDistance);
+        let merged = exact_best_response(&ps, &net, 1.2, 3, &opts).expect_exact("br");
+        assert_eq!(
+            merged,
+            exact_best_response_raw_model::<_, MaxDistance>(&ps, &net, 1.2, 3)
+        );
     }
 
     #[test]

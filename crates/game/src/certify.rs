@@ -19,7 +19,10 @@
 //! every reported bound and exact value is unchanged by the toggle.
 
 use crate::outcome::{self, DegradeReason, Regime};
-use crate::{best_response, cost, exact, moves, EdgeWeights, EvalContext, OwnedNetwork};
+use crate::{
+    best_response, cost, exact, moves, CostModel, EdgeWeights, EvalContext, ModelKind,
+    OwnedNetwork, SumDistances,
+};
 use gncg_graph::Graph;
 use gncg_json::{object, ToJson, Value};
 use gncg_parallel::Budget;
@@ -41,6 +44,12 @@ pub struct CertifyOptions {
     /// unlimited when the variable is unset) — the historical `certify`
     /// behaviour; override with [`CertifyOptions::with_budget`].
     pub budget: Budget,
+    /// The per-agent cost model to certify under (the paper's
+    /// sum-of-distances by default; deliberately *not* environment-
+    /// derived — binaries that want the `GNCG_MODEL` choice read it off
+    /// `GncgConfig` and pass it in with
+    /// [`CertifyOptions::with_model`]).
+    pub model: ModelKind,
 }
 
 impl Default for CertifyOptions {
@@ -50,6 +59,7 @@ impl Default for CertifyOptions {
             exact_gamma: false,
             witness: true,
             budget: Budget::from_env(),
+            model: ModelKind::SumDistances,
         }
     }
 }
@@ -78,6 +88,12 @@ impl CertifyOptions {
     /// Replace the budget (builder style).
     pub fn with_budget(mut self, budget: &Budget) -> Self {
         self.budget = budget.clone();
+        self
+    }
+
+    /// Replace the cost model (builder style).
+    pub fn with_model(mut self, model: ModelKind) -> Self {
+        self.model = model;
         self
     }
 }
@@ -119,11 +135,13 @@ pub struct CertifyReport {
     /// that fell back to the certified regime; empty when nothing
     /// degraded.
     pub degrade_reasons: Vec<String>,
+    /// The cost model the report was certified under.
+    pub model: ModelKind,
 }
 
 impl ToJson for CertifyReport {
     fn to_json(&self) -> Value {
-        object(vec![
+        let mut entries = vec![
             ("n", self.n.to_json()),
             ("alpha", self.alpha.to_json()),
             ("social_cost", self.social_cost.to_json()),
@@ -138,7 +156,14 @@ impl ToJson for CertifyReport {
             ("beta_regime", self.beta_regime.as_str().to_json()),
             ("gamma_regime", self.gamma_regime.as_str().to_json()),
             ("degrade_reasons", self.degrade_reasons.to_json()),
-        ])
+        ];
+        // The sum-model key set is frozen — committed results/*.json and
+        // downstream parsers rely on it byte-for-byte — so the model tag
+        // appears only for non-default models.
+        if self.model != ModelKind::SumDistances {
+            entries.push(("model", self.model.as_str().to_json()));
+        }
+        object(entries)
     }
 }
 
@@ -164,19 +189,50 @@ impl CertifyReport {
 /// buildable edges, and no network brings a pair closer than the metric
 /// lower bound.
 pub fn optimum_lower_bound<W: EdgeWeights + ?Sized>(w: &W, alpha: f64) -> f64 {
+    optimum_lower_bound_model::<W, SumDistances>(w, alpha)
+}
+
+/// [`optimum_lower_bound`] under model `M`:
+/// `α·w(MST) + Σ_u M-aggregate(lb(u, ·))`. For max-distance the
+/// per-agent term is `max_v lb(u, v)` — no network gives `u` a smaller
+/// eccentricity. The historical sum accumulated the whole `n×n` matrix
+/// in one flat double loop, and that exact accumulation order is kept
+/// for [`SumDistances`] (a per-row regrouping would round differently).
+pub fn optimum_lower_bound_model<W: EdgeWeights + ?Sized, M: CostModel>(w: &W, alpha: f64) -> f64 {
     let n = w.len();
     let mst: f64 = gncg_graph::mst::prim_dense(n, |i, j| w.weight(i, j))
         .iter()
         .map(|&(_, _, x)| x)
         .sum();
-    let mut direct = 0.0;
-    for u in 0..n {
-        for v in 0..n {
-            if u != v {
-                direct += w.metric_lower_bound(u, v);
+    let direct = match M::KIND {
+        ModelKind::SumDistances => {
+            let mut direct = 0.0;
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v {
+                        direct += w.metric_lower_bound(u, v);
+                    }
+                }
             }
+            direct
         }
-    }
+        ModelKind::MaxDistance => {
+            let mut direct = 0.0;
+            for u in 0..n {
+                let mut ecc = 0.0;
+                for v in 0..n {
+                    if u != v {
+                        let lb = w.metric_lower_bound(u, v);
+                        if lb > ecc {
+                            ecc = lb;
+                        }
+                    }
+                }
+                direct += ecc;
+            }
+            direct
+        }
+    };
     alpha * mst + direct
 }
 
@@ -219,11 +275,26 @@ pub fn agent_beta_upper_with_now<W: EdgeWeights + ?Sized>(
     u: usize,
     now: f64,
 ) -> f64 {
+    agent_beta_upper_with_now_model::<W, SumDistances>(w, net, g, alpha, u, now)
+}
+
+/// [`agent_beta_upper_with_now`] under model `M` (`now` must be the
+/// agent's current `M`-cost). The distance floor becomes the
+/// `M`-aggregate of the metric lower bounds; the component-connect term
+/// bounds the *edge* cost of any deviation and is model-independent.
+pub fn agent_beta_upper_with_now_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    g: &Graph,
+    alpha: f64,
+    u: usize,
+    now: f64,
+) -> f64 {
     let n = w.len();
     let mut lb: f64 = (0..n)
         .filter(|&v| v != u)
         .map(|v| w.metric_lower_bound(u, v))
-        .sum();
+        .fold(M::EMPTY, M::fold);
     // components of the created network minus u's bought edges (an edge
     // survives when the other endpoint buys it too)
     let mut g_minus = g.clone();
@@ -257,13 +328,24 @@ pub fn agent_beta_upper_with_now<W: EdgeWeights + ?Sized>(
 /// Polynomial; this is the certified-regime fallback of the budgeted β
 /// solvers.
 pub fn beta_upper<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64) -> f64 {
+    beta_upper_model::<W, SumDistances>(w, net, alpha)
+}
+
+/// [`beta_upper`] under model `M`.
+pub fn beta_upper_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+) -> f64 {
     let n = net.len();
     let mut ctx = EvalContext::new(w, net, alpha);
     ctx.ensure_all_rows();
-    let costs: Vec<f64> = (0..n).map(|u| ctx.agent_cost_cached(u)).collect();
+    let costs: Vec<f64> = (0..n)
+        .map(|u| ctx.agent_cost_cached_model::<M>(u))
+        .collect();
     let (g, costs) = (ctx.graph(), &costs);
     let ups = gncg_parallel::parallel_map(n, |u| {
-        agent_beta_upper_with_now(w, net, g, alpha, u, costs[u])
+        agent_beta_upper_with_now_model::<W, M>(w, net, g, alpha, u, costs[u])
     });
     ups.into_iter().fold(1.0f64, f64::max)
 }
@@ -286,6 +368,20 @@ pub fn certify<W: EdgeWeights + ?Sized>(
     alpha: f64,
     opts: CertifyOptions,
 ) -> CertifyReport {
+    crate::dispatch_model!(opts.model, M, {
+        certify_generic::<W, M>(w, net, alpha, opts)
+    })
+}
+
+/// Monomorphic body of [`certify`] for model `M` — for the default
+/// [`SumDistances`] this compiles to the identical float-operation
+/// sequence as the historical certifier.
+fn certify_generic<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    opts: CertifyOptions,
+) -> CertifyReport {
     let _span = gncg_trace::span("game.certify");
     let budget = &opts.budget;
     let n = net.len();
@@ -296,12 +392,14 @@ pub fn certify<W: EdgeWeights + ?Sized>(
     let mut ctx = EvalContext::new(w, net, alpha);
     ctx.ensure_all_rows();
     let connected = gncg_graph::components::is_connected(ctx.graph());
-    let costs: Vec<f64> = (0..n).map(|u| ctx.agent_cost_cached(u)).collect();
+    let costs: Vec<f64> = (0..n)
+        .map(|u| ctx.agent_cost_cached_model::<M>(u))
+        .collect();
     let social: f64 = costs.iter().sum();
     let (g, costs) = (ctx.graph(), &costs);
 
     let beta_uppers = gncg_parallel::parallel_map(n, |u| {
-        agent_beta_upper_with_now(w, net, g, alpha, u, costs[u])
+        agent_beta_upper_with_now_model::<W, M>(w, net, g, alpha, u, costs[u])
     });
     let beta_upper = beta_uppers.into_iter().fold(1.0f64, f64::max);
 
@@ -312,7 +410,9 @@ pub fn certify<W: EdgeWeights + ?Sized>(
 
     let beta_exact = if opts.exact_beta {
         if n <= best_response::MAX_EXACT_AGENTS {
-            match outcome::attempt(budget, || exact::exact_beta_raw(w, net, alpha)) {
+            match outcome::attempt(budget, || {
+                exact::exact_beta_raw_model::<W, M>(w, net, alpha)
+            }) {
                 Ok(b) => Some(b),
                 Err(reason) => {
                     record("beta", reason);
@@ -340,18 +440,18 @@ pub fn certify<W: EdgeWeights + ?Sized>(
 
     let beta_witness = if opts.witness {
         let ws = gncg_parallel::parallel_map(n, |u| {
-            moves::witness_improvement_factor_with_now(w, net, g, alpha, u, costs[u])
+            moves::witness_improvement_factor_with_now_model::<W, M>(w, net, g, alpha, u, costs[u])
         });
         ws.into_iter().fold(1.0f64, f64::max)
     } else {
         1.0
     };
 
-    let opt_lb = optimum_lower_bound(w, alpha);
+    let opt_lb = optimum_lower_bound_model::<W, M>(w, alpha);
     let opt_exact = if opts.exact_gamma {
         if n <= exact::MAX_EXACT_OPT_AGENTS {
             match outcome::attempt(budget, || {
-                exact::exact_social_optimum_raw(w, alpha).social_cost
+                exact::exact_social_optimum_raw_model::<W, M>(w, alpha).social_cost
             }) {
                 Ok(o) => Some(o),
                 Err(reason) => {
@@ -395,19 +495,8 @@ pub fn certify<W: EdgeWeights + ?Sized>(
         beta_regime,
         gamma_regime,
         degrade_reasons,
+        model: M::KIND,
     }
-}
-
-/// Deprecated shim for the old `certify`/`certify_budgeted` pair.
-#[deprecated(note = "use `certify` with `CertifyOptions::with_budget(budget)`")]
-pub fn certify_budgeted<W: EdgeWeights + ?Sized>(
-    w: &W,
-    net: &OwnedNetwork,
-    alpha: f64,
-    opts: CertifyOptions,
-    budget: &Budget,
-) -> CertifyReport {
-    certify(w, net, alpha, opts.with_budget(budget))
 }
 
 #[cfg(test)]
@@ -599,7 +688,7 @@ mod tests {
         }
 
         // beta: degraded bound never undercuts the true beta
-        let beta_true = exact::exact_beta_raw(&ps, &net, alpha);
+        let beta_true = exact::exact_beta_raw_model::<_, SumDistances>(&ps, &net, alpha);
         match exact::exact_beta(&ps, &net, alpha, &SolveOptions::budgeted(&dead)) {
             crate::Outcome::Degraded {
                 certified_bound, ..
@@ -683,5 +772,64 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn max_model_certify_bounds_are_consistent() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for trial in 0..3 {
+            let n = 6;
+            let ps = generators::uniform_unit_square(n, 400 + trial);
+            let mut net = OwnedNetwork::empty(n);
+            for a in 1..n {
+                net.buy(a, rng.gen_range(0..a));
+            }
+            let alpha = 0.5 + rng.gen::<f64>() * 2.0;
+            let r = certify(
+                &ps,
+                &net,
+                alpha,
+                CertifyOptions::exact().with_model(ModelKind::MaxDistance),
+            );
+            assert_eq!(r.model, ModelKind::MaxDistance);
+            let be = r.beta_exact.unwrap();
+            assert!(
+                be <= r.beta_upper + 1e-9,
+                "trial {trial}: max-model exact beta {be} > upper {}",
+                r.beta_upper
+            );
+            assert!(
+                r.beta_witness <= be + 1e-9,
+                "trial {trial}: max-model witness {} > exact {be}",
+                r.beta_witness
+            );
+            assert!(r.opt_exact.unwrap() >= r.opt_lower_bound - 1e-9);
+            assert!(r.gamma_exact.unwrap() <= r.gamma_upper + 1e-9);
+        }
+    }
+
+    #[test]
+    fn report_json_tags_model_only_when_non_default() {
+        let ps = generators::line(2, 1.0);
+        let mut net = OwnedNetwork::empty(2);
+        net.buy(0, 1);
+        let sum = certify(&ps, &net, 1.0, CertifyOptions::bounds_only());
+        let sum_json = gncg_json::to_string(&sum.to_json());
+        assert!(
+            !sum_json.contains("\"model\""),
+            "default-model report must keep the frozen key set: {sum_json}"
+        );
+        let max = certify(
+            &ps,
+            &net,
+            1.0,
+            CertifyOptions::bounds_only().with_model(ModelKind::MaxDistance),
+        );
+        let max_json = gncg_json::to_string(&max.to_json());
+        assert!(
+            max_json.contains("\"model\":\"maxdist\""),
+            "max-model report must be tagged: {max_json}"
+        );
     }
 }

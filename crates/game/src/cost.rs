@@ -1,9 +1,17 @@
 //! Cost evaluation: per-agent cost, distance cost, social cost.
+//!
+//! Every evaluation is generic over the [`CostModel`] `M` turning the
+//! per-agent distance vector into a scalar; the un-suffixed functions
+//! are the historical API and delegate to the [`SumDistances`]
+//! instantiation, which monomorphizes to the identical float-operation
+//! sequence (`M::fold(acc, d) = acc + d` in a left fold is exactly
+//! `iter().sum()`).
 
-use crate::{EdgeWeights, OwnedNetwork};
+use crate::{CostModel, EdgeWeights, OwnedNetwork, SumDistances};
 use gncg_graph::{apsp, dijkstra, Graph};
 
-/// Edge cost `α·‖u, S_u‖` of agent `u`.
+/// Edge cost `α·‖u, S_u‖` of agent `u` (model-independent: every model
+/// charges the buyer the same way).
 pub fn edge_cost<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64, u: usize) -> f64 {
     alpha * net.strategy(u).iter().map(|&v| w.weight(u, v)).sum::<f64>()
 }
@@ -11,13 +19,34 @@ pub fn edge_cost<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64,
 /// Distance cost `d_G(u, P)` of agent `u` (`INFINITY` when the created
 /// network does not connect `u` to everyone).
 pub fn distance_cost<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, u: usize) -> f64 {
+    distance_cost_model::<W, SumDistances>(w, net, u)
+}
+
+/// Distance cost of agent `u` under model `M`: the `M`-aggregate of
+/// `u`'s shortest-path distance vector (self-distance 0 included, as
+/// the sum always did).
+pub fn distance_cost_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    u: usize,
+) -> f64 {
     let g = net.graph(w);
-    dijkstra::distance_sum(&g, u)
+    M::aggregate(&dijkstra::distances(&g, u))
 }
 
 /// Full cost of agent `u`: `α·‖u,S_u‖ + d_G(u, P)`.
 pub fn agent_cost<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64, u: usize) -> f64 {
-    edge_cost(w, net, alpha, u) + distance_cost(w, net, u)
+    agent_cost_model::<W, SumDistances>(w, net, alpha, u)
+}
+
+/// Full cost of agent `u` under model `M`.
+pub fn agent_cost_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+) -> f64 {
+    edge_cost(w, net, alpha, u) + distance_cost_model::<W, M>(w, net, u)
 }
 
 /// Agent cost against a pre-built graph (avoids rebuilding `G(s)` in
@@ -29,13 +58,33 @@ pub fn agent_cost_in_graph<W: EdgeWeights + ?Sized>(
     alpha: f64,
     u: usize,
 ) -> f64 {
-    edge_cost(w, net, alpha, u) + dijkstra::distance_sum(g, u)
+    agent_cost_in_graph_model::<W, SumDistances>(w, net, g, alpha, u)
 }
 
-/// Cost vector of all agents, distance sums computed in parallel.
+/// [`agent_cost_in_graph`] under model `M`.
+pub fn agent_cost_in_graph_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    g: &Graph,
+    alpha: f64,
+    u: usize,
+) -> f64 {
+    edge_cost(w, net, alpha, u) + M::aggregate(&dijkstra::distances(g, u))
+}
+
+/// Cost vector of all agents, distance aggregates computed in parallel.
 pub fn all_costs<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64) -> Vec<f64> {
+    all_costs_model::<W, SumDistances>(w, net, alpha)
+}
+
+/// [`all_costs`] under model `M`.
+pub fn all_costs_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+) -> Vec<f64> {
     let g = net.graph(w);
-    let dists = apsp::distance_sums(&g);
+    let dists = apsp::distance_aggregates(&g, |row| M::aggregate(row));
     (0..net.len())
         .map(|u| edge_cost(w, net, alpha, u) + dists[u])
         .collect()
@@ -43,19 +92,36 @@ pub fn all_costs<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64)
 
 /// Social cost `SC(G(s)) = Σ_u cost(u)`.
 pub fn social_cost<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64) -> f64 {
-    all_costs(w, net, alpha).iter().sum()
+    social_cost_model::<W, SumDistances>(w, net, alpha)
+}
+
+/// [`social_cost`] under model `M` (the outer Σ over agents is a sum
+/// under every model; only the per-agent distance aggregate varies).
+pub fn social_cost_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+) -> f64 {
+    all_costs_model::<W, M>(w, net, alpha).iter().sum()
 }
 
 /// Social cost of a bare network (ownership-independent form):
 /// `α·Σ_{e∈E} w(e) + Σ_u d_G(u, P)`. Equal to [`social_cost`] whenever
 /// each edge is bought exactly once.
 pub fn social_cost_of_graph(g: &Graph, alpha: f64) -> f64 {
-    alpha * g.total_weight() + apsp::total_distance(g)
+    social_cost_of_graph_model::<SumDistances>(g, alpha)
+}
+
+/// [`social_cost_of_graph`] under model `M`:
+/// `α·Σ_{e∈E} w(e) + Σ_u M-aggregate(d_G(u, ·))`.
+pub fn social_cost_of_graph_model<M: CostModel>(g: &Graph, alpha: f64) -> f64 {
+    alpha * g.total_weight() + apsp::total_row_aggregate(g, |row| M::aggregate(row))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::MaxDistance;
     use gncg_geometry::generators;
 
     #[test]
@@ -74,6 +140,38 @@ mod tests {
     }
 
     #[test]
+    fn max_distance_costs_on_line() {
+        // same instance under the eccentricity objective
+        let ps = generators::line(3, 2.0);
+        let net = OwnedNetwork::center_star(3, 0);
+        let alpha = 2.0;
+        // agent 0: edge cost 6, eccentricity 2
+        assert!((agent_cost_model::<_, MaxDistance>(&ps, &net, alpha, 0) - 8.0).abs() < 1e-12);
+        // agent 1: ecc = 3 (to 2 via 0)
+        assert!((agent_cost_model::<_, MaxDistance>(&ps, &net, alpha, 1) - 3.0).abs() < 1e-12);
+        // agent 2: ecc = 3
+        assert!((agent_cost_model::<_, MaxDistance>(&ps, &net, alpha, 2) - 3.0).abs() < 1e-12);
+        assert!((social_cost_model::<_, MaxDistance>(&ps, &net, alpha) - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_model_is_bit_identical_to_legacy_path() {
+        for seed in 0..4u64 {
+            let ps = generators::uniform_unit_square(12, seed);
+            let net = OwnedNetwork::center_star(12, 0);
+            for u in 0..12 {
+                assert_eq!(
+                    agent_cost(&ps, &net, 1.5, u).to_bits(),
+                    agent_cost_model::<_, SumDistances>(&ps, &net, 1.5, u).to_bits()
+                );
+            }
+            let a = all_costs(&ps, &net, 1.5);
+            let b = all_costs_model::<_, SumDistances>(&ps, &net, 1.5);
+            assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+    }
+
+    #[test]
     fn all_costs_matches_individual() {
         let ps = generators::uniform_unit_square(15, 3);
         let net = OwnedNetwork::complete(15);
@@ -81,6 +179,10 @@ mod tests {
         let batch = all_costs(&ps, &net, alpha);
         for (u, &c) in batch.iter().enumerate() {
             assert!((c - agent_cost(&ps, &net, alpha, u)).abs() < 1e-9);
+        }
+        let batch_max = all_costs_model::<_, MaxDistance>(&ps, &net, alpha);
+        for (u, &c) in batch_max.iter().enumerate() {
+            assert!((c - agent_cost_model::<_, MaxDistance>(&ps, &net, alpha, u)).abs() < 1e-9);
         }
     }
 
@@ -91,6 +193,8 @@ mod tests {
         net.buy(0, 1);
         assert!(distance_cost(&ps, &net, 0).is_infinite());
         assert!(social_cost(&ps, &net, 1.0).is_infinite());
+        assert!(distance_cost_model::<_, MaxDistance>(&ps, &net, 0).is_infinite());
+        assert!(social_cost_model::<_, MaxDistance>(&ps, &net, 1.0).is_infinite());
     }
 
     #[test]
@@ -101,6 +205,9 @@ mod tests {
         let a = social_cost(&ps, &net, 2.5);
         let b = social_cost_of_graph(&g, 2.5);
         assert!((a - b).abs() < 1e-9);
+        let am = social_cost_model::<_, MaxDistance>(&ps, &net, 2.5);
+        let bm = social_cost_of_graph_model::<MaxDistance>(&g, 2.5);
+        assert!((am - bm).abs() < 1e-9);
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! old from-scratch path survives as [`run_ordered_reference`], the
 //! property-test oracle (and the "old" side of the dynamics benchmark).
 
-use crate::{best_response, cost, moves, EdgeWeights, EvalContext, OwnedNetwork, PruneMode};
+use crate::{
+    best_response, cost, model, moves, CostModel, EdgeFormation, EdgeWeights, EvalContext,
+    GameSpec, OwnedNetwork, PruneMode, SumDistances,
+};
 use std::collections::{BTreeSet, HashMap};
 
 /// Which response oracle the dynamics use.
@@ -103,18 +106,87 @@ pub fn run_ordered_mode<W: EdgeWeights + ?Sized>(
     max_steps: usize,
     mode: PruneMode,
 ) -> Outcome {
-    match order {
-        AgentOrder::RoundRobin => run_with_rounds(w, start, alpha, rule, max_steps, None, mode),
-        AgentOrder::RandomPermutation(seed) => {
-            run_with_rounds(w, start, alpha, rule, max_steps, Some(seed), mode)
+    run_ordered_mode_generic::<W, SumDistances>(w, start, alpha, rule, order, max_steps, mode)
+}
+
+/// Run response dynamics under an explicit [`GameSpec`] — the cost model
+/// and edge-formation rule together.
+///
+/// * [`EdgeFormation::Unilateral`] routes through the incremental
+///   drivers, monomorphized per model; for the default
+///   [`SumDistances`] this is the *same* code path as [`run_ordered`]
+///   (identical trace counters, bit-identical trajectories).
+/// * [`EdgeFormation::Bilateral`] routes through a dedicated naive
+///   from-scratch driver that consults
+///   [`crate::model::deviation_is_legal`] before accepting any deviation —
+///   bilateral consent never touches the unilateral hot paths.
+pub fn run_spec<W: EdgeWeights + ?Sized>(
+    w: &W,
+    start: &OwnedNetwork,
+    alpha: f64,
+    rule: ResponseRule,
+    order: AgentOrder,
+    max_steps: usize,
+    spec: GameSpec,
+) -> Outcome {
+    crate::dispatch_model!(spec.model, M, {
+        match spec.formation {
+            EdgeFormation::Unilateral => run_ordered_mode_generic::<W, M>(
+                w,
+                start,
+                alpha,
+                rule,
+                order,
+                max_steps,
+                PruneMode::from_env(),
+            ),
+            EdgeFormation::Bilateral => {
+                run_bilateral::<W, M>(w, start, alpha, rule, order, max_steps)
+            }
         }
-        AgentOrder::MaxGain => run_max_gain(w, start, alpha, rule, max_steps, mode),
+    })
+}
+
+/// [`run_ordered_mode`] under cost model `M` (unilateral formation) —
+/// the oracle harness uses this to compare whole pruned/unpruned
+/// trajectories per model.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ordered_mode_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    start: &OwnedNetwork,
+    alpha: f64,
+    rule: ResponseRule,
+    order: AgentOrder,
+    max_steps: usize,
+    mode: PruneMode,
+) -> Outcome {
+    run_ordered_mode_generic::<W, M>(w, start, alpha, rule, order, max_steps, mode)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_ordered_mode_generic<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    start: &OwnedNetwork,
+    alpha: f64,
+    rule: ResponseRule,
+    order: AgentOrder,
+    max_steps: usize,
+    mode: PruneMode,
+) -> Outcome {
+    match order {
+        AgentOrder::RoundRobin => {
+            run_with_rounds::<W, M>(w, start, alpha, rule, max_steps, None, mode)
+        }
+        AgentOrder::RandomPermutation(seed) => {
+            run_with_rounds::<W, M>(w, start, alpha, rule, max_steps, Some(seed), mode)
+        }
+        AgentOrder::MaxGain => run_max_gain::<W, M>(w, start, alpha, rule, max_steps, mode),
     }
 }
 
 /// Improving response of `u` in the context's current state, with `now`
-/// its (already cached) current cost: the new strategy and the gain.
-fn response_in_ctx<W: EdgeWeights + ?Sized>(
+/// its (already cached) current `M`-cost: the new strategy and the gain.
+fn response_in_ctx<W: EdgeWeights + ?Sized, M: CostModel>(
     ctx: &EvalContext<W>,
     rule: ResponseRule,
     u: usize,
@@ -134,17 +206,18 @@ fn response_in_ctx<W: EdgeWeights + ?Sized>(
     };
     match rule {
         ResponseRule::BestResponse => {
-            let br = best_response::exact_best_response_with_eval_mode(&eval, alpha, mode);
+            let br =
+                best_response::exact_best_response_with_eval_mode_model::<M>(&eval, alpha, mode);
             gncg_geometry::definitely_less(br.cost, now).then_some((br.strategy, now - br.cost))
         }
         ResponseRule::BestSingleMove => {
-            moves::best_single_move_from_eval_mode(&eval, net, alpha, mode)
+            moves::best_single_move_from_eval_mode_model::<M>(&eval, net, alpha, mode)
                 .map(|m| (m.strategy, now - m.cost))
         }
     }
 }
 
-fn run_max_gain<W: EdgeWeights + ?Sized>(
+fn run_max_gain<W: EdgeWeights + ?Sized, M: CostModel>(
     w: &W,
     start: &OwnedNetwork,
     alpha: f64,
@@ -164,7 +237,13 @@ fn run_max_gain<W: EdgeWeights + ?Sized>(
         ctx.ensure_all_rows();
         let shared = &ctx;
         let candidates = gncg_parallel::parallel_map(n, |u| {
-            response_in_ctx(shared, rule, u, shared.agent_cost_cached(u), mode)
+            response_in_ctx::<W, M>(
+                shared,
+                rule,
+                u,
+                shared.agent_cost_cached_model::<M>(u),
+                mode,
+            )
         });
         let best = candidates
             .into_iter()
@@ -199,7 +278,7 @@ fn run_max_gain<W: EdgeWeights + ?Sized>(
     }
 }
 
-fn run_with_rounds<W: EdgeWeights + ?Sized>(
+fn run_with_rounds<W: EdgeWeights + ?Sized, M: CostModel>(
     w: &W,
     start: &OwnedNetwork,
     alpha: f64,
@@ -245,8 +324,8 @@ fn run_with_rounds<W: EdgeWeights + ?Sized>(
             // a no-op unless the previous accepted move changed the edge
             // set; keeps the full matrix warm so leaf agents can share it
             ctx.ensure_all_rows();
-            let now = ctx.agent_cost_cached(u);
-            if let Some((strategy, _)) = response_in_ctx(&ctx, rule, u, now, mode) {
+            let now = ctx.agent_cost_cached_model::<M>(u);
+            if let Some((strategy, _)) = response_in_ctx::<W, M>(&ctx, rule, u, now, mode) {
                 ctx.apply_move(u, strategy);
                 steps += 1;
                 changed = true;
@@ -267,6 +346,206 @@ fn run_with_rounds<W: EdgeWeights + ?Sized>(
                 state: ctx.network().clone(),
                 steps,
             };
+        }
+    }
+}
+
+/// Best *legal* improving deviation of `u` under bilateral consent:
+/// candidates that would create a structurally new edge without the
+/// other endpoint's agreement are filtered out by
+/// [`model::deviation_is_legal`] before they can be selected. Costs are
+/// evaluated from scratch on the deviated profile (the consent test
+/// needs full post-deviation profiles anyway, so there is nothing for
+/// the incremental context to cache).
+fn bilateral_response_for<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    state: &OwnedNetwork,
+    alpha: f64,
+    rule: ResponseRule,
+    u: usize,
+) -> Option<(BTreeSet<usize>, f64)> {
+    let n = state.len();
+    let now = cost::agent_cost_model::<W, M>(w, state, alpha, u);
+    let mut best: Option<(BTreeSet<usize>, f64)> = None;
+    let mut consider = |strategy: BTreeSet<usize>| {
+        if !model::deviation_is_legal::<W, M>(
+            w,
+            state,
+            alpha,
+            u,
+            &strategy,
+            EdgeFormation::Bilateral,
+        ) {
+            return;
+        }
+        let mut probe = state.clone();
+        probe.set_strategy(u, strategy.clone());
+        let c = cost::agent_cost_model::<W, M>(w, &probe, alpha, u);
+        let beats_current = gncg_geometry::definitely_less(c, now);
+        let beats_best = match &best {
+            Some((_, bc)) => c < *bc,
+            None => true,
+        };
+        if beats_current && beats_best {
+            best = Some((strategy, c));
+        }
+    };
+    let current: BTreeSet<usize> = state.strategy(u).iter().copied().collect();
+    match rule {
+        ResponseRule::BestResponse => {
+            assert!(
+                n <= best_response::MAX_EXACT_AGENTS,
+                "bilateral best-response enumeration capped at n = {}",
+                best_response::MAX_EXACT_AGENTS
+            );
+            let others: Vec<usize> = (0..n).filter(|&v| v != u).collect();
+            for mask in 0u64..(1u64 << others.len()) {
+                let strategy: BTreeSet<usize> = others
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask >> i & 1 == 1)
+                    .map(|(_, &v)| v)
+                    .collect();
+                consider(strategy);
+            }
+        }
+        ResponseRule::BestSingleMove => {
+            // drops (always consent-free), adds, and swaps — the same
+            // candidate family as the unilateral single-move generator
+            for &v in &current {
+                let mut s = current.clone();
+                s.remove(&v);
+                consider(s);
+            }
+            for v in 0..n {
+                if v != u && !current.contains(&v) {
+                    let mut s = current.clone();
+                    s.insert(v);
+                    consider(s);
+                }
+            }
+            for &out in &current {
+                for inn in 0..n {
+                    if inn != u && inn != out && !current.contains(&inn) {
+                        let mut s = current.clone();
+                        s.remove(&out);
+                        s.insert(inn);
+                        consider(s);
+                    }
+                }
+            }
+        }
+    }
+    best.map(|(s, c)| (s, now - c))
+}
+
+/// Naive from-scratch dynamics driver for [`EdgeFormation::Bilateral`]:
+/// structurally the same loop family as [`run_ordered_reference`], with
+/// every deviation consent-filtered. Kept deliberately separate from
+/// the incremental unilateral drivers so the default paths stay
+/// counter-identical.
+fn run_bilateral<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    start: &OwnedNetwork,
+    alpha: f64,
+    rule: ResponseRule,
+    order: AgentOrder,
+    max_steps: usize,
+) -> Outcome {
+    let _span = gncg_trace::span("game.dynamics");
+    let n = start.len();
+    let mut state = start.clone();
+    let mut seen: HashMap<Vec<Vec<usize>>, usize> = HashMap::new();
+    let mut history = vec![state.clone()];
+    seen.insert(state.canonical_key(), 0);
+
+    let accept = |state: &OwnedNetwork,
+                  history: &mut Vec<OwnedNetwork>,
+                  seen: &mut HashMap<Vec<Vec<usize>>, usize>|
+     -> Option<usize> {
+        let key = state.canonical_key();
+        if let Some(&first) = seen.get(&key) {
+            history.push(state.clone());
+            return Some(first);
+        }
+        seen.insert(key, history.len());
+        history.push(state.clone());
+        None
+    };
+
+    match order {
+        AgentOrder::MaxGain => {
+            for steps in 0..max_steps {
+                let candidates = gncg_parallel::parallel_map(n, |u| {
+                    bilateral_response_for::<W, M>(w, &state, alpha, rule, u)
+                });
+                let best = candidates
+                    .into_iter()
+                    .enumerate()
+                    .filter_map(|(u, c)| c.map(|(s, gain)| (u, s, gain)))
+                    .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
+                match best {
+                    None => return Outcome::Converged { state, steps },
+                    Some((u, strategy, _)) => {
+                        state.set_strategy(u, strategy);
+                        if let Some(first) = accept(&state, &mut history, &mut seen) {
+                            return Outcome::Cycle {
+                                history,
+                                cycle_start: first,
+                            };
+                        }
+                    }
+                }
+            }
+            Outcome::Exhausted {
+                state,
+                steps: max_steps,
+            }
+        }
+        AgentOrder::RoundRobin | AgentOrder::RandomPermutation(_) => {
+            let shuffle_seed = match order {
+                AgentOrder::RandomPermutation(s) => Some(s),
+                _ => None,
+            };
+            let mut steps = 0usize;
+            let mut rng_state = shuffle_seed.unwrap_or(0) | 1;
+            let mut next_u64 = move || {
+                rng_state ^= rng_state << 13;
+                rng_state ^= rng_state >> 7;
+                rng_state ^= rng_state << 17;
+                rng_state
+            };
+            let mut agent_order: Vec<usize> = (0..n).collect();
+            loop {
+                if shuffle_seed.is_some() {
+                    for i in (1..n).rev() {
+                        let j = (next_u64() % (i as u64 + 1)) as usize;
+                        agent_order.swap(i, j);
+                    }
+                }
+                let mut changed = false;
+                for &u in &agent_order {
+                    if steps >= max_steps {
+                        return Outcome::Exhausted { state, steps };
+                    }
+                    if let Some((strategy, _)) =
+                        bilateral_response_for::<W, M>(w, &state, alpha, rule, u)
+                    {
+                        state.set_strategy(u, strategy);
+                        steps += 1;
+                        changed = true;
+                        if let Some(first) = accept(&state, &mut history, &mut seen) {
+                            return Outcome::Cycle {
+                                history,
+                                cycle_start: first,
+                            };
+                        }
+                    }
+                }
+                if !changed {
+                    return Outcome::Converged { state, steps };
+                }
+            }
         }
     }
 }
@@ -599,6 +878,117 @@ mod tests {
                     let slow = run_ordered_reference(&ps, &start, 1.0, rule, order, 300);
                     assert_eq!(fast, slow, "seed {seed} order {order:?} rule {rule:?}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn run_spec_default_matches_run_ordered_bit_exactly() {
+        for seed in 0..3u64 {
+            let ps = generators::uniform_unit_square(6, 300 + seed);
+            let start = OwnedNetwork::center_star(6, 0);
+            for order in [AgentOrder::RoundRobin, AgentOrder::RandomPermutation(seed)] {
+                for rule in [ResponseRule::BestSingleMove, ResponseRule::BestResponse] {
+                    let via_spec =
+                        run_spec(&ps, &start, 1.0, rule, order, 300, GameSpec::default());
+                    let direct = run_ordered(&ps, &start, 1.0, rule, order, 300);
+                    assert_eq!(
+                        via_spec, direct,
+                        "seed {seed} order {order:?} rule {rule:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_model_dynamics_converge_to_max_model_nash() {
+        for seed in 0..3u64 {
+            let ps = generators::uniform_unit_square(5, 600 + seed);
+            let start = OwnedNetwork::empty(5);
+            let spec = GameSpec::with_model(crate::ModelKind::MaxDistance);
+            match run_spec(
+                &ps,
+                &start,
+                1.0,
+                ResponseRule::BestResponse,
+                AgentOrder::RoundRobin,
+                500,
+                spec,
+            ) {
+                Outcome::Converged { state, .. } => {
+                    assert!(
+                        crate::exact::is_nash_model::<_, crate::MaxDistance>(&ps, &state, 1.0),
+                        "seed {seed}: converged state not Nash under max-distance"
+                    );
+                }
+                Outcome::Cycle { .. } => {}
+                Outcome::Exhausted { .. } => panic!("seed {seed}: budget too small"),
+            }
+        }
+    }
+
+    #[test]
+    fn bilateral_dynamics_converge_and_no_legal_deviation_remains() {
+        for seed in 0..3u64 {
+            let ps = generators::uniform_unit_square(5, 900 + seed);
+            let start = OwnedNetwork::center_star(5, 0);
+            let spec = GameSpec::bilateral(crate::ModelKind::SumDistances);
+            match run_spec(
+                &ps,
+                &start,
+                1.0,
+                ResponseRule::BestResponse,
+                AgentOrder::RoundRobin,
+                500,
+                spec,
+            ) {
+                Outcome::Converged { state, .. } => {
+                    for u in 0..5 {
+                        assert!(
+                            bilateral_response_for::<_, SumDistances>(
+                                &ps,
+                                &state,
+                                1.0,
+                                ResponseRule::BestResponse,
+                                u
+                            )
+                            .is_none(),
+                            "seed {seed}: agent {u} still has a legal improving deviation"
+                        );
+                    }
+                }
+                Outcome::Cycle { .. } => {}
+                Outcome::Exhausted { .. } => panic!("seed {seed}: budget too small"),
+            }
+        }
+    }
+
+    #[test]
+    fn bilateral_single_move_dynamics_run() {
+        let ps = generators::uniform_unit_square(6, 41);
+        let start = OwnedNetwork::center_star(6, 0);
+        let out = run_spec(
+            &ps,
+            &start,
+            1.0,
+            ResponseRule::BestSingleMove,
+            AgentOrder::MaxGain,
+            1000,
+            GameSpec::bilateral(crate::ModelKind::SumDistances),
+        );
+        if let Outcome::Converged { state, .. } = out {
+            // unilateral drops stay legal, so a converged bilateral
+            // state is still drop-stable in particular
+            for u in 0..6 {
+                assert!(bilateral_response_for::<_, SumDistances>(
+                    &ps,
+                    &state,
+                    1.0,
+                    ResponseRule::BestSingleMove,
+                    u
+                )
+                .is_none());
             }
         }
     }

@@ -21,7 +21,7 @@
 //!   full-recompute fallback retained in [`crate::cost`] as the
 //!   property-test oracle).
 
-use crate::{cost, EdgeWeights, OwnedNetwork};
+use crate::{cost, CostModel, EdgeWeights, OwnedNetwork};
 use gncg_graph::csr::{Csr, DijkstraScratch};
 use gncg_graph::{DistMatrix, Graph};
 use std::collections::BTreeSet;
@@ -204,6 +204,15 @@ impl<'w, W: EdgeWeights + ?Sized> EvalContext<'w, W> {
         self.dist.row_sum(u)
     }
 
+    /// Distance cost of agent `u` under model `M` — the `M`-aggregate
+    /// of the cached row. `row_sum` is `iter().sum()`, i.e. exactly the
+    /// [`crate::SumDistances`] left fold, so the sum instantiation is
+    /// bit-identical to [`EvalContext::distance_cost`].
+    pub fn distance_cost_model<M: CostModel>(&mut self, u: usize) -> f64 {
+        self.ensure_row(u);
+        M::aggregate(self.dist.row(u))
+    }
+
     /// Edge cost `α·‖u, S_u‖` of agent `u` (cached, always current).
     #[inline]
     pub fn edge_cost(&self, u: usize) -> f64 {
@@ -222,6 +231,18 @@ impl<'w, W: EdgeWeights + ?Sized> EvalContext<'w, W> {
     pub fn agent_cost_cached(&self, u: usize) -> f64 {
         assert!(self.row_valid[u], "distance row {u} is stale");
         self.edge_costs[u] + self.dist.row_sum(u)
+    }
+
+    /// [`EvalContext::agent_cost_cached`] under model `M` (bit-identical
+    /// to it for [`crate::SumDistances`]).
+    pub fn agent_cost_cached_model<M: CostModel>(&self, u: usize) -> f64 {
+        assert!(self.row_valid[u], "distance row {u} is stale");
+        self.edge_costs[u] + M::aggregate(self.dist.row(u))
+    }
+
+    /// Full cost of agent `u` under model `M` (row refreshed if stale).
+    pub fn agent_cost_model<M: CostModel>(&mut self, u: usize) -> f64 {
+        self.edge_costs[u] + self.distance_cost_model::<M>(u)
     }
 
     /// Cost vector of all agents (stale rows refreshed in parallel).
@@ -303,6 +324,27 @@ mod tests {
             }
             let net = ctx.network().clone();
             assert_eq!(ctx.all_costs(), cost::all_costs(&ps, &net, 2.0));
+        }
+    }
+
+    #[test]
+    fn model_costs_match_from_scratch_oracle() {
+        use crate::{MaxDistance, SumDistances};
+        let ps = generators::uniform_unit_square(11, 5);
+        let net = random_profile(&mut rand::rngs::StdRng::seed_from_u64(9), 11);
+        let mut ctx = EvalContext::new(&ps, &net, 1.3);
+        ctx.ensure_all_rows();
+        for u in 0..11 {
+            assert_eq!(
+                ctx.agent_cost_cached_model::<SumDistances>(u).to_bits(),
+                ctx.agent_cost_cached(u).to_bits(),
+                "sum instantiation must be bit-identical (agent {u})"
+            );
+            assert_eq!(
+                ctx.agent_cost_model::<MaxDistance>(u).to_bits(),
+                cost::agent_cost_model::<_, MaxDistance>(&ps, &net, 1.3, u).to_bits(),
+                "agent {u}"
+            );
         }
     }
 

@@ -13,9 +13,8 @@
 //! setting of the toggle.
 
 use crate::outcome::{self, DegradeReason, Outcome, SolveOptions};
-use crate::{best_response, certify, cost, EdgeWeights, OwnedNetwork};
+use crate::{best_response, certify, cost, CostModel, EdgeWeights, OwnedNetwork, SumDistances};
 use gncg_graph::Graph;
-use gncg_parallel::Budget;
 
 /// Practical cap for exact social-optimum enumeration: n = 7 means
 /// 2^21 ≈ 2M candidate graphs; n = 8 would already be 2^28 ≈ 268M.
@@ -43,29 +42,46 @@ pub fn exact_social_optimum<W: EdgeWeights + ?Sized>(
     alpha: f64,
     opts: &SolveOptions,
 ) -> Outcome<ExactOptimum> {
+    crate::dispatch_model!(opts.model, M, {
+        exact_social_optimum_generic::<W, M>(w, alpha, opts)
+    })
+}
+
+/// Monomorphic body of [`exact_social_optimum`] for model `M`.
+fn exact_social_optimum_generic<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    alpha: f64,
+    opts: &SolveOptions,
+) -> Outcome<ExactOptimum> {
     let n = w.len();
     if n > MAX_EXACT_OPT_AGENTS {
         return Outcome::Degraded {
-            certified_bound: certify::optimum_lower_bound(w, alpha),
+            certified_bound: certify::optimum_lower_bound_model::<W, M>(w, alpha),
             reason: DegradeReason::InstanceTooLarge {
                 n,
                 cap: MAX_EXACT_OPT_AGENTS,
             },
         };
     }
-    match outcome::attempt(&opts.budget, || exact_social_optimum_raw(w, alpha)) {
+    match outcome::attempt(&opts.budget, || {
+        exact_social_optimum_raw_model::<W, M>(w, alpha)
+    }) {
         Ok(opt) => Outcome::Exact(opt),
         Err(reason) => Outcome::Degraded {
-            certified_bound: certify::optimum_lower_bound(w, alpha),
+            certified_bound: certify::optimum_lower_bound_model::<W, M>(w, alpha),
             reason,
         },
     }
 }
 
-/// Unbudgeted enumeration body of [`exact_social_optimum`]; panics when
-/// `n > MAX_EXACT_OPT_AGENTS`. Internal callers run it under
-/// [`outcome::attempt`] themselves to avoid recomputing fallbacks.
-pub(crate) fn exact_social_optimum_raw<W: EdgeWeights + ?Sized>(w: &W, alpha: f64) -> ExactOptimum {
+/// Unbudgeted enumeration body of [`exact_social_optimum`] under model
+/// `M`; panics when `n > MAX_EXACT_OPT_AGENTS`. Internal callers run it
+/// under [`outcome::attempt`] themselves to avoid recomputing
+/// fallbacks.
+pub(crate) fn exact_social_optimum_raw_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    alpha: f64,
+) -> ExactOptimum {
     let n = w.len();
     assert!(
         n <= MAX_EXACT_OPT_AGENTS,
@@ -87,7 +103,7 @@ pub(crate) fn exact_social_optimum_raw<W: EdgeWeights + ?Sized>(w: &W, alpha: f6
                 g.add_edge(u, v, w.weight(u, v));
             }
         }
-        cost::social_cost_of_graph(&g, alpha)
+        cost::social_cost_of_graph_model::<M>(&g, alpha)
     };
 
     let (best_mask, best_cost) = gncg_parallel::parallel_reduce(
@@ -122,16 +138,6 @@ pub(crate) fn exact_social_optimum_raw<W: EdgeWeights + ?Sized>(w: &W, alpha: f6
     }
 }
 
-/// Deprecated shim for the old `exact_social_optimum`/`_budgeted` pair.
-#[deprecated(note = "use `exact_social_optimum` with `SolveOptions::budgeted(budget)`")]
-pub fn exact_social_optimum_budgeted<W: EdgeWeights + ?Sized>(
-    w: &W,
-    alpha: f64,
-    budget: &Budget,
-) -> Outcome<ExactOptimum> {
-    exact_social_optimum(w, alpha, &SolveOptions::budgeted(budget))
-}
-
 /// Exact β of a profile: the maximum over agents of
 /// `cost(u, G)/cost(u, best response)`. Exponential per agent; the
 /// enumeration runs under the budget in `opts` (unlimited by default)
@@ -145,55 +151,65 @@ pub fn exact_beta<W: EdgeWeights + ?Sized>(
     alpha: f64,
     opts: &SolveOptions,
 ) -> Outcome<f64> {
+    crate::dispatch_model!(opts.model, M, {
+        exact_beta_generic::<W, M>(w, net, alpha, opts)
+    })
+}
+
+/// Monomorphic body of [`exact_beta`] for model `M`.
+fn exact_beta_generic<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    opts: &SolveOptions,
+) -> Outcome<f64> {
     let n = net.len();
     if n > best_response::MAX_EXACT_AGENTS {
         return Outcome::Degraded {
-            certified_bound: certify::beta_upper(w, net, alpha),
+            certified_bound: certify::beta_upper_model::<W, M>(w, net, alpha),
             reason: DegradeReason::InstanceTooLarge {
                 n,
                 cap: best_response::MAX_EXACT_AGENTS,
             },
         };
     }
-    match outcome::attempt(&opts.budget, || exact_beta_raw(w, net, alpha)) {
+    match outcome::attempt(&opts.budget, || exact_beta_raw_model::<W, M>(w, net, alpha)) {
         Ok(beta) => Outcome::Exact(beta),
         Err(reason) => Outcome::Degraded {
-            certified_bound: certify::beta_upper(w, net, alpha),
+            certified_bound: certify::beta_upper_model::<W, M>(w, net, alpha),
             reason,
         },
     }
 }
 
-/// Unbudgeted enumeration body of [`exact_beta`]; panics past the
-/// per-agent enumeration cap.
-pub(crate) fn exact_beta_raw<W: EdgeWeights + ?Sized>(
+/// Unbudgeted enumeration body of [`exact_beta`] under model `M`;
+/// panics past the per-agent enumeration cap.
+pub(crate) fn exact_beta_raw_model<W: EdgeWeights + ?Sized, M: CostModel>(
     w: &W,
     net: &OwnedNetwork,
     alpha: f64,
 ) -> f64 {
     let factors = gncg_parallel::parallel_map(net.len(), |u| {
-        best_response::exact_improvement_factor(w, net, alpha, u)
+        best_response::exact_improvement_factor_model::<W, M>(w, net, alpha, u)
     });
     factors.into_iter().fold(1.0, f64::max)
-}
-
-/// Deprecated shim for the old `exact_beta`/`_budgeted` pair.
-#[deprecated(note = "use `exact_beta` with `SolveOptions::budgeted(budget)`")]
-pub fn exact_beta_budgeted<W: EdgeWeights + ?Sized>(
-    w: &W,
-    net: &OwnedNetwork,
-    alpha: f64,
-    budget: &Budget,
-) -> Outcome<f64> {
-    exact_beta(w, net, alpha, &SolveOptions::budgeted(budget))
 }
 
 /// Is the profile an exact (pure) Nash equilibrium? True iff no agent can
 /// improve beyond floating-point noise.
 pub fn is_nash<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, alpha: f64) -> bool {
+    is_nash_model::<W, SumDistances>(w, net, alpha)
+}
+
+/// [`is_nash`] under model `M`.
+pub fn is_nash_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+) -> bool {
     (0..net.len()).all(|u| {
-        let now = cost::agent_cost(w, net, alpha, u);
-        let br = best_response::exact_best_response_raw(w, net, alpha, u);
+        let now = cost::agent_cost_model::<W, M>(w, net, alpha, u);
+        let br = best_response::exact_best_response_raw_model::<W, M>(w, net, alpha, u);
         !gncg_geometry::definitely_less(br.cost, now)
     })
 }
@@ -268,7 +284,7 @@ mod tests {
         let ps = generators::line(3, 2.0);
         let net = OwnedNetwork::center_star(3, 0);
         assert!(!is_nash(&ps, &net, 0.1));
-        assert!(exact_beta_raw(&ps, &net, 0.1) > 1.0);
+        assert!(exact_beta_raw_model::<_, SumDistances>(&ps, &net, 0.1) > 1.0);
     }
 
     #[test]
@@ -283,7 +299,7 @@ mod tests {
     #[should_panic(expected = "limited to")]
     fn too_many_agents_for_raw_exact_opt() {
         let ps = generators::uniform_unit_square(12, 1);
-        exact_social_optimum_raw(&ps, 1.0);
+        exact_social_optimum_raw_model::<_, SumDistances>(&ps, 1.0);
     }
 
     #[test]
@@ -299,19 +315,40 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_budgeted_shims_still_work() {
-        let ps = generators::uniform_unit_square(5, 3);
-        let net = OwnedNetwork::complete(5);
-        let b = Budget::unlimited();
-        let via_shim = exact_beta_budgeted(&ps, &net, 1.0, &b).expect_exact("beta");
-        let via_merged =
-            exact_beta(&ps, &net, 1.0, &SolveOptions::budgeted(&b)).expect_exact("beta");
-        assert_eq!(via_shim.to_bits(), via_merged.to_bits());
-        let opt_shim = exact_social_optimum_budgeted(&ps, 1.0, &b).expect_exact("opt");
-        assert_eq!(
-            opt_shim.social_cost.to_bits(),
-            optimum(&ps, 1.0).social_cost.to_bits()
+    fn max_model_optimum_on_line_reaches_eccentricity_floor() {
+        use crate::ModelKind;
+        // On 4 collinear points at 0,1,2,3 no network can beat the
+        // eccentricity floor max(u, 3−u) per agent — (3,2,2,3), total
+        // 10 — and with tiny alpha the optimum must reach it.
+        let ps = generators::line(4, 3.0);
+        let opts = SolveOptions::default().with_model(ModelKind::MaxDistance);
+        let opt = exact_social_optimum(&ps, 1e-6, &opts).expect_exact("max optimum");
+        assert!((opt.social_cost - (1e-6 * opt.graph.total_weight() + 10.0)).abs() < 1e-9);
+        let sum_opt =
+            exact_social_optimum(&ps, 1e-6, &SolveOptions::default()).expect_exact("sum optimum");
+        assert!(
+            opt.social_cost
+                <= cost::social_cost_of_graph_model::<crate::MaxDistance>(&sum_opt.graph, 1e-6)
+                    + 1e-12,
+            "max-model optimum must be at least as good as the sum optimum's graph"
         );
+    }
+
+    #[test]
+    fn max_model_nash_and_beta_are_consistent() {
+        use crate::{MaxDistance, ModelKind};
+        let ps = generators::line(2, 1.0);
+        let mut net = OwnedNetwork::empty(2);
+        net.buy(0, 1);
+        assert!(is_nash_model::<_, MaxDistance>(&ps, &net, 1.0));
+        let opts = SolveOptions::default().with_model(ModelKind::MaxDistance);
+        let beta = exact_beta(&ps, &net, 1.0, &opts).expect_exact("beta");
+        assert!((beta - 1.0).abs() < 1e-9);
+        // the unstable sum-model witness is unstable under max too: the
+        // middle agent of a wide line star still gains by a short edge
+        let ps3 = generators::line(3, 2.0);
+        let star = OwnedNetwork::center_star(3, 0);
+        assert!(!is_nash_model::<_, MaxDistance>(&ps3, &star, 0.1));
+        assert!(exact_beta_raw_model::<_, MaxDistance>(&ps3, &star, 0.1) > 1.0);
     }
 }

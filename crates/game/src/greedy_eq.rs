@@ -80,6 +80,7 @@ pub fn greedy_instability<W: EdgeWeights + ?Sized>(w: &W, net: &OwnedNetwork, al
 mod tests {
     use super::*;
     use crate::exact;
+    use crate::SumDistances;
     use gncg_geometry::generators;
 
     #[test]
@@ -153,7 +154,7 @@ mod tests {
             }
             let alpha = 0.5 + rng.gen::<f64>();
             let g = greedy_instability(&ps, &net, alpha);
-            let b = exact::exact_beta_raw(&ps, &net, alpha);
+            let b = exact::exact_beta_raw_model::<_, SumDistances>(&ps, &net, alpha);
             assert!(g <= b + 1e-9, "seed {seed}: greedy {g} > beta {b}");
         }
     }

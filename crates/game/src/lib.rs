@@ -26,6 +26,9 @@
 //!   certifier run on (delta-rebuilt graph, cached distance rows),
 //! * [`prune`] — geometric move pruning ([`PruneMode`], `GNCG_PRUNE`):
 //!   sound lower bounds that discard candidates bit-identically,
+//! * [`model`] — the cost-model abstraction ([`CostModel`],
+//!   [`SumDistances`]/[`MaxDistance`]) and edge-formation rules
+//!   ([`EdgeFormation`], [`GameSpec`]) every engine is generic over,
 //! * [`instances`] — the paper's witness instances with their strategy
 //!   profiles (Theorems 2.1, 4.1, 4.3, 4.4).
 
@@ -37,12 +40,14 @@ pub mod eval;
 pub mod exact;
 pub mod greedy_eq;
 pub mod instances;
+pub mod model;
 pub mod moves;
 pub mod network;
 pub mod outcome;
 pub mod prune;
 
 pub use eval::EvalContext;
+pub use model::{CostModel, EdgeFormation, GameSpec, MaxDistance, ModelKind, SumDistances};
 pub use network::OwnedNetwork;
 pub use outcome::{DegradeReason, Outcome, Regime, SolveOptions};
 pub use prune::PruneMode;

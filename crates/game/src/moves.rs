@@ -16,7 +16,7 @@
 
 use crate::best_response::{ResponseEvaluator, ResponseScratch};
 use crate::prune::{MoveFilter, PruneMode};
-use crate::{cost, EdgeWeights, OwnedNetwork};
+use crate::{cost, CostModel, EdgeWeights, OwnedNetwork, SumDistances};
 use gncg_graph::Graph;
 use std::collections::BTreeSet;
 
@@ -37,9 +37,20 @@ pub fn cost_with_strategy<W: EdgeWeights + ?Sized>(
     u: usize,
     strategy: &BTreeSet<usize>,
 ) -> f64 {
+    cost_with_strategy_model::<W, SumDistances>(w, net, alpha, u, strategy)
+}
+
+/// [`cost_with_strategy`] under model `M`.
+pub fn cost_with_strategy_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+    strategy: &BTreeSet<usize>,
+) -> f64 {
     let mut trial = net.clone();
     trial.set_strategy(u, strategy.clone());
-    cost::agent_cost(w, &trial, alpha, u)
+    cost::agent_cost_model::<W, M>(w, &trial, alpha, u)
 }
 
 /// A single add/drop/swap relative to the current strategy, tracked
@@ -63,8 +74,18 @@ pub fn best_single_move<W: EdgeWeights + ?Sized>(
     alpha: f64,
     u: usize,
 ) -> Option<Move> {
+    best_single_move_model::<W, SumDistances>(w, net, alpha, u)
+}
+
+/// [`best_single_move`] under model `M`.
+pub fn best_single_move_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+) -> Option<Move> {
     let eval = ResponseEvaluator::new(w, net, u);
-    best_single_move_from_eval(&eval, net, alpha)
+    best_single_move_from_eval_mode_model::<M>(&eval, net, alpha, PruneMode::from_env())
 }
 
 /// [`best_single_move`] against a pre-built created network `g` (which
@@ -76,8 +97,19 @@ pub fn best_single_move_in_graph<W: EdgeWeights + ?Sized>(
     alpha: f64,
     u: usize,
 ) -> Option<Move> {
+    best_single_move_in_graph_model::<W, SumDistances>(w, net, g, alpha, u)
+}
+
+/// [`best_single_move_in_graph`] under model `M`.
+pub fn best_single_move_in_graph_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    g: &Graph,
+    alpha: f64,
+    u: usize,
+) -> Option<Move> {
     let eval = ResponseEvaluator::from_built_graph(w, net, g, u);
-    best_single_move_from_eval(&eval, net, alpha)
+    best_single_move_from_eval_mode_model::<M>(&eval, net, alpha, PruneMode::from_env())
 }
 
 /// [`best_single_move`] driven by a caller-built evaluator — e.g. one
@@ -100,12 +132,22 @@ pub fn best_single_move_from_eval_mode(
     alpha: f64,
     mode: PruneMode,
 ) -> Option<Move> {
+    best_single_move_from_eval_mode_model::<SumDistances>(eval, net, alpha, mode)
+}
+
+/// [`best_single_move_from_eval_mode`] under model `M`.
+pub fn best_single_move_from_eval_mode_model<M: CostModel>(
+    eval: &ResponseEvaluator<'_>,
+    net: &OwnedNetwork,
+    alpha: f64,
+    mode: PruneMode,
+) -> Option<Move> {
     let u = eval.agent;
     let mut scratch = ResponseScratch::default();
     let current: Vec<usize> = net.strategy(u).iter().copied().collect();
-    let current_cost = eval.cost_with(alpha, current.iter().copied(), &mut scratch);
+    let current_cost = eval.cost_with_model::<M, _>(alpha, current.iter().copied(), &mut scratch);
     let mut cand = Vec::with_capacity(current.len() + 1);
-    best_single_step(
+    best_single_step::<M>(
         eval,
         net.len(),
         &current,
@@ -146,7 +188,7 @@ fn consider(best: &mut Option<(Step, f64)>, step: Step, c: f64, current_cost: f6
 /// candidate set, same order, same acceptance test, bit-identical costs
 /// (see [`best_single_step_batched`]).
 #[allow(clippy::too_many_arguments)]
-fn best_single_step(
+fn best_single_step<M: CostModel>(
     eval: &ResponseEvaluator<'_>,
     n: usize,
     current: &[usize],
@@ -157,7 +199,7 @@ fn best_single_step(
     mode: PruneMode,
 ) -> Option<(Step, f64)> {
     if mode.is_on() {
-        return best_single_step_batched(eval, n, current, current_cost, alpha, cand);
+        return best_single_step_batched::<M>(eval, n, current, current_cost, alpha, cand);
     }
     let u = eval.agent;
     let mut best: Option<(Step, f64)> = None;
@@ -165,14 +207,14 @@ fn best_single_step(
     // drops
     for &v in current {
         write_candidate(current, Step::Drop(v), cand);
-        let c = eval.cost_with(alpha, cand.iter().copied(), scratch);
+        let c = eval.cost_with_model::<M, _>(alpha, cand.iter().copied(), scratch);
         consider(&mut best, Step::Drop(v), c, current_cost);
     }
     // adds
     for v in 0..n {
         if v != u && current.binary_search(&v).is_err() {
             write_candidate(current, Step::Add(v), cand);
-            let c = eval.cost_with(alpha, cand.iter().copied(), scratch);
+            let c = eval.cost_with_model::<M, _>(alpha, cand.iter().copied(), scratch);
             consider(&mut best, Step::Add(v), c, current_cost);
         }
     }
@@ -181,7 +223,7 @@ fn best_single_step(
         for inn in 0..n {
             if inn != u && inn != out && current.binary_search(&inn).is_err() {
                 write_candidate(current, Step::Swap(out, inn), cand);
-                let c = eval.cost_with(alpha, cand.iter().copied(), scratch);
+                let c = eval.cost_with_model::<M, _>(alpha, cand.iter().copied(), scratch);
                 consider(&mut best, Step::Swap(out, inn), c, current_cost);
             }
         }
@@ -215,7 +257,7 @@ fn best_single_step(
 ///   `min(current_cost, best-so-far)` — both rejections the acceptance
 ///   test would have issued anyway. Prune *counters* depend only on the
 ///   filter, never on the best-so-far, so they are deterministic.
-fn best_single_step_batched(
+fn best_single_step_batched<M: CostModel>(
     eval: &ResponseEvaluator<'_>,
     n: usize,
     current: &[usize],
@@ -224,7 +266,10 @@ fn best_single_step_batched(
     cand: &mut Vec<usize>,
 ) -> Option<(Step, f64)> {
     let u = eval.agent;
-    let filter = MoveFilter::new(eval.lb_dist(), current_cost);
+    // The margin filter takes the floor appropriate to `M` — the metric
+    // sum for the paper's objective, the metric max for max-distance
+    // (rule 3 holds per model; see `crate::prune`).
+    let filter = MoveFilter::new(eval.lb_dist_model::<M>(), current_cost);
     let fixed = &eval.fixed_incident;
 
     // Per-target two smallest `ew[x] + D[x][v]` over the neighbour slots
@@ -262,14 +307,14 @@ fn best_single_step_batched(
     // per-target minimum.
     let others = &eval.others;
     let sum_cost = |base: f64, cutoff: f64, pick: &dyn Fn(usize) -> f64| -> f64 {
-        let mut dist_sum = 0.0;
+        let mut dist_agg = M::EMPTY;
         for &v in others {
-            dist_sum += pick(v);
-            if base + dist_sum > cutoff || dist_sum.is_infinite() {
+            dist_agg = M::fold(dist_agg, pick(v));
+            if base + dist_agg > cutoff || dist_agg.is_infinite() {
                 return f64::INFINITY;
             }
         }
-        base + dist_sum
+        base + dist_agg
     };
 
     let mut best: Option<(Step, f64)> = None;
@@ -377,8 +422,19 @@ pub fn local_search_response<W: EdgeWeights + ?Sized>(
     u: usize,
     max_rounds: usize,
 ) -> Move {
+    local_search_response_model::<W, SumDistances>(w, net, alpha, u, max_rounds)
+}
+
+/// [`local_search_response`] under model `M`.
+pub fn local_search_response_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+    max_rounds: usize,
+) -> Move {
     let eval = ResponseEvaluator::new(w, net, u);
-    local_search_from_eval(&eval, net, alpha, u, max_rounds, PruneMode::from_env())
+    local_search_from_eval::<M>(&eval, net, alpha, u, max_rounds, PruneMode::from_env())
 }
 
 /// [`local_search_response`] against a pre-built created network.
@@ -390,8 +446,20 @@ pub fn local_search_response_in_graph<W: EdgeWeights + ?Sized>(
     u: usize,
     max_rounds: usize,
 ) -> Move {
+    local_search_response_in_graph_model::<W, SumDistances>(w, net, g, alpha, u, max_rounds)
+}
+
+/// [`local_search_response_in_graph`] under model `M`.
+pub fn local_search_response_in_graph_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    g: &Graph,
+    alpha: f64,
+    u: usize,
+    max_rounds: usize,
+) -> Move {
     let eval = ResponseEvaluator::from_built_graph(w, net, g, u);
-    local_search_from_eval(&eval, net, alpha, u, max_rounds, PruneMode::from_env())
+    local_search_from_eval::<M>(&eval, net, alpha, u, max_rounds, PruneMode::from_env())
 }
 
 /// [`local_search_response`] with an explicit [`PruneMode`], so the
@@ -404,11 +472,23 @@ pub fn local_search_response_mode<W: EdgeWeights + ?Sized>(
     max_rounds: usize,
     mode: PruneMode,
 ) -> Move {
-    let eval = ResponseEvaluator::new(w, net, u);
-    local_search_from_eval(&eval, net, alpha, u, max_rounds, mode)
+    local_search_response_mode_model::<W, SumDistances>(w, net, alpha, u, max_rounds, mode)
 }
 
-fn local_search_from_eval(
+/// [`local_search_response_mode`] under model `M`.
+pub fn local_search_response_mode_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+    max_rounds: usize,
+    mode: PruneMode,
+) -> Move {
+    let eval = ResponseEvaluator::new(w, net, u);
+    local_search_from_eval::<M>(&eval, net, alpha, u, max_rounds, mode)
+}
+
+fn local_search_from_eval<M: CostModel>(
     eval: &ResponseEvaluator<'_>,
     net: &OwnedNetwork,
     alpha: f64,
@@ -418,11 +498,12 @@ fn local_search_from_eval(
 ) -> Move {
     let mut scratch = ResponseScratch::default();
     let mut current: Vec<usize> = net.strategy(u).iter().copied().collect();
-    let mut current_cost = eval.cost_with(alpha, current.iter().copied(), &mut scratch);
+    let mut current_cost =
+        eval.cost_with_model::<M, _>(alpha, current.iter().copied(), &mut scratch);
     let mut cand = Vec::with_capacity(current.len() + 1);
     let mut next = Vec::with_capacity(current.len() + 1);
     for _ in 0..max_rounds {
-        match best_single_step(
+        match best_single_step::<M>(
             eval,
             net.len(),
             &current,
@@ -455,8 +536,18 @@ pub fn witness_improvement_factor<W: EdgeWeights + ?Sized>(
     alpha: f64,
     u: usize,
 ) -> f64 {
-    let now = cost::agent_cost(w, net, alpha, u);
-    let found = local_search_response(w, net, alpha, u, 2 * net.len());
+    witness_improvement_factor_model::<W, SumDistances>(w, net, alpha, u)
+}
+
+/// [`witness_improvement_factor`] under model `M`.
+pub fn witness_improvement_factor_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+) -> f64 {
+    let now = cost::agent_cost_model::<W, M>(w, net, alpha, u);
+    let found = local_search_response_model::<W, M>(w, net, alpha, u, 2 * net.len());
     crate::best_response::ratio(now, found.cost)
 }
 
@@ -471,7 +562,20 @@ pub fn witness_improvement_factor_with_now<W: EdgeWeights + ?Sized>(
     u: usize,
     now: f64,
 ) -> f64 {
-    let found = local_search_response_in_graph(w, net, g, alpha, u, 2 * net.len());
+    witness_improvement_factor_with_now_model::<W, SumDistances>(w, net, g, alpha, u, now)
+}
+
+/// [`witness_improvement_factor_with_now`] under model `M` (`now` must
+/// be the agent's current `M`-cost).
+pub fn witness_improvement_factor_with_now_model<W: EdgeWeights + ?Sized, M: CostModel>(
+    w: &W,
+    net: &OwnedNetwork,
+    g: &Graph,
+    alpha: f64,
+    u: usize,
+    now: f64,
+) -> f64 {
+    let found = local_search_response_in_graph_model::<W, M>(w, net, g, alpha, u, 2 * net.len());
     crate::best_response::ratio(now, found.cost)
 }
 
@@ -585,6 +689,49 @@ mod tests {
                 );
                 let now = cost::agent_cost(&ps, &net, alpha, u);
                 assert!(ls.cost <= now + 1e-9, "local search made things worse");
+            }
+        }
+    }
+
+    #[test]
+    fn max_model_batched_matches_unpruned_engine() {
+        use crate::MaxDistance;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(59);
+        for trial in 0..5 {
+            let n = 8;
+            let ps = generators::uniform_unit_square(n, 1100 + trial);
+            let mut net = OwnedNetwork::empty(n);
+            for a in 1..n {
+                net.buy(a, rng.gen_range(0..a));
+            }
+            let alpha = 0.5 + rng.gen::<f64>() * 2.0;
+            for u in 0..n {
+                let eval = ResponseEvaluator::new(&ps, &net, u);
+                let off = best_single_move_from_eval_mode_model::<MaxDistance>(
+                    &eval,
+                    &net,
+                    alpha,
+                    PruneMode::Off,
+                );
+                let on = best_single_move_from_eval_mode_model::<MaxDistance>(
+                    &eval,
+                    &net,
+                    alpha,
+                    PruneMode::On,
+                );
+                match (&off, &on) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.strategy, b.strategy, "trial {trial} agent {u}");
+                        assert_eq!(
+                            a.cost.to_bits(),
+                            b.cost.to_bits(),
+                            "trial {trial} agent {u}"
+                        );
+                    }
+                    (None, None) => {}
+                    other => panic!("trial {trial} agent {u}: engines disagree: {other:?}"),
+                }
             }
         }
     }

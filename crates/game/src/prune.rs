@@ -44,6 +44,17 @@
 //!    threshold. Margin prunes only ever compare against the *current*
 //!    cost — never against the best-so-far, where no margin exists.
 //!
+//! All three bound families hold for every [`crate::CostModel`], not
+//! just the paper's sum objective — rule 1 needs only a non-negative
+//! distance aggregate, rule 2 only that prefix folds never exceed the
+//! final fold (true of non-negative running sums and running maxima
+//! alike), and rule 3 only a per-model metric floor: callers hand
+//! [`MoveFilter`] the floor matching their model
+//! ([`crate::best_response::ResponseEvaluator::lb_dist_model`] —
+//! `Σ_v lb(u,v)` for sum-of-distances, `max_v lb(u,v)` for
+//! max-distance, both under-estimating the true aggregate
+//! coordinate-wise). See DESIGN.md §2g for the per-model derivation.
+//!
 //! All prune decisions are pure functions of the candidate and of
 //! fixed, deterministically-computed per-agent quantities — never of
 //! scheduling state — so the `moves_pruned`/`moves_evaluated` trace
@@ -120,8 +131,10 @@ pub(crate) fn parse_env(value: Option<&str>) -> PruneMode {
 /// evaluator already ran) and consulted in O(1) per candidate.
 #[derive(Debug, Clone, Copy)]
 pub struct MoveFilter {
-    /// `Σ_{v≠u} lb(u, v)`: no strategy of `u` has a smaller distance
-    /// cost (triangle inequality / metric-closure contract of
+    /// The model-appropriate metric floor on `u`'s distance cost —
+    /// `Σ_{v≠u} lb(u, v)` for sum-of-distances, `max_{v≠u} lb(u, v)`
+    /// for max-distance: no strategy of `u` has a smaller distance
+    /// aggregate (triangle inequality / metric-closure contract of
     /// [`crate::EdgeWeights::metric_lower_bound`]).
     lb_dist: f64,
     /// `current_cost − ½·EPS·max(|current_cost|, 1)`: candidates whose

@@ -1,8 +1,10 @@
-//! Oracle bit-identity harness for the pruned best-response engine.
+//! Oracle bit-identity harness for the pruned best-response engine,
+//! parameterized over the cost model.
 //!
 //! The pruning layer (`crates/game/src/prune.rs`) claims its results are
-//! *bit-identical* to the unpruned engines — not merely close. This
-//! harness is the enforcement: seeded property sweeps drive both
+//! *bit-identical* to the unpruned engines — not merely close, and for
+//! every [`gncg_game::CostModel`], not just the paper's sum objective.
+//! This harness is the enforcement: seeded property sweeps drive both
 //! [`PruneMode::On`] and [`PruneMode::Off`] over the same instances and
 //! assert the returned costs match to the last bit (`f64::to_bits`) and
 //! the returned strategies/trajectories match exactly, across
@@ -13,17 +15,23 @@
 //! * whole dynamics trajectories (`run_ordered_mode`),
 //! * and all of the above under `gncg_parallel` fault injection.
 //!
+//! Every sweep runs once per cost model. `GNCG_MODEL` (via
+//! [`gncg_config::env::model_choice`]) narrows a run to one model — the
+//! CI matrix uses `GNCG_MODEL=maxdist` for a dedicated max-distance
+//! leg; unset, both models are swept.
+//!
 //! Case count scales with `PROPTEST_CASES` (default 48; CI runs 512).
 //! Thread count comes from `GNCG_THREADS` — the CI matrix runs the suite
 //! both single-threaded and parallel, so mode identity is checked on the
 //! sequential fallback and on the worker-pool path.
 
+use gncg_config::ModelKind;
 use gncg_game::best_response::{
-    exact_best_response_with_eval_mode, BestResponse, ResponseEvaluator,
+    exact_best_response_with_eval_mode_model, BestResponse, ResponseEvaluator,
 };
-use gncg_game::dynamics::{run_ordered_mode, AgentOrder, ResponseRule};
-use gncg_game::moves::{best_single_move_from_eval_mode, local_search_response_mode};
-use gncg_game::{OwnedNetwork, PruneMode};
+use gncg_game::dynamics::{run_ordered_mode_model, AgentOrder, ResponseRule};
+use gncg_game::moves::{best_single_move_from_eval_mode_model, local_search_response_mode_model};
+use gncg_game::{dispatch_model, CostModel, OwnedNetwork, PruneMode};
 use gncg_geometry::{generators, PointSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -37,6 +45,15 @@ fn cases() -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(48)
+}
+
+/// The models this run sweeps: the `GNCG_MODEL` choice when set,
+/// otherwise every model.
+fn models() -> Vec<ModelKind> {
+    match gncg_config::env::model_choice() {
+        Some(kind) => vec![kind],
+        None => vec![ModelKind::SumDistances, ModelKind::MaxDistance],
+    }
 }
 
 /// α regimes from the paper's analysis: well below 1 (dense optima),
@@ -85,7 +102,7 @@ fn assert_same_br(on: &BestResponse, off: &BestResponse, what: &str) {
     assert_eq!(on.strategy, off.strategy, "{what}: strategies diverge");
 }
 
-fn exact_sweep(seed_base: u64, cases: u64) {
+fn exact_sweep_model<M: CostModel>(seed_base: u64, cases: u64) {
     for case in 0..cases {
         let mut rng = StdRng::seed_from_u64(seed_base + case);
         let n = rng.gen_range(4..13);
@@ -94,17 +111,26 @@ fn exact_sweep(seed_base: u64, cases: u64) {
         let alpha = pick_alpha(&mut rng);
         let u = rng.gen_range(0..n);
         let eval = ResponseEvaluator::new(&ps, &net, u);
-        let on = exact_best_response_with_eval_mode(&eval, alpha, PruneMode::On);
-        let off = exact_best_response_with_eval_mode(&eval, alpha, PruneMode::Off);
+        let on = exact_best_response_with_eval_mode_model::<M>(&eval, alpha, PruneMode::On);
+        let off = exact_best_response_with_eval_mode_model::<M>(&eval, alpha, PruneMode::Off);
         assert_same_br(
             &on,
             &off,
-            &format!("exact case {case} (n={n} α={alpha} u={u})"),
+            &format!(
+                "exact case {case} (model={:?} n={n} α={alpha} u={u})",
+                M::KIND
+            ),
         );
     }
 }
 
-fn single_move_sweep(seed_base: u64, cases: u64) {
+fn exact_sweep(seed_base: u64, cases: u64) {
+    for kind in models() {
+        dispatch_model!(kind, M, exact_sweep_model::<M>(seed_base, cases));
+    }
+}
+
+fn single_move_sweep_model<M: CostModel>(seed_base: u64, cases: u64) {
     for case in 0..cases {
         let mut rng = StdRng::seed_from_u64(seed_base + case);
         let n = rng.gen_range(4..25);
@@ -113,22 +139,32 @@ fn single_move_sweep(seed_base: u64, cases: u64) {
         let alpha = pick_alpha(&mut rng);
         let u = rng.gen_range(0..n);
         let eval = ResponseEvaluator::new(&ps, &net, u);
-        let on = best_single_move_from_eval_mode(&eval, &net, alpha, PruneMode::On);
-        let off = best_single_move_from_eval_mode(&eval, &net, alpha, PruneMode::Off);
+        let on = best_single_move_from_eval_mode_model::<M>(&eval, &net, alpha, PruneMode::On);
+        let off = best_single_move_from_eval_mode_model::<M>(&eval, &net, alpha, PruneMode::Off);
         match (&on, &off) {
             (Some(a), Some(b)) => {
                 assert_eq!(
                     a.cost.to_bits(),
                     b.cost.to_bits(),
-                    "single-move case {case}: cost bits diverge ({} vs {})",
+                    "single-move case {case} (model={:?}): cost bits diverge ({} vs {})",
+                    M::KIND,
                     a.cost,
                     b.cost
                 );
                 assert_eq!(a.strategy, b.strategy, "single-move case {case}");
             }
             (None, None) => {}
-            _ => panic!("single-move case {case} (n={n} α={alpha} u={u}): {on:?} vs {off:?}"),
+            _ => panic!(
+                "single-move case {case} (model={:?} n={n} α={alpha} u={u}): {on:?} vs {off:?}",
+                M::KIND
+            ),
         }
+    }
+}
+
+fn single_move_sweep(seed_base: u64, cases: u64) {
+    for kind in models() {
+        dispatch_model!(kind, M, single_move_sweep_model::<M>(seed_base, cases));
     }
 }
 
@@ -145,21 +181,39 @@ fn single_move_bit_identical() {
 #[test]
 fn local_search_bit_identical() {
     let cases = cases().max(8) / 4;
-    for case in 0..cases {
-        let mut rng = StdRng::seed_from_u64(0x5eed_0003 + case);
-        let n = rng.gen_range(4..17);
-        let ps = generators::uniform_unit_square(n, rng.gen());
-        let net = random_network(&mut rng, n);
-        let alpha = pick_alpha(&mut rng);
-        let u = rng.gen_range(0..n);
-        let on = local_search_response_mode(&ps, &net, alpha, u, 2 * n, PruneMode::On);
-        let off = local_search_response_mode(&ps, &net, alpha, u, 2 * n, PruneMode::Off);
-        assert_eq!(
-            on.cost.to_bits(),
-            off.cost.to_bits(),
-            "local-search case {case} (n={n} α={alpha} u={u})"
-        );
-        assert_eq!(on.strategy, off.strategy, "local-search case {case}");
+    for kind in models() {
+        dispatch_model!(kind, M, {
+            for case in 0..cases {
+                let mut rng = StdRng::seed_from_u64(0x5eed_0003 + case);
+                let n = rng.gen_range(4..17);
+                let ps = generators::uniform_unit_square(n, rng.gen());
+                let net = random_network(&mut rng, n);
+                let alpha = pick_alpha(&mut rng);
+                let u = rng.gen_range(0..n);
+                let on = local_search_response_mode_model::<_, M>(
+                    &ps,
+                    &net,
+                    alpha,
+                    u,
+                    2 * n,
+                    PruneMode::On,
+                );
+                let off = local_search_response_mode_model::<_, M>(
+                    &ps,
+                    &net,
+                    alpha,
+                    u,
+                    2 * n,
+                    PruneMode::Off,
+                );
+                assert_eq!(
+                    on.cost.to_bits(),
+                    off.cost.to_bits(),
+                    "local-search case {case} (model={kind:?} n={n} α={alpha} u={u})"
+                );
+                assert_eq!(on.strategy, off.strategy, "local-search case {case}");
+            }
+        });
     }
 }
 
@@ -168,27 +222,47 @@ fn dynamics_trajectories_identical() {
     // whole-trajectory identity: any single diverging response would
     // cascade into a different converged state / cycle / step count
     let cases = cases().max(8) / 8;
-    for case in 0..cases {
-        let mut rng = StdRng::seed_from_u64(0x5eed_0004 + case);
-        let n = rng.gen_range(4..9);
-        let ps = generators::uniform_unit_square(n, rng.gen());
-        let net = random_network(&mut rng, n);
-        let alpha = pick_alpha(&mut rng);
-        for (rule, order) in [
-            (ResponseRule::BestResponse, AgentOrder::RoundRobin),
-            (ResponseRule::BestSingleMove, AgentOrder::MaxGain),
-            (
-                ResponseRule::BestSingleMove,
-                AgentOrder::RandomPermutation(case),
-            ),
-        ] {
-            let on = run_ordered_mode(&ps, &net, alpha, rule, order, 200, PruneMode::On);
-            let off = run_ordered_mode(&ps, &net, alpha, rule, order, 200, PruneMode::Off);
-            assert_eq!(
-                on, off,
-                "dynamics case {case} (n={n} α={alpha} {rule:?} {order:?})"
-            );
-        }
+    for kind in models() {
+        dispatch_model!(kind, M, {
+            for case in 0..cases {
+                let mut rng = StdRng::seed_from_u64(0x5eed_0004 + case);
+                let n = rng.gen_range(4..9);
+                let ps = generators::uniform_unit_square(n, rng.gen());
+                let net = random_network(&mut rng, n);
+                let alpha = pick_alpha(&mut rng);
+                for (rule, order) in [
+                    (ResponseRule::BestResponse, AgentOrder::RoundRobin),
+                    (ResponseRule::BestSingleMove, AgentOrder::MaxGain),
+                    (
+                        ResponseRule::BestSingleMove,
+                        AgentOrder::RandomPermutation(case),
+                    ),
+                ] {
+                    let on = run_ordered_mode_model::<_, M>(
+                        &ps,
+                        &net,
+                        alpha,
+                        rule,
+                        order,
+                        200,
+                        PruneMode::On,
+                    );
+                    let off = run_ordered_mode_model::<_, M>(
+                        &ps,
+                        &net,
+                        alpha,
+                        rule,
+                        order,
+                        200,
+                        PruneMode::Off,
+                    );
+                    assert_eq!(
+                        on, off,
+                        "dynamics case {case} (model={kind:?} n={n} α={alpha} {rule:?} {order:?})"
+                    );
+                }
+            }
+        });
     }
 }
 
@@ -211,35 +285,51 @@ fn bit_identity_survives_fault_injection() {
 fn degenerate_geometries_bit_identical() {
     // co-located points (zero-weight edges, massive tie-breaking) and
     // collinear points (ties between via-paths) are where a sloppy
-    // bound would flip a tie — sweep them explicitly
-    for case in 0..cases().max(16) / 2 {
-        let mut rng = StdRng::seed_from_u64(0x5eed_0007 + case);
-        let n = rng.gen_range(4..11);
-        let ps = if case % 3 == 0 {
-            // collinear, evenly spaced: many exactly-tied via-paths
-            generators::line(n, 0.25)
-        } else if case % 3 == 1 {
-            // every point coincident: all weights exactly zero
-            PointSet::new(vec![vec![1.0, 1.0].into(); n])
-        } else {
-            let mut pts = Vec::with_capacity(n);
-            for _ in 0..n {
-                // snap to a coarse grid to force exact ties
-                let x = f64::from(rng.gen_range(0..3));
-                let y = f64::from(rng.gen_range(0..3));
-                pts.push(vec![x, y].into());
+    // bound would flip a tie — sweep them explicitly, per model (the
+    // max objective maximally concentrates ties: every coincident pair
+    // has the identical aggregate)
+    for kind in models() {
+        dispatch_model!(kind, M, {
+            for case in 0..cases().max(16) / 2 {
+                let mut rng = StdRng::seed_from_u64(0x5eed_0007 + case);
+                let n = rng.gen_range(4..11);
+                let ps = if case % 3 == 0 {
+                    // collinear, evenly spaced: many exactly-tied via-paths
+                    generators::line(n, 0.25)
+                } else if case % 3 == 1 {
+                    // every point coincident: all weights exactly zero
+                    PointSet::new(vec![vec![1.0, 1.0].into(); n])
+                } else {
+                    let mut pts = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        // snap to a coarse grid to force exact ties
+                        let x = f64::from(rng.gen_range(0..3));
+                        let y = f64::from(rng.gen_range(0..3));
+                        pts.push(vec![x, y].into());
+                    }
+                    PointSet::new(pts)
+                };
+                let net = random_network(&mut rng, n);
+                let alpha = pick_alpha(&mut rng);
+                let u = rng.gen_range(0..n);
+                let eval = ResponseEvaluator::new(&ps, &net, u);
+                let on = exact_best_response_with_eval_mode_model::<M>(&eval, alpha, PruneMode::On);
+                let off =
+                    exact_best_response_with_eval_mode_model::<M>(&eval, alpha, PruneMode::Off);
+                assert_same_br(
+                    &on,
+                    &off,
+                    &format!("degenerate case {case} (model={kind:?})"),
+                );
+                let mon =
+                    best_single_move_from_eval_mode_model::<M>(&eval, &net, alpha, PruneMode::On);
+                let moff =
+                    best_single_move_from_eval_mode_model::<M>(&eval, &net, alpha, PruneMode::Off);
+                assert_eq!(
+                    mon, moff,
+                    "degenerate single-move case {case} (model={kind:?})"
+                );
             }
-            PointSet::new(pts)
-        };
-        let net = random_network(&mut rng, n);
-        let alpha = pick_alpha(&mut rng);
-        let u = rng.gen_range(0..n);
-        let eval = ResponseEvaluator::new(&ps, &net, u);
-        let on = exact_best_response_with_eval_mode(&eval, alpha, PruneMode::On);
-        let off = exact_best_response_with_eval_mode(&eval, alpha, PruneMode::Off);
-        assert_same_br(&on, &off, &format!("degenerate case {case}"));
-        let mon = best_single_move_from_eval_mode(&eval, &net, alpha, PruneMode::On);
-        let moff = best_single_move_from_eval_mode(&eval, &net, alpha, PruneMode::Off);
-        assert_eq!(mon, moff, "degenerate single-move case {case}");
+        });
     }
 }

@@ -30,6 +30,18 @@ pub fn all_pairs_rows(g: &Graph) -> Vec<Vec<f64>> {
 /// Distance-cost vector `d_G(u, P)` for every agent `u` (row sums of the
 /// APSP matrix) without materializing the matrix.
 pub fn distance_sums(g: &Graph) -> Vec<f64> {
+    distance_aggregates(g, |row| row.iter().sum())
+}
+
+/// Per-source aggregate `f(d_G(u, ·))` for every agent `u` without
+/// materializing the matrix — the cost-model seam behind
+/// [`distance_sums`] (`f` = row sum) and the max-distance objective
+/// (`f` = row maximum). `f` sees the full row including the zero
+/// self-distance `d[u][u]`, exactly as [`distance_sums`] always did.
+pub fn distance_aggregates<F>(g: &Graph, f: F) -> Vec<f64>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
     let _span = gncg_trace::span("graph.apsp");
     let csr = Csr::from_graph(g);
     let n = csr.len();
@@ -38,7 +50,7 @@ pub fn distance_sums(g: &Graph) -> Vec<f64> {
         || (DijkstraScratch::default(), vec![f64::INFINITY; n]),
         |(scratch, row), u| {
             csr.dijkstra_into_slice(u, row, scratch);
-            row.iter().sum()
+            f(row)
         },
     )
 }
@@ -47,6 +59,16 @@ pub fn distance_sums(g: &Graph) -> Vec<f64> {
 /// (each unordered pair counted twice, matching the paper's
 /// Σ_{u∈P} d_G(u, P) convention).
 pub fn total_distance(g: &Graph) -> f64 {
+    total_row_aggregate(g, |row| row.iter().sum::<f64>())
+}
+
+/// `Σ_u f(d_G(u, ·))` without materializing the matrix — the total
+/// behind [`total_distance`] (`f` = row sum) and the max-distance
+/// social cost (`f` = row maximum, i.e. Σ_u ecc(u)).
+pub fn total_row_aggregate<F>(g: &Graph, f: F) -> f64
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
     let _span = gncg_trace::span("graph.apsp");
     let csr = Csr::from_graph(g);
     let n = csr.len();
@@ -56,7 +78,7 @@ pub fn total_distance(g: &Graph) -> f64 {
         || 0.0,
         |(scratch, row), acc, u| {
             csr.dijkstra_into_slice(u, row, scratch);
-            acc + row.iter().sum::<f64>()
+            acc + f(row)
         },
         |a, b| a + b,
     )
@@ -126,6 +148,31 @@ mod tests {
     fn total_distance_disconnected_is_infinite() {
         let g = Graph::new(3);
         assert!(total_distance(&g).is_infinite());
+    }
+
+    #[test]
+    fn row_aggregates_generalize_sums_bit_exactly() {
+        let g = path_graph(25);
+        let via_sums = distance_sums(&g);
+        let via_agg = distance_aggregates(&g, |row| row.iter().sum());
+        for (a, b) in via_sums.iter().zip(&via_agg) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(
+            total_distance(&g).to_bits(),
+            total_row_aggregate(&g, |row| row.iter().sum::<f64>()).to_bits()
+        );
+    }
+
+    #[test]
+    fn max_row_aggregate_is_eccentricity() {
+        let g = path_graph(6); // eccentricities 5,4,3,3,4,5
+        let ecc = distance_aggregates(&g, |row| row.iter().fold(0.0, |a: f64, &d| a.max(d)));
+        assert_eq!(ecc, vec![5.0, 4.0, 3.0, 3.0, 4.0, 5.0]);
+        assert_eq!(
+            total_row_aggregate(&g, |row| row.iter().fold(0.0, |a: f64, &d| a.max(d))),
+            24.0
+        );
     }
 
     #[test]

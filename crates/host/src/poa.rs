@@ -8,7 +8,7 @@
 //! the host metric.
 
 use crate::HostNetwork;
-use gncg_game::{cost, dynamics, exact, OwnedNetwork};
+use gncg_game::{cost, dispatch_model, dynamics, exact, GameSpec, OwnedNetwork};
 
 /// Theorem 5.4's PoA upper bound.
 pub fn theorem_5_4_bound(alpha: f64) -> f64 {
@@ -35,31 +35,41 @@ pub struct PoaProbe {
 /// Try to find a NE on the host by best-response dynamics from the
 /// shortest-path subnetwork, then compare with the optimum.
 pub fn probe_poa(h: &HostNetwork, alpha: f64, max_steps: usize) -> PoaProbe {
+    probe_poa_spec(h, alpha, max_steps, GameSpec::default())
+}
+
+/// [`probe_poa`] under an explicit [`GameSpec`]: equilibria, social
+/// costs, and the optimum are all taken under `spec`'s cost model
+/// (and edge-formation rule for the dynamics). The default spec is the
+/// identical code path as [`probe_poa`].
+pub fn probe_poa_spec(h: &HostNetwork, alpha: f64, max_steps: usize, spec: GameSpec) -> PoaProbe {
     let w = h.as_weights();
     let start = crate::corollaries::shortest_path_subnetwork(h);
-    let outcome = dynamics::run(
+    let outcome = dynamics::run_spec(
         &w,
         &start,
         alpha,
         dynamics::ResponseRule::BestResponse,
+        dynamics::AgentOrder::RoundRobin,
         max_steps,
+        spec,
     );
     let equilibrium = match outcome {
         dynamics::Outcome::Converged { state, .. } => Some(state),
         _ => None,
     };
     let (ne_cost, ratio, opt_cost, opt_is_exact) = match &equilibrium {
-        Some(ne) => {
-            let sc = cost::social_cost(&w, ne, alpha);
-            let (opt, exact_flag) =
-                match exact::exact_social_optimum(&w, alpha, &gncg_game::SolveOptions::default()) {
-                    gncg_game::Outcome::Exact(o) => (o.social_cost, true),
-                    gncg_game::Outcome::Degraded {
-                        certified_bound, ..
-                    } => (certified_bound, false),
-                };
+        Some(ne) => dispatch_model!(spec.model, M, {
+            let sc = cost::social_cost_model::<_, M>(&w, ne, alpha);
+            let opts = gncg_game::SolveOptions::default().with_model(spec.model);
+            let (opt, exact_flag) = match exact::exact_social_optimum(&w, alpha, &opts) {
+                gncg_game::Outcome::Exact(o) => (o.social_cost, true),
+                gncg_game::Outcome::Degraded {
+                    certified_bound, ..
+                } => (certified_bound, false),
+            };
             (sc, sc / opt, opt, exact_flag)
-        }
+        }),
         None => (f64::NAN, f64::NAN, f64::NAN, false),
     };
     PoaProbe {
@@ -145,5 +155,51 @@ mod tests {
         if probe.opt_is_exact && probe.equilibrium.is_some() {
             assert!(probe.ratio >= 1.0 - 1e-9);
         }
+    }
+
+    #[test]
+    fn default_spec_probe_is_bit_identical_to_probe_poa() {
+        let h = HostNetwork::random_metric(6, 17);
+        let a = probe_poa(&h, 1.5, 400);
+        let b = probe_poa_spec(&h, 1.5, 400, GameSpec::default());
+        assert_eq!(a.equilibrium.is_some(), b.equilibrium.is_some());
+        if a.equilibrium.is_some() {
+            assert_eq!(a.ne_cost.to_bits(), b.ne_cost.to_bits());
+            assert_eq!(a.opt_cost.to_bits(), b.opt_cost.to_bits());
+            assert_eq!(a.ratio.to_bits(), b.ratio.to_bits());
+        }
+    }
+
+    #[test]
+    fn max_model_probe_finds_consistent_equilibria() {
+        use gncg_game::{MaxDistance, ModelKind};
+        // No theorem constant is claimed for the max objective; the
+        // probe must still produce internally consistent samples: a
+        // state that is Nash *under the max model*, and a ratio ≥ 1 − ε
+        // whenever the optimum is exact.
+        let mut converged = 0;
+        for seed in 0..6u64 {
+            let h = HostNetwork::random_metric(6, seed);
+            let spec = GameSpec::with_model(ModelKind::MaxDistance);
+            let probe = probe_poa_spec(&h, 1.5, 400, spec);
+            if let Some(ne) = &probe.equilibrium {
+                converged += 1;
+                assert!(
+                    exact::is_nash_model::<_, MaxDistance>(&h.as_weights(), ne, 1.5),
+                    "seed {seed}: claimed max-model NE is not one"
+                );
+                if probe.opt_is_exact {
+                    assert!(
+                        probe.ratio >= 1.0 - 1e-9,
+                        "seed {seed}: exact-optimum ratio {} below 1",
+                        probe.ratio
+                    );
+                }
+            }
+        }
+        assert!(
+            converged >= 2,
+            "max-model dynamics converged only {converged} times"
+        );
     }
 }

@@ -51,7 +51,7 @@ use gncg_config::GncgConfig;
 use gncg_game::best_response::BestResponse;
 use gncg_game::certify::{CertifyOptions, CertifyReport};
 use gncg_game::exact::ExactOptimum;
-use gncg_game::{dynamics, EdgeWeights, Outcome, OwnedNetwork, SolveOptions};
+use gncg_game::{dynamics, EdgeWeights, GameSpec, Outcome, OwnedNetwork, SolveOptions};
 use gncg_parallel::pool::ThreadPool;
 use gncg_parallel::{with_budget, with_max_threads, Budget};
 
@@ -632,13 +632,18 @@ impl Session {
         })
     }
 
-    /// Submit an exact best-response job for agent `u`.
+    /// Submit an exact best-response job for agent `u`. The job budget
+    /// replaces `opts.budget`; the cost model in `opts` is honored
+    /// (default `ModelKind::SumDistances` — pass
+    /// `SolveOptions::default().with_model(cfg.model)` to thread the
+    /// `GNCG_MODEL` choice through).
     pub fn submit_best_response(
         &self,
         w: SharedWeights,
         net: OwnedNetwork,
         alpha: f64,
         u: usize,
+        opts: SolveOptions,
         job: JobOptions,
     ) -> Result<JobHandle<Outcome<BestResponse>>, SubmitError> {
         self.submit_raw(
@@ -652,27 +657,33 @@ impl Session {
                     &net,
                     alpha,
                     u,
-                    &SolveOptions::budgeted(budget),
+                    &opts.clone().with_budget(budget),
                 )
             },
         )
     }
 
-    /// Submit an exact social-optimum job (batch lane by default).
+    /// Submit an exact social-optimum job (batch lane by default). The
+    /// job budget replaces `opts.budget`; the cost model in `opts` is
+    /// honored.
     pub fn submit_exact_optimum(
         &self,
         w: SharedWeights,
         alpha: f64,
+        opts: SolveOptions,
         job: JobOptions,
     ) -> Result<JobHandle<Outcome<ExactOptimum>>, SubmitError> {
         self.submit_raw(JobKind::ExactOpt, job, false, false, move |_, budget| {
-            gncg_game::exact::exact_social_optimum(&*w, alpha, &SolveOptions::budgeted(budget))
+            gncg_game::exact::exact_social_optimum(&*w, alpha, &opts.clone().with_budget(budget))
         })
     }
 
-    /// Submit a response-dynamics run. A budget cancelled mid-run
+    /// Submit a response-dynamics run under `spec` (cost model +
+    /// edge-formation rule; [`GameSpec::default`] reproduces the
+    /// historical behaviour exactly). A budget cancelled mid-run
     /// resolves the handle to [`JobError::Cancelled`] (a truncated
     /// trajectory has no sound fallback).
+    #[allow(clippy::too_many_arguments)]
     pub fn submit_dynamics(
         &self,
         w: SharedWeights,
@@ -680,10 +691,19 @@ impl Session {
         alpha: f64,
         rule: dynamics::ResponseRule,
         max_steps: usize,
+        spec: GameSpec,
         job: JobOptions,
     ) -> Result<JobHandle<dynamics::Outcome>, SubmitError> {
         self.submit_raw(JobKind::Dynamics, job, true, true, move |_, _| {
-            dynamics::run(&*w, &start, alpha, rule, max_steps)
+            dynamics::run_spec(
+                &*w,
+                &start,
+                alpha,
+                rule,
+                dynamics::AgentOrder::RoundRobin,
+                max_steps,
+                spec,
+            )
         })
     }
 

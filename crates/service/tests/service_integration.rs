@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use gncg_game::certify::{certify, CertifyOptions};
-use gncg_game::{best_response, dynamics, exact, OwnedNetwork, SolveOptions};
+use gncg_game::{best_response, dynamics, exact, GameSpec, OwnedNetwork, SolveOptions};
 use gncg_geometry::generators;
 use gncg_service::{JobError, JobOptions, Session};
 
@@ -66,12 +66,24 @@ fn concurrent_mixed_load_bit_identical_to_sequential() {
         );
         h_br.push(
             session
-                .submit_best_response(ps.clone(), net.clone(), 1.5, 1, JobOptions::default())
+                .submit_best_response(
+                    ps.clone(),
+                    net.clone(),
+                    1.5,
+                    1,
+                    SolveOptions::default(),
+                    JobOptions::default(),
+                )
                 .expect("admitted"),
         );
         h_opt.push(
             session
-                .submit_exact_optimum(ps.clone(), 1.5, JobOptions::default())
+                .submit_exact_optimum(
+                    ps.clone(),
+                    1.5,
+                    SolveOptions::default(),
+                    JobOptions::default(),
+                )
                 .expect("admitted"),
         );
         h_dyn.push(
@@ -82,6 +94,7 @@ fn concurrent_mixed_load_bit_identical_to_sequential() {
                     1.5,
                     dynamics::ResponseRule::BestSingleMove,
                     200,
+                    GameSpec::default(),
                     JobOptions::default(),
                 )
                 .expect("admitted"),
@@ -166,5 +179,76 @@ fn panicking_job_fails_alone_and_pool_stays_healthy() {
         other => panic!("expected Panicked, got {other:?}"),
     }
     assert!(after.wait().is_ok(), "job after the panic must succeed");
+    session.wait_idle();
+}
+
+#[test]
+fn model_choice_threads_through_typed_submits() {
+    use gncg_game::ModelKind;
+    let session = Session::builder().threads(2).build();
+    let ps = Arc::new(generators::uniform_unit_square(6, 9));
+    let net = OwnedNetwork::center_star(6, 0);
+    let max_solve = SolveOptions::default().with_model(ModelKind::MaxDistance);
+    let max_certify = CertifyOptions::exact().with_model(ModelKind::MaxDistance);
+
+    let h_cert = session
+        .submit_certify(
+            ps.clone(),
+            net.clone(),
+            1.5,
+            max_certify.clone(),
+            JobOptions::default(),
+        )
+        .expect("admitted");
+    let h_br = session
+        .submit_best_response(
+            ps.clone(),
+            net.clone(),
+            1.5,
+            1,
+            max_solve.clone(),
+            JobOptions::default(),
+        )
+        .expect("admitted");
+    let h_dyn = session
+        .submit_dynamics(
+            ps.clone(),
+            net.clone(),
+            1.5,
+            dynamics::ResponseRule::BestSingleMove,
+            200,
+            GameSpec::with_model(ModelKind::MaxDistance),
+            JobOptions::default(),
+        )
+        .expect("admitted");
+
+    let want_cert = certify(&*ps, &net, 1.5, max_certify);
+    let got_cert = h_cert.wait().expect("certify job");
+    assert_eq!(got_cert.model, ModelKind::MaxDistance);
+    assert_eq!(
+        got_cert.social_cost.to_bits(),
+        want_cert.social_cost.to_bits()
+    );
+    assert_eq!(
+        got_cert.beta_upper.to_bits(),
+        want_cert.beta_upper.to_bits()
+    );
+
+    let want_br =
+        best_response::exact_best_response(&*ps, &net, 1.5, 1, &max_solve).expect_exact("br");
+    let got_br = h_br.wait().expect("br job").expect_exact("br");
+    assert_eq!(got_br.cost.to_bits(), want_br.cost.to_bits());
+    assert_eq!(got_br.strategy, want_br.strategy);
+
+    let want_dyn = dynamics::run_spec(
+        &*ps,
+        &net,
+        1.5,
+        dynamics::ResponseRule::BestSingleMove,
+        dynamics::AgentOrder::RoundRobin,
+        200,
+        GameSpec::with_model(ModelKind::MaxDistance),
+    );
+    assert_eq!(h_dyn.wait().expect("dynamics job"), want_dyn);
     session.wait_idle();
 }

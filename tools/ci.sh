@@ -28,6 +28,15 @@ if grep -rn --include='*.rs' -F 'env::var("GNCG_' src crates tests examples \
     exit 1
 fi
 
+# model-selection discipline: GNCG_MODEL is parsed solely by gncg-config
+# (GncgConfig::from_env / env::model_choice); any other mention of the
+# quoted literal is a second parser waiting to drift
+if grep -rn --include='*.rs' -F '"GNCG_MODEL"' src crates tests examples \
+    | grep -v '^crates/config/src/'; then
+    echo 'the "GNCG_MODEL" literal outside crates/config/src (use gncg_config)' >&2
+    exit 1
+fi
+
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace
