@@ -5,20 +5,32 @@
 //! gncg build    --points points.json --alpha 2 --method combined --out net.json
 //! gncg certify  --points points.json --network net.json --alpha 2 [--exact]
 //! gncg dynamics --points points.json --alpha 1 --steps 500
+//! gncg serve    [--addr 127.0.0.1:7117]
+//! gncg connect  --points points.json --network net.json --alpha 2 [--idem KEY]
 //! ```
 //!
 //! Arguments are deliberately hand-parsed (`--key value` pairs) to keep
 //! the dependency set to the whitelisted crates.
+//!
+//! `serve` / `connect` are the remote analogues of the local job
+//! subcommands: `serve` fronts a [`Session`] over TCP (SIGTERM drains,
+//! SIGTERM×2 cancels), `connect` submits through a retrying
+//! [`ServeClient`] and exits with [`gncg_config::INTERRUPTED_EXIT`]
+//! when the remote job is cancelled — the same code a local
+//! budget-interrupted run uses, so driving a sweep remotely changes
+//! nothing about how callers resume it.
 
 use gncg_algo as algo;
 use gncg_config::GncgConfig;
 use gncg_game::certify::CertifyOptions;
 use gncg_game::{dynamics, GameSpec, OwnedNetwork};
 use gncg_geometry::{generators, PointSet};
+use gncg_serve::{ClientError, JobSpec, ServeClient, Server};
 use gncg_service::{JobError, JobOptions, Session};
 use std::collections::HashMap;
 use std::process::exit;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -32,13 +44,15 @@ fn main() {
         "build" => build(&opts),
         "certify" => run_certify(&opts),
         "dynamics" => run_dynamics(&opts),
+        "serve" => run_serve(&opts),
+        "connect" => run_connect(&opts),
         _ => usage_and_exit(),
     }
 }
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage:\n  gncg generate --kind uniform|grid|cluster|chain --n N [--seed S] [--alpha A] --out FILE\n  gncg build --points FILE --alpha A --method combined|alg1|mst|complete|star --out FILE\n  gncg certify --points FILE --network FILE --alpha A [--exact]\n  gncg dynamics --points FILE --alpha A [--steps N] [--rule best|single]"
+        "usage:\n  gncg generate --kind uniform|grid|cluster|chain --n N [--seed S] [--alpha A] --out FILE\n  gncg build --points FILE --alpha A --method combined|alg1|mst|complete|star --out FILE\n  gncg certify --points FILE --network FILE --alpha A [--exact]\n  gncg dynamics --points FILE --alpha A [--steps N] [--rule best|single]\n  gncg serve [--addr HOST:PORT]\n  gncg connect --job certify|dynamics --points FILE [--network FILE] --alpha A\n               [--exact] [--steps N] [--rule best|single] [--budget-ms N]\n               [--addr HOST:PORT] [--client ID] [--idem KEY]"
     );
     exit(2);
 }
@@ -230,7 +244,7 @@ fn run_dynamics(opts: &HashMap<String, String>) {
         });
     let outcome = handle.wait().unwrap_or_else(|e| {
         let code = match e {
-            JobError::Cancelled => 75,
+            JobError::Cancelled => gncg_config::INTERRUPTED_EXIT,
             JobError::Panicked(_) => 1,
         };
         eprintln!("dynamics job failed: {e}");
@@ -252,6 +266,101 @@ fn run_dynamics(opts: &HashMap<String, String>) {
         }
         dynamics::Outcome::Exhausted { steps, .. } => {
             println!("stopped after {steps} strategy changes without convergence");
+        }
+    }
+}
+
+fn run_serve(opts: &HashMap<String, String>) {
+    let mut cfg = gncg_config::env::serve().clone();
+    if let Some(addr) = opts.get("addr") {
+        cfg.addr = addr.clone();
+    }
+    if !gncg_serve::signal::install_sigterm_handler() {
+        eprintln!("warning: SIGTERM handler install failed; drain via client disconnects only");
+    }
+    let session = Session::new();
+    let server = Server::bind(session, &cfg).unwrap_or_else(|e| {
+        eprintln!("cannot bind {}: {e}", cfg.addr);
+        exit(1);
+    });
+    println!("gncg-serve listening on {}", server.local_addr());
+    println!("SIGTERM drains gracefully; a second SIGTERM cancels in-flight jobs");
+    while !server.is_draining() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("drain initiated; finishing in-flight jobs");
+    server.wait_drained(Duration::from_secs(24 * 3600));
+    let stats = server.shutdown();
+    eprintln!(
+        "drained: {} accepted = {} completed + {} cancelled + {} panicked ({} rejected, {} replayed)",
+        stats.accepted,
+        stats.completed,
+        stats.cancelled,
+        stats.panicked,
+        stats.rejected,
+        stats.replayed,
+    );
+}
+
+fn run_connect(opts: &HashMap<String, String>) {
+    let cfg = gncg_config::env::serve();
+    let addr = opts
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| cfg.addr.clone());
+    let client_id = opts
+        .get("client")
+        .cloned()
+        .unwrap_or_else(|| format!("gncg-cli-{}", std::process::id()));
+    let ps = load_points(req(opts, "points"));
+    let alpha: f64 = parse_num(req(opts, "alpha"), "--alpha");
+    let budget_ms: Option<u64> = opts.get("budget-ms").map(|s| parse_num(s, "--budget-ms"));
+    let model = GncgConfig::from_env().model;
+    let spec = match opts.get("job").map(|s| s.as_str()).unwrap_or("certify") {
+        "certify" => JobSpec::Certify {
+            network: load_network(req(opts, "network")),
+            points: ps,
+            alpha,
+            exact: opts.contains_key("exact"),
+            model,
+            budget_ms,
+        },
+        "dynamics" => JobSpec::Dynamics {
+            points: ps,
+            alpha,
+            rule: match opts.get("rule").map(|s| s.as_str()).unwrap_or("single") {
+                "best" => dynamics::ResponseRule::BestResponse,
+                _ => dynamics::ResponseRule::BestSingleMove,
+            },
+            steps: opts
+                .get("steps")
+                .map(|s| parse_num(s, "--steps"))
+                .unwrap_or(500),
+            spec: GameSpec::with_model(model),
+            start: None,
+            budget_ms,
+        },
+        other => {
+            eprintln!("unknown job {other}");
+            usage_and_exit()
+        }
+    };
+    let mut client = ServeClient::new(addr, client_id);
+    // an explicit --idem key makes re-invocation resume: a key the
+    // server already resolved replays the cached result byte-identically
+    let result = match opts.get("idem") {
+        Some(key) => client.submit_with_key(&spec, key),
+        None => client.submit(&spec),
+    };
+    match result {
+        Ok(value) => println!("{}", gncg_json::to_string_pretty(&value)),
+        Err(ClientError::Cancelled) => {
+            eprintln!("remote job interrupted (budget exhausted or server cancel); re-run with the same --idem to resume");
+            exit(gncg_config::INTERRUPTED_EXIT);
+        }
+        Err(e) => {
+            eprintln!("remote job failed: {e}");
+            exit(1);
         }
     }
 }

@@ -26,8 +26,10 @@ use gncg_service::{JobCtx, JobOptions, Session};
 use std::ops::Range;
 
 /// Exit code of a sweep interrupted by its budget (checkpoint kept;
-/// re-run to resume). `EX_TEMPFAIL` from `sysexits.h`.
-pub const INTERRUPTED_EXIT: i32 = 75;
+/// re-run to resume). `EX_TEMPFAIL` from `sysexits.h`. Defined once in
+/// `gncg-config` so every tier — local sweeps, the `gncg` CLI, and
+/// remote `ServeClient` sessions — exits identically on interruption.
+pub use gncg_config::INTERRUPTED_EXIT;
 
 /// A sweep body's view of its job: the service context plus the
 /// checkpoint for this report id.

@@ -18,6 +18,15 @@
 //! | `GNCG_RESULTS_DIR`          | [`env::results_dir`]           | path override; **re-read on every call** (tests retarget it at runtime) |
 //! | `GNCG_PERF_RATIO`           | [`env::perf_ratio`]            | parsed `f64` > 0, default `1.5`; cached at first read |
 //! | `GNCG_MODEL`                | [`env::model`]                 | `"maxdist"`/`"max"` ⇒ [`ModelKind::MaxDistance`], anything else ⇒ [`ModelKind::SumDistances`]; cached at first read |
+//! | `GNCG_NET_FAULT_INJECT`     | [`env::net_fault_inject`]      | parsed `f64`, unparsable ⇒ unset; cached at first read |
+//! | `GNCG_SERVE_ADDR`           | [`env::serve_addr`]            | listen/connect address, default `127.0.0.1:7117`; cached at first read |
+//! | `GNCG_SERVE_MAX_CONNS`      | ([`ServeConfig`])              | parsed `usize`, default 512; cached at first read |
+//! | `GNCG_SERVE_QUOTA`          | ([`ServeConfig`])              | per-client outstanding-job quota, default 16; cached at first read |
+//! | `GNCG_SERVE_MAX_FRAME`      | ([`ServeConfig`])              | frame-size cap in bytes, default 16 MiB; cached at first read |
+//! | `GNCG_SERVE_WRITE_TIMEOUT_MS` | ([`ServeConfig`])            | per-connection write timeout, default 2000; cached at first read |
+//! | `GNCG_SERVE_OUTBUF`         | ([`ServeConfig`])              | bounded outbound buffer in frames, default 1024; cached at first read |
+//! | `GNCG_SERVE_TIMEOUT_MS`     | ([`ServeConfig`])              | client per-request deadline, default 30000; cached at first read |
+//! | `GNCG_SERVE_RETRIES`        | ([`ServeConfig`])              | client resubmission cap, default 16; cached at first read |
 //!
 //! Caching is *lazy per variable*: nothing is read until the first
 //! consumer asks, so a test that sets `GNCG_THREADS` before the first
@@ -33,6 +42,13 @@
 
 use std::path::PathBuf;
 use std::sync::OnceLock;
+
+/// Exit code of a process whose work was interrupted by budget
+/// exhaustion with a checkpoint kept for resume (`EX_TEMPFAIL` from
+/// `sysexits.h`). One constant shared by the repro binaries, the `gncg`
+/// CLI, and the remote-client paths, so "re-run to resume" is the same
+/// contract everywhere.
+pub const INTERRUPTED_EXIT: i32 = 75;
 
 /// Which agent objective the solvers should optimize (`GNCG_MODEL`).
 ///
@@ -190,6 +206,38 @@ pub mod env {
         *CACHE.get_or_init(|| parse::model(read("GNCG_MODEL").as_deref()))
     }
 
+    /// `GNCG_NET_FAULT_INJECT`: injected network-fault probability in
+    /// `[0, 1]` for the `gncg-serve` frame-boundary injector (clamping
+    /// is the injector's job). Cached at first read.
+    pub fn net_fault_inject() -> Option<f64> {
+        static CACHE: OnceLock<Option<f64>> = OnceLock::new();
+        *CACHE.get_or_init(|| parse::number(read("GNCG_NET_FAULT_INJECT").as_deref()))
+    }
+
+    /// `GNCG_SERVE_ADDR`: the service-tier listen/connect address.
+    /// Cached at first read.
+    pub fn serve_addr() -> Option<String> {
+        static CACHE: OnceLock<Option<String>> = OnceLock::new();
+        CACHE.get_or_init(|| read("GNCG_SERVE_ADDR")).clone()
+    }
+
+    /// The full `GNCG_SERVE_*` knob set, snapshotted once. See
+    /// [`ServeConfig`] for each variable's semantics.
+    pub fn serve() -> &'static ServeConfig {
+        static CACHE: OnceLock<ServeConfig> = OnceLock::new();
+        CACHE.get_or_init(|| ServeConfig {
+            addr: serve_addr().unwrap_or_else(|| ServeConfig::DEFAULT_ADDR.to_string()),
+            max_conns: parse::number(read("GNCG_SERVE_MAX_CONNS").as_deref()).unwrap_or(512),
+            quota: parse::number(read("GNCG_SERVE_QUOTA").as_deref()).unwrap_or(16),
+            max_frame: parse::number(read("GNCG_SERVE_MAX_FRAME").as_deref()).unwrap_or(16 << 20),
+            write_timeout_ms: parse::number(read("GNCG_SERVE_WRITE_TIMEOUT_MS").as_deref())
+                .unwrap_or(2_000),
+            outbuf_frames: parse::number(read("GNCG_SERVE_OUTBUF").as_deref()).unwrap_or(1_024),
+            timeout_ms: parse::number(read("GNCG_SERVE_TIMEOUT_MS").as_deref()).unwrap_or(30_000),
+            retries: parse::number(read("GNCG_SERVE_RETRIES").as_deref()).unwrap_or(16),
+        })
+    }
+
     /// `GNCG_MODEL` as an explicit choice: `Some(kind)` when the
     /// variable is set (to anything — unknown spellings still resolve
     /// to the sum default via [`parse::model`]), `None` when unset.
@@ -199,6 +247,69 @@ pub mod env {
     pub fn model_choice() -> Option<ModelKind> {
         static CACHE: OnceLock<Option<ModelKind>> = OnceLock::new();
         *CACHE.get_or_init(|| read("GNCG_MODEL").as_deref().map(|v| parse::model(Some(v))))
+    }
+}
+
+/// The `GNCG_SERVE_*` knob set of the `gncg-serve` network tier. Every
+/// numeric knob follows the [`parse::number`] rule (set-but-unparsable
+/// behaves like unset, falling back to the documented default); all are
+/// cached at first read via [`env::serve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Listen (server) / connect (client) address
+    /// (`GNCG_SERVE_ADDR`, default [`ServeConfig::DEFAULT_ADDR`]).
+    pub addr: String,
+    /// Maximum simultaneously-open client connections
+    /// (`GNCG_SERVE_MAX_CONNS`, default 512). Excess connects are
+    /// closed after a typed rejection frame.
+    pub max_conns: usize,
+    /// Per-client cap on outstanding (admitted, unresolved) jobs
+    /// (`GNCG_SERVE_QUOTA`, default 16), layered *on top of* the
+    /// session's two-lane queue capacities: one tenant exhausting its
+    /// quota cannot occupy another tenant's lane slots.
+    pub quota: usize,
+    /// Frame-size cap in bytes (`GNCG_SERVE_MAX_FRAME`, default
+    /// 16 MiB). An incoming length prefix above the cap is a typed
+    /// protocol error and closes the connection (the stream cannot be
+    /// resynchronized).
+    pub max_frame: usize,
+    /// Per-connection socket write timeout in milliseconds
+    /// (`GNCG_SERVE_WRITE_TIMEOUT_MS`, default 2000). A write that
+    /// stalls this long marks the client dead and reaps the connection.
+    pub write_timeout_ms: u64,
+    /// Bounded per-connection outbound buffer, in frames
+    /// (`GNCG_SERVE_OUTBUF`, default 1024). A slow reader whose buffer
+    /// stays full is disconnected instead of wedging dispatch.
+    pub outbuf_frames: usize,
+    /// Client-side per-request deadline in milliseconds
+    /// (`GNCG_SERVE_TIMEOUT_MS`, default 30000): connect, retries, and
+    /// result wait all share it.
+    pub timeout_ms: u64,
+    /// Client-side cap on resubmission attempts per request
+    /// (`GNCG_SERVE_RETRIES`, default 16).
+    pub retries: u32,
+}
+
+impl ServeConfig {
+    /// Default service-tier address (loopback; serving publicly is an
+    /// explicit `GNCG_SERVE_ADDR` decision).
+    pub const DEFAULT_ADDR: &'static str = "127.0.0.1:7117";
+}
+
+impl Default for ServeConfig {
+    /// All knobs at their documented defaults, ignoring the
+    /// environment.
+    fn default() -> Self {
+        Self {
+            addr: Self::DEFAULT_ADDR.to_string(),
+            max_conns: 512,
+            quota: 16,
+            max_frame: 16 << 20,
+            write_timeout_ms: 2_000,
+            outbuf_frames: 1_024,
+            timeout_ms: 30_000,
+            retries: 16,
+        }
     }
 }
 
@@ -233,6 +344,11 @@ pub struct GncgConfig {
     pub perf_ratio: f64,
     /// Agent objective (`GNCG_MODEL`, default sum-of-distances).
     pub model: ModelKind,
+    /// Injected network-fault probability for the serve tier
+    /// (`GNCG_NET_FAULT_INJECT`); `None` ⇒ off.
+    pub net_fault_inject: Option<f64>,
+    /// The `GNCG_SERVE_*` knob set of the network service tier.
+    pub serve: ServeConfig,
 }
 
 impl GncgConfig {
@@ -248,6 +364,8 @@ impl GncgConfig {
             results_dir: env::results_dir(),
             perf_ratio: env::perf_ratio(),
             model: env::model(),
+            net_fault_inject: env::net_fault_inject(),
+            serve: env::serve().clone(),
         }
     }
 
@@ -275,6 +393,8 @@ impl Default for GncgConfig {
             results_dir: None,
             perf_ratio: 1.5,
             model: ModelKind::SumDistances,
+            net_fault_inject: None,
+            serve: ServeConfig::default(),
         }
     }
 }
@@ -332,6 +452,18 @@ impl GncgConfigBuilder {
     /// Override the agent objective.
     pub fn model(mut self, model: ModelKind) -> Self {
         self.config.model = model;
+        self
+    }
+
+    /// Override the injected network-fault probability.
+    pub fn net_fault_inject(mut self, p: f64) -> Self {
+        self.config.net_fault_inject = Some(p);
+        self
+    }
+
+    /// Override the serve-tier knob set wholesale.
+    pub fn serve(mut self, serve: ServeConfig) -> Self {
+        self.config.serve = serve;
         self
     }
 
@@ -441,6 +573,37 @@ mod tests {
         assert!(c.prune);
         assert_eq!(c.perf_ratio, 1.5);
         assert_eq!(c.model, ModelKind::SumDistances);
+        assert_eq!(c.net_fault_inject, None);
+        assert_eq!(c.serve, ServeConfig::default());
+    }
+
+    #[test]
+    fn serve_defaults_are_frozen() {
+        // the serve tier's soak tests and the client/server pair both
+        // assume these defaults; a drift here desynchronizes them
+        let s = ServeConfig::default();
+        assert_eq!(s.addr, "127.0.0.1:7117");
+        assert_eq!(s.max_conns, 512);
+        assert_eq!(s.quota, 16);
+        assert_eq!(s.max_frame, 16 << 20);
+        assert_eq!(s.write_timeout_ms, 2_000);
+        assert_eq!(s.outbuf_frames, 1_024);
+        assert_eq!(s.timeout_ms, 30_000);
+        assert_eq!(s.retries, 16);
+    }
+
+    #[test]
+    fn serve_builder_override_sticks() {
+        let custom = ServeConfig {
+            quota: 2,
+            ..ServeConfig::default()
+        };
+        let c = GncgConfig::builder()
+            .serve(custom.clone())
+            .net_fault_inject(0.25)
+            .build();
+        assert_eq!(c.serve, custom);
+        assert_eq!(c.net_fault_inject, Some(0.25));
     }
 
     #[test]

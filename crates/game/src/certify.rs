@@ -24,7 +24,7 @@ use crate::{
     OwnedNetwork, SumDistances,
 };
 use gncg_graph::Graph;
-use gncg_json::{object, ToJson, Value};
+use gncg_json::{field, object, FromJson, JsonError, ToJson, Value};
 use gncg_parallel::Budget;
 
 /// What the certifier should compute, and under which budget.
@@ -99,7 +99,7 @@ impl CertifyOptions {
 }
 
 /// The certification report for a profile `s` on an instance.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CertifyReport {
     /// Number of agents.
     pub n: usize,
@@ -164,6 +164,49 @@ impl ToJson for CertifyReport {
             entries.push(("model", self.model.as_str().to_json()));
         }
         object(entries)
+    }
+}
+
+impl FromJson for CertifyReport {
+    /// Inverse of [`CertifyReport::to_json`], used by the `gncg-serve`
+    /// wire layer. Because the printer emits finite `f64`s in
+    /// shortest-roundtrip form, `to_json → print → parse → from_json`
+    /// reproduces every float bit-for-bit — the serve tier's
+    /// bit-identity guarantee rests on this.
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        fn regime(value: &Value, key: &str) -> Result<Regime, JsonError> {
+            match field(value, key)?.as_str() {
+                Some("exact") => Ok(Regime::Exact),
+                Some("certified") => Ok(Regime::Certified),
+                other => Err(JsonError::new(format!("bad {key}: {other:?}"))),
+            }
+        }
+        let model = match value.get("model") {
+            // absent ⇔ the frozen sum-model key set
+            None => ModelKind::SumDistances,
+            Some(v) => match v.as_str() {
+                Some("sum") => ModelKind::SumDistances,
+                Some("maxdist") => ModelKind::MaxDistance,
+                other => return Err(JsonError::new(format!("bad model: {other:?}"))),
+            },
+        };
+        Ok(CertifyReport {
+            n: usize::from_json(field(value, "n")?)?,
+            alpha: f64::from_json(field(value, "alpha")?)?,
+            social_cost: f64::from_json(field(value, "social_cost")?)?,
+            connected: bool::from_json(field(value, "connected")?)?,
+            beta_upper: f64::from_json(field(value, "beta_upper")?)?,
+            beta_exact: Option::<f64>::from_json(field(value, "beta_exact")?)?,
+            beta_witness: f64::from_json(field(value, "beta_witness")?)?,
+            opt_lower_bound: f64::from_json(field(value, "opt_lower_bound")?)?,
+            opt_exact: Option::<f64>::from_json(field(value, "opt_exact")?)?,
+            gamma_upper: f64::from_json(field(value, "gamma_upper")?)?,
+            gamma_exact: Option::<f64>::from_json(field(value, "gamma_exact")?)?,
+            beta_regime: regime(value, "beta_regime")?,
+            gamma_regime: regime(value, "gamma_regime")?,
+            degrade_reasons: Vec::<String>::from_json(field(value, "degrade_reasons")?)?,
+            model,
+        })
     }
 }
 

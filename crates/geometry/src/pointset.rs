@@ -7,7 +7,7 @@ use gncg_json::{field, object, FromJson, JsonError, ToJson, Value};
 
 /// An ordered set of n points in ℝᵈ together with the norm that defines
 /// edge lengths. Agents are addressed by index `0..n`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PointSet {
     points: Vec<Point>,
     norm: Norm,

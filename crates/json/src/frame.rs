@@ -1,0 +1,244 @@
+//! Length-prefixed JSON frame codec for the `gncg-serve` wire protocol.
+//!
+//! A frame is a 4-byte **big-endian** unsigned payload length followed by
+//! exactly that many bytes of UTF-8 JSON. The length covers the payload
+//! only (not the prefix) and must not exceed the receiver's configured
+//! cap — a declared length above the cap is rejected *before* any payload
+//! byte is read, so a hostile peer cannot make the server allocate.
+//!
+//! Decoding is **stateful**: [`FrameReader`] buffers partial prefixes and
+//! partial payloads across calls, so a read timeout (or `WouldBlock` on a
+//! nonblocking socket) in the middle of a frame does not desynchronize
+//! the stream — the next call resumes exactly where the last one left
+//! off. This is what lets the server poll a connection with a short read
+//! timeout while watching a shutdown flag.
+//!
+//! Error discipline (the robustness contract the serve tier builds on):
+//! every malformed input — oversized prefix, mid-frame EOF, non-UTF-8
+//! payload, invalid JSON — yields a typed [`FrameError`], never a panic.
+//! A payload-level error ([`BadUtf8`](FrameError::BadUtf8) /
+//! [`Json`](FrameError::Json)) leaves the reader at the next frame
+//! boundary (the bad payload is consumed), so a connection can survive
+//! one garbage frame; length-level errors ([`TooLarge`](FrameError::TooLarge))
+//! leave the boundary unknown and the connection must be closed.
+
+use crate::{JsonError, Value};
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+
+/// Wire-format limit: lengths are `u32`, so no frame payload can exceed
+/// this many bytes regardless of the configured cap.
+pub const WIRE_MAX: usize = u32::MAX as usize;
+
+/// Typed decode/transport failure for the frame layer.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the stream cleanly at a frame boundary.
+    Closed,
+    /// The stream ended mid-prefix or mid-payload (torn frame).
+    Truncated,
+    /// The declared payload length exceeds the receiver's cap. The frame
+    /// boundary is unknown after this error; close the connection.
+    TooLarge { len: usize, max: usize },
+    /// The payload was not valid UTF-8. Boundary intact; recoverable.
+    BadUtf8,
+    /// The payload was not valid JSON. Boundary intact; recoverable.
+    Json(JsonError),
+    /// Transport error from the underlying reader/writer. Timeouts
+    /// (`WouldBlock`/`TimedOut`) surface here; see [`FrameError::is_timeout`].
+    Io(std::io::Error),
+}
+
+impl FrameError {
+    /// Is this a read/write timeout (poll again) rather than a failure?
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+        )
+    }
+
+    /// Does this error leave the stream positioned at a frame boundary,
+    /// i.e. can the connection keep decoding subsequent frames?
+    pub fn is_recoverable(&self) -> bool {
+        matches!(self, FrameError::BadUtf8 | FrameError::Json(_))
+    }
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds cap {max}")
+            }
+            FrameError::BadUtf8 => write!(f, "frame payload is not valid UTF-8"),
+            FrameError::Json(e) => write!(f, "frame payload is not valid JSON: {e}"),
+            FrameError::Io(e) => write!(f, "frame transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Encode `value` as one frame (prefix + payload) into a fresh buffer.
+///
+/// Fails with [`FrameError::TooLarge`] if the serialized payload exceeds
+/// `max` — the sender enforces the same cap the receiver does, so an
+/// oversized *local* value is reported before any bytes hit the wire.
+pub fn encode_frame(value: &Value, max: usize) -> Result<Vec<u8>, FrameError> {
+    let payload = crate::to_string(value);
+    let len = payload.len();
+    if len > max.min(WIRE_MAX) {
+        return Err(FrameError::TooLarge {
+            len,
+            max: max.min(WIRE_MAX),
+        });
+    }
+    let mut out = Vec::with_capacity(4 + len);
+    out.extend_from_slice(&(len as u32).to_be_bytes());
+    out.extend_from_slice(payload.as_bytes());
+    Ok(out)
+}
+
+/// Encode and write one frame. A `write_all` that times out mid-frame
+/// surfaces as [`FrameError::Io`]; the stream is then torn from the
+/// peer's perspective and the caller should close the connection.
+pub fn write_frame<W: Write>(w: &mut W, value: &Value, max: usize) -> Result<(), FrameError> {
+    let bytes = encode_frame(value, max)?;
+    w.write_all(&bytes)?;
+    Ok(())
+}
+
+enum ReadState {
+    /// Accumulating the 4-byte length prefix; `filled` bytes so far.
+    Prefix { buf: [u8; 4], filled: usize },
+    /// Accumulating a `len`-byte payload; `buf.len()` bytes so far.
+    Payload { len: usize, buf: Vec<u8> },
+}
+
+/// Stateful frame decoder. One per connection; see the module docs for
+/// the resume-after-timeout and error-recovery contracts.
+pub struct FrameReader {
+    max: usize,
+    state: ReadState,
+}
+
+impl FrameReader {
+    /// A reader that rejects frames with payloads longer than `max`.
+    pub fn new(max: usize) -> Self {
+        FrameReader {
+            max: max.min(WIRE_MAX),
+            state: ReadState::Prefix {
+                buf: [0; 4],
+                filled: 0,
+            },
+        }
+    }
+
+    /// Is the reader mid-frame (a torn disconnect would lose data)?
+    pub fn mid_frame(&self) -> bool {
+        !matches!(self.state, ReadState::Prefix { filled: 0, .. })
+    }
+
+    /// Read until one complete frame decodes, then parse it.
+    ///
+    /// - `Err(Closed)`: EOF at a frame boundary (normal disconnect).
+    /// - `Err(Truncated)`: EOF mid-frame.
+    /// - `Err(e)` with [`e.is_timeout()`](FrameError::is_timeout): the
+    ///   underlying read timed out; partial progress is retained — call
+    ///   again to resume.
+    /// - `Err(e)` with [`e.is_recoverable()`](FrameError::is_recoverable):
+    ///   this frame's payload was garbage but the boundary is intact —
+    ///   call again for the next frame.
+    pub fn read_frame<R: Read>(&mut self, r: &mut R) -> Result<Value, FrameError> {
+        loop {
+            match &mut self.state {
+                ReadState::Prefix { buf, filled } => {
+                    let n = r.read(&mut buf[*filled..])?;
+                    if n == 0 {
+                        return Err(if *filled == 0 {
+                            FrameError::Closed
+                        } else {
+                            FrameError::Truncated
+                        });
+                    }
+                    *filled += n;
+                    if *filled == 4 {
+                        let len = u32::from_be_bytes(*buf) as usize;
+                        if len > self.max {
+                            // boundary lost: we will not read the payload
+                            return Err(FrameError::TooLarge { len, max: self.max });
+                        }
+                        self.state = ReadState::Payload {
+                            len,
+                            buf: Vec::with_capacity(len),
+                        };
+                    }
+                }
+                ReadState::Payload { len, buf } => {
+                    if buf.len() == *len {
+                        let payload = std::mem::take(buf);
+                        // reset to the next frame boundary *before*
+                        // parsing, so payload-level errors are recoverable
+                        self.state = ReadState::Prefix {
+                            buf: [0; 4],
+                            filled: 0,
+                        };
+                        let text = String::from_utf8(payload).map_err(|_| FrameError::BadUtf8)?;
+                        return crate::parse(&text).map_err(FrameError::Json);
+                    }
+                    let mut chunk = [0u8; 8192];
+                    let want = (*len - buf.len()).min(chunk.len());
+                    let n = r.read(&mut chunk[..want])?;
+                    if n == 0 {
+                        return Err(FrameError::Truncated);
+                    }
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object;
+
+    #[test]
+    fn round_trip_single_frame() {
+        let v = object(vec![
+            ("kind", Value::String("ping".into())),
+            ("seq", Value::Number(42.0)),
+        ]);
+        let bytes = encode_frame(&v, 1 << 20).unwrap();
+        let mut reader = FrameReader::new(1 << 20);
+        let got = reader.read_frame(&mut &bytes[..]).unwrap();
+        assert_eq!(got, v);
+    }
+
+    #[test]
+    fn empty_stream_is_closed_not_truncated() {
+        let mut reader = FrameReader::new(64);
+        let err = reader.read_frame(&mut &[][..]).unwrap_err();
+        assert!(matches!(err, FrameError::Closed));
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_before_payload() {
+        let mut bytes = (1u32 << 30).to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"ignored");
+        let mut reader = FrameReader::new(1024);
+        let err = reader.read_frame(&mut &bytes[..]).unwrap_err();
+        assert!(matches!(err, FrameError::TooLarge { max: 1024, .. }));
+        assert!(!err.is_recoverable());
+    }
+}

@@ -19,6 +19,8 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+pub mod frame;
+
 /// A parsed JSON document.
 ///
 /// Objects preserve insertion order (they are association lists, not

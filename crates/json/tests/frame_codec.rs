@@ -1,0 +1,255 @@
+//! Frame-codec robustness suite: randomized round-trips plus the
+//! adversarial negatives from ISSUE 7 (oversized length prefix,
+//! mid-frame EOF, interleaved garbage, non-UTF8 payload). Every bad
+//! input must yield a typed [`FrameError`], never a panic.
+
+use gncg_json::frame::{encode_frame, write_frame, FrameError, FrameReader};
+use gncg_json::{object, Value};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::io::{ErrorKind, Read};
+
+const MAX: usize = 1 << 20;
+
+/// Generate a random JSON value. Depth-bounded so documents stay small;
+/// numbers are drawn from the integer range the parser round-trips
+/// bit-exactly (floats are covered separately below).
+fn random_value(rng: &mut StdRng, depth: usize) -> Value {
+    let pick = if depth == 0 {
+        rng.gen_range(0..4usize)
+    } else {
+        rng.gen_range(0..6usize)
+    };
+    match pick {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen::<bool>()),
+        2 => Value::Number(rng.gen_range(-1_000_000i64..1_000_000) as f64),
+        3 => {
+            let len = rng.gen_range(0..12usize);
+            let s: String = (0..len)
+                .map(|_| char::from_u32(rng.gen_range(0x20u32..0x2FA0)).unwrap_or('?'))
+                .collect();
+            Value::String(s)
+        }
+        4 => {
+            let len = rng.gen_range(0..5usize);
+            Value::Array((0..len).map(|_| random_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = rng.gen_range(0..5usize);
+            Value::Object(
+                (0..len)
+                    .map(|i| (format!("k{i}"), random_value(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[test]
+fn property_round_trip_many_random_values() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_F8A3);
+    for _ in 0..500 {
+        let v = random_value(&mut rng, 3);
+        let bytes = encode_frame(&v, MAX).unwrap();
+        let mut reader = FrameReader::new(MAX);
+        let got = reader.read_frame(&mut &bytes[..]).unwrap();
+        assert_eq!(got, v, "round trip changed the value");
+    }
+}
+
+#[test]
+fn property_float_payloads_round_trip_bit_exact() {
+    // the serve tier's bit-identity guarantee rides on this: finite f64s
+    // survive encode → decode with identical bits
+    let mut rng = StdRng::seed_from_u64(0x00F1_0A75);
+    for _ in 0..500 {
+        let x = f64::from_bits(rng.gen::<u64>());
+        if !x.is_finite() {
+            continue;
+        }
+        let v = Value::Number(x);
+        let bytes = encode_frame(&v, MAX).unwrap();
+        let got = FrameReader::new(MAX).read_frame(&mut &bytes[..]).unwrap();
+        match got {
+            Value::Number(y) => assert_eq!(x.to_bits(), y.to_bits(), "float bits changed"),
+            other => panic!("number decoded as {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn property_concatenated_frames_decode_in_order() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    for _ in 0..50 {
+        let values: Vec<Value> = (0..rng.gen_range(1..8usize))
+            .map(|_| random_value(&mut rng, 2))
+            .collect();
+        let mut stream = Vec::new();
+        for v in &values {
+            write_frame(&mut stream, v, MAX).unwrap();
+        }
+        let mut cursor = &stream[..];
+        let mut reader = FrameReader::new(MAX);
+        for v in &values {
+            assert_eq!(&reader.read_frame(&mut cursor).unwrap(), v);
+        }
+        assert!(matches!(
+            reader.read_frame(&mut cursor).unwrap_err(),
+            FrameError::Closed
+        ));
+    }
+}
+
+/// Reader that yields the stream one byte per `read` call, interleaving
+/// `WouldBlock` timeouts — the worst-case legal transport.
+struct TricklingReader {
+    data: Vec<u8>,
+    pos: usize,
+    tick: usize,
+}
+
+impl Read for TricklingReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.tick += 1;
+        if self.tick.is_multiple_of(3) {
+            return Err(std::io::Error::new(ErrorKind::WouldBlock, "trickle"));
+        }
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        buf[0] = self.data[self.pos];
+        self.pos += 1;
+        Ok(1)
+    }
+}
+
+#[test]
+fn property_byte_trickle_with_timeouts_resumes_cleanly() {
+    let mut rng = StdRng::seed_from_u64(0x7_1CC1E);
+    for _ in 0..50 {
+        let v = random_value(&mut rng, 3);
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &v, MAX).unwrap();
+        let mut r = TricklingReader {
+            data: stream,
+            pos: 0,
+            tick: 0,
+        };
+        let mut reader = FrameReader::new(MAX);
+        let got = loop {
+            match reader.read_frame(&mut r) {
+                Ok(v) => break v,
+                Err(e) if e.is_timeout() => continue,
+                Err(e) => panic!("unexpected error under trickle: {e}"),
+            }
+        };
+        assert_eq!(got, v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// adversarial negatives
+
+#[test]
+fn oversized_length_prefix_is_too_large() {
+    let mut bytes = u32::MAX.to_be_bytes().to_vec();
+    bytes.extend_from_slice(&[0u8; 64]);
+    let err = FrameReader::new(MAX)
+        .read_frame(&mut &bytes[..])
+        .unwrap_err();
+    match err {
+        FrameError::TooLarge { len, max } => {
+            assert_eq!(len, u32::MAX as usize);
+            assert_eq!(max, MAX);
+        }
+        other => panic!("expected TooLarge, got {other}"),
+    }
+}
+
+#[test]
+fn eof_mid_prefix_is_truncated() {
+    let bytes = [0u8, 0, 1]; // 3 of 4 prefix bytes
+    let err = FrameReader::new(MAX)
+        .read_frame(&mut &bytes[..])
+        .unwrap_err();
+    assert!(matches!(err, FrameError::Truncated));
+}
+
+#[test]
+fn eof_mid_payload_is_truncated() {
+    let v = Value::String("truncate me please, long enough".into());
+    let full = encode_frame(&v, MAX).unwrap();
+    for cut in 5..full.len() {
+        let err = FrameReader::new(MAX)
+            .read_frame(&mut &full[..cut])
+            .unwrap_err();
+        assert!(
+            matches!(err, FrameError::Truncated),
+            "cut at {cut} gave {err}"
+        );
+    }
+}
+
+#[test]
+fn interleaved_garbage_is_typed_json_error_and_recoverable() {
+    let good = object(vec![("ok", Value::Bool(true))]);
+    let mut stream = Vec::new();
+    // frame 1: valid length prefix, garbage (but UTF-8) payload
+    let garbage = b"{not json at all]]]";
+    stream.extend_from_slice(&(garbage.len() as u32).to_be_bytes());
+    stream.extend_from_slice(garbage);
+    // frame 2: a well-formed frame right after
+    write_frame(&mut stream, &good, MAX).unwrap();
+    let mut cursor = &stream[..];
+    let mut reader = FrameReader::new(MAX);
+    let err = reader.read_frame(&mut cursor).unwrap_err();
+    assert!(matches!(err, FrameError::Json(_)), "got {err}");
+    assert!(err.is_recoverable());
+    // boundary survived: the next frame decodes
+    assert_eq!(reader.read_frame(&mut cursor).unwrap(), good);
+}
+
+#[test]
+fn non_utf8_payload_is_bad_utf8_and_recoverable() {
+    let good = Value::Number(7.0);
+    let mut stream = Vec::new();
+    let bad = [0xFFu8, 0xFE, 0x80, 0x80];
+    stream.extend_from_slice(&(bad.len() as u32).to_be_bytes());
+    stream.extend_from_slice(&bad);
+    write_frame(&mut stream, &good, MAX).unwrap();
+    let mut cursor = &stream[..];
+    let mut reader = FrameReader::new(MAX);
+    let err = reader.read_frame(&mut cursor).unwrap_err();
+    assert!(matches!(err, FrameError::BadUtf8));
+    assert!(err.is_recoverable());
+    assert_eq!(reader.read_frame(&mut cursor).unwrap(), good);
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xBAD_F00D);
+    for _ in 0..200 {
+        let len = rng.gen_range(0..256usize);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen::<u32>() as u8).collect();
+        let mut reader = FrameReader::new(4096);
+        // any result is fine; the assertion is "no panic"
+        let _ = reader.read_frame(&mut &bytes[..]);
+    }
+}
+
+#[test]
+fn encode_rejects_payload_over_cap() {
+    let big = Value::String("x".repeat(100));
+    let err = encode_frame(&big, 16).unwrap_err();
+    assert!(matches!(err, FrameError::TooLarge { max: 16, .. }));
+}
+
+#[test]
+fn mid_frame_flag_tracks_partial_progress() {
+    let v = Value::String("partial".into());
+    let full = encode_frame(&v, MAX).unwrap();
+    let mut reader = FrameReader::new(MAX);
+    assert!(!reader.mid_frame());
+    let _ = reader.read_frame(&mut &full[..3]); // Truncated after partial prefix
+    assert!(reader.mid_frame());
+}

@@ -1,0 +1,54 @@
+//! gncg-serve: the fault-tolerant TCP service tier over
+//! [`gncg_service::Session`].
+//!
+//! The in-process job engine (PR 5) made the solvers long-lived and
+//! concurrent; this crate puts them on the wire and makes the wire
+//! *survivable*. A [`Server`](server::Server) fronts one `Session` with
+//! a `std::net` TCP listener speaking the length-prefixed JSON frame
+//! protocol of [`gncg_json::frame`]; a [`ServeClient`](client::ServeClient)
+//! talks to it with deadline-aware timeouts, jittered exponential
+//! backoff, idempotent resubmission keys, and automatic reconnect.
+//!
+//! # Robustness contract
+//!
+//! - **Connection supervision**: every connection gets its own reader
+//!   and writer thread; a panic in either is caught by the supervisor
+//!   and kills *that connection only*. Slow or dead readers are reaped:
+//!   outbound frames go through a bounded buffer and writes carry a
+//!   timeout, so one stalled client can never wedge dispatch or grow
+//!   memory without bound.
+//! - **Typed protocol errors**: malformed, oversized, or truncated
+//!   frames resolve to typed [`frame::FrameError`]s
+//!   ([`gncg_json::frame`]) and, where the frame boundary survives, a
+//!   `protocol` error frame back to the peer — never process death.
+//! - **Graceful drain**: the first SIGTERM (or
+//!   [`Server::begin_drain`](server::Server::begin_drain)) stops
+//!   accepting, rejects new submissions with a typed `draining` error,
+//!   finishes in-flight jobs, and delivers every result; a second
+//!   SIGTERM escalates to [`gncg_service::Shutdown::Cancel`], resolving
+//!   still-queued jobs as `cancelled` results. Accepted jobs are never
+//!   silently dropped: each one completes, or is reported `cancelled`.
+//! - **Deterministic network faults**: `GNCG_NET_FAULT_INJECT` (or
+//!   [`netfault::set_probability`]) makes the *client's* send path
+//!   drop, delay, split, or close at frame boundaries, driving the soak
+//!   harness that asserts results stay bit-identical to direct
+//!   [`gncg_service::Session`] submits.
+//!
+//! # Idempotency
+//!
+//! Every submission carries a client-chosen idempotency key. The server
+//! keeps a per-client `key → in-flight | done(result)` map: a resubmit
+//! of an in-flight key attaches to the running job, a resubmit of a
+//! completed key replays the cached result, and in all cases the job
+//! body executes **at most once** — which is what makes blind
+//! retry-after-reconnect safe.
+
+pub mod client;
+pub mod netfault;
+pub mod proto;
+pub mod server;
+pub mod signal;
+
+pub use client::{ClientError, ServeClient};
+pub use proto::{ErrorCode, EventKind, JobSpec, RemoteError, Request, Response};
+pub use server::{Server, ServerStats};

@@ -1,0 +1,122 @@
+//! The fault soak: ≥128 concurrent clients against one server while
+//! **deterministic network faults** (`netfault`: drop / delay / split /
+//! close at frame boundaries) and **compute faults**
+//! (`gncg_parallel::fault`: injected worker panics, absorbed and
+//! retried by the chunk runners) are both active. Every client must
+//! still receive a result **bit-identical** to the direct solver call,
+//! and the server's accounting must balance: each accepted job
+//! completed — none lost, none duplicated.
+//!
+//! CI runs this under `GNCG_THREADS ∈ {1, 4}` and
+//! `GNCG_FAULT_INJECT=0.02` / `GNCG_NET_FAULT_INJECT=0.15`; the test
+//! also sets both probabilities programmatically so a bare `cargo test`
+//! soaks identically.
+
+use gncg_config::{ModelKind, ServeConfig};
+use gncg_game::OwnedNetwork;
+use gncg_geometry::generators;
+use gncg_parallel::Budget;
+use gncg_serve::{netfault, JobSpec, ServeClient, Server};
+use gncg_service::Session;
+use std::time::Duration;
+
+const CLIENTS: usize = 128;
+const DISTINCT_SPECS: usize = 8;
+
+fn spec(i: usize) -> JobSpec {
+    let n = 10 + (i % DISTINCT_SPECS) * 2;
+    let seed = 1000 + (i % DISTINCT_SPECS) as u64;
+    JobSpec::Certify {
+        points: generators::uniform_unit_square(n, seed),
+        network: OwnedNetwork::center_star(n, 0),
+        alpha: 1.0 + 0.25 * (i % DISTINCT_SPECS) as f64,
+        exact: false,
+        model: ModelKind::SumDistances,
+        budget_ms: None,
+    }
+}
+
+#[test]
+fn soak_128_faulted_clients_are_bit_identical_to_direct_calls() {
+    gncg_trace::set_enabled(true);
+    // expected answers first, with every injector quiet
+    netfault::set_probability(0.0);
+    gncg_parallel::fault::set_injection_probability(0.0);
+    let expected: Vec<String> = (0..DISTINCT_SPECS)
+        .map(|i| gncg_json::to_string(&spec(i).execute(&Budget::default())))
+        .collect();
+
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        quota: 4,
+        ..ServeConfig::default()
+    };
+    // Session::new() honours GNCG_THREADS, which the CI matrix varies
+    let server = Server::bind(Session::new(), &cfg).expect("bind soak server");
+    let addr = server.local_addr().to_string();
+
+    // now let chaos loose, deterministically
+    netfault::reseed(0xC0FF_EE00_5EED);
+    netfault::set_probability(0.15);
+    gncg_parallel::fault::set_injection_probability(0.02);
+
+    let results: Vec<(usize, Result<String, String>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let _trace = gncg_trace::worker_guard();
+                    let mut client = ServeClient::new(addr, format!("soak-{i}"))
+                        .with_timeout(Duration::from_secs(120));
+                    let outcome = client
+                        .submit(&spec(i))
+                        .map(|v| gncg_json::to_string(&v))
+                        .map_err(|e| e.to_string());
+                    (i, outcome)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    netfault::set_probability(0.0);
+    gncg_parallel::fault::set_injection_probability(0.0);
+
+    let mut failures = Vec::new();
+    for (i, outcome) in &results {
+        match outcome {
+            Ok(got) if *got == expected[i % DISTINCT_SPECS] => {}
+            Ok(_) => failures.push(format!("client {i}: result differs from direct call")),
+            Err(e) => failures.push(format!("client {i}: {e}")),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {CLIENTS} clients diverged:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+
+    let stats = server.shutdown();
+    // at-most-once execution: every (client, key) pair was accepted
+    // exactly once no matter how many times its frame was resent
+    assert_eq!(stats.accepted, CLIENTS as u64, "stats: {stats:?}");
+    assert_eq!(stats.completed, CLIENTS as u64, "stats: {stats:?}");
+    assert_eq!(stats.cancelled, 0, "stats: {stats:?}");
+    assert_eq!(stats.panicked, 0, "stats: {stats:?}");
+    assert_eq!(
+        stats.accepted,
+        stats.completed + stats.cancelled + stats.panicked
+    );
+    // the fault plan actually exercised the wire
+    let snap = gncg_trace::snapshot();
+    assert!(
+        snap.counter(gncg_trace::Counter::ServeFramesRx) > 0
+            && snap.counter(gncg_trace::Counter::ServeFramesTx) > 0
+            && snap.counter(gncg_trace::Counter::ServeEnqueued) >= CLIENTS as u64,
+        "soak moved no frames?"
+    );
+}

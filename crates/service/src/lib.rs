@@ -103,6 +103,22 @@ impl JobKind {
             JobKind::ExactOpt | JobKind::Sweep => Priority::Batch,
         }
     }
+
+    /// The `(ambient, cancel_on_exhaust)` budget wiring the typed
+    /// `submit_*` methods use for this kind. Solver kinds carry the
+    /// budget inside their options (`ambient = false`) so the poly-time
+    /// fallback bounds stay sound; dynamics installs it ambiently and
+    /// maps exhaustion to [`JobError::Cancelled`] (a truncated
+    /// trajectory is partial garbage); sweeps install it ambiently but
+    /// return their checkpointed partials on purpose. Generic callers
+    /// ([`Session::submit_observed`]) get identical semantics per kind.
+    pub fn budget_wiring(self) -> (bool, bool) {
+        match self {
+            JobKind::Certify | JobKind::BestResponse | JobKind::ExactOpt => (false, false),
+            JobKind::Dynamics => (true, true),
+            JobKind::Sweep => (true, false),
+        }
+    }
 }
 
 /// Why a job did not produce a value.
@@ -309,7 +325,10 @@ struct Lanes {
     outstanding: usize,
     /// Budgets of every outstanding job, for `Shutdown::Cancel`.
     active_budgets: HashMap<u64, Budget>,
-    shutting_down: bool,
+    /// `Some` once any [`Session::shutdown`] call has started. Holds the
+    /// *strongest* mode requested so far ([`Shutdown::Cancel`] wins);
+    /// admission rejects whenever this is set.
+    shutdown_mode: Option<Shutdown>,
     next_id: u64,
 }
 
@@ -381,13 +400,37 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Run one job body with the service's panic/cancellation envelope and
-/// fulfill `state`. `ambient` installs the job budget as the ambient
-/// budget (dynamics, sweeps); solver jobs instead carry the budget
-/// inside their options so the poly-time fallback bounds stay sound.
-/// `cancel_on_exhaust` maps a post-run exhausted budget to
+/// Run one job body under the service's panic/cancellation envelope and
+/// return its resolution. `ambient` installs the job budget as the
+/// ambient budget (dynamics, sweeps); solver jobs instead carry the
+/// budget inside their options so the poly-time fallback bounds stay
+/// sound. `cancel_on_exhaust` maps a post-run exhausted budget to
 /// [`JobError::Cancelled`] (dynamics — a cancelled trajectory is
 /// partial garbage; sweeps return checkpointed partials on purpose).
+fn run_envelope<T>(
+    ctx: &JobCtx,
+    ambient: bool,
+    cancel_on_exhaust: bool,
+    work: impl FnOnce(&JobCtx) -> T,
+) -> Result<T, JobError> {
+    if ctx.budget.exhausted() {
+        return Err(JobError::Cancelled);
+    }
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        if ambient {
+            with_budget(&ctx.budget, || work(ctx))
+        } else {
+            work(ctx)
+        }
+    }));
+    match run {
+        Ok(_) if cancel_on_exhaust && ctx.budget.exhausted() => Err(JobError::Cancelled),
+        Ok(v) => Ok(v),
+        Err(payload) => Err(JobError::Panicked(panic_message(&*payload))),
+    }
+}
+
+/// Run one job body with the envelope and fulfill `state`.
 fn execute<T>(
     state: &HandleState<T>,
     ctx: &JobCtx,
@@ -395,23 +438,7 @@ fn execute<T>(
     cancel_on_exhaust: bool,
     work: impl FnOnce(&JobCtx) -> T,
 ) {
-    let result = if ctx.budget.exhausted() {
-        Err(JobError::Cancelled)
-    } else {
-        let run = catch_unwind(AssertUnwindSafe(|| {
-            if ambient {
-                with_budget(&ctx.budget, || work(ctx))
-            } else {
-                work(ctx)
-            }
-        }));
-        match run {
-            Ok(_) if cancel_on_exhaust && ctx.budget.exhausted() => Err(JobError::Cancelled),
-            Ok(v) => Ok(v),
-            Err(payload) => Err(JobError::Panicked(panic_message(&*payload))),
-        }
-    };
-    state.fulfill(result);
+    state.fulfill(run_envelope(ctx, ambient, cancel_on_exhaust, work));
 }
 
 // ---------------------------------------------------------------------------
@@ -491,7 +518,7 @@ impl SessionBuilder {
                     interactive_streak: 0,
                     outstanding: 0,
                     active_budgets: HashMap::new(),
-                    shutting_down: false,
+                    shutdown_mode: None,
                     next_id: 0,
                 }),
                 idle_cond: Condvar::new(),
@@ -549,7 +576,7 @@ impl Session {
     ) -> Result<(), SubmitError> {
         {
             let mut lanes = self.shared.lanes.lock().unwrap_or_else(|p| p.into_inner());
-            if lanes.shutting_down {
+            if lanes.shutdown_mode.is_some() {
                 gncg_trace::incr(gncg_trace::Counter::ServiceRejected);
                 return Err(SubmitError::ShuttingDown);
             }
@@ -606,6 +633,60 @@ impl Session {
                 execute(&run_state, ctx, ambient, cancel_on_exhaust, |ctx| {
                     work(ctx, &run_budget)
                 });
+            }),
+        )?;
+        Ok(JobHandle {
+            state,
+            budget,
+            kind,
+        })
+    }
+
+    /// Submit a job with an observer: `done` is invoked **exactly once**
+    /// for every admitted job, on the worker thread that resolved it,
+    /// with the job's resolution — including jobs cancelled before they
+    /// start and jobs that panic. The observer runs *before* the handle
+    /// fulfills, so a caller that both observes and waits sees the
+    /// callback strictly first.
+    ///
+    /// The budget wiring (`ambient`, `cancel_on_exhaust`) is derived
+    /// from the kind via [`JobKind::budget_wiring`], so an observed
+    /// certify behaves exactly like [`Session::submit_certify`] — this
+    /// is the hook the `gncg-serve` wire layer uses to stream results
+    /// without parking a waiter thread per job.
+    ///
+    /// `work` receives the job's [`JobCtx`] and (a clone of) its
+    /// [`Budget`]; solver callers must thread the budget into their
+    /// `*Options` exactly as the typed submits do, or the degradation
+    /// ladder will not engage.
+    pub fn submit_observed<T, F, D>(
+        &self,
+        kind: JobKind,
+        job: JobOptions,
+        work: F,
+        done: D,
+    ) -> Result<JobHandle<T>, SubmitError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&JobCtx, &Budget) -> T + Send + 'static,
+        D: FnOnce(&Result<T, JobError>) + Send + 'static,
+    {
+        let (ambient, cancel_on_exhaust) = kind.budget_wiring();
+        let priority = job.priority.unwrap_or_else(|| kind.default_priority());
+        let budget = job.budget.unwrap_or_else(|| self.default_budget());
+        let state = HandleState::new();
+        let run_state = Arc::clone(&state);
+        let run_budget = budget.clone();
+        self.admit(
+            kind,
+            priority,
+            budget.clone(),
+            Box::new(move |ctx| {
+                let result = run_envelope(ctx, ambient, cancel_on_exhaust, |ctx| {
+                    work(ctx, &run_budget)
+                });
+                done(&result);
+                run_state.fulfill(result);
             }),
         )?;
         Ok(JobHandle {
@@ -738,13 +819,48 @@ impl Session {
         self.pool.wait();
     }
 
-    /// Shut the session down (idempotent): stop admitting, then either
-    /// drain or cancel outstanding work, and block until idle.
+    /// Shut the session down: stop admitting, then either drain or
+    /// cancel outstanding work, and block until idle.
+    ///
+    /// # Idempotence and concurrent-shutdown ordering
+    ///
+    /// `shutdown` may be called any number of times, from any threads,
+    /// concurrently — the canonical race being a signal handler calling
+    /// `shutdown(Cancel)` while `Drop` runs `shutdown(Drain)`. The
+    /// resolution is monotone under one lock:
+    ///
+    /// - the session records the **strongest** mode requested so far
+    ///   ([`Shutdown::Cancel`] > [`Shutdown::Drain`]); a later `Drain`
+    ///   never de-escalates an earlier `Cancel`;
+    /// - the first `Cancel` to arrive cancels every outstanding budget
+    ///   exactly once, *including jobs admitted after an earlier
+    ///   `Drain` began waiting* (none can exist, since admission closes
+    ///   with the first call, but queued-not-yet-run jobs are covered);
+    /// - every caller blocks in [`Session::wait_idle`] until all
+    ///   admitted jobs have resolved, so whichever of `Drop`/signal
+    ///   returns last still observes a fully quiesced session.
+    ///
+    /// Hence `Drain ∥ Cancel` in any interleaving behaves like `Cancel`
+    /// for all still-queued work, and repeated calls are no-ops beyond
+    /// the wait.
     pub fn shutdown(&self, mode: Shutdown) {
         {
             let mut lanes = self.shared.lanes.lock().unwrap_or_else(|p| p.into_inner());
-            lanes.shutting_down = true;
-            if mode == Shutdown::Cancel {
+            let escalate = match (lanes.shutdown_mode, mode) {
+                (None, m) => {
+                    lanes.shutdown_mode = Some(m);
+                    m == Shutdown::Cancel
+                }
+                (Some(Shutdown::Drain), Shutdown::Cancel) => {
+                    lanes.shutdown_mode = Some(Shutdown::Cancel);
+                    true
+                }
+                // repeat Drain, repeat Cancel, or Drain-after-Cancel:
+                // nothing to change (budgets are already cancelled and
+                // admission is already closed)
+                _ => false,
+            };
+            if escalate {
                 for budget in lanes.active_budgets.values() {
                     budget.cancel();
                 }
@@ -957,6 +1073,186 @@ mod tests {
             Err(SubmitError::ShuttingDown) => {}
             other => panic!("expected ShuttingDown, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn concurrent_drain_and_cancel_shutdown_is_race_free() {
+        // the canonical double-shutdown: a signal path calls
+        // shutdown(Cancel) while Drop (or another thread) calls
+        // shutdown(Drain). Both must return, the stronger mode must
+        // win for still-queued work, and nothing may deadlock.
+        for round in 0..8u64 {
+            let session = Session::builder().threads(1).build();
+            let (block_tx, block_rx) = std::sync::mpsc::channel::<()>();
+            let blocker = session
+                .submit_sweep(JobOptions::default(), move |_| {
+                    block_rx.recv().ok();
+                    0
+                })
+                .expect("admitted");
+            let queued = session
+                .submit_sweep(JobOptions::default(), |_| 1)
+                .expect("admitted");
+            std::thread::scope(|s| {
+                // alternate which mode races ahead
+                let (first, second) = if round % 2 == 0 {
+                    (Shutdown::Drain, Shutdown::Cancel)
+                } else {
+                    (Shutdown::Cancel, Shutdown::Drain)
+                };
+                let session = &session;
+                let t1 = s.spawn(move || session.shutdown(first));
+                let t2 = s.spawn(move || session.shutdown(second));
+                // Cancel participated, so the queued job's budget must
+                // trip even while the blocker still occupies the worker
+                while !queued.budget.exhausted() {
+                    std::thread::yield_now();
+                }
+                block_tx.send(()).unwrap();
+                t1.join().unwrap();
+                t2.join().unwrap();
+            });
+            assert_eq!(blocker.wait(), Ok(0));
+            assert_eq!(queued.wait(), Err(JobError::Cancelled));
+            // a third, late shutdown is a no-op that still returns
+            session.shutdown(Shutdown::Drain);
+            session.shutdown(Shutdown::Cancel);
+            // Drop will run shutdown(Drain) once more — also a no-op
+        }
+    }
+
+    #[test]
+    fn shutdown_drain_then_cancel_escalates_once() {
+        let session = Session::builder().threads(1).build();
+        let (block_tx, block_rx) = std::sync::mpsc::channel::<()>();
+        let blocker = session
+            .submit_sweep(JobOptions::default(), move |_| {
+                block_rx.recv().ok();
+                0
+            })
+            .expect("admitted");
+        let queued = session
+            .submit_sweep(JobOptions::default(), |_| 1)
+            .expect("admitted");
+        std::thread::scope(|s| {
+            let drain = s.spawn(|| session.shutdown(Shutdown::Drain));
+            // Drain alone must not cancel anything
+            assert!(!queued.budget.exhausted());
+            let cancel = s.spawn(|| session.shutdown(Shutdown::Cancel));
+            while !queued.budget.exhausted() {
+                std::thread::yield_now();
+            }
+            block_tx.send(()).unwrap();
+            drain.join().unwrap();
+            cancel.join().unwrap();
+        });
+        assert_eq!(queued.wait(), Err(JobError::Cancelled));
+        assert_eq!(blocker.wait(), Ok(0));
+    }
+
+    #[test]
+    fn observed_done_callback_fires_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let session = Session::builder().threads(2).build();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        let handle = session
+            .submit_observed(
+                JobKind::Sweep,
+                JobOptions::default(),
+                |_, _| 40 + 2,
+                move |r| {
+                    assert_eq!(r, &Ok(42));
+                    c.fetch_add(1, Ordering::SeqCst);
+                },
+            )
+            .expect("admitted");
+        assert_eq!(handle.wait(), Ok(42));
+        // observer ran before the handle fulfilled
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        session.wait_idle();
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn observed_callback_covers_cancelled_and_panicked() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let session = Session::builder().threads(1).build();
+        // cancelled before start: never runs, but the observer still fires
+        let dead = Budget::unlimited();
+        dead.cancel();
+        let cancelled_seen = Arc::new(AtomicUsize::new(0));
+        let cs = Arc::clone(&cancelled_seen);
+        let h1 = session
+            .submit_observed(
+                JobKind::Sweep,
+                JobOptions::with_budget(&dead),
+                |_, _| 1,
+                move |r| {
+                    assert_eq!(r, &Err(JobError::Cancelled));
+                    cs.fetch_add(1, Ordering::SeqCst);
+                },
+            )
+            .expect("admitted");
+        // panicking body: the observer sees Panicked, pool survives
+        let panicked_seen = Arc::new(AtomicUsize::new(0));
+        let ps = Arc::clone(&panicked_seen);
+        let h2 = session
+            .submit_observed(
+                JobKind::Sweep,
+                JobOptions::default(),
+                |_, _| -> i32 { panic!("observed boom") },
+                move |r| {
+                    assert!(matches!(r, Err(JobError::Panicked(m)) if m.contains("observed boom")));
+                    ps.fetch_add(1, Ordering::SeqCst);
+                },
+            )
+            .expect("admitted");
+        assert_eq!(h1.wait(), Err(JobError::Cancelled));
+        assert!(matches!(h2.wait(), Err(JobError::Panicked(_))));
+        assert_eq!(cancelled_seen.load(Ordering::SeqCst), 1);
+        assert_eq!(panicked_seen.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn observed_certify_matches_typed_submit_bit_for_bit() {
+        let (w, net) = small_instance(6, 9);
+        let session = Session::builder().threads(2).build();
+        let typed = session
+            .submit_certify(
+                Arc::clone(&w),
+                net.clone(),
+                1.5,
+                CertifyOptions::exact(),
+                JobOptions::default(),
+            )
+            .expect("admitted")
+            .wait()
+            .expect("typed ok");
+        let wo = Arc::clone(&w);
+        let no = net.clone();
+        let observed = session
+            .submit_observed(
+                JobKind::Certify,
+                JobOptions::default(),
+                move |_, budget| {
+                    gncg_game::certify::certify(
+                        &*wo,
+                        &no,
+                        1.5,
+                        CertifyOptions::exact().with_budget(budget),
+                    )
+                },
+                |_| {},
+            )
+            .expect("admitted")
+            .wait()
+            .expect("observed ok");
+        assert_eq!(
+            typed.beta_exact.unwrap().to_bits(),
+            observed.beta_exact.unwrap().to_bits()
+        );
+        assert_eq!(typed.social_cost.to_bits(), observed.social_cost.to_bits());
     }
 
     #[test]

@@ -114,10 +114,24 @@ pub enum Counter {
     ServiceDequeued,
     /// Jobs rejected at admission (queue full or session shutting down).
     ServiceRejected,
+    /// Jobs accepted by the `gncg-serve` wire layer and enqueued into the
+    /// backing session (idempotent replays of an already-known key do not
+    /// count twice).
+    ServeEnqueued,
+    /// Wire-layer submissions rejected before reaching the session
+    /// (per-client quota exceeded, server draining, or malformed request).
+    ServeRejected,
+    /// Frames successfully decoded off client connections.
+    ServeFramesRx,
+    /// Frames successfully written to client connections.
+    ServeFramesTx,
+    /// Client-side retries (reconnects + resubmissions) performed by
+    /// `ServeClient` after transport errors or injected network faults.
+    ServeRetries,
 }
 
 /// Number of counters in [`Counter`].
-pub const NUM_COUNTERS: usize = 14;
+pub const NUM_COUNTERS: usize = 19;
 
 /// JSON field names, indexed by `Counter as usize`.
 pub const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
@@ -135,6 +149,11 @@ pub const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "service_enqueued",
     "service_dequeued",
     "service_rejected",
+    "serve_enqueued",
+    "serve_rejected",
+    "serve_frames_rx",
+    "serve_frames_tx",
+    "serve_retries",
 ];
 
 /// The thread-count- and schedule-invariant subset of [`COUNTER_NAMES`];
