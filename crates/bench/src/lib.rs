@@ -50,6 +50,12 @@ pub struct Report {
     pub claim: String,
     /// Data rows.
     pub rows: Vec<Row>,
+    /// Wall time of the in-process pure-CPU calibration loop, in
+    /// seconds, for reports whose `measured` rows are raw wall times a
+    /// consumer (the perf gate) must normalize by this constant before
+    /// cross-machine comparison. `None` (omitted from the JSON) for
+    /// ordinary experiment reports.
+    pub calibration_secs: Option<f64>,
 }
 
 /// A NaN or ±Inf was pushed into a numeric report field.
@@ -107,11 +113,17 @@ impl FromJson for Row {
 
 impl ToJson for Report {
     fn to_json(&self) -> Value {
-        object(vec![
+        let mut fields = vec![
             ("id", self.id.to_json()),
             ("claim", self.claim.to_json()),
             ("rows", self.rows.to_json()),
-        ])
+        ];
+        // only perf reports carry the constant; every other report's
+        // JSON stays byte-identical to before the field existed
+        if let Some(c) = self.calibration_secs {
+            fields.push(("calibration_secs", c.to_json()));
+        }
+        object(fields)
     }
 }
 
@@ -126,6 +138,10 @@ impl FromJson for Report {
             id: String::from_json(field("id")?)?,
             claim: String::from_json(field("claim")?)?,
             rows: Vec::<Row>::from_json(field("rows")?)?,
+            calibration_secs: match value.get("calibration_secs") {
+                Some(v) => Some(f64::from_json(v)?),
+                None => None,
+            },
         })
     }
 }
@@ -137,7 +153,20 @@ impl Report {
             id: id.to_string(),
             claim: claim.to_string(),
             rows: Vec::new(),
+            calibration_secs: None,
         }
+    }
+
+    /// Record the calibration-loop wall time (> 0, finite) this
+    /// report's raw stage times must be normalized by. Perf-gate
+    /// reports call this so the constant travels *inside* the baseline
+    /// file instead of being baked invisibly into the row values.
+    pub fn set_calibration(&mut self, secs: f64) {
+        assert!(
+            secs.is_finite() && secs > 0.0,
+            "calibration time must be positive and finite, got {secs}"
+        );
+        self.calibration_secs = Some(secs);
     }
 
     /// Append a row, rejecting NaN/Inf in either numeric field. `None`

@@ -18,6 +18,7 @@
 //! | `GNCG_RESULTS_DIR`          | [`env::results_dir`]           | path override; **re-read on every call** (tests retarget it at runtime) |
 //! | `GNCG_PERF_RATIO`           | [`env::perf_ratio`]            | parsed `f64` > 0, default `1.5`; cached at first read |
 //! | `GNCG_MODEL`                | [`env::model`]                 | `"maxdist"`/`"max"` ⇒ [`ModelKind::MaxDistance`], anything else ⇒ [`ModelKind::SumDistances`]; cached at first read |
+//! | `GNCG_EVAL_BACKEND`         | [`env::eval_backend`]          | `"spanner"`/`"approx"` ⇒ [`EvalBackendKind::Spanner`], anything else ⇒ [`EvalBackendKind::Exact`]; cached at first read |
 //! | `GNCG_NET_FAULT_INJECT`     | [`env::net_fault_inject`]      | parsed `f64`, unparsable ⇒ unset; cached at first read |
 //! | `GNCG_SERVE_ADDR`           | [`env::serve_addr`]            | listen/connect address, default `127.0.0.1:7117`; cached at first read |
 //! | `GNCG_SERVE_MAX_CONNS`      | ([`ServeConfig`])              | parsed `usize`, default 512; cached at first read |
@@ -81,6 +82,41 @@ impl std::fmt::Display for ModelKind {
     }
 }
 
+/// Which evaluation backend the solvers should use (`GNCG_EVAL_BACKEND`).
+///
+/// Defined here for the same reason as [`ModelKind`]: the config crate is
+/// upstream of every consumer, and `gncg-game` maps the kind onto its
+/// `EvalBackend` (exact `EvalContext` vs. the spanner-backed approximate
+/// evaluator with certified error bars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvalBackendKind {
+    /// Exact all-pairs evaluation — the historical behaviour and the
+    /// only backend whose figures are bit-compared against baselines.
+    #[default]
+    Exact,
+    /// Spanner-backed approximate evaluation: β/γ come back as certified
+    /// brackets (`[lo, hi]` guaranteed to contain the exact figure),
+    /// never as silently-approximate point values.
+    Spanner,
+}
+
+impl EvalBackendKind {
+    /// Canonical lowercase name, matching the `GNCG_EVAL_BACKEND`
+    /// spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EvalBackendKind::Exact => "exact",
+            EvalBackendKind::Spanner => "spanner",
+        }
+    }
+}
+
+impl std::fmt::Display for EvalBackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Pure parse rules for the `GNCG_*` variables, shared by the cached
 /// accessors and unit-testable without touching the process environment.
 pub mod parse {
@@ -127,6 +163,21 @@ pub mod parse {
                 super::ModelKind::MaxDistance
             }
             _ => super::ModelKind::SumDistances,
+        }
+    }
+
+    /// `GNCG_EVAL_BACKEND` semantics: `"spanner"` or `"approx"`
+    /// (case-insensitive) selects the spanner-backed approximate
+    /// evaluation backend; anything else — including unset, `""`, and
+    /// `"exact"` — is the exact default, mirroring the typo-safe rule of
+    /// [`model`]: a misspelling can never silently flip a run onto
+    /// approximate figures.
+    pub fn eval_backend(value: Option<&str>) -> super::EvalBackendKind {
+        match value {
+            Some(v) if v.eq_ignore_ascii_case("spanner") || v.eq_ignore_ascii_case("approx") => {
+                super::EvalBackendKind::Spanner
+            }
+            _ => super::EvalBackendKind::Exact,
         }
     }
 }
@@ -204,6 +255,14 @@ pub mod env {
     pub fn model() -> ModelKind {
         static CACHE: OnceLock<ModelKind> = OnceLock::new();
         *CACHE.get_or_init(|| parse::model(read("GNCG_MODEL").as_deref()))
+    }
+
+    /// `GNCG_EVAL_BACKEND`: which evaluation backend solver entry points
+    /// default to (default [`EvalBackendKind::Exact`]). Cached at first
+    /// read.
+    pub fn eval_backend() -> EvalBackendKind {
+        static CACHE: OnceLock<EvalBackendKind> = OnceLock::new();
+        *CACHE.get_or_init(|| parse::eval_backend(read("GNCG_EVAL_BACKEND").as_deref()))
     }
 
     /// `GNCG_NET_FAULT_INJECT`: injected network-fault probability in
@@ -344,6 +403,8 @@ pub struct GncgConfig {
     pub perf_ratio: f64,
     /// Agent objective (`GNCG_MODEL`, default sum-of-distances).
     pub model: ModelKind,
+    /// Evaluation backend (`GNCG_EVAL_BACKEND`, default exact).
+    pub eval_backend: EvalBackendKind,
     /// Injected network-fault probability for the serve tier
     /// (`GNCG_NET_FAULT_INJECT`); `None` ⇒ off.
     pub net_fault_inject: Option<f64>,
@@ -364,6 +425,7 @@ impl GncgConfig {
             results_dir: env::results_dir(),
             perf_ratio: env::perf_ratio(),
             model: env::model(),
+            eval_backend: env::eval_backend(),
             net_fault_inject: env::net_fault_inject(),
             serve: env::serve().clone(),
         }
@@ -393,6 +455,7 @@ impl Default for GncgConfig {
             results_dir: None,
             perf_ratio: 1.5,
             model: ModelKind::SumDistances,
+            eval_backend: EvalBackendKind::Exact,
             net_fault_inject: None,
             serve: ServeConfig::default(),
         }
@@ -452,6 +515,12 @@ impl GncgConfigBuilder {
     /// Override the agent objective.
     pub fn model(mut self, model: ModelKind) -> Self {
         self.config.model = model;
+        self
+    }
+
+    /// Override the evaluation backend.
+    pub fn eval_backend(mut self, backend: EvalBackendKind) -> Self {
+        self.config.eval_backend = backend;
         self
     }
 
@@ -542,6 +611,37 @@ mod tests {
     }
 
     #[test]
+    fn eval_backend_parse_rules_are_frozen() {
+        assert_eq!(parse::eval_backend(None), EvalBackendKind::Exact);
+        assert_eq!(parse::eval_backend(Some("")), EvalBackendKind::Exact);
+        assert_eq!(parse::eval_backend(Some("exact")), EvalBackendKind::Exact);
+        assert_eq!(parse::eval_backend(Some("garbage")), EvalBackendKind::Exact);
+        assert_eq!(parse::eval_backend(Some("spaner")), EvalBackendKind::Exact);
+        assert_eq!(
+            parse::eval_backend(Some("spanner")),
+            EvalBackendKind::Spanner
+        );
+        assert_eq!(
+            parse::eval_backend(Some("SPANNER")),
+            EvalBackendKind::Spanner
+        );
+        assert_eq!(
+            parse::eval_backend(Some("approx")),
+            EvalBackendKind::Spanner
+        );
+        assert_eq!(
+            parse::eval_backend(Some("Approx")),
+            EvalBackendKind::Spanner
+        );
+        assert_eq!(EvalBackendKind::Exact.as_str(), "exact");
+        assert_eq!(EvalBackendKind::Spanner.as_str(), "spanner");
+        // round-trip: the canonical spelling parses back to itself
+        for kind in [EvalBackendKind::Exact, EvalBackendKind::Spanner] {
+            assert_eq!(parse::eval_backend(Some(kind.as_str())), kind);
+        }
+    }
+
+    #[test]
     fn builder_overrides_stick() {
         let c = GncgConfig::builder()
             .threads(3)
@@ -551,6 +651,7 @@ mod tests {
             .fault_inject(0.5)
             .results_dir(PathBuf::from("/tmp/x"))
             .model(ModelKind::MaxDistance)
+            .eval_backend(EvalBackendKind::Spanner)
             .build();
         assert_eq!(c.threads, Some(3));
         assert_eq!(c.budget_ms, Some(250));
@@ -559,6 +660,7 @@ mod tests {
         assert_eq!(c.fault_inject, Some(0.5));
         assert_eq!(c.results_dir, Some(PathBuf::from("/tmp/x")));
         assert_eq!(c.model, ModelKind::MaxDistance);
+        assert_eq!(c.eval_backend, EvalBackendKind::Spanner);
         let unlimited = GncgConfig::builder().unlimited_budget().build();
         assert_eq!(unlimited.budget_ms, None);
     }
@@ -573,6 +675,7 @@ mod tests {
         assert!(c.prune);
         assert_eq!(c.perf_ratio, 1.5);
         assert_eq!(c.model, ModelKind::SumDistances);
+        assert_eq!(c.eval_backend, EvalBackendKind::Exact);
         assert_eq!(c.net_fault_inject, None);
         assert_eq!(c.serve, ServeConfig::default());
     }

@@ -1,0 +1,150 @@
+//! The evaluation-backend abstraction (`GNCG_EVAL_BACKEND`).
+//!
+//! Solver entry points that certify β/γ can run on two backends:
+//!
+//! * [`EvalBackend::Exact`] — the historical [`crate::certify`] path
+//!   on an exact [`crate::EvalContext`]. Its certified figures are a
+//!   *degenerate* bracket `[x, x]`: both report shapes agree, so
+//!   callers handle one type.
+//! * [`EvalBackend::Spanner`] — [`crate::approx::certify_approx`]:
+//!   brackets `[lo, hi]` proven to contain the exact backend's
+//!   certified figures (see the `approx` module docs for the
+//!   soundness model), at a cost that scales to `n = 10⁴`.
+//!
+//! The mapping from the config kind is deliberately lossy-free in one
+//! direction only: [`EvalBackend::from_kind`] fills in the default
+//! spanner/pivot choices, and binaries that want different ones build
+//! the variant directly.
+
+use crate::approx::{self, ApproxCertifyOptions, ApproxCertifyReport, LoMode};
+use crate::certify::{self, CertifyOptions};
+use crate::{ModelKind, OwnedNetwork};
+use gncg_config::EvalBackendKind;
+use gncg_geometry::PointSet;
+use gncg_spanner::SpannerKind;
+
+/// A concrete evaluation backend (the config kind plus the knobs the
+/// config layer deliberately does not know about).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EvalBackend {
+    /// Exact evaluation and exact certified bounds.
+    Exact,
+    /// Spanner-backed approximate evaluation with certified error bars.
+    Spanner {
+        /// Spanner backing the lower bounds (and the reported stretch
+        /// certificate).
+        kind: SpannerKind,
+        /// Pivot rows for the distance upper bounds.
+        pivots: usize,
+    },
+}
+
+impl EvalBackend {
+    /// Default knob choices per config kind: the spanner backend gets
+    /// a Θ-graph with 12 cones and 8 pivots.
+    pub fn from_kind(kind: EvalBackendKind) -> Self {
+        match kind {
+            EvalBackendKind::Exact => EvalBackend::Exact,
+            EvalBackendKind::Spanner => EvalBackend::Spanner {
+                kind: SpannerKind::Theta { cones: 12 },
+                pivots: 8,
+            },
+        }
+    }
+
+    /// The config kind this backend answers to.
+    pub fn kind(&self) -> EvalBackendKind {
+        match self {
+            EvalBackend::Exact => EvalBackendKind::Exact,
+            EvalBackend::Spanner { .. } => EvalBackendKind::Spanner,
+        }
+    }
+
+    /// Certify β/γ for a profile under this backend, reported as a
+    /// bracket either way: the exact backend's bracket is degenerate
+    /// (`lo == hi`, both the certified figure, stretch 1 "proven"),
+    /// the spanner backend's is the sound `[lo, hi]` pair.
+    pub fn certify_bracket(
+        &self,
+        ps: &PointSet,
+        net: &OwnedNetwork,
+        alpha: f64,
+        model: ModelKind,
+    ) -> ApproxCertifyReport {
+        match *self {
+            EvalBackend::Exact => {
+                let r = certify::certify(
+                    ps,
+                    net,
+                    alpha,
+                    CertifyOptions::bounds_only().with_model(model),
+                );
+                ApproxCertifyReport {
+                    n: r.n,
+                    alpha: r.alpha,
+                    connected: r.connected,
+                    spanner_stretch: 1.0,
+                    stretch_proven: true,
+                    beta_lo: r.beta_upper,
+                    beta_hi: r.beta_upper,
+                    gamma_lo: r.gamma_upper,
+                    gamma_hi: r.gamma_upper,
+                    social_lo: r.social_cost,
+                    social_hi: r.social_cost,
+                    opt_lower_bound: r.opt_lower_bound,
+                    model: r.model,
+                }
+            }
+            EvalBackend::Spanner { kind, pivots } => approx::certify_approx(
+                ps,
+                net,
+                alpha,
+                ApproxCertifyOptions::default()
+                    .with_spanner(kind)
+                    .with_model(model)
+                    .with_pivots(pivots)
+                    .with_lo_mode(LoMode::Auto),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_geometry::generators;
+
+    #[test]
+    fn from_kind_round_trips() {
+        for kind in [EvalBackendKind::Exact, EvalBackendKind::Spanner] {
+            assert_eq!(EvalBackend::from_kind(kind).kind(), kind);
+        }
+    }
+
+    #[test]
+    fn exact_backend_bracket_is_degenerate_and_matches_certify() {
+        let ps = generators::uniform_unit_square(14, 8);
+        let net = OwnedNetwork::center_star(14, 0);
+        let bracket = EvalBackend::Exact.certify_bracket(&ps, &net, 1.2, ModelKind::SumDistances);
+        let exact = certify::certify(&ps, &net, 1.2, CertifyOptions::bounds_only());
+        assert_eq!(bracket.beta_lo.to_bits(), exact.beta_upper.to_bits());
+        assert_eq!(bracket.beta_hi.to_bits(), exact.beta_upper.to_bits());
+        assert_eq!(bracket.gamma_lo.to_bits(), exact.gamma_upper.to_bits());
+        assert_eq!(bracket.social_lo.to_bits(), exact.social_cost.to_bits());
+        assert!(bracket.stretch_proven);
+    }
+
+    #[test]
+    fn spanner_backend_bracket_contains_the_exact_backend_figures() {
+        let ps = generators::uniform_unit_square(20, 3);
+        let net = OwnedNetwork::center_star(20, 0);
+        for model in [ModelKind::SumDistances, ModelKind::MaxDistance] {
+            let exact = EvalBackend::Exact.certify_bracket(&ps, &net, 2.0, model);
+            let approx = EvalBackend::from_kind(EvalBackendKind::Spanner)
+                .certify_bracket(&ps, &net, 2.0, model);
+            assert!(approx.beta_lo <= exact.beta_hi && exact.beta_hi <= approx.beta_hi);
+            assert!(approx.gamma_lo <= exact.gamma_hi && exact.gamma_hi <= approx.gamma_hi);
+            assert_eq!(approx.model, model);
+        }
+    }
+}

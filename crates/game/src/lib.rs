@@ -24,6 +24,11 @@
 //!   (the Theorem 3.1 FIP study),
 //! * [`eval`] — the incremental [`EvalContext`] the dynamics and
 //!   certifier run on (delta-rebuilt graph, cached distance rows),
+//! * [`approx`] — spanner-backed approximate evaluation with
+//!   *certified error bars* (β/γ brackets proven to contain the exact
+//!   backend's figures) and grid-candidate dynamics for `n = 10⁴`,
+//! * [`backend`] — the [`EvalBackend`] abstraction mapping
+//!   `GNCG_EVAL_BACKEND` onto the exact or spanner-backed certifier,
 //! * [`prune`] — geometric move pruning ([`PruneMode`], `GNCG_PRUNE`):
 //!   sound lower bounds that discard candidates bit-identically,
 //! * [`model`] — the cost-model abstraction ([`CostModel`],
@@ -32,6 +37,8 @@
 //! * [`instances`] — the paper's witness instances with their strategy
 //!   profiles (Theorems 2.1, 4.1, 4.3, 4.4).
 
+pub mod approx;
+pub mod backend;
 pub mod best_response;
 pub mod certify;
 pub mod cost;
@@ -46,6 +53,7 @@ pub mod network;
 pub mod outcome;
 pub mod prune;
 
+pub use backend::EvalBackend;
 pub use eval::EvalContext;
 pub use model::{CostModel, EdgeFormation, GameSpec, MaxDistance, ModelKind, SumDistances};
 pub use network::OwnedNetwork;

@@ -17,7 +17,9 @@
 use crate::best_response::{ResponseEvaluator, ResponseScratch};
 use crate::prune::{MoveFilter, PruneMode};
 use crate::{cost, CostModel, EdgeWeights, OwnedNetwork, SumDistances};
+use gncg_geometry::PointSet;
 use gncg_graph::Graph;
+use gncg_spanner::GridIndex;
 use std::collections::BTreeSet;
 
 /// A candidate strategy change for one agent with its resulting cost.
@@ -365,6 +367,254 @@ fn best_single_step_batched<M: CostModel>(
     for (j, &out) in current.iter().enumerate() {
         let excl = fixed.len() + j;
         for inn in 0..n {
+            if inn != u && inn != out && current.binary_search(&inn).is_err() {
+                let ew = eval.edge_weight(inn);
+                let row = eval.rest_row(inn);
+                evaluate!(Step::Swap(out, inn), |t: usize| {
+                    let ex = if arg[t] == excl { min2[t] } else { min1[t] };
+                    let via = ew + row[t];
+                    if via < ex {
+                        via
+                    } else {
+                        ex
+                    }
+                });
+            }
+        }
+    }
+    best
+}
+
+/// Smallest buy weight at which `filter` prunes, i.e. the exact
+/// float infimum `R` of `{x ≥ 0 : filter.prunes(alpha, x)}`.
+///
+/// `MoveFilter::prunes(alpha, buy)` is `fl(fl(α·buy) + lb) ≥ θ`,
+/// a composition of round-to-nearest operations each *monotone* in
+/// `buy` (for α > 0), so the predicate is monotone over the
+/// non-negative floats and the infimum is found by binary search on
+/// the bit representation — no epsilon analysis, ~60 predicate
+/// evaluations. Returns:
+///
+/// * `None` when even `buy = ∞` does not prune (or α = 0 makes the
+///   product NaN): no exclusion is sound, callers must fall back to
+///   the full scan;
+/// * `Some(R)` otherwise: every candidate whose buy weight reaches
+///   `R` provably prunes (`R = 0` means *everything* does).
+fn prune_radius(filter: &MoveFilter, alpha: f64) -> Option<f64> {
+    if !filter.prunes(alpha, f64::INFINITY) {
+        return None;
+    }
+    if filter.prunes(alpha, 0.0) {
+        return Some(0.0);
+    }
+    let mut lo = 0u64; // bits of a non-pruning value
+    let mut hi = f64::INFINITY.to_bits(); // bits of a pruning value
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if filter.prunes(alpha, f64::from_bits(mid)) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let r = f64::from_bits(hi);
+    if r.is_infinite() {
+        None
+    } else {
+        Some(r)
+    }
+}
+
+/// [`best_single_move_from_eval_mode_model`] with **grid-hash
+/// candidate generation**: add and swap-in targets are drawn from a
+/// [`GridIndex`] ball query instead of scanning all `n` agents.
+///
+/// `ps` must be the very point set serving as the evaluator's weight
+/// oracle (so `eval.edge_weight(v)` and `ps.dist(u, v)` carry the
+/// same bits). Soundness of the restriction: any candidate
+/// containing target `v` accumulates a buy-weight fold ≥ `ew[v]`
+/// bitwise (float folds of non-negative terms are monotone and
+/// bounded below by each term), and [`MoveFilter::prunes`] is
+/// monotone in the buy weight, so every target at distance ≥
+/// [`prune_radius`] would have had *all* its candidates margin-pruned
+/// by the full engine. Excluding exactly those targets leaves the
+/// evaluated candidate sequence — and hence the returned move, its
+/// cost bits, and the `moves_evaluated` counter — identical to
+/// [`PruneMode::On`]; only `moves_pruned` shrinks, with the excluded
+/// targets accounted under `candidates_skipped` instead. When no
+/// finite exclusion radius exists the call degrades to the plain
+/// batched engine (counted as a full generation).
+pub fn best_single_move_grid_model<M: CostModel>(
+    eval: &ResponseEvaluator<'_>,
+    net: &OwnedNetwork,
+    alpha: f64,
+    ps: &PointSet,
+    index: &GridIndex,
+) -> Option<Move> {
+    let u = eval.agent;
+    let n = net.len();
+    let mut scratch = ResponseScratch::default();
+    let current: Vec<usize> = net.strategy(u).iter().copied().collect();
+    let current_cost = eval.cost_with_model::<M, _>(alpha, current.iter().copied(), &mut scratch);
+    let mut cand = Vec::with_capacity(current.len() + 1);
+    let filter = MoveFilter::new(eval.lb_dist_model::<M>(), current_cost);
+    let targets: Vec<usize> = match prune_radius(&filter, alpha) {
+        None => {
+            // No sound restriction: full scan via the batched engine.
+            gncg_trace::add(gncg_trace::Counter::CandidatesGenerated, (n - 1) as u64);
+            return best_single_step_batched::<M>(
+                eval,
+                n,
+                &current,
+                current_cost,
+                alpha,
+                &mut cand,
+            )
+            .map(|(step, c)| Move {
+                strategy: materialize(&current, step),
+                cost: c,
+            });
+        }
+        Some(r) => {
+            if r == 0.0 {
+                Vec::new()
+            } else {
+                // Targets with `ew < R`, i.e. `dist ≤ prev(R)`.
+                let ball = f64::from_bits(r.to_bits() - 1);
+                let mut out = Vec::new();
+                index.within_radius(ps, u, ball, &mut out);
+                out
+            }
+        }
+    };
+    gncg_trace::add(
+        gncg_trace::Counter::CandidatesGenerated,
+        targets.len() as u64,
+    );
+    gncg_trace::add(
+        gncg_trace::Counter::CandidatesSkipped,
+        (n - 1 - targets.len()) as u64,
+    );
+    best_single_step_grid::<M>(
+        eval,
+        &current,
+        current_cost,
+        alpha,
+        &mut cand,
+        &filter,
+        &targets,
+    )
+    .map(|(step, c)| Move {
+        strategy: materialize(&current, step),
+        cost: c,
+    })
+}
+
+/// The batched engine restricted to a caller-supplied sorted target
+/// list for adds and swap-ins (drops always scan the current
+/// strategy). Every target *not* in the list must be provably
+/// margin-pruned — [`best_single_move_grid_model`] guarantees this —
+/// so the evaluated candidate sequence matches the full batched
+/// engine exactly.
+#[allow(clippy::too_many_arguments)]
+fn best_single_step_grid<M: CostModel>(
+    eval: &ResponseEvaluator<'_>,
+    current: &[usize],
+    current_cost: f64,
+    alpha: f64,
+    cand: &mut Vec<usize>,
+    filter: &MoveFilter,
+    targets: &[usize],
+) -> Option<(Step, f64)> {
+    let u = eval.agent;
+    let n = eval.others.len() + 1;
+    let fixed = &eval.fixed_incident;
+
+    let mut min1 = vec![f64::INFINITY; n];
+    let mut min2 = vec![f64::INFINITY; n];
+    let mut arg = vec![usize::MAX; n];
+    for (s, &x) in fixed.iter().chain(current.iter()).enumerate() {
+        let ew = eval.edge_weight(x);
+        let row = eval.rest_row(x);
+        for v in 0..n {
+            let via = ew + row[v];
+            if via < min1[v] {
+                min2[v] = min1[v];
+                min1[v] = via;
+                arg[v] = s;
+            } else if via < min2[v] {
+                min2[v] = via;
+            }
+        }
+    }
+
+    let buy_of = |cand: &[usize]| -> f64 {
+        let mut buy = 0.0;
+        for &x in cand {
+            buy += eval.edge_weight(x);
+        }
+        buy
+    };
+    let others = &eval.others;
+    let sum_cost = |base: f64, cutoff: f64, pick: &dyn Fn(usize) -> f64| -> f64 {
+        let mut dist_agg = M::EMPTY;
+        for &v in others {
+            dist_agg = M::fold(dist_agg, pick(v));
+            if base + dist_agg > cutoff || dist_agg.is_infinite() {
+                return f64::INFINITY;
+            }
+        }
+        base + dist_agg
+    };
+
+    let mut best: Option<(Step, f64)> = None;
+    macro_rules! evaluate {
+        ($step:expr, $pick:expr) => {{
+            let step = $step;
+            write_candidate(current, step, cand);
+            let buy = buy_of(cand);
+            if filter.prunes(alpha, buy) {
+                gncg_trace::incr(gncg_trace::Counter::MovesPruned);
+            } else {
+                gncg_trace::incr(gncg_trace::Counter::MovesEvaluated);
+                let cutoff = match &best {
+                    Some((_, bc)) if *bc < current_cost => *bc,
+                    _ => current_cost,
+                };
+                let c = sum_cost(alpha * buy, cutoff, &$pick);
+                consider(&mut best, step, c, current_cost);
+            }
+        }};
+    }
+
+    // drops: unchanged, O(deg)
+    for (j, &v) in current.iter().enumerate() {
+        let excl = fixed.len() + j;
+        evaluate!(Step::Drop(v), |t: usize| if arg[t] == excl {
+            min2[t]
+        } else {
+            min1[t]
+        });
+    }
+    // adds: only grid-generated targets
+    for &inn in targets {
+        if inn != u && current.binary_search(&inn).is_err() {
+            let ew = eval.edge_weight(inn);
+            let row = eval.rest_row(inn);
+            evaluate!(Step::Add(inn), |t: usize| {
+                let via = ew + row[t];
+                if via < min1[t] {
+                    via
+                } else {
+                    min1[t]
+                }
+            });
+        }
+    }
+    // swaps: grid-generated swap-ins per dropped slot
+    for (j, &out) in current.iter().enumerate() {
+        let excl = fixed.len() + j;
+        for &inn in targets {
             if inn != u && inn != out && current.binary_search(&inn).is_err() {
                 let ew = eval.edge_weight(inn);
                 let row = eval.rest_row(inn);

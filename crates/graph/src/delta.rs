@@ -1,0 +1,406 @@
+//! Dynamic single-source shortest-path kernels: exact row *repair*
+//! after edge insertions, exact "what-if" Dijkstra under edge
+//! modifications, and an exact validity test for edge removals.
+//!
+//! These kernels let [`crate::csr::Csr`]-based evaluation avoid full
+//! row rebuilds after single-edge deltas. Every routine here is
+//! **bit-identical** to a fresh [`crate::csr::Csr::dijkstra_into_slice`]
+//! run on the mutated graph — not merely "close". The argument, used
+//! throughout this crate, is:
+//!
+//! 1. IEEE-754 round-to-nearest addition is *monotone*: `a ≤ a'` and
+//!    `b ≤ b'` imply `fl(a+b) ≤ fl(a'+b')`. Hence the left-fold of
+//!    edge weights along a path is monotone in every prefix value.
+//! 2. Therefore Dijkstra's output row is exactly
+//!    `row[v] = min over all paths π: source↝v of fold(π)` — a
+//!    well-defined quantity independent of visit order, tie-breaks,
+//!    or relaxation schedule. (Walks reduce to paths: deleting a
+//!    cycle from a walk never increases its fold, weights being
+//!    non-negative.)
+//! 3. Any relaxation process that (a) only ever assigns fold values
+//!    of actual paths and (b) runs to a fixpoint where no edge can
+//!    relax, computes the same min — and is therefore bit-identical
+//!    to a fresh Dijkstra.
+//!
+//! [`repair_insertions`] is such a process (it seeds from the old
+//! row, whose entries are folds of paths that still exist in the
+//! grown graph). [`removal_keeps_row`] exploits point 2 directly: if
+//! no shortest-path fold can cross the removed edge, the min over
+//! edge-avoiding paths equals the min over all paths, bitwise.
+
+use crate::csr::Csr;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Min-heap entry ordered like the Dijkstra kernels in
+/// [`crate::csr`] / [`crate::dijkstra`]: smallest distance first,
+/// ties broken by smallest node id, so pop order (and hence the
+/// deterministic heap-pop trace counters) is schedule-independent.
+#[derive(Clone, Copy, PartialEq)]
+struct Entry {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Repairs a shortest-path row in place after edge *insertions*.
+///
+/// `csr` must be the CSR of the **new** graph (insertions already
+/// applied); `row` must hold the exact distance row of the old graph
+/// (before the insertions) from the row's source; `inserted` lists
+/// the new undirected edges `(a, b, w)`.
+///
+/// Distances only decrease under insertion, and any improvement
+/// cascades from an endpoint of a new edge, so the repair seeds a
+/// heap with the endpoints the new edges improve and runs the
+/// standard lazy-deletion relaxation loop from there. The result is
+/// bit-identical to a fresh Dijkstra on the new graph (see module
+/// docs); the cost is proportional to the region whose distances
+/// actually changed.
+pub fn repair_insertions(csr: &Csr, row: &mut [f64], inserted: &[(usize, usize, f64)]) {
+    debug_assert_eq!(row.len(), csr.len());
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+    let mut pops = 0u64;
+    let mut relaxed = 0u64;
+    for &(a, b, w) in inserted {
+        let via_a = row[a] + w;
+        if via_a < row[b] {
+            row[b] = via_a;
+            heap.push(Entry {
+                dist: via_a,
+                node: b as u32,
+            });
+        }
+        let via_b = row[b] + w;
+        if via_b < row[a] {
+            row[a] = via_b;
+            heap.push(Entry {
+                dist: via_b,
+                node: a as u32,
+            });
+        }
+    }
+    while let Some(Entry { dist, node }) = heap.pop() {
+        let u = node as usize;
+        if dist > row[u] {
+            continue; // stale entry: a shorter fold already landed
+        }
+        pops += 1;
+        let (targets, weights) = csr.neighbors(u);
+        for (&t, &w) in targets.iter().zip(weights) {
+            relaxed += 1;
+            let v = t as usize;
+            let nd = dist + w;
+            if nd < row[v] {
+                row[v] = nd;
+                heap.push(Entry { dist: nd, node: t });
+            }
+        }
+    }
+    gncg_trace::record_dijkstra(pops, relaxed);
+}
+
+/// Returns `true` when removing the undirected edges in `removed`
+/// (given as `(a, b, w)`) provably leaves the exact row `row`
+/// unchanged, so the caller may keep it without any recomputation.
+///
+/// The test is that no removed edge is *tight* in either direction:
+/// `fl(row[a] + w) > row[b]` and `fl(row[b] + w) > row[a]`, both as
+/// strict `f64` comparisons. When it holds, any path crossing the
+/// edge (say `a → b`) folds to at least `fl(row[a] + w) > row[b]`
+/// (monotonicity, with the prefix fold to `a` being at least the min
+/// `row[a]`), so replacing the crossing by a shortest path to `b`
+/// yields an edge-avoiding walk with a fold no larger — the min over
+/// edge-avoiding paths equals the full min, bitwise, for every
+/// target. No epsilon slack is needed: the argument is exact in
+/// float arithmetic. Ties (`==`) conservatively return `false`, as
+/// do removals touching unreachable vertices (`∞ + w > ∞` is false).
+pub fn removal_keeps_row(row: &[f64], removed: &[(usize, usize, f64)]) -> bool {
+    removed
+        .iter()
+        .all(|&(a, b, w)| row[a] + w > row[b] && row[b] + w > row[a])
+}
+
+/// Full Dijkstra from `source` into `row`, honoring edge
+/// modifications *without* rebuilding the CSR: every arc between the
+/// endpoints of an edge in `removed` is skipped, and the undirected
+/// edges in `added` (`(a, b, w)`) are relaxed alongside the CSR
+/// adjacency of their endpoints.
+///
+/// This is the "what-if" kernel for probing single-edge deltas
+/// (drop / add / swap) against a fixed CSR snapshot: bit-identical
+/// to building the modified graph and running a fresh Dijkstra on
+/// it, by the min-over-path-folds argument in the module docs. The
+/// caller must ensure `added` edges do not duplicate CSR edges and
+/// `removed` pairs are distinct (standard for simple graphs).
+pub fn dijkstra_modified(
+    csr: &Csr,
+    source: usize,
+    row: &mut [f64],
+    removed: &[(usize, usize)],
+    added: &[(usize, usize, f64)],
+) {
+    let n = csr.len();
+    debug_assert_eq!(row.len(), n);
+    row.fill(f64::INFINITY);
+    row[source] = 0.0;
+    let mut done = vec![false; n];
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+    heap.push(Entry {
+        dist: 0.0,
+        node: source as u32,
+    });
+    let mut pops = 0u64;
+    let mut relaxed = 0u64;
+    while let Some(Entry { dist, node }) = heap.pop() {
+        let u = node as usize;
+        if done[u] {
+            continue;
+        }
+        done[u] = true;
+        pops += 1;
+        let (targets, weights) = csr.neighbors(u);
+        'arcs: for (&t, &w) in targets.iter().zip(weights) {
+            let v = t as usize;
+            for &(ra, rb) in removed {
+                if (u == ra && v == rb) || (u == rb && v == ra) {
+                    continue 'arcs;
+                }
+            }
+            relaxed += 1;
+            let nd = dist + w;
+            if nd < row[v] {
+                row[v] = nd;
+                heap.push(Entry { dist: nd, node: t });
+            }
+        }
+        for &(a, b, w) in added {
+            let v = if a == u {
+                b
+            } else if b == u {
+                a
+            } else {
+                continue;
+            };
+            relaxed += 1;
+            let nd = dist + w;
+            if nd < row[v] {
+                row[v] = nd;
+                heap.push(Entry {
+                    dist: nd,
+                    node: v as u32,
+                });
+            }
+        }
+    }
+    gncg_trace::record_dijkstra(pops, relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::DijkstraScratch;
+    use crate::Graph;
+
+    /// Tiny deterministic LCG so the tests need no external RNG.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 11
+        }
+
+        fn unit(&mut self) -> f64 {
+            (self.next_u64() % (1 << 24)) as f64 / (1 << 24) as f64
+        }
+
+        fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+
+    fn random_graph(n: usize, extra: usize, rng: &mut Lcg) -> Graph {
+        let mut g = Graph::new(n);
+        // Random spanning tree so most rows are finite.
+        for v in 1..n {
+            let u = rng.below(v);
+            g.add_edge(u, v, 0.1 + rng.unit());
+        }
+        for _ in 0..extra {
+            let a = rng.below(n);
+            let b = rng.below(n);
+            if a != b {
+                g.add_edge(a, b, 0.1 + rng.unit());
+            }
+        }
+        g
+    }
+
+    fn fresh_row(g: &Graph, source: usize) -> Vec<f64> {
+        let csr = Csr::from_graph(g);
+        let mut row = vec![0.0; g.len()];
+        let mut scratch = DijkstraScratch::default();
+        csr.dijkstra_into_slice(source, &mut row, &mut scratch);
+        row
+    }
+
+    #[test]
+    fn insertion_repair_matches_fresh_dijkstra_bitwise() {
+        let mut rng = Lcg(0x5eed);
+        for case in 0..60 {
+            let n = 4 + (case % 29);
+            let mut g = random_graph(n, case % 7, &mut rng);
+            let source = rng.below(n);
+            let mut row = fresh_row(&g, source);
+            // Insert a batch of fresh edges.
+            let mut inserted = Vec::new();
+            for _ in 0..1 + case % 3 {
+                let a = rng.below(n);
+                let b = rng.below(n);
+                let w = 0.05 + rng.unit();
+                // `add_edge` on an existing edge *updates* its
+                // weight, so only genuinely fresh pairs qualify.
+                if a != b && !g.has_edge(a, b) {
+                    g.add_edge(a, b, w);
+                    inserted.push((a, b, w));
+                }
+            }
+            let csr = Csr::from_graph(&g);
+            repair_insertions(&csr, &mut row, &inserted);
+            let expect = fresh_row(&g, source);
+            assert_eq!(
+                row.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+                expect.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+                "case {case}: repaired row diverged from fresh Dijkstra"
+            );
+        }
+    }
+
+    #[test]
+    fn insertion_repair_handles_disconnected_components() {
+        // Two components; the inserted edge bridges them, so the
+        // previously-infinite half of the row must be fully repaired.
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(3, 4, 1.5);
+        g.add_edge(4, 5, 0.5);
+        let mut row = fresh_row(&g, 0);
+        assert!(row[3].is_infinite());
+        assert!(g.add_edge(2, 3, 0.25));
+        let csr = Csr::from_graph(&g);
+        repair_insertions(&csr, &mut row, &[(2, 3, 0.25)]);
+        let expect = fresh_row(&g, 0);
+        assert_eq!(
+            row.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+            expect.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn removal_keeps_row_is_sound() {
+        // Whenever the test says "keep", the fresh row after removal
+        // must be bit-identical to the kept row.
+        let mut rng = Lcg(0xde17a);
+        let mut kept = 0usize;
+        for case in 0..80 {
+            let n = 4 + (case % 23);
+            let mut g = random_graph(n, 2 + case % 9, &mut rng);
+            let source = rng.below(n);
+            let row = fresh_row(&g, source);
+            let edges = g.edges();
+            if edges.is_empty() {
+                continue;
+            }
+            let (a, b, w) = edges[rng.below(edges.len())];
+            if removal_keeps_row(&row, &[(a, b, w)]) {
+                kept += 1;
+                g.remove_edge(a, b);
+                let expect = fresh_row(&g, source);
+                assert_eq!(
+                    row.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+                    expect.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+                    "case {case}: removal of slack edge ({a},{b}) changed the row"
+                );
+            }
+        }
+        assert!(kept > 0, "sweep never exercised the keep branch");
+    }
+
+    #[test]
+    fn removal_is_conservative_on_tree_edges() {
+        // Every tree edge is tight somewhere, so a path graph must
+        // always invalidate.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        let row = fresh_row(&g, 0);
+        assert!(!removal_keeps_row(&row, &[(1, 2, 1.0)]));
+    }
+
+    #[test]
+    fn dijkstra_modified_matches_rebuilt_graph_bitwise() {
+        let mut rng = Lcg(0xabcd);
+        for case in 0..60 {
+            let n = 4 + (case % 21);
+            let g = random_graph(n, 3 + case % 5, &mut rng);
+            let source = rng.below(n);
+            let edges = g.edges();
+            // Pick one edge to drop and one non-edge to add.
+            let removed: Vec<(usize, usize)> = if edges.is_empty() {
+                Vec::new()
+            } else {
+                let (a, b, _) = edges[rng.below(edges.len())];
+                vec![(a, b)]
+            };
+            let mut added = Vec::new();
+            for _ in 0..8 {
+                let a = rng.below(n);
+                let b = rng.below(n);
+                if a != b && !g.has_edge(a, b) {
+                    added.push((a, b, 0.05 + rng.unit()));
+                    break;
+                }
+            }
+            let csr = Csr::from_graph(&g);
+            let mut row = vec![0.0; n];
+            dijkstra_modified(&csr, source, &mut row, &removed, &added);
+
+            let mut h = g.clone();
+            for &(a, b) in &removed {
+                h.remove_edge(a, b);
+            }
+            for &(a, b, w) in &added {
+                assert!(h.add_edge(a, b, w));
+            }
+            let expect = fresh_row(&h, source);
+            assert_eq!(
+                row.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+                expect.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+                "case {case}: modified Dijkstra diverged from rebuilt graph"
+            );
+        }
+    }
+}

@@ -15,6 +15,7 @@
 pub mod apsp;
 pub mod components;
 pub mod csr;
+pub mod delta;
 pub mod dijkstra;
 pub mod graph;
 pub mod matrix;

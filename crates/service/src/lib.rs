@@ -48,6 +48,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use gncg_config::GncgConfig;
+use gncg_game::approx::{ApproxCertifyOptions, ApproxCertifyReport};
 use gncg_game::best_response::BestResponse;
 use gncg_game::certify::{CertifyOptions, CertifyReport};
 use gncg_game::exact::ExactOptimum;
@@ -713,6 +714,29 @@ impl Session {
         })
     }
 
+    /// Submit a spanner-backed *bracketed* certification job
+    /// ([`gncg_game::approx::certify_approx`]) — the large-n
+    /// counterpart of [`Session::submit_certify`], sharing its job
+    /// kind, lane, and admission behaviour. Takes a concrete point set
+    /// (the spanner and grid constructions are geometric; a bare
+    /// [`EdgeWeights`] oracle is not enough). The computation is
+    /// polynomial with no exponential part to degrade, so the job
+    /// budget only gates the start: a budget cancelled before dispatch
+    /// resolves the handle to [`JobError::Cancelled`], exactly like
+    /// every other kind.
+    pub fn submit_certify_approx(
+        &self,
+        ps: Arc<gncg_geometry::PointSet>,
+        net: OwnedNetwork,
+        alpha: f64,
+        opts: ApproxCertifyOptions,
+        job: JobOptions,
+    ) -> Result<JobHandle<ApproxCertifyReport>, SubmitError> {
+        self.submit_raw(JobKind::Certify, job, false, false, move |_, _| {
+            gncg_game::approx::certify_approx(&ps, &net, alpha, opts)
+        })
+    }
+
     /// Submit an exact best-response job for agent `u`. The job budget
     /// replaces `opts.budget`; the cost model in `opts` is honored
     /// (default `ModelKind::SumDistances` — pass
@@ -922,6 +946,44 @@ mod tests {
     }
 
     #[test]
+    fn certify_approx_job_matches_direct_call_and_brackets_exact() {
+        let ps = Arc::new(generators::uniform_unit_square(20, 5));
+        let net = OwnedNetwork::center_star(20, 0);
+        let direct =
+            gncg_game::approx::certify_approx(&ps, &net, 1.5, ApproxCertifyOptions::default());
+        let session = Session::builder().threads(2).build();
+        let handle = session
+            .submit_certify_approx(
+                Arc::clone(&ps),
+                net.clone(),
+                1.5,
+                ApproxCertifyOptions::default(),
+                JobOptions::default(),
+            )
+            .expect("admitted");
+        let report = handle.wait().expect("job succeeded");
+        assert_eq!(report.beta_lo.to_bits(), direct.beta_lo.to_bits());
+        assert_eq!(report.beta_hi.to_bits(), direct.beta_hi.to_bits());
+        assert_eq!(report.social_hi.to_bits(), direct.social_hi.to_bits());
+        // the bracket really contains the exact certified figure
+        let exact = gncg_game::certify::certify(&*ps, &net, 1.5, CertifyOptions::bounds_only());
+        assert!(report.beta_lo <= exact.beta_upper && exact.beta_upper <= report.beta_hi);
+        // a dead budget still cancels before start, like every kind
+        let dead = Budget::unlimited();
+        dead.cancel();
+        let cancelled = session
+            .submit_certify_approx(
+                Arc::clone(&ps),
+                net,
+                1.5,
+                ApproxCertifyOptions::default(),
+                JobOptions::with_budget(&dead),
+            )
+            .expect("admitted");
+        assert_eq!(cancelled.wait(), Err(JobError::Cancelled));
+    }
+
+    #[test]
     fn panicking_sweep_fails_alone() {
         let session = Session::builder().threads(2).build();
         let bad = session
@@ -1043,16 +1105,29 @@ mod tests {
         );
     }
 
-    #[test]
-    fn shutdown_cancel_resolves_queued_jobs_as_cancelled() {
-        let session = Session::builder().threads(1).build();
+    /// A sweep job that signals once it is running on the worker, then
+    /// blocks until released. The handshake makes the shutdown tests
+    /// deterministic: without it, `shutdown(Cancel)` can win the race
+    /// to the lane and cancel the *blocker* before the worker dequeues
+    /// it, dropping the receiver and poisoning the release send.
+    fn blocking_sweep(session: &Session) -> (JobHandle<i32>, std::sync::mpsc::Sender<()>) {
         let (block_tx, block_rx) = std::sync::mpsc::channel::<()>();
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
         let blocker = session
             .submit_sweep(JobOptions::default(), move |_| {
+                started_tx.send(()).ok();
                 block_rx.recv().ok();
                 0
             })
             .expect("admitted");
+        started_rx.recv().expect("blocker reached the worker");
+        (blocker, block_tx)
+    }
+
+    #[test]
+    fn shutdown_cancel_resolves_queued_jobs_as_cancelled() {
+        let session = Session::builder().threads(1).build();
+        let (blocker, block_tx) = blocking_sweep(&session);
         let queued = session
             .submit_sweep(JobOptions::default(), |_| 1)
             .expect("admitted");
@@ -1083,13 +1158,7 @@ mod tests {
         // win for still-queued work, and nothing may deadlock.
         for round in 0..8u64 {
             let session = Session::builder().threads(1).build();
-            let (block_tx, block_rx) = std::sync::mpsc::channel::<()>();
-            let blocker = session
-                .submit_sweep(JobOptions::default(), move |_| {
-                    block_rx.recv().ok();
-                    0
-                })
-                .expect("admitted");
+            let (blocker, block_tx) = blocking_sweep(&session);
             let queued = session
                 .submit_sweep(JobOptions::default(), |_| 1)
                 .expect("admitted");
@@ -1124,13 +1193,7 @@ mod tests {
     #[test]
     fn shutdown_drain_then_cancel_escalates_once() {
         let session = Session::builder().threads(1).build();
-        let (block_tx, block_rx) = std::sync::mpsc::channel::<()>();
-        let blocker = session
-            .submit_sweep(JobOptions::default(), move |_| {
-                block_rx.recv().ok();
-                0
-            })
-            .expect("admitted");
+        let (blocker, block_tx) = blocking_sweep(&session);
         let queued = session
             .submit_sweep(JobOptions::default(), |_| 1)
             .expect("admitted");

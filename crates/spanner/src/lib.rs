@@ -25,6 +25,8 @@ pub mod grid;
 pub mod theta;
 pub mod yao;
 
+pub use grid::GridIndex;
+
 use gncg_geometry::PointSet;
 use gncg_graph::Graph;
 

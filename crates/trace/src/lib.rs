@@ -128,10 +128,20 @@ pub enum Counter {
     /// Client-side retries (reconnects + resubmissions) performed by
     /// `ServeClient` after transport errors or injected network faults.
     ServeRetries,
+    /// Move targets produced by grid-hash candidate generation and handed
+    /// to a move engine for consideration. A pure function of the
+    /// instance (cell membership + the sound exclusion radius), so the
+    /// total is schedule-invariant.
+    CandidatesGenerated,
+    /// Move targets excluded by the grid's sound radius bound without
+    /// ever reaching a move engine — each one provably unable to beat the
+    /// agent's current cost (see `gncg-game`'s `approx` module docs).
+    /// Deterministic for the same reason as [`Counter::CandidatesGenerated`].
+    CandidatesSkipped,
 }
 
 /// Number of counters in [`Counter`].
-pub const NUM_COUNTERS: usize = 19;
+pub const NUM_COUNTERS: usize = 21;
 
 /// JSON field names, indexed by `Counter as usize`.
 pub const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
@@ -154,17 +164,21 @@ pub const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "serve_frames_rx",
     "serve_frames_tx",
     "serve_retries",
+    "candidates_generated",
+    "candidates_skipped",
 ];
 
 /// The thread-count- and schedule-invariant subset of [`COUNTER_NAMES`];
 /// the perf gate compares exactly these for bit-identity.
-pub const DETERMINISTIC_COUNTERS: [Counter; 6] = [
+pub const DETERMINISTIC_COUNTERS: [Counter; 8] = [
     Counter::DijkstraRelaxations,
     Counter::DijkstraHeapPops,
     Counter::BestResponseEvals,
     Counter::RowInvalidations,
     Counter::MovesPruned,
     Counter::MovesEvaluated,
+    Counter::CandidatesGenerated,
+    Counter::CandidatesSkipped,
 ];
 
 thread_local! {

@@ -47,6 +47,16 @@ if grep -rnE --include='*.rs' '"GNCG_(SERVE_[A-Z_]+|NET_FAULT_INJECT)"' src crat
     exit 1
 fi
 
+# eval-backend discipline: GNCG_EVAL_BACKEND selects exact vs
+# spanner-backed certification; its parse rule (unknown values fall back
+# to exact, never silently approximate the other way) lives solely in
+# gncg-config — a second parser elsewhere could flip that default
+if grep -rn --include='*.rs' -F '"GNCG_EVAL_BACKEND"' src crates tests examples \
+    | grep -v '^crates/config/src/'; then
+    echo 'the "GNCG_EVAL_BACKEND" literal outside crates/config/src (use gncg_config)' >&2
+    exit 1
+fi
+
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace
