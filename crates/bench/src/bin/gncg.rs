@@ -7,6 +7,9 @@
 //! gncg dynamics --points points.json --alpha 1 --steps 500
 //! gncg serve    [--addr 127.0.0.1:7117]
 //! gncg connect  --points points.json --network net.json --alpha 2 [--idem KEY]
+//! gncg sweep run  --spec specs/foo.sweep.json
+//! gncg sweep plan --spec specs/foo.sweep.json
+//! gncg sweep gc
 //! ```
 //!
 //! Arguments are deliberately hand-parsed (`--key value` pairs) to keep
@@ -19,14 +22,25 @@
 //! when the remote job is cancelled — the same code a local
 //! budget-interrupted run uses, so driving a sweep remotely changes
 //! nothing about how callers resume it.
+//!
+//! `sweep` drives the declarative sweep language (`gncg_sweep`): `run`
+//! executes a `.sweep.json` spec through the session and the
+//! content-addressed result cache (`GNCG_CACHE_DIR`), saving
+//! `results/<id>.json`; `plan` prints the canonical form, content key,
+//! and per-unit cache keys without running anything; `gc` collects
+//! tmp/quarantine debris from the cache directory. A remote sweep is
+//! `connect --job sweep --spec FILE`.
 
 use gncg_algo as algo;
 use gncg_config::GncgConfig;
 use gncg_game::certify::CertifyOptions;
 use gncg_game::{dynamics, GameSpec, OwnedNetwork};
 use gncg_geometry::{generators, PointSet};
+use gncg_parallel::Budget;
 use gncg_serve::{ClientError, JobSpec, ServeClient, Server};
+use gncg_service::cache::ResultCache;
 use gncg_service::{JobError, JobOptions, Session};
+use gncg_sweep::spec::SweepSpec;
 use std::collections::HashMap;
 use std::process::exit;
 use std::sync::Arc;
@@ -38,6 +52,23 @@ fn main() {
         Some(c) => c,
         None => usage_and_exit(),
     };
+    if cmd == "sweep" {
+        let sub = args.next().unwrap_or_else(|| {
+            eprintln!("missing sweep subcommand (run | plan | gc)");
+            usage_and_exit()
+        });
+        let opts = parse_opts(args.collect());
+        match sub.as_str() {
+            "run" => sweep_run(&opts),
+            "plan" => sweep_plan(&opts),
+            "gc" => sweep_gc(),
+            other => {
+                eprintln!("unknown sweep subcommand {other}");
+                usage_and_exit()
+            }
+        }
+        return;
+    }
     let opts = parse_opts(args.collect());
     match cmd.as_str() {
         "generate" => generate(&opts),
@@ -52,7 +83,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage:\n  gncg generate --kind uniform|grid|cluster|chain --n N [--seed S] [--alpha A] --out FILE\n  gncg build --points FILE --alpha A --method combined|alg1|mst|complete|star --out FILE\n  gncg certify --points FILE --network FILE --alpha A [--exact]\n  gncg dynamics --points FILE --alpha A [--steps N] [--rule best|single]\n  gncg serve [--addr HOST:PORT]\n  gncg connect --job certify|dynamics --points FILE [--network FILE] --alpha A\n               [--exact] [--steps N] [--rule best|single] [--budget-ms N]\n               [--addr HOST:PORT] [--client ID] [--idem KEY]"
+        "usage:\n  gncg generate --kind uniform|grid|cluster|chain --n N [--seed S] [--alpha A] --out FILE\n  gncg build --points FILE --alpha A --method combined|alg1|mst|complete|star --out FILE\n  gncg certify --points FILE --network FILE --alpha A [--exact]\n  gncg dynamics --points FILE --alpha A [--steps N] [--rule best|single]\n  gncg serve [--addr HOST:PORT]\n  gncg connect --job certify|dynamics|sweep [--points FILE] [--network FILE]\n               [--alpha A] [--spec FILE] [--exact] [--steps N] [--rule best|single]\n               [--budget-ms N] [--addr HOST:PORT] [--client ID] [--idem KEY]\n  gncg sweep run --spec FILE\n  gncg sweep plan --spec FILE\n  gncg sweep gc"
     );
     exit(2);
 }
@@ -302,6 +333,75 @@ fn run_serve(opts: &HashMap<String, String>) {
     );
 }
 
+fn load_sweep_spec(path: &str) -> SweepSpec {
+    let data = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    SweepSpec::parse(&data).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        exit(2);
+    })
+}
+
+fn sweep_run(opts: &HashMap<String, String>) {
+    let spec = load_sweep_spec(req(opts, "spec"));
+    let cache = ResultCache::from_env().map(Arc::new);
+    match &cache {
+        Some(c) => println!("cache: {}", c.dir().display()),
+        None => println!("cache: off (set GNCG_CACHE_DIR to enable)"),
+    }
+    // The run budget is the ambient one (GNCG_BUDGET_MS): on exhaustion
+    // the checkpoint is kept and a re-run resumes, exactly like the
+    // repro binaries.
+    let budget = Budget::from_env();
+    let session = Session::new();
+    let outcome = gncg_sweep::engine::run_spec(&spec, cache, Some(&session), &budget, None);
+    if outcome.interrupted {
+        eprintln!(
+            "sweep '{}' interrupted by its budget after {}/{} units; checkpoint kept — re-run to resume",
+            spec.id, outcome.units_done, outcome.units_total
+        );
+        exit(gncg_config::INTERRUPTED_EXIT);
+    }
+    outcome.report.print();
+    match outcome.report.save() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot save report: {e}");
+            exit(1);
+        }
+    }
+    if !outcome.report.all_ok() {
+        exit(1);
+    }
+}
+
+fn sweep_plan(opts: &HashMap<String, String>) {
+    let spec = load_sweep_spec(req(opts, "spec"));
+    println!(
+        "{}",
+        gncg_json::to_string_pretty(&gncg_sweep::engine::plan_spec(&spec))
+    );
+}
+
+fn sweep_gc() {
+    let Some(cache) = ResultCache::from_env() else {
+        eprintln!("cache: off (set GNCG_CACHE_DIR to enable)");
+        exit(2);
+    };
+    match cache.gc() {
+        Ok(removed) => println!(
+            "collected {removed} debris file(s) from {}",
+            cache.dir().display()
+        ),
+        Err(e) => {
+            eprintln!("gc failed: {e}");
+            exit(1);
+        }
+    }
+}
+
 fn run_connect(opts: &HashMap<String, String>) {
     let cfg = gncg_config::env::serve();
     let addr = opts
@@ -312,22 +412,20 @@ fn run_connect(opts: &HashMap<String, String>) {
         .get("client")
         .cloned()
         .unwrap_or_else(|| format!("gncg-cli-{}", std::process::id()));
-    let ps = load_points(req(opts, "points"));
-    let alpha: f64 = parse_num(req(opts, "alpha"), "--alpha");
     let budget_ms: Option<u64> = opts.get("budget-ms").map(|s| parse_num(s, "--budget-ms"));
     let model = GncgConfig::from_env().model;
     let spec = match opts.get("job").map(|s| s.as_str()).unwrap_or("certify") {
         "certify" => JobSpec::Certify {
             network: load_network(req(opts, "network")),
-            points: ps,
-            alpha,
+            points: load_points(req(opts, "points")),
+            alpha: parse_num(req(opts, "alpha"), "--alpha"),
             exact: opts.contains_key("exact"),
             model,
             budget_ms,
         },
         "dynamics" => JobSpec::Dynamics {
-            points: ps,
-            alpha,
+            points: load_points(req(opts, "points")),
+            alpha: parse_num(req(opts, "alpha"), "--alpha"),
             rule: match opts.get("rule").map(|s| s.as_str()).unwrap_or("single") {
                 "best" => dynamics::ResponseRule::BestResponse,
                 _ => dynamics::ResponseRule::BestSingleMove,
@@ -338,6 +436,10 @@ fn run_connect(opts: &HashMap<String, String>) {
                 .unwrap_or(500),
             spec: GameSpec::with_model(model),
             start: None,
+            budget_ms,
+        },
+        "sweep" => JobSpec::Sweep {
+            spec: Box::new(load_sweep_spec(req(opts, "spec"))),
             budget_ms,
         },
         other => {

@@ -1,0 +1,93 @@
+//! Shared instance builders and service-layer entry points for the
+//! workspace's top-level test suites (`tests/paper_claims.rs`,
+//! `tests/property_tests.rs`, `tests/norms.rs`).
+//!
+//! The suites used to hand-roll near-identical random generators and
+//! call solver internals directly; centralizing them here keeps every
+//! suite drawing from the same distributions and — via
+//! [`certify_via_service`] — routes certification through the same
+//! [`Session`] entry point users and the sweep engine reach, so the
+//! tier-1 suites exercise the service envelope, not a bypass of it.
+
+use std::sync::{Arc, OnceLock};
+
+use gncg_game::certify::{CertifyOptions, CertifyReport};
+use gncg_game::{EdgeWeights, OwnedNetwork};
+use gncg_geometry::{Norm, Point, PointSet};
+use gncg_service::{JobOptions, Session};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A random planar point set with `2..max_n.max(3)` points in `[0, 100)²`.
+pub fn random_point_set(rng: &mut StdRng, max_n: usize) -> PointSet {
+    let n = rng.gen_range(2..max_n.max(3));
+    PointSet::new(
+        (0..n)
+            .map(|_| Point::d2(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect(),
+    )
+}
+
+/// A random connected strategy profile: each oriented edge bought with
+/// probability 1/4, plus a connecting chain.
+pub fn random_profile(rng: &mut StdRng, n: usize) -> OwnedNetwork {
+    let mut net = OwnedNetwork::empty(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen_bool(0.25) {
+                net.buy(u, v);
+            }
+        }
+    }
+    for u in 0..n - 1 {
+        net.buy(u, u + 1);
+    }
+    net
+}
+
+/// `n` i.i.d. points in the unit square, measured under `norm`.
+pub fn random_points_with_norm(n: usize, seed: u64, norm: Norm) -> PointSet {
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    PointSet::with_norm(
+        (0..n)
+            .map(|_| Point::d2(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect(),
+        norm,
+    )
+}
+
+/// The process-wide [`Session`] the top-level suites submit through.
+/// One pool for the whole test binary — the same sharing discipline a
+/// multi-tenant server uses — rather than a pool per assertion.
+pub fn shared_session() -> &'static Session {
+    static SESSION: OnceLock<Session> = OnceLock::new();
+    SESSION.get_or_init(Session::new)
+}
+
+/// Certify through the service layer: submit a certification job on the
+/// [`shared_session`] and wait for its report. Equivalent to a direct
+/// `gncg_game::certify::certify` call by the service tier's equivalence
+/// guarantees — which is exactly what routing the tier-1 suites through
+/// it re-checks on every run.
+pub fn certify_via_service<W>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    opts: CertifyOptions,
+) -> CertifyReport
+where
+    W: EdgeWeights + Clone + Send + Sync + 'static,
+{
+    shared_session()
+        .submit_certify(
+            Arc::new(w.clone()),
+            net.clone(),
+            alpha,
+            opts,
+            JobOptions::default(),
+        )
+        .expect("certify job admitted")
+        .wait()
+        .expect("certify job completed")
+}

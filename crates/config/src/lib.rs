@@ -16,6 +16,8 @@
 //! | `GNCG_TRACE`                | [`env::trace`]                 | on iff `"1"` or case-insensitive `"true"`; cached at first read |
 //! | `GNCG_PRUNE`                | [`env::prune`]                 | off iff `"0"`/`"false"`/`"off"` (case-insensitive); cached at first read |
 //! | `GNCG_RESULTS_DIR`          | [`env::results_dir`]           | path override; **re-read on every call** (tests retarget it at runtime) |
+//! | `GNCG_CACHE_DIR`            | [`env::cache_dir`]             | content-addressed result-cache directory; unset ⇒ cache off; **re-read on every call** (tests retarget it at runtime) |
+//! | `GNCG_CACHE`                | [`env::cache_on`]              | off iff `"0"`/`"false"`/`"off"` (case-insensitive); **re-read on every call** |
 //! | `GNCG_PERF_RATIO`           | [`env::perf_ratio`]            | parsed `f64` > 0, default `1.5`; cached at first read |
 //! | `GNCG_MODEL`                | [`env::model`]                 | `"maxdist"`/`"max"` ⇒ [`ModelKind::MaxDistance`], anything else ⇒ [`ModelKind::SumDistances`]; cached at first read |
 //! | `GNCG_EVAL_BACKEND`         | [`env::eval_backend`]          | `"spanner"`/`"approx"` ⇒ [`EvalBackendKind::Spanner`], anything else ⇒ [`EvalBackendKind::Exact`]; cached at first read |
@@ -136,6 +138,15 @@ pub mod parse {
         }
     }
 
+    /// `GNCG_CACHE` semantics: the result cache defaults **on** (it only
+    /// activates when `GNCG_CACHE_DIR` is also set); only an explicit
+    /// `"0"`, `"false"`, or `"off"` (case-insensitive) disables it — the
+    /// same rule as [`prune_on`], so a typo can never silently disable
+    /// dedup on a shared cache directory.
+    pub fn cache_on(value: Option<&str>) -> bool {
+        prune_on(value)
+    }
+
     /// Numeric semantics shared by `GNCG_THREADS`, `GNCG_BUDGET_MS`,
     /// `GNCG_FAULT_INJECT`, `GNCG_FAULT_INJECT_DELAY_MS`: a set but
     /// unparsable value behaves like an unset one.
@@ -240,6 +251,25 @@ pub mod env {
     /// call — the one variable with dynamic semantics.
     pub fn results_dir() -> Option<PathBuf> {
         read("GNCG_RESULTS_DIR").map(PathBuf::from)
+    }
+
+    /// `GNCG_CACHE_DIR`: content-addressed result-cache directory.
+    /// Unset ⇒ the cache is off entirely (the default, so existing
+    /// flows and the perf gate are untouched).
+    ///
+    /// **Deliberately uncached**, like [`results_dir`]: the cache tests
+    /// retarget the directory between runs (cold vs. warm vs. off), so
+    /// this is re-read on every call.
+    pub fn cache_dir() -> Option<PathBuf> {
+        read("GNCG_CACHE_DIR").map(PathBuf::from)
+    }
+
+    /// `GNCG_CACHE`: result-cache kill switch (default on; the cache
+    /// still needs [`cache_dir`] to be set before it does anything).
+    ///
+    /// **Deliberately uncached**: robustness tests flip it at runtime.
+    pub fn cache_on() -> bool {
+        parse::cache_on(read("GNCG_CACHE").as_deref())
     }
 
     /// `GNCG_PERF_RATIO`: perf-gate wall-time regression allowance
@@ -399,6 +429,10 @@ pub struct GncgConfig {
     pub prune: bool,
     /// Report output directory override (`GNCG_RESULTS_DIR`).
     pub results_dir: Option<PathBuf>,
+    /// Content-addressed result-cache directory (`GNCG_CACHE_DIR`);
+    /// `None` ⇒ cache off. `GNCG_CACHE=0` forces `None` here even when
+    /// the directory is set.
+    pub cache_dir: Option<PathBuf>,
     /// Perf-gate regression allowance (`GNCG_PERF_RATIO`, default 1.5).
     pub perf_ratio: f64,
     /// Agent objective (`GNCG_MODEL`, default sum-of-distances).
@@ -423,6 +457,11 @@ impl GncgConfig {
             trace: env::trace(),
             prune: env::prune(),
             results_dir: env::results_dir(),
+            cache_dir: if env::cache_on() {
+                env::cache_dir()
+            } else {
+                None
+            },
             perf_ratio: env::perf_ratio(),
             model: env::model(),
             eval_backend: env::eval_backend(),
@@ -453,6 +492,7 @@ impl Default for GncgConfig {
             trace: false,
             prune: true,
             results_dir: None,
+            cache_dir: None,
             perf_ratio: 1.5,
             model: ModelKind::SumDistances,
             eval_backend: EvalBackendKind::Exact,
@@ -509,6 +549,12 @@ impl GncgConfigBuilder {
     /// Override the report output directory.
     pub fn results_dir(mut self, dir: PathBuf) -> Self {
         self.config.results_dir = Some(dir);
+        self
+    }
+
+    /// Override the result-cache directory.
+    pub fn cache_dir(mut self, dir: PathBuf) -> Self {
+        self.config.cache_dir = Some(dir);
         self
     }
 
@@ -570,6 +616,19 @@ mod tests {
         assert!(!parse::prune_on(Some("FALSE")));
         assert!(!parse::prune_on(Some("off")));
         assert!(!parse::prune_on(Some("OFF")));
+    }
+
+    #[test]
+    fn cache_parse_rules_are_frozen() {
+        // Same frozen rule as GNCG_PRUNE: default on, only an explicit
+        // "0"/"false"/"off" (case-insensitive) disables.
+        assert!(parse::cache_on(None));
+        assert!(parse::cache_on(Some("1")));
+        assert!(parse::cache_on(Some("")));
+        assert!(parse::cache_on(Some("anything")));
+        assert!(!parse::cache_on(Some("0")));
+        assert!(!parse::cache_on(Some("false")));
+        assert!(!parse::cache_on(Some("Off")));
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Canonical JSON form and content addressing.
+//!
+//! A *canonical* value is one where every object's keys are sorted
+//! (byte-wise ascending) at every nesting level, with duplicate keys
+//! resolved keep-first (matching [`Value::get`], which returns the
+//! first match). Printing a canonical value with [`crate::to_string`]
+//! yields a byte string that depends only on the value's semantic
+//! content: the compact printer inserts no whitespace and the number
+//! writer already normalizes float formatting (integral values print
+//! without a decimal point, others use the shortest round-trip form),
+//! so two values that differ only in key order or float spelling
+//! canonicalize to identical bytes.
+//!
+//! [`content_key`] hashes those bytes with SHA-256 and returns the
+//! lower-hex digest — the content address used by the result cache.
+//! Two inputs collide only if their canonical prints are identical,
+//! i.e. the values are semantically equal; any semantic difference
+//! (a changed number, a missing field) changes the digest.
+
+use crate::Value;
+
+/// Recursively sort every object's keys; duplicates keep the first
+/// occurrence. Arrays keep their order (array order is semantic).
+pub fn canonicalize(v: &Value) -> Value {
+    match v {
+        Value::Object(entries) => {
+            let mut sorted: Vec<(String, Value)> = Vec::with_capacity(entries.len());
+            for (k, val) in entries {
+                if sorted.iter().any(|(sk, _)| sk == k) {
+                    continue; // duplicate key: keep-first, like Value::get
+                }
+                sorted.push((k.clone(), canonicalize(val)));
+            }
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Object(sorted)
+        }
+        Value::Array(items) => Value::Array(items.iter().map(canonicalize).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Compact print of the canonical form: the byte string that gets
+/// hashed. Exposed so tests and the cache can assert byte identity.
+pub fn canonical_string(v: &Value) -> String {
+    crate::to_string(&canonicalize(v))
+}
+
+/// Content address of a value: lower-hex SHA-256 of its canonical
+/// compact print. 64 hex chars, safe as a filename.
+pub fn content_key(v: &Value) -> String {
+    sha256_hex(canonical_string(v).as_bytes())
+}
+
+/// SHA-256, lower-hex digest. Self-contained (FIPS 180-4); the repo
+/// vendors no crypto crate and the cache only needs collision
+/// resistance for content addressing, not a side-channel-hardened
+/// implementation.
+pub fn sha256_hex(data: &[u8]) -> String {
+    let digest = sha256(data);
+    let mut out = String::with_capacity(64);
+    for b in digest {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+
+    // Padded message: data || 0x80 || zeros || 64-bit big-endian bit length.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 64];
+    for block in msg.chunks_exact(64) {
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+        h[5] = h[5].wrapping_add(f);
+        h[6] = h[6].wrapping_add(g);
+        h[7] = h[7].wrapping_add(hh);
+    }
+
+    let mut out = [0u8; 32];
+    for (i, word) in h.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{object, parse, Value};
+
+    // FIPS 180-4 / RFC 6234 test vectors.
+    #[test]
+    fn sha256_known_vectors() {
+        assert_eq!(
+            sha256_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha256_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            sha256_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // Multi-block input (len > 64, exercises chunk loop + padding).
+        let long = vec![b'a'; 1_000];
+        assert_eq!(
+            sha256_hex(&long),
+            "41edece42d63e8d9bf515a9ba6932e1c20cbc9f5a5d134645adb5db1b9737ea3"
+        );
+    }
+
+    #[test]
+    fn key_order_does_not_change_key() {
+        let a = parse(r#"{"b":1,"a":{"y":2,"x":3}}"#).unwrap();
+        let b = parse(r#"{"a":{"x":3,"y":2},"b":1}"#).unwrap();
+        assert_eq!(content_key(&a), content_key(&b));
+        assert_eq!(canonical_string(&a), r#"{"a":{"x":3,"y":2},"b":1}"#);
+    }
+
+    #[test]
+    fn float_formatting_normalizes() {
+        // 1.0 and 1 print identically through write_number; 0.5 vs 5e-1
+        // parse to the same f64 and thus print identically.
+        let a = parse(r#"{"x":1.0,"y":5e-1}"#).unwrap();
+        let b = parse(r#"{"x":1,"y":0.5}"#).unwrap();
+        assert_eq!(content_key(&a), content_key(&b));
+    }
+
+    #[test]
+    fn semantic_change_changes_key() {
+        let a = parse(r#"{"alpha":1.5,"n":8}"#).unwrap();
+        let b = parse(r#"{"alpha":1.5000001,"n":8}"#).unwrap();
+        let c = parse(r#"{"alpha":1.5,"n":9}"#).unwrap();
+        assert_ne!(content_key(&a), content_key(&b));
+        assert_ne!(content_key(&a), content_key(&c));
+    }
+
+    #[test]
+    fn duplicate_keys_keep_first() {
+        // The strict parser admits duplicate keys (pushes both); the
+        // canonical form must agree with Value::get, which returns the
+        // first occurrence.
+        let dup = parse(r#"{"k":1,"k":2}"#).unwrap();
+        assert_eq!(canonical_string(&dup), r#"{"k":1}"#);
+    }
+
+    #[test]
+    fn canonicalize_is_fixpoint() {
+        let v = object(vec![
+            (
+                "z",
+                Value::Array(vec![object(vec![("b", Value::Number(2.0))])]),
+            ),
+            ("a", Value::String("s".into())),
+        ]);
+        let c1 = canonicalize(&v);
+        let c2 = canonicalize(&c1);
+        assert_eq!(crate::to_string(&c1), crate::to_string(&c2));
+        // print -> parse -> print is identity on the canonical form
+        let reparsed = parse(&crate::to_string(&c1)).unwrap();
+        assert_eq!(crate::to_string(&reparsed), crate::to_string(&c1));
+    }
+}

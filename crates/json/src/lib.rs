@@ -19,6 +19,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+pub mod canon;
 pub mod frame;
 
 /// A parsed JSON document.

@@ -11,12 +11,15 @@
 //! cancel   := {"kind":"cancel","req":N}
 //! ping     := {"kind":"ping","seq":N}
 //!
-//! jobspec  := certify | dynamics
+//! jobspec  := certify | dynamics | sweep
 //! certify  := {"op":"certify","points":P,"network":G,"alpha":A,
 //!              "exact":B,"model":"sum"|"maxdist","budget_ms":N|null}
 //! dynamics := {"op":"dynamics","points":P,"alpha":A,"rule":"best"|"single",
 //!              "steps":N,"model":M,"formation":"unilateral"|"bilateral",
 //!              "start":G|null,"budget_ms":N|null}
+//! sweep    := {"op":"sweep","spec":SPEC,"budget_ms":N|null}
+//!             SPEC is the declarative sweep grammar of
+//!             `gncg_sweep::spec` (sent in canonical form)
 //!
 //! response := hello_ok | event | result | error | pong | draining
 //! hello_ok := {"kind":"hello_ok","server":S,"quota":N}
@@ -41,7 +44,10 @@ use gncg_game::{dynamics, EdgeFormation, GameSpec, OwnedNetwork};
 use gncg_geometry::PointSet;
 use gncg_json::{field, object, FromJson, JsonError, ToJson, Value};
 use gncg_parallel::Budget;
+use gncg_service::cache::ResultCache;
 use gncg_service::JobKind;
+use gncg_sweep::spec::SweepSpec;
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // job specs
@@ -73,6 +79,17 @@ pub enum JobSpec {
         start: Option<OwnedNetwork>,
         budget_ms: Option<u64>,
     },
+    /// A whole declarative sweep, executed through the server's
+    /// content-addressed result cache (`GNCG_CACHE_DIR`). The spec
+    /// travels in canonical form; `budget_ms` bounds the *run* (the
+    /// engine checkpoints and returns its partial report on
+    /// exhaustion — [`JobKind::Sweep`] wiring, not a cancellation).
+    Sweep {
+        // boxed: a parsed spec (six expanded axes) would otherwise
+        // dominate the size of every JobSpec/Request on the wire path
+        spec: Box<SweepSpec>,
+        budget_ms: Option<u64>,
+    },
 }
 
 fn model_to_str(m: ModelKind) -> &'static str {
@@ -94,13 +111,16 @@ impl JobSpec {
         match self {
             JobSpec::Certify { .. } => JobKind::Certify,
             JobSpec::Dynamics { .. } => JobKind::Dynamics,
+            JobSpec::Sweep { .. } => JobKind::Sweep,
         }
     }
 
     /// The per-job budget override, if any.
     pub fn budget_ms(&self) -> Option<u64> {
         match self {
-            JobSpec::Certify { budget_ms, .. } | JobSpec::Dynamics { budget_ms, .. } => *budget_ms,
+            JobSpec::Certify { budget_ms, .. }
+            | JobSpec::Dynamics { budget_ms, .. }
+            | JobSpec::Sweep { budget_ms, .. } => *budget_ms,
         }
     }
 
@@ -149,6 +169,22 @@ impl JobSpec {
                     spec,
                 );
                 dynamics_outcome_to_json(&outcome)
+            }
+            JobSpec::Sweep { spec, .. } => {
+                // Inline engine (`session: None`): this body is already
+                // a session job, and nested submits would deadlock a
+                // one-worker pool. The cache is the server's own
+                // (`GNCG_CACHE_DIR`), so concurrent sweeps and repeat
+                // submissions dedupe against each other.
+                let cache = ResultCache::from_env().map(Arc::new);
+                let outcome = gncg_sweep::engine::run_spec(&spec, cache, None, budget, None);
+                object(vec![
+                    ("sweep", spec.id.to_json()),
+                    ("interrupted", outcome.interrupted.to_json()),
+                    ("units_total", outcome.units_total.to_json()),
+                    ("units_done", outcome.units_done.to_json()),
+                    ("report", outcome.report.to_json()),
+                ])
             }
         }
     }
@@ -206,6 +242,11 @@ impl ToJson for JobSpec {
                 ("start", start.to_json()),
                 ("budget_ms", budget_ms.to_json()),
             ]),
+            JobSpec::Sweep { spec, budget_ms } => object(vec![
+                ("op", "sweep".to_json()),
+                ("spec", spec.canonical_value()),
+                ("budget_ms", budget_ms.to_json()),
+            ]),
         }
     }
 }
@@ -247,6 +288,13 @@ impl FromJson for JobSpec {
                     },
                 },
                 start: Option::<OwnedNetwork>::from_json(field(value, "start")?)?,
+                budget_ms: Option::<u64>::from_json(field(value, "budget_ms")?)?,
+            }),
+            Some("sweep") => Ok(JobSpec::Sweep {
+                spec: Box::new(
+                    SweepSpec::from_value(field(value, "spec")?)
+                        .map_err(|e| JsonError::new(e.to_string()))?,
+                ),
                 budget_ms: Option::<u64>::from_json(field(value, "budget_ms")?)?,
             }),
             other => Err(JsonError::new(format!("unknown op: {other:?}"))),
@@ -602,6 +650,21 @@ mod tests {
                 spec: GameSpec::bilateral(ModelKind::MaxDistance),
                 start: Some(OwnedNetwork::center_star(5, 2)),
                 budget_ms: Some(0),
+            },
+        });
+        round_trip_request(&Request::Submit {
+            req: 5,
+            idem: "key-3".into(),
+            spec: JobSpec::Sweep {
+                spec: Box::new(SweepSpec::parse(
+                    r#"{"sweep": "wire_rt", "claim": "round trip", "version": 1,
+                        "instances": {"generator": "uniform", "n": [4], "seeds": {"base": 7, "count": 2}},
+                        "network": {"method": ["mst", "star"]},
+                        "alphas": {"start": 1, "stop": 2, "step": 0.5},
+                        "job": {"kind": "certify", "model": "maxdist"}}"#,
+                )
+                .unwrap()),
+                budget_ms: Some(30_000),
             },
         });
         round_trip_request(&Request::Cancel { req: 3 });

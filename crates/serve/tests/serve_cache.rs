@@ -1,0 +1,104 @@
+//! The serve tier × the content-addressed result cache (ISSUE 9):
+//! a `JobSpec::Sweep` submitted over TCP must produce a report
+//! byte-identical to the direct engine run, whether the server's cache
+//! is cold or warm; resubmitting under the same `(client, idem)` key
+//! must replay the recorded result without re-executing; and a warm
+//! re-run must not grow the cache.
+//!
+//! One `#[test]`, phased: the cache directory override
+//! ([`gncg_service::cache::set_process_cache_dir`]) and
+//! `GNCG_RESULTS_DIR` are process-global, so interleaving with other
+//! tests would race them.
+
+use gncg_parallel::Budget;
+use gncg_serve::{JobSpec, ServeClient, Server};
+use gncg_service::cache::{set_process_cache_dir, ResultCache};
+use gncg_service::Session;
+use gncg_sweep::engine;
+use gncg_sweep::spec::SweepSpec;
+use std::time::Duration;
+
+const SPEC_TEXT: &str = r#"{
+    "sweep": "serve_cache_leg", "claim": "wire == engine, cold or warm", "version": 1,
+    "instances": {"generator": "uniform", "n": [5, 6], "seeds": [1, 2]},
+    "network": {"method": ["mst", "star"]},
+    "alphas": [1.25, 2.5],
+    "job": {"kind": "certify", "exact": true}
+}"#;
+
+#[test]
+fn sweeps_over_the_wire_are_cached_idempotent_and_bit_identical() {
+    let base = std::env::temp_dir().join(format!("gncg_serve_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::env::set_var("GNCG_RESULTS_DIR", base.join("results"));
+    let cache_dir = base.join("cache");
+    set_process_cache_dir(Some(cache_dir.clone()));
+
+    let spec = SweepSpec::parse(SPEC_TEXT).expect("spec parses");
+
+    // ---- phase 0: the direct engine run, no cache, no service -------
+    let direct = engine::run_spec(&spec, None, None, &Budget::unlimited(), None);
+    assert!(!direct.interrupted);
+    assert_eq!(direct.units_done, direct.units_total);
+    let direct_report = gncg_json::to_string(&gncg_json::ToJson::to_json(&direct.report));
+
+    let server = Server::bind(Session::new(), &Default::default()).expect("bind");
+    let addr = server.local_addr().to_string();
+    let job = JobSpec::Sweep {
+        spec: Box::new(spec.clone()),
+        budget_ms: None,
+    };
+
+    // ---- phase 1: cold submission over the wire ---------------------
+    let mut alice = ServeClient::new(addr.clone(), "alice").with_timeout(Duration::from_secs(120));
+    let cold = alice.submit_with_key(&job, "sweep-1").expect("cold submit");
+    assert_eq!(
+        cold.get("interrupted").and_then(|v| v.as_bool()),
+        Some(false)
+    );
+    let cold_report = gncg_json::to_string(cold.get("report").expect("payload has report"));
+    assert_eq!(
+        cold_report, direct_report,
+        "cold wire run diverged from the direct engine run"
+    );
+    let entries_after_cold = ResultCache::at(&cache_dir).unwrap().entry_count().unwrap();
+    assert!(
+        entries_after_cold > 0,
+        "cold run populated no cache entries"
+    );
+
+    // ---- phase 2: same (client, idem) key — replay, not re-run ------
+    let replay = alice
+        .submit_with_key(&job, "sweep-1")
+        .expect("replay submit");
+    assert_eq!(
+        gncg_json::to_string(&replay),
+        gncg_json::to_string(&cold),
+        "idempotent replay was not byte-identical"
+    );
+
+    // ---- phase 3: different client, warm cache ----------------------
+    let mut bob = ServeClient::new(addr, "bob").with_timeout(Duration::from_secs(120));
+    let warm = bob.submit_with_key(&job, "sweep-2").expect("warm submit");
+    let warm_report = gncg_json::to_string(warm.get("report").expect("payload has report"));
+    assert_eq!(
+        warm_report, direct_report,
+        "warm wire run diverged from the direct engine run"
+    );
+    assert_eq!(
+        ResultCache::at(&cache_dir).unwrap().entry_count().unwrap(),
+        entries_after_cold,
+        "warm run grew the cache (missed entries it should have hit)"
+    );
+
+    // ---- accounting: two distinct (client, idem) pairs ran ----------
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 2, "at-most-once violated: {stats:?}");
+    assert_eq!(stats.completed, 2, "stats: {stats:?}");
+    assert_eq!(stats.cancelled, 0, "stats: {stats:?}");
+    assert_eq!(stats.panicked, 0, "stats: {stats:?}");
+
+    set_process_cache_dir(None);
+    std::env::remove_var("GNCG_RESULTS_DIR");
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -17,7 +17,10 @@ use gncg_game::OwnedNetwork;
 use gncg_geometry::generators;
 use gncg_parallel::Budget;
 use gncg_serve::{netfault, JobSpec, ServeClient, Server};
+use gncg_service::cache::{set_process_cache_dir, ResultCache};
 use gncg_service::Session;
+use gncg_sweep::engine;
+use gncg_sweep::spec::SweepSpec;
 use std::time::Duration;
 
 const CLIENTS: usize = 128;
@@ -119,4 +122,122 @@ fn soak_128_faulted_clients_are_bit_identical_to_direct_calls() {
             && snap.counter(gncg_trace::Counter::ServeEnqueued) >= CLIENTS as u64,
         "soak moved no frames?"
     );
+
+    shared_cache_leg();
+}
+
+/// The shared-cache leg: many faulted clients each submit their *own*
+/// sweep (distinct ids, so checkpoints don't interleave) over one
+/// server-side content-addressed cache. Every unit after the first
+/// computation is a cache hit, yet every client's rows must stay
+/// bit-identical to the direct engine run — and the cache must end the
+/// chaos with zero tmp/quarantine debris. Runs as a phase of the soak
+/// test because the injection probabilities and the cache-directory
+/// override are process-global.
+fn shared_cache_leg() {
+    const SWEEPERS: usize = 16;
+    let base = std::env::temp_dir().join(format!("gncg_soak_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::env::set_var("GNCG_RESULTS_DIR", base.join("results"));
+    let cache_dir = base.join("cache");
+    set_process_cache_dir(Some(cache_dir.clone()));
+
+    let sweep_spec = |i: usize| -> SweepSpec {
+        SweepSpec::parse(&format!(
+            r#"{{"sweep": "soak_shared_{i}", "claim": "shared-cache soak", "version": 1,
+                "instances": {{"generator": "uniform", "n": [5, 6], "seeds": [1]}},
+                "network": {{"method": ["mst", "star"]}},
+                "alphas": [1.25, 2.0],
+                "job": {{"kind": "certify", "exact": true}}}}"#
+        ))
+        .expect("soak sweep spec parses")
+    };
+
+    // expected rows from the direct engine, injectors quiet
+    netfault::set_probability(0.0);
+    gncg_parallel::fault::set_injection_probability(0.0);
+    let direct = engine::run_spec(&sweep_spec(0), None, None, &Budget::unlimited(), None);
+    assert!(!direct.interrupted);
+    let expected_rows = gncg_json::to_string(
+        gncg_json::ToJson::to_json(&direct.report)
+            .get("rows")
+            .expect("report has rows"),
+    );
+
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        quota: 4,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(Session::new(), &cfg).expect("bind shared-cache server");
+    let addr = server.local_addr().to_string();
+
+    netfault::reseed(0x5EED_CAFE);
+    netfault::set_probability(0.15);
+    gncg_parallel::fault::set_injection_probability(0.02);
+
+    let failures: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..SWEEPERS)
+            .map(|i| {
+                let addr = addr.clone();
+                let spec = sweep_spec(i);
+                s.spawn(move || {
+                    let mut client = ServeClient::new(addr, format!("sweeper-{i}"))
+                        .with_timeout(Duration::from_secs(120));
+                    let job = JobSpec::Sweep {
+                        spec: Box::new(spec),
+                        budget_ms: None,
+                    };
+                    client
+                        .submit(&job)
+                        .map_err(|e| format!("sweeper {i}: {e}"))
+                        .and_then(|payload| {
+                            let rows = payload
+                                .get("report")
+                                .and_then(|r| r.get("rows"))
+                                .map(gncg_json::to_string)
+                                .ok_or_else(|| format!("sweeper {i}: malformed payload"))?;
+                            Ok((i, rows))
+                        })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| match h.join().expect("sweeper thread") {
+                Ok((_, rows)) if rows == expected_rows => None,
+                Ok((i, _)) => Some(format!("sweeper {i}: rows diverged from direct run")),
+                Err(e) => Some(e),
+            })
+            .collect()
+    });
+
+    netfault::set_probability(0.0);
+    gncg_parallel::fault::set_injection_probability(0.0);
+    assert!(
+        failures.is_empty(),
+        "{} of {SWEEPERS} sweepers diverged:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, SWEEPERS as u64, "stats: {stats:?}");
+    assert_eq!(stats.completed, SWEEPERS as u64, "stats: {stats:?}");
+
+    // the chaos left a clean cache: entries only, no debris to collect
+    let cache = ResultCache::at(&cache_dir).expect("reopen cache");
+    assert!(
+        cache.entry_count().unwrap() > 0,
+        "soak populated no entries"
+    );
+    assert_eq!(
+        cache.gc().unwrap(),
+        0,
+        "tmp/quarantine debris survived the soak"
+    );
+
+    set_process_cache_dir(None);
+    std::env::remove_var("GNCG_RESULTS_DIR");
+    let _ = std::fs::remove_dir_all(&base);
 }

@@ -42,6 +42,8 @@
 //! span, and the service keeps deterministic admission counters
 //! (`service_enqueued`, `service_dequeued`, `service_rejected`).
 
+pub mod cache;
+
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
@@ -53,6 +55,7 @@ use gncg_game::best_response::BestResponse;
 use gncg_game::certify::{CertifyOptions, CertifyReport};
 use gncg_game::exact::ExactOptimum;
 use gncg_game::{dynamics, EdgeWeights, GameSpec, Outcome, OwnedNetwork, SolveOptions};
+use gncg_json::{FromJson, ToJson};
 use gncg_parallel::pool::ThreadPool;
 use gncg_parallel::{with_budget, with_max_threads, Budget};
 
@@ -257,6 +260,19 @@ impl<T> std::fmt::Debug for JobHandle<T> {
 }
 
 impl<T> JobHandle<T> {
+    /// A handle born resolved: [`JobHandle::wait`] returns `value`
+    /// immediately. Used by the cache-aware submits, where a hit never
+    /// enters the queue — the caller still gets the uniform handle API.
+    fn resolved(kind: JobKind, value: T) -> Self {
+        let state = HandleState::new();
+        state.fulfill(Ok(value));
+        Self {
+            state,
+            budget: Budget::unlimited(),
+            kind,
+        }
+    }
+
     /// Block until the job resolves and take its result.
     pub fn wait(self) -> Result<T, JobError> {
         let mut slot = self.state.slot.lock().unwrap_or_else(|p| p.into_inner());
@@ -711,6 +727,58 @@ impl Session {
     ) -> Result<JobHandle<CertifyReport>, SubmitError> {
         self.submit_raw(JobKind::Certify, job, false, false, move |_, budget| {
             gncg_game::certify::certify(&*w, &net, alpha, opts.with_budget(budget))
+        })
+    }
+
+    /// Submit a (β, γ) certification job through the content-addressed
+    /// result cache.
+    ///
+    /// `key` must be the content address of the canonical instance +
+    /// options (see `gncg_json::canon::content_key`); the *caller* owns
+    /// the soundness of that key — this method only handles the
+    /// mechanics. On a valid cached entry the returned handle is born
+    /// resolved (nothing is queued); on a miss the job is submitted
+    /// exactly like [`Session::submit_certify`] and the report is
+    /// written back to the cache from the worker.
+    ///
+    /// Cache-consistency rule: the cache stores only deterministic,
+    /// budget-free results, so the cache is **bypassed entirely** (no
+    /// get, no put) whenever the job runs under a limited budget —
+    /// budgeted certification can degrade along the exact→certified
+    /// ladder at a nondeterministic point, and such a report must never
+    /// be served to a later caller that asked for the unbudgeted
+    /// answer. With `cache: None` this is exactly `submit_certify`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_certify_cached(
+        &self,
+        cache: Option<Arc<cache::ResultCache>>,
+        key: &str,
+        w: SharedWeights,
+        net: OwnedNetwork,
+        alpha: f64,
+        opts: CertifyOptions,
+        job: JobOptions,
+    ) -> Result<JobHandle<CertifyReport>, SubmitError> {
+        let budget_limited = job
+            .budget
+            .as_ref()
+            .map(|b| b.deadline.is_some())
+            .unwrap_or_else(|| self.default_budget().deadline.is_some());
+        let Some(cache) = cache.filter(|_| !budget_limited) else {
+            return self.submit_certify(w, net, alpha, opts, job);
+        };
+        if let Some(payload) = cache.get(key) {
+            if let Ok(report) = CertifyReport::from_json(&payload) {
+                return Ok(JobHandle::resolved(JobKind::Certify, report));
+            }
+            // Hash-valid but schema-incompatible (e.g. written by a
+            // different version): recompute and overwrite below.
+        }
+        let key = key.to_string();
+        self.submit_raw(JobKind::Certify, job, false, false, move |_, budget| {
+            let report = gncg_game::certify::certify(&*w, &net, alpha, opts.with_budget(budget));
+            let _ = cache.put(&key, &report.to_json());
+            report
         })
     }
 

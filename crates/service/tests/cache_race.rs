@@ -1,0 +1,71 @@
+//! Concurrent writers racing one cache key under fault injection must
+//! converge: exactly one valid entry, no `.tmp` survivors. Own process
+//! (integration test binary) because the injection probability is
+//! process-global.
+
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use gncg_json::{canon, object, Value};
+use gncg_parallel::fault;
+use gncg_service::cache::ResultCache;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gncg_cache_race_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn racing_writers_leave_one_valid_entry_and_no_tmp_survivors() {
+    let cache = Arc::new(ResultCache::at(tmpdir("writers")).unwrap());
+    let payload = object(vec![
+        ("beta", Value::Number(1.5)),
+        ("gamma", Value::Number(2.0)),
+    ]);
+    let key = canon::content_key(&payload);
+
+    // Every writer retries through injected crashes until its put (or a
+    // sibling's) lands — the same discipline the fault soaks hold the
+    // parallel substrate to.
+    fault::set_injection_probability(0.3);
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            let payload = payload.clone();
+            let key = key.clone();
+            std::thread::spawn(move || {
+                let mut attempts = 0;
+                loop {
+                    attempts += 1;
+                    assert!(attempts < 10_000, "writer livelocked");
+                    match catch_unwind(AssertUnwindSafe(|| cache.put(&key, &payload))) {
+                        Ok(Ok(())) => break,
+                        Ok(Err(e)) => panic!("non-injected put failure: {e}"),
+                        Err(p) => assert!(fault::is_injected(&*p), "real panic escaped put"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    fault::set_injection_probability(0.0);
+
+    // Exactly one file total: the valid entry. No tmp debris, nothing
+    // quarantined (no writer ever installs an invalid entry).
+    let names: Vec<String> = fs::read_dir(cache.dir())
+        .unwrap()
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(names, vec![format!("{key}.json")], "debris: {names:?}");
+    let got = cache.get(&key).expect("entry valid after the race");
+    assert_eq!(
+        canon::canonical_string(&got),
+        canon::canonical_string(&payload)
+    );
+}

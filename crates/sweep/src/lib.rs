@@ -1,0 +1,31 @@
+//! gncg-sweep: the declarative sweep language and its engine.
+//!
+//! The paper's results are a grid of sweeps — generators × α ranges ×
+//! n × seeds → β/γ figures. This crate makes that grid a first-class,
+//! *declarative* object:
+//!
+//! * [`spec`] — the `SweepSpec` JSON grammar, a strict parser, a
+//!   canonicalizer (field order, float formatting, range and
+//!   seed-stream expansion all normalized), and the content-address
+//!   key builders used by the result cache;
+//! * [`engine`] — the compiler from a spec to executed units, routed
+//!   through the content-addressed `ResultCache` and (optionally) a
+//!   `gncg_service::Session`, honoring checkpoint/resume and budgets;
+//! * [`checkpoint`] / [`harness`] — the checkpoint/resume and
+//!   service-job harness infrastructure the repro binaries run on
+//!   (moved here from `gncg-bench`, which re-exports them unchanged);
+//! * the report types ([`Report`], [`Row`], …) every tier shares.
+//!
+//! The reproducibility contract: running the same spec — cold cache,
+//! warm cache, or no cache at all — produces byte-identical
+//! `results/<id>.json` files. The `sweep_oracle` integration suite
+//! certifies that for every committed `specs/*.sweep.json`.
+
+pub mod checkpoint;
+pub mod engine;
+pub mod harness;
+pub mod spec;
+
+mod report;
+
+pub use report::{log_log_slope, results_dir, FitError, NonFiniteValue, Report, Row};

@@ -1,0 +1,446 @@
+//! Property tests for the sweep content address (ISSUE 9 satellite):
+//! the canonicalizer is a fixpoint, every *syntactic* variant of a spec
+//! (key order, float spelling, range vs. explicit list, elided
+//! defaults) hashes identically, and every *semantic* change (α, model,
+//! seed, exactness, backend, budget, …) changes the hash.
+//!
+//! Case count scales with `PROPTEST_CASES` (default 48; nightly runs
+//! 4096). Failures print the case seed, which replays the instance.
+
+use std::collections::HashSet;
+
+use gncg_config::ModelKind;
+use gncg_sweep::spec::{certify_key, fmt_num, network_key, seed_stream, SweepSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+const GENERATORS: [&str; 4] = ["uniform", "grid", "cluster", "chain"];
+const METHODS: [&str; 5] = ["combined", "alg1", "mst", "complete", "star"];
+
+/// The randomized sweep shape every property below runs over. All axes
+/// are arithmetic progressions so the same sweep is expressible both as
+/// explicit lists and as range/stream objects.
+struct Case {
+    id: String,
+    claim: String,
+    generator: &'static str,
+    n_start: u64,
+    n_step: u64,
+    n_count: u64,
+    seed_base: u64,
+    seed_count: u64,
+    methods: Vec<&'static str>,
+    a_start: f64,
+    a_step: f64,
+    a_count: u32,
+    exact: bool,
+    model: ModelKind,
+    budget_ms: Option<u64>,
+}
+
+impl Case {
+    fn random(rng: &mut StdRng) -> Self {
+        let method_lo = rng.gen_range(0..METHODS.len());
+        let method_hi = rng.gen_range(method_lo..METHODS.len());
+        Case {
+            id: format!("case_{}", rng.gen_range(0..1_000_000u64)),
+            claim: format!("claim {}", rng.gen_range(0..1_000u64)),
+            generator: GENERATORS[rng.gen_range(0..GENERATORS.len())],
+            n_start: rng.gen_range(2..8),
+            n_step: rng.gen_range(1..4),
+            n_count: rng.gen_range(1..4),
+            seed_base: rng.gen_range(0..1_000_000),
+            seed_count: rng.gen_range(1..4),
+            methods: METHODS[method_lo..=method_hi].to_vec(),
+            // Multiples of 0.25: exactly representable, and ×10/×100
+            // stay exact so exponent re-spellings parse to the same f64.
+            a_start: f64::from(rng.gen_range(1u32..12)) * 0.25,
+            a_step: f64::from(rng.gen_range(1u32..8)) * 0.25,
+            a_count: rng.gen_range(1..4),
+            exact: rng.gen_bool(0.5),
+            model: if rng.gen_bool(0.5) {
+                ModelKind::SumDistances
+            } else {
+                ModelKind::MaxDistance
+            },
+            budget_ms: if rng.gen_bool(0.25) {
+                Some(rng.gen_range(1..100_000))
+            } else {
+                None
+            },
+        }
+    }
+
+    fn ns(&self) -> Vec<u64> {
+        (0..self.n_count)
+            .map(|i| self.n_start + i * self.n_step)
+            .collect()
+    }
+
+    fn alphas(&self) -> Vec<f64> {
+        (0..self.a_count)
+            .map(|i| self.a_start + f64::from(i) * self.a_step)
+            .collect()
+    }
+
+    fn job_fields(&self) -> Vec<String> {
+        let mut fields = vec!["\"kind\": \"certify\"".to_string()];
+        if self.exact {
+            fields.push("\"exact\": true".into());
+        }
+        if self.model == ModelKind::MaxDistance {
+            fields.push("\"model\": \"maxdist\"".into());
+        }
+        if let Some(ms) = self.budget_ms {
+            fields.push(format!("\"budget_ms\": {ms}"));
+        }
+        fields
+    }
+
+    /// Plain spelling: explicit lists, defaults elided where possible,
+    /// keys in the documented order, floats in shortest form.
+    fn text_plain(&self) -> String {
+        let ns: Vec<String> = self.ns().iter().map(|n| n.to_string()).collect();
+        let seeds: Vec<String> = seed_stream(self.seed_base, self.seed_count as usize)
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let methods: Vec<String> = self.methods.iter().map(|m| format!("\"{m}\"")).collect();
+        let alphas: Vec<String> = self.alphas().iter().map(|&a| fmt_num(a)).collect();
+        format!(
+            r#"{{"sweep": "{}", "claim": "{}", "version": 1,
+                "instances": {{"generator": "{}", "n": [{}], "seeds": [{}]}},
+                "network": {{"method": [{}]}},
+                "alphas": [{}],
+                "job": {{{}}}}}"#,
+            self.id,
+            self.claim,
+            self.generator,
+            ns.join(", "),
+            seeds.join(", "),
+            methods.join(", "),
+            alphas.join(", "),
+            self.job_fields().join(", "),
+        )
+    }
+
+    /// Adversarial spelling of the *same* sweep: ranges and seed
+    /// streams instead of lists, shuffled key order at every level,
+    /// exponent float spellings, defaults written out explicitly, and
+    /// a single-method sweep spelled as a bare string.
+    fn text_variant(&self, rng: &mut StdRng) -> String {
+        let n = format!(
+            r#"{{"start": {}, "stop": {}, "step": {}}}"#,
+            self.n_start,
+            self.n_start + (self.n_count - 1) * self.n_step,
+            self.n_step
+        );
+        let seeds = format!(
+            r#"{{"base": {}, "count": {}}}"#,
+            self.seed_base, self.seed_count
+        );
+        // `start + i·step` exceeds the stop by at most 1e-9 tolerance;
+        // print the exact stop so the range expands to the same list.
+        let a_stop = self.a_start + f64::from(self.a_count - 1) * self.a_step;
+        let alphas = format!(
+            r#"{{"start": {}, "stop": {}, "step": {}}}"#,
+            respell(self.a_start, rng),
+            respell(a_stop, rng),
+            respell(self.a_step, rng),
+        );
+        let method = if self.methods.len() == 1 {
+            format!("\"{}\"", self.methods[0])
+        } else {
+            let ms: Vec<String> = self.methods.iter().map(|m| format!("\"{m}\"")).collect();
+            format!("[{}]", ms.join(","))
+        };
+        let instances = shuffled_object(
+            rng,
+            vec![
+                ("generator", format!("\"{}\"", self.generator)),
+                ("n", n),
+                ("seeds", seeds),
+            ],
+        );
+        let job = shuffled_object(
+            rng,
+            vec![
+                ("kind", "\"certify\"".into()),
+                ("exact", self.exact.to_string()),
+                ("model", format!("\"{}\"", self.model.as_str())),
+                (
+                    "budget_ms",
+                    match self.budget_ms {
+                        Some(ms) => ms.to_string(),
+                        None => "null".into(),
+                    },
+                ),
+            ],
+        );
+        shuffled_object(
+            rng,
+            vec![
+                ("sweep", format!("\"{}\"", self.id)),
+                ("claim", format!("\"{}\"", self.claim)),
+                ("version", "1".into()),
+                ("instances", instances),
+                ("network", format!("{{\"method\": {method}}}")),
+                ("alphas", alphas),
+                ("job", job),
+            ],
+        )
+    }
+}
+
+/// Re-spell a multiple-of-0.25 float with a random (exactly-parsing)
+/// exponent form.
+fn respell(x: f64, rng: &mut StdRng) -> String {
+    match rng.gen_range(0..3) {
+        0 => fmt_num(x),
+        1 => format!("{}e0", fmt_num(x)),
+        // ×10 keeps quarter-multiples exact (k·0.25·10 = k·2.5).
+        _ => format!("{}e-1", fmt_num(x * 10.0)),
+    }
+}
+
+/// Print an object with its keys in random order.
+fn shuffled_object(rng: &mut StdRng, mut fields: Vec<(&str, String)>) -> String {
+    for i in (1..fields.len()).rev() {
+        fields.swap(i, rng.gen_range(0..i + 1));
+    }
+    let parts: Vec<String> = fields
+        .into_iter()
+        .map(|(k, v)| format!("\"{k}\": {v}"))
+        .collect();
+    format!("{{{}}}", parts.join(", "))
+}
+
+#[test]
+fn canonicalization_is_a_fixpoint_over_random_specs() {
+    for case_seed in 0..cases() {
+        let mut rng = StdRng::seed_from_u64(0xF1F0 ^ case_seed);
+        let case = Case::random(&mut rng);
+        let spec = SweepSpec::parse(&case.text_plain())
+            .unwrap_or_else(|e| panic!("case {case_seed}: plain spelling rejected: {e}"));
+        let canonical = spec.canonical_string();
+        let reparsed = SweepSpec::parse(&canonical)
+            .unwrap_or_else(|e| panic!("case {case_seed}: canonical form rejected: {e}"));
+        assert_eq!(reparsed, spec, "case {case_seed}: canonical form drifted");
+        assert_eq!(
+            reparsed.canonical_string(),
+            canonical,
+            "case {case_seed}: canonicalization not idempotent"
+        );
+    }
+}
+
+#[test]
+fn syntactic_variants_hash_identically() {
+    for case_seed in 0..cases() {
+        let mut rng = StdRng::seed_from_u64(0x5EED ^ case_seed);
+        let case = Case::random(&mut rng);
+        let plain = SweepSpec::parse(&case.text_plain())
+            .unwrap_or_else(|e| panic!("case {case_seed}: plain spelling rejected: {e}"));
+        let variant_text = case.text_variant(&mut rng);
+        let variant = SweepSpec::parse(&variant_text).unwrap_or_else(|e| {
+            panic!("case {case_seed}: variant spelling rejected: {e}\n{variant_text}")
+        });
+        assert_eq!(
+            variant, plain,
+            "case {case_seed}: spellings parsed to different sweeps\n{variant_text}"
+        );
+        assert_eq!(
+            variant.content_key(),
+            plain.content_key(),
+            "case {case_seed}: same sweep, different content key\n{variant_text}"
+        );
+    }
+}
+
+#[test]
+fn every_semantic_change_changes_the_spec_key() {
+    for case_seed in 0..cases() {
+        let mut rng = StdRng::seed_from_u64(0xBEEF ^ case_seed);
+        let case = Case::random(&mut rng);
+        let base = SweepSpec::parse(&case.text_plain()).unwrap();
+        let mutations: Vec<(&str, SweepSpec)> = vec![
+            ("alpha", {
+                let mut s = base.clone();
+                s.alphas[0] += 0.25;
+                s
+            }),
+            ("model", {
+                let mut s = base.clone();
+                s.model = match s.model {
+                    ModelKind::SumDistances => ModelKind::MaxDistance,
+                    ModelKind::MaxDistance => ModelKind::SumDistances,
+                };
+                s
+            }),
+            ("exact", {
+                let mut s = base.clone();
+                s.exact = !s.exact;
+                s
+            }),
+            ("seed", {
+                let mut s = base.clone();
+                s.seeds[0] += 1;
+                s
+            }),
+            ("n", {
+                let mut s = base.clone();
+                s.ns[0] += 1;
+                s
+            }),
+            ("method", {
+                let mut s = base.clone();
+                let replacement = if s.methods[0] == "mst" { "star" } else { "mst" };
+                s.methods[0] = replacement.into();
+                s
+            }),
+            ("generator", {
+                let mut s = base.clone();
+                s.generator = if s.generator == "grid" {
+                    "chain"
+                } else {
+                    "grid"
+                }
+                .into();
+                s
+            }),
+            ("budget", {
+                let mut s = base.clone();
+                s.budget_ms = match s.budget_ms {
+                    Some(_) => None,
+                    None => Some(5_000),
+                };
+                s
+            }),
+        ];
+        let base_key = base.content_key();
+        let mut keys = HashSet::new();
+        keys.insert(base_key.clone());
+        for (what, mutant) in mutations {
+            let key = mutant.content_key();
+            assert_ne!(
+                key, base_key,
+                "case {case_seed}: changing {what} kept the content key"
+            );
+            assert!(
+                keys.insert(key),
+                "case {case_seed}: two distinct mutations ({what} among them) collided"
+            );
+        }
+    }
+}
+
+#[test]
+fn unit_keys_discriminate_every_option() {
+    for case_seed in 0..cases() {
+        let mut rng = StdRng::seed_from_u64(0xCAFE ^ case_seed);
+        let g = GENERATORS[rng.gen_range(0..GENERATORS.len())];
+        let g2 = GENERATORS[(GENERATORS.iter().position(|&x| x == g).unwrap() + 1) % 4];
+        let m = METHODS[rng.gen_range(0..METHODS.len())];
+        let m2 = METHODS[(METHODS.iter().position(|&x| x == m).unwrap() + 1) % 5];
+        let n = rng.gen_range(2..64usize);
+        let seed = rng.gen_range(0..1u64 << 50);
+        let alpha = f64::from(rng.gen_range(1u32..64)) * 0.25;
+        let exact = rng.gen_bool(0.5);
+        let model = if rng.gen_bool(0.5) {
+            ModelKind::SumDistances
+        } else {
+            ModelKind::MaxDistance
+        };
+        let other_model = match model {
+            ModelKind::SumDistances => ModelKind::MaxDistance,
+            ModelKind::MaxDistance => ModelKind::SumDistances,
+        };
+        let budget = if rng.gen_bool(0.5) { None } else { Some(750) };
+        let other_budget = match budget {
+            Some(_) => None,
+            None => Some(750),
+        };
+
+        let base = certify_key(g, n, seed, m, alpha, exact, model, "exact", budget);
+        assert_eq!(base.len(), 64, "content keys are sha256 hex");
+        let variants = [
+            (
+                "generator",
+                certify_key(g2, n, seed, m, alpha, exact, model, "exact", budget),
+            ),
+            (
+                "n",
+                certify_key(g, n + 1, seed, m, alpha, exact, model, "exact", budget),
+            ),
+            (
+                "seed",
+                certify_key(g, n, seed + 1, m, alpha, exact, model, "exact", budget),
+            ),
+            (
+                "method",
+                certify_key(g, n, seed, m2, alpha, exact, model, "exact", budget),
+            ),
+            (
+                "alpha",
+                certify_key(g, n, seed, m, alpha + 0.25, exact, model, "exact", budget),
+            ),
+            (
+                "exact",
+                certify_key(g, n, seed, m, alpha, !exact, model, "exact", budget),
+            ),
+            (
+                "model",
+                certify_key(g, n, seed, m, alpha, exact, other_model, "exact", budget),
+            ),
+            (
+                "backend",
+                certify_key(g, n, seed, m, alpha, exact, model, "spanner", budget),
+            ),
+            (
+                "budget",
+                certify_key(g, n, seed, m, alpha, exact, model, "exact", other_budget),
+            ),
+        ];
+        let mut keys = HashSet::new();
+        keys.insert(base.clone());
+        for (what, key) in variants {
+            assert_ne!(key, base, "case {case_seed}: certify_key ignored {what}");
+            assert!(
+                keys.insert(key),
+                "case {case_seed}: certify_key collision via {what}"
+            );
+        }
+
+        let net_base = network_key(g, n, seed, m, alpha);
+        let net_variants = [
+            ("generator", network_key(g2, n, seed, m, alpha)),
+            ("n", network_key(g, n + 1, seed, m, alpha)),
+            ("seed", network_key(g, n, seed + 1, m, alpha)),
+            ("method", network_key(g, n, seed, m2, alpha)),
+            ("alpha", network_key(g, n, seed, m, alpha + 0.25)),
+        ];
+        let mut net_keys = HashSet::new();
+        net_keys.insert(net_base.clone());
+        assert_ne!(
+            net_base, base,
+            "network and certify keys share an address space"
+        );
+        for (what, key) in net_variants {
+            assert_ne!(
+                key, net_base,
+                "case {case_seed}: network_key ignored {what}"
+            );
+            assert!(
+                net_keys.insert(key),
+                "case {case_seed}: network_key collision via {what}"
+            );
+        }
+    }
+}

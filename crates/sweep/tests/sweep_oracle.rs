@@ -1,0 +1,162 @@
+//! The replay oracle (ISSUE 9 acceptance): every committed
+//! `specs/*.sweep.json` must reproduce its committed `results/<id>.json`
+//! **byte-for-byte** in all three execution regimes —
+//!
+//! * **direct**: no cache, engine inline on this thread;
+//! * **cold**: a fresh content-addressed cache, units submitted through
+//!   a [`Session`] (the `gncg sweep run` path);
+//! * **warm**: the same cache again, engine inline (every unit a hit).
+//!
+//! The comparison is against the bytes in git, so any drift — in a
+//! generator, a solver kernel, the canonical JSON printer, the report
+//! shape, or the cache — fails this suite before it can silently
+//! rewrite the repository's reproduction artifacts.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use gncg_json::ToJson;
+use gncg_parallel::Budget;
+use gncg_service::cache::ResultCache;
+use gncg_service::Session;
+use gncg_sweep::engine::run_spec;
+use gncg_sweep::spec::SweepSpec;
+
+fn repo_root() -> PathBuf {
+    // crates/sweep -> workspace root two levels up
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn committed_specs() -> Vec<(PathBuf, SweepSpec)> {
+    let dir = repo_root().join("specs");
+    let mut specs: Vec<(PathBuf, SweepSpec)> = fs::read_dir(&dir)
+        .expect("specs/ directory exists")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.to_string_lossy().ends_with(".sweep.json"))
+        .map(|p| {
+            let text = fs::read_to_string(&p).expect("spec readable");
+            let spec = SweepSpec::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", p.display()));
+            (p, spec)
+        })
+        .collect();
+    specs.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(
+        !specs.is_empty(),
+        "no committed specs found in {}",
+        dir.display()
+    );
+    specs
+}
+
+fn scratch(tag: &str, id: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "gncg_sweep_oracle_{tag}_{id}_{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+/// What `Report::save` writes with tracing off (the committed-results
+/// regime): the pretty print of the report JSON.
+fn report_bytes(report: &gncg_sweep::Report) -> String {
+    gncg_json::to_string_pretty(&report.to_json())
+}
+
+#[test]
+fn committed_specs_are_named_after_their_sweep_ids() {
+    for (path, spec) in committed_specs() {
+        let expected = format!("{}.sweep.json", spec.id);
+        assert_eq!(
+            path.file_name().unwrap().to_string_lossy(),
+            expected,
+            "spec file name must match its `sweep` id"
+        );
+    }
+}
+
+#[test]
+fn every_committed_spec_replays_its_results_byte_for_byte() {
+    for (path, spec) in committed_specs() {
+        let committed_path = repo_root()
+            .join("results")
+            .join(format!("{}.json", spec.id));
+        let committed = fs::read_to_string(&committed_path).unwrap_or_else(|e| {
+            panic!(
+                "{}: committed results missing ({e}); run `gncg sweep run --spec {}`",
+                committed_path.display(),
+                path.display()
+            )
+        });
+
+        // -- direct: no cache, inline --------------------------------
+        let direct = run_spec(
+            &spec,
+            None,
+            None,
+            &Budget::unlimited(),
+            Some(scratch("direct", &spec.id).join("ckpt.json")),
+        );
+        assert!(!direct.interrupted);
+        assert_eq!(
+            report_bytes(&direct.report),
+            committed,
+            "{}: direct run diverged from committed results",
+            path.display()
+        );
+
+        // -- cold: fresh cache, units through a Session --------------
+        let cache_dir = scratch("cache", &spec.id);
+        let cache = Arc::new(ResultCache::at(&cache_dir).unwrap());
+        let session = Session::new();
+        let cold = run_spec(
+            &spec,
+            Some(Arc::clone(&cache)),
+            Some(&session),
+            &Budget::unlimited(),
+            Some(scratch("cold", &spec.id).join("ckpt.json")),
+        );
+        assert!(!cold.interrupted);
+        assert_eq!(
+            report_bytes(&cold.report),
+            committed,
+            "{}: cold-cache run diverged from committed results",
+            path.display()
+        );
+        let entries_after_cold = cache.entry_count().unwrap();
+        assert!(
+            entries_after_cold > 0,
+            "{}: cold run cached nothing",
+            path.display()
+        );
+
+        // -- warm: same cache, inline (every unit a hit) -------------
+        let warm = run_spec(
+            &spec,
+            Some(Arc::clone(&cache)),
+            None,
+            &Budget::unlimited(),
+            Some(scratch("warm", &spec.id).join("ckpt.json")),
+        );
+        assert!(!warm.interrupted);
+        assert_eq!(
+            report_bytes(&warm.report),
+            committed,
+            "{}: warm-cache run diverged from committed results",
+            path.display()
+        );
+        assert_eq!(
+            cache.entry_count().unwrap(),
+            entries_after_cold,
+            "{}: warm run missed entries it should have hit",
+            path.display()
+        );
+        let _ = fs::remove_dir_all(&cache_dir);
+    }
+}

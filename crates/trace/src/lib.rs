@@ -138,10 +138,19 @@ pub enum Counter {
     /// agent's current cost (see `gncg-game`'s `approx` module docs).
     /// Deterministic for the same reason as [`Counter::CandidatesGenerated`].
     CandidatesSkipped,
+    /// Content-addressed result-cache lookups that found a valid entry.
+    /// NOT deterministic: hit counts depend on what earlier runs left in
+    /// `GNCG_CACHE_DIR`, so this stays out of
+    /// [`DETERMINISTIC_COUNTERS`].
+    CacheHits,
+    /// Content-addressed result-cache lookups that missed (no entry, or
+    /// a corrupt entry that was quarantined). Nondeterministic for the
+    /// same reason as [`Counter::CacheHits`].
+    CacheMisses,
 }
 
 /// Number of counters in [`Counter`].
-pub const NUM_COUNTERS: usize = 21;
+pub const NUM_COUNTERS: usize = 23;
 
 /// JSON field names, indexed by `Counter as usize`.
 pub const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
@@ -166,6 +175,8 @@ pub const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "serve_retries",
     "candidates_generated",
     "candidates_skipped",
+    "cache_hits",
+    "cache_misses",
 ];
 
 /// The thread-count- and schedule-invariant subset of [`COUNTER_NAMES`];

@@ -13,6 +13,10 @@ use euclidean_network_design::game::{
 use euclidean_network_design::geometry::generators;
 use euclidean_network_design::host::{corollaries, poa, HostNetwork};
 use euclidean_network_design::prelude::*;
+// Certification routes through the service layer (shared Session) so the
+// headline claims are checked through the same envelope users reach; the
+// facade-quickstart test below keeps the direct call it documents.
+use gncg_bench::testsupport::certify_via_service;
 
 /// Theorem 2.1: the triangle-cluster optimum admits an improving move of
 /// factor at least √α/3.
@@ -40,7 +44,7 @@ fn theorem_3_5_complete_network() {
     let ps = generators::uniform_unit_square(20, 1);
     let alpha = 3.0;
     let net = complete_network(20);
-    let r = certify(&ps, &net, alpha, CertifyOptions::bounds_only());
+    let r = certify_via_service(&ps, &net, alpha, CertifyOptions::bounds_only());
     assert!(r.beta_upper <= alpha + 1.0 + 1e-9);
     assert!(r.gamma_upper <= alpha / 2.0 + 1.0 + 1e-9);
 }
@@ -54,7 +58,7 @@ fn theorem_3_7_algorithm_one_pipeline() {
     let alpha = 2.0;
     let ps = generators::uniform_unit_square(n, 5);
     let res = algo::run_algorithm1(&ps, alpha, corollary_3_8_params(alpha, n));
-    let r = certify(&ps, &res.network, alpha, CertifyOptions::bounds_only());
+    let r = certify_via_service(&ps, &res.network, alpha, CertifyOptions::bounds_only());
     assert!(r.connected);
     if let Some(bound) = res.beta_bound {
         assert!(r.beta_upper <= bound + 1e-6);
@@ -70,7 +74,7 @@ fn theorem_3_9_and_corollary_3_10() {
     let ps = generators::uniform_unit_square(n, 8);
     for alpha in [1.0, 1e5] {
         let mst = mst_network(&ps);
-        let r = certify(&ps, &mst, alpha, CertifyOptions::bounds_only());
+        let r = certify_via_service(&ps, &mst, alpha, CertifyOptions::bounds_only());
         assert!(r.beta_upper <= (n - 1) as f64 + 1e-6);
         assert!(r.gamma_upper <= (n - 1) as f64 + 1e-6);
         let comb = algo::combined::combined_network(&ps, alpha);
@@ -147,7 +151,7 @@ fn corollary_5_1_host() {
     let w = h.as_weights();
     let alpha = 1.5;
     let net = corollaries::shortest_path_subnetwork(&h);
-    let r = certify(&w, &net, alpha, CertifyOptions::bounds_only());
+    let r = certify_via_service(&w, &net, alpha, CertifyOptions::bounds_only());
     assert!(r.beta_upper <= alpha + 1.0 + 1e-6);
     assert!(r.gamma_upper <= alpha / 2.0 + 1.0 + 1e-6);
 }

@@ -8,44 +8,20 @@
 
 use euclidean_network_design::game::{
     best_response,
-    certify::{certify, optimum_lower_bound, CertifyOptions},
+    certify::{optimum_lower_bound, CertifyOptions},
     cost, exact, moves, OwnedNetwork, SolveOptions,
 };
-use euclidean_network_design::geometry::{Point, PointSet};
 use euclidean_network_design::graph::{apsp, mst, stretch};
 use euclidean_network_design::spanner::{self, SpannerKind};
+// Shared instance builders + the service-layer certify entry point live
+// in gncg-bench's test-support module so every top-level suite draws
+// from the same distributions (and the same job envelope).
+use gncg_bench::testsupport::{certify_via_service, random_point_set, random_profile};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Number of random cases per property.
 const CASES: usize = 24;
-
-/// A random planar point set with `2..=max_n` points in `[0, 100)²`.
-fn random_point_set(rng: &mut StdRng, max_n: usize) -> PointSet {
-    let n = rng.gen_range(2..max_n.max(3));
-    PointSet::new(
-        (0..n)
-            .map(|_| Point::d2(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
-            .collect(),
-    )
-}
-
-/// A random connected profile: each oriented edge bought with probability
-/// 1/4, plus a connecting chain.
-fn random_profile(rng: &mut StdRng, n: usize) -> OwnedNetwork {
-    let mut net = OwnedNetwork::empty(n);
-    for u in 0..n {
-        for v in 0..n {
-            if u != v && rng.gen_bool(0.25) {
-                net.buy(u, v);
-            }
-        }
-    }
-    for u in 0..n - 1 {
-        net.buy(u, u + 1);
-    }
-    net
-}
 
 /// The greedy spanner respects its stretch target on arbitrary planar
 /// inputs.
@@ -146,7 +122,7 @@ fn beta_bound_sound() {
         let ps = random_point_set(&mut rng, 7);
         let net = random_profile(&mut rng, ps.len());
         let alpha = rng.gen_range(0.2..4.0);
-        let r = certify(&ps, &net, alpha, CertifyOptions::bounds_only());
+        let r = certify_via_service(&ps, &net, alpha, CertifyOptions::bounds_only());
         let be = exact::exact_beta(&ps, &net, alpha, &SolveOptions::default()).expect_exact("beta");
         assert!(
             be <= r.beta_upper + 1e-9,

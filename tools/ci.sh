@@ -57,6 +57,16 @@ if grep -rn --include='*.rs' -F '"GNCG_EVAL_BACKEND"' src crates tests examples 
     exit 1
 fi
 
+# cache discipline: GNCG_CACHE_DIR / GNCG_CACHE are parsed solely by
+# gncg-config (env::cache_dir / env::cache_on); tests and embedders
+# steer the cache programmatically through
+# gncg_service::cache::set_process_cache_dir, never by re-reading env
+if grep -rn --include='*.rs' -F '"GNCG_CACHE' src crates tests examples \
+    | grep -v '^crates/config/src/'; then
+    echo 'GNCG_CACHE* literals outside crates/config/src (use gncg_config / set_process_cache_dir)' >&2
+    exit 1
+fi
+
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace
