@@ -187,7 +187,8 @@ fn bound_if_meaningful(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gncg_game::certify::{certify, CertifyOptions};
+    use gncg_game::certify::certify;
+    use gncg_game::SolverConfig;
     use gncg_geometry::generators;
 
     fn greedy(t: f64) -> SpannerKind {
@@ -243,7 +244,7 @@ mod tests {
         };
         let alpha = 2.0;
         let r = run_algorithm1(&ps, alpha, params);
-        let report = certify(&ps, &r.network, alpha, CertifyOptions::bounds_only());
+        let report = certify(&ps, &r.network, alpha, &SolverConfig::bounds_only());
         if let Some(bound) = r.beta_bound {
             assert!(
                 report.beta_upper <= bound + 1e-6,
@@ -261,7 +262,7 @@ mod tests {
         let ps = generators::uniform_unit_square(10, 21);
         let alpha = 1.0;
         let r = run_algorithm1(&ps, alpha, AlgorithmOneParams::sparse(greedy(2.0)));
-        let report = certify(&ps, &r.network, alpha, CertifyOptions::exact());
+        let report = certify(&ps, &r.network, alpha, &SolverConfig::exact());
         let be = report.beta_exact.unwrap();
         assert!(be >= 1.0 - 1e-9);
         assert!(be <= report.beta_upper + 1e-9);

@@ -4,8 +4,9 @@
 use crate::algorithm1::{run_algorithm1, AlgorithmOneResult};
 use crate::mst_network::mst_network;
 use crate::params::corollary_3_8_params;
-use gncg_game::certify::{certify, CertifyOptions};
+use gncg_game::certify::certify;
 use gncg_game::OwnedNetwork;
+use gncg_game::SolverConfig;
 use gncg_geometry::PointSet;
 
 /// Which construction the combined algorithm selected.
@@ -46,8 +47,8 @@ pub fn combined_network(ps: &PointSet, alpha: f64) -> CombinedResult {
     let alg1 = run_algorithm1(ps, alpha, params);
     let mst = mst_network(ps);
 
-    let r1 = certify(ps, &alg1.network, alpha, CertifyOptions::bounds_only());
-    let r2 = certify(ps, &mst, alpha, CertifyOptions::bounds_only());
+    let r1 = certify(ps, &alg1.network, alpha, &SolverConfig::bounds_only());
+    let r2 = certify(ps, &mst, alpha, &SolverConfig::bounds_only());
 
     if r1.beta_upper <= r2.beta_upper {
         CombinedResult {

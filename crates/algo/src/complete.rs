@@ -26,7 +26,8 @@ pub fn theorem_3_5_gamma(alpha: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gncg_game::certify::{certify, CertifyOptions};
+    use gncg_game::certify::certify;
+    use gncg_game::SolverConfig;
     use gncg_geometry::generators;
 
     #[test]
@@ -35,7 +36,7 @@ mod tests {
             let ps = generators::uniform_unit_square(14, seed + 7);
             for alpha in [0.25, 1.0, 3.0, 10.0] {
                 let net = complete_network(14);
-                let r = certify(&ps, &net, alpha, CertifyOptions::bounds_only());
+                let r = certify(&ps, &net, alpha, &SolverConfig::bounds_only());
                 assert!(r.beta_upper <= theorem_3_5_beta(alpha) + 1e-9);
                 assert!(r.gamma_upper <= theorem_3_5_gamma(alpha) + 1e-9);
             }
@@ -47,7 +48,7 @@ mod tests {
         let ps = generators::uniform_unit_square(6, 42);
         let alpha = 2.0;
         let net = complete_network(6);
-        let r = certify(&ps, &net, alpha, CertifyOptions::exact());
+        let r = certify(&ps, &net, alpha, &SolverConfig::exact());
         assert!(r.beta_exact.unwrap() <= theorem_3_5_beta(alpha) + 1e-9);
         assert!(r.gamma_exact.unwrap() <= theorem_3_5_gamma(alpha) + 1e-9);
     }
@@ -58,16 +59,11 @@ mod tests {
         // roughly linearly — the shape behind Theorem 3.5's (α+1)
         let ps = generators::uniform_unit_square(7, 12);
         let net = complete_network(7);
-        let beta_only = CertifyOptions {
-            exact_beta: true,
-            exact_gamma: false,
-            witness: false,
-            ..CertifyOptions::default()
-        };
-        let b_small = certify(&ps, &net, 0.5, beta_only.clone())
-            .beta_exact
-            .unwrap();
-        let b_large = certify(&ps, &net, 8.0, beta_only).beta_exact.unwrap();
+        let beta_only = SolverConfig::default()
+            .with_exact_beta(true)
+            .with_witness(false);
+        let b_small = certify(&ps, &net, 0.5, &beta_only).beta_exact.unwrap();
+        let b_large = certify(&ps, &net, 8.0, &beta_only).beta_exact.unwrap();
         assert!(b_large > b_small);
     }
 
@@ -76,7 +72,7 @@ mod tests {
         let ps = generators::triangle_clusters(2, 0.0);
         let net = complete_network(6);
         let alpha = 1.0;
-        let r = certify(&ps, &net, alpha, CertifyOptions::default());
+        let r = certify(&ps, &net, alpha, &SolverConfig::default());
         // all distances realized directly: gamma bound still within α/2+1
         assert!(r.gamma_upper <= theorem_3_5_gamma(alpha) + 1e-9);
     }

@@ -28,8 +28,8 @@ pub fn theorem_3_13_bound(dim: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gncg_game::certify::{certify, CertifyOptions};
-    use gncg_game::{exact, SolveOptions};
+    use gncg_game::certify::certify;
+    use gncg_game::{exact, SolverConfig};
     use gncg_geometry::generators;
 
     #[test]
@@ -62,7 +62,7 @@ mod tests {
         let ps = generators::integer_grid(&[3, 3]);
         let net = grid_network(&ps);
         for alpha in [0.5, 2.0, 20.0] {
-            let r = certify(&ps, &net, alpha, CertifyOptions::bounds_only());
+            let r = certify(&ps, &net, alpha, &SolverConfig::bounds_only());
             assert!(
                 r.beta_upper <= theorem_3_13_bound(2) + 1e-9,
                 "alpha {alpha}: beta {}",
@@ -82,7 +82,7 @@ mod tests {
         let net = grid_network(&ps);
         for alpha in [0.5, 1.0, 4.0] {
             let beta =
-                exact::exact_beta(&ps, &net, alpha, &SolveOptions::default()).expect_exact("beta");
+                exact::exact_beta(&ps, &net, alpha, &SolverConfig::default()).expect_exact("beta");
             assert!(
                 beta <= theorem_3_13_bound(2) + 1e-9,
                 "alpha {alpha}: exact beta {beta}"
@@ -94,7 +94,7 @@ mod tests {
     fn one_dimensional_grid_is_2_network() {
         let ps = generators::integer_grid(&[5]);
         let net = grid_network(&ps);
-        let beta = exact::exact_beta(&ps, &net, 1.0, &SolveOptions::default()).expect_exact("beta");
+        let beta = exact::exact_beta(&ps, &net, 1.0, &SolverConfig::default()).expect_exact("beta");
         assert!(beta <= theorem_3_13_bound(1) + 1e-9);
     }
 }

@@ -39,7 +39,8 @@ pub fn theorem_3_9_bound(n: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gncg_game::certify::{certify, CertifyOptions};
+    use gncg_game::certify::certify;
+    use gncg_game::SolverConfig;
     use gncg_geometry::generators;
 
     #[test]
@@ -68,7 +69,7 @@ mod tests {
             let ps = generators::uniform_unit_square(15, seed);
             let net = mst_network(&ps);
             for alpha in [0.5, 2.0, 10.0] {
-                let r = certify(&ps, &net, alpha, CertifyOptions::bounds_only());
+                let r = certify(&ps, &net, alpha, &SolverConfig::bounds_only());
                 let bound = theorem_3_9_bound(15);
                 assert!(
                     r.beta_upper <= bound + 1e-6,
@@ -88,7 +89,7 @@ mod tests {
     fn exact_beta_small_instance_within_bound() {
         let ps = generators::uniform_unit_square(7, 3);
         let net = mst_network(&ps);
-        let r = certify(&ps, &net, 1.0, CertifyOptions::exact());
+        let r = certify(&ps, &net, 1.0, &SolverConfig::exact());
         assert!(r.beta_exact.unwrap() <= theorem_3_9_bound(7) + 1e-9);
         assert!(r.gamma_exact.unwrap() <= theorem_3_9_bound(7) + 1e-9);
     }

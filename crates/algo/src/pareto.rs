@@ -17,7 +17,8 @@ use crate::complete::complete_network;
 use crate::mst_network::mst_network;
 use crate::params::corollary_3_8_params;
 use crate::star::{best_star_center, center_star};
-use gncg_game::certify::{certify, CertifyOptions};
+use gncg_game::certify::certify;
+use gncg_game::SolverConfig;
 use gncg_game::{dynamics, OwnedNetwork};
 use gncg_geometry::PointSet;
 use gncg_spanner::SpannerKind;
@@ -44,7 +45,7 @@ pub fn sample_designs(ps: &PointSet, alpha: f64, dynamics_steps: usize) -> Vec<P
     let n = ps.len();
     let mut out: Vec<ParetoPoint> = Vec::new();
     let mut add = |label: String, net: OwnedNetwork| {
-        let r = certify(ps, &net, alpha, CertifyOptions::bounds_only());
+        let r = certify(ps, &net, alpha, &SolverConfig::bounds_only());
         if r.connected {
             out.push(ParetoPoint {
                 beta: r.beta_upper,

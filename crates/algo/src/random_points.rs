@@ -62,7 +62,8 @@ pub fn quarter_square_counts(ps: &PointSet) -> [usize; 4] {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gncg_game::certify::{certify, CertifyOptions};
+    use gncg_game::certify::certify;
+    use gncg_game::SolverConfig;
     use gncg_geometry::generators;
 
     #[test]
@@ -102,7 +103,7 @@ mod tests {
         let alpha = 0.5;
         let eps = 1.0;
         let result = build_one_plus_eps(&ps, alpha, eps, 8);
-        let r = certify(&ps, &result.network, alpha, CertifyOptions::bounds_only());
+        let r = certify(&ps, &result.network, alpha, &SolverConfig::bounds_only());
         assert!(r.connected);
         // the certified beta_upper is loose (universal lower bound), so
         // just check we're in the right ballpark and far below alpha+1

@@ -2,11 +2,7 @@
 //! social optimum, certification.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gncg_game::{
-    best_response,
-    certify::{certify, CertifyOptions},
-    cost, exact, OwnedNetwork, SolveOptions,
-};
+use gncg_game::{best_response, certify::certify, cost, exact, OwnedNetwork, SolverConfig};
 use gncg_geometry::generators;
 
 fn bench_social_cost(c: &mut Criterion) {
@@ -35,7 +31,7 @@ fn bench_exact_best_response(c: &mut Criterion) {
             &(ps, net),
             |b, (ps, net)| {
                 b.iter(|| {
-                    best_response::exact_best_response(ps, net, 1.0, 1, &SolveOptions::default())
+                    best_response::exact_best_response(ps, net, 1.0, 1, &SolverConfig::default())
                 })
             },
         );
@@ -50,7 +46,7 @@ fn bench_exact_optimum(c: &mut Criterion) {
         let ps = generators::uniform_unit_square(n, 33);
         group.bench_with_input(BenchmarkId::from_parameter(n), &ps, |b, ps| {
             b.iter(|| {
-                exact::exact_social_optimum(ps, 1.0, &SolveOptions::default())
+                exact::exact_social_optimum(ps, 1.0, &SolverConfig::default())
                     .expect_exact("optimum")
                     .social_cost
             })
@@ -68,7 +64,7 @@ fn bench_certification(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(n),
             &(ps, net),
-            |b, (ps, net)| b.iter(|| certify(ps, net, 1.0, CertifyOptions::bounds_only())),
+            |b, (ps, net)| b.iter(|| certify(ps, net, 1.0, &SolverConfig::bounds_only())),
         );
     }
     group.finish();

@@ -33,8 +33,7 @@
 
 use gncg_algo as algo;
 use gncg_config::GncgConfig;
-use gncg_game::certify::CertifyOptions;
-use gncg_game::{dynamics, GameSpec, OwnedNetwork};
+use gncg_game::{dynamics, GameSpec, OwnedNetwork, SolverConfig};
 use gncg_geometry::{generators, PointSet};
 use gncg_parallel::Budget;
 use gncg_serve::{ClientError, JobSpec, ServeClient, Server};
@@ -225,9 +224,9 @@ fn run_certify(opts: &HashMap<String, String>) {
     // binaries honor the env model choice; library defaults stay sum
     let model = GncgConfig::from_env().model;
     let options = if opts.contains_key("exact") {
-        CertifyOptions::exact()
+        SolverConfig::exact()
     } else {
-        CertifyOptions::default()
+        SolverConfig::default()
     }
     .with_model(model);
     // the CLI is a thin client of the job service: the session default
@@ -266,7 +265,7 @@ fn run_dynamics(opts: &HashMap<String, String>) {
             alpha,
             rule,
             steps,
-            GameSpec::with_model(GncgConfig::from_env().model),
+            SolverConfig::default().with_model(GncgConfig::from_env().model),
             JobOptions::default(),
         )
         .unwrap_or_else(|e| {

@@ -33,8 +33,8 @@
 
 use gncg_bench::Report;
 use gncg_game::approx::{run_approx, ApproxDynamicsOptions};
-use gncg_game::certify::{certify, CertifyOptions};
-use gncg_game::{best_response, dynamics, EvalBackend, ModelKind, OwnedNetwork, SolveOptions};
+use gncg_game::certify::certify;
+use gncg_game::{best_response, dynamics, EvalBackend, ModelKind, OwnedNetwork, SolverConfig};
 use gncg_geometry::{generators, PointSet};
 use gncg_service::{JobOptions, Session};
 use gncg_spanner::{GridIndex, SpannerKind};
@@ -224,7 +224,7 @@ fn legacy_tier() {
     let ps = generators::uniform_unit_square(18, 3);
     let net = OwnedNetwork::center_star(18, 0);
     let t0 = Instant::now();
-    let br = best_response::exact_best_response(&ps, &net, 1.0, 1, &SolveOptions::default())
+    let br = best_response::exact_best_response(&ps, &net, 1.0, 1, &SolverConfig::default())
         .expect_exact("best response");
     std::hint::black_box(br.cost);
     let br_s = t0.elapsed().as_secs_f64();
@@ -239,7 +239,7 @@ fn legacy_tier() {
     let ps = generators::uniform_unit_square(96, 2);
     let net = OwnedNetwork::center_star(96, 0);
     let t0 = Instant::now();
-    let r = certify(&ps, &net, 2.0, CertifyOptions::default());
+    let r = certify(&ps, &net, 2.0, &SolverConfig::default());
     std::hint::black_box(r.beta_upper);
     let cert_s = t0.elapsed().as_secs_f64();
     report.push_unreferenced(

@@ -9,7 +9,8 @@
 
 use gncg_algo::{params::corollary_3_8_params, run_algorithm1, AlgorithmOneParams};
 use gncg_bench::service::run_repro;
-use gncg_game::certify::{certify, CertifyOptions};
+use gncg_game::certify::certify;
+use gncg_game::SolverConfig;
 use gncg_geometry::generators;
 use gncg_spanner::SpannerKind;
 
@@ -35,7 +36,7 @@ fn main() {
                         ..corollary_3_8_params(alpha, n)
                     };
                     let res = run_algorithm1(&ps, alpha, params);
-                    let r = certify(&ps, &res.network, alpha, CertifyOptions::bounds_only());
+                    let r = certify(&ps, &res.network, alpha, &SolverConfig::bounds_only());
                     rep.push(
                         format!(
                             "spanner={name} k={} t={:.2}",
@@ -61,7 +62,7 @@ fn main() {
                         spanner: SpannerKind::Greedy { t: 1.5 },
                     };
                     let res = run_algorithm1(&ps, alpha, params);
-                    let r = certify(&ps, &res.network, alpha, CertifyOptions::bounds_only());
+                    let r = certify(&ps, &res.network, alpha, &SolverConfig::bounds_only());
                     // some branches carry no theoretical beta bound: the paper
                     // column is then legitimately absent, not NaN
                     rep.try_push(
@@ -83,7 +84,7 @@ fn main() {
                         ..base
                     };
                     let res = run_algorithm1(&ps, alpha, params);
-                    let r = certify(&ps, &res.network, alpha, CertifyOptions::bounds_only());
+                    let r = certify(&ps, &res.network, alpha, &SolverConfig::bounds_only());
                     rep.push(
                         format!("t={t}"),
                         r.gamma_upper,

@@ -5,7 +5,8 @@
 
 use gncg_algo::random_points::{build_one_plus_eps, lemma_3_11_bound, quarter_square_counts};
 use gncg_bench::service::run_repro;
-use gncg_game::certify::{certify, CertifyOptions};
+use gncg_game::certify::certify;
+use gncg_game::SolverConfig;
 use gncg_geometry::generators;
 
 fn main() {
@@ -48,7 +49,7 @@ fn main() {
         run.unit(rep, &format!("thm312 n={n}"), |rep| {
             let ps = generators::uniform_unit_square(n, 77_000 + n as u64);
             let res = build_one_plus_eps(&ps, alpha, eps, 8);
-            let r = certify(&ps, &res.network, alpha, CertifyOptions::bounds_only());
+            let r = certify(&ps, &res.network, alpha, &SolverConfig::bounds_only());
             rep.push(
                 format!("n={n} alpha={alpha} eps={eps} branch={:?}", res.branch),
                 1.0 + eps,
@@ -65,7 +66,7 @@ fn main() {
         let n = 200;
         let ps = generators::uniform_unit_square(n, 5150);
         let res = build_one_plus_eps(&ps, alpha, eps, 8);
-        let r = certify(&ps, &res.network, alpha, CertifyOptions::default());
+        let r = certify(&ps, &res.network, alpha, &SolverConfig::default());
         rep.push(
             format!("n={n} witness"),
             1.0 + eps,

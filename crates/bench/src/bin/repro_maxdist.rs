@@ -9,10 +9,10 @@
 //! fixed seeds, no budget- or thread-count-sensitive quantities.
 
 use gncg_bench::service::run_repro;
-use gncg_game::certify::{certify, CertifyOptions};
+use gncg_game::certify::certify;
 use gncg_game::{
     best_response, dynamics, exact, GameSpec, MaxDistance, ModelKind, OwnedNetwork, PruneMode,
-    SolveOptions,
+    SolverConfig,
 };
 use gncg_geometry::generators;
 
@@ -21,7 +21,7 @@ fn main() {
         "maxdist_smoke",
         "Max-distance cost model: closed-form and consistency checks (GNCG_MODEL=maxdist)",
         |run, rep| {
-            let opts = || SolveOptions::default().with_model(ModelKind::MaxDistance);
+            let opts = || SolverConfig::default().with_model(ModelKind::MaxDistance);
 
             run.unit(rep, "line eccentricity floor", |rep| {
                 // points at 0,1,2,3: per-agent eccentricity floor is
@@ -92,7 +92,7 @@ fn main() {
                     &ps,
                     &net,
                     1.5,
-                    CertifyOptions::exact().with_model(ModelKind::MaxDistance),
+                    &SolverConfig::exact().with_model(ModelKind::MaxDistance),
                 );
                 let beta_ok = r
                     .beta_exact
@@ -121,7 +121,7 @@ fn main() {
                     dynamics::ResponseRule::BestResponse,
                     dynamics::AgentOrder::RoundRobin,
                     400,
-                    GameSpec::bilateral(ModelKind::MaxDistance),
+                    &SolverConfig::from(GameSpec::bilateral(ModelKind::MaxDistance)),
                 );
                 let (converged, steps) = match out {
                     dynamics::Outcome::Converged { steps, .. } => (true, steps as f64),

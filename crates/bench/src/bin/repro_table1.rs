@@ -23,11 +23,7 @@ use gncg_algo::{
 };
 use gncg_bench::service::{run_sections, SweepRun};
 use gncg_bench::Report;
-use gncg_game::{
-    best_response,
-    certify::{certify, CertifyOptions},
-    cost, exact, instances, moves, SolveOptions,
-};
+use gncg_game::{best_response, certify::certify, cost, exact, instances, moves, SolverConfig};
 use gncg_geometry::generators;
 use gncg_host::{corollaries as host_cor, hitting_set, poa as host_poa, HostNetwork};
 
@@ -249,7 +245,7 @@ fn thm_3_5() -> Report {
         // exact on small instances
         let ps = generators::uniform_unit_square(7, 3);
         let net = complete_network(7);
-        let r = certify(&ps, &net, alpha, CertifyOptions::exact());
+        let r = certify(&ps, &net, alpha, &SolverConfig::exact());
         let be = r.beta_exact.unwrap();
         let ge = r.gamma_exact.unwrap();
         rep.push(
@@ -269,7 +265,7 @@ fn thm_3_5() -> Report {
         // certified bounds on a larger instance
         let ps = generators::uniform_unit_square(150, 5);
         let net = complete_network(150);
-        let r = certify(&ps, &net, alpha, CertifyOptions::bounds_only());
+        let r = certify(&ps, &net, alpha, &SolverConfig::bounds_only());
         rep.push(
             format!("n=150 alpha={alpha} beta_ub"),
             theorem_3_5_beta(alpha),
@@ -300,7 +296,7 @@ fn thm_3_7() -> Report {
         let ps = generators::uniform_unit_square(n, 42 + n as u64);
         let params = corollary_3_8_params(alpha, n);
         let res = run_algorithm1(&ps, alpha, params);
-        let r = certify(&ps, &res.network, alpha, CertifyOptions::bounds_only());
+        let r = certify(&ps, &res.network, alpha, &SolverConfig::bounds_only());
         let branch = format!("{:?}", res.branch);
         let measured = r.beta_upper.max(r.gamma_upper);
         // branches without a theoretical bound have no paper value
@@ -323,7 +319,7 @@ fn thm_3_7() -> Report {
         };
         let res = run_algorithm1(&ps, alpha, params);
         let clustered = matches!(res.branch, gncg_algo::Branch::Cluster { .. });
-        let r = certify(&ps, &res.network, alpha, CertifyOptions::bounds_only());
+        let r = certify(&ps, &res.network, alpha, &SolverConfig::bounds_only());
         let measured = r.beta_upper.max(r.gamma_upper);
         rep.try_push(
             format!("cluster seed={seed} alpha={alpha}"),
@@ -340,9 +336,9 @@ fn thm_3_7() -> Report {
         let alpha = 1.5;
         let ps = generators::uniform_unit_square(n, 77);
         let res = run_algorithm1(&ps, alpha, corollary_3_8_params(alpha, n));
-        let beta = exact::exact_beta(&ps, &res.network, alpha, &SolveOptions::default())
+        let beta = exact::exact_beta(&ps, &res.network, alpha, &SolverConfig::default())
             .expect_exact("beta");
-        let r = certify(&ps, &res.network, alpha, CertifyOptions::bounds_only());
+        let r = certify(&ps, &res.network, alpha, &SolverConfig::bounds_only());
         rep.push(
             format!("n={n} alpha={alpha} exact"),
             r.beta_upper,
@@ -364,7 +360,7 @@ fn thm_3_9() -> Report {
     for (n, alpha) in [(20usize, 1.0), (40, 100.0), (15, 1e6)] {
         let ps = generators::uniform_unit_square(n, n as u64);
         let net = mst_network(&ps);
-        let r = certify(&ps, &net, alpha, CertifyOptions::bounds_only());
+        let r = certify(&ps, &net, alpha, &SolverConfig::bounds_only());
         let bound = theorem_3_9_bound(n);
         rep.push(
             format!("n={n} alpha={alpha}"),
@@ -406,7 +402,7 @@ fn thm_3_13() -> Report {
         let ps = generators::integer_grid(&sides);
         let net = grid_network(&ps);
         for alpha in [0.5, 2.0, 10.0] {
-            let r = certify(&ps, &net, alpha, CertifyOptions::bounds_only());
+            let r = certify(&ps, &net, alpha, &SolverConfig::bounds_only());
             let bound = theorem_3_13_bound(d);
             rep.push(
                 format!("{label} alpha={alpha}"),
@@ -420,7 +416,7 @@ fn thm_3_13() -> Report {
     // exact beta on a tiny grid
     let ps = generators::integer_grid(&[3, 1]);
     let net = grid_network(&ps);
-    let beta = exact::exact_beta(&ps, &net, 1.0, &SolveOptions::default()).expect_exact("beta");
+    let beta = exact::exact_beta(&ps, &net, 1.0, &SolverConfig::default()).expect_exact("beta");
     rep.push(
         "d=2 4x2 alpha=1 exact".into(),
         theorem_3_13_bound(2),
@@ -476,7 +472,7 @@ fn sec_5() -> Report {
         let alpha = 2.0;
         // Cor 5.1
         let net = host_cor::shortest_path_subnetwork(&h);
-        let r = certify(&w, &net, alpha, CertifyOptions::bounds_only());
+        let r = certify(&w, &net, alpha, &SolverConfig::bounds_only());
         rep.push(
             format!("cor5.1 seed={seed} beta"),
             host_cor::corollary_5_1_beta(alpha),
@@ -493,7 +489,7 @@ fn sec_5() -> Report {
         );
         // Cor 5.2
         let mstn = host_cor::host_mst_network(&h);
-        let r2 = certify(&w, &mstn, alpha, CertifyOptions::bounds_only());
+        let r2 = certify(&w, &mstn, alpha, &SolverConfig::bounds_only());
         rep.push(
             format!("cor5.2 seed={seed}"),
             9.0,
@@ -511,7 +507,7 @@ fn sec_5() -> Report {
                 t: 1.5,
             },
         );
-        let r3 = certify(&w, &res.network, alpha, CertifyOptions::bounds_only());
+        let r3 = certify(&w, &res.network, alpha, &SolverConfig::bounds_only());
         rep.push(
             format!("cor5.3 seed={seed}"),
             res.t_measured,

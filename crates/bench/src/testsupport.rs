@@ -11,8 +11,8 @@
 
 use std::sync::{Arc, OnceLock};
 
-use gncg_game::certify::{CertifyOptions, CertifyReport};
-use gncg_game::{EdgeWeights, OwnedNetwork};
+use gncg_game::certify::CertifyReport;
+use gncg_game::{EdgeWeights, OwnedNetwork, SolverConfig};
 use gncg_geometry::{Norm, Point, PointSet};
 use gncg_service::{JobOptions, Session};
 use rand::rngs::StdRng;
@@ -74,7 +74,7 @@ pub fn certify_via_service<W>(
     w: &W,
     net: &OwnedNetwork,
     alpha: f64,
-    opts: CertifyOptions,
+    cfg: SolverConfig,
 ) -> CertifyReport
 where
     W: EdgeWeights + Clone + Send + Sync + 'static,
@@ -84,7 +84,7 @@ where
             Arc::new(w.clone()),
             net.clone(),
             alpha,
-            opts,
+            cfg,
             JobOptions::default(),
         )
         .expect("certify job admitted")

@@ -13,8 +13,9 @@ use std::time::Duration;
 
 use gncg_bench::checkpoint::SweepCheckpoint;
 use gncg_bench::Report;
-use gncg_game::certify::{certify, CertifyOptions};
+use gncg_game::certify::certify;
 use gncg_game::OwnedNetwork;
+use gncg_game::SolverConfig;
 use gncg_geometry::generators;
 use gncg_service::{JobOptions, Session, Shutdown};
 
@@ -24,7 +25,7 @@ const CLAIM: &str = "service sweep shutdown/resume fixture";
 fn unit_work(i: u64, rep: &mut Report) {
     let ps = generators::uniform_unit_square(10, 500 + i);
     let net = OwnedNetwork::center_star(10, 0);
-    let r = certify(&ps, &net, 2.0, CertifyOptions::bounds_only());
+    let r = certify(&ps, &net, 2.0, &SolverConfig::bounds_only());
     rep.push(
         format!("unit {i}"),
         r.beta_upper,

@@ -15,6 +15,7 @@
 //! | `GNCG_FAULT_INJECT_DELAY_MS`| [`env::fault_inject_delay_ms`] | parsed `u64`, unparsable ⇒ unset; cached at first read |
 //! | `GNCG_TRACE`                | [`env::trace`]                 | on iff `"1"` or case-insensitive `"true"`; cached at first read |
 //! | `GNCG_PRUNE`                | [`env::prune`]                 | off iff `"0"`/`"false"`/`"off"` (case-insensitive); cached at first read |
+//! | `GNCG_ARENA_DEBUG`          | [`env::arena_debug`]           | on iff `"1"` or case-insensitive `"true"` (same rule as `GNCG_TRACE`); cached at first read |
 //! | `GNCG_RESULTS_DIR`          | [`env::results_dir`]           | path override; **re-read on every call** (tests retarget it at runtime) |
 //! | `GNCG_CACHE_DIR`            | [`env::cache_dir`]             | content-addressed result-cache directory; unset ⇒ cache off; **re-read on every call** (tests retarget it at runtime) |
 //! | `GNCG_CACHE`                | [`env::cache_on`]              | off iff `"0"`/`"false"`/`"off"` (case-insensitive); **re-read on every call** |
@@ -242,6 +243,16 @@ pub mod env {
     pub fn prune() -> bool {
         static CACHE: OnceLock<bool> = OnceLock::new();
         *CACHE.get_or_init(|| parse::prune_on(read("GNCG_PRUNE").as_deref()))
+    }
+
+    /// `GNCG_ARENA_DEBUG`: arms the scratch-arena debug tripwires
+    /// (double-return / foreign-thread-return assertions in
+    /// `gncg_parallel::arena`). Same on-rule as `GNCG_TRACE`; default
+    /// off so the assertions cost nothing in production runs. Cached at
+    /// first read.
+    pub fn arena_debug() -> bool {
+        static CACHE: OnceLock<bool> = OnceLock::new();
+        *CACHE.get_or_init(|| parse::trace_on(read("GNCG_ARENA_DEBUG").as_deref()))
     }
 
     /// `GNCG_RESULTS_DIR`: report output directory override.

@@ -252,7 +252,25 @@ fn farthest_point_pivots(ps: &PointSet, k: usize) -> Vec<usize> {
 
 /// Produce the bracketed certification report for a profile over a
 /// point set (see module docs for the exact soundness claims).
+///
+/// Reads the spanner construction and pivot count off `cfg.backend`
+/// (defaults when the backend is exact — bracketed certification
+/// always runs on a spanner) and the cost model off `cfg.model`. For
+/// the full knob space (e.g. pinning a [`LoMode`]) use
+/// [`certify_approx_tuned`].
 pub fn certify_approx(
+    ps: &PointSet,
+    net: &OwnedNetwork,
+    alpha: f64,
+    cfg: &crate::SolverConfig,
+) -> ApproxCertifyReport {
+    certify_approx_tuned(ps, net, alpha, cfg.approx_options())
+}
+
+/// [`certify_approx`] with every knob exposed — the oracle suites sweep
+/// combinations (spanner × pivots × [`LoMode`]) that the unified
+/// [`crate::SolverConfig`] surface deliberately does not carry.
+pub fn certify_approx_tuned(
     ps: &PointSet,
     net: &OwnedNetwork,
     alpha: f64,
@@ -261,6 +279,19 @@ pub fn certify_approx(
     crate::dispatch_model!(opts.model, M, {
         certify_approx_generic::<M>(ps, net, alpha, &opts)
     })
+}
+
+/// Legacy alias of [`certify_approx_tuned`] (the historical
+/// `certify_approx` signature).
+#[deprecated(note = "build a `SolverConfig` and call `certify_approx`, or use \
+    `certify_approx_tuned` for the full knob space")]
+pub fn certify_approx_with_options(
+    ps: &PointSet,
+    net: &OwnedNetwork,
+    alpha: f64,
+    opts: ApproxCertifyOptions,
+) -> ApproxCertifyReport {
+    certify_approx_tuned(ps, net, alpha, opts)
 }
 
 fn certify_approx_generic<M: CostModel>(
@@ -316,8 +347,8 @@ fn certify_approx_generic<M: CostModel>(
             }
         }
         let hcsr = Csr::from_graph(&h);
-        let mut scratch = DijkstraScratch::default();
-        let mut row = vec![0.0; n];
+        let mut scratch = gncg_parallel::arena::rent::<DijkstraScratch>();
+        let mut row = gncg_parallel::arena::rent_vec(n, 0.0f64);
         (0..n)
             .map(|u| {
                 hcsr.dijkstra_into_slice(u, &mut row, &mut scratch);
@@ -333,8 +364,8 @@ fn certify_approx_generic<M: CostModel>(
 
     // hi: triangle-inequality recombination of K exact pivot rows
     let pivots = farthest_point_pivots(ps, opts.pivots.max(1));
-    let mut scratch = DijkstraScratch::default();
-    let mut prow = vec![0.0; n];
+    let mut scratch = gncg_parallel::arena::rent::<DijkstraScratch>();
+    let mut prow = gncg_parallel::arena::rent_vec(n, 0.0f64);
     let pivot_rows: Vec<Vec<f64>> = pivots
         .iter()
         .map(|&p| {
@@ -547,9 +578,10 @@ fn run_approx_generic<M: CostModel>(
     assert_eq!(n, EdgeWeights::len(ps));
     let mut g = net.graph(ps);
     let mut csr = Csr::from_graph(&g);
-    let mut scratch = DijkstraScratch::default();
-    let mut row = vec![0.0; n];
-    let mut what_if = vec![0.0; n];
+    let mut scratch = gncg_parallel::arena::rent::<DijkstraScratch>();
+    let mut row = gncg_parallel::arena::rent_vec(n, 0.0f64);
+    let mut what_if = gncg_parallel::arena::rent_vec(n, 0.0f64);
+    let mut bought = gncg_parallel::arena::rent::<Vec<usize>>();
     let mut rounds = 0usize;
     let mut probed = 0u64;
     let mut accepted = 0u64;
@@ -564,7 +596,8 @@ fn run_approx_generic<M: CostModel>(
             }
             probed += 1;
             csr.dijkstra_into_slice(u, &mut row, &mut scratch);
-            let bought: Vec<usize> = net.strategy(u).iter().copied().collect();
+            bought.clear();
+            bought.extend(net.strategy(u).iter().copied());
             let current =
                 alpha * strategy_edge_sum(ps, u, &bought, None, None) + M::aggregate(&row);
 
@@ -592,7 +625,7 @@ fn run_approx_generic<M: CostModel>(
                     best_move = Some(ProbeMove::Add(v));
                 }
             }
-            for &v in &bought {
+            for &v in bought.iter() {
                 let e = alpha * strategy_edge_sum(ps, u, &bought, None, Some(v));
                 gncg_trace::incr(Counter::BestResponseEvals);
                 let c = if net.owns(v, u) {
@@ -619,7 +652,7 @@ fn run_approx_generic<M: CostModel>(
                     }
                 }
                 g = net.graph(ps);
-                csr = Csr::from_graph(&g);
+                csr.refill_from_graph(&g);
                 accepted += 1;
                 any = true;
             }
@@ -641,7 +674,7 @@ fn run_approx_generic<M: CostModel>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::certify::{certify, CertifyOptions};
+    use crate::certify::certify;
     use gncg_geometry::generators;
 
     fn random_net(n: usize, seed: u64) -> OwnedNetwork {
@@ -668,9 +701,9 @@ mod tests {
             let ps = generators::uniform_unit_square(n, seed + 30);
             let net = random_net(n, seed);
             let alpha = 0.4 + seed as f64;
-            let exact = certify(&ps, &net, alpha, CertifyOptions::bounds_only());
+            let exact = certify(&ps, &net, alpha, &crate::SolverConfig::bounds_only());
             for lo_mode in [LoMode::UnionRows, LoMode::MetricFloor] {
-                let r = certify_approx(
+                let r = certify_approx_tuned(
                     &ps,
                     &net,
                     alpha,
@@ -708,11 +741,11 @@ mod tests {
         let ps = generators::uniform_unit_square(10, 4);
         let mut net = OwnedNetwork::empty(10);
         net.buy(0, 1); // two agents linked, the rest isolated
-        let r = certify_approx(&ps, &net, 1.0, ApproxCertifyOptions::default());
+        let r = certify_approx_tuned(&ps, &net, 1.0, ApproxCertifyOptions::default());
         assert!(!r.connected);
         assert!(r.beta_hi.is_infinite() && r.social_hi.is_infinite());
         assert!(r.social_lo.is_finite(), "union graph keeps lo finite");
-        let exact = certify(&ps, &net, 1.0, CertifyOptions::bounds_only());
+        let exact = certify(&ps, &net, 1.0, &crate::SolverConfig::bounds_only());
         assert!(r.beta_lo <= exact.beta_upper);
     }
 
@@ -720,10 +753,10 @@ mod tests {
     fn json_tags_model_only_when_non_default() {
         let ps = generators::uniform_unit_square(8, 7);
         let net = OwnedNetwork::center_star(8, 0);
-        let sum = certify_approx(&ps, &net, 1.0, ApproxCertifyOptions::default());
+        let sum = certify_approx_tuned(&ps, &net, 1.0, ApproxCertifyOptions::default());
         let sum_json = gncg_json::to_string(&sum.to_json());
         assert!(!sum_json.contains("\"model\""), "{sum_json}");
-        let max = certify_approx(
+        let max = certify_approx_tuned(
             &ps,
             &net,
             1.0,

@@ -17,7 +17,7 @@
 //! the variant directly.
 
 use crate::approx::{self, ApproxCertifyOptions, ApproxCertifyReport, LoMode};
-use crate::certify::{self, CertifyOptions};
+use crate::certify;
 use crate::{ModelKind, OwnedNetwork};
 use gncg_config::EvalBackendKind;
 use gncg_geometry::PointSet;
@@ -77,7 +77,7 @@ impl EvalBackend {
                     ps,
                     net,
                     alpha,
-                    CertifyOptions::bounds_only().with_model(model),
+                    &crate::SolverConfig::bounds_only().with_model(model),
                 );
                 ApproxCertifyReport {
                     n: r.n,
@@ -95,7 +95,7 @@ impl EvalBackend {
                     model: r.model,
                 }
             }
-            EvalBackend::Spanner { kind, pivots } => approx::certify_approx(
+            EvalBackend::Spanner { kind, pivots } => approx::certify_approx_tuned(
                 ps,
                 net,
                 alpha,
@@ -126,7 +126,7 @@ mod tests {
         let ps = generators::uniform_unit_square(14, 8);
         let net = OwnedNetwork::center_star(14, 0);
         let bracket = EvalBackend::Exact.certify_bracket(&ps, &net, 1.2, ModelKind::SumDistances);
-        let exact = certify::certify(&ps, &net, 1.2, CertifyOptions::bounds_only());
+        let exact = certify::certify(&ps, &net, 1.2, &crate::SolverConfig::bounds_only());
         assert_eq!(bracket.beta_lo.to_bits(), exact.beta_upper.to_bits());
         assert_eq!(bracket.beta_hi.to_bits(), exact.beta_upper.to_bits());
         assert_eq!(bracket.gamma_lo.to_bits(), exact.gamma_upper.to_bits());

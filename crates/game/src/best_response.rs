@@ -42,12 +42,22 @@ pub struct ResponseScratch {
     best: Vec<f64>,
 }
 
+impl gncg_parallel::arena::Scratch for ResponseScratch {
+    fn reset(&mut self) {
+        self.neighbours.clear();
+        self.best.clear();
+    }
+}
+
 /// Rest-graph distances of a [`ResponseEvaluator`]: either an APSP of
 /// `G − u` computed for this agent, or a borrowed view of a shared
 /// full-graph matrix (valid only for leaf agents — see
 /// [`ResponseEvaluator::with_shared_rest`]).
 enum RestDist<'d> {
-    Owned(DistMatrix),
+    /// Arena-rented matrix holding this agent's `G − u` APSP; the lease
+    /// returns the buffer to the worker's pool when the evaluator drops,
+    /// so steady-state dynamics runs allocate no matrix per evaluation.
+    Owned(gncg_parallel::arena::Lease<DistMatrix>),
     Shared(&'d DistMatrix),
 }
 
@@ -105,8 +115,19 @@ impl ResponseEvaluator<'static> {
                 }
             }
         }
-        let dist_rest = Csr::from_graph(&rest).all_pairs();
-        Self::with_dist_rest(w, net, u, RestDist::Owned(dist_rest))
+        let mut csr = gncg_parallel::arena::rent::<Csr>();
+        csr.refill_from_graph(&rest);
+        let mut dist_rest = gncg_parallel::arena::rent::<DistMatrix>();
+        csr.all_pairs_into(&mut dist_rest);
+        // no full graph in hand here: find the incident owners by the
+        // direct ownership scan
+        let mut fixed_incident: Vec<usize> = Vec::new();
+        for a in 0..n {
+            if a != u && net.strategy(a).contains(&u) {
+                fixed_incident.push(a);
+            }
+        }
+        Self::with_dist_rest(w, net, u, RestDist::Owned(dist_rest), fixed_incident)
     }
 
     /// Build the evaluator for agent `u` against an already-materialized
@@ -121,9 +142,33 @@ impl ResponseEvaluator<'static> {
     ) -> Self {
         let n = net.len();
         assert!(u < n && g.len() == n);
-        let dist_rest = Csr::from_graph_without_vertex(g, u).all_pairs();
-        Self::with_dist_rest(w, net, u, RestDist::Owned(dist_rest))
+        // Rest snapshot and APSP both run in arena-rented buffers: the
+        // dynamics loop calls this once per non-leaf evaluation, and
+        // per-call allocation (three CSR arrays + an n² matrix) plus
+        // span bookkeeping was a measurable slice of the stage.
+        let mut csr = gncg_parallel::arena::rent::<Csr>();
+        csr.refill_from_graph_without_vertex(g, u);
+        let mut dist_rest = gncg_parallel::arena::rent::<DistMatrix>();
+        csr.all_pairs_into(&mut dist_rest);
+        let fixed_incident = fixed_incident_from_graph(net, g, u);
+        Self::with_dist_rest(w, net, u, RestDist::Owned(dist_rest), fixed_incident)
     }
+}
+
+/// Agents owning an edge to `u`, in ascending id order — read off the
+/// built graph's adjacency of `u` (degree-many ownership tests) instead
+/// of scanning every agent's strategy set. `g` must equal the created
+/// network of `net`, so every owner of an edge to `u` is a neighbour of
+/// `u`; the sort restores the ascending order the full scan produced.
+fn fixed_incident_from_graph(net: &OwnedNetwork, g: &Graph, u: usize) -> Vec<usize> {
+    let mut fixed: Vec<usize> = g
+        .neighbors(u)
+        .iter()
+        .map(|&(a, _)| a)
+        .filter(|&a| net.strategy(a).contains(&u))
+        .collect();
+    fixed.sort_unstable();
+    fixed
 }
 
 impl<'d> ResponseEvaluator<'d> {
@@ -154,7 +199,8 @@ impl<'d> ResponseEvaluator<'d> {
             g.degree(u) <= 1,
             "shared rest distances require a leaf agent"
         );
-        Self::with_dist_rest(w, net, u, RestDist::Shared(dist))
+        let fixed_incident = fixed_incident_from_graph(net, g, u);
+        Self::with_dist_rest(w, net, u, RestDist::Shared(dist), fixed_incident)
     }
 
     fn with_dist_rest<W: EdgeWeights + ?Sized>(
@@ -162,26 +208,30 @@ impl<'d> ResponseEvaluator<'d> {
         net: &OwnedNetwork,
         u: usize,
         dist_rest: RestDist<'d>,
+        fixed_incident: Vec<usize>,
     ) -> Self {
         let n = net.len();
-        let mut fixed_incident: Vec<usize> = Vec::new();
-        for a in 0..n {
-            if a != u && net.strategy(a).contains(&u) {
-                fixed_incident.push(a);
+        let others: Vec<usize> = (0..n).filter(|&v| v != u).collect();
+        // One ascending-v pass builds the weight row and both metric
+        // floors: the sum accumulates in the same `v` order as the old
+        // dedicated pass (identical left fold), and max is
+        // order-insensitive — but the oracle is consulted once per
+        // target instead of twice.
+        let mut edge_w: Vec<f64> = Vec::with_capacity(n);
+        let mut lb_dist = 0.0f64;
+        let mut lb_dist_max = 0.0f64;
+        for v in 0..n {
+            if v == u {
+                edge_w.push(0.0);
+                continue;
+            }
+            edge_w.push(w.weight(u, v));
+            let lb = w.metric_lower_bound(u, v);
+            lb_dist += lb;
+            if lb > lb_dist_max {
+                lb_dist_max = lb;
             }
         }
-        let others: Vec<usize> = (0..n).filter(|&v| v != u).collect();
-        let edge_w: Vec<f64> = (0..n)
-            .map(|v| if v == u { 0.0 } else { w.weight(u, v) })
-            .collect();
-        let lb_dist: f64 = (0..n)
-            .filter(|&v| v != u)
-            .map(|v| w.metric_lower_bound(u, v))
-            .sum();
-        let lb_dist_max: f64 = (0..n)
-            .filter(|&v| v != u)
-            .map(|v| w.metric_lower_bound(u, v))
-            .fold(0.0, |a, d| if d > a { d } else { a });
         Self {
             agent: u,
             others,
@@ -238,7 +288,7 @@ impl<'d> ResponseEvaluator<'d> {
         alpha: f64,
         bought: I,
     ) -> f64 {
-        let mut scratch = ResponseScratch::default();
+        let mut scratch = gncg_parallel::arena::rent::<ResponseScratch>();
         self.cost_with_model::<M, I>(alpha, bought, &mut scratch)
     }
 
@@ -322,11 +372,11 @@ impl<'d> ResponseEvaluator<'d> {
         for &x in &scratch.neighbours {
             let ew = self.edge_w[x];
             let row = self.dist_rest.row(x);
+            // Branch-free select so the row merge autovectorizes; f64
+            // `<` + select is the same exact min as the branchy form.
             for (b, &d) in scratch.best.iter_mut().zip(row) {
                 let via = ew + d;
-                if via < *b {
-                    *b = via;
-                }
+                *b = if via < *b { via } else { *b };
             }
         }
         let base = alpha * buy_cost;
@@ -353,14 +403,30 @@ impl<'d> ResponseEvaluator<'d> {
 /// Exact best response of agent `u` against the fixed strategies of all
 /// other agents in `net`.
 ///
-/// Runs the `2^{n−1}` enumeration under the budget in `opts` (unlimited
-/// by default) and degrades to [`best_response_lower_bound`] (always
-/// ≤ the true best-response cost, so improvement factors built on it can
-/// only over-estimate instability — the sound direction) when the
-/// instance exceeds [`MAX_EXACT_AGENTS`], the budget runs out, or the
-/// solve panics. Use [`crate::moves::local_search_response`] for a
-/// heuristic response beyond the cap.
+/// Runs the `2^{n−1}` enumeration under `cfg.budget` (`GNCG_BUDGET_MS`
+/// by default, unlimited when unset) and degrades to
+/// [`best_response_lower_bound`] (always ≤ the true best-response cost,
+/// so improvement factors built on it can only over-estimate
+/// instability — the sound direction) when the instance exceeds
+/// [`MAX_EXACT_AGENTS`], the budget runs out, or the solve panics. Use
+/// [`crate::moves::local_search_response`] for a heuristic response
+/// beyond the cap.
 pub fn exact_best_response<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    u: usize,
+    cfg: &crate::SolverConfig,
+) -> crate::outcome::Outcome<BestResponse> {
+    crate::dispatch_model!(cfg.model, M, {
+        exact_best_response_generic::<W, M>(w, net, alpha, u, &cfg.budget)
+    })
+}
+
+/// [`exact_best_response`] with the legacy
+/// [`SolveOptions`](crate::outcome::SolveOptions) surface.
+#[deprecated(note = "build a `SolverConfig` and call `exact_best_response` instead")]
+pub fn exact_best_response_with_options<W: EdgeWeights + ?Sized>(
     w: &W,
     net: &OwnedNetwork,
     alpha: f64,
@@ -368,7 +434,7 @@ pub fn exact_best_response<W: EdgeWeights + ?Sized>(
     opts: &crate::outcome::SolveOptions,
 ) -> crate::outcome::Outcome<BestResponse> {
     crate::dispatch_model!(opts.model, M, {
-        exact_best_response_generic::<W, M>(w, net, alpha, u, opts)
+        exact_best_response_generic::<W, M>(w, net, alpha, u, &opts.budget)
     })
 }
 
@@ -378,7 +444,7 @@ fn exact_best_response_generic<W: EdgeWeights + ?Sized, M: CostModel>(
     net: &OwnedNetwork,
     alpha: f64,
     u: usize,
-    opts: &crate::outcome::SolveOptions,
+    budget: &gncg_parallel::Budget,
 ) -> crate::outcome::Outcome<BestResponse> {
     use crate::outcome::{attempt, DegradeReason, Outcome};
     let n = net.len();
@@ -391,7 +457,7 @@ fn exact_best_response_generic<W: EdgeWeights + ?Sized, M: CostModel>(
             },
         };
     }
-    match attempt(&opts.budget, || {
+    match attempt(budget, || {
         exact_best_response_raw_model::<W, M>(w, net, alpha, u)
     }) {
         Ok(br) => Outcome::Exact(br),
@@ -527,7 +593,7 @@ pub fn exact_best_response_with_eval_mode_model<M: CostModel>(
 
     let prune = mode.is_on();
     let ub0 = if prune {
-        let mut scratch = ResponseScratch::default();
+        let mut scratch = gncg_parallel::arena::rent::<ResponseScratch>();
         let mut ub = eval.cost_with_model::<M, _>(alpha, std::iter::empty(), &mut scratch);
         for &v in others {
             let c = eval.cost_with_model::<M, _>(alpha, std::iter::once(v), &mut scratch);
@@ -549,7 +615,7 @@ pub fn exact_best_response_with_eval_mode_model<M: CostModel>(
     let total_masks = 1u64 << m;
     let (best_mask, best_cost) = gncg_parallel::parallel_reduce_with(
         total_masks as usize,
-        ResponseScratch::default,
+        gncg_parallel::arena::rent::<ResponseScratch>,
         || (u64::MAX, f64::INFINITY),
         |scratch, acc, i| {
             let mask = i as u64;
@@ -962,11 +1028,11 @@ mod tests {
 
     #[test]
     fn max_model_merged_entry_dispatches() {
-        use crate::outcome::SolveOptions;
         use crate::MaxDistance;
+        use crate::SolverConfig;
         let ps = generators::uniform_unit_square(6, 13);
         let net = OwnedNetwork::center_star(6, 0);
-        let opts = SolveOptions::default().with_model(ModelKind::MaxDistance);
+        let opts = SolverConfig::default().with_model(ModelKind::MaxDistance);
         let merged = exact_best_response(&ps, &net, 1.2, 3, &opts).expect_exact("br");
         assert_eq!(
             merged,
@@ -991,16 +1057,17 @@ mod tests {
 
     #[test]
     fn merged_entry_matches_raw_and_degrades_on_oversized() {
-        use crate::outcome::{DegradeReason, Outcome, SolveOptions};
+        use crate::outcome::{DegradeReason, Outcome};
+        use crate::SolverConfig;
         let ps = generators::uniform_unit_square(6, 9);
         let net = OwnedNetwork::center_star(6, 0);
         let merged =
-            exact_best_response(&ps, &net, 1.2, 3, &SolveOptions::default()).expect_exact("br");
+            exact_best_response(&ps, &net, 1.2, 3, &SolverConfig::default()).expect_exact("br");
         assert_eq!(merged, exact_best_response_raw(&ps, &net, 1.2, 3));
 
         let big = generators::uniform_unit_square(30, 1);
         let big_net = OwnedNetwork::complete(30);
-        match exact_best_response(&big, &big_net, 1.0, 0, &SolveOptions::default()) {
+        match exact_best_response(&big, &big_net, 1.0, 0, &SolverConfig::default()) {
             Outcome::Degraded {
                 certified_bound,
                 reason: DegradeReason::InstanceTooLarge { n: 30, .. },

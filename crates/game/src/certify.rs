@@ -394,7 +394,7 @@ pub fn beta_upper_model<W: EdgeWeights + ?Sized, M: CostModel>(
 }
 
 /// Produce the full certification report, running the *exponential*
-/// parts (exact β, exact optimum) under `opts.budget` (`GNCG_BUDGET_MS`
+/// parts (exact β, exact optimum) under `cfg.budget` (`GNCG_BUDGET_MS`
 /// via the default constructors, unlimited when unset).
 ///
 /// The polynomial certified bounds and the witness are always computed
@@ -406,6 +406,19 @@ pub fn beta_upper_model<W: EdgeWeights + ?Sized, M: CostModel>(
 /// records why. The certified numbers remain sound either way: reported
 /// β/γ bounds are always ≥ the true values.
 pub fn certify<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    cfg: &crate::SolverConfig,
+) -> CertifyReport {
+    crate::dispatch_model!(cfg.model, M, {
+        certify_generic::<W, M>(w, net, alpha, cfg.certify_options())
+    })
+}
+
+/// [`certify`] with the legacy [`CertifyOptions`] surface.
+#[deprecated(note = "build a `SolverConfig` and call `certify` instead")]
+pub fn certify_with_options<W: EdgeWeights + ?Sized>(
     w: &W,
     net: &OwnedNetwork,
     alpha: f64,
@@ -545,7 +558,7 @@ fn certify_generic<W: EdgeWeights + ?Sized, M: CostModel>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::outcome::SolveOptions;
+    use crate::SolverConfig;
     use gncg_geometry::generators;
 
     #[test]
@@ -560,7 +573,7 @@ mod tests {
                 net.buy(a, rng.gen_range(0..a));
             }
             let alpha = 0.5 + rng.gen::<f64>() * 2.0;
-            let r = certify(&ps, &net, alpha, CertifyOptions::exact());
+            let r = certify(&ps, &net, alpha, &SolverConfig::exact());
             let be = r.beta_exact.unwrap();
             assert!(
                 be <= r.beta_upper + 1e-9,
@@ -579,7 +592,7 @@ mod tests {
     fn exact_gamma_never_exceeds_upper_bound() {
         let ps = generators::uniform_unit_square(6, 33);
         let net = OwnedNetwork::complete(6);
-        let r = certify(&ps, &net, 1.0, CertifyOptions::exact());
+        let r = certify(&ps, &net, 1.0, &SolverConfig::exact());
         let ge = r.gamma_exact.unwrap();
         assert!(ge <= r.gamma_upper + 1e-9);
         assert!(ge >= 1.0 - 1e-9);
@@ -591,7 +604,7 @@ mod tests {
         let ps = generators::line(3, 2.0);
         let mut net = OwnedNetwork::empty(3);
         net.buy(0, 1);
-        let r = certify(&ps, &net, 1.0, CertifyOptions::bounds_only());
+        let r = certify(&ps, &net, 1.0, &SolverConfig::bounds_only());
         assert!(!r.connected);
         assert!(r.social_cost.is_infinite());
         assert!(r.beta_upper.is_infinite());
@@ -602,7 +615,7 @@ mod tests {
         let ps = generators::line(2, 1.0);
         let mut net = OwnedNetwork::empty(2);
         net.buy(0, 1);
-        let r = certify(&ps, &net, 1.0, CertifyOptions::exact());
+        let r = certify(&ps, &net, 1.0, &SolverConfig::exact());
         assert!(r.connected);
         // SC = alpha + 2 = 3, OPT the same
         assert!((r.social_cost - 3.0).abs() < 1e-12);
@@ -616,7 +629,7 @@ mod tests {
             let ps = generators::uniform_unit_square(6, seed);
             for alpha in [0.3, 1.0, 5.0] {
                 let lb = optimum_lower_bound(&ps, alpha);
-                let opt = exact::exact_social_optimum(&ps, alpha, &SolveOptions::default())
+                let opt = exact::exact_social_optimum(&ps, alpha, &SolverConfig::default())
                     .expect_exact("optimum")
                     .social_cost;
                 assert!(lb <= opt + 1e-9, "seed {seed} alpha {alpha}: {lb} > {opt}");
@@ -646,7 +659,7 @@ mod tests {
                 &ps,
                 &net,
                 alpha,
-                CertifyOptions::exact().with_budget(&gncg_parallel::Budget::unlimited()),
+                &SolverConfig::exact().with_budget(&gncg_parallel::Budget::unlimited()),
             );
             assert_eq!(truth.beta_regime, crate::Regime::Exact);
             assert_eq!(truth.gamma_regime, crate::Regime::Exact);
@@ -654,7 +667,7 @@ mod tests {
 
             let dead = gncg_parallel::Budget::unlimited();
             dead.cancel();
-            let degraded = certify(&ps, &net, alpha, CertifyOptions::exact().with_budget(&dead));
+            let degraded = certify(&ps, &net, alpha, &SolverConfig::exact().with_budget(&dead));
             assert_eq!(degraded.beta_regime, crate::Regime::Certified);
             assert_eq!(degraded.gamma_regime, crate::Regime::Certified);
             assert!(degraded.beta_exact.is_none() && degraded.gamma_exact.is_none());
@@ -693,14 +706,14 @@ mod tests {
         dead.cancel();
 
         // social optimum: exact within budget, sound lower bound without
-        let exact_opt = exact::exact_social_optimum(&ps, alpha, &SolveOptions::default())
+        let exact_opt = exact::exact_social_optimum(&ps, alpha, &SolverConfig::default())
             .expect_exact("optimum")
             .social_cost;
-        match exact::exact_social_optimum(&ps, alpha, &SolveOptions::budgeted(&ok)) {
+        match exact::exact_social_optimum(&ps, alpha, &SolverConfig::default().with_budget(&ok)) {
             crate::Outcome::Exact(o) => assert!((o.social_cost - exact_opt).abs() < 1e-12),
             other => panic!("unlimited budget must stay exact, got {other:?}"),
         }
-        match exact::exact_social_optimum(&ps, alpha, &SolveOptions::budgeted(&dead)) {
+        match exact::exact_social_optimum(&ps, alpha, &SolverConfig::default().with_budget(&dead)) {
             crate::Outcome::Degraded {
                 certified_bound,
                 reason,
@@ -714,7 +727,7 @@ mod tests {
 
         // best response: degraded bound never exceeds the true BR cost
         let br_true =
-            best_response::exact_best_response(&ps, &net, alpha, 2, &SolveOptions::default())
+            best_response::exact_best_response(&ps, &net, alpha, 2, &SolverConfig::default())
                 .expect_exact("best response")
                 .cost;
         match best_response::exact_best_response(
@@ -722,7 +735,7 @@ mod tests {
             &net,
             alpha,
             2,
-            &SolveOptions::budgeted(&dead),
+            &SolverConfig::default().with_budget(&dead),
         ) {
             crate::Outcome::Degraded {
                 certified_bound, ..
@@ -732,13 +745,18 @@ mod tests {
 
         // beta: degraded bound never undercuts the true beta
         let beta_true = exact::exact_beta_raw_model::<_, SumDistances>(&ps, &net, alpha);
-        match exact::exact_beta(&ps, &net, alpha, &SolveOptions::budgeted(&dead)) {
+        match exact::exact_beta(
+            &ps,
+            &net,
+            alpha,
+            &SolverConfig::default().with_budget(&dead),
+        ) {
             crate::Outcome::Degraded {
                 certified_bound, ..
             } => assert!(certified_bound >= beta_true - 1e-9),
             other => panic!("dead budget must degrade, got {other:?}"),
         }
-        match exact::exact_beta(&ps, &net, alpha, &SolveOptions::budgeted(&ok)) {
+        match exact::exact_beta(&ps, &net, alpha, &SolverConfig::default().with_budget(&ok)) {
             crate::Outcome::Exact(b) => assert!((b - beta_true).abs() < 1e-12),
             other => panic!("unlimited budget must stay exact, got {other:?}"),
         }
@@ -752,7 +770,7 @@ mod tests {
         let ps = generators::uniform_unit_square(30, 9);
         let net = OwnedNetwork::center_star(30, 0);
         let b = gncg_parallel::Budget::unlimited();
-        match exact::exact_beta(&ps, &net, 1.0, &SolveOptions::budgeted(&b)) {
+        match exact::exact_beta(&ps, &net, 1.0, &SolverConfig::default().with_budget(&b)) {
             crate::Outcome::Degraded { reason, .. } => {
                 assert!(matches!(
                     reason,
@@ -761,7 +779,7 @@ mod tests {
             }
             other => panic!("expected TooLarge, got {other:?}"),
         }
-        match exact::exact_social_optimum(&ps, 1.0, &SolveOptions::budgeted(&b)) {
+        match exact::exact_social_optimum(&ps, 1.0, &SolverConfig::default().with_budget(&b)) {
             crate::Outcome::Degraded {
                 certified_bound, ..
             } => assert!(certified_bound.is_finite() && certified_bound > 0.0),
@@ -778,7 +796,8 @@ mod tests {
         let ps = generators::uniform_unit_square(7, 5);
         let budget = gncg_parallel::Budget::with_limit(Duration::from_millis(1));
         let t0 = Instant::now();
-        let out = exact::exact_social_optimum(&ps, 10.0, &SolveOptions::budgeted(&budget));
+        let out =
+            exact::exact_social_optimum(&ps, 10.0, &SolverConfig::default().with_budget(&budget));
         let elapsed = t0.elapsed();
         assert!(
             elapsed < Duration::from_secs(10),
@@ -800,7 +819,7 @@ mod tests {
             let ps = generators::uniform_unit_square(12, seed + 50);
             for alpha in [0.5, 1.0, 4.0] {
                 let net = OwnedNetwork::complete(12);
-                let r = certify(&ps, &net, alpha, CertifyOptions::default());
+                let r = certify(&ps, &net, alpha, &SolverConfig::default());
                 assert!(
                     r.beta_upper <= alpha + 1.0 + 1e-9,
                     "beta_upper {} vs alpha+1 {}",
@@ -833,7 +852,7 @@ mod tests {
                 &ps,
                 &net,
                 alpha,
-                CertifyOptions::exact().with_model(ModelKind::MaxDistance),
+                &SolverConfig::exact().with_model(ModelKind::MaxDistance),
             );
             assert_eq!(r.model, ModelKind::MaxDistance);
             let be = r.beta_exact.unwrap();
@@ -857,7 +876,7 @@ mod tests {
         let ps = generators::line(2, 1.0);
         let mut net = OwnedNetwork::empty(2);
         net.buy(0, 1);
-        let sum = certify(&ps, &net, 1.0, CertifyOptions::bounds_only());
+        let sum = certify(&ps, &net, 1.0, &SolverConfig::bounds_only());
         let sum_json = gncg_json::to_string(&sum.to_json());
         assert!(
             !sum_json.contains("\"model\""),
@@ -867,7 +886,7 @@ mod tests {
             &ps,
             &net,
             1.0,
-            CertifyOptions::bounds_only().with_model(ModelKind::MaxDistance),
+            &SolverConfig::bounds_only().with_model(ModelKind::MaxDistance),
         );
         let max_json = gncg_json::to_string(&max.to_json());
         assert!(

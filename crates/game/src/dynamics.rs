@@ -109,8 +109,10 @@ pub fn run_ordered_mode<W: EdgeWeights + ?Sized>(
     run_ordered_mode_generic::<W, SumDistances>(w, start, alpha, rule, order, max_steps, mode)
 }
 
-/// Run response dynamics under an explicit [`GameSpec`] — the cost model
-/// and edge-formation rule together.
+/// Run response dynamics under a [`crate::SolverConfig`] — the cost
+/// model, edge-formation rule, and prune mode together
+/// (`SolverConfig::default()` reproduces [`run_ordered`] exactly:
+/// sum-of-distances, unilateral, `GNCG_PRUNE` prune mode).
 ///
 /// * [`EdgeFormation::Unilateral`] routes through the incremental
 ///   drivers, monomorphized per model; for the default
@@ -127,24 +129,42 @@ pub fn run_spec<W: EdgeWeights + ?Sized>(
     rule: ResponseRule,
     order: AgentOrder,
     max_steps: usize,
-    spec: GameSpec,
+    cfg: &crate::SolverConfig,
 ) -> Outcome {
-    crate::dispatch_model!(spec.model, M, {
-        match spec.formation {
-            EdgeFormation::Unilateral => run_ordered_mode_generic::<W, M>(
-                w,
-                start,
-                alpha,
-                rule,
-                order,
-                max_steps,
-                PruneMode::from_env(),
-            ),
+    crate::dispatch_model!(cfg.model, M, {
+        match cfg.formation {
+            EdgeFormation::Unilateral => {
+                run_ordered_mode_generic::<W, M>(w, start, alpha, rule, order, max_steps, cfg.prune)
+            }
             EdgeFormation::Bilateral => {
                 run_bilateral::<W, M>(w, start, alpha, rule, order, max_steps)
             }
         }
     })
+}
+
+/// [`run_spec`] with the legacy [`GameSpec`] surface (prune mode from
+/// the environment).
+#[allow(clippy::too_many_arguments)]
+#[deprecated(note = "build a `SolverConfig` and call `run_spec` instead")]
+pub fn run_spec_with_spec<W: EdgeWeights + ?Sized>(
+    w: &W,
+    start: &OwnedNetwork,
+    alpha: f64,
+    rule: ResponseRule,
+    order: AgentOrder,
+    max_steps: usize,
+    spec: GameSpec,
+) -> Outcome {
+    run_spec(
+        w,
+        start,
+        alpha,
+        rule,
+        order,
+        max_steps,
+        &crate::SolverConfig::from(spec),
+    )
 }
 
 /// [`run_ordered_mode`] under cost model `M` (unilateral formation) —
@@ -889,8 +909,15 @@ mod tests {
             let start = OwnedNetwork::center_star(6, 0);
             for order in [AgentOrder::RoundRobin, AgentOrder::RandomPermutation(seed)] {
                 for rule in [ResponseRule::BestSingleMove, ResponseRule::BestResponse] {
-                    let via_spec =
-                        run_spec(&ps, &start, 1.0, rule, order, 300, GameSpec::default());
+                    let via_spec = run_spec(
+                        &ps,
+                        &start,
+                        1.0,
+                        rule,
+                        order,
+                        300,
+                        &crate::SolverConfig::default(),
+                    );
                     let direct = run_ordered(&ps, &start, 1.0, rule, order, 300);
                     assert_eq!(
                         via_spec, direct,
@@ -906,7 +933,7 @@ mod tests {
         for seed in 0..3u64 {
             let ps = generators::uniform_unit_square(5, 600 + seed);
             let start = OwnedNetwork::empty(5);
-            let spec = GameSpec::with_model(crate::ModelKind::MaxDistance);
+            let cfg = crate::SolverConfig::default().with_model(crate::ModelKind::MaxDistance);
             match run_spec(
                 &ps,
                 &start,
@@ -914,7 +941,7 @@ mod tests {
                 ResponseRule::BestResponse,
                 AgentOrder::RoundRobin,
                 500,
-                spec,
+                &cfg,
             ) {
                 Outcome::Converged { state, .. } => {
                     assert!(
@@ -933,7 +960,8 @@ mod tests {
         for seed in 0..3u64 {
             let ps = generators::uniform_unit_square(5, 900 + seed);
             let start = OwnedNetwork::center_star(5, 0);
-            let spec = GameSpec::bilateral(crate::ModelKind::SumDistances);
+            let cfg =
+                crate::SolverConfig::from(GameSpec::bilateral(crate::ModelKind::SumDistances));
             match run_spec(
                 &ps,
                 &start,
@@ -941,7 +969,7 @@ mod tests {
                 ResponseRule::BestResponse,
                 AgentOrder::RoundRobin,
                 500,
-                spec,
+                &cfg,
             ) {
                 Outcome::Converged { state, .. } => {
                     for u in 0..5 {
@@ -975,7 +1003,7 @@ mod tests {
             ResponseRule::BestSingleMove,
             AgentOrder::MaxGain,
             1000,
-            GameSpec::bilateral(crate::ModelKind::SumDistances),
+            &crate::SolverConfig::from(GameSpec::bilateral(crate::ModelKind::SumDistances)),
         );
         if let Outcome::Converged { state, .. } = out {
             // unilateral drops stay legal, so a converged bilateral

@@ -233,10 +233,11 @@ impl<'w, W: EdgeWeights + ?Sized> EvalContext<'w, W> {
         }
         let _span = gncg_trace::span("eval.refresh_rows");
         let csr = self.take_csr();
-        self.dist
-            .par_fill_rows_with(&stale, DijkstraScratch::default, |scratch, u, row| {
-                csr.dijkstra_into_slice(u, row, scratch)
-            });
+        self.dist.par_fill_rows_with(
+            &stale,
+            gncg_parallel::arena::rent::<DijkstraScratch>,
+            |scratch, u, row| csr.dijkstra_into_slice(u, row, scratch),
+        );
         self.csr = Some(csr);
         for u in stale {
             self.row_valid[u] = true;

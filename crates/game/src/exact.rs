@@ -13,8 +13,11 @@
 //! setting of the toggle.
 
 use crate::outcome::{self, DegradeReason, Outcome, SolveOptions};
-use crate::{best_response, certify, cost, CostModel, EdgeWeights, OwnedNetwork, SumDistances};
+use crate::{
+    best_response, certify, cost, CostModel, EdgeWeights, OwnedNetwork, SolverConfig, SumDistances,
+};
 use gncg_graph::Graph;
+use gncg_parallel::Budget;
 
 /// Practical cap for exact social-optimum enumeration: n = 7 means
 /// 2^21 ≈ 2M candidate graphs; n = 8 would already be 2^28 ≈ 268M.
@@ -31,19 +34,32 @@ pub struct ExactOptimum {
 
 /// Exhaustively compute the social optimum network `OPT_P`.
 ///
-/// Runs the `2^{n(n−1)/2}`-mask enumeration under the budget in `opts`
-/// (unlimited by default) and degrades to the certified lower bound
-/// ([`certify::optimum_lower_bound`], always ≤ the true optimum cost)
-/// when the instance exceeds [`MAX_EXACT_OPT_AGENTS`], the budget runs
-/// out, or the solve panics. Never panics and never blocks past the
-/// budget by more than a few scheduling chunks.
+/// Runs the `2^{n(n−1)/2}`-mask enumeration under `cfg.budget`
+/// (`GNCG_BUDGET_MS` by default, unlimited when unset) and degrades to
+/// the certified lower bound ([`certify::optimum_lower_bound`], always
+/// ≤ the true optimum cost) when the instance exceeds
+/// [`MAX_EXACT_OPT_AGENTS`], the budget runs out, or the solve panics.
+/// Never panics and never blocks past the budget by more than a few
+/// scheduling chunks.
 pub fn exact_social_optimum<W: EdgeWeights + ?Sized>(
+    w: &W,
+    alpha: f64,
+    cfg: &SolverConfig,
+) -> Outcome<ExactOptimum> {
+    crate::dispatch_model!(cfg.model, M, {
+        exact_social_optimum_generic::<W, M>(w, alpha, &cfg.budget)
+    })
+}
+
+/// [`exact_social_optimum`] with the legacy [`SolveOptions`] surface.
+#[deprecated(note = "build a `SolverConfig` and call `exact_social_optimum` instead")]
+pub fn exact_social_optimum_with_options<W: EdgeWeights + ?Sized>(
     w: &W,
     alpha: f64,
     opts: &SolveOptions,
 ) -> Outcome<ExactOptimum> {
     crate::dispatch_model!(opts.model, M, {
-        exact_social_optimum_generic::<W, M>(w, alpha, opts)
+        exact_social_optimum_generic::<W, M>(w, alpha, &opts.budget)
     })
 }
 
@@ -51,7 +67,7 @@ pub fn exact_social_optimum<W: EdgeWeights + ?Sized>(
 fn exact_social_optimum_generic<W: EdgeWeights + ?Sized, M: CostModel>(
     w: &W,
     alpha: f64,
-    opts: &SolveOptions,
+    budget: &Budget,
 ) -> Outcome<ExactOptimum> {
     let n = w.len();
     if n > MAX_EXACT_OPT_AGENTS {
@@ -63,9 +79,7 @@ fn exact_social_optimum_generic<W: EdgeWeights + ?Sized, M: CostModel>(
             },
         };
     }
-    match outcome::attempt(&opts.budget, || {
-        exact_social_optimum_raw_model::<W, M>(w, alpha)
-    }) {
+    match outcome::attempt(budget, || exact_social_optimum_raw_model::<W, M>(w, alpha)) {
         Ok(opt) => Outcome::Exact(opt),
         Err(reason) => Outcome::Degraded {
             certified_bound: certify::optimum_lower_bound_model::<W, M>(w, alpha),
@@ -140,19 +154,32 @@ pub(crate) fn exact_social_optimum_raw_model<W: EdgeWeights + ?Sized, M: CostMod
 
 /// Exact β of a profile: the maximum over agents of
 /// `cost(u, G)/cost(u, best response)`. Exponential per agent; the
-/// enumeration runs under the budget in `opts` (unlimited by default)
-/// and degrades to the certified upper bound ([`certify::beta_upper`],
-/// always ≥ the true β, so the profile *is* a β-NE for the reported
-/// value) when the instance exceeds the enumeration cap, the budget
-/// runs out, or the solve panics.
+/// enumeration runs under `cfg.budget` (`GNCG_BUDGET_MS` by default,
+/// unlimited when unset) and degrades to the certified upper bound
+/// ([`certify::beta_upper`], always ≥ the true β, so the profile *is* a
+/// β-NE for the reported value) when the instance exceeds the
+/// enumeration cap, the budget runs out, or the solve panics.
 pub fn exact_beta<W: EdgeWeights + ?Sized>(
+    w: &W,
+    net: &OwnedNetwork,
+    alpha: f64,
+    cfg: &SolverConfig,
+) -> Outcome<f64> {
+    crate::dispatch_model!(cfg.model, M, {
+        exact_beta_generic::<W, M>(w, net, alpha, &cfg.budget)
+    })
+}
+
+/// [`exact_beta`] with the legacy [`SolveOptions`] surface.
+#[deprecated(note = "build a `SolverConfig` and call `exact_beta` instead")]
+pub fn exact_beta_with_options<W: EdgeWeights + ?Sized>(
     w: &W,
     net: &OwnedNetwork,
     alpha: f64,
     opts: &SolveOptions,
 ) -> Outcome<f64> {
     crate::dispatch_model!(opts.model, M, {
-        exact_beta_generic::<W, M>(w, net, alpha, opts)
+        exact_beta_generic::<W, M>(w, net, alpha, &opts.budget)
     })
 }
 
@@ -161,7 +188,7 @@ fn exact_beta_generic<W: EdgeWeights + ?Sized, M: CostModel>(
     w: &W,
     net: &OwnedNetwork,
     alpha: f64,
-    opts: &SolveOptions,
+    budget: &Budget,
 ) -> Outcome<f64> {
     let n = net.len();
     if n > best_response::MAX_EXACT_AGENTS {
@@ -173,7 +200,7 @@ fn exact_beta_generic<W: EdgeWeights + ?Sized, M: CostModel>(
             },
         };
     }
-    match outcome::attempt(&opts.budget, || exact_beta_raw_model::<W, M>(w, net, alpha)) {
+    match outcome::attempt(budget, || exact_beta_raw_model::<W, M>(w, net, alpha)) {
         Ok(beta) => Outcome::Exact(beta),
         Err(reason) => Outcome::Degraded {
             certified_bound: certify::beta_upper_model::<W, M>(w, net, alpha),
@@ -220,7 +247,7 @@ mod tests {
     use gncg_geometry::generators;
 
     fn optimum(ps: &impl EdgeWeights, alpha: f64) -> ExactOptimum {
-        exact_social_optimum(ps, alpha, &SolveOptions::default()).expect_exact("optimum")
+        exact_social_optimum(ps, alpha, &SolverConfig::default()).expect_exact("optimum")
     }
 
     #[test]
@@ -274,7 +301,7 @@ mod tests {
         let mut net = OwnedNetwork::empty(2);
         net.buy(0, 1);
         assert!(is_nash(&ps, &net, 1.0));
-        let beta = exact_beta(&ps, &net, 1.0, &SolveOptions::default()).expect_exact("beta");
+        let beta = exact_beta(&ps, &net, 1.0, &SolverConfig::default()).expect_exact("beta");
         assert!((beta - 1.0).abs() < 1e-9);
     }
 
@@ -305,7 +332,7 @@ mod tests {
     #[test]
     fn merged_entry_degrades_instead_of_panicking_on_oversized() {
         let ps = generators::uniform_unit_square(12, 1);
-        match exact_social_optimum(&ps, 1.0, &SolveOptions::default()) {
+        match exact_social_optimum(&ps, 1.0, &SolverConfig::default()) {
             Outcome::Degraded {
                 certified_bound,
                 reason: DegradeReason::InstanceTooLarge { n: 12, .. },
@@ -321,11 +348,11 @@ mod tests {
         // eccentricity floor max(u, 3−u) per agent — (3,2,2,3), total
         // 10 — and with tiny alpha the optimum must reach it.
         let ps = generators::line(4, 3.0);
-        let opts = SolveOptions::default().with_model(ModelKind::MaxDistance);
+        let opts = SolverConfig::default().with_model(ModelKind::MaxDistance);
         let opt = exact_social_optimum(&ps, 1e-6, &opts).expect_exact("max optimum");
         assert!((opt.social_cost - (1e-6 * opt.graph.total_weight() + 10.0)).abs() < 1e-9);
         let sum_opt =
-            exact_social_optimum(&ps, 1e-6, &SolveOptions::default()).expect_exact("sum optimum");
+            exact_social_optimum(&ps, 1e-6, &SolverConfig::default()).expect_exact("sum optimum");
         assert!(
             opt.social_cost
                 <= cost::social_cost_of_graph_model::<crate::MaxDistance>(&sum_opt.graph, 1e-6)
@@ -341,7 +368,7 @@ mod tests {
         let mut net = OwnedNetwork::empty(2);
         net.buy(0, 1);
         assert!(is_nash_model::<_, MaxDistance>(&ps, &net, 1.0));
-        let opts = SolveOptions::default().with_model(ModelKind::MaxDistance);
+        let opts = SolverConfig::default().with_model(ModelKind::MaxDistance);
         let beta = exact_beta(&ps, &net, 1.0, &opts).expect_exact("beta");
         assert!((beta - 1.0).abs() < 1e-9);
         // the unstable sum-model witness is unstable under max too: the

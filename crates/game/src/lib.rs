@@ -31,6 +31,9 @@
 //!   `GNCG_EVAL_BACKEND` onto the exact or spanner-backed certifier,
 //! * [`prune`] — geometric move pruning ([`PruneMode`], `GNCG_PRUNE`):
 //!   sound lower bounds that discard candidates bit-identically,
+//! * [`solver_config`] — the unified builder-style [`SolverConfig`]
+//!   accepted by every solver entry point (model × formation × backend
+//!   × prune × budget × certify flags × cache policy),
 //! * [`model`] — the cost-model abstraction ([`CostModel`],
 //!   [`SumDistances`]/[`MaxDistance`]) and edge-formation rules
 //!   ([`EdgeFormation`], [`GameSpec`]) every engine is generic over,
@@ -52,6 +55,7 @@ pub mod moves;
 pub mod network;
 pub mod outcome;
 pub mod prune;
+pub mod solver_config;
 
 pub use backend::EvalBackend;
 pub use eval::EvalContext;
@@ -59,6 +63,7 @@ pub use model::{CostModel, EdgeFormation, GameSpec, MaxDistance, ModelKind, SumD
 pub use network::OwnedNetwork;
 pub use outcome::{DegradeReason, Outcome, Regime, SolveOptions};
 pub use prune::PruneMode;
+pub use solver_config::{CachePolicy, SolverConfig};
 
 use gncg_geometry::PointSet;
 use gncg_graph::DistMatrix;

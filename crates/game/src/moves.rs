@@ -19,6 +19,7 @@ use crate::prune::{MoveFilter, PruneMode};
 use crate::{cost, CostModel, EdgeWeights, OwnedNetwork, SumDistances};
 use gncg_geometry::PointSet;
 use gncg_graph::Graph;
+use gncg_parallel::arena;
 use gncg_spanner::GridIndex;
 use std::collections::BTreeSet;
 
@@ -145,10 +146,11 @@ pub fn best_single_move_from_eval_mode_model<M: CostModel>(
     mode: PruneMode,
 ) -> Option<Move> {
     let u = eval.agent;
-    let mut scratch = ResponseScratch::default();
-    let current: Vec<usize> = net.strategy(u).iter().copied().collect();
+    let mut scratch = arena::rent::<ResponseScratch>();
+    let mut current = arena::rent::<Vec<usize>>();
+    current.extend(net.strategy(u).iter().copied());
     let current_cost = eval.cost_with_model::<M, _>(alpha, current.iter().copied(), &mut scratch);
-    let mut cand = Vec::with_capacity(current.len() + 1);
+    let mut cand = arena::rent::<Vec<usize>>();
     best_single_step::<M>(
         eval,
         net.len(),
@@ -201,7 +203,7 @@ fn best_single_step<M: CostModel>(
     mode: PruneMode,
 ) -> Option<(Step, f64)> {
     if mode.is_on() {
-        return best_single_step_batched::<M>(eval, n, current, current_cost, alpha, cand);
+        return best_single_step_batched::<M>(eval, n, current, current_cost, alpha);
     }
     let u = eval.agent;
     let mut best: Option<(Step, f64)> = None;
@@ -265,66 +267,184 @@ fn best_single_step_batched<M: CostModel>(
     current: &[usize],
     current_cost: f64,
     alpha: f64,
-    cand: &mut Vec<usize>,
 ) -> Option<(Step, f64)> {
-    let u = eval.agent;
     // The margin filter takes the floor appropriate to `M` — the metric
     // sum for the paper's objective, the metric max for max-distance
     // (rule 3 holds per model; see `crate::prune`).
     let filter = MoveFilter::new(eval.lb_dist_model::<M>(), current_cost);
-    let fixed = &eval.fixed_incident;
+    // Full scan: every agent is an add / swap-in target.
+    let mut targets = arena::rent::<Vec<usize>>();
+    targets.extend(0..n);
+    best_single_step_scan::<M>(eval, n, current, current_cost, alpha, &filter, &targets)
+}
 
-    // Per-target two smallest `ew[x] + D[x][v]` over the neighbour slots
-    // (fixed_incident ++ current, the neighbour order of `cost_with`),
-    // plus the slot achieving the minimum.
-    let mut min1 = vec![f64::INFINITY; n];
-    let mut min2 = vec![f64::INFINITY; n];
-    let mut arg = vec![usize::MAX; n];
-    for (s, &x) in fixed.iter().chain(current.iter()).enumerate() {
+/// Per-target structure-of-arrays state of the batched engines: the two
+/// smallest `ew[x] + D[x][v]` over the neighbour slots (`fixed_incident
+/// ++ current`, the neighbour order of `cost_with`) and the slot
+/// achieving the minimum. All three live in arena-rented buffers.
+struct SlotMinima {
+    min1: arena::Lease<Vec<f64>>,
+    min2: arena::Lease<Vec<f64>>,
+    arg: arena::Lease<Vec<u32>>,
+}
+
+/// Build the slot minima with a branch-free select chain over each
+/// contiguous rest-distance row, so the compiler can vectorize the
+/// pass. Per target `v` the slots are still visited in the same
+/// ascending `s` order as the legacy branchy loop, and each select is
+/// the exact f64 compare the branches took, so `min1`/`min2`/`arg`
+/// carry identical bits.
+fn slot_minima(eval: &ResponseEvaluator<'_>, current: &[usize], n: usize) -> SlotMinima {
+    let mut min1 = arena::rent_vec(n, f64::INFINITY);
+    let mut min2 = arena::rent_vec(n, f64::INFINITY);
+    let mut arg = arena::rent_vec(n, u32::MAX);
+    for (s, &x) in eval.fixed_incident.iter().chain(current.iter()).enumerate() {
         let ew = eval.edge_weight(x);
         let row = eval.rest_row(x);
-        for v in 0..n {
-            let via = ew + row[v];
-            if via < min1[v] {
-                min2[v] = min1[v];
-                min1[v] = via;
-                arg[v] = s;
-            } else if via < min2[v] {
-                min2[v] = via;
-            }
+        let s = s as u32;
+        for (((m1, m2), a), &d) in min1
+            .iter_mut()
+            .zip(min2.iter_mut())
+            .zip(arg.iter_mut())
+            .zip(&row[..n])
+        {
+            let via = ew + d;
+            let lt1 = via < *m1;
+            let lt2 = via < *m2;
+            *m2 = if lt1 {
+                *m1
+            } else if lt2 {
+                via
+            } else {
+                *m2
+            };
+            *a = if lt1 { s } else { *a };
+            *m1 = if lt1 { via } else { *m1 };
         }
     }
+    SlotMinima { min1, min2, arg }
+}
 
-    // `cost_with` accumulates the candidate's buy cost over the sorted
-    // candidate order — replicate that fl-for-fl.
-    let buy_of = |cand: &[usize]| -> f64 {
-        let mut buy = 0.0;
-        for &x in cand {
-            buy += eval.edge_weight(x);
+/// Buy cost of `current` with `skip` removed and `insert` added,
+/// folded in the sorted candidate order — the exact fl value
+/// `cost_with` accumulates for that candidate. Pass `usize::MAX` for a
+/// role that does not apply; `insert` lands before the first surviving
+/// strategy entry greater than it, i.e. at its sorted position. Folding
+/// directly from `current` skips the candidate-buffer materialization
+/// the legacy engine paid per candidate.
+#[inline]
+fn buy_fold(eval: &ResponseEvaluator<'_>, current: &[usize], skip: usize, insert: usize) -> f64 {
+    let mut buy = 0.0;
+    let mut inserted = insert == usize::MAX;
+    for &x in current {
+        if x == skip {
+            continue;
         }
-        buy
-    };
-    // Distance sum in ascending `others` order (the `cost_with` order),
-    // with the rule-2 early exit; `pick(v)` yields the candidate's
-    // per-target minimum.
-    let others = &eval.others;
-    let sum_cost = |base: f64, cutoff: f64, pick: &dyn Fn(usize) -> f64| -> f64 {
-        let mut dist_agg = M::EMPTY;
-        for &v in others {
+        if !inserted && insert < x {
+            buy += eval.edge_weight(insert);
+            inserted = true;
+        }
+        buy += eval.edge_weight(x);
+    }
+    if !inserted {
+        buy += eval.edge_weight(insert);
+    }
+    buy
+}
+
+/// Distance fold in ascending target order (the `cost_with` order —
+/// `0..n` minus the agent) with the rule-2 early exit; `pick(v)` yields
+/// the candidate's per-target minimum. Generic over `pick` so each
+/// candidate family monomorphizes to a direct loop — the old `&dyn Fn`
+/// indirection cost a virtual call per target.
+///
+/// The cutoff/∞ test runs once per block of [`FOLD_CHECK_BLOCK`]
+/// targets rather than per element. This returns the same bits as the
+/// per-element test: both cost models fold non-negative terms
+/// monotonically (sum of distances never decreases; max never
+/// decreases), so some prefix aggregate exceeds the cutoff or hits ∞
+/// iff the final aggregate does — the per-element exit only ever saved
+/// work, never changed the answer. Checking per block keeps that saving
+/// at block granularity while freeing the inner loop of a compare and
+/// an add per target.
+#[inline]
+fn fold_cost<M: CostModel>(
+    n: usize,
+    u: usize,
+    base: f64,
+    cutoff: f64,
+    pick: impl Fn(usize) -> f64,
+) -> f64 {
+    // Splitting at `u` visits exactly the targets `0..n` minus the
+    // agent, in the same ascending order, without testing `v == u` on
+    // every element.
+    match fold_segment::<M>(0, u.min(n), M::EMPTY, base, cutoff, &pick) {
+        Some(agg) => match fold_segment::<M>((u + 1).min(n), n, agg, base, cutoff, &pick) {
+            Some(agg) => base + agg,
+            None => f64::INFINITY,
+        },
+        None => f64::INFINITY,
+    }
+}
+
+/// Fold `pick` over `from..to`, bailing with `None` once a block-end
+/// check sees the cutoff exceeded or an infinite aggregate.
+#[inline]
+fn fold_segment<M: CostModel>(
+    from: usize,
+    to: usize,
+    mut dist_agg: f64,
+    base: f64,
+    cutoff: f64,
+    pick: impl Fn(usize) -> f64,
+) -> Option<f64> {
+    let mut v = from;
+    while v < to {
+        let end = (v + FOLD_CHECK_BLOCK).min(to);
+        while v < end {
             dist_agg = M::fold(dist_agg, pick(v));
-            if base + dist_agg > cutoff || dist_agg.is_infinite() {
-                return f64::INFINITY;
-            }
+            v += 1;
         }
-        base + dist_agg
-    };
+        if base + dist_agg > cutoff || dist_agg.is_infinite() {
+            return None;
+        }
+    }
+    Some(dist_agg)
+}
+
+/// Targets folded between consecutive cutoff checks in [`fold_cost`]:
+/// large enough that the check cost vanishes, small enough that an
+/// early-exceeding candidate still bails after a handful of extra fold
+/// steps (each a single compare-plus-add).
+const FOLD_CHECK_BLOCK: usize = 16;
+
+/// Shared body of both batched engines: drops over the current
+/// strategy, adds and swap-ins over the sorted `targets` list. Every
+/// target *not* in the list must be provably margin-pruned — the full
+/// engine passes `0..n`, the grid engine a radius-restricted subset —
+/// so the evaluated candidate sequence (and every cost bit) is the same
+/// for any sound target list.
+fn best_single_step_scan<M: CostModel>(
+    eval: &ResponseEvaluator<'_>,
+    n: usize,
+    current: &[usize],
+    current_cost: f64,
+    alpha: f64,
+    filter: &MoveFilter,
+    targets: &[usize],
+) -> Option<(Step, f64)> {
+    let u = eval.agent;
+    let nfixed = eval.fixed_incident.len();
+    let minima = slot_minima(eval, current, n);
+    // Fixed-length slice views so the `pick` closures index without
+    // bounds checks (every target is `< n` by construction).
+    let (min1, min2, arg) = (&minima.min1[..n], &minima.min2[..n], &minima.arg[..n]);
 
     let mut best: Option<(Step, f64)> = None;
     macro_rules! evaluate {
-        ($step:expr, $pick:expr) => {{
+        ($step:expr, $buy:expr, $pick:expr) => {{
             let step = $step;
-            write_candidate(current, step, cand);
-            let buy = buy_of(cand);
+            let buy = $buy;
             if filter.prunes(alpha, buy) {
                 gncg_trace::incr(gncg_trace::Counter::MovesPruned);
             } else {
@@ -333,52 +453,68 @@ fn best_single_step_batched<M: CostModel>(
                     Some((_, bc)) if *bc < current_cost => *bc,
                     _ => current_cost,
                 };
-                let c = sum_cost(alpha * buy, cutoff, &$pick);
+                let c = fold_cost::<M>(n, u, alpha * buy, cutoff, $pick);
                 consider(&mut best, step, c, current_cost);
             }
         }};
     }
 
-    // drops
+    // drops: always over the current strategy, O(deg)
     for (j, &v) in current.iter().enumerate() {
-        let excl = fixed.len() + j;
-        evaluate!(Step::Drop(v), |t: usize| if arg[t] == excl {
-            min2[t]
-        } else {
-            min1[t]
-        });
+        let excl = (nfixed + j) as u32;
+        evaluate!(
+            Step::Drop(v),
+            buy_fold(eval, current, v, usize::MAX),
+            |t: usize| if arg[t] == excl { min2[t] } else { min1[t] }
+        );
     }
     // adds
-    for inn in 0..n {
+    for &inn in targets {
         if inn != u && current.binary_search(&inn).is_err() {
             let ew = eval.edge_weight(inn);
-            let row = eval.rest_row(inn);
-            evaluate!(Step::Add(inn), |t: usize| {
-                let via = ew + row[t];
-                if via < min1[t] {
-                    via
-                } else {
-                    min1[t]
-                }
-            });
-        }
-    }
-    // swaps
-    for (j, &out) in current.iter().enumerate() {
-        let excl = fixed.len() + j;
-        for inn in 0..n {
-            if inn != u && inn != out && current.binary_search(&inn).is_err() {
-                let ew = eval.edge_weight(inn);
-                let row = eval.rest_row(inn);
-                evaluate!(Step::Swap(out, inn), |t: usize| {
-                    let ex = if arg[t] == excl { min2[t] } else { min1[t] };
+            let row = &eval.rest_row(inn)[..n];
+            evaluate!(
+                Step::Add(inn),
+                buy_fold(eval, current, usize::MAX, inn),
+                |t: usize| {
                     let via = ew + row[t];
-                    if via < ex {
+                    if via < min1[t] {
                         via
                     } else {
-                        ex
+                        min1[t]
                     }
-                });
+                }
+            );
+        }
+    }
+    // swaps: targets per dropped slot. The slot-excluded minima row is
+    // materialized once per dropped slot — a pure per-element select,
+    // so `exs[t]` carries the exact bits the inline
+    // `arg[t] == excl ? min2[t] : min1[t]` produced — and amortizes
+    // over the ~n swap-in folds that read it.
+    let mut ex = arena::rent_vec(n, 0.0f64);
+    for (j, &out) in current.iter().enumerate() {
+        let excl = (nfixed + j) as u32;
+        for (e, (&a, (&m1, &m2))) in ex.iter_mut().zip(arg.iter().zip(min1.iter().zip(min2))) {
+            *e = if a == excl { m2 } else { m1 };
+        }
+        let exs = &ex[..n];
+        for &inn in targets {
+            if inn != u && inn != out && current.binary_search(&inn).is_err() {
+                let ew = eval.edge_weight(inn);
+                let row = &eval.rest_row(inn)[..n];
+                evaluate!(
+                    Step::Swap(out, inn),
+                    buy_fold(eval, current, out, inn),
+                    |t: usize| {
+                        let via = ew + row[t];
+                        if via < exs[t] {
+                            via
+                        } else {
+                            exs[t]
+                        }
+                    }
+                );
             }
         }
     }
@@ -453,40 +589,31 @@ pub fn best_single_move_grid_model<M: CostModel>(
 ) -> Option<Move> {
     let u = eval.agent;
     let n = net.len();
-    let mut scratch = ResponseScratch::default();
-    let current: Vec<usize> = net.strategy(u).iter().copied().collect();
+    let mut scratch = arena::rent::<ResponseScratch>();
+    let mut current = arena::rent::<Vec<usize>>();
+    current.extend(net.strategy(u).iter().copied());
     let current_cost = eval.cost_with_model::<M, _>(alpha, current.iter().copied(), &mut scratch);
-    let mut cand = Vec::with_capacity(current.len() + 1);
     let filter = MoveFilter::new(eval.lb_dist_model::<M>(), current_cost);
-    let targets: Vec<usize> = match prune_radius(&filter, alpha) {
+    let mut targets = arena::rent::<Vec<usize>>();
+    match prune_radius(&filter, alpha) {
         None => {
             // No sound restriction: full scan via the batched engine.
             gncg_trace::add(gncg_trace::Counter::CandidatesGenerated, (n - 1) as u64);
-            return best_single_step_batched::<M>(
-                eval,
-                n,
-                &current,
-                current_cost,
-                alpha,
-                &mut cand,
-            )
-            .map(|(step, c)| Move {
-                strategy: materialize(&current, step),
-                cost: c,
-            });
+            return best_single_step_batched::<M>(eval, n, &current, current_cost, alpha).map(
+                |(step, c)| Move {
+                    strategy: materialize(&current, step),
+                    cost: c,
+                },
+            );
         }
         Some(r) => {
-            if r == 0.0 {
-                Vec::new()
-            } else {
+            if r > 0.0 {
                 // Targets with `ew < R`, i.e. `dist ≤ prev(R)`.
                 let ball = f64::from_bits(r.to_bits() - 1);
-                let mut out = Vec::new();
-                index.within_radius(ps, u, ball, &mut out);
-                out
+                index.within_radius(ps, u, ball, &mut targets);
             }
         }
-    };
+    }
     gncg_trace::add(
         gncg_trace::Counter::CandidatesGenerated,
         targets.len() as u64,
@@ -495,142 +622,12 @@ pub fn best_single_move_grid_model<M: CostModel>(
         gncg_trace::Counter::CandidatesSkipped,
         (n - 1 - targets.len()) as u64,
     );
-    best_single_step_grid::<M>(
-        eval,
-        &current,
-        current_cost,
-        alpha,
-        &mut cand,
-        &filter,
-        &targets,
+    best_single_step_scan::<M>(eval, n, &current, current_cost, alpha, &filter, &targets).map(
+        |(step, c)| Move {
+            strategy: materialize(&current, step),
+            cost: c,
+        },
     )
-    .map(|(step, c)| Move {
-        strategy: materialize(&current, step),
-        cost: c,
-    })
-}
-
-/// The batched engine restricted to a caller-supplied sorted target
-/// list for adds and swap-ins (drops always scan the current
-/// strategy). Every target *not* in the list must be provably
-/// margin-pruned — [`best_single_move_grid_model`] guarantees this —
-/// so the evaluated candidate sequence matches the full batched
-/// engine exactly.
-#[allow(clippy::too_many_arguments)]
-fn best_single_step_grid<M: CostModel>(
-    eval: &ResponseEvaluator<'_>,
-    current: &[usize],
-    current_cost: f64,
-    alpha: f64,
-    cand: &mut Vec<usize>,
-    filter: &MoveFilter,
-    targets: &[usize],
-) -> Option<(Step, f64)> {
-    let u = eval.agent;
-    let n = eval.others.len() + 1;
-    let fixed = &eval.fixed_incident;
-
-    let mut min1 = vec![f64::INFINITY; n];
-    let mut min2 = vec![f64::INFINITY; n];
-    let mut arg = vec![usize::MAX; n];
-    for (s, &x) in fixed.iter().chain(current.iter()).enumerate() {
-        let ew = eval.edge_weight(x);
-        let row = eval.rest_row(x);
-        for v in 0..n {
-            let via = ew + row[v];
-            if via < min1[v] {
-                min2[v] = min1[v];
-                min1[v] = via;
-                arg[v] = s;
-            } else if via < min2[v] {
-                min2[v] = via;
-            }
-        }
-    }
-
-    let buy_of = |cand: &[usize]| -> f64 {
-        let mut buy = 0.0;
-        for &x in cand {
-            buy += eval.edge_weight(x);
-        }
-        buy
-    };
-    let others = &eval.others;
-    let sum_cost = |base: f64, cutoff: f64, pick: &dyn Fn(usize) -> f64| -> f64 {
-        let mut dist_agg = M::EMPTY;
-        for &v in others {
-            dist_agg = M::fold(dist_agg, pick(v));
-            if base + dist_agg > cutoff || dist_agg.is_infinite() {
-                return f64::INFINITY;
-            }
-        }
-        base + dist_agg
-    };
-
-    let mut best: Option<(Step, f64)> = None;
-    macro_rules! evaluate {
-        ($step:expr, $pick:expr) => {{
-            let step = $step;
-            write_candidate(current, step, cand);
-            let buy = buy_of(cand);
-            if filter.prunes(alpha, buy) {
-                gncg_trace::incr(gncg_trace::Counter::MovesPruned);
-            } else {
-                gncg_trace::incr(gncg_trace::Counter::MovesEvaluated);
-                let cutoff = match &best {
-                    Some((_, bc)) if *bc < current_cost => *bc,
-                    _ => current_cost,
-                };
-                let c = sum_cost(alpha * buy, cutoff, &$pick);
-                consider(&mut best, step, c, current_cost);
-            }
-        }};
-    }
-
-    // drops: unchanged, O(deg)
-    for (j, &v) in current.iter().enumerate() {
-        let excl = fixed.len() + j;
-        evaluate!(Step::Drop(v), |t: usize| if arg[t] == excl {
-            min2[t]
-        } else {
-            min1[t]
-        });
-    }
-    // adds: only grid-generated targets
-    for &inn in targets {
-        if inn != u && current.binary_search(&inn).is_err() {
-            let ew = eval.edge_weight(inn);
-            let row = eval.rest_row(inn);
-            evaluate!(Step::Add(inn), |t: usize| {
-                let via = ew + row[t];
-                if via < min1[t] {
-                    via
-                } else {
-                    min1[t]
-                }
-            });
-        }
-    }
-    // swaps: grid-generated swap-ins per dropped slot
-    for (j, &out) in current.iter().enumerate() {
-        let excl = fixed.len() + j;
-        for &inn in targets {
-            if inn != u && inn != out && current.binary_search(&inn).is_err() {
-                let ew = eval.edge_weight(inn);
-                let row = eval.rest_row(inn);
-                evaluate!(Step::Swap(out, inn), |t: usize| {
-                    let ex = if arg[t] == excl { min2[t] } else { min1[t] };
-                    let via = ew + row[t];
-                    if via < ex {
-                        via
-                    } else {
-                        ex
-                    }
-                });
-            }
-        }
-    }
-    best
 }
 
 /// Write `current` with `step` applied into `out`, keeping it sorted (the
@@ -746,12 +743,13 @@ fn local_search_from_eval<M: CostModel>(
     max_rounds: usize,
     mode: PruneMode,
 ) -> Move {
-    let mut scratch = ResponseScratch::default();
-    let mut current: Vec<usize> = net.strategy(u).iter().copied().collect();
+    let mut scratch = arena::rent::<ResponseScratch>();
+    let mut current = arena::rent::<Vec<usize>>();
+    current.extend(net.strategy(u).iter().copied());
     let mut current_cost =
         eval.cost_with_model::<M, _>(alpha, current.iter().copied(), &mut scratch);
-    let mut cand = Vec::with_capacity(current.len() + 1);
-    let mut next = Vec::with_capacity(current.len() + 1);
+    let mut cand = arena::rent::<Vec<usize>>();
+    let mut next = arena::rent::<Vec<usize>>();
     for _ in 0..max_rounds {
         match best_single_step::<M>(
             eval,
@@ -772,7 +770,7 @@ fn local_search_from_eval<M: CostModel>(
         }
     }
     Move {
-        strategy: current.into_iter().collect(),
+        strategy: current.iter().copied().collect(),
         cost: current_cost,
     }
 }

@@ -1,0 +1,388 @@
+//! The unified solver-options surface: [`SolverConfig`].
+//!
+//! The solver entry points historically grew one options struct each —
+//! [`SolveOptions`] (budget + model) for the exact solvers,
+//! [`CertifyOptions`] (exact flags + witness + budget + model) for the
+//! certifier, [`GameSpec`] (model + formation) for the dynamics,
+//! [`crate::approx::ApproxCertifyOptions`] for the bracketed certifier,
+//! plus free-standing [`EvalBackend`] and [`PruneMode`] parameters.
+//! Every axis made sense when it was added; together they forced each
+//! caller to know which subset of knobs each entry point reads, and the
+//! combinations drifted (the sweep engine threaded a budget through
+//! `CertifyOptions` but a model through `GameSpec`, the service layer
+//! re-wrapped budgets per submit, ...).
+//!
+//! [`SolverConfig`] is the one builder-style struct every entry point
+//! accepts: `exact_*`, [`crate::certify::certify`],
+//! [`crate::approx::certify_approx`], [`crate::dynamics::run_spec`],
+//! and the service layer's `Session::submit_*` family. Each entry point
+//! reads the axes it understands and ignores the rest, so one config
+//! value can drive a whole experiment (dynamics → certify → exact
+//! validation) without re-translation.
+//!
+//! The legacy structs remain as plumbing types (the monomorphic solver
+//! bodies still consume them) and the old entry-point signatures
+//! survive one release as `#[deprecated]` shims — see the migration
+//! note in the README.
+//!
+//! # Defaults
+//!
+//! `SolverConfig::default()` reproduces the historical certifier
+//! defaults: the paper's game (sum-of-distances objective, unilateral
+//! edge formation), the exact evaluation backend, the process-wide
+//! `GNCG_PRUNE` prune mode, the `GNCG_BUDGET_MS` budget (unlimited when
+//! unset), witness search on, exact enumeration off, caching off.
+//! The one deliberate unification: the exact solvers historically
+//! defaulted to an *unlimited* budget while the certifier read
+//! `GNCG_BUDGET_MS`; under `SolverConfig` every entry point defaults to
+//! the env budget (identical behaviour whenever the variable is unset,
+//! which is the tested configuration). Call
+//! [`SolverConfig::unbudgeted`] to pin the old exact-solver default
+//! regardless of the environment.
+
+use crate::backend::EvalBackend;
+use crate::certify::CertifyOptions;
+use crate::model::{EdgeFormation, GameSpec};
+use crate::outcome::SolveOptions;
+use crate::prune::PruneMode;
+use crate::ModelKind;
+use gncg_parallel::Budget;
+
+/// Whether (and under which content key) a submit-layer result may be
+/// served from / written to the content-addressed result cache.
+///
+/// The policy carries only the *key*; the cache handle itself is
+/// attached to the executing `Session` (one cache per process), so a
+/// `SolverConfig` stays a plain value that can cross threads and be
+/// serialized into job descriptions. The caller owns the soundness of
+/// the key — it must be the content address of the canonical instance
+/// + options (see `gncg_json::canon::content_key`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Never consult or populate the cache (the historical behaviour of
+    /// every entry point except `submit_certify_cached`).
+    #[default]
+    Disabled,
+    /// Serve from / write back to the attached result cache under this
+    /// content key. Silently equivalent to [`CachePolicy::Disabled`]
+    /// when no cache is attached or the job runs under a limited budget
+    /// (budgeted results can degrade nondeterministically and must
+    /// never be cached — the cache-consistency rule).
+    Keyed {
+        /// Content address of the canonical instance + options.
+        key: String,
+    },
+}
+
+impl CachePolicy {
+    /// The content key, when caching is requested.
+    pub fn key(&self) -> Option<&str> {
+        match self {
+            CachePolicy::Disabled => None,
+            CachePolicy::Keyed { key } => Some(key),
+        }
+    }
+}
+
+/// Unified options for every solver entry point — see the module docs
+/// for the axes and defaults. Builder-style: start from a preset
+/// ([`SolverConfig::default`], [`SolverConfig::exact`],
+/// [`SolverConfig::bounds_only`]) and chain `with_*` calls.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// The per-agent objective (the paper's sum of distances by
+    /// default; deliberately *not* environment-derived — binaries that
+    /// want the `GNCG_MODEL` choice read it off `GncgConfig` and pass
+    /// it in with [`SolverConfig::with_model`]).
+    pub model: ModelKind,
+    /// Who must agree before an edge exists (dynamics only).
+    pub formation: EdgeFormation,
+    /// Exact or spanner-backed evaluation (bracketed certification
+    /// only).
+    pub backend: EvalBackend,
+    /// Geometric move pruning (dynamics only; the `GNCG_PRUNE` env
+    /// default — bit-identical either way, see [`crate::prune`]).
+    pub prune: PruneMode,
+    /// Budget for the *exponential* solver parts. Defaults to
+    /// `GNCG_BUDGET_MS` ([`Budget::from_env`], unlimited when unset).
+    pub budget: Budget,
+    /// Certifier: compute exact β via exact best responses
+    /// (exponential; skipped past the enumeration cap).
+    pub exact_beta: bool,
+    /// Certifier: compute exact γ via the exact social optimum.
+    pub exact_gamma: bool,
+    /// Certifier: compute the local-search instability witness.
+    pub witness: bool,
+    /// Submit-layer result caching (see [`CachePolicy`]).
+    pub cache: CachePolicy,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            model: ModelKind::SumDistances,
+            formation: EdgeFormation::Unilateral,
+            backend: EvalBackend::Exact,
+            prune: PruneMode::from_env(),
+            budget: Budget::from_env(),
+            exact_beta: false,
+            exact_gamma: false,
+            witness: true,
+            cache: CachePolicy::Disabled,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The default configuration (alias for `Default::default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Everything exact (only sensible on small instances) — the
+    /// [`CertifyOptions::exact`] preset.
+    pub fn exact() -> Self {
+        Self {
+            exact_beta: true,
+            exact_gamma: true,
+            witness: true,
+            ..Self::default()
+        }
+    }
+
+    /// Bounds only, no witness (large instances) — the
+    /// [`CertifyOptions::bounds_only`] preset.
+    pub fn bounds_only() -> Self {
+        Self {
+            exact_beta: false,
+            exact_gamma: false,
+            witness: false,
+            ..Self::default()
+        }
+    }
+
+    /// Replace the cost model.
+    pub fn with_model(mut self, model: ModelKind) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Replace the edge-formation rule.
+    pub fn with_formation(mut self, formation: EdgeFormation) -> Self {
+        self.formation = formation;
+        self
+    }
+
+    /// Replace the evaluation backend.
+    pub fn with_backend(mut self, backend: EvalBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Replace the prune mode.
+    pub fn with_prune(mut self, prune: PruneMode) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Replace the budget by (a clone of) `budget` — the seam the job
+    /// service uses to impose per-job budgets without discarding the
+    /// caller's other axes.
+    pub fn with_budget(mut self, budget: &Budget) -> Self {
+        self.budget = budget.clone();
+        self
+    }
+
+    /// Explicitly unlimited budget, overriding `GNCG_BUDGET_MS` — the
+    /// historical default of the exact solvers.
+    pub fn unbudgeted(mut self) -> Self {
+        self.budget = Budget::unlimited();
+        self
+    }
+
+    /// Toggle exact-β computation.
+    pub fn with_exact_beta(mut self, on: bool) -> Self {
+        self.exact_beta = on;
+        self
+    }
+
+    /// Toggle exact-γ computation.
+    pub fn with_exact_gamma(mut self, on: bool) -> Self {
+        self.exact_gamma = on;
+        self
+    }
+
+    /// Toggle witness search.
+    pub fn with_witness(mut self, on: bool) -> Self {
+        self.witness = on;
+        self
+    }
+
+    /// Request content-addressed caching under `key` (see
+    /// [`CachePolicy::Keyed`] for when the request is honoured).
+    pub fn with_cache_key(mut self, key: impl Into<String>) -> Self {
+        self.cache = CachePolicy::Keyed { key: key.into() };
+        self
+    }
+
+    /// Disable caching.
+    pub fn without_cache(mut self) -> Self {
+        self.cache = CachePolicy::Disabled;
+        self
+    }
+
+    /// The `model × formation` pair as a [`GameSpec`] (the dynamics
+    /// plumbing type).
+    pub fn game_spec(&self) -> GameSpec {
+        GameSpec {
+            model: self.model,
+            formation: self.formation,
+        }
+    }
+
+    /// The axes the exact solvers read, as their plumbing type.
+    pub fn solve_options(&self) -> SolveOptions {
+        SolveOptions {
+            budget: self.budget.clone(),
+            model: self.model,
+        }
+    }
+
+    /// The axes the exact certifier reads, as its plumbing type.
+    pub fn certify_options(&self) -> CertifyOptions {
+        CertifyOptions {
+            exact_beta: self.exact_beta,
+            exact_gamma: self.exact_gamma,
+            witness: self.witness,
+            budget: self.budget.clone(),
+            model: self.model,
+        }
+    }
+
+    /// The axes the bracketed certifier reads: the backend's spanner
+    /// and pivot knobs (defaults when the backend is exact — the
+    /// bracketed certifier always runs on a spanner) plus the model.
+    pub fn approx_options(&self) -> crate::approx::ApproxCertifyOptions {
+        let base = crate::approx::ApproxCertifyOptions::default();
+        match self.backend {
+            EvalBackend::Exact => base.with_model(self.model),
+            EvalBackend::Spanner { kind, pivots } => base
+                .with_spanner(kind)
+                .with_pivots(pivots)
+                .with_model(self.model),
+        }
+    }
+}
+
+impl From<GameSpec> for SolverConfig {
+    fn from(spec: GameSpec) -> Self {
+        Self {
+            model: spec.model,
+            formation: spec.formation,
+            ..Self::default()
+        }
+    }
+}
+
+impl From<SolveOptions> for SolverConfig {
+    fn from(opts: SolveOptions) -> Self {
+        Self {
+            model: opts.model,
+            budget: opts.budget,
+            ..Self::default()
+        }
+    }
+}
+
+impl From<CertifyOptions> for SolverConfig {
+    fn from(opts: CertifyOptions) -> Self {
+        Self {
+            model: opts.model,
+            budget: opts.budget,
+            exact_beta: opts.exact_beta,
+            exact_gamma: opts.exact_gamma,
+            witness: opts.witness,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_historical_certify_options() {
+        let cfg = SolverConfig::default();
+        let legacy = CertifyOptions::default();
+        let derived = cfg.certify_options();
+        assert_eq!(derived.exact_beta, legacy.exact_beta);
+        assert_eq!(derived.exact_gamma, legacy.exact_gamma);
+        assert_eq!(derived.witness, legacy.witness);
+        assert_eq!(derived.model, legacy.model);
+        assert_eq!(cfg.cache, CachePolicy::Disabled);
+    }
+
+    #[test]
+    fn presets_mirror_certify_presets() {
+        let e = SolverConfig::exact();
+        assert!(e.exact_beta && e.exact_gamma && e.witness);
+        let b = SolverConfig::bounds_only();
+        assert!(!b.exact_beta && !b.exact_gamma && !b.witness);
+    }
+
+    #[test]
+    fn builders_set_each_axis() {
+        let budget = Budget::unlimited();
+        let cfg = SolverConfig::default()
+            .with_model(ModelKind::MaxDistance)
+            .with_formation(EdgeFormation::Bilateral)
+            .with_prune(PruneMode::Off)
+            .with_budget(&budget)
+            .with_exact_beta(true)
+            .with_exact_gamma(true)
+            .with_witness(false)
+            .with_cache_key("k123");
+        assert_eq!(cfg.model, ModelKind::MaxDistance);
+        assert_eq!(cfg.formation, EdgeFormation::Bilateral);
+        assert_eq!(cfg.prune, PruneMode::Off);
+        assert!(cfg.exact_beta && cfg.exact_gamma && !cfg.witness);
+        assert_eq!(cfg.cache.key(), Some("k123"));
+        assert_eq!(cfg.without_cache().cache.key(), None);
+    }
+
+    #[test]
+    fn game_spec_round_trips() {
+        let spec = GameSpec::bilateral(ModelKind::MaxDistance);
+        let cfg = SolverConfig::from(spec);
+        assert_eq!(cfg.game_spec(), spec);
+    }
+
+    #[test]
+    fn legacy_conversions_preserve_axes() {
+        let from_solve =
+            SolverConfig::from(SolveOptions::default().with_model(ModelKind::MaxDistance));
+        assert_eq!(from_solve.model, ModelKind::MaxDistance);
+        let from_certify = SolverConfig::from(CertifyOptions::exact());
+        assert!(from_certify.exact_beta && from_certify.exact_gamma);
+    }
+
+    #[test]
+    fn approx_options_inherit_spanner_backend_knobs() {
+        use gncg_spanner::SpannerKind;
+        let cfg = SolverConfig::default().with_backend(EvalBackend::Spanner {
+            kind: SpannerKind::Grid,
+            pivots: 3,
+        });
+        let opts = cfg.approx_options();
+        assert_eq!(opts.spanner, SpannerKind::Grid);
+        assert_eq!(opts.pivots, 3);
+        // exact backend: bracketed certification still needs a spanner,
+        // so the defaults apply
+        let dflt = SolverConfig::default().approx_options();
+        assert_eq!(
+            dflt.pivots,
+            crate::approx::ApproxCertifyOptions::default().pivots
+        );
+    }
+}

@@ -16,9 +16,9 @@
 //! oracle harnesses.
 
 use gncg_config::ModelKind;
-use gncg_game::approx::{certify_approx, ApproxCertifyOptions, LoMode};
-use gncg_game::certify::{certify, CertifyOptions};
-use gncg_game::OwnedNetwork;
+use gncg_game::approx::{certify_approx_tuned, ApproxCertifyOptions, LoMode};
+use gncg_game::certify::certify;
+use gncg_game::{OwnedNetwork, SolverConfig};
 use gncg_spanner::SpannerKind;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -117,9 +117,9 @@ fn bracket_sweep_model(model: ModelKind, seed_base: u64, cases: u64) {
             &ps,
             &net,
             alpha,
-            CertifyOptions::bounds_only().with_model(model),
+            &SolverConfig::bounds_only().with_model(model),
         );
-        let approx = certify_approx(
+        let approx = certify_approx_tuned(
             &ps,
             &net,
             alpha,
@@ -208,12 +208,12 @@ fn brackets_hold_on_degenerate_geometries() {
                     &ps,
                     &net,
                     alpha,
-                    CertifyOptions::bounds_only().with_model(model),
+                    &SolverConfig::bounds_only().with_model(model),
                 );
                 // the greedy spanner tolerates degenerate geometry in
                 // any dimension; cone constructions assume general
                 // position, so they are not swept here
-                let approx = certify_approx(
+                let approx = certify_approx_tuned(
                     &ps,
                     &net,
                     alpha,

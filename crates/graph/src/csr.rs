@@ -10,42 +10,54 @@
 use crate::{DistMatrix, Graph};
 
 /// Immutable CSR snapshot of an undirected weighted graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Csr {
     offsets: Vec<u32>,
     targets: Vec<u32>,
     weights: Vec<f64>,
 }
 
+/// Arena recycling: the best-response evaluator re-freezes a rest graph
+/// per evaluation and rents the CSR instead of allocating three flat
+/// arrays each time. A reset CSR has zero vertices; renters refill it
+/// with [`Csr::refill_from_graph`] / [`Csr::refill_from_graph_without_vertex`].
+impl gncg_parallel::arena::Scratch for Csr {
+    fn reset(&mut self) {
+        self.offsets.clear();
+        self.targets.clear();
+        self.weights.clear();
+    }
+}
+
 /// Reusable scratch space for [`Csr::dijkstra_into`].
 #[derive(Debug, Default)]
 pub struct DijkstraScratch {
-    heap: std::collections::BinaryHeap<HeapEntry>,
-    done: Vec<bool>,
+    heap: crate::heap4::QuadHeap,
 }
 
-#[derive(Debug, PartialEq)]
-struct HeapEntry {
-    dist: f64,
-    node: u32,
-}
-
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| other.node.cmp(&self.node))
+/// Arena recycling for per-worker Dijkstra scratch: hot loops rent a
+/// scratch with `gncg_parallel::arena::rent::<DijkstraScratch>()`
+/// instead of constructing one per call. The kernel drains the heap
+/// before returning, so a recycled scratch is indistinguishable from a
+/// fresh one.
+impl gncg_parallel::arena::Scratch for DijkstraScratch {
+    fn reset(&mut self) {
+        self.heap.clear();
     }
 }
 
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+/// Queue keys pack the raw IEEE bits of the tentative distance above
+/// the node id: `bits << 32 | node`. Every distance pushed is a sum of
+/// non-negative weights — sign bit clear (the kernel debug-asserts it)
+/// — and over sign-positive doubles the u64 bit pattern is strictly
+/// monotone in the value, so the packed integer compare orders entries
+/// by distance with ties broken toward the smaller node id: exactly the
+/// order the legacy float comparator imposed, and since `(bits, node)`
+/// pairs are distinct across live entries the pop sequence is
+/// bit-for-bit the legacy one regardless of heap arity.
+#[inline]
+pub(crate) fn pack_key(bits: u64, node: u32) -> u128 {
+    ((bits as u128) << 32) | node as u128
 }
 
 impl Csr {
@@ -68,6 +80,26 @@ impl Csr {
             offsets,
             targets,
             weights,
+        }
+    }
+
+    /// Re-snapshot `g` into this CSR, reusing the three flat buffers —
+    /// the allocation-free refresh for loops that re-freeze a mutating
+    /// graph (e.g. the approx-dynamics probe loop after each accepted
+    /// move). Produces exactly the arrays [`Csr::from_graph`] would.
+    pub fn refill_from_graph(&mut self, g: &Graph) {
+        let n = g.len();
+        assert!(n <= u32::MAX as usize, "graph too large for CSR u32 ids");
+        self.offsets.clear();
+        self.targets.clear();
+        self.weights.clear();
+        self.offsets.push(0u32);
+        for u in 0..n {
+            for &(v, w) in g.neighbors(u) {
+                self.targets.push(v as u32);
+                self.weights.push(w);
+            }
+            self.offsets.push(self.targets.len() as u32);
         }
     }
 
@@ -96,28 +128,31 @@ impl Csr {
     /// "rest graph" `G − u` of the best-response evaluator, built without
     /// mutating or cloning the adjacency-list graph.
     pub fn from_graph_without_vertex(g: &Graph, skip: usize) -> Self {
+        let mut csr = Self::default();
+        csr.refill_from_graph_without_vertex(g, skip);
+        csr
+    }
+
+    /// Allocation-free counterpart of [`Csr::from_graph_without_vertex`]:
+    /// re-snapshot `g` minus vertex `skip` into this CSR's buffers.
+    pub fn refill_from_graph_without_vertex(&mut self, g: &Graph, skip: usize) {
         let n = g.len();
         assert!(n <= u32::MAX as usize, "graph too large for CSR u32 ids");
         assert!(skip < n);
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut targets = Vec::with_capacity(2 * g.num_edges());
-        let mut weights = Vec::with_capacity(2 * g.num_edges());
-        offsets.push(0u32);
+        self.offsets.clear();
+        self.targets.clear();
+        self.weights.clear();
+        self.offsets.push(0u32);
         for u in 0..n {
             if u != skip {
                 for &(v, w) in g.neighbors(u) {
                     if v != skip {
-                        targets.push(v as u32);
-                        weights.push(w);
+                        self.targets.push(v as u32);
+                        self.weights.push(w);
                     }
                 }
             }
-            offsets.push(targets.len() as u32);
-        }
-        Self {
-            offsets,
-            targets,
-            weights,
+            self.offsets.push(self.targets.len() as u32);
         }
     }
 
@@ -143,34 +178,56 @@ impl Csr {
         assert_eq!(dist.len(), n, "distance row must have n entries");
         dist.fill(f64::INFINITY);
         scratch.heap.clear();
-        scratch.done.clear();
-        scratch.done.resize(n, false);
         dist[source] = 0.0;
-        scratch.heap.push(HeapEntry {
-            dist: 0.0,
-            node: source as u32,
-        });
+        scratch.heap.push(pack_key(0.0f64.to_bits(), source as u32));
         // work tallies live in registers; one gated trace call per kernel
         // invocation keeps the off-path free of per-edge instrumentation
         let (mut pops, mut relaxed) = (0u64, 0u64);
-        while let Some(HeapEntry { dist: d, node }) = scratch.heap.pop() {
+        while let Some(key) = scratch.heap.pop() {
             pops += 1;
-            let u = node as usize;
-            if scratch.done[u] {
+            let u = key as u32 as usize;
+            let d = f64::from_bits((key >> 32) as u64);
+            // Stale-entry scan in place of a settled bitmap: a node is
+            // re-popped only through an entry that was pushed before a
+            // strictly better one, so `d > dist[u]` flags exactly the
+            // entries a `done[u]` bit would have skipped — without the
+            // O(n) bitmap reset per source.
+            //
+            // SAFETY (here and below): every id in the heap was packed
+            // from either `source` (asserted < n by the `dist[source]`
+            // write above) or a CSR target, and `from_graph` /
+            // `refill_from_graph*` only emit targets < n, so all `dist`
+            // indices are in bounds. The unchecked loads keep the relax
+            // loop — the single hottest loop in the repo — free of
+            // per-iteration bound branches.
+            debug_assert!(u < n);
+            if d > unsafe { *dist.get_unchecked(u) } {
                 continue;
             }
-            scratch.done[u] = true;
-            let (ts, ws) = self.neighbors(u);
+            // Settled scan over the two contiguous CSR slices; the
+            // lockstep zip keeps the relax loop free of bounds checks.
+            // SAFETY: `u < n` (above) so `u + 1` indexes `offsets`
+            // (length n + 1), and the constructors keep `offsets`
+            // monotone with final entry `targets.len()`, so `lo..hi` is
+            // a valid range of the parallel target/weight arrays.
+            let (ts, ws) = unsafe {
+                let lo = *self.offsets.get_unchecked(u) as usize;
+                let hi = *self.offsets.get_unchecked(u + 1) as usize;
+                (
+                    self.targets.get_unchecked(lo..hi),
+                    self.weights.get_unchecked(lo..hi),
+                )
+            };
             for (&v, &w) in ts.iter().zip(ws) {
                 let nd = d + w;
                 let v = v as usize;
-                if nd < dist[v] {
+                debug_assert!(v < n);
+                let dv = unsafe { dist.get_unchecked_mut(v) };
+                if nd < *dv {
                     relaxed += 1;
-                    dist[v] = nd;
-                    scratch.heap.push(HeapEntry {
-                        dist: nd,
-                        node: v as u32,
-                    });
+                    *dv = nd;
+                    debug_assert!(nd.to_bits() >> 63 == 0, "negative tentative distance");
+                    scratch.heap.push(pack_key(nd.to_bits(), v as u32));
                 }
             }
         }
@@ -179,7 +236,7 @@ impl Csr {
 
     /// Sum of distances from `source` (∞ if anything unreachable).
     pub fn distance_sum(&self, source: usize, scratch: &mut DijkstraScratch) -> f64 {
-        let mut dist = Vec::new();
+        let mut dist = gncg_parallel::arena::rent::<Vec<f64>>();
         self.dijkstra_into(source, &mut dist, scratch);
         dist.iter().sum()
     }
@@ -189,13 +246,27 @@ impl Csr {
     /// [`crate::dijkstra::distances`] from every source.
     pub fn all_pairs(&self) -> DistMatrix {
         let _span = gncg_trace::span("graph.apsp");
-        let n = self.len();
-        let mut m = DistMatrix::filled(n, f64::INFINITY);
-        let rows: Vec<usize> = (0..n).collect();
-        m.par_fill_rows_with(&rows, DijkstraScratch::default, |scratch, u, row| {
-            self.dijkstra_into_slice(u, row, scratch)
-        });
+        let mut m = DistMatrix::default();
+        self.all_pairs_into(&mut m);
         m
+    }
+
+    /// APSP into a caller-owned (typically arena-rented) matrix, reshaped
+    /// to n×n. Allocation-free once the buffers reach steady-state size,
+    /// and span-free: the per-evaluation rest-graph path calls this a few
+    /// thousand times per dynamics run, where per-call span bookkeeping
+    /// is measurable; callers that want attribution (e.g. [`Csr::all_pairs`])
+    /// open their own span.
+    pub fn all_pairs_into(&self, m: &mut DistMatrix) {
+        let n = self.len();
+        m.reshape(n, f64::INFINITY);
+        let mut rows = gncg_parallel::arena::rent::<Vec<usize>>();
+        rows.extend(0..n);
+        m.par_fill_rows_with(
+            &rows,
+            gncg_parallel::arena::rent::<DijkstraScratch>,
+            |scratch, u, row| self.dijkstra_into_slice(u, row, scratch),
+        );
     }
 }
 

@@ -28,37 +28,17 @@
 //! no shortest-path fold can cross the removed edge, the min over
 //! edge-avoiding paths equals the min over all paths, bitwise.
 
-use crate::csr::Csr;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use crate::csr::{pack_key, Csr};
+use crate::heap4::QuadHeap;
 
-/// Min-heap entry ordered like the Dijkstra kernels in
-/// [`crate::csr`] / [`crate::dijkstra`]: smallest distance first,
-/// ties broken by smallest node id, so pop order (and hence the
-/// deterministic heap-pop trace counters) is schedule-independent.
-#[derive(Clone, Copy, PartialEq)]
-struct Entry {
-    dist: f64,
-    node: u32,
-}
-
-impl Eq for Entry {}
-
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.node.cmp(&self.node))
-    }
-}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
+// The queues below use the same packed `(distance bits, node id)`
+// integer keys as the Dijkstra kernels in [`crate::csr`] /
+// [`crate::dijkstra`]: smallest distance first, ties broken by
+// smallest node id. The settled-pop and relaxation tallies recorded
+// here count work that is schedule-independent (each node settles at
+// most once, at its exact min-over-path-folds distance), so heap
+// shape and key encoding cannot perturb the deterministic trace
+// counters.
 
 /// Repairs a shortest-path row in place after edge *insertions*.
 ///
@@ -76,29 +56,24 @@ impl PartialOrd for Entry {
 /// actually changed.
 pub fn repair_insertions(csr: &Csr, row: &mut [f64], inserted: &[(usize, usize, f64)]) {
     debug_assert_eq!(row.len(), csr.len());
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+    let mut heap = gncg_parallel::arena::rent::<QuadHeap>();
     let mut pops = 0u64;
     let mut relaxed = 0u64;
     for &(a, b, w) in inserted {
         let via_a = row[a] + w;
         if via_a < row[b] {
             row[b] = via_a;
-            heap.push(Entry {
-                dist: via_a,
-                node: b as u32,
-            });
+            heap.push(pack_key(via_a.to_bits(), b as u32));
         }
         let via_b = row[b] + w;
         if via_b < row[a] {
             row[a] = via_b;
-            heap.push(Entry {
-                dist: via_b,
-                node: a as u32,
-            });
+            heap.push(pack_key(via_b.to_bits(), a as u32));
         }
     }
-    while let Some(Entry { dist, node }) = heap.pop() {
-        let u = node as usize;
+    while let Some(key) = heap.pop() {
+        let u = key as u32 as usize;
+        let dist = f64::from_bits((key >> 32) as u64);
         if dist > row[u] {
             continue; // stale entry: a shorter fold already landed
         }
@@ -110,7 +85,7 @@ pub fn repair_insertions(csr: &Csr, row: &mut [f64], inserted: &[(usize, usize, 
             let nd = dist + w;
             if nd < row[v] {
                 row[v] = nd;
-                heap.push(Entry { dist: nd, node: t });
+                heap.push(pack_key(nd.to_bits(), t));
             }
         }
     }
@@ -161,20 +136,16 @@ pub fn dijkstra_modified(
     debug_assert_eq!(row.len(), n);
     row.fill(f64::INFINITY);
     row[source] = 0.0;
-    let mut done = vec![false; n];
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
-    heap.push(Entry {
-        dist: 0.0,
-        node: source as u32,
-    });
+    let mut heap = gncg_parallel::arena::rent::<QuadHeap>();
+    heap.push(pack_key(0.0f64.to_bits(), source as u32));
     let mut pops = 0u64;
     let mut relaxed = 0u64;
-    while let Some(Entry { dist, node }) = heap.pop() {
-        let u = node as usize;
-        if done[u] {
-            continue;
+    while let Some(key) = heap.pop() {
+        let u = key as u32 as usize;
+        let dist = f64::from_bits((key >> 32) as u64);
+        if dist > row[u] {
+            continue; // stale entry: the node already settled closer
         }
-        done[u] = true;
         pops += 1;
         let (targets, weights) = csr.neighbors(u);
         'arcs: for (&t, &w) in targets.iter().zip(weights) {
@@ -188,7 +159,7 @@ pub fn dijkstra_modified(
             let nd = dist + w;
             if nd < row[v] {
                 row[v] = nd;
-                heap.push(Entry { dist: nd, node: t });
+                heap.push(pack_key(nd.to_bits(), t));
             }
         }
         for &(a, b, w) in added {
@@ -203,10 +174,7 @@ pub fn dijkstra_modified(
             let nd = dist + w;
             if nd < row[v] {
                 row[v] = nd;
-                heap.push(Entry {
-                    dist: nd,
-                    node: v as u32,
-                });
+                heap.push(pack_key(nd.to_bits(), v as u32));
             }
         }
     }

@@ -1,45 +1,44 @@
-//! Single-source shortest paths (Dijkstra, binary heap).
+//! Single-source shortest paths (Dijkstra, 4-ary heap).
 
+use crate::heap4::QuadHeap;
 use crate::Graph;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
-/// Heap entry ordered by smallest distance first.
-#[derive(Debug, PartialEq)]
-struct Entry {
-    dist: f64,
-    node: usize,
+/// Queue keys pack the raw IEEE bits of the tentative distance above
+/// the node id: `bits << 64 | node`. Pushed distances are sums of
+/// non-negative weights (sign bit clear), over which the u64 bit
+/// pattern is strictly monotone in the value, so the packed integer
+/// compare orders entries by distance with ties broken toward the
+/// smaller node id — the same total order the float comparator imposed,
+/// hence the same pop sequence (see `csr::pack_key` for the full
+/// argument).
+#[inline]
+fn pack_key(bits: u64, node: usize) -> u128 {
+    ((bits as u128) << 64) | node as u128
 }
 
-impl Eq for Entry {}
-
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // reversed for min-heap behaviour on BinaryHeap (a max-heap);
-        // distances are never NaN (graph weights are validated).
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.node.cmp(&self.node))
-    }
+#[inline]
+fn unpack_key(key: u128) -> (f64, usize) {
+    (f64::from_bits((key >> 64) as u64), key as u64 as usize)
 }
 
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Reusable scratch for repeated single-source runs: the heap, the
-/// distance buffer, and the settled set survive across calls, so a loop
-/// of SSSP computations performs zero allocations after the first call
-/// (beyond heap growth on the largest instance seen).
+/// Reusable scratch for repeated single-source runs: the heap and the
+/// distance buffer survive across calls, so a loop of SSSP computations
+/// performs zero allocations after the first call (beyond heap growth
+/// on the largest instance seen).
 #[derive(Debug, Default)]
 pub struct DijkstraWorkspace {
-    heap: BinaryHeap<Entry>,
+    heap: QuadHeap,
     dist: Vec<f64>,
-    done: Vec<bool>,
+}
+
+/// Arena recycling: the single-shot entry points below rent a workspace
+/// from `gncg_parallel::arena` instead of constructing one per call, so
+/// repeated calls on the same thread are allocation-free after warmup.
+impl gncg_parallel::arena::Scratch for DijkstraWorkspace {
+    fn reset(&mut self) {
+        self.heap.clear();
+        self.dist.clear();
+    }
 }
 
 impl DijkstraWorkspace {
@@ -58,9 +57,11 @@ impl DijkstraWorkspace {
 /// Shortest-path distances from `source` to every vertex.
 /// Unreachable vertices get `f64::INFINITY` (the paper's `d_G(u,v) = +∞`).
 pub fn distances(g: &Graph, source: usize) -> Vec<f64> {
-    let mut ws = DijkstraWorkspace::new();
+    let mut ws = gncg_parallel::arena::rent::<DijkstraWorkspace>();
     distances_into(g, source, &mut ws);
-    ws.dist
+    // steal the distance buffer (the returned value); heap and settled
+    // set go back to the pool with their capacity intact
+    std::mem::take(&mut ws.dist)
 }
 
 /// Like [`distances`], but reusing `ws` for every buffer; the result is
@@ -71,27 +72,25 @@ pub fn distances_into<'a>(g: &Graph, source: usize, ws: &'a mut DijkstraWorkspac
     assert!(source < n);
     ws.dist.clear();
     ws.dist.resize(n, f64::INFINITY);
-    ws.done.clear();
-    ws.done.resize(n, false);
     ws.heap.clear();
     ws.dist[source] = 0.0;
-    ws.heap.push(Entry {
-        dist: 0.0,
-        node: source,
-    });
+    ws.heap.push(pack_key(0.0f64.to_bits(), source));
     let (mut pops, mut relaxed) = (0u64, 0u64);
-    while let Some(Entry { dist: d, node: u }) = ws.heap.pop() {
+    while let Some(key) = ws.heap.pop() {
         pops += 1;
-        if ws.done[u] {
+        let (d, u) = unpack_key(key);
+        // stale-entry scan; see `Csr::dijkstra_into_slice` for why this
+        // is exactly the legacy settled-bitmap skip
+        if d > ws.dist[u] {
             continue;
         }
-        ws.done[u] = true;
         for &(v, w) in g.neighbors(u) {
             let nd = d + w;
             if nd < ws.dist[v] {
                 relaxed += 1;
                 ws.dist[v] = nd;
-                ws.heap.push(Entry { dist: nd, node: v });
+                debug_assert!(nd.to_bits() >> 63 == 0, "negative tentative distance");
+                ws.heap.push(pack_key(nd.to_bits(), v));
             }
         }
     }
@@ -105,21 +104,20 @@ pub fn distances_into<'a>(g: &Graph, source: usize, ws: &'a mut DijkstraWorkspac
 pub fn distances_with_limit(g: &Graph, source: usize, limit: f64) -> Vec<f64> {
     let n = g.len();
     assert!(source < n);
+    // the distance buffer is the return value; heap and settled set are
+    // rented scratch
     let mut dist = vec![f64::INFINITY; n];
-    let mut done = vec![false; n];
-    let mut heap = BinaryHeap::with_capacity(n);
+    let mut ws = gncg_parallel::arena::rent::<DijkstraWorkspace>();
+    let heap = &mut ws.heap;
     dist[source] = 0.0;
-    heap.push(Entry {
-        dist: 0.0,
-        node: source,
-    });
+    heap.push(pack_key(0.0f64.to_bits(), source));
     let (mut pops, mut relaxed) = (0u64, 0u64);
-    while let Some(Entry { dist: d, node: u }) = heap.pop() {
+    while let Some(key) = heap.pop() {
         pops += 1;
-        if done[u] {
-            continue;
+        let (d, u) = unpack_key(key);
+        if d > dist[u] {
+            continue; // stale entry, node already settled closer
         }
-        done[u] = true;
         if d > limit {
             break; // every remaining entry is at least as far
         }
@@ -128,7 +126,7 @@ pub fn distances_with_limit(g: &Graph, source: usize, limit: f64) -> Vec<f64> {
             if nd < dist[v] {
                 relaxed += 1;
                 dist[v] = nd;
-                heap.push(Entry { dist: nd, node: v });
+                heap.push(pack_key(nd.to_bits(), v));
             }
         }
     }
@@ -144,21 +142,18 @@ pub fn pair_distance(g: &Graph, source: usize, target: usize) -> f64 {
     if source == target {
         return 0.0;
     }
-    let mut dist = vec![f64::INFINITY; n];
-    let mut done = vec![false; n];
-    let mut heap = BinaryHeap::new();
+    let mut ws = gncg_parallel::arena::rent::<DijkstraWorkspace>();
+    let DijkstraWorkspace { heap, dist } = &mut *ws;
+    dist.resize(n, f64::INFINITY);
     dist[source] = 0.0;
-    heap.push(Entry {
-        dist: 0.0,
-        node: source,
-    });
+    heap.push(pack_key(0.0f64.to_bits(), source));
     let (mut pops, mut relaxed) = (0u64, 0u64);
-    while let Some(Entry { dist: d, node: u }) = heap.pop() {
+    while let Some(key) = heap.pop() {
         pops += 1;
-        if done[u] {
-            continue;
+        let (d, u) = unpack_key(key);
+        if d > dist[u] {
+            continue; // stale entry, node already settled closer
         }
-        done[u] = true;
         if u == target {
             gncg_trace::record_dijkstra(pops, relaxed);
             return d;
@@ -168,7 +163,7 @@ pub fn pair_distance(g: &Graph, source: usize, target: usize) -> f64 {
             if nd < dist[v] {
                 relaxed += 1;
                 dist[v] = nd;
-                heap.push(Entry { dist: nd, node: v });
+                heap.push(pack_key(nd.to_bits(), v));
             }
         }
     }
@@ -181,29 +176,28 @@ pub fn pair_distance(g: &Graph, source: usize, target: usize) -> f64 {
 pub fn tree(g: &Graph, source: usize) -> (Vec<f64>, Vec<usize>) {
     let n = g.len();
     assert!(source < n);
+    // dist and pred are the return values; heap and settled set are
+    // rented scratch
     let mut dist = vec![f64::INFINITY; n];
     let mut pred = vec![usize::MAX; n];
-    let mut done = vec![false; n];
-    let mut heap = BinaryHeap::with_capacity(n);
+    let mut ws = gncg_parallel::arena::rent::<DijkstraWorkspace>();
+    let heap = &mut ws.heap;
     dist[source] = 0.0;
-    heap.push(Entry {
-        dist: 0.0,
-        node: source,
-    });
+    heap.push(pack_key(0.0f64.to_bits(), source));
     let (mut pops, mut relaxed) = (0u64, 0u64);
-    while let Some(Entry { dist: d, node: u }) = heap.pop() {
+    while let Some(key) = heap.pop() {
         pops += 1;
-        if done[u] {
-            continue;
+        let (d, u) = unpack_key(key);
+        if d > dist[u] {
+            continue; // stale entry, node already settled closer
         }
-        done[u] = true;
         for &(v, w) in g.neighbors(u) {
             let nd = d + w;
             if nd < dist[v] {
                 relaxed += 1;
                 dist[v] = nd;
                 pred[v] = u;
-                heap.push(Entry { dist: nd, node: v });
+                heap.push(pack_key(nd.to_bits(), v));
             }
         }
     }
@@ -237,7 +231,8 @@ pub fn path_from_tree(pred: &[usize], source: usize, target: usize) -> Option<Ve
 /// `d_G(u, P)` of agent `u` in the game. `INFINITY` if any vertex is
 /// unreachable.
 pub fn distance_sum(g: &Graph, source: usize) -> f64 {
-    distances(g, source).iter().sum()
+    let mut ws = gncg_parallel::arena::rent::<DijkstraWorkspace>();
+    distances_into(g, source, &mut ws).iter().sum()
 }
 
 #[cfg(test)]

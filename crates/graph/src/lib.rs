@@ -18,6 +18,7 @@ pub mod csr;
 pub mod delta;
 pub mod dijkstra;
 pub mod graph;
+pub mod heap4;
 pub mod matrix;
 pub mod mst;
 pub mod orientation;

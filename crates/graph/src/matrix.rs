@@ -10,10 +10,21 @@
 //! call sites compile unchanged against either representation.
 
 /// A dense n×n matrix of shortest-path distances in one flat allocation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DistMatrix {
     n: usize,
     data: Vec<f64>,
+}
+
+/// Arena recycling: the best-response hot path rents a matrix for each
+/// rest-graph APSP instead of allocating n² doubles per evaluation.
+/// `reset` shrinks to 0×0 (keeping capacity); renters call
+/// [`DistMatrix::reshape`] before filling.
+impl gncg_parallel::arena::Scratch for DistMatrix {
+    fn reset(&mut self) {
+        self.n = 0;
+        self.data.clear();
+    }
 }
 
 impl DistMatrix {
@@ -23,6 +34,16 @@ impl DistMatrix {
             n,
             data: vec![value; n * n],
         }
+    }
+
+    /// Resize to n×n reusing the backing buffer, with every entry set to
+    /// `value`. Allocation-free once the buffer has grown to its steady
+    ///-state size — the reuse half of arena-rented matrices (see the
+    /// [`gncg_parallel::arena::Scratch`] impl below).
+    pub fn reshape(&mut self, n: usize, value: f64) {
+        self.n = n;
+        self.data.clear();
+        self.data.resize(n * n, value);
     }
 
     /// Adopt a flat row-major buffer of length n².
@@ -105,7 +126,6 @@ impl DistMatrix {
     /// would alias mutable slices across threads.
     pub fn par_fill_rows_with<S, Init, F>(&mut self, rows: &[usize], init: Init, f: F)
     where
-        S: Send,
         Init: Fn() -> S + Sync,
         F: Fn(&mut S, usize, &mut [f64]) + Sync,
     {

@@ -230,7 +230,8 @@ pub fn corollary_5_1_gamma(alpha: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gncg_game::certify::{certify, CertifyOptions};
+    use gncg_game::certify::certify;
+    use gncg_game::SolverConfig;
 
     #[test]
     fn shortest_path_subnetwork_realizes_the_closure() {
@@ -260,7 +261,7 @@ mod tests {
             let w = h.as_weights();
             let net = shortest_path_subnetwork(&h);
             for alpha in [0.5, 2.0, 8.0] {
-                let r = certify(&w, &net, alpha, CertifyOptions::bounds_only());
+                let r = certify(&w, &net, alpha, &SolverConfig::bounds_only());
                 assert!(
                     r.beta_upper <= corollary_5_1_beta(alpha) + 1e-6,
                     "seed {seed} alpha {alpha}: beta {}",
@@ -293,7 +294,7 @@ mod tests {
         let h = HostNetwork::random_nonmetric(8, 0.3, 4.0, 11);
         let w = h.as_weights();
         let net = host_mst_network(&h);
-        let r = certify(&w, &net, 2.0, CertifyOptions::bounds_only());
+        let r = certify(&w, &net, 2.0, &SolverConfig::bounds_only());
         assert!(r.beta_upper <= 7.0 + 1e-6, "beta {}", r.beta_upper);
         assert!(r.gamma_upper <= 7.0 + 1e-6, "gamma {}", r.gamma_upper);
     }

@@ -8,7 +8,7 @@
 //! the host metric.
 
 use crate::HostNetwork;
-use gncg_game::{cost, dispatch_model, dynamics, exact, GameSpec, OwnedNetwork};
+use gncg_game::{cost, dispatch_model, dynamics, exact, GameSpec, OwnedNetwork, SolverConfig};
 
 /// Theorem 5.4's PoA upper bound.
 pub fn theorem_5_4_bound(alpha: f64) -> f64 {
@@ -35,14 +35,19 @@ pub struct PoaProbe {
 /// Try to find a NE on the host by best-response dynamics from the
 /// shortest-path subnetwork, then compare with the optimum.
 pub fn probe_poa(h: &HostNetwork, alpha: f64, max_steps: usize) -> PoaProbe {
-    probe_poa_spec(h, alpha, max_steps, GameSpec::default())
+    probe_poa_spec(h, alpha, max_steps, &SolverConfig::default())
 }
 
-/// [`probe_poa`] under an explicit [`GameSpec`]: equilibria, social
-/// costs, and the optimum are all taken under `spec`'s cost model
-/// (and edge-formation rule for the dynamics). The default spec is the
-/// identical code path as [`probe_poa`].
-pub fn probe_poa_spec(h: &HostNetwork, alpha: f64, max_steps: usize, spec: GameSpec) -> PoaProbe {
+/// [`probe_poa`] under an explicit [`SolverConfig`]: equilibria, social
+/// costs, and the optimum are all taken under `cfg`'s cost model
+/// (and edge-formation rule for the dynamics). The default config is
+/// the identical code path as [`probe_poa`].
+pub fn probe_poa_spec(
+    h: &HostNetwork,
+    alpha: f64,
+    max_steps: usize,
+    cfg: &SolverConfig,
+) -> PoaProbe {
     let w = h.as_weights();
     let start = crate::corollaries::shortest_path_subnetwork(h);
     let outcome = dynamics::run_spec(
@@ -52,17 +57,16 @@ pub fn probe_poa_spec(h: &HostNetwork, alpha: f64, max_steps: usize, spec: GameS
         dynamics::ResponseRule::BestResponse,
         dynamics::AgentOrder::RoundRobin,
         max_steps,
-        spec,
+        cfg,
     );
     let equilibrium = match outcome {
         dynamics::Outcome::Converged { state, .. } => Some(state),
         _ => None,
     };
     let (ne_cost, ratio, opt_cost, opt_is_exact) = match &equilibrium {
-        Some(ne) => dispatch_model!(spec.model, M, {
+        Some(ne) => dispatch_model!(cfg.model, M, {
             let sc = cost::social_cost_model::<_, M>(&w, ne, alpha);
-            let opts = gncg_game::SolveOptions::default().with_model(spec.model);
-            let (opt, exact_flag) = match exact::exact_social_optimum(&w, alpha, &opts) {
+            let (opt, exact_flag) = match exact::exact_social_optimum(&w, alpha, cfg) {
                 gncg_game::Outcome::Exact(o) => (o.social_cost, true),
                 gncg_game::Outcome::Degraded {
                     certified_bound, ..
@@ -79,6 +83,17 @@ pub fn probe_poa_spec(h: &HostNetwork, alpha: f64, max_steps: usize, spec: GameS
         opt_is_exact,
         ratio,
     }
+}
+
+/// Deprecated shim for the pre-[`SolverConfig`] signature.
+#[deprecated(note = "build a `SolverConfig` and call `probe_poa_spec` instead")]
+pub fn probe_poa_with_game_spec(
+    h: &HostNetwork,
+    alpha: f64,
+    max_steps: usize,
+    spec: GameSpec,
+) -> PoaProbe {
+    probe_poa_spec(h, alpha, max_steps, &SolverConfig::from(spec))
 }
 
 /// Is a profile an (α+1)-spanner of the host metric? (The structural
@@ -161,7 +176,7 @@ mod tests {
     fn default_spec_probe_is_bit_identical_to_probe_poa() {
         let h = HostNetwork::random_metric(6, 17);
         let a = probe_poa(&h, 1.5, 400);
-        let b = probe_poa_spec(&h, 1.5, 400, GameSpec::default());
+        let b = probe_poa_spec(&h, 1.5, 400, &SolverConfig::default());
         assert_eq!(a.equilibrium.is_some(), b.equilibrium.is_some());
         if a.equilibrium.is_some() {
             assert_eq!(a.ne_cost.to_bits(), b.ne_cost.to_bits());
@@ -180,8 +195,8 @@ mod tests {
         let mut converged = 0;
         for seed in 0..6u64 {
             let h = HostNetwork::random_metric(6, seed);
-            let spec = GameSpec::with_model(ModelKind::MaxDistance);
-            let probe = probe_poa_spec(&h, 1.5, 400, spec);
+            let cfg = SolverConfig::default().with_model(ModelKind::MaxDistance);
+            let probe = probe_poa_spec(&h, 1.5, 400, &cfg);
             if let Some(ne) = &probe.equilibrium {
                 converged += 1;
                 assert!(

@@ -50,6 +50,7 @@
 //!   injected run produces bit-identical results — it soaks the
 //!   catch/record/re-raise machinery itself.
 
+pub mod arena;
 pub mod budget;
 pub mod fault;
 pub mod pool;
@@ -283,7 +284,6 @@ where
 pub fn parallel_map_with<T, S, Init, F>(n: usize, init: Init, f: F) -> Vec<T>
 where
     T: Send + Default + Clone,
-    S: Send,
     Init: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
@@ -350,7 +350,6 @@ where
 /// early with some items never executed.
 pub fn parallel_for_with<S, Init, F>(n: usize, init: Init, f: F)
 where
-    S: Send,
     Init: Fn() -> S + Sync,
     F: Fn(&mut S, usize) + Sync,
 {
@@ -427,7 +426,6 @@ pub fn parallel_reduce_with<T, S, SInit, Id, F, C>(
 ) -> T
 where
     T: Send,
-    S: Send,
     SInit: Fn() -> S + Sync,
     Id: Fn() -> T + Sync,
     F: Fn(&mut S, T, usize) -> T + Sync,

@@ -1,0 +1,154 @@
+//! Property suite for the `gncg_parallel::arena` scratch recycler: the
+//! zero-steady-state-allocation contract, panic safety under
+//! `catch_unwind`, and the high-water accounting the `GNCG_ARENA_DEBUG`
+//! tripwires build on.
+
+use gncg_parallel::arena::{self, ArenaStats, Scratch};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A scratch type with observable reset behaviour.
+#[derive(Default)]
+struct Probe {
+    log: Vec<u64>,
+    resets: u64,
+}
+
+impl Scratch for Probe {
+    fn reset(&mut self) {
+        self.log.clear();
+        self.resets += 1;
+    }
+}
+
+#[test]
+fn rent_return_reuses_the_same_buffer() {
+    // Warm a Probe into the pool, then observe its reset counter grow
+    // across rents — proof the identical object is being recycled.
+    drop(arena::rent::<Probe>());
+    let gens: Vec<u64> = (0..4)
+        .map(|i| {
+            let mut p = arena::rent::<Probe>();
+            p.log.push(i);
+            p.resets
+        })
+        .collect();
+    // monotonically increasing reset counts on a recycled object
+    assert!(gens.windows(2).all(|w| w[1] == w[0] + 1), "{gens:?}");
+}
+
+#[test]
+fn no_growth_after_warmup() {
+    // Steady-state kernel shape: one f64 buffer, one usize buffer,
+    // rented and returned per iteration. After the first iteration the
+    // pool must serve every rent without allocating.
+    let warmed: ArenaStats = {
+        let mut a = arena::rent_vec(64, f64::INFINITY);
+        let mut b = arena::rent_vec(64, usize::MAX);
+        a[0] = 1.0;
+        b[0] = 1;
+        drop((a, b));
+        arena::thread_stats()
+    };
+    for i in 0..100 {
+        let mut a = arena::rent_vec(64, f64::INFINITY);
+        let mut b = arena::rent_vec(64, usize::MAX);
+        a[i % 64] = i as f64;
+        b[i % 64] = i;
+    }
+    let after = arena::thread_stats();
+    assert_eq!(
+        after.fresh_allocs, warmed.fresh_allocs,
+        "steady state must not allocate: {after:?} vs warmup {warmed:?}"
+    );
+    assert_eq!(after.rents, warmed.rents + 200);
+    assert_eq!(after.returns, warmed.returns + 200);
+}
+
+#[test]
+fn high_water_tracks_simultaneous_leases() {
+    arena::reset_thread_stats();
+    {
+        let _a = arena::rent::<Vec<f64>>();
+        {
+            let _b = arena::rent::<Vec<f64>>();
+            let _c = arena::rent::<Vec<usize>>();
+            assert_eq!(arena::thread_stats().outstanding, 3);
+        }
+        assert_eq!(arena::thread_stats().outstanding, 1);
+    }
+    let s = arena::thread_stats();
+    assert_eq!(s.outstanding, 0);
+    assert!(s.high_water >= 3, "{s:?}");
+}
+
+#[test]
+fn panicking_holder_returns_buffers_reset() {
+    // A panic while leases are live must unwind through their Drop
+    // impls: the buffers come back to the pool cleared, and the
+    // outstanding count returns to its pre-panic level.
+    let before = arena::thread_stats();
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        let mut v = arena::rent_vec(32, 1.0f64);
+        v[7] = 42.0;
+        panic!("job poisoned");
+    }));
+    assert!(r.is_err());
+    let after = arena::thread_stats();
+    assert_eq!(after.outstanding, before.outstanding, "lease leaked");
+    assert_eq!(after.returns, before.returns + 1);
+    // the recycled buffer is observably reset
+    let v = arena::rent::<Vec<f64>>();
+    assert!(v.is_empty(), "poisoned worker leaked contents into pool");
+}
+
+#[test]
+fn rent_vec_contents_are_history_independent() {
+    {
+        let mut v = arena::rent_vec(16, 9.9f64);
+        for x in v.iter_mut() {
+            *x = -1.0;
+        }
+    }
+    let v = arena::rent_vec(16, f64::INFINITY);
+    assert!(v.iter().all(|x| x.is_infinite()));
+    let shorter = arena::rent_vec(4, 0.0f64);
+    assert_eq!(shorter.len(), 4);
+}
+
+#[test]
+fn per_thread_pools_are_independent() {
+    // Buffers warmed on this thread must not affect a fresh thread's
+    // stats, and vice versa.
+    drop(arena::rent_vec(8, 0u32));
+    let child = std::thread::spawn(|| {
+        let s0 = arena::thread_stats();
+        assert_eq!(s0, ArenaStats::default(), "fresh thread, fresh arena");
+        drop(arena::rent_vec(8, 0u32));
+        arena::thread_stats().fresh_allocs
+    })
+    .join()
+    .expect("child thread");
+    assert_eq!(child, 1, "child pool starts cold");
+}
+
+#[test]
+fn parallel_workers_each_warm_their_own_pool() {
+    // The intended integration shape: per-worker rents inside
+    // parallel_map_with. Results must be bit-identical to the
+    // sequential expression regardless of pooling.
+    let out = gncg_parallel::parallel_map_with(
+        500,
+        || (),
+        |(), i| {
+            let mut buf = arena::rent_vec(33, 0.0f64);
+            for (k, x) in buf.iter_mut().enumerate() {
+                *x = (i * 31 + k) as f64;
+            }
+            buf.iter().sum::<f64>()
+        },
+    );
+    let seq: Vec<f64> = (0..500)
+        .map(|i| (0..33).map(|k| (i * 31 + k) as f64).sum())
+        .collect();
+    assert_eq!(out, seq);
+}

@@ -39,8 +39,8 @@
 //! bit-for-bit.
 
 use gncg_config::ModelKind;
-use gncg_game::certify::{CertifyOptions, CertifyReport};
-use gncg_game::{dynamics, EdgeFormation, GameSpec, OwnedNetwork};
+use gncg_game::certify::CertifyReport;
+use gncg_game::{dynamics, EdgeFormation, GameSpec, OwnedNetwork, SolverConfig};
 use gncg_geometry::PointSet;
 use gncg_json::{field, object, FromJson, JsonError, ToJson, Value};
 use gncg_parallel::Budget;
@@ -139,14 +139,14 @@ impl JobSpec {
                 model,
                 ..
             } => {
-                let opts = if exact {
-                    CertifyOptions::exact()
+                let cfg = if exact {
+                    SolverConfig::exact()
                 } else {
-                    CertifyOptions::default()
+                    SolverConfig::default()
                 }
                 .with_model(model)
                 .with_budget(budget);
-                gncg_game::certify::certify(&points, &network, alpha, opts).to_json()
+                gncg_game::certify::certify(&points, &network, alpha, &cfg).to_json()
             }
             JobSpec::Dynamics {
                 points,
@@ -166,7 +166,7 @@ impl JobSpec {
                     rule,
                     dynamics::AgentOrder::RoundRobin,
                     steps,
-                    spec,
+                    &SolverConfig::from(spec),
                 );
                 dynamics_outcome_to_json(&outcome)
             }
@@ -711,7 +711,7 @@ mod tests {
     fn certify_report_survives_the_wire_bit_for_bit() {
         let ps = generators::uniform_unit_square(6, 3);
         let net = OwnedNetwork::center_star(6, 0);
-        let direct = gncg_game::certify::certify(&ps, &net, 1.5, CertifyOptions::exact());
+        let direct = gncg_game::certify::certify(&ps, &net, 1.5, &SolverConfig::exact());
         let payload = direct.to_json();
         let text = gncg_json::to_string(&payload);
         let decoded = certify_report_from_payload(&gncg_json::parse(&text).unwrap()).unwrap();

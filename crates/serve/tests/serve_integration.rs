@@ -124,7 +124,7 @@ fn certify_round_trip_is_bit_identical_to_direct_call() {
             points,
             network,
             alpha,
-            gncg_game::certify::CertifyOptions::default().with_model(ModelKind::SumDistances),
+            &gncg_game::SolverConfig::default().with_model(ModelKind::SumDistances),
         ),
         _ => unreachable!(),
     };

@@ -27,9 +27,9 @@
 //! configured budget): [`JobHandle::cancel`] trips its token, a queued
 //! job whose budget is already exhausted resolves to
 //! [`JobError::Cancelled`] without running, and solver jobs thread the
-//! budget into their [`SolveOptions`]/[`CertifyOptions`] so mid-flight
-//! cancellation degrades along the existing exact→certified ladder
-//! rather than aborting. [`Session::shutdown`] either drains
+//! budget into their [`SolverConfig`] so mid-flight cancellation
+//! degrades along the existing exact→certified ladder rather than
+//! aborting. [`Session::shutdown`] either drains
 //! ([`Shutdown::Drain`]) or cancels every outstanding budget
 //! ([`Shutdown::Cancel`]) — sweep closures observe the cancellation via
 //! their [`JobCtx`] and can checkpoint before returning.
@@ -54,7 +54,9 @@ use gncg_game::approx::{ApproxCertifyOptions, ApproxCertifyReport};
 use gncg_game::best_response::BestResponse;
 use gncg_game::certify::{CertifyOptions, CertifyReport};
 use gncg_game::exact::ExactOptimum;
-use gncg_game::{dynamics, EdgeWeights, GameSpec, Outcome, OwnedNetwork, SolveOptions};
+use gncg_game::{
+    dynamics, EdgeWeights, GameSpec, Outcome, OwnedNetwork, SolveOptions, SolverConfig,
+};
 use gncg_json::{FromJson, ToJson};
 use gncg_parallel::pool::ThreadPool;
 use gncg_parallel::{with_budget, with_max_threads, Budget};
@@ -545,6 +547,7 @@ impl SessionBuilder {
             }),
             pool: ThreadPool::new(threads),
             default_budget_ms: self.default_budget_ms,
+            result_cache: Mutex::new(None),
         }
     }
 }
@@ -554,6 +557,10 @@ pub struct Session {
     shared: Arc<Shared>,
     pool: ThreadPool,
     default_budget_ms: Option<u64>,
+    /// The content-addressed result cache consulted by submits whose
+    /// [`SolverConfig`] carries a [`gncg_game::CachePolicy::Keyed`]
+    /// policy (see [`Session::attach_result_cache`]).
+    result_cache: Mutex<Option<Arc<cache::ResultCache>>>,
 }
 
 impl Session {
@@ -580,6 +587,24 @@ impl Session {
             Some(ms) => Budget::with_limit(Duration::from_millis(ms)),
             None => Budget::unlimited(),
         }
+    }
+
+    /// Attach a content-addressed result cache. Once attached, any
+    /// [`Session::submit_certify`] whose [`SolverConfig`] carries
+    /// [`gncg_game::CachePolicy::Keyed`] is served from / written back
+    /// to this cache (subject to the cache-consistency rule — see
+    /// [`gncg_game::CachePolicy`]). Attaching replaces any previous
+    /// cache; with none attached, keyed submits silently run uncached.
+    pub fn attach_result_cache(&self, cache: Arc<cache::ResultCache>) {
+        *self.result_cache.lock().unwrap_or_else(|p| p.into_inner()) = Some(cache);
+    }
+
+    /// The currently attached result cache, if any.
+    fn attached_cache(&self) -> Option<Arc<cache::ResultCache>> {
+        self.result_cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
     }
 
     /// Admission: reserve a slot in the right lane and hand the pool a
@@ -714,32 +739,40 @@ impl Session {
     }
 
     /// Submit a (β, γ) certification job. The job budget replaces
-    /// `opts.budget`, so [`JobHandle::cancel`] degrades the report along
+    /// `cfg.budget`, so [`JobHandle::cancel`] degrades the report along
     /// the exact→certified ladder exactly as a direct budgeted
     /// [`gncg_game::certify::certify`] call would.
+    ///
+    /// When `cfg.cache` is [`gncg_game::CachePolicy::Keyed`] and a
+    /// cache is attached ([`Session::attach_result_cache`]), the job
+    /// runs through the content-addressed result cache: on a valid
+    /// cached entry the returned handle is born resolved (nothing is
+    /// queued); on a miss the report is written back from the worker.
+    /// The *caller* owns the soundness of the key (it must be the
+    /// content address of the canonical instance + options, see
+    /// `gncg_json::canon::content_key`).
     pub fn submit_certify(
         &self,
         w: SharedWeights,
         net: OwnedNetwork,
         alpha: f64,
-        opts: CertifyOptions,
+        cfg: SolverConfig,
         job: JobOptions,
     ) -> Result<JobHandle<CertifyReport>, SubmitError> {
-        self.submit_raw(JobKind::Certify, job, false, false, move |_, budget| {
-            gncg_game::certify::certify(&*w, &net, alpha, opts.with_budget(budget))
-        })
+        match cfg.cache.key().map(str::to_string) {
+            Some(key) => {
+                let cache = self.attached_cache();
+                self.certify_cached_impl(cache, &key, w, net, alpha, cfg, job)
+            }
+            None => self.submit_raw(JobKind::Certify, job, false, false, move |_, budget| {
+                gncg_game::certify::certify(&*w, &net, alpha, &cfg.with_budget(budget))
+            }),
+        }
     }
 
-    /// Submit a (β, γ) certification job through the content-addressed
-    /// result cache.
-    ///
-    /// `key` must be the content address of the canonical instance +
-    /// options (see `gncg_json::canon::content_key`); the *caller* owns
-    /// the soundness of that key — this method only handles the
-    /// mechanics. On a valid cached entry the returned handle is born
-    /// resolved (nothing is queued); on a miss the job is submitted
-    /// exactly like [`Session::submit_certify`] and the report is
-    /// written back to the cache from the worker.
+    /// The keyed-cache certify path, shared by [`Session::submit_certify`]
+    /// (with the attached cache) and the deprecated
+    /// `submit_certify_cached` (with an explicit one).
     ///
     /// Cache-consistency rule: the cache stores only deterministic,
     /// budget-free results, so the cache is **bypassed entirely** (no
@@ -747,7 +780,60 @@ impl Session {
     /// budgeted certification can degrade along the exact→certified
     /// ladder at a nondeterministic point, and such a report must never
     /// be served to a later caller that asked for the unbudgeted
-    /// answer. With `cache: None` this is exactly `submit_certify`.
+    /// answer. With no cache this is exactly an uncached certify.
+    #[allow(clippy::too_many_arguments)]
+    fn certify_cached_impl(
+        &self,
+        cache: Option<Arc<cache::ResultCache>>,
+        key: &str,
+        w: SharedWeights,
+        net: OwnedNetwork,
+        alpha: f64,
+        cfg: SolverConfig,
+        job: JobOptions,
+    ) -> Result<JobHandle<CertifyReport>, SubmitError> {
+        let budget_limited = job
+            .budget
+            .as_ref()
+            .map(|b| b.deadline.is_some())
+            .unwrap_or_else(|| self.default_budget().deadline.is_some());
+        let Some(cache) = cache.filter(|_| !budget_limited) else {
+            return self.submit_certify(w, net, alpha, cfg.without_cache(), job);
+        };
+        if let Some(payload) = cache.get(key) {
+            if let Ok(report) = CertifyReport::from_json(&payload) {
+                return Ok(JobHandle::resolved(JobKind::Certify, report));
+            }
+            // Hash-valid but schema-incompatible (e.g. written by a
+            // different version): recompute and overwrite below.
+        }
+        let key = key.to_string();
+        self.submit_raw(JobKind::Certify, job, false, false, move |_, budget| {
+            let report = gncg_game::certify::certify(&*w, &net, alpha, &cfg.with_budget(budget));
+            let _ = cache.put(&key, &report.to_json());
+            report
+        })
+    }
+
+    /// Deprecated shim for the pre-[`SolverConfig`] signature.
+    #[deprecated(note = "build a `SolverConfig` and call `submit_certify` instead")]
+    pub fn submit_certify_with_options(
+        &self,
+        w: SharedWeights,
+        net: OwnedNetwork,
+        alpha: f64,
+        opts: CertifyOptions,
+        job: JobOptions,
+    ) -> Result<JobHandle<CertifyReport>, SubmitError> {
+        self.submit_certify(w, net, alpha, SolverConfig::from(opts), job)
+    }
+
+    /// Submit a (β, γ) certification job through an explicitly supplied
+    /// result cache.
+    #[deprecated(
+        note = "attach the cache with `Session::attach_result_cache` and call \
+                `submit_certify` with a `SolverConfig` carrying `with_cache_key` instead"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn submit_certify_cached(
         &self,
@@ -759,27 +845,7 @@ impl Session {
         opts: CertifyOptions,
         job: JobOptions,
     ) -> Result<JobHandle<CertifyReport>, SubmitError> {
-        let budget_limited = job
-            .budget
-            .as_ref()
-            .map(|b| b.deadline.is_some())
-            .unwrap_or_else(|| self.default_budget().deadline.is_some());
-        let Some(cache) = cache.filter(|_| !budget_limited) else {
-            return self.submit_certify(w, net, alpha, opts, job);
-        };
-        if let Some(payload) = cache.get(key) {
-            if let Ok(report) = CertifyReport::from_json(&payload) {
-                return Ok(JobHandle::resolved(JobKind::Certify, report));
-            }
-            // Hash-valid but schema-incompatible (e.g. written by a
-            // different version): recompute and overwrite below.
-        }
-        let key = key.to_string();
-        self.submit_raw(JobKind::Certify, job, false, false, move |_, budget| {
-            let report = gncg_game::certify::certify(&*w, &net, alpha, opts.with_budget(budget));
-            let _ = cache.put(&key, &report.to_json());
-            report
-        })
+        self.certify_cached_impl(cache, key, w, net, alpha, SolverConfig::from(opts), job)
     }
 
     /// Submit a spanner-backed *bracketed* certification job
@@ -797,26 +863,46 @@ impl Session {
         ps: Arc<gncg_geometry::PointSet>,
         net: OwnedNetwork,
         alpha: f64,
+        cfg: SolverConfig,
+        job: JobOptions,
+    ) -> Result<JobHandle<ApproxCertifyReport>, SubmitError> {
+        self.submit_raw(JobKind::Certify, job, false, false, move |_, _| {
+            gncg_game::approx::certify_approx(&ps, &net, alpha, &cfg)
+        })
+    }
+
+    /// Deprecated shim for the pre-[`SolverConfig`] signature. Unlike
+    /// the canonical entry it honours the full
+    /// [`ApproxCertifyOptions`] knob space (`lo_mode`, spanner caps);
+    /// expert callers who need those knobs should call
+    /// [`gncg_game::approx::certify_approx_tuned`] through
+    /// [`Session::submit_observed`] instead.
+    #[deprecated(note = "build a `SolverConfig` and call `submit_certify_approx` instead")]
+    pub fn submit_certify_approx_with_options(
+        &self,
+        ps: Arc<gncg_geometry::PointSet>,
+        net: OwnedNetwork,
+        alpha: f64,
         opts: ApproxCertifyOptions,
         job: JobOptions,
     ) -> Result<JobHandle<ApproxCertifyReport>, SubmitError> {
         self.submit_raw(JobKind::Certify, job, false, false, move |_, _| {
-            gncg_game::approx::certify_approx(&ps, &net, alpha, opts)
+            gncg_game::approx::certify_approx_tuned(&ps, &net, alpha, opts)
         })
     }
 
     /// Submit an exact best-response job for agent `u`. The job budget
-    /// replaces `opts.budget`; the cost model in `opts` is honored
-    /// (default `ModelKind::SumDistances` — pass
-    /// `SolveOptions::default().with_model(cfg.model)` to thread the
-    /// `GNCG_MODEL` choice through).
+    /// replaces `cfg.budget`; the cost model in `cfg` is honored
+    /// (default `ModelKind::SumDistances` — chain
+    /// [`SolverConfig::with_model`] to thread the `GNCG_MODEL` choice
+    /// through).
     pub fn submit_best_response(
         &self,
         w: SharedWeights,
         net: OwnedNetwork,
         alpha: f64,
         u: usize,
-        opts: SolveOptions,
+        cfg: SolverConfig,
         job: JobOptions,
     ) -> Result<JobHandle<Outcome<BestResponse>>, SubmitError> {
         self.submit_raw(
@@ -830,32 +916,59 @@ impl Session {
                     &net,
                     alpha,
                     u,
-                    &opts.clone().with_budget(budget),
+                    &cfg.with_budget(budget),
                 )
             },
         )
     }
 
+    /// Deprecated shim for the pre-[`SolverConfig`] signature.
+    #[deprecated(note = "build a `SolverConfig` and call `submit_best_response` instead")]
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_best_response_with_options(
+        &self,
+        w: SharedWeights,
+        net: OwnedNetwork,
+        alpha: f64,
+        u: usize,
+        opts: SolveOptions,
+        job: JobOptions,
+    ) -> Result<JobHandle<Outcome<BestResponse>>, SubmitError> {
+        self.submit_best_response(w, net, alpha, u, SolverConfig::from(opts), job)
+    }
+
     /// Submit an exact social-optimum job (batch lane by default). The
-    /// job budget replaces `opts.budget`; the cost model in `opts` is
+    /// job budget replaces `cfg.budget`; the cost model in `cfg` is
     /// honored.
     pub fn submit_exact_optimum(
+        &self,
+        w: SharedWeights,
+        alpha: f64,
+        cfg: SolverConfig,
+        job: JobOptions,
+    ) -> Result<JobHandle<Outcome<ExactOptimum>>, SubmitError> {
+        self.submit_raw(JobKind::ExactOpt, job, false, false, move |_, budget| {
+            gncg_game::exact::exact_social_optimum(&*w, alpha, &cfg.with_budget(budget))
+        })
+    }
+
+    /// Deprecated shim for the pre-[`SolverConfig`] signature.
+    #[deprecated(note = "build a `SolverConfig` and call `submit_exact_optimum` instead")]
+    pub fn submit_exact_optimum_with_options(
         &self,
         w: SharedWeights,
         alpha: f64,
         opts: SolveOptions,
         job: JobOptions,
     ) -> Result<JobHandle<Outcome<ExactOptimum>>, SubmitError> {
-        self.submit_raw(JobKind::ExactOpt, job, false, false, move |_, budget| {
-            gncg_game::exact::exact_social_optimum(&*w, alpha, &opts.clone().with_budget(budget))
-        })
+        self.submit_exact_optimum(w, alpha, SolverConfig::from(opts), job)
     }
 
-    /// Submit a response-dynamics run under `spec` (cost model +
-    /// edge-formation rule; [`GameSpec::default`] reproduces the
-    /// historical behaviour exactly). A budget cancelled mid-run
-    /// resolves the handle to [`JobError::Cancelled`] (a truncated
-    /// trajectory has no sound fallback).
+    /// Submit a response-dynamics run under `cfg` (cost model +
+    /// edge-formation rule + prune mode; [`SolverConfig::default`]
+    /// reproduces the historical behaviour exactly). A budget cancelled
+    /// mid-run resolves the handle to [`JobError::Cancelled`] (a
+    /// truncated trajectory has no sound fallback).
     #[allow(clippy::too_many_arguments)]
     pub fn submit_dynamics(
         &self,
@@ -864,7 +977,7 @@ impl Session {
         alpha: f64,
         rule: dynamics::ResponseRule,
         max_steps: usize,
-        spec: GameSpec,
+        cfg: SolverConfig,
         job: JobOptions,
     ) -> Result<JobHandle<dynamics::Outcome>, SubmitError> {
         self.submit_raw(JobKind::Dynamics, job, true, true, move |_, _| {
@@ -875,9 +988,33 @@ impl Session {
                 rule,
                 dynamics::AgentOrder::RoundRobin,
                 max_steps,
-                spec,
+                &cfg,
             )
         })
+    }
+
+    /// Deprecated shim for the pre-[`SolverConfig`] signature.
+    #[deprecated(note = "build a `SolverConfig` and call `submit_dynamics` instead")]
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_dynamics_with_spec(
+        &self,
+        w: SharedWeights,
+        start: OwnedNetwork,
+        alpha: f64,
+        rule: dynamics::ResponseRule,
+        max_steps: usize,
+        spec: GameSpec,
+        job: JobOptions,
+    ) -> Result<JobHandle<dynamics::Outcome>, SubmitError> {
+        self.submit_dynamics(
+            w,
+            start,
+            alpha,
+            rule,
+            max_steps,
+            SolverConfig::from(spec),
+            job,
+        )
     }
 
     /// Submit a sweep closure (batch lane by default). The closure
@@ -990,14 +1127,14 @@ mod tests {
     #[test]
     fn certify_job_matches_direct_call() {
         let (w, net) = small_instance(6, 3);
-        let direct = gncg_game::certify::certify(&*w, &net, 1.5, CertifyOptions::exact());
+        let direct = gncg_game::certify::certify(&*w, &net, 1.5, &SolverConfig::exact());
         let session = Session::builder().threads(2).build();
         let handle = session
             .submit_certify(
                 Arc::clone(&w),
                 net.clone(),
                 1.5,
-                CertifyOptions::exact(),
+                SolverConfig::exact(),
                 JobOptions::default(),
             )
             .expect("admitted");
@@ -1017,15 +1154,14 @@ mod tests {
     fn certify_approx_job_matches_direct_call_and_brackets_exact() {
         let ps = Arc::new(generators::uniform_unit_square(20, 5));
         let net = OwnedNetwork::center_star(20, 0);
-        let direct =
-            gncg_game::approx::certify_approx(&ps, &net, 1.5, ApproxCertifyOptions::default());
+        let direct = gncg_game::approx::certify_approx(&ps, &net, 1.5, &SolverConfig::default());
         let session = Session::builder().threads(2).build();
         let handle = session
             .submit_certify_approx(
                 Arc::clone(&ps),
                 net.clone(),
                 1.5,
-                ApproxCertifyOptions::default(),
+                SolverConfig::default(),
                 JobOptions::default(),
             )
             .expect("admitted");
@@ -1034,7 +1170,7 @@ mod tests {
         assert_eq!(report.beta_hi.to_bits(), direct.beta_hi.to_bits());
         assert_eq!(report.social_hi.to_bits(), direct.social_hi.to_bits());
         // the bracket really contains the exact certified figure
-        let exact = gncg_game::certify::certify(&*ps, &net, 1.5, CertifyOptions::bounds_only());
+        let exact = gncg_game::certify::certify(&*ps, &net, 1.5, &SolverConfig::bounds_only());
         assert!(report.beta_lo <= exact.beta_upper && exact.beta_upper <= report.beta_hi);
         // a dead budget still cancels before start, like every kind
         let dead = Budget::unlimited();
@@ -1044,7 +1180,7 @@ mod tests {
                 Arc::clone(&ps),
                 net,
                 1.5,
-                ApproxCertifyOptions::default(),
+                SolverConfig::default(),
                 JobOptions::with_budget(&dead),
             )
             .expect("admitted");
@@ -1354,7 +1490,7 @@ mod tests {
                 Arc::clone(&w),
                 net.clone(),
                 1.5,
-                CertifyOptions::exact(),
+                SolverConfig::exact(),
                 JobOptions::default(),
             )
             .expect("admitted")
@@ -1371,7 +1507,7 @@ mod tests {
                         &*wo,
                         &no,
                         1.5,
-                        CertifyOptions::exact().with_budget(budget),
+                        &SolverConfig::exact().with_budget(budget),
                     )
                 },
                 |_| {},

@@ -2,14 +2,18 @@
 //! results are bit-identical to cold-cache results and to direct solver
 //! calls, across worker-thread counts and both cost models — and a
 //! budgeted job never touches the cache at all.
+//!
+//! The canonical surface is `Session::attach_result_cache` plus a
+//! [`SolverConfig`] carrying a cache key; the deprecated
+//! `submit_certify_cached` shim is exercised once for compatibility.
 
 use std::fs;
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use gncg_config::ModelKind;
-use gncg_game::certify::{certify, CertifyOptions};
-use gncg_game::OwnedNetwork;
+use gncg_game::certify::certify;
+use gncg_game::{OwnedNetwork, SolverConfig};
 use gncg_geometry::generators;
 use gncg_json::{canon, object, ToJson, Value};
 use gncg_parallel::Budget;
@@ -49,11 +53,11 @@ fn warm_equals_cold_equals_direct_across_threads_and_models() {
     let (n, seed, alpha) = (6usize, 42u64, 1.5f64);
     for model in [ModelKind::SumDistances, ModelKind::MaxDistance] {
         let key = key_for(n, seed, alpha, model);
-        let opts = CertifyOptions::exact().with_model(model);
+        let cfg = SolverConfig::exact().with_model(model);
 
         let ps = generators::uniform_unit_square(n, seed);
         let net = OwnedNetwork::center_star(n, 0);
-        let direct = certify(&ps, &net, alpha, opts.clone());
+        let direct = certify(&ps, &net, alpha, &cfg);
         let direct_json = gncg_json::to_string(&direct.to_json());
 
         let dir = tmpdir(&format!("wcd_{model}"));
@@ -62,16 +66,15 @@ fn warm_equals_cold_equals_direct_across_threads_and_models() {
             // over the same directory — all must match `direct`.
             let cache = Arc::new(ResultCache::at(&dir).unwrap());
             let session = Session::builder().threads(threads).build();
+            session.attach_result_cache(Arc::clone(&cache));
             let ps = Arc::new(generators::uniform_unit_square(n, seed));
             let net = OwnedNetwork::center_star(n, 0);
             let report = session
-                .submit_certify_cached(
-                    Some(Arc::clone(&cache)),
-                    &key,
+                .submit_certify(
                     ps,
                     net,
                     alpha,
-                    opts.clone(),
+                    cfg.clone().with_cache_key(&key),
                     JobOptions::default(),
                 )
                 .expect("admitted")
@@ -97,30 +100,54 @@ fn warm_hit_resolves_without_queueing() {
     let dir = tmpdir("resolved");
     let cache = Arc::new(ResultCache::at(&dir).unwrap());
     let session = Session::builder().threads(1).build();
-    let submit = |cache: Option<Arc<ResultCache>>, job: JobOptions| {
+    session.attach_result_cache(Arc::clone(&cache));
+    let submit = |job: JobOptions| {
         session
-            .submit_certify_cached(
-                cache,
-                &key,
+            .submit_certify(
                 Arc::new(generators::uniform_unit_square(n, seed)),
                 OwnedNetwork::center_star(n, 0),
                 alpha,
-                CertifyOptions::exact().with_model(model),
+                SolverConfig::exact().with_model(model).with_cache_key(&key),
                 job,
             )
             .expect("admitted")
     };
-    let cold = submit(Some(Arc::clone(&cache)), JobOptions::default())
-        .wait()
-        .expect("cold certify");
+    let cold = submit(JobOptions::default()).wait().expect("cold certify");
 
     // A warm submit's handle is born resolved: done before any wait.
-    let warm_handle = submit(Some(Arc::clone(&cache)), JobOptions::default());
+    let warm_handle = submit(JobOptions::default());
     assert!(warm_handle.is_done(), "warm hit must not enter the queue");
     let warm = warm_handle.wait().expect("warm certify");
     assert_eq!(
         gncg_json::to_string(&warm.to_json()),
         gncg_json::to_string(&cold.to_json())
+    );
+}
+
+#[test]
+fn keyed_submit_without_attached_cache_runs_uncached() {
+    let (n, seed, alpha) = (5usize, 11u64, 1.5f64);
+    let key = key_for(n, seed, alpha, ModelKind::SumDistances);
+    // No attach_result_cache: the keyed policy silently degrades to an
+    // uncached run, bit-identical to the direct call.
+    let session = Session::builder().threads(1).build();
+    let report = session
+        .submit_certify(
+            Arc::new(generators::uniform_unit_square(n, seed)),
+            OwnedNetwork::center_star(n, 0),
+            alpha,
+            SolverConfig::exact().with_cache_key(&key),
+            JobOptions::default(),
+        )
+        .expect("admitted")
+        .wait()
+        .expect("certify succeeded");
+    let ps = generators::uniform_unit_square(n, seed);
+    let net = OwnedNetwork::center_star(n, 0);
+    let direct = certify(&ps, &net, alpha, &SolverConfig::exact());
+    assert_eq!(
+        gncg_json::to_string(&report.to_json()),
+        gncg_json::to_string(&direct.to_json())
     );
 }
 
@@ -131,18 +158,17 @@ fn budgeted_jobs_bypass_the_cache_entirely() {
     let dir = tmpdir("budget");
     let cache = Arc::new(ResultCache::at(&dir).unwrap());
     let session = Session::builder().threads(1).build();
+    session.attach_result_cache(Arc::clone(&cache));
 
     // A generous budget (nothing degrades at this size) — but *any*
     // limited budget makes the result ineligible for the cache.
     let job = JobOptions::with_budget(&Budget::with_limit(std::time::Duration::from_secs(60)));
     session
-        .submit_certify_cached(
-            Some(Arc::clone(&cache)),
-            &key,
+        .submit_certify(
             Arc::new(generators::uniform_unit_square(n, seed)),
             OwnedNetwork::center_star(n, 0),
             alpha,
-            CertifyOptions::exact(),
+            SolverConfig::exact().with_cache_key(&key),
             job,
         )
         .expect("admitted")
@@ -153,4 +179,48 @@ fn budgeted_jobs_bypass_the_cache_entirely() {
         "budgeted result must not be cached (no put)"
     );
     assert_eq!(cache.entry_count().unwrap(), 0);
+}
+
+/// The deprecated explicit-cache shim must stay bit-identical to the
+/// canonical attached-cache path for one release.
+#[test]
+#[allow(deprecated)]
+fn deprecated_submit_certify_cached_matches_canonical_path() {
+    use gncg_game::certify::CertifyOptions;
+    let (n, seed, alpha) = (5usize, 13u64, 1.5f64);
+    let key = key_for(n, seed, alpha, ModelKind::SumDistances);
+    let dir = tmpdir("shim");
+    let cache = Arc::new(ResultCache::at(&dir).unwrap());
+    let session = Session::builder().threads(1).build();
+    let legacy = session
+        .submit_certify_cached(
+            Some(Arc::clone(&cache)),
+            &key,
+            Arc::new(generators::uniform_unit_square(n, seed)),
+            OwnedNetwork::center_star(n, 0),
+            alpha,
+            CertifyOptions::exact(),
+            JobOptions::default(),
+        )
+        .expect("admitted")
+        .wait()
+        .expect("legacy certify");
+    assert!(cache.get(&key).is_some(), "shim still populates the cache");
+    // the canonical path served from the same cache agrees bit-for-bit
+    session.attach_result_cache(Arc::clone(&cache));
+    let canonical = session
+        .submit_certify(
+            Arc::new(generators::uniform_unit_square(n, seed)),
+            OwnedNetwork::center_star(n, 0),
+            alpha,
+            SolverConfig::exact().with_cache_key(&key),
+            JobOptions::default(),
+        )
+        .expect("admitted")
+        .wait()
+        .expect("canonical certify");
+    assert_eq!(
+        gncg_json::to_string(&legacy.to_json()),
+        gncg_json::to_string(&canonical.to_json())
+    );
 }

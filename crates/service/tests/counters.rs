@@ -4,8 +4,7 @@
 
 use std::sync::Arc;
 
-use gncg_game::certify::CertifyOptions;
-use gncg_game::OwnedNetwork;
+use gncg_game::{OwnedNetwork, SolverConfig};
 use gncg_geometry::generators;
 use gncg_service::{JobOptions, Session};
 
@@ -24,7 +23,7 @@ fn service_counters_count_admissions() {
                     Arc::new(ps),
                     net,
                     1.0,
-                    CertifyOptions::bounds_only(),
+                    SolverConfig::bounds_only(),
                     JobOptions::default(),
                 )
                 .expect("admitted"),

@@ -9,8 +9,8 @@
 
 use std::sync::Arc;
 
-use gncg_game::certify::{certify, CertifyOptions};
-use gncg_game::OwnedNetwork;
+use gncg_game::certify::certify;
+use gncg_game::{OwnedNetwork, SolverConfig};
 use gncg_geometry::generators;
 use gncg_parallel::fault;
 use gncg_service::{JobOptions, Session};
@@ -22,7 +22,7 @@ fn fault_soak_all_jobs_succeed_and_pool_stays_healthy() {
     for seed in 0..8u64 {
         let ps = generators::uniform_unit_square(12, seed);
         let net = OwnedNetwork::center_star(12, 0);
-        want.push(certify(&ps, &net, 2.0, CertifyOptions::bounds_only()));
+        want.push(certify(&ps, &net, 2.0, &SolverConfig::bounds_only()));
     }
 
     let before = fault::injection_probability();
@@ -37,7 +37,7 @@ fn fault_soak_all_jobs_succeed_and_pool_stays_healthy() {
                     ps,
                     net,
                     2.0,
-                    CertifyOptions::bounds_only(),
+                    SolverConfig::bounds_only(),
                     JobOptions::default(),
                 )
                 .expect("admitted")
@@ -59,7 +59,7 @@ fn fault_soak_all_jobs_succeed_and_pool_stays_healthy() {
             ps,
             net,
             2.0,
-            CertifyOptions::bounds_only(),
+            SolverConfig::bounds_only(),
             JobOptions::default(),
         )
         .expect("admitted after soak");

@@ -9,8 +9,8 @@
 
 use std::sync::Arc;
 
-use gncg_game::certify::{certify, CertifyOptions};
-use gncg_game::{best_response, dynamics, exact, GameSpec, OwnedNetwork, SolveOptions};
+use gncg_game::certify::certify;
+use gncg_game::{best_response, dynamics, exact, OwnedNetwork, SolverConfig};
 use gncg_geometry::generators;
 use gncg_service::{JobError, JobOptions, Session};
 
@@ -26,13 +26,13 @@ fn concurrent_mixed_load_bit_identical_to_sequential() {
     for &seed in &SEEDS {
         let ps = generators::uniform_unit_square(6, seed);
         let net = OwnedNetwork::center_star(6, 0);
-        seq_certify.push(certify(&ps, &net, 1.5, CertifyOptions::exact()));
+        seq_certify.push(certify(&ps, &net, 1.5, &SolverConfig::exact()));
         seq_br.push(
-            best_response::exact_best_response(&ps, &net, 1.5, 1, &SolveOptions::default())
+            best_response::exact_best_response(&ps, &net, 1.5, 1, &SolverConfig::default())
                 .expect_exact("best response"),
         );
         seq_opt.push(
-            exact::exact_social_optimum(&ps, 1.5, &SolveOptions::default())
+            exact::exact_social_optimum(&ps, 1.5, &SolverConfig::default())
                 .expect_exact("social optimum"),
         );
         seq_dyn.push(dynamics::run(
@@ -59,7 +59,7 @@ fn concurrent_mixed_load_bit_identical_to_sequential() {
                     ps.clone(),
                     net.clone(),
                     1.5,
-                    CertifyOptions::exact(),
+                    SolverConfig::exact(),
                     JobOptions::default(),
                 )
                 .expect("admitted"),
@@ -71,7 +71,7 @@ fn concurrent_mixed_load_bit_identical_to_sequential() {
                     net.clone(),
                     1.5,
                     1,
-                    SolveOptions::default(),
+                    SolverConfig::default(),
                     JobOptions::default(),
                 )
                 .expect("admitted"),
@@ -81,7 +81,7 @@ fn concurrent_mixed_load_bit_identical_to_sequential() {
                 .submit_exact_optimum(
                     ps.clone(),
                     1.5,
-                    SolveOptions::default(),
+                    SolverConfig::default(),
                     JobOptions::default(),
                 )
                 .expect("admitted"),
@@ -94,7 +94,7 @@ fn concurrent_mixed_load_bit_identical_to_sequential() {
                     1.5,
                     dynamics::ResponseRule::BestSingleMove,
                     200,
-                    GameSpec::default(),
+                    SolverConfig::default(),
                     JobOptions::default(),
                 )
                 .expect("admitted"),
@@ -152,7 +152,7 @@ fn panicking_job_fails_alone_and_pool_stays_healthy() {
             ps.clone(),
             net.clone(),
             1.0,
-            CertifyOptions::bounds_only(),
+            SolverConfig::bounds_only(),
             JobOptions::default(),
         )
         .expect("admitted");
@@ -166,7 +166,7 @@ fn panicking_job_fails_alone_and_pool_stays_healthy() {
             ps,
             net,
             1.0,
-            CertifyOptions::bounds_only(),
+            SolverConfig::bounds_only(),
             JobOptions::default(),
         )
         .expect("admitted");
@@ -188,15 +188,15 @@ fn model_choice_threads_through_typed_submits() {
     let session = Session::builder().threads(2).build();
     let ps = Arc::new(generators::uniform_unit_square(6, 9));
     let net = OwnedNetwork::center_star(6, 0);
-    let max_solve = SolveOptions::default().with_model(ModelKind::MaxDistance);
-    let max_certify = CertifyOptions::exact().with_model(ModelKind::MaxDistance);
+    let max_cfg = SolverConfig::default().with_model(ModelKind::MaxDistance);
+    let max_exact = SolverConfig::exact().with_model(ModelKind::MaxDistance);
 
     let h_cert = session
         .submit_certify(
             ps.clone(),
             net.clone(),
             1.5,
-            max_certify.clone(),
+            max_exact.clone(),
             JobOptions::default(),
         )
         .expect("admitted");
@@ -206,7 +206,7 @@ fn model_choice_threads_through_typed_submits() {
             net.clone(),
             1.5,
             1,
-            max_solve.clone(),
+            max_cfg.clone(),
             JobOptions::default(),
         )
         .expect("admitted");
@@ -217,12 +217,12 @@ fn model_choice_threads_through_typed_submits() {
             1.5,
             dynamics::ResponseRule::BestSingleMove,
             200,
-            GameSpec::with_model(ModelKind::MaxDistance),
+            max_cfg.clone(),
             JobOptions::default(),
         )
         .expect("admitted");
 
-    let want_cert = certify(&*ps, &net, 1.5, max_certify);
+    let want_cert = certify(&*ps, &net, 1.5, &max_exact);
     let got_cert = h_cert.wait().expect("certify job");
     assert_eq!(got_cert.model, ModelKind::MaxDistance);
     assert_eq!(
@@ -235,7 +235,7 @@ fn model_choice_threads_through_typed_submits() {
     );
 
     let want_br =
-        best_response::exact_best_response(&*ps, &net, 1.5, 1, &max_solve).expect_exact("br");
+        best_response::exact_best_response(&*ps, &net, 1.5, 1, &max_cfg).expect_exact("br");
     let got_br = h_br.wait().expect("br job").expect_exact("br");
     assert_eq!(got_br.cost.to_bits(), want_br.cost.to_bits());
     assert_eq!(got_br.strategy, want_br.strategy);
@@ -247,7 +247,7 @@ fn model_choice_threads_through_typed_submits() {
         dynamics::ResponseRule::BestSingleMove,
         dynamics::AgentOrder::RoundRobin,
         200,
-        GameSpec::with_model(ModelKind::MaxDistance),
+        &max_cfg,
     );
     assert_eq!(h_dyn.wait().expect("dynamics job"), want_dyn);
     session.wait_idle();

@@ -12,7 +12,8 @@
 //!    (cached under [`crate::spec::network_key`]);
 //! 2. **certify** — the (β, γ) certification (cached under
 //!    [`crate::spec::certify_key`]); with a session this goes through
-//!    `Session::submit_certify_cached`, without one it runs inline —
+//!    `Session::submit_certify` with a keyed `SolverConfig`, without
+//!    one it runs inline —
 //!    the serve tier uses the inline path so a sweep executing *inside*
 //!    a session job never submits nested jobs (deadlock at one worker).
 //!
@@ -38,8 +39,8 @@
 
 use std::sync::Arc;
 
-use gncg_game::certify::{certify, CertifyOptions, CertifyReport};
-use gncg_game::OwnedNetwork;
+use gncg_game::certify::{certify, CertifyReport};
+use gncg_game::{OwnedNetwork, SolverConfig};
 use gncg_geometry::{generators, PointSet};
 use gncg_graph::DistMatrix;
 use gncg_json::{canon, object, FromJson, ToJson, Value};
@@ -187,14 +188,14 @@ fn network_step(
 }
 
 /// The certify step, inline (no session): same cache discipline as
-/// `Session::submit_certify_cached`.
+/// the session's keyed-cache certify path.
 fn certify_step_direct(
     spec: &SweepSpec,
     key: &str,
     ps: &PointSet,
     net: &OwnedNetwork,
     alpha: f64,
-    opts: CertifyOptions,
+    cfg: &SolverConfig,
     cache: Option<&ResultCache>,
 ) -> CertifyReport {
     debug_assert!(cache.is_none() || spec.budget_ms.is_none());
@@ -205,7 +206,7 @@ fn certify_step_direct(
             }
         }
     }
-    let report = certify(ps, net, alpha, opts);
+    let report = certify(ps, net, alpha, cfg);
     if let Some(cache) = cache {
         let _ = cache.put(key, &report.to_json());
     }
@@ -231,6 +232,11 @@ pub fn run_spec(
 ) -> SweepOutcome {
     // The cache-consistency rule: budgeted units are never cached.
     let cache = cache.filter(|_| spec.budget_ms.is_none());
+    // Session path: the cache is consulted from inside the session's
+    // keyed certify submits, so attach it up front.
+    if let (Some(cache), Some(session)) = (&cache, session) {
+        session.attach_result_cache(Arc::clone(cache));
+    }
     let unit_budget = match spec.budget_ms {
         Some(ms) => Budget::with_limit(std::time::Duration::from_millis(ms)),
         None => Budget::unlimited(),
@@ -288,10 +294,10 @@ fn run_unit(
     let (net, matrix) = network_step(spec, unit, &ps, cache.map(Arc::as_ref));
     let diam = diameter(&matrix);
 
-    let opts = if spec.exact {
-        CertifyOptions::exact()
+    let cfg = if spec.exact {
+        SolverConfig::exact()
     } else {
-        CertifyOptions::bounds_only()
+        SolverConfig::bounds_only()
     }
     .with_model(spec.model)
     .with_budget(unit_budget);
@@ -312,26 +318,33 @@ fn run_unit(
     );
 
     let cr = match session {
-        Some(session) => session
-            .submit_certify_cached(
-                cache.cloned(),
-                &key,
-                Arc::new(ps.clone()),
-                net.clone(),
-                unit.alpha,
-                opts,
-                JobOptions::with_budget(unit_budget),
-            )
-            .unwrap_or_else(|e| panic!("sweep unit rejected by the service: {e}"))
-            .wait()
-            .unwrap_or_else(|e| panic!("sweep unit failed: {e}")),
+        Some(session) => {
+            // The run's cache was attached to the session up front; a
+            // keyed config routes this certify through it (the session
+            // re-checks the budget-bypass rule independently).
+            let job_cfg = match cache {
+                Some(_) => cfg.with_cache_key(&key),
+                None => cfg,
+            };
+            session
+                .submit_certify(
+                    Arc::new(ps.clone()),
+                    net.clone(),
+                    unit.alpha,
+                    job_cfg,
+                    JobOptions::with_budget(unit_budget),
+                )
+                .unwrap_or_else(|e| panic!("sweep unit rejected by the service: {e}"))
+                .wait()
+                .unwrap_or_else(|e| panic!("sweep unit failed: {e}"))
+        }
         None => certify_step_direct(
             spec,
             &key,
             &ps,
             &net,
             unit.alpha,
-            opts,
+            &cfg,
             cache.map(Arc::as_ref),
         ),
     };

@@ -32,7 +32,7 @@ fn main() {
     );
 
     let show = |name: &str, net: &OwnedNetwork| {
-        let r = certify(&points, net, alpha, CertifyOptions::bounds_only());
+        let r = certify(&points, net, alpha, &SolverConfig::bounds_only());
         println!(
             "{:<22} {:>10} {:>12.1} {:>12.3} {:>12.3}",
             name,

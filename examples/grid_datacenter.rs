@@ -18,7 +18,7 @@ fn main() {
     // production-size fabric: certified bounds
     let big = generators::integer_grid(&[7, 7]);
     let net = grid_network(&big);
-    let r = certify(&big, &net, alpha, CertifyOptions::bounds_only());
+    let r = certify(&big, &net, alpha, &SolverConfig::bounds_only());
     println!("8x8 rack grid ({} racks), alpha = {alpha}", big.len());
     println!(
         "  edges {}, social cost {:.1}, beta <= {:.3}, gamma <= {:.3} (paper bound {})",
@@ -35,7 +35,7 @@ fn main() {
     println!("\n4x2 rack grid ({} racks): exact analysis", small.len());
     for a in [0.5, 1.0, 4.0, 16.0] {
         let beta =
-            exact::exact_beta(&small, &net_small, a, &SolveOptions::default()).expect_exact("beta");
+            exact::exact_beta(&small, &net_small, a, &SolverConfig::default()).expect_exact("beta");
         println!(
             "  alpha {a:>5}: exact beta = {beta:.4} (2d bound = {})",
             theorem_3_13_bound(2)
@@ -45,7 +45,7 @@ fn main() {
     // 3-D fabric (stacked pods)
     let cube = generators::integer_grid(&[2, 2, 2]);
     let net3 = grid_network(&cube);
-    let r3 = certify(&cube, &net3, alpha, CertifyOptions::bounds_only());
+    let r3 = certify(&cube, &net3, alpha, &SolverConfig::bounds_only());
     println!(
         "\n3x3x3 pod fabric ({} racks): beta <= {:.3}, gamma <= {:.3} (paper bound {})",
         cube.len(),

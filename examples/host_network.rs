@@ -8,7 +8,8 @@
 //! cargo run --example host_network
 //! ```
 
-use euclidean_network_design::game::certify::{certify, CertifyOptions};
+use euclidean_network_design::game::certify::certify;
+use euclidean_network_design::game::SolverConfig;
 use euclidean_network_design::host::{corollaries, hm_filter, poa, HostNetwork};
 
 fn main() {
@@ -34,7 +35,7 @@ fn main() {
         "design", "edges", "social cost", "beta_ub", "gamma_ub"
     );
     let show = |name: &str, net: &euclidean_network_design::game::OwnedNetwork| {
-        let r = certify(&w, net, alpha, CertifyOptions::bounds_only());
+        let r = certify(&w, net, alpha, &SolverConfig::bounds_only());
         println!(
             "{:<30} {:>8} {:>12.2} {:>10.3} {:>10.3}",
             name,

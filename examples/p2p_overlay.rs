@@ -37,7 +37,7 @@ fn main() {
         &points,
         &result.network,
         alpha,
-        CertifyOptions::bounds_only(),
+        &SolverConfig::bounds_only(),
     );
     println!(
         "social cost {:.2}, certified gamma <= {:.3}",

@@ -19,7 +19,7 @@ fn main() {
     let network = build_beta_beta_network(&points, alpha);
 
     // 3. Certify it: how stable and how efficient is the result?
-    let report = certify(&points, &network, alpha, CertifyOptions::default());
+    let report = certify(&points, &network, alpha, &SolverConfig::default());
 
     println!("agents:              {n}");
     println!("alpha:               {alpha}");

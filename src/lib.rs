@@ -8,7 +8,7 @@
 //!
 //! let points = generators::uniform_unit_square(40, 7);
 //! let network = build_beta_beta_network(&points, 2.0);
-//! let report = certify(&points, &network, 2.0, CertifyOptions::default());
+//! let report = certify(&points, &network, 2.0, &SolverConfig::default());
 //! assert!(report.beta_upper.is_finite());
 //! ```
 
@@ -23,9 +23,9 @@ pub use gncg_spanner as spanner;
 /// One-stop import for examples and downstream users.
 pub mod prelude {
     pub use gncg_algo::{build_beta_beta_network, AlgorithmOneParams, AlgorithmOneResult};
-    pub use gncg_game::certify::{certify, CertifyOptions, CertifyReport};
+    pub use gncg_game::certify::{certify, CertifyReport};
     pub use gncg_game::network::OwnedNetwork;
-    pub use gncg_game::{Outcome, SolveOptions};
+    pub use gncg_game::{CachePolicy, Outcome, SolverConfig};
     pub use gncg_geometry::generators;
     pub use gncg_geometry::{Norm, Point, PointSet};
 }

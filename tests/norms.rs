@@ -2,8 +2,7 @@
 //! These tests run the machinery end-to-end under the 1-, p- and ∞-norms.
 
 use euclidean_network_design::algo::{complete::complete_network, mst_network::mst_network};
-use euclidean_network_design::game::certify::CertifyOptions;
-use euclidean_network_design::game::{exact, SolveOptions};
+use euclidean_network_design::game::{exact, SolverConfig};
 use euclidean_network_design::geometry::Norm;
 use euclidean_network_design::graph::stretch;
 use euclidean_network_design::spanner;
@@ -17,7 +16,7 @@ fn theorem_3_5_holds_under_l1_and_linf() {
         let ps = random_points(12, 5, norm);
         let alpha = 2.0;
         let net = complete_network(12);
-        let r = certify_via_service(&ps, &net, alpha, CertifyOptions::bounds_only());
+        let r = certify_via_service(&ps, &net, alpha, SolverConfig::bounds_only());
         assert!(
             r.beta_upper <= alpha + 1.0 + 1e-9,
             "{norm:?}: beta {}",
@@ -36,7 +35,7 @@ fn mst_network_within_n_minus_1_under_l1() {
     let ps = random_points(15, 9, Norm::L1);
     let net = mst_network(&ps);
     for alpha in [0.5, 10.0, 1e4] {
-        let r = certify_via_service(&ps, &net, alpha, CertifyOptions::bounds_only());
+        let r = certify_via_service(&ps, &net, alpha, SolverConfig::bounds_only());
         assert!(
             r.beta_upper <= 14.0 + 1e-6,
             "alpha {alpha}: {}",
@@ -73,7 +72,7 @@ fn exact_beta_certificate_sound_under_l1() {
         net.buy(a, rng.gen_range(0..a));
     }
     let alpha = 1.5;
-    let r = certify_via_service(&ps, &net, alpha, CertifyOptions::bounds_only());
-    let be = exact::exact_beta(&ps, &net, alpha, &SolveOptions::default()).expect_exact("beta");
+    let r = certify_via_service(&ps, &net, alpha, SolverConfig::bounds_only());
+    let be = exact::exact_beta(&ps, &net, alpha, &SolverConfig::default()).expect_exact("beta");
     assert!(be <= r.beta_upper + 1e-9);
 }

@@ -6,9 +6,7 @@ use euclidean_network_design::algo::{
     params::corollary_3_8_params,
 };
 use euclidean_network_design::game::{
-    best_response,
-    certify::{certify, CertifyOptions},
-    cost, exact, instances, moves,
+    best_response, certify::certify, cost, exact, instances, moves,
 };
 use euclidean_network_design::geometry::generators;
 use euclidean_network_design::host::{corollaries, poa, HostNetwork};
@@ -44,7 +42,7 @@ fn theorem_3_5_complete_network() {
     let ps = generators::uniform_unit_square(20, 1);
     let alpha = 3.0;
     let net = complete_network(20);
-    let r = certify_via_service(&ps, &net, alpha, CertifyOptions::bounds_only());
+    let r = certify_via_service(&ps, &net, alpha, SolverConfig::bounds_only());
     assert!(r.beta_upper <= alpha + 1.0 + 1e-9);
     assert!(r.gamma_upper <= alpha / 2.0 + 1.0 + 1e-9);
 }
@@ -58,7 +56,7 @@ fn theorem_3_7_algorithm_one_pipeline() {
     let alpha = 2.0;
     let ps = generators::uniform_unit_square(n, 5);
     let res = algo::run_algorithm1(&ps, alpha, corollary_3_8_params(alpha, n));
-    let r = certify_via_service(&ps, &res.network, alpha, CertifyOptions::bounds_only());
+    let r = certify_via_service(&ps, &res.network, alpha, SolverConfig::bounds_only());
     assert!(r.connected);
     if let Some(bound) = res.beta_bound {
         assert!(r.beta_upper <= bound + 1e-6);
@@ -74,7 +72,7 @@ fn theorem_3_9_and_corollary_3_10() {
     let ps = generators::uniform_unit_square(n, 8);
     for alpha in [1.0, 1e5] {
         let mst = mst_network(&ps);
-        let r = certify_via_service(&ps, &mst, alpha, CertifyOptions::bounds_only());
+        let r = certify_via_service(&ps, &mst, alpha, SolverConfig::bounds_only());
         assert!(r.beta_upper <= (n - 1) as f64 + 1e-6);
         assert!(r.gamma_upper <= (n - 1) as f64 + 1e-6);
         let comb = algo::combined::combined_network(&ps, alpha);
@@ -89,7 +87,7 @@ fn theorem_3_13_grid_exact() {
     let net = grid_network(&ps);
     for alpha in [0.5, 2.0] {
         let beta =
-            exact::exact_beta(&ps, &net, alpha, &SolveOptions::default()).expect_exact("beta");
+            exact::exact_beta(&ps, &net, alpha, &SolverConfig::default()).expect_exact("beta");
         assert!(beta <= 4.0 + 1e-9, "alpha {alpha}: beta {beta}");
     }
 }
@@ -151,7 +149,7 @@ fn corollary_5_1_host() {
     let w = h.as_weights();
     let alpha = 1.5;
     let net = corollaries::shortest_path_subnetwork(&h);
-    let r = certify_via_service(&w, &net, alpha, CertifyOptions::bounds_only());
+    let r = certify_via_service(&w, &net, alpha, SolverConfig::bounds_only());
     assert!(r.beta_upper <= alpha + 1.0 + 1e-6);
     assert!(r.gamma_upper <= alpha / 2.0 + 1.0 + 1e-6);
 }
@@ -176,7 +174,7 @@ fn theorem_5_4_poa_bound() {
 fn facade_quickstart_flow() {
     let points = generators::uniform_unit_square(40, 7);
     let network = build_beta_beta_network(&points, 2.0);
-    let report = certify(&points, &network, 2.0, CertifyOptions::default());
+    let report = certify(&points, &network, 2.0, &SolverConfig::default());
     assert!(report.connected);
     assert!(report.beta_upper.is_finite());
     assert!(report.gamma_upper >= 1.0 - 1e-9);

@@ -7,9 +7,7 @@
 //! same invariants under test.
 
 use euclidean_network_design::game::{
-    best_response,
-    certify::{optimum_lower_bound, CertifyOptions},
-    cost, exact, moves, OwnedNetwork, SolveOptions,
+    best_response, certify::optimum_lower_bound, cost, exact, moves, OwnedNetwork, SolverConfig,
 };
 use euclidean_network_design::graph::{apsp, mst, stretch};
 use euclidean_network_design::spanner::{self, SpannerKind};
@@ -97,7 +95,7 @@ fn best_response_ordering() {
             let now = cost::agent_cost(&ps, &net, alpha, u);
             let ls = moves::local_search_response(&ps, &net, alpha, u, 10);
             let ex =
-                best_response::exact_best_response(&ps, &net, alpha, u, &SolveOptions::default())
+                best_response::exact_best_response(&ps, &net, alpha, u, &SolverConfig::default())
                     .expect_exact("best response");
             assert!(
                 ex.cost <= ls.cost + 1e-9,
@@ -122,8 +120,8 @@ fn beta_bound_sound() {
         let ps = random_point_set(&mut rng, 7);
         let net = random_profile(&mut rng, ps.len());
         let alpha = rng.gen_range(0.2..4.0);
-        let r = certify_via_service(&ps, &net, alpha, CertifyOptions::bounds_only());
-        let be = exact::exact_beta(&ps, &net, alpha, &SolveOptions::default()).expect_exact("beta");
+        let r = certify_via_service(&ps, &net, alpha, SolverConfig::bounds_only());
+        let be = exact::exact_beta(&ps, &net, alpha, &SolverConfig::default()).expect_exact("beta");
         assert!(
             be <= r.beta_upper + 1e-9,
             "case {case}: exact beta {be} > upper bound {}",
@@ -140,7 +138,7 @@ fn opt_lower_bound_sound() {
         let ps = random_point_set(&mut rng, 6);
         let alpha = rng.gen_range(0.2..4.0);
         let lb = optimum_lower_bound(&ps, alpha);
-        let opt = exact::exact_social_optimum(&ps, alpha, &SolveOptions::default())
+        let opt = exact::exact_social_optimum(&ps, alpha, &SolverConfig::default())
             .expect_exact("optimum")
             .social_cost;
         assert!(lb <= opt + 1e-9, "case {case}: lb {lb} > opt {opt}");
@@ -275,7 +273,7 @@ fn converged_dynamics_beta_is_one() {
             dynamics::run(&ps, &start, 1.0, dynamics::ResponseRule::BestResponse, 200)
         {
             let beta =
-                exact::exact_beta(&ps, &state, 1.0, &SolveOptions::default()).expect_exact("beta");
+                exact::exact_beta(&ps, &state, 1.0, &SolverConfig::default()).expect_exact("beta");
             assert!(beta <= 1.0 + 1e-6, "seed {seed}: beta {beta}");
         }
     }
